@@ -1,0 +1,53 @@
+// Ablation 1 (DESIGN.md §4.1 / §4.3): accumulator engines head-to-head on
+// one network.  Shows that
+//   - open addressing improves on chaining but keeps the probe branches,
+//   - a dense array kills branches but pays random DRAM-sized gathers,
+//   - the CAM (ASA) wins by being both branch-free and on-chip.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "asamap/benchutil/experiments.hpp"
+#include "asamap/benchutil/table.hpp"
+
+using namespace asamap;
+using benchutil::fmt;
+using benchutil::fmt_count;
+
+int main() {
+  benchutil::banner(std::cout,
+                    "Ablation — accumulation engines on YouTube (1 core)");
+
+  const auto& g = benchutil::cached_dataset("YouTube");
+  benchutil::Table t({"Engine", "Hash time (s)", "Total instr",
+                      "Branches", "Mispredicts", "CPI", "Sim time (s)"});
+
+  const std::vector<std::pair<std::string, core::AccumulatorKind>> engines = {
+      {"chained (unordered_map Baseline)", core::AccumulatorKind::kChained},
+      {"open addressing", core::AccumulatorKind::kOpen},
+      {"dense array (infinite CAM)", core::AccumulatorKind::kDense},
+      {"ASA CAM 8KB", core::AccumulatorKind::kAsa},
+  };
+
+  double base_hash = 0.0;
+  for (const auto& [label, kind] : engines) {
+    benchutil::SimRunConfig cfg;
+    cfg.engine = kind;
+    cfg.num_cores = 1;
+    cfg.infomap.max_sweeps_per_level = 8;
+    cfg.infomap.max_levels = 1;  // the paper simulates the vertex-level phase
+    const auto r = run_simulated(g, cfg);
+    if (kind == core::AccumulatorKind::kChained) base_hash = r.hash_seconds;
+    t.add_row({label, fmt(r.hash_seconds, 3),
+               fmt_count(r.total_instructions), fmt_count(r.total_branches),
+               fmt_count(r.total_mispredicts), fmt(r.avg_cpi_per_core, 3),
+               fmt(r.sim_seconds, 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\nBaseline hash time " << fmt(base_hash, 3)
+            << " s; each engine's delta isolates one mechanism (branches,\n"
+               "locality, or both).  All four produce identical partitions\n"
+               "(asserted by tests/test_kernel.cpp).\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation 4: L3-size sensitivity via trace replay — how much does ZSim's
+// 16 MB power-of-two L3 (standing in for the native machine's 20 MB part,
+// Table II) matter?
+//
+// The instrumented Baseline and ASA runs are recorded ONCE each as event
+// traces, then replayed through machines whose only difference is the L3
+// capacity.  (20 MB itself is unrepresentable in a power-of-two-set cache —
+// the exact constraint that forced the paper's substitution; the sweep
+// brackets it with 16 MB and 32 MB.)
+
+#include <iostream>
+#include <memory>
+
+#include "asamap/asa/accumulator.hpp"
+#include "asamap/benchutil/experiments.hpp"
+#include "asamap/benchutil/table.hpp"
+#include "asamap/core/infomap.hpp"
+#include "asamap/hashdb/software_accumulator.hpp"
+#include "asamap/sim/machine.hpp"
+#include "asamap/sim/trace.hpp"
+
+using namespace asamap;
+using benchutil::fmt;
+using benchutil::fmt_count;
+
+namespace {
+
+template <typename MakeAcc>
+sim::TraceRecorder record_run(const graph::CsrGraph& g, MakeAcc&& make) {
+  sim::TraceRecorder recorder;
+  recorder.reserve(1u << 22);
+  hashdb::AddressSpace addrs;
+  auto acc = make(recorder, addrs);
+  core::Worker<std::remove_reference_t<decltype(*acc)>, sim::TraceRecorder>
+      worker{acc.get(), &recorder};
+  core::InfomapOptions opts;
+  opts.max_levels = 1;
+  opts.max_sweeps_per_level = 8;
+  (void)core::run_multilevel(g, opts, std::span(&worker, 1));
+  return recorder;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(std::cout,
+                    "Ablation — L3 capacity sensitivity by trace replay\n"
+                    "(YouTube stand-in; one recorded run per engine)");
+
+  const auto& g = benchutil::cached_dataset("YouTube");
+
+  const sim::TraceRecorder base_trace =
+      record_run(g, [](auto& sink, auto& addrs) {
+        return std::make_unique<
+            hashdb::ChainedAccumulator<sim::TraceRecorder>>(sink, addrs);
+      });
+  asa::Cam cam;
+  const sim::TraceRecorder asa_trace =
+      record_run(g, [&](auto& sink, auto& addrs) {
+        return std::make_unique<asa::AsaAccumulator<sim::TraceRecorder>>(
+            sink, cam, addrs);
+      });
+  std::cout << "Recorded " << fmt_count(base_trace.size())
+            << " Baseline events, " << fmt_count(asa_trace.size())
+            << " ASA events.\n";
+
+  benchutil::Table t({"L3 size", "Base cycles", "Base CPI", "ASA cycles",
+                      "ASA CPI", "ASA speedup"});
+  for (std::uint64_t mb : {4ull, 8ull, 16ull, 32ull, 64ull}) {
+    sim::MachineConfig mc = sim::paper_baseline_machine(1);
+    mc.l3.size_bytes = mb << 20;
+    sim::Machine base_m(mc), asa_m(mc);
+    sim::replay_trace(base_trace.events(), base_m.core(0));
+    sim::replay_trace(asa_trace.events(), asa_m.core(0));
+    t.add_row({std::to_string(mb) + " MB",
+               fmt_count(static_cast<std::uint64_t>(base_m.core(0).cycles())),
+               fmt(base_m.core(0).cpi(), 3),
+               fmt_count(static_cast<std::uint64_t>(asa_m.core(0).cycles())),
+               fmt(asa_m.core(0).cpi(), 3),
+               fmt(base_m.core(0).cycles() / asa_m.core(0).cycles(), 2) +
+                   "x"});
+  }
+  t.print(std::cout);
+  std::cout << "\nIf the 16 MB and 32 MB rows agree closely, the paper's\n"
+               "20 MB -> 16 MB ZSim substitution (Table II) is harmless for\n"
+               "this workload — its hot structures either fit well inside\n"
+               "16 MB or miss far beyond 32 MB.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation 3 (DESIGN.md §4.4): branch-predictor robustness.  The paper's
+// misprediction reductions come from ZSim's core model; this sweep shows
+// the Baseline-vs-ASA misprediction and CPI gap survives under different
+// predictor models — i.e. the result is about the workload's branches, not
+// a quirk of one predictor.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "asamap/benchutil/experiments.hpp"
+#include "asamap/benchutil/table.hpp"
+
+using namespace asamap;
+using benchutil::fmt;
+using benchutil::fmt_count;
+using benchutil::fmt_pct;
+
+int main() {
+  benchutil::banner(std::cout,
+                    "Ablation — predictor model sweep on DBLP (1 core)");
+
+  const auto& g = benchutil::cached_dataset("DBLP");
+  benchutil::Table t({"Predictor", "Base mispredicts", "ASA mispredicts",
+                      "reduction", "Base CPI", "ASA CPI"});
+
+  const std::vector<std::pair<std::string, sim::PredictorKind>> kinds = {
+      {"gshare (default)", sim::PredictorKind::kGshare},
+      {"bimodal", sim::PredictorKind::kBimodal},
+      {"always-taken", sim::PredictorKind::kAlwaysTaken}};
+
+  for (const auto& [label, kind] : kinds) {
+    benchutil::SimRunConfig cfg;
+    cfg.num_cores = 1;
+    cfg.machine.core.predictor = kind;
+    cfg.infomap.max_sweeps_per_level = 8;
+    cfg.infomap.max_levels = 1;  // the paper simulates the vertex-level phase
+
+    cfg.engine = core::AccumulatorKind::kChained;
+    const auto base = run_simulated(g, cfg);
+    cfg.engine = core::AccumulatorKind::kAsa;
+    const auto asa_r = run_simulated(g, cfg);
+
+    t.add_row({label, fmt_count(base.total_mispredicts),
+               fmt_count(asa_r.total_mispredicts),
+               fmt_pct(1.0 - double(asa_r.total_mispredicts) /
+                                 double(base.total_mispredicts)),
+               fmt(base.avg_cpi_per_core, 3),
+               fmt(asa_r.avg_cpi_per_core, 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\nThe absolute misprediction counts move with the predictor,\n"
+               "but ASA's branch elimination wins under every model.\n";
+  return 0;
+}

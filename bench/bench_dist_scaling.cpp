@@ -1,0 +1,59 @@
+// Extension bench: the distributed-memory layer HyPC-Map stacks under its
+// shared-memory kernels (paper reference [14] is a hybrid MPI+OpenMP
+// design).  Real message passing is substituted by the protocol simulation
+// in dist/ (see DESIGN.md); this bench reports what that layer is about —
+// communication volume vs rank count, superstep convergence, and quality
+// parity with the sequential driver.
+
+#include <iostream>
+
+#include "asamap/benchutil/experiments.hpp"
+#include "asamap/benchutil/table.hpp"
+#include "asamap/core/infomap.hpp"
+#include "asamap/dist/distributed.hpp"
+#include "asamap/metrics/partition.hpp"
+
+using namespace asamap;
+using benchutil::fmt;
+using benchutil::fmt_count;
+
+int main() {
+  benchutil::banner(std::cout,
+                    "Extension — distributed Infomap protocol simulation\n"
+                    "(message volume and quality vs rank count, YouTube)");
+
+  const auto& g = benchutil::cached_dataset("YouTube");
+  core::InfomapOptions seq_opts;
+  seq_opts.refine_sweeps = 0;
+  const auto seq = core::run_infomap(g, seq_opts);
+  const metrics::Partition seq_p(seq.communities.begin(),
+                                 seq.communities.end());
+
+  benchutil::Table t({"Ranks", "supersteps L0", "messages", "update MB",
+                      "codelength", "NMI vs sequential"});
+  for (std::uint32_t ranks : {1u, 2u, 4u, 8u, 16u}) {
+    dist::DistOptions opts;
+    opts.num_ranks = ranks;
+    const auto d = dist::run_distributed_infomap(g, opts);
+
+    int level0_steps = 0;
+    for (const auto& st : d.trace) {
+      if (st.level == 0) ++level0_steps;
+    }
+    const double nmi = metrics::normalized_mutual_information(
+        metrics::Partition(d.communities.begin(), d.communities.end()),
+        seq_p);
+    t.add_row({std::to_string(ranks), std::to_string(level0_steps),
+               fmt_count(d.total_messages),
+               fmt(static_cast<double>(d.total_bytes) / (1 << 20), 2),
+               fmt(d.codelength, 4), fmt(nmi, 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: communication volume grows with the rank\n"
+               "count (finer partitions cut more edges) while quality stays\n"
+               "at sequential parity — the property that lets HyPC-Map\n"
+               "scale across nodes without losing the map-equation optimum.\n"
+               "Per-superstep traffic collapses as the active set shrinks\n"
+               "(asserted in tests/test_dist.cpp).\n";
+  return 0;
+}

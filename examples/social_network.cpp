@@ -1,0 +1,79 @@
+// Social-network study: the experiment behind the paper's opening claim —
+// that the information-theoretic method (Infomap) delivers better community
+// quality than modularity-based algorithms on the LFR benchmark
+// (Lancichinetti & Fortunato 2009, cited as [18]).
+//
+// Sweeps the LFR mixing parameter mu and reports NMI for Infomap vs Louvain
+// side by side.  As mu grows, communities blur; the interesting region is
+// where the curves separate.
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "asamap/benchutil/table.hpp"
+#include "asamap/core/infomap.hpp"
+#include "asamap/core/louvain.hpp"
+#include "asamap/gen/lfr.hpp"
+#include "asamap/metrics/partition.hpp"
+#include "asamap/support/timer.hpp"
+
+using namespace asamap;
+
+namespace {
+
+metrics::Partition to_metrics(const std::vector<graph::VertexId>& p) {
+  return metrics::Partition(p.begin(), p.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const graph::VertexId n =
+      argc > 1 ? static_cast<graph::VertexId>(std::stoul(argv[1])) : 4000;
+
+  benchutil::banner(std::cout,
+                    "Infomap vs Louvain on the LFR benchmark (n = " +
+                        std::to_string(n) + ")");
+
+  benchutil::Table t({"mu", "#planted", "Infomap NMI", "Louvain NMI",
+                      "Infomap #comms", "Louvain #comms", "Infomap Q",
+                      "Louvain Q", "Infomap (s)"});
+
+  for (double mu : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+    gen::LfrParams params;
+    params.n = n;
+    params.mu = mu;
+    const auto lfr = gen::lfr_benchmark(params, 1000 + std::lround(mu * 100));
+    const auto truth = to_metrics(lfr.ground_truth);
+
+    support::WallTimer timer;
+    const auto infomap = core::run_infomap(lfr.graph);
+    const double infomap_seconds = timer.seconds();
+    const auto louvain = core::run_louvain(lfr.graph);
+
+    const auto infomap_p = to_metrics(infomap.communities);
+    const auto louvain_p = to_metrics(louvain.communities);
+
+    t.add_row({benchutil::fmt(mu, 1), std::to_string(lfr.num_communities),
+               benchutil::fmt(
+                   metrics::normalized_mutual_information(infomap_p, truth), 3),
+               benchutil::fmt(
+                   metrics::normalized_mutual_information(louvain_p, truth), 3),
+               std::to_string(infomap.num_communities),
+               std::to_string(louvain.num_communities),
+               benchutil::fmt(metrics::modularity(lfr.graph, infomap_p), 3),
+               benchutil::fmt(louvain.modularity, 3),
+               benchutil::fmt(infomap_seconds, 2)});
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nReading the table: at low mu both methods recover the planted\n"
+         "partition (NMI ~ 1).  As mixing grows, Louvain's resolution limit\n"
+         "merges small communities (watch its community count fall below\n"
+         "the planted count) while Infomap tracks the planted structure\n"
+         "longer — the motivation the paper cites for accelerating Infomap\n"
+         "rather than a modularity method.\n";
+  return 0;
+}

@@ -1,0 +1,208 @@
+#include "asamap/asa/cam.hpp"
+
+#include <bit>
+
+namespace asamap::asa {
+
+Cam::Cam(const CamConfig& config) : config_(config) {
+  ASAMAP_CHECK(config.capacity_entries >= 1, "CAM needs at least one entry");
+  entries_.resize(config.capacity_entries);
+  if (config_.fully_associative()) {
+    index_.reserve(config.capacity_entries * 2);
+    lru_prev_.assign(config.capacity_entries, kNil);
+    lru_next_.assign(config.capacity_entries, kNil);
+    free_slots_.reserve(config.capacity_entries);
+    for (std::uint32_t s = config.capacity_entries; s-- > 0;) {
+      free_slots_.push_back(s);
+    }
+  } else {
+    ASAMAP_CHECK(config.capacity_entries % config.ways == 0,
+                 "capacity not divisible by ways");
+    const std::uint32_t sets = config_.sets();
+    ASAMAP_CHECK(std::has_single_bit(sets),
+                 "CAM set count must be a power of 2");
+    set_bits_ = static_cast<std::uint32_t>(std::countr_zero(sets));
+  }
+}
+
+bool Cam::accumulate(std::uint64_t hashed_key, std::uint32_t key,
+                     double value) {
+  ++stats_.accumulates;
+  ++tick_;
+  return config_.fully_associative()
+             ? accumulate_fully_assoc(key, value)
+             : accumulate_set_assoc(hashed_key, key, value);
+}
+
+// ------------------------------------------------------------ fully assoc
+
+void Cam::lru_push_front(std::uint32_t slot) {
+  lru_prev_[slot] = kNil;
+  lru_next_[slot] = lru_head_;
+  if (lru_head_ != kNil) lru_prev_[lru_head_] = slot;
+  lru_head_ = slot;
+  if (lru_tail_ == kNil) lru_tail_ = slot;
+}
+
+void Cam::lru_unlink(std::uint32_t slot) {
+  const std::uint32_t p = lru_prev_[slot];
+  const std::uint32_t n = lru_next_[slot];
+  if (p != kNil) {
+    lru_next_[p] = n;
+  } else {
+    lru_head_ = n;
+  }
+  if (n != kNil) {
+    lru_prev_[n] = p;
+  } else {
+    lru_tail_ = p;
+  }
+}
+
+void Cam::lru_touch(std::uint32_t slot) {
+  if (lru_head_ == slot) return;
+  lru_unlink(slot);
+  lru_push_front(slot);
+}
+
+bool Cam::accumulate_fully_assoc(std::uint32_t key, double value) {
+  if (auto it = index_.find(key); it != index_.end()) {
+    Entry& e = entries_[it->second];
+    e.value += value;
+    e.stamp = tick_;
+    if (config_.eviction == EvictionPolicy::kLru) lru_touch(it->second);
+    ++stats_.hits;
+    return false;
+  }
+
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    entries_[slot] = Entry{key, value, tick_, true};
+    index_.emplace(key, slot);
+    lru_push_front(slot);
+    ++occupancy_;
+    ++stats_.fills;
+    return false;
+  }
+
+  // Full: evict per policy into the overflow FIFO, reuse the slot.
+  std::uint32_t victim;
+  if (config_.eviction == EvictionPolicy::kRandom) {
+    rand_state_ = support::mix64(rand_state_ + tick_);
+    victim = static_cast<std::uint32_t>(rand_state_ % entries_.size());
+  } else {
+    // kLru and kFifo both take the list tail; the difference is that hits
+    // refresh position only under LRU (see accumulate_fully_assoc above).
+    victim = lru_tail_;
+  }
+  Entry& v = entries_[victim];
+  overflow_fifo_.push_back(KeyValue{v.key, v.value});
+  index_.erase(v.key);
+  lru_unlink(victim);
+  v = Entry{key, value, tick_, true};
+  index_.emplace(key, victim);
+  lru_push_front(victim);
+  ++stats_.evictions;
+  return true;
+}
+
+// -------------------------------------------------------------- set assoc
+
+bool Cam::accumulate_set_assoc(std::uint64_t hashed_key, std::uint32_t key,
+                               double value) {
+  const std::uint32_t set =
+      set_bits_ == 0
+          ? 0
+          : static_cast<std::uint32_t>(
+                support::fibonacci_hash(hashed_key, set_bits_));
+  Entry* base = entries_.data() + std::size_t{set} * config_.ways;
+
+  // Parallel tag match within the set (single cycle in hardware).
+  Entry* free_way = nullptr;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Entry& e = base[w];
+    if (e.valid && e.key == key) {
+      e.value += value;
+      e.stamp = config_.eviction == EvictionPolicy::kFifo ? e.stamp : tick_;
+      ++stats_.hits;
+      return false;
+    }
+    if (!e.valid && free_way == nullptr) free_way = &e;
+  }
+
+  if (free_way != nullptr) {
+    *free_way = Entry{key, value, tick_, true};
+    ++occupancy_;
+    ++stats_.fills;
+    return false;
+  }
+
+  const std::uint32_t victim = pick_victim_in_set(set);
+  Entry& v = base[victim];
+  overflow_fifo_.push_back(KeyValue{v.key, v.value});
+  v = Entry{key, value, tick_, true};
+  ++stats_.evictions;
+  return true;
+}
+
+std::uint32_t Cam::pick_victim_in_set(std::uint32_t set) {
+  const Entry* base = entries_.data() + std::size_t{set} * config_.ways;
+  switch (config_.eviction) {
+    case EvictionPolicy::kRandom: {
+      rand_state_ = support::mix64(rand_state_ + tick_);
+      return static_cast<std::uint32_t>(rand_state_ % config_.ways);
+    }
+    case EvictionPolicy::kLru:
+    case EvictionPolicy::kFifo: {
+      std::uint32_t best = 0;
+      for (std::uint32_t w = 1; w < config_.ways; ++w) {
+        if (base[w].stamp < base[best].stamp) best = w;
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------ drain
+
+void Cam::gather(std::vector<KeyValue>& non_overflowed,
+                 std::vector<KeyValue>& overflowed) {
+  ++stats_.gathers;
+  const std::size_t before = non_overflowed.size();
+  for (Entry& e : entries_) {
+    if (e.valid) {
+      non_overflowed.push_back(KeyValue{e.key, e.value});
+      e.valid = false;
+    }
+  }
+  stats_.gathered_entries += non_overflowed.size() - before;
+  overflowed.insert(overflowed.end(), overflow_fifo_.begin(),
+                    overflow_fifo_.end());
+  stats_.overflowed_entries += overflow_fifo_.size();
+  overflow_fifo_.clear();
+  clear_tracking();
+}
+
+void Cam::clear() {
+  for (Entry& e : entries_) e.valid = false;
+  overflow_fifo_.clear();
+  clear_tracking();
+}
+
+void Cam::clear_tracking() {
+  occupancy_ = 0;
+  if (config_.fully_associative()) {
+    index_.clear();
+    lru_head_ = kNil;
+    lru_tail_ = kNil;
+    free_slots_.clear();
+    for (std::uint32_t s = static_cast<std::uint32_t>(entries_.size());
+         s-- > 0;) {
+      free_slots_.push_back(s);
+    }
+  }
+}
+
+}  // namespace asamap::asa

@@ -1,0 +1,224 @@
+#pragma once
+
+/// \file accumulator.hpp
+/// The ASA-side flow accumulator used by the FindBestCommunity kernel
+/// (Algorithm 2 of the paper): accumulate into the per-thread CAM, then
+/// gather_CAM, then sort_and_merge when the overflow FIFO is non-empty.
+///
+/// Timing model:
+///  - `accumulate` is the ASA ISA extension — one custom instruction with a
+///    pipelined CAM access; no conditional branch, no cache traffic.  This
+///    is exactly where the Baseline's per-probe branches and pointer chases
+///    disappear to.
+///  - `gather` writes the CAM/FIFO contents to two contiguous vectors in
+///    memory (charged through the cache, but sequential so prefetch-friendly).
+///  - `sort_and_merge` is *software* (lines 10-12 of Algorithm 2) and is
+///    fully instrumented: its comparisons branch and its element moves hit
+///    memory — the paper's "overflow handling" cost lives here.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "asamap/asa/cam.hpp"
+#include "asamap/hashdb/address_space.hpp"
+#include "asamap/sim/event_sink.hpp"
+
+namespace asamap::asa {
+
+/// Per-operation costs of the ASA path, in retired instructions.
+struct AsaCosts {
+  /// One accumulate = compute hash(k) in software (the generalized API
+  /// takes the hashed key), move key/hash/value into the xchg-encoded
+  /// operand registers, and issue the ASA instruction.  The paper's ZSim
+  /// integration works exactly this way (Section II-E).
+  std::uint32_t accumulate = 7;
+  std::uint32_t evict_extra = 1;     ///< FIFO push bookkeeping (hardware-assisted)
+  std::uint32_t gather_per_entry = 2;
+  std::uint32_t merge_setup = 6;     ///< vector append + branch setup
+  std::uint32_t sort_per_compare = 2;
+  std::uint32_t merge_per_element = 2;
+};
+
+template <sim::EventSink Sink>
+class AsaAccumulator {
+ public:
+  static constexpr std::uint32_t kPairBytes = 16;
+
+  /// Binds to one CAM (per-thread in the engine) and one event sink.
+  /// `addrs` provides simulated addresses for the gather vectors.
+  AsaAccumulator(Sink& sink, Cam& cam, hashdb::AddressSpace& addrs,
+                 AsaCosts costs = {})
+      : sink_(&sink), cam_(&cam), costs_(costs) {
+    // Mirrors the reserved std::vectors of Algorithm 2 lines 1-2: one
+    // contiguous allocation each, reused across vertices.
+    non_overflow_base_ = addrs.alloc_array(kScratchBytes);
+    overflow_base_ = addrs.alloc_array(kScratchBytes);
+  }
+
+  /// Starts accumulation for a new vertex.
+  void begin() {
+    non_overflowed_.clear();
+    overflowed_.clear();
+    cam_->clear();
+    gathered_ = false;
+  }
+
+  /// Algorithm 2 line 7: accumulate(tid, hash(k), k, flow).
+  void accumulate(std::uint32_t key, double value) {
+    sink_->instructions(costs_.accumulate);
+    const bool evicted = cam_->accumulate(support::mix64(key), key, value);
+    if (evicted) sink_->instructions(costs_.evict_extra);
+  }
+
+  /// Algorithm 2 lines 9-12: gather_CAM + sort_and_merge when overflowed.
+  /// Returns the final (key, value) pairs; each key appears exactly once.
+  /// Named `finalize` to satisfy the kernel's FlowAccumulator concept;
+  /// `result()` remains as the paper-facing alias.
+  std::span<const KeyValue> finalize() { return result(); }
+
+  std::span<const KeyValue> result() {
+    if (!gathered_) {
+      gather();
+      // The `!overflowed_pairs.empty()` branch of Algorithm 2 line 10.
+      sink_->branch(sim::sites::kAsaOverflowCheck, !overflowed_.empty());
+      if (!overflowed_.empty()) sort_and_merge();
+      gathered_ = true;
+    }
+    return non_overflowed_;
+  }
+
+  /// Visits the merged (key, value) pairs — Algorithm 2 line 14's "iterate
+  /// over the merged vector".  The scan is a sequential sweep of one
+  /// contiguous vector, which is why the ASA variant's decision loop is so
+  /// much cheaper than Algorithm 1's hash-table iteration.
+  template <typename Fn>
+  void visit(Fn&& fn) {
+    const auto pairs = result();
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      sink_->instructions(1);
+      sink_->load(non_overflow_base_ + i * kPairBytes, kPairBytes);
+      fn(pairs[i].key, pairs[i].value);
+    }
+  }
+
+  /// Number of distinct keys accumulated (valid after result()).
+  [[nodiscard]] std::size_t distinct() const noexcept {
+    return non_overflowed_.size();
+  }
+
+  [[nodiscard]] const Cam& cam() const noexcept { return *cam_; }
+
+ private:
+  static constexpr std::uint64_t kScratchBytes = 1ULL << 20;
+
+  void gather() {
+    cam_->gather(non_overflowed_, overflowed_);
+    // Write both destination vectors to memory, sequentially.
+    for (std::size_t i = 0; i < non_overflowed_.size(); ++i) {
+      sink_->instructions(costs_.gather_per_entry);
+      sink_->store(non_overflow_base_ + i * kPairBytes, kPairBytes);
+    }
+    for (std::size_t i = 0; i < overflowed_.size(); ++i) {
+      sink_->instructions(costs_.gather_per_entry);
+      sink_->store(overflow_base_ + i * kPairBytes, kPairBytes);
+    }
+  }
+
+  /// Lines 10-12: append overflow pairs, sort by key, merge equal keys.
+  /// Implemented as an instrumented bottom-up merge sort so every compare
+  /// branches and every element move touches memory in the model.
+  void sort_and_merge() {
+    sink_->instructions(costs_.merge_setup);
+    for (std::size_t i = 0; i < overflowed_.size(); ++i) {
+      sink_->load(overflow_base_ + i * kPairBytes, kPairBytes);
+      sink_->store(
+          non_overflow_base_ + (non_overflowed_.size() + i) * kPairBytes,
+          kPairBytes);
+      non_overflowed_.push_back(overflowed_[i]);
+    }
+    overflowed_.clear();
+
+    instrumented_sort(non_overflowed_, non_overflow_base_);
+
+    // Merge adjacent duplicates in place.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < non_overflowed_.size();) {
+      KeyValue merged = non_overflowed_[i];
+      sink_->load(non_overflow_base_ + i * kPairBytes, kPairBytes);
+      std::size_t j = i + 1;
+      for (;;) {
+        const bool same =
+            j < non_overflowed_.size() && non_overflowed_[j].key == merged.key;
+        sink_->branch(sim::sites::kMergeSameKey, same);
+        if (!same) break;
+        sink_->instructions(costs_.merge_per_element);
+        merged.value += non_overflowed_[j].value;
+        ++j;
+      }
+      non_overflowed_[out] = merged;
+      sink_->store(non_overflow_base_ + out * kPairBytes, kPairBytes);
+      ++out;
+      i = j;
+    }
+    non_overflowed_.resize(out);
+  }
+
+  /// Bottom-up merge sort over (key, value) pairs with full event emission.
+  void instrumented_sort(std::vector<KeyValue>& v, std::uint64_t base) {
+    const std::size_t n = v.size();
+    if (n < 2) return;
+    std::vector<KeyValue> tmp(n);
+    const std::uint64_t tmp_base = base + kScratchBytes / 2;
+    KeyValue* src = v.data();
+    KeyValue* dst = tmp.data();
+    std::uint64_t src_base = base;
+    std::uint64_t dst_base = tmp_base;
+    for (std::size_t width = 1; width < n; width *= 2) {
+      for (std::size_t lo = 0; lo < n; lo += 2 * width) {
+        const std::size_t mid = std::min(lo + width, n);
+        const std::size_t hi = std::min(lo + 2 * width, n);
+        std::size_t i = lo, j = mid, k = lo;
+        while (i < mid && j < hi) {
+          // Branchless merge step (cmov-select of the smaller head): both
+          // input streams and the output are sequential, so the loads are
+          // prefetchable and there is no data-dependent branch to
+          // mispredict — the standard way to merge PODs.
+          sink_->instructions(costs_.sort_per_compare);
+          sink_->load_stream(src_base + i * kPairBytes, kPairBytes);
+          sink_->load_stream(src_base + j * kPairBytes, kPairBytes);
+          const bool take_left = src[i].key <= src[j].key;
+          dst[k] = take_left ? src[i++] : src[j++];
+          sink_->store(dst_base + k * kPairBytes, kPairBytes);
+          ++k;
+        }
+        while (i < mid) {
+          dst[k] = src[i++];
+          sink_->store(dst_base + k * kPairBytes, kPairBytes);
+          ++k;
+        }
+        while (j < hi) {
+          dst[k] = src[j++];
+          sink_->store(dst_base + k * kPairBytes, kPairBytes);
+          ++k;
+        }
+      }
+      std::swap(src, dst);
+      std::swap(src_base, dst_base);
+    }
+    if (src != v.data()) {
+      std::copy(tmp.begin(), tmp.end(), v.begin());
+    }
+  }
+
+  Sink* sink_;
+  Cam* cam_;
+  AsaCosts costs_;
+  std::vector<KeyValue> non_overflowed_;
+  std::vector<KeyValue> overflowed_;
+  std::uint64_t non_overflow_base_ = 0;
+  std::uint64_t overflow_base_ = 0;
+  bool gathered_ = false;
+};
+
+}  // namespace asamap::asa

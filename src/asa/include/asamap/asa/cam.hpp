@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file cam.hpp
+/// Functional + timing model of the ASA accelerator's content-addressable
+/// memory (Chao et al., "ASA: Accelerating Sparse Accumulation in Column-wise
+/// SpGEMM", TACO 2022), with the generalized key/value interface this paper
+/// builds on.
+///
+/// The CAM stores (key, partial-sum) pairs.  An `accumulate` either
+///   1. hits an existing key and adds to the partial sum,
+///   2. fills a free entry, or
+///   3. evicts a victim (policy-configurable, LRU by default) into the
+///      overflow FIFO and takes its place,
+/// exactly the three outcomes described in Section III-A of the paper.
+///
+/// A CAM is *content-addressable*: the tag match is a parallel search over
+/// all entries, i.e. fully associative — a vertex overflows only when its
+/// distinct-key count exceeds the capacity, which is the premise of the
+/// paper's Fig. 5 sizing argument (8 KB covers >99% of vertices).  Full
+/// associativity is therefore the default (`ways == 0`).  A hash-indexed
+/// set-associative variant (`ways > 0`) is kept as an ablation knob — it
+/// models a cheaper SRAM-based design and shows how conflict evictions eat
+/// the benefit.  At 16 bytes per entry the paper's 8 KB CAM is 512 entries.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "asamap/hashdb/kv.hpp"
+#include "asamap/support/check.hpp"
+#include "asamap/support/hash.hpp"
+
+namespace asamap::asa {
+
+enum class EvictionPolicy { kLru, kFifo, kRandom };
+
+struct CamConfig {
+  std::uint32_t capacity_entries = 512;  ///< 8 KB at 16 B/entry
+  std::uint32_t ways = 0;  ///< 0 = fully associative (true CAM); >0 = hash-
+                           ///< indexed set-associative ablation
+  EvictionPolicy eviction = EvictionPolicy::kLru;
+
+  [[nodiscard]] bool fully_associative() const noexcept { return ways == 0; }
+  [[nodiscard]] std::uint32_t sets() const noexcept {
+    return fully_associative() ? 1 : capacity_entries / ways;
+  }
+  [[nodiscard]] std::uint64_t size_bytes() const noexcept {
+    return std::uint64_t{capacity_entries} * 16;
+  }
+};
+
+struct CamStats {
+  std::uint64_t accumulates = 0;
+  std::uint64_t hits = 0;       ///< key already present
+  std::uint64_t fills = 0;      ///< new entry in a free slot
+  std::uint64_t evictions = 0;  ///< victim pushed to overflow FIFO
+  std::uint64_t gathers = 0;    ///< gather_cam calls
+  std::uint64_t gathered_entries = 0;
+  std::uint64_t overflowed_entries = 0;
+};
+
+/// Shared pair type (see hashdb/kv.hpp) — the CAM drains into the same
+/// representation the software accumulators produce.
+using KeyValue = hashdb::KeyValue;
+
+/// One per-core CAM instance.
+class Cam {
+ public:
+  explicit Cam(const CamConfig& config = {});
+
+  /// The generalized ASA `accumulate(tid, hash(k), k, v)` call, minus the
+  /// tid (the engine routes to the right Cam).  The hashed key selects the
+  /// set in the set-associative ablation; the fully associative default
+  /// matches on content alone.  Returns true when the call caused an
+  /// overflow eviction (the caller charges the FIFO traffic).
+  bool accumulate(std::uint64_t hashed_key, std::uint32_t key, double value);
+
+  /// Convenience: hashes with the engine's canonical hash.
+  bool accumulate(std::uint32_t key, double value) {
+    return accumulate(support::mix64(key), key, value);
+  }
+
+  /// `gather_CAM`: moves all valid CAM entries into `non_overflowed` and the
+  /// FIFO contents into `overflowed`, clearing both (the hardware drains on
+  /// gather).  Entries arrive in slot order — hardware scan order — so
+  /// output is deterministic.
+  void gather(std::vector<KeyValue>& non_overflowed,
+              std::vector<KeyValue>& overflowed);
+
+  /// Number of valid entries currently resident.
+  [[nodiscard]] std::uint32_t occupancy() const noexcept { return occupancy_; }
+  [[nodiscard]] std::size_t overflow_size() const noexcept {
+    return overflow_fifo_.size();
+  }
+  [[nodiscard]] const CamStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CamConfig& config() const noexcept { return config_; }
+
+  void reset_stats() noexcept { stats_ = {}; }
+  /// Invalidates all entries and drains the FIFO.
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint32_t key = 0;
+    double value = 0.0;
+    std::uint64_t stamp = 0;  ///< LRU: last touch; FIFO: fill time
+    bool valid = false;
+  };
+
+  bool accumulate_set_assoc(std::uint64_t hashed_key, std::uint32_t key,
+                            double value);
+  bool accumulate_fully_assoc(std::uint32_t key, double value);
+  std::uint32_t pick_victim_in_set(std::uint32_t set);
+
+  // --- fully associative fast path: O(1) content match via an index map
+  // plus an intrusive LRU list over slot numbers.
+  void lru_touch(std::uint32_t slot);
+  void lru_push_front(std::uint32_t slot);
+  void lru_unlink(std::uint32_t slot);
+  void clear_tracking();
+
+  CamConfig config_;
+  std::vector<Entry> entries_;  ///< capacity slots (set-major when ways > 0)
+  std::vector<KeyValue> overflow_fifo_;
+  std::uint64_t tick_ = 0;
+  std::uint32_t occupancy_ = 0;
+  std::uint32_t set_bits_ = 0;
+  std::uint64_t rand_state_ = 0x9e3779b97f4a7c15ULL;  // for kRandom policy
+
+  // Fully associative bookkeeping.
+  std::unordered_map<std::uint32_t, std::uint32_t> index_;  ///< key -> slot
+  std::vector<std::uint32_t> lru_prev_, lru_next_;
+  std::uint32_t lru_head_ = kNil;  ///< most recently used
+  std::uint32_t lru_tail_ = kNil;  ///< least recently used
+  std::vector<std::uint32_t> free_slots_;
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+  CamStats stats_;
+};
+
+}  // namespace asamap::asa

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file table.hpp
+/// Plain-text table emission for the bench binaries.  Every bench prints the
+/// same rows/series as the corresponding paper table or figure, so the
+/// output can be diffed against EXPERIMENTS.md by eye.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace asamap::benchutil {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; cells are preformatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns to `out`.
+  void print(std::ostream& out) const;
+
+  /// Renders as CSV (for plotting scripts).
+  void print_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals.
+std::string fmt(double value, int digits = 3);
+
+/// Formats a count with thousands separators (1,234,567).
+std::string fmt_count(std::uint64_t value);
+
+/// Formats a ratio as a percentage string ("59%").
+std::string fmt_pct(double fraction, int digits = 1);
+
+/// Prints a section banner for a bench experiment.
+void banner(std::ostream& out, const std::string& title);
+
+}  // namespace asamap::benchutil

@@ -1,0 +1,195 @@
+#include "asamap/core/flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "asamap/graph/edge_list.hpp"
+#include "asamap/support/check.hpp"
+
+namespace asamap::core {
+
+namespace {
+
+/// Undirected flow model: the stationary distribution of an undirected
+/// random walk is exactly degree-proportional, so no power iteration is
+/// needed and enter == exit per module — the classic two-level map
+/// equation.  This is the model Infomap itself uses for undirected input.
+FlowNetwork build_flow_undirected(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  FlowNetwork fn;
+  fn.graph = g;
+  fn.total_orig = n;
+  fn.orig_count.assign(n, 1);
+  fn.teleport_flow.assign(n, 0.0);
+  fn.pagerank_iterations = 0;
+
+  const double total = g.total_arc_weight();
+  ASAMAP_CHECK(total > 0.0, "graph has no edges");
+  fn.node_flow.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    fn.node_flow[v] = g.out_weight(v) / total;
+  }
+  fn.out_flow.resize(g.num_arcs());
+  fn.in_flow.resize(g.num_arcs());
+  std::size_t e = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    for (const graph::Arc& arc : g.out_neighbors(u)) {
+      fn.out_flow[e++] = arc.weight / total;
+    }
+  }
+  e = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    for (const graph::Arc& arc : g.in_neighbors(v)) {
+      fn.in_flow[e++] = arc.weight / total;
+    }
+  }
+  return fn;
+}
+
+}  // namespace
+
+FlowNetwork build_flow(const CsrGraph& g, const FlowOptions& options) {
+  const VertexId n = g.num_vertices();
+  ASAMAP_CHECK(n > 0, "flow on an empty graph");
+
+  const FlowModel model =
+      options.model != FlowModel::kAuto
+          ? options.model
+          : (g.is_symmetric() ? FlowModel::kUndirected : FlowModel::kDirected);
+  if (model == FlowModel::kUndirected) {
+    ASAMAP_CHECK(g.is_symmetric(),
+                 "undirected flow model requires a symmetric graph");
+    return build_flow_undirected(g);
+  }
+
+  const double tau = options.tau;
+
+  FlowNetwork fn;
+  fn.graph = g;
+  fn.total_orig = n;
+  fn.orig_count.assign(n, 1);
+
+  // Power iteration: p' = tau/n + (1-tau) * (W^T D^-1 p + dangling/n).
+  std::vector<double> p(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (VertexId u = 0; u < n; ++u) {
+      const double s = g.out_weight(u);
+      if (s <= 0.0) {
+        dangling += p[u];
+        continue;
+      }
+      const double scale = p[u] / s;
+      for (const graph::Arc& arc : g.out_neighbors(u)) {
+        next[arc.dst] += scale * arc.weight;
+      }
+    }
+    const double base =
+        tau / static_cast<double>(n) +
+        (1.0 - tau) * dangling / static_cast<double>(n);
+    double delta = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      const double nv = base + (1.0 - tau) * next[v];
+      delta += std::abs(nv - p[v]);
+      next[v] = nv;
+    }
+    p.swap(next);
+    if (delta < options.tolerance) {
+      ++iter;
+      break;
+    }
+  }
+  fn.pagerank_iterations = iter;
+
+  fn.node_flow = std::move(p);
+  fn.teleport_flow.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    fn.teleport_flow[v] = tau * fn.node_flow[v];
+  }
+
+  // Arc flows.  Dangling vertices have no arcs, so their flow is pure
+  // teleportation — consistent with the power iteration above.
+  fn.out_flow.resize(g.num_arcs());
+  fn.in_flow.resize(g.num_arcs());
+  {
+    std::size_t e = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      const double s = g.out_weight(u);
+      const double scale = s > 0.0 ? (1.0 - tau) * fn.node_flow[u] / s : 0.0;
+      for (const graph::Arc& arc : g.out_neighbors(u)) {
+        fn.out_flow[e++] = scale * arc.weight;
+      }
+    }
+  }
+  {
+    std::size_t e = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      for (const graph::Arc& arc : g.in_neighbors(v)) {
+        const VertexId u = arc.dst;  // source of the incoming arc
+        const double s = g.out_weight(u);
+        const double scale = s > 0.0 ? (1.0 - tau) * fn.node_flow[u] / s : 0.0;
+        fn.in_flow[e++] = scale * arc.weight;
+      }
+    }
+  }
+  return fn;
+}
+
+FlowNetwork contract_network(const FlowNetwork& fn, const Partition& modules,
+                             std::size_t num_modules) {
+  const VertexId n = fn.num_nodes();
+  ASAMAP_CHECK(modules.size() == n, "partition size mismatch");
+
+  FlowNetwork out;
+  out.total_orig = fn.total_orig;
+  out.node_flow.assign(num_modules, 0.0);
+  out.teleport_flow.assign(num_modules, 0.0);
+  out.orig_count.assign(num_modules, 0);
+
+  graph::EdgeList super_edges;
+  super_edges.ensure_vertex_count(static_cast<VertexId>(num_modules));
+
+  std::size_t e = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    const VertexId mu = modules[u];
+    ASAMAP_CHECK(mu < num_modules, "module id out of range");
+    out.node_flow[mu] += fn.node_flow[u];
+    out.teleport_flow[mu] += fn.teleport_flow[u];
+    out.orig_count[mu] += fn.orig_count[u];
+    for (const graph::Arc& arc : fn.graph.out_neighbors(u)) {
+      const VertexId mv = modules[arc.dst];
+      // Super-arc weight carries *flow*, not raw weight, so higher levels
+      // of the map equation see the aggregated random-walk rates directly.
+      if (mu != mv) super_edges.add(mu, mv, fn.out_flow[e]);
+      ++e;
+    }
+  }
+  super_edges.coalesce();
+  out.graph = CsrGraph::from_edges(super_edges,
+                                   static_cast<VertexId>(num_modules));
+
+  // At supernode levels, arc flow == arc weight (already aggregated flow).
+  out.out_flow.resize(out.graph.num_arcs());
+  out.in_flow.resize(out.graph.num_arcs());
+  {
+    std::size_t k = 0;
+    for (VertexId u = 0; u < out.graph.num_vertices(); ++u) {
+      for (const graph::Arc& arc : out.graph.out_neighbors(u)) {
+        out.out_flow[k++] = arc.weight;
+      }
+    }
+    k = 0;
+    for (VertexId v = 0; v < out.graph.num_vertices(); ++v) {
+      for (const graph::Arc& arc : out.graph.in_neighbors(v)) {
+        out.in_flow[k++] = arc.weight;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace asamap::core

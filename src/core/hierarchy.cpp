@@ -1,0 +1,66 @@
+#include "asamap/core/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "asamap/support/check.hpp"
+
+namespace asamap::core {
+
+ModuleHierarchy::ModuleHierarchy(std::vector<Partition> levels)
+    : levels_(std::move(levels)) {
+  if (levels_.empty()) return;
+  // Validate the chain: level k's node count equals level k-1's module
+  // count.
+  for (std::size_t k = 1; k < levels_.size(); ++k) {
+    VertexId max_prev = 0;
+    for (VertexId m : levels_[k - 1]) max_prev = std::max(max_prev, m);
+    ASAMAP_CHECK(levels_[k].size() == std::size_t{max_prev} + 1,
+                 "hierarchy level sizes do not chain");
+  }
+
+  // Precompose: flat_[k][v] for original vertices v.
+  flat_.reserve(levels_.size());
+  flat_.push_back(levels_[0]);
+  for (std::size_t k = 1; k < levels_.size(); ++k) {
+    Partition composed(levels_[0].size());
+    for (std::size_t v = 0; v < composed.size(); ++v) {
+      composed[v] = levels_[k][flat_[k - 1][v]];
+    }
+    flat_.push_back(std::move(composed));
+  }
+}
+
+std::size_t ModuleHierarchy::modules_at(std::size_t k) const {
+  ASAMAP_CHECK(k < levels_.size(), "level out of range");
+  VertexId max_id = 0;
+  for (VertexId m : levels_[k]) max_id = std::max(max_id, m);
+  return std::size_t{max_id} + 1;
+}
+
+VertexId ModuleHierarchy::module_of(VertexId v, std::size_t k) const {
+  ASAMAP_CHECK(k < flat_.size(), "level out of range");
+  ASAMAP_CHECK(v < flat_[k].size(), "vertex out of range");
+  return flat_[k][v];
+}
+
+const Partition& ModuleHierarchy::finest() const {
+  ASAMAP_CHECK(!flat_.empty(), "empty hierarchy");
+  return flat_.front();
+}
+
+Partition ModuleHierarchy::coarsest() const {
+  ASAMAP_CHECK(!flat_.empty(), "empty hierarchy");
+  return flat_.back();
+}
+
+std::string ModuleHierarchy::path_of(VertexId v) const {
+  ASAMAP_CHECK(!flat_.empty(), "empty hierarchy");
+  std::string path;
+  for (std::size_t k = flat_.size(); k-- > 0;) {
+    path += std::to_string(flat_[k][v]);
+    if (k != 0) path += ':';
+  }
+  return path;
+}
+
+}  // namespace asamap::core

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file dense_accumulator.hpp
+/// Ablation accumulator: a version-stamped dense array over the module-id
+/// space plus a touched list.  This is the "infinite CAM" upper bound — no
+/// collisions, no chains, no overflow — but it pays a random memory access
+/// into an array as large as the module space per accumulate, so on big
+/// levels its cache behaviour is *worse* than an 8 KB CAM.  The accumulator
+/// ablation bench uses it to show the CAM's on-chip locality, not just its
+/// branchlessness, is what wins.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "asamap/hashdb/address_space.hpp"
+#include "asamap/hashdb/kv.hpp"
+#include "asamap/sim/event_sink.hpp"
+
+namespace asamap::core {
+
+template <sim::EventSink Sink>
+class DenseAccumulator {
+ public:
+  static constexpr std::uint32_t kCellBytes = 16;  // value + version stamp
+  static constexpr std::uint32_t kPairBytes = 16;
+
+  /// `capacity` must cover the largest module id that will be accumulated
+  /// (the node count of the level).
+  DenseAccumulator(Sink& sink, hashdb::AddressSpace& addrs,
+                   std::size_t capacity)
+      : sink_(&sink),
+        values_(capacity, 0.0),
+        stamps_(capacity, 0),
+        dense_base_(addrs.alloc_array(capacity * kCellBytes)),
+        scratch_base_(addrs.alloc_array(1ULL << 20)) {}
+
+  void begin() {
+    ++version_;
+    touched_.clear();
+    scratch_.clear();
+    finalized_ = false;
+  }
+
+  void accumulate(std::uint32_t key, double value) {
+    sink_->instructions(2);
+    sink_->load(dense_base_ + std::uint64_t{key} * kCellBytes, kCellBytes);
+    const bool fresh = stamps_[key] != version_;
+    sink_->branch(sim::sites::kOpenSlotState, fresh);
+    if (fresh) {
+      stamps_[key] = version_;
+      values_[key] = value;
+      touched_.push_back(key);
+      sink_->instructions(2);
+    } else {
+      values_[key] += value;
+    }
+    sink_->store(dense_base_ + std::uint64_t{key} * kCellBytes, kCellBytes);
+  }
+
+  std::span<const hashdb::KeyValue> finalize() {
+    if (!finalized_) {
+      for (std::uint32_t key : touched_) {
+        sink_->instructions(2);
+        sink_->load(dense_base_ + std::uint64_t{key} * kCellBytes, kCellBytes);
+        sink_->store(scratch_base_ + scratch_.size() * kPairBytes, kPairBytes);
+        scratch_.push_back(hashdb::KeyValue{key, values_[key]});
+      }
+      finalized_ = true;
+    }
+    return scratch_;
+  }
+
+  [[nodiscard]] std::size_t distinct() const noexcept {
+    return touched_.size();
+  }
+
+ private:
+  Sink* sink_;
+  std::vector<double> values_;
+  std::vector<std::uint64_t> stamps_;
+  std::vector<std::uint32_t> touched_;
+  std::vector<hashdb::KeyValue> scratch_;
+  std::uint64_t dense_base_;
+  std::uint64_t scratch_base_;
+  std::uint64_t version_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace asamap::core

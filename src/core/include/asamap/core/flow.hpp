@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file flow.hpp
+/// Random-walk flow on a network: the PageRank kernel of HyPC-Map and the
+/// flow bookkeeping that the map equation consumes.
+///
+/// At level 0 the ergodic vertex visit rates p_v come from power iteration
+/// with teleportation probability tau (Section II-C of the paper: "This
+/// kernel computes the ergodic vertex visit probability (PageRank) for all
+/// of the vertices taking teleportation into account").  Arc flows are
+///   f(u->v) = (1 - tau) * p_u * w(u,v) / s_u
+/// with s_u the total outgoing weight of u.  Teleportation flow is tracked
+/// separately per vertex (tp_v = tau * p_v) because a module's teleport exit
+/// depends on how many *original* vertices it contains.
+///
+/// At supernode levels (Convert2SuperNode) flows are aggregated, not
+/// recomputed: a super-arc's flow is the sum of member-arc flows, a
+/// supernode's visit rate is the sum of member visit rates.
+
+#include <cstdint>
+#include <vector>
+
+#include "asamap/graph/csr_graph.hpp"
+
+namespace asamap::core {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+/// A vertex-community assignment at one level.
+using Partition = std::vector<VertexId>;
+
+enum class FlowModel {
+  kAuto,        ///< undirected when the graph is symmetric, else directed
+  kUndirected,  ///< p_v = s_v / 2W, f_e = w_e / 2W, no teleportation terms
+  kDirected,    ///< PageRank visit rates with recorded teleportation
+};
+
+struct FlowOptions {
+  FlowModel model = FlowModel::kAuto;
+  double tau = 0.15;          ///< teleportation probability (directed model)
+  int max_iterations = 100;   ///< power-iteration cap
+  double tolerance = 1e-12;   ///< L1 convergence threshold
+};
+
+/// A graph annotated with random-walk flow.  Owns its graph (levels above 0
+/// are contracted copies; level 0 copies the input so a FlowNetwork is
+/// self-contained).
+struct FlowNetwork {
+  CsrGraph graph;
+  std::vector<double> node_flow;      ///< p_v, sums to 1
+  std::vector<double> teleport_flow;  ///< tau * p_v aggregated over members
+  std::vector<double> out_flow;       ///< per CSR out-arc flow, arc order
+  std::vector<double> in_flow;        ///< per CSR in-arc flow, arc order
+  std::vector<std::uint64_t> orig_count;  ///< original vertices per node
+  std::uint64_t total_orig = 0;       ///< vertex count at level 0
+  int pagerank_iterations = 0;        ///< iterations the power method used
+
+  [[nodiscard]] VertexId num_nodes() const noexcept {
+    return graph.num_vertices();
+  }
+};
+
+/// Builds the level-0 flow network: runs the PageRank kernel and derives arc
+/// flows.  Works for directed and undirected graphs alike.
+FlowNetwork build_flow(const CsrGraph& g, const FlowOptions& options = {});
+
+/// Convert2SuperNode: contracts a flow network by a partition (community id
+/// per node, already compacted to 0..k-1).  Member vertices of one module
+/// become one supernode; parallel super-arcs are merged with accumulated
+/// flow ("If multiple vertices of one super node are connected to another
+/// super node, a single super edge is created with accumulated edge
+/// weights").  Intra-module flow disappears into the supernode.
+FlowNetwork contract_network(const FlowNetwork& fn, const Partition& modules,
+                             std::size_t num_modules);
+
+}  // namespace asamap::core

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file hierarchy.hpp
+/// Multilevel module hierarchy — the tree the multilevel driver implicitly
+/// builds as it contracts supernodes.  Real Infomap reports communities as
+/// paths like "2:7:1" (top module 2, submodule 7, leaf 1); this reconstructs
+/// the same structure from the per-level assignments the driver records.
+///
+/// Level 0 holds the finest modules (vertex-level communities); each later
+/// level groups the previous level's modules.  The last level is the
+/// coarsest (top) partition.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asamap/core/flow.hpp"
+
+namespace asamap::core {
+
+class ModuleHierarchy {
+ public:
+  ModuleHierarchy() = default;
+
+  /// Builds from per-level assignments: `levels[k][node]` is the module of
+  /// `node` at level k, where level-k nodes are level-(k-1) modules (and
+  /// level-0 nodes are original vertices).  Assignments must be compacted
+  /// (ids 0..k-1), as the driver produces them.
+  explicit ModuleHierarchy(std::vector<Partition> levels);
+
+  [[nodiscard]] std::size_t depth() const noexcept { return levels_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return levels_.empty(); }
+
+  /// Number of modules at hierarchy level k (0 = finest).
+  [[nodiscard]] std::size_t modules_at(std::size_t k) const;
+
+  /// The module of original vertex v at level k.
+  [[nodiscard]] VertexId module_of(VertexId v, std::size_t k) const;
+
+  /// Finest-level community per original vertex (equals
+  /// InfomapResult::communities).
+  [[nodiscard]] const Partition& finest() const;
+
+  /// Coarsest (top-level) community per original vertex.
+  [[nodiscard]] Partition coarsest() const;
+
+  /// Infomap-style path string for vertex v, coarsest first: "2:7:1".
+  [[nodiscard]] std::string path_of(VertexId v) const;
+
+  /// Per-level assignments as given (level k maps level-(k-1) modules).
+  [[nodiscard]] const std::vector<Partition>& levels() const noexcept {
+    return levels_;
+  }
+
+ private:
+  std::vector<Partition> levels_;
+  /// flat_[k][v] = module of original vertex v at level k (precomposed).
+  std::vector<Partition> flat_;
+};
+
+}  // namespace asamap::core

@@ -1,0 +1,352 @@
+#pragma once
+
+/// \file infomap.hpp
+/// The multilevel Infomap driver — the four HyPC-Map kernels wired together:
+///
+///   PageRank            -> build_flow (flow.hpp)
+///   FindBestCommunity   -> sweep loop over kernel.hpp, per level
+///   Convert2SuperNode   -> contract_network (flow.hpp)
+///   UpdateMembers       -> composition of level partitions
+///
+/// The driver is parameterized on a set of *workers*, each an (accumulator,
+/// event sink) pair bound to one simulated core; with a single
+/// NullSink-backed worker it is a plain fast community detector, with
+/// CoreModel-backed workers it is the paper's simulated Baseline or ASA
+/// configuration.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "asamap/core/hierarchy.hpp"
+#include "asamap/core/kernel.hpp"
+#include "asamap/core/map_equation.hpp"
+#include "asamap/support/check.hpp"
+#include "asamap/support/timer.hpp"
+
+namespace asamap::core {
+
+struct InfomapOptions {
+  FlowOptions flow = {};
+  int max_sweeps_per_level = 30;   ///< FindBestCommunity iterations per level
+  int max_levels = 30;             ///< supernode recursion cap
+  double min_improvement_bits = 1e-10;
+  std::uint32_t interleave_block = 4096;  ///< multi-worker window size
+  bool time_wall = false;          ///< collect native hash/other split
+  /// Fine-tuning (Infomap's refinement step): after the multilevel loop
+  /// converges, re-run vertex-level sweeps on the *original* graph seeded
+  /// with the final partition, letting individual vertices correct
+  /// coarse-level misassignments.  Improves codelength, never worsens it.
+  int refine_sweeps = 2;
+};
+
+/// One FindBestCommunity iteration's record (a row of Tables III/IV).
+/// `codelength` is the level-local value: at supernode levels it omits the
+/// (constant within the level) leaf-entropy term, so values are comparable
+/// within a level but not across levels.  InfomapResult::codelength is the
+/// true level-0 value of the final partition.
+struct SweepTrace {
+  int level = 0;
+  int sweep = 0;
+  std::uint64_t moves = 0;
+  double codelength = 0.0;
+  double wall_seconds = 0.0;  ///< native time of this sweep
+  double sim_seconds = 0.0;   ///< slowest worker's simulated time
+};
+
+struct InfomapResult {
+  Partition communities;          ///< final community per original vertex
+  std::size_t num_communities = 0;
+  double codelength = 0.0;        ///< bits per step, of the final partition
+                                  ///< evaluated over the original network
+  double one_level_codelength = 0.0;  ///< L of the trivial partition
+  double initial_codelength = 0.0;    ///< L of all-singleton modules;
+                                      ///< codelength <= this is guaranteed
+  int levels = 0;                 ///< supernode levels processed
+  std::vector<SweepTrace> trace;
+  support::PhaseTimer kernel_wall;  ///< Fig. 2a: per-kernel native seconds
+  KernelBreakdown breakdown;        ///< Fig. 2b / Tab. V attribution
+
+  /// Per-level compacted assignments (level k maps level-(k-1) modules;
+  /// level 0 maps original vertices).  Feed to ModuleHierarchy for
+  /// Infomap-style "2:7:1" module paths.  When the refinement pass
+  /// (InfomapOptions::refine_sweeps) moved vertices, the hierarchy is
+  /// re-based to a single flat level — refinement edits the leaf partition
+  /// directly, invalidating the intermediate tree; set refine_sweeps = 0 to
+  /// keep the full tree.
+  std::vector<Partition> level_assignments;
+
+  [[nodiscard]] ModuleHierarchy hierarchy() const {
+    return ModuleHierarchy(level_assignments);
+  }
+};
+
+/// Kernel phase names used in InfomapResult::kernel_wall.
+namespace kernels {
+inline const std::string kPageRank = "PageRank";
+inline const std::string kFindBestCommunity = "FindBestCommunity";
+inline const std::string kConvert2SuperNode = "Convert2SuperNode";
+inline const std::string kUpdateMembers = "UpdateMembers";
+}  // namespace kernels
+
+/// Renumbers community ids to 0..k-1 in first-appearance order; returns k.
+inline std::size_t compact_communities(Partition& p) {
+  VertexId max_id = 0;
+  for (VertexId c : p) max_id = std::max(max_id, c);
+  std::vector<VertexId> relabel(std::size_t{max_id} + 1,
+                                graph::kInvalidVertex);
+  VertexId next_id = 0;
+  for (VertexId& c : p) {
+    if (relabel[c] == graph::kInvalidVertex) relabel[c] = next_id++;
+    c = relabel[c];
+  }
+  return next_id;
+}
+
+/// Number of distinct community ids in a partition.
+inline std::size_t count_distinct_communities(const Partition& p) {
+  VertexId max_id = 0;
+  for (VertexId c : p) max_id = std::max(max_id, c);
+  std::vector<bool> seen(std::size_t{max_id} + 1, false);
+  std::size_t distinct = 0;
+  for (VertexId c : p) {
+    if (!seen[c]) {
+      seen[c] = true;
+      ++distinct;
+    }
+  }
+  return distinct;
+}
+
+/// A simulated core's view of the computation.
+template <FlowAccumulator Acc, sim::EventSink Sink>
+struct Worker {
+  Acc* acc = nullptr;
+  Sink* sink = nullptr;
+};
+
+/// Multilevel Infomap over an arbitrary worker set.  Vertices of each level
+/// are range-partitioned across workers (HyPC-Map's distribution); blocks of
+/// `interleave_block` vertices rotate across workers so a shared L3 in the
+/// sink sees interleaved footprints.  Moves apply to the shared ModuleState
+/// in processing order, so results are deterministic for a fixed worker
+/// count.
+template <FlowAccumulator Acc, sim::EventSink Sink>
+InfomapResult run_multilevel(const graph::CsrGraph& g,
+                             const InfomapOptions& opts,
+                             std::span<Worker<Acc, Sink>> workers) {
+  ASAMAP_CHECK(!workers.empty(), "need at least one worker");
+  InfomapResult result;
+
+  // --- PageRank kernel.  `original` stays untouched for the final
+  // level-0 codelength evaluation and refinement; `fn` is the working
+  // network that gets contracted level by level.
+  FlowNetwork original;
+  {
+    support::ScopedPhase phase(result.kernel_wall, kernels::kPageRank);
+    original = build_flow(g, opts.flow);
+  }
+  FlowNetwork fn = original;
+
+  // UpdateMembers state: original vertex -> current-level node.
+  std::vector<VertexId> node_of_orig(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) node_of_orig[v] = v;
+
+  {
+    ModuleState trivial(original, Partition(original.num_nodes(), 0), 1);
+    result.one_level_codelength = trivial.codelength();
+    // The proper one-level codelength is the entropy of node visit rates;
+    // a single module with zero exit gives exactly that.
+  }
+
+  hashdb::AddressSpace level_addrs;  // fresh simulated regions per run
+  const KernelCosts costs;
+
+  for (int level = 0; level < opts.max_levels; ++level) {
+    ModuleState state(fn);
+    if (level == 0) result.initial_codelength = state.codelength();
+    const LevelAddresses addrs = LevelAddresses::for_network(fn, level_addrs);
+    const VertexId n = fn.num_nodes();
+
+    // Per-worker contiguous ranges.
+    const std::uint32_t w = static_cast<std::uint32_t>(workers.size());
+    std::vector<VertexId> range_begin(w), range_end(w);
+    for (std::uint32_t i = 0; i < w; ++i) {
+      range_begin[i] = static_cast<VertexId>(std::uint64_t{n} * i / w);
+      range_end[i] = static_cast<VertexId>(std::uint64_t{n} * (i + 1) / w);
+    }
+
+    // Active-set pruning: all vertices active on the first sweep, then only
+    // neighborhoods of movers.
+    std::vector<std::uint8_t> active(n, 1);
+    std::vector<std::uint8_t> next_active(n, 0);
+
+    double prev_codelength = state.codelength();
+    int sweeps_done = 0;
+    for (int sweep = 0; sweep < opts.max_sweeps_per_level; ++sweep) {
+      SweepTrace st;
+      st.level = level;
+      st.sweep = sweep;
+      support::WallTimer sweep_wall;
+      std::vector<double> worker_cycles_before(w);
+      for (std::uint32_t i = 0; i < w; ++i) {
+        worker_cycles_before[i] = detail::cycles_of(*workers[i].sink);
+      }
+
+      std::uint64_t moves = 0;
+      {
+        support::ScopedPhase phase(result.kernel_wall,
+                                   kernels::kFindBestCommunity);
+        // Interleaved windows across workers.
+        bool any_left = true;
+        std::vector<VertexId> cursor(range_begin);
+        while (any_left) {
+          any_left = false;
+          for (std::uint32_t i = 0; i < w; ++i) {
+            if (cursor[i] >= range_end[i]) continue;
+            const VertexId stop =
+                static_cast<VertexId>(std::min<std::uint64_t>(
+                    std::uint64_t{cursor[i]} + opts.interleave_block,
+                    range_end[i]));
+            moves += sweep_range(state, fn, cursor[i], stop, *workers[i].acc,
+                                 *workers[i].sink, addrs, costs,
+                                 result.breakdown, opts.time_wall,
+                                 active.data(), next_active.data());
+            cursor[i] = stop;
+            if (cursor[i] < range_end[i]) any_left = true;
+          }
+        }
+      }
+      state.recompute();  // shed incremental floating-point drift
+
+      st.moves = moves;
+      st.codelength = state.codelength();
+      st.wall_seconds = sweep_wall.seconds();
+      double worst = 0.0;
+      for (std::uint32_t i = 0; i < w; ++i) {
+        const double dc =
+            detail::cycles_of(*workers[i].sink) - worker_cycles_before[i];
+        if constexpr (requires { workers[0].sink->config(); }) {
+          worst = std::max(
+              worst, dc / (workers[i].sink->config().frequency_ghz * 1e9));
+        }
+      }
+      st.sim_seconds = worst;
+      result.trace.push_back(st);
+      ++sweeps_done;
+
+      if (moves == 0 ||
+          prev_codelength - state.codelength() < opts.min_improvement_bits) {
+        break;
+      }
+      prev_codelength = state.codelength();
+      active.swap(next_active);
+      std::fill(next_active.begin(), next_active.end(), 0);
+    }
+    (void)sweeps_done;
+
+    // Compact the level partition.
+    Partition assignment = state.assignment();
+    std::vector<VertexId> relabel(fn.num_nodes(), graph::kInvalidVertex);
+    VertexId next_id = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      VertexId& slot = relabel[assignment[v]];
+      if (slot == graph::kInvalidVertex) slot = next_id++;
+      assignment[v] = slot;
+    }
+    const std::size_t k = next_id;
+
+    // UpdateMembers kernel: propagate to original vertices.
+    {
+      support::ScopedPhase phase(result.kernel_wall, kernels::kUpdateMembers);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        node_of_orig[v] = assignment[node_of_orig[v]];
+      }
+    }
+
+    result.level_assignments.push_back(assignment);
+    result.codelength = state.codelength();
+    result.levels = level + 1;
+
+    if (k == n || k <= 1) break;  // no aggregation or fully merged: done
+
+    // Convert2SuperNode kernel.
+    {
+      support::ScopedPhase phase(result.kernel_wall,
+                                 kernels::kConvert2SuperNode);
+      fn = contract_network(fn, assignment, k);
+    }
+  }
+
+  result.communities = std::move(node_of_orig);
+  result.num_communities = compact_communities(result.communities);
+
+  // --- Final codelength, evaluated over the *original* network.  The
+  // coarse-level values recorded in the trace omit the (level-constant)
+  // leaf-entropy term, so only a level-0 evaluation yields the true
+  // two-level map-equation value of the final partition.
+  {
+    ModuleState state(original, result.communities, result.num_communities);
+    result.codelength = state.codelength();
+
+    // Refinement (fine-tuning): vertex-level sweeps seeded with the final
+    // partition correct vertices that were dragged along with their
+    // supernode into a suboptimal module.  Greedy moves only ever improve.
+    if (opts.refine_sweeps > 0 && result.levels > 1 &&
+        result.num_communities > 1) {
+      support::ScopedPhase phase(result.kernel_wall,
+                                 kernels::kFindBestCommunity);
+      const LevelAddresses addrs =
+          LevelAddresses::for_network(original, level_addrs);
+      std::uint64_t refine_moves = 0;
+      for (int sweep = 0; sweep < opts.refine_sweeps; ++sweep) {
+        std::uint64_t moves = 0;
+        const std::uint32_t w = static_cast<std::uint32_t>(workers.size());
+        for (std::uint32_t i = 0; i < w; ++i) {
+          const auto first = static_cast<VertexId>(
+              std::uint64_t{g.num_vertices()} * i / w);
+          const auto last = static_cast<VertexId>(
+              std::uint64_t{g.num_vertices()} * (i + 1) / w);
+          moves += sweep_range(state, original, first, last, *workers[i].acc,
+                               *workers[i].sink, addrs, costs,
+                               result.breakdown, opts.time_wall);
+        }
+        state.recompute();
+        refine_moves += moves;
+        if (moves == 0) break;
+      }
+
+      if (refine_moves > 0 && state.codelength() < result.codelength) {
+        // Adopt the refined partition; re-base the hierarchy to this flat
+        // level (see the level_assignments doc comment).
+        Partition flat = state.assignment();
+        result.num_communities = compact_communities(flat);
+        result.communities = flat;
+        result.codelength = state.codelength();
+        result.level_assignments = {std::move(flat)};
+      }
+    }
+  }
+  return result;
+}
+
+/// Which accumulation engine a convenience run should use.
+enum class AccumulatorKind { kChained, kOpen, kAsa, kDense };
+
+/// Plain, uninstrumented community detection (NullSink, one worker).
+/// The default configuration a library user wants.
+InfomapResult run_infomap(const graph::CsrGraph& g,
+                          const InfomapOptions& opts = {},
+                          AccumulatorKind kind = AccumulatorKind::kChained);
+
+/// Shared-memory parallel variant: proposals are computed in parallel with
+/// OpenMP against a snapshot of the module state, then verified and applied
+/// serially (RelaxMap-style relaxed concurrency, made deterministic).
+InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
+                                   const InfomapOptions& opts = {},
+                                   int num_threads = 0);
+
+}  // namespace asamap::core

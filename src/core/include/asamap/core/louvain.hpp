@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file louvain.hpp
+/// Louvain modularity maximization (Blondel et al. 2008) — the
+/// modularity-based comparator the paper's introduction positions Infomap
+/// against (quality on LFR, the resolution-limit discussion).  The examples
+/// use it to reproduce the "Infomap beats modularity methods on LFR"
+/// observation with NMI.
+
+#include <cstdint>
+#include <vector>
+
+#include "asamap/core/flow.hpp"
+
+namespace asamap::core {
+
+struct LouvainOptions {
+  int max_sweeps_per_level = 30;
+  int max_levels = 30;
+  double min_modularity_gain = 1e-9;
+};
+
+struct LouvainResult {
+  Partition communities;  ///< community id per original vertex
+  std::size_t num_communities = 0;
+  double modularity = 0.0;
+  int levels = 0;
+};
+
+/// Runs Louvain on an undirected (symmetric) graph.
+LouvainResult run_louvain(const graph::CsrGraph& g,
+                          const LouvainOptions& opts = {});
+
+}  // namespace asamap::core

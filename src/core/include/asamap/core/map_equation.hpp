@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file map_equation.hpp
+/// The map equation (Rosvall & Bergstrom 2008) over a FlowNetwork, with
+/// O(1) move evaluation — the `calc(outFlowToNewMod, inFlowFromMod)` of
+/// Algorithm 1 line 20.
+///
+/// We use the standard expanded form (logs base 2, bits):
+///
+///   L(M) =  plogp(S)                      S = sum_i enter_i
+///         - sum_i plogp(enter_i)
+///         - sum_i plogp(exit_i)
+///         + sum_i plogp(exit_i + flow_i)
+///         - sum_a plogp(p_a)              (constant w.r.t. the partition)
+///
+/// where for module i
+///   exit_i  = out_link_i + tp_i * (N - n_i) / N
+///   enter_i = in_link_i  + (n_i / N) * (TP - tp_i)
+/// with out/in_link the boundary-crossing random-walk flow, tp_i the
+/// module's aggregated teleportation flow, n_i its original-vertex count,
+/// N the level-0 vertex count, and TP the total teleport flow.  With the
+/// undirected flow model tp == 0 and enter == exit, recovering the classic
+/// two-level undirected map equation exactly.
+
+#include <cstdint>
+#include <vector>
+
+#include "asamap/core/flow.hpp"
+
+namespace asamap::core {
+
+/// x * log2(x), with plogp(0) = 0.
+double plogp(double x) noexcept;
+
+class ModuleState {
+ public:
+  /// Initializes with every node in its own module (the start state of the
+  /// FindBestCommunity phase).
+  explicit ModuleState(const FlowNetwork& fn);
+
+  /// Initializes from an existing assignment with `num_modules` modules
+  /// (ids must be < num_modules).
+  ModuleState(const FlowNetwork& fn, const Partition& init,
+              std::size_t num_modules);
+
+  /// Link flows between a node v and two modules, as produced by the flow
+  /// accumulators.  "current" refers to v's present module *excluding v
+  /// itself*.
+  struct MoveFlows {
+    double out_to_target = 0.0;
+    double in_from_target = 0.0;
+    double out_to_current = 0.0;
+    double in_from_current = 0.0;
+  };
+
+  /// Code-length change (bits) if node v moves to `target`.  Negative is an
+  /// improvement.  Returns 0 when target == current module.
+  [[nodiscard]] double delta_move(VertexId v, VertexId target,
+                                  const MoveFlows& f) const;
+
+  /// Applies the move and updates the code length incrementally.
+  void apply_move(VertexId v, VertexId target, const MoveFlows& f);
+
+  [[nodiscard]] double codelength() const noexcept { return codelength_; }
+
+  /// Index-codebook part of L (between-module movements).
+  [[nodiscard]] double index_codelength() const noexcept;
+  /// Module-codebook part of L (within-module movements).
+  [[nodiscard]] double module_codelength() const noexcept {
+    return codelength_ - index_codelength();
+  }
+
+  [[nodiscard]] VertexId module_of(VertexId v) const { return module_of_[v]; }
+  [[nodiscard]] const Partition& assignment() const noexcept {
+    return module_of_;
+  }
+  /// Number of non-empty modules.
+  [[nodiscard]] std::size_t live_modules() const;
+
+  /// Module aggregates, exposed for tests and the contraction step.
+  [[nodiscard]] double module_flow(VertexId m) const { return mod_flow_[m]; }
+  [[nodiscard]] double module_exit(VertexId m) const { return exit_of(m); }
+
+  /// Rebuilds all running sums from the raw aggregates.  Incremental
+  /// updates accumulate floating-point drift over millions of moves; the
+  /// driver calls this between sweeps, and tests assert it is a no-op up to
+  /// tolerance.
+  void recompute();
+
+ private:
+  void init_aggregates();
+  [[nodiscard]] double exit_of(VertexId m) const noexcept;
+  [[nodiscard]] double enter_of(VertexId m) const noexcept;
+  [[nodiscard]] double exit_from(double out_link, double tp,
+                                 std::uint64_t cnt) const noexcept;
+  [[nodiscard]] double enter_from(double in_link, double tp,
+                                  std::uint64_t cnt) const noexcept;
+
+  const FlowNetwork* fn_;
+  Partition module_of_;
+
+  // Per-module aggregates.
+  std::vector<double> mod_flow_;      ///< sum of member node flow
+  std::vector<double> mod_tp_;        ///< sum of member teleport flow
+  std::vector<double> mod_out_link_;  ///< boundary out-flow
+  std::vector<double> mod_in_link_;   ///< boundary in-flow
+  std::vector<std::uint64_t> mod_cnt_;  ///< original vertices represented
+
+  // Per-node totals (all link flow leaving/entering the node).
+  std::vector<double> node_out_;
+  std::vector<double> node_in_;
+
+  double total_tp_ = 0.0;    ///< TP
+  double enter_sum_ = 0.0;   ///< S
+  double sum_plogp_enter_ = 0.0;
+  double sum_plogp_exit_ = 0.0;
+  double sum_plogp_exit_flow_ = 0.0;
+  double node_flow_log_ = 0.0;  ///< constant term
+  double codelength_ = 0.0;
+};
+
+}  // namespace asamap::core

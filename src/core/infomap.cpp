@@ -1,0 +1,182 @@
+#include "asamap/core/infomap.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+#include "asamap/asa/accumulator.hpp"
+#include "asamap/core/dense_accumulator.hpp"
+#include "asamap/hashdb/software_accumulator.hpp"
+
+namespace asamap::core {
+
+namespace {
+
+template <typename Acc>
+InfomapResult run_single(const graph::CsrGraph& g, const InfomapOptions& opts,
+                         Acc& acc, sim::NullSink& sink) {
+  Worker<Acc, sim::NullSink> worker{&acc, &sink};
+  return run_multilevel(g, opts, std::span(&worker, 1));
+}
+
+}  // namespace
+
+InfomapResult run_infomap(const graph::CsrGraph& g, const InfomapOptions& opts,
+                          AccumulatorKind kind) {
+  sim::NullSink sink;
+  hashdb::AddressSpace addrs;
+  switch (kind) {
+    case AccumulatorKind::kOpen: {
+      hashdb::OpenAccumulator<sim::NullSink> acc(sink, addrs);
+      return run_single(g, opts, acc, sink);
+    }
+    case AccumulatorKind::kAsa: {
+      asa::Cam cam;
+      asa::AsaAccumulator<sim::NullSink> acc(sink, cam, addrs);
+      return run_single(g, opts, acc, sink);
+    }
+    case AccumulatorKind::kDense: {
+      DenseAccumulator<sim::NullSink> acc(sink, addrs, g.num_vertices());
+      return run_single(g, opts, acc, sink);
+    }
+    case AccumulatorKind::kChained:
+      break;
+  }
+  hashdb::ChainedAccumulator<sim::NullSink> acc(sink, addrs);
+  return run_single(g, opts, acc, sink);
+}
+
+InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
+                                   const InfomapOptions& opts,
+                                   int num_threads) {
+  if (num_threads <= 0) num_threads = omp_get_max_threads();
+
+  InfomapResult result;
+  FlowNetwork original;
+  {
+    support::ScopedPhase phase(result.kernel_wall, kernels::kPageRank);
+    original = build_flow(g, opts.flow);
+  }
+  FlowNetwork fn = original;
+
+  std::vector<VertexId> node_of_orig(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) node_of_orig[v] = v;
+
+  {
+    ModuleState trivial(original, Partition(original.num_nodes(), 0), 1);
+    result.one_level_codelength = trivial.codelength();
+  }
+
+  const KernelCosts costs;
+  sim::NullSink null_sink;
+  hashdb::AddressSpace addrs_space;
+
+  for (int level = 0; level < opts.max_levels; ++level) {
+    ModuleState state(fn);
+    if (level == 0) result.initial_codelength = state.codelength();
+    const LevelAddresses addrs = LevelAddresses::for_network(fn, addrs_space);
+    const VertexId n = fn.num_nodes();
+
+    std::vector<std::uint8_t> active(n, 1);
+    std::vector<std::uint8_t> next_active(n, 0);
+
+    double prev_codelength = state.codelength();
+    for (int sweep = 0; sweep < opts.max_sweeps_per_level; ++sweep) {
+      SweepTrace st;
+      st.level = level;
+      st.sweep = sweep;
+      support::WallTimer sweep_wall;
+
+      // Phase 1 (parallel): propose against a frozen snapshot of the
+      // module state.  RelaxMap-style relaxed reads are safe because
+      // nothing mutates state here.
+      std::vector<std::uint8_t> wants_move(n, 0);
+      {
+        support::ScopedPhase phase(result.kernel_wall,
+                                   kernels::kFindBestCommunity);
+#pragma omp parallel num_threads(num_threads)
+        {
+          sim::NullSink sink;
+          hashdb::AddressSpace local_addrs;
+          hashdb::ChainedAccumulator<sim::NullSink> acc(sink, local_addrs);
+          KernelBreakdown scratch;
+#pragma omp for schedule(dynamic, 1024)
+          for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
+            const auto v = static_cast<VertexId>(vi);
+            if (!active[v]) continue;
+            const MoveProposal p = evaluate_move(state, fn, v, acc, sink,
+                                                 addrs, costs, scratch);
+            wants_move[v] = p.improving(state.module_of(v)) ? 1 : 0;
+          }
+        }
+
+        // Phase 2 (serial): re-evaluate flagged vertices against the live
+        // state and apply.  Re-evaluation keeps aggregates exact even when
+        // earlier applies invalidated a proposal.
+        hashdb::ChainedAccumulator<sim::NullSink> acc(null_sink, addrs_space);
+        for (VertexId v = 0; v < n; ++v) {
+          if (!wants_move[v]) continue;
+          if (find_best_community(state, fn, v, acc, null_sink, addrs, costs,
+                                  result.breakdown)) {
+            ++st.moves;
+            mark_neighborhood(fn, v, next_active.data());
+          }
+        }
+      }
+      state.recompute();
+
+      st.codelength = state.codelength();
+      st.wall_seconds = sweep_wall.seconds();
+      result.trace.push_back(st);
+
+      if (st.moves == 0 ||
+          prev_codelength - state.codelength() < opts.min_improvement_bits) {
+        break;
+      }
+      prev_codelength = state.codelength();
+      active.swap(next_active);
+      std::fill(next_active.begin(), next_active.end(), 0);
+    }
+
+    Partition assignment = state.assignment();
+    std::vector<VertexId> relabel(fn.num_nodes(), graph::kInvalidVertex);
+    VertexId next_id = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      VertexId& slot = relabel[assignment[v]];
+      if (slot == graph::kInvalidVertex) slot = next_id++;
+      assignment[v] = slot;
+    }
+    const std::size_t k = next_id;
+
+    {
+      support::ScopedPhase phase(result.kernel_wall, kernels::kUpdateMembers);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        node_of_orig[v] = assignment[node_of_orig[v]];
+      }
+    }
+
+    result.level_assignments.push_back(assignment);
+    result.codelength = state.codelength();
+    result.levels = level + 1;
+    if (k == n || k <= 1) break;
+
+    {
+      support::ScopedPhase phase(result.kernel_wall,
+                                 kernels::kConvert2SuperNode);
+      fn = contract_network(fn, assignment, k);
+    }
+  }
+
+  result.communities = std::move(node_of_orig);
+  result.num_communities = compact_communities(result.communities);
+  {
+    // True level-0 codelength of the final partition (coarse-level values
+    // omit the leaf-entropy constant; see run_multilevel).
+    ModuleState final_state(original, result.communities,
+                            result.num_communities);
+    result.codelength = final_state.codelength();
+  }
+  return result;
+}
+
+}  // namespace asamap::core

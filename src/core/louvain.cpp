@@ -1,0 +1,145 @@
+#include "asamap/core/louvain.hpp"
+
+#include <unordered_map>
+
+#include "asamap/graph/edge_list.hpp"
+#include "asamap/support/check.hpp"
+
+namespace asamap::core {
+
+namespace {
+
+/// One Louvain level: local-move sweeps on graph `g`, returns the compacted
+/// partition and number of communities.
+std::size_t louvain_level(const graph::CsrGraph& g,
+                          const LouvainOptions& opts, Partition& out) {
+  const VertexId n = g.num_vertices();
+  const double two_w = g.total_arc_weight();
+  ASAMAP_CHECK(two_w > 0.0, "Louvain on an edgeless graph");
+
+  Partition community(n);
+  std::vector<double> comm_degree(n);   // sum of weighted degrees in c
+  std::vector<double> self_loop(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    community[v] = v;
+    comm_degree[v] = g.out_weight(v);
+    for (const graph::Arc& arc : g.out_neighbors(v)) {
+      if (arc.dst == v) self_loop[v] += arc.weight;
+    }
+  }
+
+  std::unordered_map<VertexId, double> neighbor_weight;
+  bool improved_any = true;
+  for (int sweep = 0; sweep < opts.max_sweeps_per_level && improved_any;
+       ++sweep) {
+    improved_any = false;
+    for (VertexId v = 0; v < n; ++v) {
+      const VertexId old_c = community[v];
+      const double k_v = g.out_weight(v);
+
+      neighbor_weight.clear();
+      neighbor_weight[old_c] = 0.0;  // allow evaluating "stay"
+      for (const graph::Arc& arc : g.out_neighbors(v)) {
+        if (arc.dst == v) continue;
+        neighbor_weight[community[arc.dst]] += arc.weight;
+      }
+
+      // Remove v from its community.
+      comm_degree[old_c] -= k_v;
+
+      // Gain of joining community c:
+      //   dQ = (w_vc - k_v * K_c / 2W) / W   (constant factors dropped)
+      VertexId best_c = old_c;
+      double best_gain = neighbor_weight[old_c] - k_v * comm_degree[old_c] / two_w;
+      for (const auto& [c, w_vc] : neighbor_weight) {
+        const double gain = w_vc - k_v * comm_degree[c] / two_w;
+        if (gain > best_gain + opts.min_modularity_gain) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+
+      comm_degree[best_c] += k_v;
+      community[v] = best_c;
+      if (best_c != old_c) improved_any = true;
+    }
+  }
+
+  // Compact ids.
+  std::unordered_map<VertexId, VertexId> relabel;
+  for (VertexId v = 0; v < n; ++v) {
+    auto [it, inserted] = relabel.try_emplace(
+        community[v], static_cast<VertexId>(relabel.size()));
+    community[v] = it->second;
+  }
+  out = std::move(community);
+  return relabel.size();
+}
+
+/// Contracts g by the partition, keeping self-loops (intra-community
+/// weight), which Louvain's gain formula needs at the next level.
+graph::CsrGraph contract_with_self_loops(const graph::CsrGraph& g,
+                                         const Partition& community,
+                                         std::size_t k) {
+  graph::EdgeList edges;
+  edges.ensure_vertex_count(static_cast<VertexId>(k));
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const graph::Arc& arc : g.out_neighbors(u)) {
+      edges.add(community[u], community[arc.dst], arc.weight);
+    }
+  }
+  edges.coalesce(/*keep_self_loops=*/true);
+  return graph::CsrGraph::from_edges(edges, static_cast<VertexId>(k));
+}
+
+double modularity_of(const graph::CsrGraph& g, const Partition& p,
+                     std::size_t k) {
+  const double two_w = g.total_arc_weight();
+  std::vector<double> internal(k, 0.0), degree(k, 0.0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    degree[p[u]] += g.out_weight(u);
+    for (const graph::Arc& arc : g.out_neighbors(u)) {
+      if (p[arc.dst] == p[u]) internal[p[u]] += arc.weight;
+    }
+  }
+  double q = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    q += internal[c] / two_w - (degree[c] / two_w) * (degree[c] / two_w);
+  }
+  return q;
+}
+
+}  // namespace
+
+LouvainResult run_louvain(const graph::CsrGraph& g,
+                          const LouvainOptions& opts) {
+  ASAMAP_CHECK(g.is_symmetric(), "Louvain requires an undirected graph");
+
+  LouvainResult result;
+  result.communities.resize(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) result.communities[v] = v;
+
+  graph::CsrGraph level_graph = g;
+  for (int level = 0; level < opts.max_levels; ++level) {
+    Partition level_partition;
+    const std::size_t k = louvain_level(level_graph, opts, level_partition);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      result.communities[v] = level_partition[result.communities[v]];
+    }
+    result.levels = level + 1;
+    if (k == level_graph.num_vertices() || k <= 1) break;
+    level_graph = contract_with_self_loops(level_graph, level_partition, k);
+  }
+
+  std::unordered_map<VertexId, VertexId> relabel;
+  for (VertexId& c : result.communities) {
+    auto [it, inserted] =
+        relabel.try_emplace(c, static_cast<VertexId>(relabel.size()));
+    c = it->second;
+  }
+  result.num_communities = relabel.size();
+  result.modularity = modularity_of(g, result.communities, relabel.size());
+  return result;
+}
+
+}  // namespace asamap::core

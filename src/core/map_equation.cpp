@@ -1,0 +1,229 @@
+#include "asamap/core/map_equation.hpp"
+
+#include <cmath>
+
+#include "asamap/support/check.hpp"
+
+namespace asamap::core {
+
+double plogp(double x) noexcept {
+  return x > 0.0 ? x * std::log2(x) : 0.0;
+}
+
+ModuleState::ModuleState(const FlowNetwork& fn) : fn_(&fn) {
+  const VertexId n = fn.num_nodes();
+  module_of_.resize(n);
+  for (VertexId v = 0; v < n; ++v) module_of_[v] = v;
+  mod_flow_.assign(n, 0.0);
+  mod_tp_.assign(n, 0.0);
+  mod_out_link_.assign(n, 0.0);
+  mod_in_link_.assign(n, 0.0);
+  mod_cnt_.assign(n, 0);
+  init_aggregates();
+}
+
+ModuleState::ModuleState(const FlowNetwork& fn, const Partition& init,
+                         std::size_t num_modules)
+    : fn_(&fn), module_of_(init) {
+  ASAMAP_CHECK(init.size() == fn.num_nodes(), "partition size mismatch");
+  mod_flow_.assign(num_modules, 0.0);
+  mod_tp_.assign(num_modules, 0.0);
+  mod_out_link_.assign(num_modules, 0.0);
+  mod_in_link_.assign(num_modules, 0.0);
+  mod_cnt_.assign(num_modules, 0);
+  init_aggregates();
+}
+
+void ModuleState::init_aggregates() {
+  const FlowNetwork& fn = *fn_;
+  const VertexId n = fn.num_nodes();
+
+  node_out_.assign(n, 0.0);
+  node_in_.assign(n, 0.0);
+  {
+    std::size_t e = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      for ([[maybe_unused]] const graph::Arc& arc : fn.graph.out_neighbors(u)) {
+        node_out_[u] += fn.out_flow[e++];
+      }
+    }
+    e = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      for ([[maybe_unused]] const graph::Arc& arc : fn.graph.in_neighbors(v)) {
+        node_in_[v] += fn.in_flow[e++];
+      }
+    }
+  }
+
+  total_tp_ = 0.0;
+  node_flow_log_ = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    total_tp_ += fn.teleport_flow[v];
+    node_flow_log_ += plogp(fn.node_flow[v]);
+    const VertexId m = module_of_[v];
+    mod_flow_[m] += fn.node_flow[v];
+    mod_tp_[m] += fn.teleport_flow[v];
+    mod_cnt_[m] += fn.orig_count[v];
+  }
+
+  // Boundary link flows.
+  std::fill(mod_out_link_.begin(), mod_out_link_.end(), 0.0);
+  std::fill(mod_in_link_.begin(), mod_in_link_.end(), 0.0);
+  {
+    std::size_t e = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      const VertexId mu = module_of_[u];
+      for (const graph::Arc& arc : fn.graph.out_neighbors(u)) {
+        const VertexId mv = module_of_[arc.dst];
+        if (mu != mv) {
+          mod_out_link_[mu] += fn.out_flow[e];
+          mod_in_link_[mv] += fn.out_flow[e];
+        }
+        ++e;
+      }
+    }
+  }
+
+  recompute();
+}
+
+double ModuleState::exit_from(double out_link, double tp,
+                              std::uint64_t cnt) const noexcept {
+  const double N = static_cast<double>(fn_->total_orig);
+  return out_link + tp * (N - static_cast<double>(cnt)) / N;
+}
+
+double ModuleState::enter_from(double in_link, double tp,
+                               std::uint64_t cnt) const noexcept {
+  const double N = static_cast<double>(fn_->total_orig);
+  return in_link + (static_cast<double>(cnt) / N) * (total_tp_ - tp);
+}
+
+double ModuleState::exit_of(VertexId m) const noexcept {
+  return exit_from(mod_out_link_[m], mod_tp_[m], mod_cnt_[m]);
+}
+
+double ModuleState::enter_of(VertexId m) const noexcept {
+  return enter_from(mod_in_link_[m], mod_tp_[m], mod_cnt_[m]);
+}
+
+void ModuleState::recompute() {
+  enter_sum_ = 0.0;
+  sum_plogp_enter_ = 0.0;
+  sum_plogp_exit_ = 0.0;
+  sum_plogp_exit_flow_ = 0.0;
+  for (VertexId m = 0; m < mod_flow_.size(); ++m) {
+    if (mod_flow_[m] <= 0.0 && mod_cnt_[m] == 0) continue;
+    const double ex = exit_of(m);
+    const double en = enter_of(m);
+    enter_sum_ += en;
+    sum_plogp_enter_ += plogp(en);
+    sum_plogp_exit_ += plogp(ex);
+    sum_plogp_exit_flow_ += plogp(ex + mod_flow_[m]);
+  }
+  codelength_ = plogp(enter_sum_) - sum_plogp_enter_ - sum_plogp_exit_ +
+                sum_plogp_exit_flow_ - node_flow_log_;
+}
+
+double ModuleState::index_codelength() const noexcept {
+  return plogp(enter_sum_) - sum_plogp_enter_;
+}
+
+std::size_t ModuleState::live_modules() const {
+  std::size_t live = 0;
+  for (VertexId m = 0; m < mod_flow_.size(); ++m) {
+    if (mod_cnt_[m] > 0) ++live;
+  }
+  return live;
+}
+
+double ModuleState::delta_move(VertexId v, VertexId target,
+                               const MoveFlows& f) const {
+  const VertexId o = module_of_[v];
+  if (o == target) return 0.0;
+  const FlowNetwork& fn = *fn_;
+
+  // Old-module aggregates after removing v.
+  const double o_out = mod_out_link_[o] - (node_out_[v] - f.out_to_current) +
+                       f.in_from_current;
+  const double o_in = mod_in_link_[o] - (node_in_[v] - f.in_from_current) +
+                      f.out_to_current;
+  const double o_flow = mod_flow_[o] - fn.node_flow[v];
+  const double o_tp = mod_tp_[o] - fn.teleport_flow[v];
+  const std::uint64_t o_cnt = mod_cnt_[o] - fn.orig_count[v];
+
+  // Target-module aggregates after adding v.
+  const double t_out = mod_out_link_[target] +
+                       (node_out_[v] - f.out_to_target) - f.in_from_target;
+  const double t_in = mod_in_link_[target] +
+                      (node_in_[v] - f.in_from_target) - f.out_to_target;
+  const double t_flow = mod_flow_[target] + fn.node_flow[v];
+  const double t_tp = mod_tp_[target] + fn.teleport_flow[v];
+  const std::uint64_t t_cnt = mod_cnt_[target] + fn.orig_count[v];
+
+  const double old_exit_o = exit_of(o);
+  const double old_exit_t = exit_of(target);
+  const double old_enter_o = enter_of(o);
+  const double old_enter_t = enter_of(target);
+  const double new_exit_o = exit_from(o_out, o_tp, o_cnt);
+  const double new_exit_t = exit_from(t_out, t_tp, t_cnt);
+  const double new_enter_o = enter_from(o_in, o_tp, o_cnt);
+  const double new_enter_t = enter_from(t_in, t_tp, t_cnt);
+
+  const double new_enter_sum =
+      enter_sum_ - old_enter_o - old_enter_t + new_enter_o + new_enter_t;
+
+  double delta = plogp(new_enter_sum) - plogp(enter_sum_);
+  delta -= plogp(new_enter_o) + plogp(new_enter_t) - plogp(old_enter_o) -
+           plogp(old_enter_t);
+  delta -= plogp(new_exit_o) + plogp(new_exit_t) - plogp(old_exit_o) -
+           plogp(old_exit_t);
+  delta += plogp(new_exit_o + o_flow) + plogp(new_exit_t + t_flow) -
+           plogp(old_exit_o + mod_flow_[o]) -
+           plogp(old_exit_t + mod_flow_[target]);
+  return delta;
+}
+
+void ModuleState::apply_move(VertexId v, VertexId target, const MoveFlows& f) {
+  const VertexId o = module_of_[v];
+  if (o == target) return;
+  const FlowNetwork& fn = *fn_;
+
+  // Retire the old plogp contributions of both modules.
+  const double old_enter_o = enter_of(o);
+  const double old_enter_t = enter_of(target);
+  sum_plogp_enter_ -= plogp(old_enter_o) + plogp(old_enter_t);
+  sum_plogp_exit_ -= plogp(exit_of(o)) + plogp(exit_of(target));
+  sum_plogp_exit_flow_ -= plogp(exit_of(o) + mod_flow_[o]) +
+                          plogp(exit_of(target) + mod_flow_[target]);
+  enter_sum_ -= old_enter_o + old_enter_t;
+
+  // Update raw aggregates (same algebra as delta_move).
+  mod_out_link_[o] += -(node_out_[v] - f.out_to_current) + f.in_from_current;
+  mod_in_link_[o] += -(node_in_[v] - f.in_from_current) + f.out_to_current;
+  mod_flow_[o] -= fn.node_flow[v];
+  mod_tp_[o] -= fn.teleport_flow[v];
+  mod_cnt_[o] -= fn.orig_count[v];
+
+  mod_out_link_[target] += (node_out_[v] - f.out_to_target) - f.in_from_target;
+  mod_in_link_[target] += (node_in_[v] - f.in_from_target) - f.out_to_target;
+  mod_flow_[target] += fn.node_flow[v];
+  mod_tp_[target] += fn.teleport_flow[v];
+  mod_cnt_[target] += fn.orig_count[v];
+
+  module_of_[v] = target;
+
+  // Admit the new contributions.
+  const double new_enter_o = enter_of(o);
+  const double new_enter_t = enter_of(target);
+  sum_plogp_enter_ += plogp(new_enter_o) + plogp(new_enter_t);
+  sum_plogp_exit_ += plogp(exit_of(o)) + plogp(exit_of(target));
+  sum_plogp_exit_flow_ += plogp(exit_of(o) + mod_flow_[o]) +
+                          plogp(exit_of(target) + mod_flow_[target]);
+  enter_sum_ += new_enter_o + new_enter_t;
+
+  codelength_ = plogp(enter_sum_) - sum_plogp_enter_ - sum_plogp_exit_ +
+                sum_plogp_exit_flow_ - node_flow_log_;
+}
+
+}  // namespace asamap::core

@@ -1,0 +1,179 @@
+#include "asamap/dist/distributed.hpp"
+
+#include <algorithm>
+
+#include "asamap/hashdb/software_accumulator.hpp"
+#include "asamap/support/check.hpp"
+
+namespace asamap::dist {
+
+using core::FlowNetwork;
+using core::LevelAddresses;
+using core::ModuleState;
+using core::Partition;
+using graph::VertexId;
+
+namespace {
+
+struct RankRange {
+  VertexId begin = 0;
+  VertexId end = 0;
+};
+
+std::vector<RankRange> make_ranges(VertexId n, std::uint32_t ranks) {
+  std::vector<RankRange> out(ranks);
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    out[r].begin = static_cast<VertexId>(std::uint64_t{n} * r / ranks);
+    out[r].end = static_cast<VertexId>(std::uint64_t{n} * (r + 1) / ranks);
+  }
+  return out;
+}
+
+/// Owner rank of vertex v under the block partition `ranges` (inverse of
+/// make_ranges; starts from the proportional estimate and fixes up the
+/// off-by-one the flooring can introduce).
+std::uint32_t owner_of(VertexId v, VertexId n,
+                       const std::vector<RankRange>& ranges) {
+  const auto ranks = static_cast<std::uint32_t>(ranges.size());
+  auto r = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      std::uint64_t{v} * ranks / std::max<VertexId>(n, 1), ranks - 1));
+  while (r > 0 && v < ranges[r].begin) --r;
+  while (r + 1 < ranks && v >= ranges[r].end) ++r;
+  return r;
+}
+
+}  // namespace
+
+DistResult run_distributed_infomap(const graph::CsrGraph& g,
+                                   const DistOptions& opts) {
+  ASAMAP_CHECK(opts.num_ranks >= 1, "need at least one rank");
+  DistResult result;
+
+  core::FlowOptions fopts = opts.flow;
+  const FlowNetwork original = core::build_flow(g, fopts);
+  FlowNetwork fn = original;
+
+  std::vector<VertexId> node_of_orig(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) node_of_orig[v] = v;
+
+  sim::NullSink sink;
+  hashdb::AddressSpace addr_space;
+  const core::KernelCosts costs;
+
+  for (int level = 0; level < opts.max_levels; ++level) {
+    const VertexId n = fn.num_nodes();
+    const auto ranges = make_ranges(n, opts.num_ranks);
+    ModuleState state(fn);
+    const LevelAddresses addrs = LevelAddresses::for_network(fn, addr_space);
+
+    // Per-rank accumulators (each rank is one process with its own heap).
+    std::vector<std::unique_ptr<hashdb::AddressSpace>> rank_heaps;
+    std::vector<
+        std::unique_ptr<hashdb::ChainedAccumulator<sim::NullSink>>>
+        rank_accs;
+    for (std::uint32_t r = 0; r < opts.num_ranks; ++r) {
+      rank_heaps.push_back(std::make_unique<hashdb::AddressSpace>());
+      rank_accs.push_back(
+          std::make_unique<hashdb::ChainedAccumulator<sim::NullSink>>(
+              sink, *rank_heaps.back()));
+    }
+
+    double prev_codelength = state.codelength();
+    std::vector<std::uint8_t> active(n, 1), next_active(n, 0);
+
+    for (int step = 0; step < opts.max_supersteps_per_level; ++step) {
+      SuperstepTrace st;
+      st.level = level;
+      st.step = step;
+
+      // --- Local phase: every rank proposes against the stale snapshot.
+      // The snapshot is the authoritative state at superstep start; since
+      // nothing mutates it during proposal, one shared read-only view
+      // faithfully models R replicated stale views.
+      std::vector<VertexId> movers;
+      core::KernelBreakdown scratch;
+      for (std::uint32_t r = 0; r < opts.num_ranks; ++r) {
+        for (VertexId v = ranges[r].begin; v < ranges[r].end; ++v) {
+          if (!active[v]) continue;
+          const core::MoveProposal p =
+              core::evaluate_move(state, fn, v, *rank_accs[r], sink, addrs,
+                                  costs, scratch);
+          if (p.improving(state.module_of(v))) movers.push_back(v);
+        }
+      }
+      st.proposals = movers.size();
+
+      // --- Exchange phase: movers' new assignments are shipped to every
+      // rank that owns one of their neighbors.  Count one logical message
+      // per (source rank, destination rank) pair with traffic, 8 bytes per
+      // (vertex, module) update delivered.
+      {
+        std::vector<std::uint64_t> pair_traffic(
+            std::size_t{opts.num_ranks} * opts.num_ranks, 0);
+        for (VertexId v : movers) {
+          const std::uint32_t src = owner_of(v, n, ranges);
+          for (const graph::Arc& arc : fn.graph.out_neighbors(v)) {
+            const std::uint32_t dst = owner_of(arc.dst, n, ranges);
+            if (dst != src) {
+              ++pair_traffic[std::size_t{src} * opts.num_ranks + dst];
+            }
+          }
+        }
+        for (std::uint64_t updates : pair_traffic) {
+          if (updates > 0) {
+            ++st.messages;
+            st.bytes += updates * 8;
+          }
+        }
+      }
+
+      // --- Apply phase: re-validate each proposal against the live state
+      // (stale proposals may have become unprofitable) and apply.  Mirrors
+      // the conflict resolution distributed Infomap performs after the
+      // exchange.
+      core::KernelBreakdown apply_bd;
+      for (VertexId v : movers) {
+        const std::uint32_t r = owner_of(v, n, ranges);
+        if (core::find_best_community(state, fn, v, *rank_accs[r], sink,
+                                      addrs, costs, apply_bd)) {
+          ++st.applied;
+          core::mark_neighborhood(fn, v, next_active.data());
+        }
+      }
+      state.recompute();
+
+      st.codelength = state.codelength();
+      result.trace.push_back(st);
+      result.total_messages += st.messages;
+      result.total_bytes += st.bytes;
+
+      if (st.applied == 0 ||
+          prev_codelength - state.codelength() < opts.min_improvement_bits) {
+        break;
+      }
+      prev_codelength = state.codelength();
+      active.swap(next_active);
+      std::fill(next_active.begin(), next_active.end(), 0);
+    }
+
+    Partition assignment = state.assignment();
+    const std::size_t k = core::compact_communities(assignment);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      node_of_orig[v] = assignment[node_of_orig[v]];
+    }
+    result.levels = level + 1;
+    if (k == n || k <= 1) break;
+    fn = core::contract_network(fn, assignment, k);
+  }
+
+  result.communities = std::move(node_of_orig);
+  result.num_communities = core::compact_communities(result.communities);
+  {
+    ModuleState final_state(original, result.communities,
+                            result.num_communities);
+    result.codelength = final_state.codelength();
+  }
+  return result;
+}
+
+}  // namespace asamap::dist

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file distributed.hpp
+/// Single-process simulation of the distributed-memory layer of HyPC-Map
+/// (Faysal et al., HPEC 2021) and its predecessor DPLM (Faysal &
+/// Arifuzzaman, IEEE BigData 2019): the substrate the paper's parallel
+/// Infomap runs on.
+///
+/// No MPI is used (the paper's evaluation is single-node; see DESIGN.md's
+/// substitution table) — instead the protocol is simulated faithfully:
+///
+///   * vertices are block-partitioned across R ranks;
+///   * each superstep, every rank evaluates its local vertices against a
+///     *stale snapshot* of the global module state (taken at superstep
+///     start — exactly the relaxed consistency distributed Infomap relies
+///     on, since remote module updates arrive only at exchange points);
+///   * proposed moves of vertices with remote neighbors generate messages
+///     (one logical message per rank pair per superstep, 8 bytes per
+///     (vertex, newModule) update), which the simulator counts;
+///   * the exchange applies moves to the authoritative state, re-validating
+///     each against the live aggregates so the map equation stays exact.
+///
+/// The interesting outputs are the message-volume trace (it collapses
+/// across supersteps as the active set shrinks) and the quality parity with
+/// the sequential driver.
+
+#include <cstdint>
+#include <vector>
+
+#include "asamap/core/infomap.hpp"
+
+namespace asamap::dist {
+
+struct DistOptions {
+  std::uint32_t num_ranks = 4;
+  int max_supersteps_per_level = 30;
+  int max_levels = 30;
+  double min_improvement_bits = 1e-10;
+  core::FlowOptions flow = {};
+};
+
+struct SuperstepTrace {
+  int level = 0;
+  int step = 0;
+  std::uint64_t proposals = 0;  ///< moves proposed across all ranks
+  std::uint64_t applied = 0;    ///< moves surviving re-validation
+  std::uint64_t messages = 0;   ///< rank-pair messages this superstep
+  std::uint64_t bytes = 0;      ///< update payload bytes
+  double codelength = 0.0;      ///< level-local (see SweepTrace note)
+};
+
+struct DistResult {
+  core::Partition communities;
+  std::size_t num_communities = 0;
+  double codelength = 0.0;  ///< level-0 value of the final partition
+  int levels = 0;
+  std::vector<SuperstepTrace> trace;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+/// Runs the simulated distributed Infomap.  Deterministic for a fixed rank
+/// count.
+DistResult run_distributed_infomap(const graph::CsrGraph& g,
+                                   const DistOptions& opts = {});
+
+}  // namespace asamap::dist

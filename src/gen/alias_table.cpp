@@ -1,0 +1,48 @@
+#include "asamap/gen/alias_table.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace asamap::gen {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("AliasTable: all weights zero");
+  }
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's algorithm: partition scaled probabilities into "small" (< 1) and
+  // "large" (>= 1), then pair each small cell with a large donor.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Residual cells are exactly 1 up to rounding.
+  for (std::uint32_t l : large) prob_[l] = 1.0;
+  for (std::uint32_t s : small) prob_[s] = 1.0;
+}
+
+}  // namespace asamap::gen

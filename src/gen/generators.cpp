@@ -1,0 +1,249 @@
+#include "asamap/gen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "asamap/gen/alias_table.hpp"
+#include "asamap/graph/edge_list.hpp"
+#include "asamap/support/check.hpp"
+#include "asamap/support/rng.hpp"
+
+namespace asamap::gen {
+
+using graph::EdgeList;
+using support::Xoshiro256;
+
+CsrGraph erdos_renyi(VertexId n, double p, std::uint64_t seed) {
+  ASAMAP_CHECK(p >= 0.0 && p <= 1.0, "edge probability out of [0,1]");
+  EdgeList edges;
+  edges.ensure_vertex_count(n);
+  if (n >= 2 && p > 0.0) {
+    Xoshiro256 rng(seed);
+    // Iterate the upper triangle as one flat index stream and skip ahead by
+    // geometrically distributed gaps: the next present edge after position t
+    // is t + 1 + Geom(p).
+    const double log1mp = std::log1p(-p);
+    const __uint128_t total =
+        static_cast<__uint128_t>(n) * (n - 1) / 2;  // upper-triangle cells
+    __uint128_t t = 0;
+    const bool dense = p >= 1.0;
+    while (t < total) {
+      if (!dense) {
+        const double u = 1.0 - rng.next_double();  // in (0, 1]
+        const double skip = std::floor(std::log(u) / log1mp);
+        t += static_cast<__uint128_t>(skip);
+        if (t >= total) break;
+      }
+      // Decode flat upper-triangle index t -> (i, j), i < j.
+      // Row i owns (n - 1 - i) cells; walk rows analytically.
+      const double tf = static_cast<double>(t);
+      const double nf = static_cast<double>(n);
+      double i_est = nf - 0.5 -
+                     std::sqrt((nf - 0.5) * (nf - 0.5) - 2.0 * tf);
+      auto i = static_cast<VertexId>(std::max(0.0, std::floor(i_est)));
+      // Fix up float error.
+      auto row_start = [&](VertexId r) -> __uint128_t {
+        return static_cast<__uint128_t>(r) * n - static_cast<__uint128_t>(r) * (r + 1) / 2;
+      };
+      while (i + 1 < n && row_start(i + 1) <= t) ++i;
+      while (i > 0 && row_start(i) > t) --i;
+      const auto j = static_cast<VertexId>(
+          i + 1 + static_cast<std::uint64_t>(t - row_start(i)));
+      edges.add_undirected(i, j);
+      ++t;
+    }
+  }
+  edges.coalesce();
+  return CsrGraph::from_edges(edges, n);
+}
+
+CsrGraph barabasi_albert(VertexId n, std::uint32_t m_per_vertex,
+                         std::uint64_t seed) {
+  ASAMAP_CHECK(m_per_vertex >= 1, "need at least one edge per new vertex");
+  ASAMAP_CHECK(n > m_per_vertex, "n must exceed edges-per-vertex");
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.ensure_vertex_count(n);
+
+  // "Repeated nodes" list: every endpoint occurrence is one entry, so a
+  // uniform draw from the list is a degree-proportional draw of a vertex.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2ULL * m_per_vertex * n);
+
+  // Seed clique over the first m+1 vertices.
+  const VertexId seed_size = m_per_vertex + 1;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      edges.add_undirected(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::vector<VertexId> chosen;
+  chosen.reserve(m_per_vertex);
+  for (VertexId u = seed_size; u < n; ++u) {
+    chosen.clear();
+    // Sample m distinct existing targets, degree-proportionally.
+    while (chosen.size() < m_per_vertex) {
+      const VertexId cand = endpoints[rng.next_below(endpoints.size())];
+      if (std::find(chosen.begin(), chosen.end(), cand) == chosen.end()) {
+        chosen.push_back(cand);
+      }
+    }
+    for (VertexId v : chosen) {
+      edges.add_undirected(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  edges.coalesce();
+  return CsrGraph::from_edges(edges, n);
+}
+
+CsrGraph chung_lu(const ChungLuParams& params, std::uint64_t seed) {
+  ASAMAP_CHECK(params.n >= 2, "need at least two vertices");
+  Xoshiro256 rng(seed);
+  const std::uint32_t max_deg =
+      params.max_deg == 0 ? params.n - 1
+                          : std::min<std::uint32_t>(params.max_deg, params.n - 1);
+
+  // Expected-degree sequence ~ power law.
+  std::vector<double> weights(params.n);
+  for (auto& w : weights) {
+    w = static_cast<double>(
+        support::sample_power_law(rng, params.min_deg, max_deg, params.gamma));
+  }
+
+  AliasTable table(weights);
+  EdgeList edges;
+  edges.ensure_vertex_count(params.n);
+  edges.reserve(2 * params.target_edges);
+  for (std::uint64_t e = 0; e < params.target_edges; ++e) {
+    const auto u = static_cast<VertexId>(table.sample(rng));
+    const auto v = static_cast<VertexId>(table.sample(rng));
+    if (u == v) continue;  // slight undershoot; matches Chung-Lu expectations
+    edges.add_undirected(u, v);
+  }
+  edges.coalesce();
+  return CsrGraph::from_edges(edges, params.n);
+}
+
+CsrGraph rmat(const RmatParams& params, std::uint64_t seed) {
+  const double d = 1.0 - params.a - params.b - params.c;
+  ASAMAP_CHECK(d >= -1e-9, "R-MAT probabilities exceed 1");
+  Xoshiro256 rng(seed);
+  const VertexId n = VertexId{1} << params.scale;
+  const std::uint64_t m = params.edges_per_vertex * n;
+
+  EdgeList edges;
+  edges.ensure_vertex_count(n);
+  edges.reserve(2 * m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    VertexId u = 0, v = 0;
+    for (std::uint32_t bit = params.scale; bit-- > 0;) {
+      const double r = rng.next_double();
+      // Quadrant choice with light noise per level (standard practice to
+      // avoid exact self-similarity artifacts).
+      if (r < params.a) {
+        // top-left: no bits set
+      } else if (r < params.a + params.b) {
+        v |= VertexId{1} << bit;
+      } else if (r < params.a + params.b + params.c) {
+        u |= VertexId{1} << bit;
+      } else {
+        u |= VertexId{1} << bit;
+        v |= VertexId{1} << bit;
+      }
+    }
+    if (u == v) continue;
+    edges.add_undirected(u, v);
+  }
+  edges.coalesce();
+  return CsrGraph::from_edges(edges, n);
+}
+
+CsrGraph watts_strogatz(VertexId n, std::uint32_t k, double beta,
+                        std::uint64_t seed) {
+  ASAMAP_CHECK(k >= 1 && 2ULL * k < n, "ring degree out of range");
+  ASAMAP_CHECK(beta >= 0.0 && beta <= 1.0, "beta out of [0,1]");
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.ensure_vertex_count(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (std::uint32_t j = 1; j <= k; ++j) {
+      VertexId v = static_cast<VertexId>((u + j) % n);
+      if (rng.next_double() < beta) {
+        // Rewire to a uniform random non-self target; duplicate edges are
+        // merged at coalesce, slightly lowering the realized degree — the
+        // standard WS construction accepts the same.
+        VertexId w;
+        do {
+          w = static_cast<VertexId>(rng.next_below(n));
+        } while (w == u);
+        v = w;
+      }
+      edges.add_undirected(u, v);
+    }
+  }
+  edges.coalesce();
+  return CsrGraph::from_edges(edges, n);
+}
+
+PlantedPartition planted_partition(VertexId n, VertexId num_communities,
+                                   double p_in, double p_out,
+                                   std::uint64_t seed) {
+  ASAMAP_CHECK(num_communities >= 1 && num_communities <= n,
+               "community count out of range");
+  ASAMAP_CHECK(p_in >= 0 && p_in <= 1 && p_out >= 0 && p_out <= 1,
+               "probabilities out of [0,1]");
+  Xoshiro256 rng(seed);
+
+  PlantedPartition result;
+  result.ground_truth.resize(n);
+  for (VertexId u = 0; u < n; ++u) {
+    result.ground_truth[u] = u % num_communities;
+  }
+
+  EdgeList edges;
+  edges.ensure_vertex_count(n);
+  // Geometric skipping over the flat upper triangle, with per-pair thinning:
+  // sample at rate p_max, keep a candidate (u, v) with probability
+  // p(u,v)/p_max.  Exact and O(m) in expectation.
+  const double p_max = std::max(p_in, p_out);
+  if (p_max > 0.0 && n >= 2) {
+    const double log1mp = std::log1p(-std::min(p_max, 1.0 - 1e-15));
+    const __uint128_t total = static_cast<__uint128_t>(n) * (n - 1) / 2;
+    auto row_start = [&](VertexId r) -> __uint128_t {
+      return static_cast<__uint128_t>(r) * n -
+             static_cast<__uint128_t>(r) * (r + 1) / 2;
+    };
+    __uint128_t t = 0;
+    while (t < total) {
+      if (p_max < 1.0) {
+        const double u01 = 1.0 - rng.next_double();
+        t += static_cast<__uint128_t>(std::floor(std::log(u01) / log1mp));
+        if (t >= total) break;
+      }
+      const double tf = static_cast<double>(t);
+      const double nf = static_cast<double>(n);
+      double i_est =
+          nf - 0.5 - std::sqrt((nf - 0.5) * (nf - 0.5) - 2.0 * tf);
+      auto i = static_cast<VertexId>(std::max(0.0, std::floor(i_est)));
+      while (i + 1 < n && row_start(i + 1) <= t) ++i;
+      while (i > 0 && row_start(i) > t) --i;
+      const auto j = static_cast<VertexId>(
+          i + 1 + static_cast<std::uint64_t>(t - row_start(i)));
+      const double p_pair =
+          result.ground_truth[i] == result.ground_truth[j] ? p_in : p_out;
+      if (rng.next_double() < p_pair / p_max) edges.add_undirected(i, j);
+      ++t;
+    }
+  }
+  edges.coalesce();
+  result.graph = CsrGraph::from_edges(edges, n);
+  return result;
+}
+
+}  // namespace asamap::gen

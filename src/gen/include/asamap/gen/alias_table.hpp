@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file alias_table.hpp
+/// Walker/Vose alias method: O(1) sampling from a fixed discrete
+/// distribution after O(n) setup.  The Chung-Lu generator draws millions of
+/// edge endpoints proportional to expected degrees, so constant-time
+/// sampling matters.
+
+#include <cstdint>
+#include <vector>
+
+#include "asamap/support/rng.hpp"
+
+namespace asamap::gen {
+
+class AliasTable {
+ public:
+  /// Builds the table from non-negative weights.  Zero-weight entries are
+  /// never sampled.  Throws std::invalid_argument if all weights are zero.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index distributed proportionally to the construction weights.
+  [[nodiscard]] std::size_t sample(support::Xoshiro256& rng) const noexcept {
+    const std::size_t i = rng.next_below(prob_.size());
+    return rng.next_double() < prob_[i] ? i : alias_[i];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace asamap::gen

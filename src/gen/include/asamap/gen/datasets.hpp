@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file datasets.hpp
+/// Registry of synthetic stand-ins for the paper's six SNAP networks
+/// (Table I).  Each stand-in is a Chung-Lu power-law graph whose mean degree
+/// and degree exponent match the real network, scaled down so the full
+/// experiment suite runs on one machine.  The scale factor is recorded so
+/// EXPERIMENTS.md can report it.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asamap/graph/csr_graph.hpp"
+
+namespace asamap::gen {
+
+struct DatasetSpec {
+  std::string name;              ///< paper's name, e.g. "soc-Pokec"
+  std::uint64_t paper_vertices;  ///< Table I vertex count
+  std::uint64_t paper_edges;     ///< Table I edge count
+  graph::VertexId vertices;      ///< stand-in vertex count (scaled)
+  std::uint64_t edges;           ///< stand-in target undirected edge count
+  double gamma;                  ///< power-law exponent of the stand-in
+  std::uint32_t max_degree;      ///< degree cap for the stand-in
+};
+
+/// The six networks of Table I, in paper order.
+const std::vector<DatasetSpec>& dataset_registry();
+
+/// Looks up a spec by (case-insensitive) name; throws std::out_of_range on
+/// unknown names.  Accepts both "soc-Pokec" and "Pokec" style names.
+const DatasetSpec& dataset_spec(std::string_view name);
+
+/// Materializes the stand-in graph for a spec.  Deterministic: the seed is
+/// derived from the dataset name, so every bench and test sees the same
+/// graph.
+graph::CsrGraph make_dataset(const DatasetSpec& spec);
+
+/// Convenience overload.
+graph::CsrGraph make_dataset(std::string_view name);
+
+}  // namespace asamap::gen

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file generators.hpp
+/// Random-graph generators.  All are deterministic given the seed, produce
+/// simple undirected graphs (coalesced, no self loops), and return CSR form.
+///
+/// These are the substitution for the paper's SNAP downloads: the
+/// experiments depend on sparsity and degree-distribution shape (Figs. 4-5)
+/// and on hash-accumulation behaviour over neighborhoods, both of which the
+/// generators control directly.
+
+#include <cstdint>
+
+#include "asamap/graph/csr_graph.hpp"
+
+namespace asamap::gen {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+/// Erdős–Rényi G(n, p) via geometric edge skipping — O(n + m), not O(n^2).
+CsrGraph erdos_renyi(VertexId n, double p, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches
+/// `m_per_vertex` edges to existing vertices with probability proportional
+/// to degree.  Produces gamma ≈ 3 power-law tails.
+CsrGraph barabasi_albert(VertexId n, std::uint32_t m_per_vertex,
+                         std::uint64_t seed);
+
+/// Chung-Lu with a power-law expected-degree sequence: draws `target_arcs/2`
+/// undirected edges with endpoints sampled proportional to expected degrees
+/// drawn from P(k) ~ k^-gamma on [min_deg, max_deg].  This is the generator
+/// behind the paper-network stand-ins — gamma and mean degree are matched to
+/// the real SNAP networks.
+struct ChungLuParams {
+  VertexId n = 0;
+  std::uint64_t target_edges = 0;  ///< undirected edge count before dedup
+  double gamma = 2.5;
+  std::uint32_t min_deg = 1;
+  std::uint32_t max_deg = 0;  ///< 0 => n - 1
+};
+CsrGraph chung_lu(const ChungLuParams& params, std::uint64_t seed);
+
+/// R-MAT (recursive matrix): the Graph500-style generator, with per-edge
+/// quadrant probabilities (a, b, c, d).  Produces skewed degrees and
+/// community-ish block structure.
+struct RmatParams {
+  std::uint32_t scale = 16;         ///< n = 2^scale vertices
+  std::uint64_t edges_per_vertex = 8;
+  double a = 0.57, b = 0.19, c = 0.19;  ///< d = 1 - a - b - c
+};
+CsrGraph rmat(const RmatParams& params, std::uint64_t seed);
+
+/// Watts-Strogatz small world: a ring lattice with `k` neighbors per side,
+/// each edge rewired with probability `beta`.  High clustering at low beta,
+/// short paths at any beta > 0 — the classic small-world regime, used to
+/// exercise the clustering-coefficient statistics and as a non-power-law
+/// contrast workload.
+CsrGraph watts_strogatz(VertexId n, std::uint32_t k, double beta,
+                        std::uint64_t seed);
+
+/// Planted partition: `num_communities` equal groups; intra-group edges with
+/// probability p_in, inter-group with p_out.  Returns the ground-truth
+/// assignment used by quality tests (NMI ~ 1 when p_in >> p_out).
+struct PlantedPartition {
+  CsrGraph graph;
+  std::vector<VertexId> ground_truth;  ///< community id per vertex
+};
+PlantedPartition planted_partition(VertexId n, VertexId num_communities,
+                                   double p_in, double p_out,
+                                   std::uint64_t seed);
+
+}  // namespace asamap::gen

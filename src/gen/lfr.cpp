@@ -1,0 +1,182 @@
+#include "asamap/gen/lfr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "asamap/graph/edge_list.hpp"
+#include "asamap/support/check.hpp"
+#include "asamap/support/rng.hpp"
+
+namespace asamap::gen {
+
+using graph::EdgeList;
+using graph::VertexId;
+using support::Xoshiro256;
+
+namespace {
+
+/// Matches stubs within `stubs` (each entry one half-edge) into edges,
+/// shuffling and pairing consecutive entries; rejects self loops by
+/// re-rolling a partner a few times, then dropping the stub.  LFR tolerates
+/// a small deficit of edges — the reference implementation does the same.
+void match_stubs(std::vector<VertexId>& stubs, EdgeList& edges,
+                 Xoshiro256& rng) {
+  // Fisher-Yates shuffle.
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.next_below(i)]);
+  }
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    VertexId u = stubs[i];
+    VertexId v = stubs[i + 1];
+    if (u == v) {
+      // Try to swap v with a later stub belonging to a different vertex.
+      for (std::size_t j = i + 2; j < stubs.size(); ++j) {
+        if (stubs[j] != u) {
+          std::swap(stubs[i + 1], stubs[j]);
+          v = stubs[i + 1];
+          break;
+        }
+      }
+      if (u == v) continue;  // all remaining stubs are u's: drop
+    }
+    edges.add_undirected(u, v);
+  }
+}
+
+}  // namespace
+
+LfrGraph lfr_benchmark(const LfrParams& params, std::uint64_t seed) {
+  ASAMAP_CHECK(params.n >= 10, "LFR needs at least 10 vertices");
+  ASAMAP_CHECK(params.mu >= 0.0 && params.mu <= 1.0, "mu out of [0,1]");
+  ASAMAP_CHECK(params.min_community <= params.max_community,
+               "community size bounds inverted");
+  ASAMAP_CHECK(params.min_degree <= params.max_degree,
+               "degree bounds inverted");
+  if (static_cast<double>(params.max_degree) * (1.0 - params.mu) >
+      static_cast<double>(params.max_community)) {
+    throw std::invalid_argument(
+        "LFR: internal degree can exceed the largest community size");
+  }
+
+  Xoshiro256 rng(seed);
+  const VertexId n = params.n;
+
+  // 1. Degree sequence.
+  std::vector<std::uint32_t> degree(n);
+  for (auto& k : degree) {
+    k = support::sample_power_law(rng, params.min_degree, params.max_degree,
+                                  params.tau1);
+  }
+
+  // 2. Community sizes: draw until they cover n, then trim the last one.
+  std::vector<std::uint32_t> comm_size;
+  std::uint64_t covered = 0;
+  while (covered < n) {
+    std::uint32_t s = support::sample_power_law(
+        rng, params.min_community, params.max_community, params.tau2);
+    if (covered + s > n) {
+      s = static_cast<std::uint32_t>(n - covered);
+      if (s < params.min_community && !comm_size.empty()) {
+        // Fold the remainder into the previous community instead of
+        // creating an undersized one.
+        comm_size.back() += s;
+        covered += s;
+        break;
+      }
+    }
+    comm_size.push_back(s);
+    covered += s;
+  }
+  const std::size_t c = comm_size.size();
+
+  // 3. Assign vertices to communities such that each vertex's internal
+  // degree fits: vertex with internal degree d needs a community of size
+  // > d.  Greedy: process vertices in decreasing internal degree, place
+  // each into the community with the most remaining slots that satisfies
+  // the constraint.
+  std::vector<VertexId> membership(n, graph::kInvalidVertex);
+  std::vector<std::uint32_t> remaining = comm_size;
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return degree[a] > degree[b];
+  });
+  for (VertexId u : order) {
+    const auto internal = static_cast<std::uint32_t>(
+        std::lround((1.0 - params.mu) * degree[u]));
+    // Pick the feasible community with the most free slots (ties by index).
+    std::size_t best = c;
+    std::uint32_t best_slots = 0;
+    for (std::size_t i = 0; i < c; ++i) {
+      if (remaining[i] == 0) continue;
+      if (comm_size[i] <= internal) continue;  // cannot host this vertex
+      if (remaining[i] > best_slots) {
+        best_slots = remaining[i];
+        best = i;
+      }
+    }
+    if (best == c) {
+      // No feasible community with space: relax into the largest community.
+      best = static_cast<std::size_t>(std::distance(
+          comm_size.begin(), std::max_element(comm_size.begin(), comm_size.end())));
+    } else {
+      --remaining[best];
+    }
+    membership[u] = static_cast<VertexId>(best);
+  }
+
+  // 4. Stub matching: internal per community, external globally.
+  std::vector<std::vector<VertexId>> internal_stubs(c);
+  std::vector<VertexId> external_stubs;
+  for (VertexId u = 0; u < n; ++u) {
+    const std::size_t comm = membership[u];
+    auto internal = static_cast<std::uint32_t>(
+        std::lround((1.0 - params.mu) * degree[u]));
+    internal = std::min(internal, comm_size[comm] > 0 ? comm_size[comm] - 1
+                                                      : 0);
+    const std::uint32_t external = degree[u] - std::min(degree[u], internal);
+    for (std::uint32_t s = 0; s < internal; ++s) {
+      internal_stubs[comm].push_back(u);
+    }
+    for (std::uint32_t s = 0; s < external; ++s) external_stubs.push_back(u);
+  }
+
+  EdgeList edges;
+  edges.ensure_vertex_count(n);
+  for (auto& stubs : internal_stubs) match_stubs(stubs, edges, rng);
+
+  // External matching must avoid intra-community pairs where possible:
+  // shuffle, then pair with local repair.
+  {
+    auto& stubs = external_stubs;
+    for (std::size_t i = stubs.size(); i > 1; --i) {
+      std::swap(stubs[i - 1], stubs[rng.next_below(i)]);
+    }
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      VertexId u = stubs[i];
+      VertexId v = stubs[i + 1];
+      if (u == v || membership[u] == membership[v]) {
+        for (std::size_t j = i + 2; j < stubs.size(); ++j) {
+          if (stubs[j] != u && membership[stubs[j]] != membership[u]) {
+            std::swap(stubs[i + 1], stubs[j]);
+            v = stubs[i + 1];
+            break;
+          }
+        }
+      }
+      if (u == v) continue;
+      edges.add_undirected(u, v);
+    }
+  }
+
+  edges.coalesce();
+  LfrGraph out;
+  out.graph = graph::CsrGraph::from_edges(edges, n);
+  out.ground_truth = std::move(membership);
+  out.num_communities = c;
+  return out;
+}
+
+}  // namespace asamap::gen

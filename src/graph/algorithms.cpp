@@ -1,0 +1,125 @@
+#include "asamap/graph/algorithms.hpp"
+
+#include <algorithm>
+
+#include "asamap/support/check.hpp"
+
+namespace asamap::graph {
+
+ComponentResult connected_components(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  ComponentResult result;
+  result.component.assign(n, kInvalidVertex);
+
+  std::vector<VertexId> stack;
+  std::vector<std::size_t> sizes;
+  for (VertexId root = 0; root < n; ++root) {
+    if (result.component[root] != kInvalidVertex) continue;
+    const auto comp = static_cast<VertexId>(sizes.size());
+    sizes.push_back(0);
+    stack.push_back(root);
+    result.component[root] = comp;
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      ++sizes.back();
+      auto visit = [&](VertexId w) {
+        if (result.component[w] == kInvalidVertex) {
+          result.component[w] = comp;
+          stack.push_back(w);
+        }
+      };
+      for (const Arc& arc : g.out_neighbors(u)) visit(arc.dst);
+      for (const Arc& arc : g.in_neighbors(u)) visit(arc.dst);
+    }
+  }
+  result.count = sizes.size();
+  result.largest_size =
+      sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+  return result;
+}
+
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, VertexId source) {
+  ASAMAP_CHECK(source < g.num_vertices(), "source out of range");
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::vector<VertexId> frontier = {source};
+  dist[source] = 0;
+  std::uint32_t hops = 0;
+  std::vector<VertexId> next;
+  while (!frontier.empty()) {
+    ++hops;
+    next.clear();
+    for (VertexId u : frontier) {
+      for (const Arc& arc : g.out_neighbors(u)) {
+        if (dist[arc.dst] == kUnreachable) {
+          dist[arc.dst] = hops;
+          next.push_back(arc.dst);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+namespace {
+
+/// Counts edges among the neighbors of v (each counted once).
+std::uint64_t links_among_neighbors(const CsrGraph& g, VertexId v) {
+  const auto nbrs = g.out_neighbors(v);
+  std::uint64_t links = 0;
+  for (const Arc& a : nbrs) {
+    if (a.dst == v) continue;
+    // For each neighbor u, count its neighbors that are also neighbors of
+    // v with a higher id (avoid double counting).  Both lists are sorted.
+    const auto u_nbrs = g.out_neighbors(a.dst);
+    std::size_t i = 0, j = 0;
+    while (i < nbrs.size() && j < u_nbrs.size()) {
+      if (nbrs[i].dst < u_nbrs[j].dst) {
+        ++i;
+      } else if (nbrs[i].dst > u_nbrs[j].dst) {
+        ++j;
+      } else {
+        if (nbrs[i].dst > a.dst && nbrs[i].dst != v) ++links;
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return links;
+}
+
+}  // namespace
+
+double local_clustering(const CsrGraph& g, VertexId v) {
+  ASAMAP_CHECK(g.is_symmetric(), "clustering needs an undirected graph");
+  const std::size_t d = g.out_degree(v);
+  if (d < 2) return 0.0;
+  const double possible = static_cast<double>(d) * (d - 1) / 2.0;
+  return static_cast<double>(links_among_neighbors(g, v)) / possible;
+}
+
+double average_clustering(const CsrGraph& g) {
+  ASAMAP_CHECK(g.is_symmetric(), "clustering needs an undirected graph");
+  const VertexId n = g.num_vertices();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (VertexId v = 0; v < n; ++v) sum += local_clustering(g, v);
+  return sum / static_cast<double>(n);
+}
+
+double transitivity(const CsrGraph& g) {
+  ASAMAP_CHECK(g.is_symmetric(), "transitivity needs an undirected graph");
+  std::uint64_t triangles3 = 0;  // 3 * triangle count
+  std::uint64_t triples = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::size_t d = g.out_degree(v);
+    if (d >= 2) triples += d * (d - 1) / 2;
+    triangles3 += links_among_neighbors(g, v);
+  }
+  return triples == 0 ? 0.0
+                      : static_cast<double>(triangles3) /
+                            static_cast<double>(triples);
+}
+
+}  // namespace asamap::graph

@@ -1,0 +1,85 @@
+#include "asamap/graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "asamap/support/check.hpp"
+
+namespace asamap::graph {
+
+CsrGraph CsrGraph::from_edges(const EdgeList& edges, VertexId n_hint) {
+  CsrGraph g;
+  g.n_ = std::max(edges.vertex_count(), n_hint);
+  const std::size_t n = g.n_;
+  const auto& es = edges.edges();
+
+  // Counting-sort style CSR construction for both directions.
+  std::vector<EdgeId> out_count(n, 0);
+  std::vector<EdgeId> in_count(n, 0);
+  for (const Edge& e : es) {
+    ASAMAP_CHECK(e.src < n && e.dst < n, "edge endpoint out of range");
+    ++out_count[e.src];
+    ++in_count[e.dst];
+  }
+
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    g.out_offsets_[u + 1] = g.out_offsets_[u] + out_count[u];
+    g.in_offsets_[u + 1] = g.in_offsets_[u] + in_count[u];
+  }
+
+  g.out_arcs_.resize(es.size());
+  g.in_arcs_.resize(es.size());
+  std::vector<EdgeId> out_cursor(g.out_offsets_.begin(),
+                                 g.out_offsets_.end() - 1);
+  std::vector<EdgeId> in_cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (const Edge& e : es) {
+    g.out_arcs_[out_cursor[e.src]++] = Arc{e.dst, e.weight};
+    g.in_arcs_[in_cursor[e.dst]++] = Arc{e.src, e.weight};
+  }
+  // Keep adjacency sorted by neighbor id for deterministic iteration and
+  // binary-search lookups.  (in_arcs_ arrive sorted by src already because
+  // es is sorted by (src, dst) after coalesce; out_arcs_ likewise — but we
+  // sort defensively since from_edges does not require coalesced input to
+  // be sorted.)
+  for (std::size_t u = 0; u < n; ++u) {
+    auto cmp = [](const Arc& a, const Arc& b) { return a.dst < b.dst; };
+    std::sort(g.out_arcs_.begin() + static_cast<std::ptrdiff_t>(g.out_offsets_[u]),
+              g.out_arcs_.begin() + static_cast<std::ptrdiff_t>(g.out_offsets_[u + 1]),
+              cmp);
+    std::sort(g.in_arcs_.begin() + static_cast<std::ptrdiff_t>(g.in_offsets_[u]),
+              g.in_arcs_.begin() + static_cast<std::ptrdiff_t>(g.in_offsets_[u + 1]),
+              cmp);
+  }
+
+  g.out_weight_.assign(n, 0.0);
+  g.in_weight_.assign(n, 0.0);
+  for (const Edge& e : es) {
+    g.out_weight_[e.src] += e.weight;
+    g.in_weight_[e.dst] += e.weight;
+    g.total_weight_ += e.weight;
+  }
+
+  // Symmetry check: for every vertex the sorted out and in adjacency must
+  // match arc-for-arc.
+  g.symmetric_ = true;
+  for (std::size_t u = 0; u < n && g.symmetric_; ++u) {
+    const auto out = g.out_neighbors(static_cast<VertexId>(u));
+    const auto in = g.in_neighbors(static_cast<VertexId>(u));
+    if (out.size() != in.size()) {
+      g.symmetric_ = false;
+      break;
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i].dst != in[i].dst ||
+          std::abs(out[i].weight - in[i].weight) > 1e-12) {
+        g.symmetric_ = false;
+        break;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace asamap::graph

@@ -1,0 +1,57 @@
+#include "asamap/graph/edge_list.hpp"
+
+#include <algorithm>
+
+#include "asamap/support/check.hpp"
+
+namespace asamap::graph {
+
+void EdgeList::add(VertexId u, VertexId v, Weight w) {
+  ASAMAP_CHECK(u != kInvalidVertex && v != kInvalidVertex,
+               "vertex id out of range");
+  edges_.push_back(Edge{u, v, w});
+  max_vertex_ = std::max({max_vertex_, u, v});
+}
+
+void EdgeList::add_undirected(VertexId u, VertexId v, Weight w) {
+  add(u, v, w);
+  if (u != v) add(v, u, w);
+}
+
+void EdgeList::symmetrize() {
+  const std::size_t n = edges_.size();
+  edges_.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Edge e = edges_[i];
+    if (e.src != e.dst) edges_.push_back(Edge{e.dst, e.src, e.weight});
+  }
+}
+
+void EdgeList::coalesce(bool keep_self_loops) {
+  if (!keep_self_loops) {
+    std::erase_if(edges_, [](const Edge& e) { return e.src == e.dst; });
+  }
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  // Merge runs of identical (src, dst) by summing weights, in place.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < edges_.size();) {
+    Edge merged = edges_[i];
+    std::size_t j = i + 1;
+    while (j < edges_.size() && edges_[j].src == merged.src &&
+           edges_[j].dst == merged.dst) {
+      merged.weight += edges_[j].weight;
+      ++j;
+    }
+    edges_[out++] = merged;
+    i = j;
+  }
+  edges_.resize(out);
+}
+
+void EdgeList::ensure_vertex_count(VertexId n) {
+  if (n > 0 && n - 1 > max_vertex_) max_vertex_ = n - 1;
+}
+
+}  // namespace asamap::graph

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file algorithms.hpp
+/// Classic graph algorithms used around the experiment suite: connected
+/// components (community detectors should be run per component; LFR
+/// instances are validated for connectivity), BFS distances, and clustering
+/// coefficients (a standard characterization of the social-network
+/// stand-ins alongside the degree distribution).
+
+#include <cstdint>
+#include <vector>
+
+#include "asamap/graph/csr_graph.hpp"
+
+namespace asamap::graph {
+
+struct ComponentResult {
+  std::vector<VertexId> component;  ///< component id per vertex, 0..k-1
+  std::size_t count = 0;            ///< number of components
+  std::size_t largest_size = 0;     ///< vertices in the biggest component
+};
+
+/// Weakly connected components (treats arcs as undirected).
+ComponentResult connected_components(const CsrGraph& g);
+
+/// BFS hop distances from `source` over out-arcs;
+/// unreachable vertices get kUnreachable.
+inline constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, VertexId source);
+
+/// Local clustering coefficient of vertex v: the fraction of its neighbor
+/// pairs that are themselves connected.  0 for degree < 2.  The graph must
+/// be symmetric.
+double local_clustering(const CsrGraph& g, VertexId v);
+
+/// Average of local clustering coefficients over all vertices
+/// (Watts-Strogatz's C).
+double average_clustering(const CsrGraph& g);
+
+/// Global transitivity: 3 * triangles / connected triples.
+double transitivity(const CsrGraph& g);
+
+}  // namespace asamap::graph

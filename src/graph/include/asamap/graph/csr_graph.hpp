@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file csr_graph.hpp
+/// Immutable compressed-sparse-row graph.  Stores both out-adjacency and
+/// in-adjacency because Infomap needs outgoing *and* incoming flow per vertex
+/// (Algorithm 1 accumulates `outFlowtoModules` and `inFlowFromModules`).
+/// For graphs built from undirected edge lists the two sides are identical
+/// but are still materialized separately so directed inputs work unchanged.
+
+#include <span>
+#include <vector>
+
+#include "asamap/graph/edge_list.hpp"
+#include "asamap/graph/types.hpp"
+
+namespace asamap::graph {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Freezes a coalesced edge list (call EdgeList::coalesce first — duplicate
+  /// arcs are not merged here).  `n_hint` lets callers include trailing
+  /// isolated vertices.
+  static CsrGraph from_edges(const EdgeList& edges, VertexId n_hint = 0);
+
+  [[nodiscard]] VertexId num_vertices() const noexcept { return n_; }
+  [[nodiscard]] EdgeId num_arcs() const noexcept {
+    return static_cast<EdgeId>(out_arcs_.size());
+  }
+
+  /// Outgoing arcs of u.
+  [[nodiscard]] std::span<const Arc> out_neighbors(VertexId u) const noexcept {
+    return {out_arcs_.data() + out_offsets_[u],
+            out_arcs_.data() + out_offsets_[u + 1]};
+  }
+
+  /// Incoming arcs of u (Arc::dst is the *source* vertex of the arc).
+  [[nodiscard]] std::span<const Arc> in_neighbors(VertexId u) const noexcept {
+    return {in_arcs_.data() + in_offsets_[u],
+            in_arcs_.data() + in_offsets_[u + 1]};
+  }
+
+  /// Index of u's first out-arc in global arc order (matches the order of
+  /// FlowNetwork::out_flow and the simulated arc-array addresses).
+  [[nodiscard]] EdgeId out_offset(VertexId u) const noexcept {
+    return out_offsets_[u];
+  }
+  [[nodiscard]] EdgeId in_offset(VertexId u) const noexcept {
+    return in_offsets_[u];
+  }
+
+  [[nodiscard]] std::size_t out_degree(VertexId u) const noexcept {
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  [[nodiscard]] std::size_t in_degree(VertexId u) const noexcept {
+    return in_offsets_[u + 1] - in_offsets_[u];
+  }
+
+  /// Sum of weights of outgoing arcs of u.
+  [[nodiscard]] Weight out_weight(VertexId u) const noexcept {
+    return out_weight_[u];
+  }
+  [[nodiscard]] Weight in_weight(VertexId u) const noexcept {
+    return in_weight_[u];
+  }
+
+  /// Total weight over all arcs.
+  [[nodiscard]] Weight total_arc_weight() const noexcept {
+    return total_weight_;
+  }
+
+  /// True when for every arc u->v there is v->u with the same weight —
+  /// detected at build time; lets Infomap use the cheaper undirected flow
+  /// model.
+  [[nodiscard]] bool is_symmetric() const noexcept { return symmetric_; }
+
+ private:
+  VertexId n_ = 0;
+  std::vector<EdgeId> out_offsets_{0};
+  std::vector<Arc> out_arcs_;
+  std::vector<EdgeId> in_offsets_{0};
+  std::vector<Arc> in_arcs_;
+  std::vector<Weight> out_weight_;
+  std::vector<Weight> in_weight_;
+  Weight total_weight_ = 0.0;
+  bool symmetric_ = true;
+};
+
+}  // namespace asamap::graph

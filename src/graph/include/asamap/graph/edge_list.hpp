@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file edge_list.hpp
+/// Mutable edge-list staging area used to assemble graphs before freezing
+/// them into CSR form.  Handles duplicate-edge accumulation, self-loop
+/// removal, and symmetrization, which the SNAP datasets (and our synthetic
+/// stand-ins) all require.
+
+#include <cstddef>
+#include <vector>
+
+#include "asamap/graph/types.hpp"
+
+namespace asamap::graph {
+
+class EdgeList {
+ public:
+  EdgeList() = default;
+
+  /// Reserves space for `n` edges.
+  void reserve(std::size_t n) { edges_.reserve(n); }
+
+  /// Appends an arc u -> v with weight w.  Vertex ids may arrive in any
+  /// order; the maximum id seen defines the vertex count.
+  void add(VertexId u, VertexId v, Weight w = 1.0);
+
+  /// Adds both u -> v and v -> u (undirected edge).
+  void add_undirected(VertexId u, VertexId v, Weight w = 1.0);
+
+  /// Ensures every arc has its reverse (weights mirrored); duplicates are
+  /// merged by coalesce() later.
+  void symmetrize();
+
+  /// Sorts by (src, dst) and merges parallel arcs by summing weights.
+  /// Self-loops are dropped unless `keep_self_loops`.
+  void coalesce(bool keep_self_loops = false);
+
+  [[nodiscard]] std::size_t size() const noexcept { return edges_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return edges_.empty(); }
+
+  /// Number of vertices implied by the highest id seen (0 when empty).
+  [[nodiscard]] VertexId vertex_count() const noexcept {
+    return empty() && max_vertex_ == 0 ? 0 : max_vertex_ + 1;
+  }
+
+  /// Forces the vertex count to at least `n` (to include isolated vertices).
+  void ensure_vertex_count(VertexId n);
+
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+
+ private:
+  std::vector<Edge> edges_;
+  VertexId max_vertex_ = 0;
+};
+
+}  // namespace asamap::graph

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file io.hpp
+/// SNAP-style edge-list text I/O.  The paper's datasets come from the SNAP
+/// collection, whose on-disk format is one `u <tab/space> v` pair per line
+/// with `#`-prefixed comment lines.  Weighted variants add a third column.
+
+#include <filesystem>
+#include <istream>
+#include <ostream>
+
+#include "asamap/graph/csr_graph.hpp"
+#include "asamap/graph/edge_list.hpp"
+
+namespace asamap::graph {
+
+struct SnapReadOptions {
+  /// Treat each line as an undirected edge (add both arcs).  SNAP's
+  /// com-Amazon/com-DBLP/com-Youtube/com-Orkut are undirected; soc-Pokec and
+  /// soc-LiveJournal are directed.
+  bool undirected = true;
+  /// Drop self loops while reading.
+  bool drop_self_loops = true;
+};
+
+/// Parses SNAP edge-list text from a stream.  Throws std::runtime_error on
+/// malformed lines.  Vertex ids are used as-is (no re-labeling), so sparse id
+/// spaces produce isolated vertices.
+EdgeList read_snap_stream(std::istream& in, const SnapReadOptions& opts = {});
+
+/// Convenience: read + coalesce + freeze to CSR.
+CsrGraph load_snap_file(const std::filesystem::path& path,
+                        const SnapReadOptions& opts = {});
+
+/// Writes a graph's arcs in SNAP format (with weights when any weight != 1).
+void write_snap_stream(std::ostream& out, const CsrGraph& g);
+void save_snap_file(const std::filesystem::path& path, const CsrGraph& g);
+
+}  // namespace asamap::graph

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file stats.hpp
+/// Degree-distribution analysis backing Fig. 4 (power-law histograms) and
+/// Fig. 5 (fraction of vertices whose neighbor list fits in a CAM of a given
+/// capacity).
+
+#include <cstdint>
+#include <vector>
+
+#include "asamap/graph/csr_graph.hpp"
+
+namespace asamap::graph {
+
+/// Degree histogram: `counts[k]` = number of vertices with out-degree k.
+struct DegreeHistogram {
+  std::vector<std::uint64_t> counts;  ///< indexed by degree
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+
+  /// Number of vertices with degree exactly k (0 if k beyond max).
+  [[nodiscard]] std::uint64_t at(std::size_t k) const {
+    return k < counts.size() ? counts[k] : 0;
+  }
+};
+
+DegreeHistogram degree_histogram(const CsrGraph& g);
+
+/// Fraction of vertices with out-degree <= cap, i.e. whose full neighbor
+/// list fits in a CAM with `cap` entries without overflow.  This is the
+/// quantity plotted in Fig. 5 (the paper converts CAM bytes to entries).
+double coverage_at_capacity(const DegreeHistogram& h, std::size_t cap);
+
+/// CDF over the given capacities; returns one coverage fraction per entry.
+std::vector<double> coverage_cdf(const DegreeHistogram& h,
+                                 const std::vector<std::size_t>& capacities);
+
+/// Least-squares fit of log(count) ~ -gamma * log(degree) over degrees with
+/// nonzero counts in [min_degree, max fitted degree].  Returns the estimated
+/// power-law exponent gamma.  Used by tests to verify generator output and
+/// by the Fig. 4 bench to annotate the histograms.
+double fit_power_law_exponent(const DegreeHistogram& h,
+                              std::size_t min_degree = 2);
+
+}  // namespace asamap::graph

@@ -1,0 +1,114 @@
+#include "asamap/graph/io.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace asamap::graph {
+namespace {
+
+/// Skips spaces/tabs, then parses one token; returns the remaining view.
+/// Throws on parse failure so corrupt inputs fail loudly.
+template <typename T>
+std::string_view parse_token(std::string_view s, T& out, std::size_t line_no) {
+  std::size_t i = 0;
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  s.remove_prefix(i);
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  std::from_chars_result r{};
+  if constexpr (std::is_floating_point_v<T>) {
+    // GCC 12 supports floating-point from_chars.
+    r = std::from_chars(begin, end, out);
+  } else {
+    r = std::from_chars(begin, end, out);
+  }
+  if (r.ec != std::errc{}) {
+    throw std::runtime_error("SNAP parse error at line " +
+                             std::to_string(line_no));
+  }
+  return s.substr(static_cast<std::size_t>(r.ptr - begin));
+}
+
+bool has_more_tokens(std::string_view s) {
+  for (char c : s) {
+    if (c != ' ' && c != '\t' && c != '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+EdgeList read_snap_stream(std::istream& in, const SnapReadOptions& opts) {
+  EdgeList edges;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view s = line;
+    // Trim leading whitespace; skip blanks and comments.
+    std::size_t i = 0;
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    s.remove_prefix(i);
+    if (s.empty() || s.front() == '#' || s.front() == '%') continue;
+
+    VertexId u{}, v{};
+    s = parse_token(s, u, line_no);
+    s = parse_token(s, v, line_no);
+    Weight w = 1.0;
+    if (has_more_tokens(s)) s = parse_token(s, w, line_no);
+
+    if (opts.drop_self_loops && u == v) continue;
+    if (opts.undirected) {
+      edges.add_undirected(u, v, w);
+    } else {
+      edges.add(u, v, w);
+    }
+  }
+  return edges;
+}
+
+CsrGraph load_snap_file(const std::filesystem::path& path,
+                        const SnapReadOptions& opts) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open graph file: " + path.string());
+  }
+  EdgeList edges = read_snap_stream(in, opts);
+  edges.coalesce();
+  return CsrGraph::from_edges(edges);
+}
+
+void write_snap_stream(std::ostream& out, const CsrGraph& g) {
+  out << "# asamap graph: " << g.num_vertices() << " vertices, "
+      << g.num_arcs() << " arcs\n";
+  bool weighted = false;
+  for (VertexId u = 0; u < g.num_vertices() && !weighted; ++u) {
+    for (const Arc& a : g.out_neighbors(u)) {
+      if (std::abs(a.weight - 1.0) > 1e-12) {
+        weighted = true;
+        break;
+      }
+    }
+  }
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const Arc& a : g.out_neighbors(u)) {
+      out << u << '\t' << a.dst;
+      if (weighted) out << '\t' << a.weight;
+      out << '\n';
+    }
+  }
+}
+
+void save_snap_file(const std::filesystem::path& path, const CsrGraph& g) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write graph file: " + path.string());
+  }
+  write_snap_stream(out, g);
+}
+
+}  // namespace asamap::graph

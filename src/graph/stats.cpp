@@ -1,0 +1,74 @@
+#include "asamap/graph/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asamap::graph {
+
+DegreeHistogram degree_histogram(const CsrGraph& g) {
+  DegreeHistogram h;
+  const VertexId n = g.num_vertices();
+  if (n == 0) {
+    h.counts = {0};
+    return h;
+  }
+  std::size_t max_deg = 0;
+  for (VertexId u = 0; u < n; ++u) max_deg = std::max(max_deg, g.out_degree(u));
+  h.counts.assign(max_deg + 1, 0);
+  double total = 0.0;
+  for (VertexId u = 0; u < n; ++u) {
+    const std::size_t d = g.out_degree(u);
+    ++h.counts[d];
+    total += static_cast<double>(d);
+  }
+  h.max_degree = max_deg;
+  h.mean_degree = total / static_cast<double>(n);
+  return h;
+}
+
+double coverage_at_capacity(const DegreeHistogram& h, std::size_t cap) {
+  std::uint64_t total = 0;
+  std::uint64_t covered = 0;
+  for (std::size_t k = 0; k < h.counts.size(); ++k) {
+    total += h.counts[k];
+    if (k <= cap) covered += h.counts[k];
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(covered) / static_cast<double>(total);
+}
+
+std::vector<double> coverage_cdf(const DegreeHistogram& h,
+                                 const std::vector<std::size_t>& capacities) {
+  std::vector<double> out;
+  out.reserve(capacities.size());
+  for (std::size_t cap : capacities) out.push_back(coverage_at_capacity(h, cap));
+  return out;
+}
+
+double fit_power_law_exponent(const DegreeHistogram& h,
+                              std::size_t min_degree) {
+  // Simple OLS on (log k, log count) for k >= min_degree.  Bins with very
+  // few vertices are dropped: the bounded-tail noise (single-count bins up
+  // to the degree cap) otherwise flattens the slope far below the body's
+  // exponent.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t m = 0;
+  for (std::size_t k = std::max<std::size_t>(min_degree, 1);
+       k < h.counts.size(); ++k) {
+    if (h.counts[k] < 5) continue;
+    const double x = std::log(static_cast<double>(k));
+    const double y = std::log(static_cast<double>(h.counts[k]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++m;
+  }
+  if (m < 2) return 0.0;
+  const double denom = static_cast<double>(m) * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return 0.0;
+  const double slope = (static_cast<double>(m) * sxy - sx * sy) / denom;
+  return -slope;  // P(k) ~ k^-gamma
+}
+
+}  // namespace asamap::graph

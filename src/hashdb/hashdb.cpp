@@ -1,0 +1,14 @@
+// Anchor translation unit for the (otherwise header-only) hashdb library, so
+// the static library target has at least one object file.  Also hosts
+// compile-time checks of the template instantiations we ship.
+
+#include "asamap/hashdb/chained_map.hpp"
+#include "asamap/hashdb/open_map.hpp"
+
+namespace asamap::hashdb {
+
+// Force the common instantiations to compile in one place.
+template class ChainedMap<sim::NullSink>;
+template class OpenMap<sim::NullSink>;
+
+}  // namespace asamap::hashdb

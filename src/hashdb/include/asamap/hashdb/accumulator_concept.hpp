@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file accumulator_concept.hpp
+/// The key/value accumulation concept every engine implements — software
+/// hash maps (this library), the ASA CAM (asa/), and the dense-array
+/// ablation (core/).  Both consumers of the concept — Infomap's
+/// FindBestCommunity kernel and the SpGEMM kernel — are written once
+/// against it; that interchangeability is the paper's "generalized ASA
+/// interface" made concrete.
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+
+#include "asamap/hashdb/kv.hpp"
+
+namespace asamap::hashdb {
+
+template <typename A>
+concept KvAccumulator = requires(A a, std::uint32_t k, double v) {
+  { a.begin() };                 // start a fresh accumulation
+  { a.accumulate(k, v) };        // key += value (insert on first sight)
+  { a.finalize() } -> std::convertible_to<std::span<const KeyValue>>;
+  { a.distinct() } -> std::convertible_to<std::size_t>;
+};
+
+}  // namespace asamap::hashdb

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file address_space.hpp
+/// Synthetic address generation for the instrumented data structures.
+///
+/// The cost model needs realistic *addresses*, not real ones: contiguous
+/// regions for arrays (bucket tables, slot arrays, CAM spill vectors) and a
+/// scattered heap for individually allocated hash-table nodes.  Scattering
+/// models what `std::unordered_map` actually does — nodes come from the
+/// allocator one at a time and end up spread across the heap, which is
+/// exactly the pointer-chasing irregularity the paper blames for the
+/// Baseline's memory stalls.  Deterministic (hash of an allocation counter),
+/// so simulations are bit-reproducible.
+
+#include <cstdint>
+
+#include "asamap/support/hash.hpp"
+
+namespace asamap::hashdb {
+
+class AddressSpace {
+ public:
+  struct Config {
+    std::uint64_t array_base = 0x1000'0000'0000ULL;  ///< bump region for arrays
+    std::uint64_t heap_base = 0x2000'0000'0000ULL;   ///< scattered node heap
+    std::uint64_t heap_span_bytes = 64ULL << 20;     ///< heap fragmentation span
+    /// Number of distinct node slots cycled through before reuse.  Models a
+    /// LIFO free list: per-vertex tables are created and destroyed in quick
+    /// succession, so freed nodes come back soon — but scattered, so the
+    /// recycled working set (window * 64 B) competes for L1/L2 capacity.
+    std::uint64_t node_window = 32768;
+  };
+
+  AddressSpace() = default;
+  explicit AddressSpace(Config config) : config_(config) {}
+
+  /// Allocates a contiguous, 64-byte-aligned array region of `bytes`.
+  std::uint64_t alloc_array(std::uint64_t bytes) {
+    const std::uint64_t addr = config_.array_base + array_cursor_;
+    array_cursor_ += (bytes + 63) & ~std::uint64_t{63};
+    return addr;
+  }
+
+  /// Returns the address for the next node-sized heap allocation: scattered
+  /// pseudo-randomly over the heap span, 64-byte aligned, recycling within a
+  /// `node_window`-slot working set.  Consecutive allocations land on
+  /// unrelated cache lines (fragmentation), while reuse keeps the footprint
+  /// bounded (free-list behaviour) — together, the memory behaviour the
+  /// paper blames for the Baseline's latency-bound accesses.
+  std::uint64_t alloc_node() {
+    const std::uint64_t slots = config_.heap_span_bytes / 64;
+    const std::uint64_t recycled = node_counter_++ % config_.node_window;
+    const std::uint64_t idx = support::mix64(recycled) % slots;
+    return config_.heap_base + idx * 64;
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_{};
+  std::uint64_t array_cursor_ = 0;
+  std::uint64_t node_counter_ = 0;
+};
+
+}  // namespace asamap::hashdb

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file kv.hpp
+/// The (key, value) pair exchanged between flow accumulators and the
+/// FindBestCommunity kernel: key = neighboring module id, value = total flow
+/// to/from that module.  Shared by the software-hash and ASA paths so the
+/// kernel is agnostic to which engine produced the pairs.
+
+#include <cstdint>
+
+namespace asamap::hashdb {
+
+struct KeyValue {
+  std::uint32_t key = 0;
+  double value = 0.0;
+
+  friend bool operator==(const KeyValue&, const KeyValue&) = default;
+};
+
+}  // namespace asamap::hashdb

@@ -1,0 +1,162 @@
+#pragma once
+
+/// \file open_map.hpp
+/// Instrumented open-addressing (linear probing) hash map.  Ablation
+/// companion to ChainedMap: shows that the Baseline bottleneck is intrinsic
+/// to software hashing (probe-loop branches remain) rather than an artifact
+/// of libstdc++'s chained layout.  Slots live in one contiguous array, so
+/// its cache behaviour is friendlier than the chained map's — the gap
+/// between the two isolates the pointer-chasing component.
+
+#include <cstdint>
+#include <vector>
+
+#include "asamap/hashdb/address_space.hpp"
+#include "asamap/sim/event_sink.hpp"
+#include "asamap/support/check.hpp"
+#include "asamap/support/hash.hpp"
+
+namespace asamap::hashdb {
+
+struct OpenCosts {
+  std::uint32_t hash_and_index = 4;
+  std::uint32_t probe_step = 2;       ///< index increment + wrap mask
+  std::uint32_t accumulate = 2;
+  std::uint32_t insert = 4;
+  std::uint32_t grow_per_slot = 5;
+  std::uint32_t iterate_per_slot = 2;
+};
+
+template <sim::EventSink Sink, typename Key = std::uint32_t,
+          typename Value = double>
+class OpenMap {
+ public:
+  static constexpr std::uint32_t kSlotBytes = 16;  // key + value (+ state bit)
+
+  OpenMap(Sink& sink, AddressSpace& addrs, std::size_t initial_slots = 16,
+          OpenCosts costs = {})
+      : sink_(&sink),
+        addrs_(&addrs),
+        costs_(costs),
+        initial_slots_(
+            support::next_pow2(std::max<std::size_t>(initial_slots, 8))) {
+    // One region with growth headroom (only touched lines cost anything).
+    slot_base_ = addrs_->alloc_array((std::size_t{1} << 22) * kSlotBytes);
+    slots_.assign(initial_slots_, Slot{});
+  }
+
+  bool accumulate(Key key, Value value) {
+    maybe_grow();
+    sink_->instructions(costs_.hash_and_index);
+    const std::uint64_t h = support::mix64(static_cast<std::uint64_t>(key));
+    std::size_t i = support::bucket_of(h, slots_.size());
+    for (;;) {
+      Slot& s = slots_[i];
+      sink_->load(slot_addr(i), kSlotBytes);
+      sink_->branch(sim::sites::kOpenSlotState, s.occupied);
+      if (!s.occupied) {
+        sink_->instructions(costs_.insert);
+        s.occupied = true;
+        s.key = key;
+        s.value = value;
+        sink_->store(slot_addr(i), kSlotBytes);
+        ++size_;
+        return true;
+      }
+      const bool match = s.key == key;
+      sink_->branch(sim::sites::kOpenKeyCompare, match);
+      if (match) {
+        sink_->instructions(costs_.accumulate);
+        s.value += value;
+        sink_->store(slot_addr(i) + 8, 8);
+        return false;
+      }
+      sink_->instructions(costs_.probe_step);
+      i = (i + 1) & (slots_.size() - 1);
+    }
+  }
+
+  const Value* find(Key key) {
+    sink_->instructions(costs_.hash_and_index);
+    const std::uint64_t h = support::mix64(static_cast<std::uint64_t>(key));
+    std::size_t i = support::bucket_of(h, slots_.size());
+    for (;;) {
+      const Slot& s = slots_[i];
+      sink_->load(slot_addr(i), kSlotBytes);
+      sink_->branch(sim::sites::kOpenSlotState, s.occupied);
+      if (!s.occupied) return nullptr;
+      const bool match = s.key == key;
+      sink_->branch(sim::sites::kOpenKeyCompare, match);
+      if (match) return &s.value;
+      sink_->instructions(costs_.probe_step);
+      i = (i + 1) & (slots_.size() - 1);
+    }
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const Slot& s = slots_[i];
+      sink_->instructions(costs_.iterate_per_slot);
+      sink_->load(slot_addr(i), kSlotBytes);
+      sink_->branch(sim::sites::kOpenSlotState, s.occupied);
+      if (s.occupied) fn(s.key, s.value);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Fresh table per vertex (see ChainedMap::clear for the rationale).
+  void clear() {
+    sink_->instructions(kConstructDestroyCost);
+    slots_.assign(initial_slots_, Slot{});
+    size_ = 0;
+  }
+
+  static constexpr std::uint32_t kConstructDestroyCost = 24;
+
+ private:
+  struct Slot {
+    Key key{};
+    Value value{};
+    bool occupied = false;
+  };
+
+  [[nodiscard]] std::uint64_t slot_addr(std::size_t i) const noexcept {
+    return slot_base_ + i * kSlotBytes;
+  }
+
+  void maybe_grow() {
+    const bool grow = (size_ + 1) * 10 > slots_.size() * 7;  // max load 0.7
+    sink_->branch(sim::sites::kOpenNeedGrow, grow);
+    if (!grow) return;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    size_ = 0;
+    for (const Slot& s : old) {
+      sink_->instructions(costs_.grow_per_slot);
+      if (!s.occupied) continue;
+      // Re-insert without the growth check (capacity already doubled).
+      const std::uint64_t h = support::mix64(static_cast<std::uint64_t>(s.key));
+      std::size_t i = support::bucket_of(h, slots_.size());
+      while (slots_[i].occupied) {
+        sink_->load(slot_addr(i), kSlotBytes);
+        i = (i + 1) & (slots_.size() - 1);
+      }
+      slots_[i] = s;
+      sink_->store(slot_addr(i), kSlotBytes);
+      ++size_;
+    }
+  }
+
+  Sink* sink_;
+  AddressSpace* addrs_;
+  OpenCosts costs_;
+  std::size_t initial_slots_;
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::uint64_t slot_base_ = 0;
+};
+
+}  // namespace asamap::hashdb

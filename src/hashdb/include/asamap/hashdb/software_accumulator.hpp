@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file software_accumulator.hpp
+/// The Baseline-side flow accumulators: wrap an instrumented software hash
+/// map behind the same begin/accumulate/finalize interface the ASA
+/// accumulator exposes, so FindBestCommunity is written once and
+/// parameterized on the accumulation engine (the paper's Algorithm 1 vs
+/// Algorithm 2 difference).
+///
+/// `finalize()` walks the hash table (buckets + chains for the chained map —
+/// the expensive, branchy iteration of Algorithm 1 lines 16-25) and
+/// materializes the pairs into a contiguous scratch vector, charging the
+/// traversal to the sink.  The kernel then scans that vector for the
+/// code-length minimization, which costs the same for every accumulator —
+/// keeping the Baseline-vs-ASA comparison isolated to the accumulation
+/// machinery itself.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "asamap/hashdb/chained_map.hpp"
+#include "asamap/hashdb/kv.hpp"
+#include "asamap/hashdb/open_map.hpp"
+#include "asamap/sim/event_sink.hpp"
+
+namespace asamap::hashdb {
+
+namespace detail {
+
+/// Common finalize/scratch plumbing for map-backed accumulators.
+template <sim::EventSink Sink, typename Map>
+class MapAccumulator {
+ public:
+  static constexpr std::uint32_t kPairBytes = 16;
+
+  MapAccumulator(Sink& sink, AddressSpace& addrs, std::size_t initial_capacity)
+      : sink_(&sink), map_(sink, addrs, initial_capacity) {
+    scratch_base_ = addrs.alloc_array(1ULL << 20);
+  }
+
+  void begin() {
+    map_.clear();
+    scratch_.clear();
+    finalized_ = false;
+  }
+
+  void accumulate(std::uint32_t key, double value) {
+    map_.accumulate(key, value);
+  }
+
+  /// Materializes the final (module, flow) pairs.  The traversal cost of
+  /// the underlying table is charged by the map's for_each; the sequential
+  /// writes into scratch are charged here.
+  std::span<const KeyValue> finalize() {
+    if (!finalized_) {
+      map_.for_each([&](std::uint32_t key, double value) {
+        sink_->store(scratch_base_ + scratch_.size() * kPairBytes, kPairBytes);
+        scratch_.push_back(KeyValue{key, value});
+      });
+      finalized_ = true;
+    }
+    return scratch_;
+  }
+
+  [[nodiscard]] std::size_t distinct() const noexcept { return map_.size(); }
+  [[nodiscard]] const Map& map() const noexcept { return map_; }
+
+ private:
+  Sink* sink_;
+  Map map_;
+  std::vector<KeyValue> scratch_;
+  std::uint64_t scratch_base_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace detail
+
+/// Accumulator over the chained map — models std::unordered_map, the
+/// paper's Baseline.
+template <sim::EventSink Sink>
+class ChainedAccumulator
+    : public detail::MapAccumulator<Sink, ChainedMap<Sink>> {
+ public:
+  ChainedAccumulator(Sink& sink, AddressSpace& addrs,
+                     std::size_t initial_buckets = 16)
+      : detail::MapAccumulator<Sink, ChainedMap<Sink>>(sink, addrs,
+                                                       initial_buckets) {}
+};
+
+/// Accumulator over the open-addressing map — the "better software hash"
+/// ablation.
+template <sim::EventSink Sink>
+class OpenAccumulator : public detail::MapAccumulator<Sink, OpenMap<Sink>> {
+ public:
+  OpenAccumulator(Sink& sink, AddressSpace& addrs,
+                  std::size_t initial_slots = 16)
+      : detail::MapAccumulator<Sink, OpenMap<Sink>>(sink, addrs,
+                                                    initial_slots) {}
+};
+
+}  // namespace asamap::hashdb

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file partition.hpp
+/// Community-partition utilities: compaction, counting, and agreement
+/// metrics (NMI, ARI) plus modularity.  These back the quality checks in the
+/// examples and tests — Infomap's claim to fame (the paper's introduction)
+/// is quality on LFR benchmarks, which we verify with NMI against planted
+/// ground truth.
+
+#include <cstdint>
+#include <vector>
+
+#include "asamap/graph/csr_graph.hpp"
+
+namespace asamap::metrics {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+/// A partition is a community id per vertex.
+using Partition = std::vector<VertexId>;
+
+/// Renumbers community ids to 0..k-1 (order of first appearance) and returns
+/// the number of communities k.
+std::size_t compact_partition(Partition& p);
+
+/// Number of distinct community ids.
+std::size_t count_communities(const Partition& p);
+
+/// Community sizes indexed by compacted id.
+std::vector<std::uint64_t> community_sizes(const Partition& p);
+
+/// Normalized Mutual Information between two partitions of the same vertex
+/// set, in [0, 1]; 1 means identical up to relabeling.  Uses the arithmetic
+/// normalization NMI = 2 I(A;B) / (H(A) + H(B)) standard in the community-
+/// detection literature (Danon et al. 2005).
+double normalized_mutual_information(const Partition& a, const Partition& b);
+
+/// Adjusted Rand Index in [-1, 1]; expected 0 for independent partitions.
+double adjusted_rand_index(const Partition& a, const Partition& b);
+
+/// Newman-Girvan modularity Q of a partition on an undirected weighted
+/// graph: Q = sum_c [ w_in_c / W - (w_deg_c / 2W)^2 ] with W the total
+/// undirected edge weight.  The graph must be symmetric.
+double modularity(const CsrGraph& g, const Partition& p);
+
+}  // namespace asamap::metrics

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file partition_io.hpp
+/// Community-assignment persistence: one `vertex <tab> community` pair per
+/// line, `#` comments allowed — the same convention SNAP's community files
+/// and Infomap's .clu outputs follow, so results interoperate with the
+/// usual analysis tooling.
+
+#include <filesystem>
+#include <istream>
+#include <ostream>
+
+#include "asamap/metrics/partition.hpp"
+
+namespace asamap::metrics {
+
+/// Writes `partition` (community id per vertex) to a stream.
+void write_partition(std::ostream& out, const Partition& partition);
+
+/// Reads a partition.  Vertices may appear in any order; missing vertices
+/// below the maximum id get community 0.  Throws std::runtime_error on
+/// malformed lines.
+Partition read_partition(std::istream& in);
+
+void save_partition(const std::filesystem::path& path,
+                    const Partition& partition);
+Partition load_partition(const std::filesystem::path& path);
+
+}  // namespace asamap::metrics

@@ -1,0 +1,138 @@
+#include "asamap/metrics/partition.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "asamap/support/check.hpp"
+
+namespace asamap::metrics {
+
+std::size_t compact_partition(Partition& p) {
+  std::unordered_map<VertexId, VertexId> relabel;
+  relabel.reserve(p.size() / 4 + 1);
+  for (VertexId& c : p) {
+    auto [it, inserted] =
+        relabel.try_emplace(c, static_cast<VertexId>(relabel.size()));
+    c = it->second;
+  }
+  return relabel.size();
+}
+
+std::size_t count_communities(const Partition& p) {
+  Partition copy = p;
+  return compact_partition(copy);
+}
+
+std::vector<std::uint64_t> community_sizes(const Partition& p) {
+  Partition copy = p;
+  const std::size_t k = compact_partition(copy);
+  std::vector<std::uint64_t> sizes(k, 0);
+  for (VertexId c : copy) ++sizes[c];
+  return sizes;
+}
+
+namespace {
+
+/// Joint contingency counts between two compacted partitions.
+struct Contingency {
+  std::size_t ka = 0, kb = 0;
+  std::vector<std::uint64_t> row;    ///< |A_i|
+  std::vector<std::uint64_t> col;    ///< |B_j|
+  std::unordered_map<std::uint64_t, std::uint64_t> joint;  ///< (i,j) -> count
+  std::uint64_t n = 0;
+};
+
+Contingency build_contingency(const Partition& a, const Partition& b) {
+  ASAMAP_CHECK(a.size() == b.size(), "partition size mismatch");
+  Partition ca = a, cb = b;
+  Contingency t;
+  t.ka = compact_partition(ca);
+  t.kb = compact_partition(cb);
+  t.row.assign(t.ka, 0);
+  t.col.assign(t.kb, 0);
+  t.n = a.size();
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    ++t.row[ca[v]];
+    ++t.col[cb[v]];
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(ca[v]) << 32) | cb[v];
+    ++t.joint[key];
+  }
+  return t;
+}
+
+}  // namespace
+
+double normalized_mutual_information(const Partition& a, const Partition& b) {
+  if (a.empty()) return 1.0;
+  const Contingency t = build_contingency(a, b);
+  const double n = static_cast<double>(t.n);
+
+  auto entropy = [&](const std::vector<std::uint64_t>& sizes) {
+    double h = 0.0;
+    for (std::uint64_t s : sizes) {
+      if (s == 0) continue;
+      const double p = static_cast<double>(s) / n;
+      h -= p * std::log(p);
+    }
+    return h;
+  };
+  const double ha = entropy(t.row);
+  const double hb = entropy(t.col);
+  if (ha == 0.0 && hb == 0.0) return 1.0;  // both trivial partitions agree
+
+  double mi = 0.0;
+  for (const auto& [key, count] : t.joint) {
+    const std::size_t i = key >> 32;
+    const std::size_t j = key & 0xffffffffULL;
+    const double pij = static_cast<double>(count) / n;
+    const double pi = static_cast<double>(t.row[i]) / n;
+    const double pj = static_cast<double>(t.col[j]) / n;
+    mi += pij * std::log(pij / (pi * pj));
+  }
+  return 2.0 * mi / (ha + hb);
+}
+
+double adjusted_rand_index(const Partition& a, const Partition& b) {
+  if (a.empty()) return 1.0;
+  const Contingency t = build_contingency(a, b);
+  auto choose2 = [](std::uint64_t x) {
+    return static_cast<double>(x) * (static_cast<double>(x) - 1.0) / 2.0;
+  };
+  double sum_joint = 0.0;
+  for (const auto& [key, count] : t.joint) sum_joint += choose2(count);
+  double sum_row = 0.0, sum_col = 0.0;
+  for (std::uint64_t s : t.row) sum_row += choose2(s);
+  for (std::uint64_t s : t.col) sum_col += choose2(s);
+  const double total = choose2(t.n);
+  if (total == 0.0) return 1.0;
+  const double expected = sum_row * sum_col / total;
+  const double max_index = 0.5 * (sum_row + sum_col);
+  if (max_index == expected) return 1.0;  // both partitions trivial
+  return (sum_joint - expected) / (max_index - expected);
+}
+
+double modularity(const CsrGraph& g, const Partition& p) {
+  ASAMAP_CHECK(p.size() == g.num_vertices(), "partition/graph size mismatch");
+  ASAMAP_CHECK(g.is_symmetric(), "modularity needs an undirected graph");
+  const double two_w = g.total_arc_weight();  // each edge counted both ways
+  if (two_w == 0.0) return 0.0;
+
+  Partition cp = p;
+  const std::size_t k = compact_partition(cp);
+  std::vector<double> internal(k, 0.0);  // sum of arc weights inside c
+  std::vector<double> degree(k, 0.0);    // sum of weighted degrees in c
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    degree[cp[u]] += g.out_weight(u);
+    for (const graph::Arc& arc : g.out_neighbors(u)) {
+      if (cp[arc.dst] == cp[u]) internal[cp[u]] += arc.weight;
+    }
+  }
+  double q = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    q += internal[c] / two_w - (degree[c] / two_w) * (degree[c] / two_w);
+  }
+  return q;
+}
+
+}  // namespace asamap::metrics

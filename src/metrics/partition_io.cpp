@@ -1,0 +1,68 @@
+#include "asamap/metrics/partition_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace asamap::metrics {
+
+void write_partition(std::ostream& out, const Partition& partition) {
+  out << "# vertex\tcommunity\n";
+  for (std::size_t v = 0; v < partition.size(); ++v) {
+    out << v << '\t' << partition[v] << '\n';
+  }
+}
+
+Partition read_partition(std::istream& in) {
+  Partition partition;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view s = line;
+    std::size_t i = 0;
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    s.remove_prefix(i);
+    if (s.empty() || s.front() == '#') continue;
+
+    auto parse = [&](std::string_view& sv) -> VertexId {
+      std::size_t skip = 0;
+      while (skip < sv.size() && (sv[skip] == ' ' || sv[skip] == '\t')) ++skip;
+      sv.remove_prefix(skip);
+      VertexId value{};
+      const auto r = std::from_chars(sv.data(), sv.data() + sv.size(), value);
+      if (r.ec != std::errc{}) {
+        throw std::runtime_error("partition parse error at line " +
+                                 std::to_string(line_no));
+      }
+      sv.remove_prefix(static_cast<std::size_t>(r.ptr - sv.data()));
+      return value;
+    };
+    const VertexId vertex = parse(s);
+    const VertexId community = parse(s);
+    if (vertex >= partition.size()) partition.resize(vertex + 1, 0);
+    partition[vertex] = community;
+  }
+  return partition;
+}
+
+void save_partition(const std::filesystem::path& path,
+                    const Partition& partition) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write partition file: " + path.string());
+  }
+  write_partition(out, partition);
+}
+
+Partition load_partition(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open partition file: " + path.string());
+  }
+  return read_partition(in);
+}
+
+}  // namespace asamap::metrics

@@ -1,0 +1,64 @@
+#include "asamap/sim/branch_predictor.hpp"
+
+#include "asamap/support/check.hpp"
+#include "asamap/support/hash.hpp"
+
+namespace asamap::sim {
+
+BimodalPredictor::BimodalPredictor(unsigned index_bits)
+    : bits_(index_bits), table_(std::size_t{1} << index_bits) {
+  ASAMAP_CHECK(index_bits >= 4 && index_bits <= 24, "index bits out of range");
+}
+
+bool BimodalPredictor::mispredicted(BranchSite site, bool taken) {
+  const std::size_t idx =
+      support::fibonacci_hash(site, bits_) & ((std::size_t{1} << bits_) - 1);
+  TwoBitCounter& ctr = table_[idx];
+  const bool predicted = ctr.predict_taken();
+  ctr.update(taken);
+  return predicted != taken;
+}
+
+void BimodalPredictor::reset() {
+  table_.assign(table_.size(), TwoBitCounter{});
+}
+
+GsharePredictor::GsharePredictor(unsigned index_bits, unsigned history_bits)
+    : bits_(index_bits),
+      history_bits_(history_bits),
+      table_(std::size_t{1} << index_bits) {
+  ASAMAP_CHECK(index_bits >= 4 && index_bits <= 24, "index bits out of range");
+  ASAMAP_CHECK(history_bits <= index_bits, "history wider than index");
+}
+
+bool GsharePredictor::mispredicted(BranchSite site, bool taken) {
+  const std::uint64_t mask = (std::uint64_t{1} << bits_) - 1;
+  const std::uint64_t site_hash = support::fibonacci_hash(site, bits_);
+  const std::size_t idx =
+      static_cast<std::size_t>((site_hash ^ history_) & mask);
+  TwoBitCounter& ctr = table_[idx];
+  const bool predicted = ctr.predict_taken();
+  ctr.update(taken);
+  history_ = ((history_ << 1) | static_cast<std::uint64_t>(taken)) &
+             ((std::uint64_t{1} << history_bits_) - 1);
+  return predicted != taken;
+}
+
+void GsharePredictor::reset() {
+  history_ = 0;
+  table_.assign(table_.size(), TwoBitCounter{});
+}
+
+std::unique_ptr<BranchPredictor> make_predictor(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kBimodal:
+      return std::make_unique<BimodalPredictor>();
+    case PredictorKind::kAlwaysTaken:
+      return std::make_unique<AlwaysTakenPredictor>();
+    case PredictorKind::kGshare:
+      break;
+  }
+  return std::make_unique<GsharePredictor>();
+}
+
+}  // namespace asamap::sim

@@ -1,0 +1,106 @@
+#include "asamap/sim/cache.hpp"
+
+#include <bit>
+
+#include "asamap/support/check.hpp"
+
+namespace asamap::sim {
+
+Cache::Cache(CacheConfig config, Cache* next, std::uint32_t memory_latency)
+    : config_(std::move(config)), next_(next), memory_latency_(memory_latency) {
+  ASAMAP_CHECK(std::has_single_bit(config_.line_bytes), "line size not pow2");
+  ASAMAP_CHECK(config_.associativity >= 1, "associativity must be >= 1");
+  const std::uint64_t lines = config_.size_bytes / config_.line_bytes;
+  ASAMAP_CHECK(lines % config_.associativity == 0,
+               "size/line/assoc mismatch");
+  num_sets_ = static_cast<std::uint32_t>(lines / config_.associativity);
+  ASAMAP_CHECK(std::has_single_bit(num_sets_), "set count not pow2");
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(config_.line_bytes));
+  lines_.resize(lines);
+}
+
+std::uint32_t Cache::access(std::uint64_t addr) {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint64_t line_addr = addr >> line_shift_;
+  const std::uint32_t set = static_cast<std::uint32_t>(line_addr) & (num_sets_ - 1);
+  const std::uint64_t tag = line_addr;
+  Line* base = lines_.data() + static_cast<std::size_t>(set) * config_.associativity;
+
+  // Hit path.
+  for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+    Line& l = base[way];
+    if (l.valid && l.tag == tag) {
+      l.lru = tick_;
+      if (l.prefetched) {
+        l.prefetched = false;
+        ++stats_.prefetch_hits;
+      }
+      return config_.latency_cycles;
+    }
+  }
+
+  // Miss: recurse, then fill the LRU way.
+  ++stats_.misses;
+  const std::uint32_t below =
+      next_ != nullptr ? next_->access(addr) : memory_latency_;
+
+  // Stride prefetch: pull the following lines in the background.
+  for (std::uint32_t p = 1; p <= config_.prefetch_lines; ++p) {
+    prefetch_fill(addr + std::uint64_t{p} * config_.line_bytes);
+  }
+
+  // Prefer a free way; otherwise evict the least-recently-used one.
+  Line* victim = base;
+  for (std::uint32_t way = 1; way < config_.associativity && victim->valid;
+       ++way) {
+    Line& l = base[way];
+    if (!l.valid || l.lru < victim->lru) victim = &l;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  victim->prefetched = false;
+  return config_.latency_cycles + below;
+}
+
+void Cache::prefetch_fill(std::uint64_t addr) {
+  const std::uint64_t line_addr = addr >> line_shift_;
+  const std::uint32_t set =
+      static_cast<std::uint32_t>(line_addr) & (num_sets_ - 1);
+  Line* base = lines_.data() + static_cast<std::size_t>(set) * config_.associativity;
+  for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+    if (base[way].valid && base[way].tag == line_addr) return;  // resident
+  }
+  ++stats_.prefetches;
+  // Insert at LRU-1 priority (standard prefetch de-prioritization: a bad
+  // prefetch should be the first thing evicted).
+  Line* victim = base;
+  for (std::uint32_t way = 1;
+       way < config_.associativity && victim->valid; ++way) {
+    Line& l = base[way];
+    if (!l.valid || l.lru < victim->lru) victim = &l;
+  }
+  victim->valid = true;
+  victim->tag = line_addr;
+  victim->lru = tick_ > 0 ? tick_ - 1 : 0;
+  victim->prefetched = true;
+}
+
+std::uint32_t Cache::access_range(std::uint64_t addr, std::uint32_t bytes) {
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) >> line_shift_;
+  std::uint32_t worst = 0;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    const std::uint32_t lat = access(line << line_shift_);
+    if (lat > worst) worst = lat;
+  }
+  return worst;
+}
+
+void Cache::flush() {
+  for (Line& l : lines_) l = Line{};
+  if (next_ != nullptr) next_->flush();
+}
+
+}  // namespace asamap::sim

@@ -1,0 +1,33 @@
+#include "asamap/sim/core_model.hpp"
+
+namespace asamap::sim {
+
+CoreModel::CoreModel(const CoreConfig& config, Cache* l3)
+    : config_(config),
+      predictor_(make_predictor(config.predictor)),
+      l2_(config.l2, l3, config.memory_latency),
+      l1_(config.l1, &l2_, config.memory_latency) {}
+
+double CoreModel::cycles() const noexcept {
+  return static_cast<double>(stats_.total_instructions()) * config_.base_cpi +
+         static_cast<double>(stats_.branch_mispredicts) *
+             config_.mispredict_penalty +
+         stats_.stall_cycles;
+}
+
+double CoreModel::cpi() const noexcept {
+  const std::uint64_t instr = stats_.total_instructions();
+  return instr == 0 ? 0.0 : cycles() / static_cast<double>(instr);
+}
+
+void CoreModel::reset_stats() noexcept { stats_ = CoreStats{}; }
+
+void CoreModel::reset_all() {
+  reset_stats();
+  predictor_->reset();
+  l1_.flush();  // flushes l2 and l3 transitively
+  l1_.reset_stats();
+  l2_.reset_stats();
+}
+
+}  // namespace asamap::sim

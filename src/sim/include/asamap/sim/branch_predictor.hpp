@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file branch_predictor.hpp
+/// Branch predictor models.  The paper's misprediction counts come from
+/// ZSim's OoO core model; we reproduce the mechanism with standard
+/// predictors.  Gshare is the default (closest to the global-history
+/// predictors of the Ivy Bridge era among simple models); bimodal and
+/// always-taken exist for the predictor-robustness ablation.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "asamap/sim/event_sink.hpp"
+
+namespace asamap::sim {
+
+/// Saturating 2-bit counter helper.
+class TwoBitCounter {
+ public:
+  [[nodiscard]] bool predict_taken() const noexcept { return state_ >= 2; }
+  void update(bool taken) noexcept {
+    if (taken) {
+      if (state_ < 3) ++state_;
+    } else {
+      if (state_ > 0) --state_;
+    }
+  }
+
+ private:
+  std::uint8_t state_ = 2;  // weakly taken, matches common reset state
+};
+
+/// Interface for predictor models: feed an outcome, learn, report
+/// mispredicts.  Kept virtual — predictor choice is an ablation knob, not a
+/// hot path (one call per branch event).
+class BranchPredictor {
+ public:
+  virtual ~BranchPredictor() = default;
+
+  /// Predicts, updates internal state with the real outcome, and returns
+  /// whether the prediction was wrong.
+  virtual bool mispredicted(BranchSite site, bool taken) = 0;
+
+  virtual void reset() = 0;
+};
+
+/// Per-site 2-bit counters indexed by hashed site id.
+class BimodalPredictor final : public BranchPredictor {
+ public:
+  explicit BimodalPredictor(unsigned index_bits = 12);
+  bool mispredicted(BranchSite site, bool taken) override;
+  void reset() override;
+
+ private:
+  unsigned bits_;
+  std::vector<TwoBitCounter> table_;
+};
+
+/// Gshare: global history XOR site id indexes the pattern table.
+class GsharePredictor final : public BranchPredictor {
+ public:
+  explicit GsharePredictor(unsigned index_bits = 14,
+                           unsigned history_bits = 12);
+  bool mispredicted(BranchSite site, bool taken) override;
+  void reset() override;
+
+ private:
+  unsigned bits_;
+  unsigned history_bits_;
+  std::uint64_t history_ = 0;
+  std::vector<TwoBitCounter> table_;
+};
+
+/// Static predict-taken; the ablation lower bound.
+class AlwaysTakenPredictor final : public BranchPredictor {
+ public:
+  bool mispredicted(BranchSite, bool taken) override { return !taken; }
+  void reset() override {}
+};
+
+enum class PredictorKind { kGshare, kBimodal, kAlwaysTaken };
+
+/// Factory used by CoreModel configuration.
+std::unique_ptr<BranchPredictor> make_predictor(PredictorKind kind);
+
+}  // namespace asamap::sim

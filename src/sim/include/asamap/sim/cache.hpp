@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file cache.hpp
+/// Set-associative cache model with true-LRU replacement.  Mirrors ZSim's
+/// functional cache behaviour at the granularity we need: hit/miss per level
+/// over 64-byte lines, with a private L1/L2 per core and a shared L3 per
+/// machine (Table II of the paper).  Coherence is not modeled — the
+/// instrumented kernels are data-parallel with thread-private accumulators,
+/// so cross-core sharing of hot lines is negligible by construction.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asamap::sim {
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t associativity = 8;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t latency_cycles = 4;  ///< access latency when this level hits
+  /// Next-line stride prefetcher: on a demand miss at line L, lines
+  /// L+1..L+prefetch_lines are pulled into this level in the background
+  /// (no stall charged — prefetches overlap with the demand fill).  0
+  /// disables.  Off by default: the CoreModel's stream_overlap already
+  /// discounts sequential scans, and enabling both would double-count; the
+  /// prefetcher exists for ablations that model the mechanism explicitly.
+  std::uint32_t prefetch_lines = 0;
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t prefetches = 0;       ///< lines fetched speculatively
+  std::uint64_t prefetch_hits = 0;    ///< demand hits on prefetched lines
+
+  [[nodiscard]] double miss_rate() const noexcept {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+/// One cache level.  `next` (may be null = main memory) is probed on miss.
+class Cache {
+ public:
+  Cache(CacheConfig config, Cache* next, std::uint32_t memory_latency);
+
+  /// Accesses one line-aligned address; returns the total latency in cycles
+  /// of the deepest level that serviced it.  Writes allocate like reads
+  /// (write-allocate, write-back — per the modeled Intel parts).
+  std::uint32_t access(std::uint64_t addr);
+
+  /// Splits an access of `bytes` at `addr` into line-sized probes and
+  /// returns the worst-case (deepest) latency among them.
+  std::uint32_t access_range(std::uint64_t addr, std::uint32_t bytes);
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+
+  void reset_stats() noexcept { stats_ = {}; }
+  /// Invalidates all lines (used between experiment repetitions).
+  void flush();
+
+ private:
+  struct Line {
+    std::uint64_t tag = ~std::uint64_t{0};
+    std::uint64_t lru = 0;  ///< last-touch tick; smaller = older
+    bool valid = false;
+    bool prefetched = false;  ///< filled speculatively, not yet demanded
+  };
+
+  /// Fills a line without recursing into lower levels' stats (the fill is
+  /// modeled as free background bandwidth).
+  void prefetch_fill(std::uint64_t addr);
+
+  CacheConfig config_;
+  Cache* next_;
+  std::uint32_t memory_latency_;
+  std::uint32_t num_sets_;
+  std::uint32_t line_shift_;
+  std::vector<Line> lines_;  ///< num_sets_ * associativity, set-major
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace asamap::sim

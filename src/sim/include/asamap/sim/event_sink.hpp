@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file event_sink.hpp
+/// The contract between instrumented data structures (hashdb, asa) and the
+/// microarchitecture cost model.  This replaces the paper's Pin/ZSim tooling:
+/// instead of intercepting the real x86 instruction stream, the hot-path data
+/// structures are instrumented at the source level to emit the same classes
+/// of events ZSim observes — retired instructions, conditional branches with
+/// their outcome, and data memory accesses — which the sim::CoreModel replays
+/// through a branch predictor and a cache hierarchy.
+///
+/// Sinks are a *compile-time* concept so that the NullSink configuration
+/// (used when only functional behaviour matters, e.g. unit tests of hash-map
+/// semantics) compiles to zero overhead.
+
+#include <concepts>
+#include <cstdint>
+
+namespace asamap::sim {
+
+/// Identifies a static branch site (the "PC" of the branch).  Instrumented
+/// code uses distinct small ids per source-level branch so pattern-history
+/// predictors see realistic per-site streams.
+using BranchSite = std::uint32_t;
+
+template <typename S>
+concept EventSink = requires(S s, std::uint64_t n, BranchSite site, bool taken,
+                             std::uint64_t addr, std::uint32_t bytes) {
+  { s.instructions(n) };           // n retired non-memory, non-branch µops
+  { s.branch(site, taken) };       // one conditional branch (counts as 1 instr)
+  { s.load(addr, bytes) };         // one data load (counts as 1 instr)
+  { s.store(addr, bytes) };        // one data store (counts as 1 instr)
+  { s.load_stream(addr, bytes) };  // load on a sequential-scan stream
+  { s.load_dependent(addr, bytes) };  // load on a serial dependence chain
+};
+
+/// Discards every event; the zero-cost configuration.
+struct NullSink {
+  void instructions(std::uint64_t) noexcept {}
+  void branch(BranchSite, bool) noexcept {}
+  void load(std::uint64_t, std::uint32_t) noexcept {}
+  void store(std::uint64_t, std::uint32_t) noexcept {}
+  void load_stream(std::uint64_t, std::uint32_t) noexcept {}
+  void load_dependent(std::uint64_t, std::uint32_t) noexcept {}
+};
+
+static_assert(EventSink<NullSink>);
+
+/// Branch-site ids used by the instrumented libraries.  Keeping them in one
+/// registry avoids accidental aliasing between unrelated branches (which
+/// would pollute the predictor's pattern tables).
+namespace sites {
+inline constexpr BranchSite kChainedBucketEmpty = 1;
+inline constexpr BranchSite kChainedKeyCompare = 2;
+inline constexpr BranchSite kChainedChainContinue = 3;
+inline constexpr BranchSite kChainedNeedRehash = 4;
+inline constexpr BranchSite kOpenSlotState = 5;
+inline constexpr BranchSite kOpenKeyCompare = 6;
+inline constexpr BranchSite kOpenNeedGrow = 7;
+inline constexpr BranchSite kAsaOverflowCheck = 8;
+inline constexpr BranchSite kSortCompare = 9;
+inline constexpr BranchSite kMergeSameKey = 10;
+inline constexpr BranchSite kScanLoop = 11;
+inline constexpr BranchSite kBestUpdate = 12;
+}  // namespace sites
+
+}  // namespace asamap::sim

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file machine.hpp
+/// Multi-core machine model: N CoreModels sharing one L3, mirroring the
+/// paper's Table II "Baseline" configuration (8 cores/socket, 32KB L1,
+/// 256KB private L2, 16MB shared L3, 2.6 GHz).
+///
+/// Multi-core experiments partition work across simulated cores and replay
+/// each core's event stream; the shared L3 sees the interleaved footprint.
+/// Like ZSim's bound-weave approach, we do not model cycle-accurate
+/// interleaving — per-core counters (the quantities in Figs. 9-11) do not
+/// require it.
+
+#include <memory>
+#include <vector>
+
+#include "asamap/sim/core_model.hpp"
+
+namespace asamap::sim {
+
+struct MachineConfig {
+  std::uint32_t num_cores = 1;
+  CoreConfig core = {};
+  CacheConfig l3 = {"L3", 16 * 1024 * 1024, 16, 64, 40};
+};
+
+/// Returns the paper's Table II "Baseline" machine: the given core count on
+/// Ivy Bridge-like parameters.
+MachineConfig paper_baseline_machine(std::uint32_t num_cores = 1);
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config = {});
+
+  [[nodiscard]] std::uint32_t num_cores() const noexcept {
+    return static_cast<std::uint32_t>(cores_.size());
+  }
+
+  [[nodiscard]] CoreModel& core(std::uint32_t i) { return *cores_[i]; }
+  [[nodiscard]] const CoreModel& core(std::uint32_t i) const {
+    return *cores_[i];
+  }
+
+  /// Aggregate counters over all cores.
+  [[nodiscard]] CoreStats total_stats() const;
+
+  /// Per-core averages (the unit of Figs. 9-11).
+  [[nodiscard]] double avg_instructions_per_core() const;
+  [[nodiscard]] double avg_mispredicts_per_core() const;
+  [[nodiscard]] double avg_cpi_per_core() const;
+
+  /// Parallel-region wall time: the slowest core's cycle count over the
+  /// clock (cores run concurrently).
+  [[nodiscard]] double simulated_seconds() const;
+
+  [[nodiscard]] const Cache& l3() const noexcept { return *l3_; }
+
+  void reset_stats();
+  void reset_all();
+
+ private:
+  MachineConfig config_;
+  std::unique_ptr<Cache> l3_;
+  std::vector<std::unique_ptr<CoreModel>> cores_;
+};
+
+}  // namespace asamap::sim

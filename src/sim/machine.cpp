@@ -1,0 +1,72 @@
+#include "asamap/sim/machine.hpp"
+
+#include <algorithm>
+
+#include "asamap/support/check.hpp"
+
+namespace asamap::sim {
+
+MachineConfig paper_baseline_machine(std::uint32_t num_cores) {
+  MachineConfig m;
+  m.num_cores = num_cores;
+  // CoreConfig and the 16MB L3 defaults already encode Table II.
+  return m;
+}
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      l3_(std::make_unique<Cache>(config.l3, nullptr,
+                                  config.core.memory_latency)) {
+  ASAMAP_CHECK(config.num_cores >= 1, "machine needs at least one core");
+  cores_.reserve(config.num_cores);
+  for (std::uint32_t i = 0; i < config.num_cores; ++i) {
+    cores_.push_back(std::make_unique<CoreModel>(config.core, l3_.get()));
+  }
+}
+
+CoreStats Machine::total_stats() const {
+  CoreStats total;
+  for (const auto& c : cores_) total += c->stats();
+  return total;
+}
+
+double Machine::avg_instructions_per_core() const {
+  const CoreStats t = total_stats();
+  return static_cast<double>(t.total_instructions()) /
+         static_cast<double>(cores_.size());
+}
+
+double Machine::avg_mispredicts_per_core() const {
+  const CoreStats t = total_stats();
+  return static_cast<double>(t.branch_mispredicts) /
+         static_cast<double>(cores_.size());
+}
+
+double Machine::avg_cpi_per_core() const {
+  double sum = 0.0;
+  std::size_t active = 0;
+  for (const auto& c : cores_) {
+    if (c->stats().total_instructions() > 0) {
+      sum += c->cpi();
+      ++active;
+    }
+  }
+  return active == 0 ? 0.0 : sum / static_cast<double>(active);
+}
+
+double Machine::simulated_seconds() const {
+  double worst = 0.0;
+  for (const auto& c : cores_) worst = std::max(worst, c->seconds());
+  return worst;
+}
+
+void Machine::reset_stats() {
+  for (auto& c : cores_) c->reset_stats();
+}
+
+void Machine::reset_all() {
+  for (auto& c : cores_) c->reset_all();
+  l3_->reset_stats();
+}
+
+}  // namespace asamap::sim

@@ -1,0 +1,117 @@
+#include "asamap/spgemm/csr_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "asamap/support/check.hpp"
+#include "asamap/support/rng.hpp"
+
+namespace asamap::spgemm {
+
+CsrMatrix CsrMatrix::from_triplets(std::uint32_t rows, std::uint32_t cols,
+                                   std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    ASAMAP_CHECK(t.row < rows && t.col < cols, "triplet out of bounds");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  // Merge duplicates in place.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < triplets.size();) {
+    Triplet merged = triplets[i];
+    std::size_t j = i + 1;
+    while (j < triplets.size() && triplets[j].row == merged.row &&
+           triplets[j].col == merged.col) {
+      merged.value += triplets[j].value;
+      ++j;
+    }
+    triplets[out++] = merged;
+    i = j;
+  }
+  triplets.resize(out);
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  for (const Triplet& t : triplets) ++m.row_ptr_[t.row + 1];
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    m.row_ptr_[r + 1] += m.row_ptr_[r];
+  }
+  m.cols_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  for (const Triplet& t : triplets) {
+    m.cols_idx_.push_back(t.col);
+    m.values_.push_back(t.value);
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::identity(std::uint32_t n) {
+  std::vector<Triplet> trip;
+  trip.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) trip.push_back({i, i, 1.0});
+  return from_triplets(n, n, std::move(trip));
+}
+
+CsrMatrix CsrMatrix::random(std::uint32_t rows, std::uint32_t cols,
+                            double nnz_per_row, std::uint64_t seed) {
+  ASAMAP_CHECK(nnz_per_row >= 0.0, "negative density");
+  support::Xoshiro256 rng(seed);
+  std::vector<Triplet> trip;
+  trip.reserve(static_cast<std::size_t>(nnz_per_row * rows) + rows);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    // Poisson-ish entry count via a fixed draw count with dedup at build.
+    const auto k = static_cast<std::uint32_t>(nnz_per_row);
+    const double frac = nnz_per_row - k;
+    std::uint32_t count = k + (rng.next_double() < frac ? 1 : 0);
+    for (std::uint32_t e = 0; e < count; ++e) {
+      trip.push_back({r, static_cast<std::uint32_t>(rng.next_below(cols)),
+                      rng.next_double() * 2.0 - 1.0});
+    }
+  }
+  return from_triplets(rows, cols, std::move(trip));
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  std::vector<Triplet> trip;
+  trip.reserve(nnz());
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    const auto cols_r = row_cols(r);
+    const auto vals_r = row_vals(r);
+    for (std::size_t i = 0; i < cols_r.size(); ++i) {
+      trip.push_back({cols_r[i], r, vals_r[i]});
+    }
+  }
+  return from_triplets(cols_, rows_, std::move(trip));
+}
+
+double CsrMatrix::at(std::uint32_t r, std::uint32_t c) const {
+  ASAMAP_CHECK(r < rows_ && c < cols_, "index out of bounds");
+  const auto cols_r = row_cols(r);
+  const auto it = std::lower_bound(cols_r.begin(), cols_r.end(), c);
+  if (it == cols_r.end() || *it != c) return 0.0;
+  return row_vals(r)[static_cast<std::size_t>(it - cols_r.begin())];
+}
+
+double CsrMatrix::max_abs_diff(const CsrMatrix& a, const CsrMatrix& b) {
+  ASAMAP_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+               "dimension mismatch");
+  double worst = 0.0;
+  auto scan = [&](const CsrMatrix& x, const CsrMatrix& y) {
+    for (std::uint32_t r = 0; r < x.rows(); ++r) {
+      const auto cols_r = x.row_cols(r);
+      const auto vals_r = x.row_vals(r);
+      for (std::size_t i = 0; i < cols_r.size(); ++i) {
+        worst = std::max(worst, std::abs(vals_r[i] - y.at(r, cols_r[i])));
+      }
+    }
+  };
+  scan(a, b);
+  scan(b, a);
+  return worst;
+}
+
+}  // namespace asamap::spgemm

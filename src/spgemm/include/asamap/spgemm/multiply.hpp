@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file multiply.hpp
+/// Gustavson row-wise SpGEMM, parameterized on the accumulation engine —
+/// the ASA accelerator's original workload (Chao et al., TACO 2022),
+/// expressed through the same KvAccumulator concept Infomap uses.
+///
+///   C(i, :) = sum over k in A(i, :) of  a_ik * B(k, :)
+///
+/// Each row's partial products are accumulated per column index — precisely
+/// the hash-accumulate-then-drain pattern of FindBestCommunity, which is why
+/// the paper could lift ASA from here into community detection.  Events are
+/// emitted so the sim::CoreModel can compare Baseline vs ASA on the
+/// accelerator's home turf (bench_spgemm).
+
+#include <algorithm>
+#include <cstdint>
+
+#include "asamap/hashdb/accumulator_concept.hpp"
+#include "asamap/hashdb/address_space.hpp"
+#include "asamap/sim/event_sink.hpp"
+#include "asamap/spgemm/csr_matrix.hpp"
+#include "asamap/support/check.hpp"
+
+namespace asamap::spgemm {
+
+/// Instruction costs of the multiply skeleton (identical across engines).
+struct SpgemmCosts {
+  std::uint32_t per_row = 8;       ///< row loop control
+  std::uint32_t per_product = 4;   ///< multiply + accumulate setup
+  std::uint32_t per_output = 3;    ///< result emission
+};
+
+/// Simulated base addresses for the operand/result arrays.
+struct SpgemmAddresses {
+  std::uint64_t a_entries = 0;
+  std::uint64_t b_entries = 0;
+  std::uint64_t c_entries = 0;
+
+  static SpgemmAddresses for_operands(const CsrMatrix& a, const CsrMatrix& b,
+                                      hashdb::AddressSpace& addrs) {
+    SpgemmAddresses s;
+    s.a_entries = addrs.alloc_array(a.nnz() * 12);  // col + value
+    s.b_entries = addrs.alloc_array(b.nnz() * 12);
+    // C's size is unknown before the multiply (the classic SpGEMM
+    // allocation problem); reserve simulated address space for the worst
+    // case instead — a dense result — so stores never alias other regions.
+    s.c_entries = addrs.alloc_array(
+        std::min<std::uint64_t>(std::uint64_t{a.rows()} * b.cols() * 24,
+                                std::uint64_t{1} << 34));
+    return s;
+  }
+};
+
+/// Statistics of one multiplication.
+struct SpgemmStats {
+  std::uint64_t partial_products = 0;  ///< accumulate calls (FLOP count / 2)
+  std::uint64_t output_entries = 0;
+};
+
+/// C = A * B using the given accumulator.  Output rows have sorted column
+/// indices regardless of the engine's drain order, so results are
+/// bit-comparable across engines.
+template <hashdb::KvAccumulator Acc, sim::EventSink Sink>
+CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b, Acc& acc,
+                   Sink& sink, const SpgemmAddresses& addrs,
+                   SpgemmStats* stats = nullptr,
+                   const SpgemmCosts& costs = {}) {
+  ASAMAP_CHECK(a.cols() == b.rows(), "inner dimension mismatch");
+
+  std::vector<Triplet> out;
+  std::vector<hashdb::KeyValue> row_buf;
+  SpgemmStats local;
+
+  for (std::uint32_t i = 0; i < a.rows(); ++i) {
+    sink.instructions(costs.per_row);
+    acc.begin();
+    const auto a_cols = a.row_cols(i);
+    const auto a_vals = a.row_vals(i);
+    const std::uint64_t a_base = a.row_begin(i);
+    for (std::size_t p = 0; p < a_cols.size(); ++p) {
+      sink.load_stream(addrs.a_entries + (a_base + p) * 12, 12);
+      const std::uint32_t k = a_cols[p];
+      const double a_ik = a_vals[p];
+      const auto b_cols = b.row_cols(k);
+      const auto b_vals = b.row_vals(k);
+      const std::uint64_t b_base = b.row_begin(k);
+      for (std::size_t q = 0; q < b_cols.size(); ++q) {
+        // B's row is a fresh gather per k — sequential within the row but
+        // the row start is data-dependent, so charge the first touch as a
+        // plain load and the rest as stream.
+        if (q == 0) {
+          sink.load(addrs.b_entries + (b_base + q) * 12, 12);
+        } else {
+          sink.load_stream(addrs.b_entries + (b_base + q) * 12, 12);
+        }
+        sink.instructions(costs.per_product);
+        acc.accumulate(b_cols[q], a_ik * b_vals[q]);
+        ++local.partial_products;
+      }
+    }
+
+    const auto pairs = acc.finalize();
+    row_buf.assign(pairs.begin(), pairs.end());
+    std::sort(row_buf.begin(), row_buf.end(),
+              [](const hashdb::KeyValue& x, const hashdb::KeyValue& y) {
+                return x.key < y.key;
+              });
+    for (const auto& kv : row_buf) {
+      sink.instructions(costs.per_output);
+      sink.store(addrs.c_entries + local.output_entries * 24, 24);
+      out.push_back(Triplet{i, kv.key, kv.value});
+      ++local.output_entries;
+    }
+  }
+
+  if (stats != nullptr) *stats = local;
+  return CsrMatrix::from_triplets(a.rows(), b.cols(), std::move(out));
+}
+
+/// Reference multiply via a plain std::unordered_map accumulator — used by
+/// tests as the ground truth.
+CsrMatrix multiply_reference(const CsrMatrix& a, const CsrMatrix& b);
+
+}  // namespace asamap::spgemm

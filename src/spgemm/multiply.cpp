@@ -1,0 +1,27 @@
+#include "asamap/spgemm/multiply.hpp"
+
+#include <unordered_map>
+
+namespace asamap::spgemm {
+
+CsrMatrix multiply_reference(const CsrMatrix& a, const CsrMatrix& b) {
+  ASAMAP_CHECK(a.cols() == b.rows(), "inner dimension mismatch");
+  std::vector<Triplet> out;
+  std::unordered_map<std::uint32_t, double> row;
+  for (std::uint32_t i = 0; i < a.rows(); ++i) {
+    row.clear();
+    const auto a_cols = a.row_cols(i);
+    const auto a_vals = a.row_vals(i);
+    for (std::size_t p = 0; p < a_cols.size(); ++p) {
+      const auto b_cols = b.row_cols(a_cols[p]);
+      const auto b_vals = b.row_vals(a_cols[p]);
+      for (std::size_t q = 0; q < b_cols.size(); ++q) {
+        row[b_cols[q]] += a_vals[p] * b_vals[q];
+      }
+    }
+    for (const auto& [c, v] : row) out.push_back(Triplet{i, c, v});
+  }
+  return CsrMatrix::from_triplets(a.rows(), b.cols(), std::move(out));
+}
+
+}  // namespace asamap::spgemm

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file check.hpp
+/// Precondition checking.  ASAMAP_CHECK is always on (throws
+/// std::logic_error with location info) and is used on public API boundaries;
+/// ASAMAP_DCHECK compiles away in release builds and guards internal
+/// invariants on hot paths.
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace asamap::support {
+
+[[noreturn]] inline void check_failed(
+    std::string_view expr, std::string_view msg,
+    std::source_location loc = std::source_location::current()) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace asamap::support
+
+#define ASAMAP_CHECK(cond, msg)                                   \
+  do {                                                            \
+    if (!(cond)) ::asamap::support::check_failed(#cond, (msg));   \
+  } while (0)
+
+#ifdef NDEBUG
+#define ASAMAP_DCHECK(cond, msg) ((void)0)
+#else
+#define ASAMAP_DCHECK(cond, msg) ASAMAP_CHECK(cond, msg)
+#endif

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file hash.hpp
+/// Integer hashing primitives shared by the software hash tables (hashdb) and
+/// the ASA CAM index function.  Both sides of the paper's comparison hash the
+/// same keys (module ids), so using one family here keeps the comparison fair.
+
+#include <cstdint>
+
+namespace asamap::support {
+
+/// Murmur3 64-bit finalizer — full-avalanche mix of a 64-bit key.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Fibonacci multiplicative hash: maps a 64-bit key to `bits` well-spread
+/// bits.  Cheap (one multiply + shift) — this models the kind of hash an
+/// accelerator would implement in hardware.
+constexpr std::uint64_t fibonacci_hash(std::uint64_t key, unsigned bits) noexcept {
+  return (key * 0x9e3779b97f4a7c15ULL) >> (64 - bits);
+}
+
+/// Reduces a 64-bit hash to a bucket index for a power-of-two table size.
+constexpr std::size_t bucket_of(std::uint64_t hash, std::size_t pow2_size) noexcept {
+  return static_cast<std::size_t>(hash) & (pow2_size - 1);
+}
+
+/// Rounds up to the next power of two (returns 1 for 0).
+constexpr std::size_t next_pow2(std::size_t v) noexcept {
+  if (v <= 1) return 1;
+  --v;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  if constexpr (sizeof(std::size_t) == 8) v |= v >> 32;
+  return v + 1;
+}
+
+}  // namespace asamap::support

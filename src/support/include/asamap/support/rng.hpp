@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, fast pseudo-random number generation for workload
+/// generators and property tests.
+///
+/// All experiments in this repository must be reproducible from a single
+/// 64-bit seed, so we avoid std::mt19937 (whose seeding via seed_seq is easy
+/// to get subtly wrong) and implement SplitMix64 (for seeding / cheap
+/// streams) and xoshiro256** (the main generator).  Both follow the public
+/// domain reference implementations by Blackman & Vigna.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace asamap::support {
+
+/// SplitMix64: tiny, passes BigCrush, ideal for seeding other generators and
+/// for hashing small integer streams into well-mixed 64-bit values.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the workhorse generator.  4x64-bit state, period 2^256-1.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed through SplitMix64,
+  /// as recommended by the xoshiro authors.
+  constexpr explicit Xoshiro256(std::uint64_t seed) noexcept : state_{} {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm();
+  }
+
+  constexpr std::uint64_t operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).  Uses the top 53 bits.
+  constexpr double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Jump function: advances 2^128 steps, used to hand independent
+  /// subsequences to worker threads.
+  constexpr void jump() noexcept {
+    constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc{};
+    for (std::uint64_t jump_word : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (jump_word & (1ULL << b)) {
+          for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Samples a power-law distributed integer degree in [min_deg, max_deg] with
+/// exponent `gamma` (P(k) ~ k^-gamma) using inverse-CDF sampling on the
+/// continuous approximation.  This is what gives the synthetic stand-in
+/// networks the scale-free shape in Fig. 4 of the paper.
+std::uint32_t sample_power_law(Xoshiro256& rng, std::uint32_t min_deg,
+                               std::uint32_t max_deg, double gamma);
+
+}  // namespace asamap::support

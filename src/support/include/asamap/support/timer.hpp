@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing used for the "Native" columns of Tables III/IV and the
+/// kernel breakdown of Fig. 2.  Simulated ("Baseline"/"ASA") times come from
+/// the sim:: cost model instead.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace asamap::support {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named phase timings — the Fig. 2 kernel breakdown is a
+/// PhaseTimer over {PageRank, FindBestCommunity, Convert2SuperNode,
+/// UpdateMembers} with a nested one over {HashOperations, Other}.
+class PhaseTimer {
+ public:
+  /// Adds `seconds` to phase `name` (creates the phase on first use).
+  void add(const std::string& name, double seconds);
+
+  /// Total seconds recorded for `name`, 0.0 if never recorded.
+  [[nodiscard]] double total(const std::string& name) const;
+
+  /// Sum over all phases.
+  [[nodiscard]] double grand_total() const;
+
+  /// Phase names in first-recorded order.
+  [[nodiscard]] const std::vector<std::string>& phases() const { return order_; }
+
+  void clear();
+
+ private:
+  std::unordered_map<std::string, double> totals_;
+  std::vector<std::string> order_;
+};
+
+/// RAII helper: times a scope into a PhaseTimer phase.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer& timer, std::string name)
+      : timer_(timer), name_(std::move(name)) {}
+  ~ScopedPhase() { timer_.add(name_, watch_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer& timer_;
+  std::string name_;
+  WallTimer watch_;
+};
+
+}  // namespace asamap::support

@@ -1,0 +1,31 @@
+#include "asamap/support/rng.hpp"
+
+#include <cmath>
+
+namespace asamap::support {
+
+std::uint32_t sample_power_law(Xoshiro256& rng, std::uint32_t min_deg,
+                               std::uint32_t max_deg, double gamma) {
+  if (min_deg >= max_deg) return min_deg;
+  // Inverse-CDF of the continuous power law truncated to [min_deg, max_deg+1):
+  //   x = [ (b^(1-g) - a^(1-g)) * u + a^(1-g) ]^(1/(1-g))
+  const double a = static_cast<double>(min_deg);
+  const double b = static_cast<double>(max_deg) + 1.0;
+  const double one_minus_g = 1.0 - gamma;
+  const double u = rng.next_double();
+  double x;
+  if (std::abs(one_minus_g) < 1e-12) {
+    // gamma == 1 degenerates to log-uniform sampling.
+    x = a * std::pow(b / a, u);
+  } else {
+    const double lo = std::pow(a, one_minus_g);
+    const double hi = std::pow(b, one_minus_g);
+    x = std::pow((hi - lo) * u + lo, 1.0 / one_minus_g);
+  }
+  auto k = static_cast<std::uint32_t>(x);
+  if (k < min_deg) k = min_deg;
+  if (k > max_deg) k = max_deg;
+  return k;
+}
+
+}  // namespace asamap::support

@@ -1,0 +1,27 @@
+#include "asamap/support/timer.hpp"
+
+namespace asamap::support {
+
+void PhaseTimer::add(const std::string& name, double seconds) {
+  auto [it, inserted] = totals_.try_emplace(name, 0.0);
+  if (inserted) order_.push_back(name);
+  it->second += seconds;
+}
+
+double PhaseTimer::total(const std::string& name) const {
+  auto it = totals_.find(name);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+double PhaseTimer::grand_total() const {
+  double sum = 0.0;
+  for (const auto& [name, secs] : totals_) sum += secs;
+  return sum;
+}
+
+void PhaseTimer::clear() {
+  totals_.clear();
+  order_.clear();
+}
+
+}  // namespace asamap::support

@@ -1,0 +1,174 @@
+// Tests for graph algorithms (components, BFS, clustering), the
+// Watts-Strogatz generator, and the module hierarchy.
+
+#include <gtest/gtest.h>
+
+#include "asamap/core/hierarchy.hpp"
+#include "asamap/core/infomap.hpp"
+#include "asamap/gen/generators.hpp"
+#include "asamap/graph/algorithms.hpp"
+#include "asamap/graph/edge_list.hpp"
+
+namespace {
+
+using namespace asamap;
+using graph::CsrGraph;
+using graph::EdgeList;
+using graph::VertexId;
+
+CsrGraph two_islands() {
+  EdgeList e;
+  e.add_undirected(0, 1);
+  e.add_undirected(1, 2);
+  e.add_undirected(3, 4);
+  e.coalesce();
+  return CsrGraph::from_edges(e, /*n_hint=*/6);  // vertex 5 isolated
+}
+
+TEST(Components, CountsIslands) {
+  const auto r = graph::connected_components(two_islands());
+  EXPECT_EQ(r.count, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(r.largest_size, 3u);
+  EXPECT_EQ(r.component[0], r.component[2]);
+  EXPECT_EQ(r.component[3], r.component[4]);
+  EXPECT_NE(r.component[0], r.component[3]);
+  EXPECT_NE(r.component[5], r.component[0]);
+}
+
+TEST(Components, DirectedArcsAreWeak) {
+  EdgeList e;
+  e.add(0, 1);  // one direction only
+  e.add(2, 1);
+  e.coalesce();
+  const auto r = graph::connected_components(CsrGraph::from_edges(e));
+  EXPECT_EQ(r.count, 1u);
+}
+
+TEST(Components, ConnectedRandomGraph) {
+  const auto g = gen::erdos_renyi(500, 0.03, 3);  // far above threshold
+  const auto r = graph::connected_components(g);
+  EXPECT_EQ(r.largest_size, 500u);
+}
+
+TEST(Bfs, PathGraphDistances) {
+  EdgeList e;
+  for (VertexId v = 0; v + 1 < 5; ++v) e.add_undirected(v, v + 1);
+  e.coalesce();
+  const auto d = graph::bfs_distances(CsrGraph::from_edges(e), 0);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  const auto d = graph::bfs_distances(two_islands(), 0);
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[3], graph::kUnreachable);
+  EXPECT_EQ(d[5], graph::kUnreachable);
+}
+
+TEST(Clustering, TriangleIsOne) {
+  EdgeList e;
+  e.add_undirected(0, 1);
+  e.add_undirected(1, 2);
+  e.add_undirected(0, 2);
+  e.coalesce();
+  const auto g = CsrGraph::from_edges(e);
+  EXPECT_DOUBLE_EQ(graph::local_clustering(g, 0), 1.0);
+  EXPECT_DOUBLE_EQ(graph::average_clustering(g), 1.0);
+  EXPECT_DOUBLE_EQ(graph::transitivity(g), 1.0);
+}
+
+TEST(Clustering, StarIsZero) {
+  EdgeList e;
+  for (VertexId leaf = 1; leaf <= 4; ++leaf) e.add_undirected(0, leaf);
+  e.coalesce();
+  const auto g = CsrGraph::from_edges(e);
+  EXPECT_DOUBLE_EQ(graph::average_clustering(g), 0.0);
+  EXPECT_DOUBLE_EQ(graph::transitivity(g), 0.0);
+}
+
+TEST(Clustering, KnownPaw) {
+  // Triangle {0,1,2} plus pendant 3 attached to 0.
+  EdgeList e;
+  e.add_undirected(0, 1);
+  e.add_undirected(1, 2);
+  e.add_undirected(0, 2);
+  e.add_undirected(0, 3);
+  e.coalesce();
+  const auto g = CsrGraph::from_edges(e);
+  EXPECT_DOUBLE_EQ(graph::local_clustering(g, 0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(graph::local_clustering(g, 1), 1.0);
+  EXPECT_DOUBLE_EQ(graph::local_clustering(g, 3), 0.0);
+  // Triples: v0 has C(3,2)=3, v1/v2 have 1 each => 5; triangles3 = 3.
+  EXPECT_DOUBLE_EQ(graph::transitivity(g), 3.0 / 5.0);
+}
+
+TEST(WattsStrogatz, LatticeAtBetaZero) {
+  const auto g = gen::watts_strogatz(100, 3, 0.0, 7);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  for (VertexId v = 0; v < 100; ++v) EXPECT_EQ(g.out_degree(v), 6u);
+  // Ring lattice with k=3: C = (3(k-1)) / (2(2k-1)) = 6/10.
+  EXPECT_NEAR(graph::average_clustering(g), 0.6, 1e-12);
+}
+
+TEST(WattsStrogatz, RewiringDropsClusteringAndDiameter) {
+  const auto lattice = gen::watts_strogatz(400, 4, 0.0, 9);
+  const auto small_world = gen::watts_strogatz(400, 4, 0.2, 9);
+  EXPECT_GT(graph::average_clustering(lattice),
+            graph::average_clustering(small_world) + 0.1);
+  // Mean BFS distance from vertex 0 shrinks dramatically.
+  auto mean_dist = [](const CsrGraph& g) {
+    const auto d = graph::bfs_distances(g, 0);
+    double sum = 0.0;
+    std::size_t reached = 0;
+    for (auto x : d) {
+      if (x != graph::kUnreachable) {
+        sum += x;
+        ++reached;
+      }
+    }
+    return sum / static_cast<double>(reached);
+  };
+  EXPECT_GT(mean_dist(lattice), 2.0 * mean_dist(small_world));
+}
+
+TEST(Hierarchy, ComposesLevels) {
+  // 6 vertices -> 3 finest modules -> 2 top modules.
+  core::ModuleHierarchy h({{0, 0, 1, 1, 2, 2}, {0, 0, 1}});
+  EXPECT_EQ(h.depth(), 2u);
+  EXPECT_EQ(h.modules_at(0), 3u);
+  EXPECT_EQ(h.modules_at(1), 2u);
+  EXPECT_EQ(h.module_of(4, 0), 2u);
+  EXPECT_EQ(h.module_of(4, 1), 1u);
+  EXPECT_EQ(h.coarsest(), (core::Partition{0, 0, 0, 0, 1, 1}));
+  EXPECT_EQ(h.path_of(4), "1:2");
+  EXPECT_EQ(h.path_of(0), "0:0");
+}
+
+TEST(Hierarchy, RejectsBrokenChain) {
+  EXPECT_THROW(core::ModuleHierarchy({{0, 0, 1}, {0, 0, 0}}),
+               std::logic_error);
+}
+
+TEST(Hierarchy, FromInfomapResult) {
+  const auto pp = gen::planted_partition(2000, 40, 0.3, 0.002, 89);
+  core::InfomapOptions opts;
+  opts.refine_sweeps = 0;  // keep the full tree (refinement re-bases it)
+  const auto r = core::run_infomap(pp.graph, opts);
+  ASSERT_GE(r.levels, 2);
+  const core::ModuleHierarchy h = r.hierarchy();
+  EXPECT_EQ(h.depth(), static_cast<std::size_t>(r.levels));
+  // The composed finest-through-coarsest chain ends at the reported
+  // community assignment.
+  EXPECT_EQ(h.coarsest(), r.communities);
+  // Module counts shrink monotonically up the hierarchy.
+  for (std::size_t k = 1; k < h.depth(); ++k) {
+    EXPECT_LE(h.modules_at(k), h.modules_at(k - 1));
+  }
+  // Paths parse: depth() colon-separated components.
+  const std::string path = h.path_of(0);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(path.begin(), path.end(), ':')),
+            h.depth() - 1);
+}
+
+}  // namespace

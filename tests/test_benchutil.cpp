@@ -1,0 +1,95 @@
+// Tests for the bench plumbing: table rendering, formatting helpers, and
+// the experiment runners' result invariants.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "asamap/benchutil/experiments.hpp"
+#include "asamap/benchutil/table.hpp"
+#include "asamap/gen/generators.hpp"
+
+namespace {
+
+using namespace asamap;
+using benchutil::Table;
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-cell", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find("a-much-longer-cell"), std::string::npos);
+  // All lines have equal length (alignment).
+  std::istringstream lines(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsRowWidthMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Fmt, Numbers) {
+  EXPECT_EQ(benchutil::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(benchutil::fmt(2.0, 0), "2");
+  EXPECT_EQ(benchutil::fmt_pct(0.59, 0), "59%");
+  EXPECT_EQ(benchutil::fmt_pct(0.1234, 1), "12.3%");
+}
+
+TEST(Fmt, CountsWithSeparators) {
+  EXPECT_EQ(benchutil::fmt_count(0), "0");
+  EXPECT_EQ(benchutil::fmt_count(999), "999");
+  EXPECT_EQ(benchutil::fmt_count(1000), "1,000");
+  EXPECT_EQ(benchutil::fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(benchutil::fmt_count(117185083), "117,185,083");
+}
+
+TEST(Experiments, SimResultInvariants) {
+  const auto pp = gen::planted_partition(400, 4, 0.2, 0.01, 401);
+  benchutil::SimRunConfig cfg;
+  cfg.num_cores = 2;
+  cfg.infomap.max_levels = 1;
+  const auto r = run_simulated(pp.graph, cfg);
+  EXPECT_GT(r.total_instructions, 0u);
+  EXPECT_GE(r.total_branches, r.total_mispredicts);
+  EXPECT_GT(r.sim_seconds, 0.0);
+  EXPECT_GT(r.hash_fraction(), 0.0);
+  EXPECT_LT(r.hash_fraction(), 1.0);
+  // Per-core average times the core count approximates the total.
+  EXPECT_NEAR(r.avg_instructions_per_core * 2.0,
+              static_cast<double>(r.total_instructions),
+              0.01 * static_cast<double>(r.total_instructions));
+}
+
+TEST(Experiments, AsaRunReportsCamStats) {
+  const auto pp = gen::planted_partition(400, 4, 0.2, 0.01, 403);
+  benchutil::SimRunConfig cfg;
+  cfg.engine = core::AccumulatorKind::kAsa;
+  cfg.infomap.max_levels = 1;
+  const auto r = run_simulated(pp.graph, cfg);
+  EXPECT_GT(r.cam_accumulates, 0u);
+  // Software-engine runs report zero CAM activity.
+  cfg.engine = core::AccumulatorKind::kChained;
+  const auto base = run_simulated(pp.graph, cfg);
+  EXPECT_EQ(base.cam_accumulates, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Tests for the simulated distributed-memory Infomap layer.
+
+#include <gtest/gtest.h>
+
+#include "asamap/core/infomap.hpp"
+#include "asamap/dist/distributed.hpp"
+#include "asamap/gen/generators.hpp"
+#include "asamap/metrics/partition.hpp"
+
+namespace {
+
+using namespace asamap;
+using dist::DistOptions;
+using dist::DistResult;
+
+metrics::Partition to_metrics(const core::Partition& p) {
+  return metrics::Partition(p.begin(), p.end());
+}
+
+TEST(Distributed, SingleRankMatchesSequentialQuality) {
+  const auto pp = gen::planted_partition(800, 8, 0.2, 0.008, 301);
+  DistOptions opts;
+  opts.num_ranks = 1;
+  const DistResult d = dist::run_distributed_infomap(pp.graph, opts);
+  core::InfomapOptions seq_opts;
+  seq_opts.refine_sweeps = 0;
+  const auto s = core::run_infomap(pp.graph, seq_opts);
+  const double nmi = metrics::normalized_mutual_information(
+      to_metrics(d.communities), to_metrics(s.communities));
+  EXPECT_GT(nmi, 0.95);
+  // One rank generates no cross-rank traffic.
+  EXPECT_EQ(d.total_messages, 0u);
+  EXPECT_EQ(d.total_bytes, 0u);
+}
+
+TEST(Distributed, MultiRankRecoversPlantedPartition) {
+  const auto pp = gen::planted_partition(1200, 12, 0.25, 0.005, 307);
+  DistOptions opts;
+  opts.num_ranks = 8;
+  const DistResult d = dist::run_distributed_infomap(pp.graph, opts);
+  const double nmi = metrics::normalized_mutual_information(
+      to_metrics(d.communities),
+      to_metrics(core::Partition(pp.ground_truth.begin(),
+                                 pp.ground_truth.end())));
+  EXPECT_GT(nmi, 0.9);
+  EXPECT_GT(d.total_messages, 0u);
+}
+
+TEST(Distributed, DeterministicForFixedRanks) {
+  const auto pp = gen::planted_partition(600, 6, 0.2, 0.01, 311);
+  DistOptions opts;
+  opts.num_ranks = 4;
+  const DistResult a = dist::run_distributed_infomap(pp.graph, opts);
+  const DistResult b = dist::run_distributed_infomap(pp.graph, opts);
+  EXPECT_EQ(a.communities, b.communities);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+}
+
+TEST(Distributed, MessageVolumeCollapsesAcrossSupersteps) {
+  const auto pp = gen::planted_partition(2000, 20, 0.2, 0.004, 313);
+  DistOptions opts;
+  opts.num_ranks = 4;
+  const DistResult d = dist::run_distributed_infomap(pp.graph, opts);
+  // Level-0 supersteps: the first carries the bulk of the traffic.
+  std::uint64_t first_bytes = 0, later_bytes = 0;
+  for (const auto& st : d.trace) {
+    if (st.level != 0) break;
+    if (st.step == 0) {
+      first_bytes = st.bytes;
+    } else {
+      later_bytes += st.bytes;
+    }
+  }
+  ASSERT_GT(first_bytes, 0u);
+  EXPECT_LT(later_bytes, first_bytes);
+}
+
+TEST(Distributed, AppliedNeverExceedsProposals) {
+  const auto pp = gen::planted_partition(700, 7, 0.2, 0.01, 317);
+  DistOptions opts;
+  opts.num_ranks = 4;
+  const DistResult d = dist::run_distributed_infomap(pp.graph, opts);
+  for (const auto& st : d.trace) {
+    EXPECT_LE(st.applied, st.proposals);
+  }
+}
+
+TEST(Distributed, MoreRanksMoreMessagesSameQuality) {
+  const auto pp = gen::planted_partition(1500, 15, 0.2, 0.005, 331);
+  const metrics::Partition truth(pp.ground_truth.begin(),
+                                 pp.ground_truth.end());
+  std::uint64_t prev_bytes = 0;
+  for (std::uint32_t ranks : {2u, 8u}) {
+    DistOptions opts;
+    opts.num_ranks = ranks;
+    const DistResult d = dist::run_distributed_infomap(pp.graph, opts);
+    const double nmi = metrics::normalized_mutual_information(
+        to_metrics(d.communities), truth);
+    EXPECT_GT(nmi, 0.9) << ranks << " ranks";
+    if (prev_bytes > 0) {
+      EXPECT_GT(d.total_bytes, prev_bytes) << "finer partitioning must cut "
+                                              "more edges";
+    }
+    prev_bytes = d.total_bytes;
+  }
+}
+
+TEST(Distributed, CodelengthIsLevelZeroConsistent) {
+  const auto pp = gen::planted_partition(500, 5, 0.2, 0.01, 337);
+  DistOptions opts;
+  opts.num_ranks = 4;
+  const DistResult d = dist::run_distributed_infomap(pp.graph, opts);
+  const auto fn = core::build_flow(pp.graph);
+  core::ModuleState check(fn, d.communities, d.num_communities);
+  EXPECT_NEAR(check.codelength(), d.codelength, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,221 @@
+// Edge-case and failure-injection tests across modules: boundary
+// parameters, degenerate graphs, and invalid-input rejection — the
+// conditions a downstream user will eventually hit.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "asamap/core/infomap.hpp"
+#include "asamap/core/louvain.hpp"
+#include "asamap/core/map_equation.hpp"
+#include "asamap/gen/generators.hpp"
+#include "asamap/gen/lfr.hpp"
+#include "asamap/graph/algorithms.hpp"
+#include "asamap/graph/io.hpp"
+#include "asamap/graph/stats.hpp"
+#include "asamap/metrics/partition.hpp"
+#include "asamap/sim/machine.hpp"
+#include "asamap/support/rng.hpp"
+
+namespace {
+
+using namespace asamap;
+using graph::CsrGraph;
+using graph::EdgeList;
+using graph::VertexId;
+
+// ------------------------------------------------------------------- graph
+
+TEST(EdgeCases, EmptyEdgeListProducesEmptyGraph) {
+  EdgeList e;
+  e.coalesce();
+  const CsrGraph g = CsrGraph::from_edges(e);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(EdgeCases, SelfLoopOnlyGraphKept) {
+  EdgeList e;
+  e.add(0, 0, 2.0);
+  e.coalesce(/*keep_self_loops=*/true);
+  const CsrGraph g = CsrGraph::from_edges(e);
+  EXPECT_EQ(g.num_arcs(), 1u);
+  EXPECT_DOUBLE_EQ(g.out_weight(0), 2.0);
+}
+
+TEST(EdgeCases, SymmetrizeIdempotentAfterCoalesce) {
+  EdgeList e;
+  e.add(0, 1, 1.0);
+  e.symmetrize();
+  e.symmetrize();  // double symmetrize must collapse via coalesce
+  e.coalesce();
+  EXPECT_EQ(e.size(), 2u);
+  EXPECT_DOUBLE_EQ(e.edges()[0].weight, 2.0);  // 1.0 forward + 1.0 mirrored
+}
+
+TEST(EdgeCases, SnapReaderHandlesCrLf) {
+  std::istringstream in("0\t1\r\n1\t2\r\n");
+  EdgeList e = graph::read_snap_stream(in);
+  e.coalesce();
+  EXPECT_EQ(e.size(), 4u);
+}
+
+TEST(EdgeCases, BfsFromIsolatedVertex) {
+  EdgeList e;
+  e.add_undirected(1, 2);
+  e.coalesce();
+  const CsrGraph g = CsrGraph::from_edges(e, 4);
+  const auto d = graph::bfs_distances(g, 3);
+  EXPECT_EQ(d[3], 0u);
+  EXPECT_EQ(d[1], graph::kUnreachable);
+}
+
+// -------------------------------------------------------------- generators
+
+TEST(EdgeCases, WattsStrogatzRejectsBadParams) {
+  EXPECT_THROW(gen::watts_strogatz(10, 5, 0.1, 1), std::logic_error);
+  EXPECT_THROW(gen::watts_strogatz(100, 3, 1.5, 1), std::logic_error);
+}
+
+TEST(EdgeCases, ErdosRenyiRejectsBadProbability) {
+  EXPECT_THROW(gen::erdos_renyi(10, -0.1, 1), std::logic_error);
+  EXPECT_THROW(gen::erdos_renyi(10, 1.1, 1), std::logic_error);
+}
+
+TEST(EdgeCases, BarabasiAlbertRejectsTooFewVertices) {
+  EXPECT_THROW(gen::barabasi_albert(3, 3, 1), std::logic_error);
+}
+
+TEST(EdgeCases, PlantedPartitionSingleCommunityIsEr) {
+  const auto pp = gen::planted_partition(200, 1, 0.05, 0.9, 3);
+  // With one community p_out never applies.
+  for (VertexId c : pp.ground_truth) EXPECT_EQ(c, 0u);
+  const double expected_arcs = 0.05 * 200 * 199;
+  EXPECT_NEAR(static_cast<double>(pp.graph.num_arcs()), expected_arcs,
+              0.25 * expected_arcs);
+}
+
+TEST(EdgeCases, TinyLfrStillValid) {
+  gen::LfrParams params;
+  params.n = 60;
+  params.mu = 0.2;
+  params.min_degree = 2;
+  params.max_degree = 8;
+  params.min_community = 10;
+  params.max_community = 30;
+  const auto lfr = gen::lfr_benchmark(params, 5);
+  EXPECT_EQ(lfr.graph.num_vertices(), 60u);
+  EXPECT_GE(lfr.num_communities, 2u);
+}
+
+// ------------------------------------------------------------------- core
+
+TEST(EdgeCases, InfomapOnCompleteGraphFindsOneCommunity) {
+  EdgeList e;
+  for (VertexId u = 0; u < 12; ++u) {
+    for (VertexId v = u + 1; v < 12; ++v) e.add_undirected(u, v);
+  }
+  e.coalesce();
+  const auto r = core::run_infomap(CsrGraph::from_edges(e));
+  EXPECT_EQ(r.num_communities, 1u);
+  EXPECT_NEAR(r.codelength, r.one_level_codelength, 1e-9);
+}
+
+TEST(EdgeCases, InfomapOnDisconnectedComponents) {
+  // Two disjoint cliques: each becomes one community; no cross merging.
+  EdgeList e;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) {
+      e.add_undirected(u, v);
+      e.add_undirected(u + 5, v + 5);
+    }
+  }
+  e.coalesce();
+  const auto r = core::run_infomap(CsrGraph::from_edges(e));
+  EXPECT_EQ(r.num_communities, 2u);
+  EXPECT_NE(r.communities[0], r.communities[5]);
+}
+
+TEST(EdgeCases, InfomapWeightedEdgesRespected) {
+  // A path 0-1-2-3 where 1-2 is 100x weaker: split at the weak link.
+  EdgeList e;
+  e.add_undirected(0, 1, 1.0);
+  e.add_undirected(1, 2, 0.01);
+  e.add_undirected(2, 3, 1.0);
+  e.coalesce();
+  const auto r = core::run_infomap(CsrGraph::from_edges(e));
+  EXPECT_EQ(r.communities[0], r.communities[1]);
+  EXPECT_EQ(r.communities[2], r.communities[3]);
+  EXPECT_NE(r.communities[1], r.communities[2]);
+}
+
+TEST(EdgeCases, ModuleStateRejectsSizeMismatch) {
+  const auto g = gen::erdos_renyi(20, 0.3, 7);
+  const auto fn = core::build_flow(g);
+  EXPECT_THROW(core::ModuleState(fn, core::Partition(5, 0), 1),
+               std::logic_error);
+}
+
+TEST(EdgeCases, IndexPlusModuleEqualsTotalCodelength) {
+  const auto pp = gen::planted_partition(300, 6, 0.2, 0.01, 11);
+  const auto fn = core::build_flow(pp.graph);
+  core::Partition truth(pp.ground_truth.begin(), pp.ground_truth.end());
+  core::ModuleState state(fn, truth, 6);
+  EXPECT_NEAR(state.index_codelength() + state.module_codelength(),
+              state.codelength(), 1e-12);
+  EXPECT_GT(state.index_codelength(), 0.0);
+}
+
+TEST(EdgeCases, LouvainOnCompleteGraph) {
+  EdgeList e;
+  for (VertexId u = 0; u < 10; ++u) {
+    for (VertexId v = u + 1; v < 10; ++v) e.add_undirected(u, v);
+  }
+  e.coalesce();
+  const auto r = core::run_louvain(CsrGraph::from_edges(e));
+  EXPECT_EQ(r.num_communities, 1u);
+  EXPECT_NEAR(r.modularity, 0.0, 1e-9);
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST(EdgeCases, EmptyPartitionMetrics) {
+  const metrics::Partition empty;
+  EXPECT_DOUBLE_EQ(metrics::normalized_mutual_information(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::adjusted_rand_index(empty, empty), 1.0);
+  EXPECT_EQ(metrics::count_communities(empty), 0u);
+}
+
+TEST(EdgeCases, SingleVertexPartition) {
+  const metrics::Partition one = {0};
+  EXPECT_DOUBLE_EQ(metrics::normalized_mutual_information(one, one), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::adjusted_rand_index(one, one), 1.0);
+}
+
+// --------------------------------------------------------------------- sim
+
+TEST(EdgeCases, MachineRejectsZeroCores) {
+  sim::MachineConfig mc;
+  mc.num_cores = 0;
+  EXPECT_THROW(sim::Machine{mc}, std::logic_error);
+}
+
+TEST(EdgeCases, MachineResetAllClearsEverything) {
+  sim::Machine m(sim::paper_baseline_machine(2));
+  m.core(0).load(0x1234, 8);
+  m.core(1).branch(1, false);
+  m.reset_all();
+  EXPECT_EQ(m.total_stats().total_instructions(), 0u);
+  EXPECT_EQ(m.l3().stats().accesses, 0u);
+  EXPECT_DOUBLE_EQ(m.simulated_seconds(), 0.0);
+}
+
+TEST(EdgeCases, ZeroByteAccessTouchesOneLine) {
+  sim::Cache c({"L1", 1024, 2, 64, 4}, nullptr, 200);
+  c.access_range(0x100, 0);
+  EXPECT_EQ(c.stats().accesses, 1u);
+}
+
+}  // namespace

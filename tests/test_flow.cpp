@@ -1,0 +1,212 @@
+// Unit tests for flow computation: PageRank power iteration, the undirected
+// closed form, and supernode contraction (Convert2SuperNode) invariants.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "asamap/core/flow.hpp"
+#include "asamap/gen/generators.hpp"
+#include "asamap/graph/edge_list.hpp"
+
+namespace {
+
+using namespace asamap;
+using core::FlowModel;
+using core::FlowNetwork;
+using core::FlowOptions;
+using graph::CsrGraph;
+using graph::EdgeList;
+using graph::VertexId;
+
+CsrGraph path_graph(VertexId n) {
+  EdgeList e;
+  for (VertexId v = 0; v + 1 < n; ++v) e.add_undirected(v, v + 1);
+  e.coalesce();
+  return CsrGraph::from_edges(e);
+}
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(UndirectedFlow, NodeFlowIsDegreeProportional) {
+  const CsrGraph g = path_graph(4);  // degrees 1,2,2,1; total arc weight 6
+  const FlowNetwork fn = core::build_flow(g);
+  EXPECT_EQ(fn.pagerank_iterations, 0);  // closed form used
+  EXPECT_NEAR(fn.node_flow[0], 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(fn.node_flow[1], 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(sum(fn.node_flow), 1.0, 1e-12);
+  EXPECT_NEAR(sum(fn.out_flow), 1.0, 1e-12);
+  EXPECT_NEAR(sum(fn.in_flow), 1.0, 1e-12);
+  for (double tp : fn.teleport_flow) EXPECT_DOUBLE_EQ(tp, 0.0);
+}
+
+TEST(UndirectedFlow, ArcFlowsSymmetric) {
+  const CsrGraph g = gen::erdos_renyi(200, 0.05, 3);
+  const FlowNetwork fn = core::build_flow(g);
+  // For every arc u->v, the reverse arc carries the same flow.
+  std::size_t e = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const graph::Arc& arc : g.out_neighbors(u)) {
+      EXPECT_NEAR(fn.out_flow[e], arc.weight / g.total_arc_weight(), 1e-15);
+      ++e;
+    }
+  }
+}
+
+TEST(DirectedFlow, PageRankSumsToOne) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 0);
+  e.add(2, 3);
+  e.add(3, 0);
+  e.coalesce();
+  const CsrGraph g = CsrGraph::from_edges(e);
+  ASSERT_FALSE(g.is_symmetric());
+  const FlowNetwork fn = core::build_flow(g);
+  EXPECT_GT(fn.pagerank_iterations, 1);
+  EXPECT_NEAR(sum(fn.node_flow), 1.0, 1e-9);
+  // Teleport flow is tau of total.
+  EXPECT_NEAR(sum(fn.teleport_flow), 0.15, 1e-9);
+  // Link flow + teleport flow account for everything.
+  EXPECT_NEAR(sum(fn.out_flow) + sum(fn.teleport_flow), 1.0, 1e-9);
+}
+
+TEST(DirectedFlow, UniformCycleIsUniform) {
+  EdgeList e;
+  const VertexId n = 10;
+  for (VertexId v = 0; v < n; ++v) e.add(v, (v + 1) % n);
+  e.coalesce();
+  const FlowNetwork fn = core::build_flow(CsrGraph::from_edges(e));
+  for (VertexId v = 0; v < n; ++v) {
+    EXPECT_NEAR(fn.node_flow[v], 1.0 / n, 1e-9);
+  }
+}
+
+TEST(DirectedFlow, DanglingMassRedistributed) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);  // 2 is dangling
+  e.coalesce();
+  const FlowNetwork fn =
+      core::build_flow(CsrGraph::from_edges(e, /*n_hint=*/3));
+  EXPECT_NEAR(sum(fn.node_flow), 1.0, 1e-9);
+  EXPECT_GT(fn.node_flow[2], 0.0);
+}
+
+TEST(DirectedFlow, HubAttractsFlow) {
+  // Star pointing at the hub: the hub's visit rate dominates.
+  EdgeList e;
+  for (VertexId v = 1; v <= 20; ++v) e.add(v, 0);
+  e.add(0, 1);  // hub points somewhere so it is not dangling
+  e.coalesce();
+  const FlowNetwork fn = core::build_flow(CsrGraph::from_edges(e));
+  for (VertexId v = 2; v <= 20; ++v) {
+    EXPECT_GT(fn.node_flow[0], 5.0 * fn.node_flow[v]);
+  }
+}
+
+TEST(FlowModelSelection, ForcedUndirectedOnDirectedThrows) {
+  EdgeList e;
+  e.add(0, 1);
+  e.coalesce();
+  FlowOptions opts;
+  opts.model = FlowModel::kUndirected;
+  EXPECT_THROW(core::build_flow(CsrGraph::from_edges(e), opts),
+               std::logic_error);
+}
+
+TEST(FlowModelSelection, ForcedDirectedOnUndirectedWorks) {
+  const CsrGraph g = path_graph(5);
+  FlowOptions opts;
+  opts.model = FlowModel::kDirected;
+  const FlowNetwork fn = core::build_flow(g, opts);
+  EXPECT_GT(fn.pagerank_iterations, 1);
+  EXPECT_NEAR(sum(fn.node_flow), 1.0, 1e-9);
+}
+
+// -------------------------------------------------------------- contraction
+
+TEST(Contract, PreservesTotalNodeFlow) {
+  const CsrGraph g = gen::erdos_renyi(300, 0.03, 9);
+  const FlowNetwork fn = core::build_flow(g);
+  core::Partition modules(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) modules[v] = v % 10;
+  const FlowNetwork contracted = core::contract_network(fn, modules, 10);
+
+  EXPECT_EQ(contracted.num_nodes(), 10u);
+  EXPECT_NEAR(sum(contracted.node_flow), 1.0, 1e-9);
+  EXPECT_EQ(contracted.total_orig, fn.total_orig);
+  std::uint64_t total_cnt = 0;
+  for (auto c : contracted.orig_count) total_cnt += c;
+  EXPECT_EQ(total_cnt, g.num_vertices());
+}
+
+TEST(Contract, SuperArcFlowEqualsBoundaryFlow) {
+  // Two triangles with one bridge: contracting by the natural partition
+  // leaves exactly the bridge flow between the two supernodes.
+  EdgeList e;
+  e.add_undirected(0, 1);
+  e.add_undirected(1, 2);
+  e.add_undirected(0, 2);
+  e.add_undirected(3, 4);
+  e.add_undirected(4, 5);
+  e.add_undirected(3, 5);
+  e.add_undirected(2, 3);
+  e.coalesce();
+  const CsrGraph g = CsrGraph::from_edges(e);
+  const FlowNetwork fn = core::build_flow(g);
+  const core::Partition modules = {0, 0, 0, 1, 1, 1};
+  const FlowNetwork c = core::contract_network(fn, modules, 2);
+
+  ASSERT_EQ(c.num_nodes(), 2u);
+  ASSERT_EQ(c.graph.num_arcs(), 2u);  // one super edge, both directions
+  // Bridge edge weight 1 of total 14 -> flow 1/14 each direction.
+  EXPECT_NEAR(c.out_flow[0], 1.0 / 14.0, 1e-12);
+  EXPECT_NEAR(c.node_flow[0], 7.0 / 14.0, 1e-12);
+}
+
+TEST(Contract, IntraModuleFlowVanishes) {
+  const CsrGraph g = gen::erdos_renyi(100, 0.1, 21);
+  const FlowNetwork fn = core::build_flow(g);
+  const core::Partition one_module(g.num_vertices(), 0);
+  const FlowNetwork c = core::contract_network(fn, one_module, 1);
+  EXPECT_EQ(c.num_nodes(), 1u);
+  EXPECT_EQ(c.graph.num_arcs(), 0u);
+  EXPECT_NEAR(c.node_flow[0], 1.0, 1e-9);
+}
+
+TEST(Contract, IdentityPartitionKeepsArcFlows) {
+  const CsrGraph g = gen::erdos_renyi(50, 0.1, 23);
+  const FlowNetwork fn = core::build_flow(g);
+  core::Partition identity(g.num_vertices());
+  std::iota(identity.begin(), identity.end(), 0);
+  const FlowNetwork c =
+      core::contract_network(fn, identity, g.num_vertices());
+  ASSERT_EQ(c.graph.num_arcs(), g.num_arcs());
+  for (std::size_t e = 0; e < fn.out_flow.size(); ++e) {
+    EXPECT_NEAR(c.out_flow[e], fn.out_flow[e], 1e-15);
+  }
+}
+
+TEST(Contract, TeleportFlowAggregates) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(1, 0);
+  e.add(1, 2);
+  e.add(2, 0);
+  e.coalesce();
+  FlowOptions opts;
+  opts.model = FlowModel::kDirected;
+  const FlowNetwork fn =
+      core::build_flow(CsrGraph::from_edges(e), opts);
+  const core::Partition modules = {0, 0, 1};
+  const FlowNetwork c = core::contract_network(fn, modules, 2);
+  EXPECT_NEAR(c.teleport_flow[0],
+              fn.teleport_flow[0] + fn.teleport_flow[1], 1e-12);
+  EXPECT_NEAR(sum(c.teleport_flow), 0.15, 1e-9);
+}
+
+}  // namespace

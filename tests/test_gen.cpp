@@ -1,0 +1,261 @@
+// Unit tests for the generator library: every generator must produce a
+// simple, symmetric graph deterministically, with the statistical shape it
+// promises (power-law exponents, planted structure, LFR mixing).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "asamap/gen/alias_table.hpp"
+#include "asamap/gen/datasets.hpp"
+#include "asamap/gen/generators.hpp"
+#include "asamap/gen/lfr.hpp"
+#include "asamap/graph/stats.hpp"
+#include "asamap/support/rng.hpp"
+
+namespace {
+
+using namespace asamap;
+using namespace asamap::gen;
+using graph::CsrGraph;
+using graph::VertexId;
+
+void expect_simple_symmetric(const CsrGraph& g) {
+  EXPECT_TRUE(g.is_symmetric());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    VertexId prev = graph::kInvalidVertex;
+    for (const graph::Arc& arc : g.out_neighbors(v)) {
+      EXPECT_NE(arc.dst, v) << "self loop at " << v;
+      EXPECT_NE(arc.dst, prev) << "parallel edge at " << v;
+      prev = arc.dst;
+    }
+  }
+}
+
+TEST(AliasTable, MatchesWeights) {
+  const std::vector<double> w = {1.0, 2.0, 4.0, 1.0};
+  AliasTable table(w);
+  support::Xoshiro256 rng(5);
+  std::vector<int> counts(w.size(), 0);
+  constexpr int kN = 400000;
+  for (int i = 0; i < kN; ++i) ++counts[table.sample(rng)];
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(kN), w[i] / total, 0.01);
+  }
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  AliasTable table({1.0, 0.0, 1.0});
+  support::Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(table.sample(rng), 1u);
+}
+
+TEST(AliasTable, RejectsEmptyAndAllZero) {
+  EXPECT_THROW(AliasTable({}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  const VertexId n = 2000;
+  const double p = 0.005;
+  const CsrGraph g = erdos_renyi(n, p, 7);
+  expect_simple_symmetric(g);
+  const double expected_arcs = p * n * (n - 1);  // both directions
+  EXPECT_NEAR(static_cast<double>(g.num_arcs()), expected_arcs,
+              0.1 * expected_arcs);
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  const CsrGraph a = erdos_renyi(500, 0.01, 42);
+  const CsrGraph b = erdos_renyi(500, 0.01, 42);
+  EXPECT_EQ(a.num_arcs(), b.num_arcs());
+}
+
+TEST(ErdosRenyi, ZeroProbabilityEmpty) {
+  const CsrGraph g = erdos_renyi(100, 0.0, 1);
+  EXPECT_EQ(g.num_arcs(), 0u);
+  EXPECT_EQ(g.num_vertices(), 100u);
+}
+
+TEST(ErdosRenyi, FullProbabilityComplete) {
+  const VertexId n = 50;
+  const CsrGraph g = erdos_renyi(n, 1.0, 1);
+  EXPECT_EQ(g.num_arcs(), std::uint64_t{n} * (n - 1));
+}
+
+TEST(BarabasiAlbert, DegreesAtLeastM) {
+  const CsrGraph g = barabasi_albert(2000, 3, 11);
+  expect_simple_symmetric(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(g.out_degree(v), 3u);
+  }
+}
+
+TEST(BarabasiAlbert, PowerLawTail) {
+  const CsrGraph g = barabasi_albert(20000, 4, 13);
+  const auto h = graph::degree_histogram(g);
+  const double gamma = graph::fit_power_law_exponent(h, 5);
+  // BA converges to gamma = 3; the finite-size fit lands near it.
+  EXPECT_GT(gamma, 2.0);
+  EXPECT_LT(gamma, 4.5);
+}
+
+TEST(ChungLu, MatchesTargetSize) {
+  ChungLuParams params;
+  params.n = 5000;
+  params.target_edges = 25000;
+  params.gamma = 2.5;
+  params.max_deg = 500;
+  const CsrGraph g = chung_lu(params, 17);
+  expect_simple_symmetric(g);
+  EXPECT_EQ(g.num_vertices(), 5000u);
+  // Dedup and self-loop rejection shave a few percent off the target.
+  EXPECT_GT(g.num_arcs(), 2 * params.target_edges * 8 / 10);
+  EXPECT_LE(g.num_arcs(), 2 * params.target_edges);
+}
+
+TEST(ChungLu, HeavyTailPresent) {
+  ChungLuParams params;
+  params.n = 20000;
+  params.target_edges = 100000;
+  params.gamma = 2.2;
+  params.max_deg = 2000;
+  const CsrGraph g = chung_lu(params, 19);
+  const auto h = graph::degree_histogram(g);
+  // A graph with mean degree 10 should still have hubs with 50x the mean.
+  EXPECT_GT(h.max_degree, 200u);
+}
+
+TEST(Rmat, SizeAndSimplicity) {
+  RmatParams params;
+  params.scale = 12;
+  params.edges_per_vertex = 8;
+  const CsrGraph g = rmat(params, 23);
+  expect_simple_symmetric(g);
+  EXPECT_EQ(g.num_vertices(), 4096u);
+  EXPECT_GT(g.num_arcs(), 0u);
+}
+
+TEST(Rmat, SkewedDegrees) {
+  RmatParams params;
+  params.scale = 14;
+  params.edges_per_vertex = 16;
+  const CsrGraph g = rmat(params, 29);
+  const auto h = graph::degree_histogram(g);
+  // R-MAT's recursive skew produces hubs far above the mean.
+  EXPECT_GT(static_cast<double>(h.max_degree), 10.0 * h.mean_degree);
+}
+
+TEST(PlantedPartition, GroundTruthShape) {
+  const auto pp = planted_partition(900, 9, 0.12, 0.002, 31);
+  expect_simple_symmetric(pp.graph);
+  ASSERT_EQ(pp.ground_truth.size(), 900u);
+  for (VertexId c : pp.ground_truth) EXPECT_LT(c, 9u);
+}
+
+TEST(PlantedPartition, IntraEdgesDominate) {
+  const auto pp = planted_partition(1200, 6, 0.15, 0.003, 37);
+  std::uint64_t intra = 0, inter = 0;
+  for (VertexId v = 0; v < pp.graph.num_vertices(); ++v) {
+    for (const graph::Arc& arc : pp.graph.out_neighbors(v)) {
+      if (pp.ground_truth[v] == pp.ground_truth[arc.dst]) {
+        ++intra;
+      } else {
+        ++inter;
+      }
+    }
+  }
+  EXPECT_GT(intra, 3 * inter);
+}
+
+TEST(PlantedPartition, EdgeRatesMatchProbabilities) {
+  const VertexId n = 1000;
+  const VertexId q = 5;
+  const double p_in = 0.1, p_out = 0.01;
+  const auto pp = planted_partition(n, q, p_in, p_out, 41);
+  // Expected intra pairs: q * C(n/q, 2); each intra edge appears as 2 arcs.
+  const double group = static_cast<double>(n) / q;
+  const double intra_pairs = q * group * (group - 1) / 2.0;
+  const double inter_pairs =
+      static_cast<double>(n) * (n - 1) / 2.0 - intra_pairs;
+  std::uint64_t intra = 0, inter = 0;
+  for (VertexId v = 0; v < pp.graph.num_vertices(); ++v) {
+    for (const graph::Arc& arc : pp.graph.out_neighbors(v)) {
+      (pp.ground_truth[v] == pp.ground_truth[arc.dst] ? intra : inter) += 1;
+    }
+  }
+  EXPECT_NEAR(intra / 2.0, p_in * intra_pairs, 0.15 * p_in * intra_pairs);
+  EXPECT_NEAR(inter / 2.0, p_out * inter_pairs, 0.25 * p_out * inter_pairs);
+}
+
+TEST(Lfr, ProducesRequestedShape) {
+  LfrParams params;
+  params.n = 2000;
+  params.mu = 0.2;
+  const LfrGraph lfr = lfr_benchmark(params, 43);
+  expect_simple_symmetric(lfr.graph);
+  EXPECT_EQ(lfr.graph.num_vertices(), 2000u);
+  ASSERT_EQ(lfr.ground_truth.size(), 2000u);
+  EXPECT_GT(lfr.num_communities, 10u);
+  for (VertexId c : lfr.ground_truth) EXPECT_LT(c, lfr.num_communities);
+}
+
+TEST(Lfr, MixingParameterRealized) {
+  LfrParams params;
+  params.n = 3000;
+  params.mu = 0.25;
+  const LfrGraph lfr = lfr_benchmark(params, 47);
+  std::uint64_t external = 0, total = 0;
+  for (VertexId v = 0; v < lfr.graph.num_vertices(); ++v) {
+    for (const graph::Arc& arc : lfr.graph.out_neighbors(v)) {
+      ++total;
+      if (lfr.ground_truth[v] != lfr.ground_truth[arc.dst]) ++external;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  const double realized_mu = static_cast<double>(external) / total;
+  EXPECT_NEAR(realized_mu, 0.25, 0.08);
+}
+
+TEST(Lfr, RejectsInfeasibleParams) {
+  LfrParams params;
+  params.n = 1000;
+  params.mu = 0.0;
+  params.max_degree = 400;
+  params.max_community = 50;  // internal degree 400 cannot fit
+  EXPECT_THROW(lfr_benchmark(params, 1), std::invalid_argument);
+}
+
+TEST(Datasets, RegistryHasPaperNetworks) {
+  const auto& reg = dataset_registry();
+  ASSERT_EQ(reg.size(), 6u);
+  EXPECT_EQ(reg[0].name, "Amazon");
+  EXPECT_EQ(reg[5].name, "Orkut");
+  // Mean degree of the stand-in must match the paper network's.
+  for (const DatasetSpec& spec : reg) {
+    const double paper_mean = 2.0 * static_cast<double>(spec.paper_edges) /
+                              static_cast<double>(spec.paper_vertices);
+    const double standin_mean = 2.0 * static_cast<double>(spec.edges) /
+                                static_cast<double>(spec.vertices);
+    EXPECT_NEAR(standin_mean / paper_mean, 1.0, 0.05) << spec.name;
+  }
+}
+
+TEST(Datasets, LookupIsFlexible) {
+  EXPECT_EQ(dataset_spec("amazon").name, "Amazon");
+  EXPECT_EQ(dataset_spec("Pokec").name, "soc-Pokec");
+  EXPECT_EQ(dataset_spec("soc-pokec").name, "soc-Pokec");
+  EXPECT_THROW(dataset_spec("nonsense"), std::out_of_range);
+}
+
+TEST(Datasets, SmallStandInsMaterialize) {
+  const CsrGraph amazon = make_dataset("Amazon");
+  expect_simple_symmetric(amazon);
+  EXPECT_EQ(amazon.num_vertices(), dataset_spec("Amazon").vertices);
+  const auto h = graph::degree_histogram(amazon);
+  const double paper_mean = 2.0 * 925872.0 / 334863.0;
+  EXPECT_NEAR(h.mean_degree, paper_mean, 0.2 * paper_mean);
+}
+
+}  // namespace

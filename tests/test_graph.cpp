@@ -1,0 +1,228 @@
+// Unit tests for the graph library: edge-list staging, CSR construction,
+// SNAP I/O round trips, and degree statistics.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "asamap/graph/csr_graph.hpp"
+#include "asamap/graph/edge_list.hpp"
+#include "asamap/graph/io.hpp"
+#include "asamap/graph/stats.hpp"
+
+namespace {
+
+using namespace asamap::graph;
+
+EdgeList triangle() {
+  EdgeList e;
+  e.add_undirected(0, 1);
+  e.add_undirected(1, 2);
+  e.add_undirected(0, 2);
+  e.coalesce();
+  return e;
+}
+
+TEST(EdgeList, AddTracksVertexCount) {
+  EdgeList e;
+  EXPECT_EQ(e.vertex_count(), 0u);
+  e.add(3, 7);
+  EXPECT_EQ(e.vertex_count(), 8u);
+  e.ensure_vertex_count(20);
+  EXPECT_EQ(e.vertex_count(), 20u);
+}
+
+TEST(EdgeList, CoalesceMergesParallelEdges) {
+  EdgeList e;
+  e.add(0, 1, 1.0);
+  e.add(0, 1, 2.5);
+  e.add(1, 0, 1.0);
+  e.coalesce();
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e.edges()[0].src, 0u);
+  EXPECT_EQ(e.edges()[0].dst, 1u);
+  EXPECT_DOUBLE_EQ(e.edges()[0].weight, 3.5);
+  EXPECT_DOUBLE_EQ(e.edges()[1].weight, 1.0);
+}
+
+TEST(EdgeList, CoalesceDropsSelfLoopsByDefault) {
+  EdgeList e;
+  e.add(2, 2);
+  e.add(0, 1);
+  e.coalesce();
+  EXPECT_EQ(e.size(), 1u);
+}
+
+TEST(EdgeList, CoalesceKeepsSelfLoopsOnRequest) {
+  EdgeList e;
+  e.add(2, 2, 4.0);
+  e.add(2, 2, 1.0);
+  e.coalesce(/*keep_self_loops=*/true);
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_DOUBLE_EQ(e.edges()[0].weight, 5.0);
+}
+
+TEST(EdgeList, SymmetrizeAddsReverseArcs) {
+  EdgeList e;
+  e.add(0, 1, 2.0);
+  e.add(1, 2, 3.0);
+  e.symmetrize();
+  e.coalesce();
+  EXPECT_EQ(e.size(), 4u);
+}
+
+TEST(CsrGraph, TriangleBasics) {
+  const CsrGraph g = CsrGraph::from_edges(triangle());
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_arcs(), 6u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(0), 2u);
+  EXPECT_DOUBLE_EQ(g.out_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(g.total_arc_weight(), 6.0);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(CsrGraph, NeighborsSortedById) {
+  EdgeList e;
+  e.add(0, 5);
+  e.add(0, 2);
+  e.add(0, 9);
+  e.coalesce();
+  const CsrGraph g = CsrGraph::from_edges(e);
+  const auto nb = g.out_neighbors(0);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0].dst, 2u);
+  EXPECT_EQ(nb[1].dst, 5u);
+  EXPECT_EQ(nb[2].dst, 9u);
+}
+
+TEST(CsrGraph, DirectedGraphIsNotSymmetric) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.coalesce();
+  const CsrGraph g = CsrGraph::from_edges(e);
+  EXPECT_FALSE(g.is_symmetric());
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+}
+
+TEST(CsrGraph, InNeighborsHoldSources) {
+  EdgeList e;
+  e.add(0, 2, 1.5);
+  e.add(1, 2, 2.5);
+  e.coalesce();
+  const CsrGraph g = CsrGraph::from_edges(e);
+  const auto in = g.in_neighbors(2);
+  ASSERT_EQ(in.size(), 2u);
+  EXPECT_EQ(in[0].dst, 0u);
+  EXPECT_DOUBLE_EQ(in[0].weight, 1.5);
+  EXPECT_EQ(in[1].dst, 1u);
+  EXPECT_DOUBLE_EQ(in[1].weight, 2.5);
+}
+
+TEST(CsrGraph, IsolatedVerticesViaHint) {
+  const CsrGraph g = CsrGraph::from_edges(triangle(), /*n_hint=*/6);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.out_degree(5), 0u);
+  EXPECT_TRUE(g.out_neighbors(5).empty());
+}
+
+TEST(CsrGraph, OffsetsMatchDegrees) {
+  const CsrGraph g = CsrGraph::from_edges(triangle());
+  EXPECT_EQ(g.out_offset(0), 0u);
+  EXPECT_EQ(g.out_offset(1), 2u);
+  EXPECT_EQ(g.out_offset(2), 4u);
+}
+
+TEST(SnapIo, ParsesCommentsAndEdges) {
+  std::istringstream in(
+      "# comment line\n"
+      "0\t1\n"
+      "\n"
+      "1 2\n"
+      "% another comment\n"
+      "2\t0\n");
+  EdgeList e = read_snap_stream(in);
+  e.coalesce();
+  const CsrGraph g = CsrGraph::from_edges(e);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_arcs(), 6u);  // undirected default doubles arcs
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(SnapIo, ParsesWeightedThirdColumn) {
+  std::istringstream in("0 1 2.5\n");
+  EdgeList e = read_snap_stream(in, {.undirected = false});
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_DOUBLE_EQ(e.edges()[0].weight, 2.5);
+}
+
+TEST(SnapIo, ThrowsOnGarbage) {
+  std::istringstream in("0 banana\n");
+  EXPECT_THROW(read_snap_stream(in), std::runtime_error);
+}
+
+TEST(SnapIo, DropsSelfLoopsByDefault) {
+  std::istringstream in("3 3\n0 1\n");
+  EdgeList e = read_snap_stream(in);
+  e.coalesce();
+  EXPECT_EQ(e.size(), 2u);  // just the undirected 0-1 pair
+}
+
+TEST(SnapIo, RoundTripPreservesGraph) {
+  const CsrGraph g = CsrGraph::from_edges(triangle());
+  std::ostringstream out;
+  write_snap_stream(out, g);
+  std::istringstream in(out.str());
+  EdgeList e = read_snap_stream(in, {.undirected = false});
+  e.coalesce();
+  const CsrGraph g2 = CsrGraph::from_edges(e);
+  ASSERT_EQ(g2.num_vertices(), g.num_vertices());
+  ASSERT_EQ(g2.num_arcs(), g.num_arcs());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.out_neighbors(v);
+    const auto b = g2.out_neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Stats, DegreeHistogramOfStar) {
+  EdgeList e;
+  for (VertexId leaf = 1; leaf <= 5; ++leaf) e.add_undirected(0, leaf);
+  e.coalesce();
+  const CsrGraph g = CsrGraph::from_edges(e);
+  const DegreeHistogram h = degree_histogram(g);
+  EXPECT_EQ(h.max_degree, 5u);
+  EXPECT_EQ(h.at(1), 5u);  // leaves
+  EXPECT_EQ(h.at(5), 1u);  // hub
+  EXPECT_EQ(h.at(0), 0u);
+  EXPECT_EQ(h.at(99), 0u);
+  EXPECT_NEAR(h.mean_degree, 10.0 / 6.0, 1e-12);
+}
+
+TEST(Stats, CoverageCdfIsMonotonic) {
+  EdgeList e;
+  for (VertexId leaf = 1; leaf <= 5; ++leaf) e.add_undirected(0, leaf);
+  e.coalesce();
+  const DegreeHistogram h = degree_histogram(CsrGraph::from_edges(e));
+  const auto cdf = coverage_cdf(h, {0, 1, 4, 5, 100});
+  ASSERT_EQ(cdf.size(), 5u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_NEAR(cdf[1], 5.0 / 6.0, 1e-12);
+  EXPECT_NEAR(cdf[2], 5.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+}
+
+TEST(Stats, EmptyGraphHistogram) {
+  const CsrGraph g;
+  const DegreeHistogram h = degree_histogram(g);
+  EXPECT_EQ(h.max_degree, 0u);
+  EXPECT_DOUBLE_EQ(coverage_at_capacity(h, 10), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,223 @@
+// Tests for the multilevel Infomap driver: recovery of planted communities,
+// codelength monotonicity, engine equivalence end-to-end, trace shape, and
+// the parallel driver.
+
+#include <gtest/gtest.h>
+
+#include "asamap/core/infomap.hpp"
+#include "asamap/gen/generators.hpp"
+#include "asamap/gen/lfr.hpp"
+#include "asamap/graph/edge_list.hpp"
+#include "asamap/metrics/partition.hpp"
+
+namespace {
+
+using namespace asamap;
+using core::AccumulatorKind;
+using core::InfomapOptions;
+using core::InfomapResult;
+using graph::CsrGraph;
+using graph::VertexId;
+
+metrics::Partition to_metrics(const core::Partition& p) {
+  return metrics::Partition(p.begin(), p.end());
+}
+
+TEST(Infomap, TwoTriangles) {
+  graph::EdgeList e;
+  e.add_undirected(0, 1);
+  e.add_undirected(1, 2);
+  e.add_undirected(0, 2);
+  e.add_undirected(3, 4);
+  e.add_undirected(4, 5);
+  e.add_undirected(3, 5);
+  e.add_undirected(2, 3);
+  e.coalesce();
+  const CsrGraph g = CsrGraph::from_edges(e);
+
+  const InfomapResult r = core::run_infomap(g);
+  EXPECT_EQ(r.num_communities, 2u);
+  EXPECT_EQ(r.communities[0], r.communities[1]);
+  EXPECT_EQ(r.communities[1], r.communities[2]);
+  EXPECT_EQ(r.communities[3], r.communities[4]);
+  EXPECT_NE(r.communities[0], r.communities[3]);
+  EXPECT_LT(r.codelength, r.one_level_codelength);
+}
+
+TEST(Infomap, RecoversPlantedPartition) {
+  const auto pp = gen::planted_partition(1000, 10, 0.25, 0.004, 61);
+  const InfomapResult r = core::run_infomap(pp.graph);
+  const double nmi = metrics::normalized_mutual_information(
+      to_metrics(r.communities), to_metrics(core::Partition(
+                                      pp.ground_truth.begin(),
+                                      pp.ground_truth.end())));
+  EXPECT_GT(nmi, 0.95);
+}
+
+TEST(Infomap, HighQualityOnEasyLfr) {
+  gen::LfrParams params;
+  params.n = 1500;
+  params.mu = 0.15;
+  const auto lfr = gen::lfr_benchmark(params, 67);
+  const InfomapResult r = core::run_infomap(lfr.graph);
+  const double nmi = metrics::normalized_mutual_information(
+      to_metrics(r.communities),
+      to_metrics(core::Partition(lfr.ground_truth.begin(),
+                                 lfr.ground_truth.end())));
+  EXPECT_GT(nmi, 0.85);
+}
+
+TEST(Infomap, CodelengthDecreasesAcrossTrace) {
+  const auto pp = gen::planted_partition(800, 8, 0.15, 0.01, 71);
+  const InfomapResult r = core::run_infomap(pp.graph);
+  ASSERT_FALSE(r.trace.empty());
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    if (r.trace[i].level == r.trace[i - 1].level) {
+      EXPECT_LE(r.trace[i].codelength, r.trace[i - 1].codelength + 1e-9);
+    }
+  }
+  // Moves per sweep shrink within a level (greedy convergence).
+  EXPECT_GT(r.trace.front().moves, r.trace.back().moves);
+}
+
+TEST(Infomap, DeterministicAcrossRuns) {
+  const auto g = gen::erdos_renyi(500, 0.02, 73);
+  const InfomapResult a = core::run_infomap(g);
+  const InfomapResult b = core::run_infomap(g);
+  EXPECT_EQ(a.communities, b.communities);
+  EXPECT_DOUBLE_EQ(a.codelength, b.codelength);
+}
+
+TEST(Infomap, EnginesAgreeEndToEnd) {
+  const auto pp = gen::planted_partition(600, 6, 0.2, 0.01, 79);
+  const InfomapResult chained =
+      core::run_infomap(pp.graph, {}, AccumulatorKind::kChained);
+  const InfomapResult open =
+      core::run_infomap(pp.graph, {}, AccumulatorKind::kOpen);
+  const InfomapResult asa_r =
+      core::run_infomap(pp.graph, {}, AccumulatorKind::kAsa);
+  const InfomapResult dense =
+      core::run_infomap(pp.graph, {}, AccumulatorKind::kDense);
+  EXPECT_EQ(chained.communities, open.communities);
+  EXPECT_EQ(chained.communities, asa_r.communities);
+  EXPECT_EQ(chained.communities, dense.communities);
+  EXPECT_NEAR(chained.codelength, asa_r.codelength, 1e-9);
+}
+
+TEST(Infomap, KernelTimersPopulated) {
+  const auto pp = gen::planted_partition(500, 5, 0.1, 0.01, 83);
+  InfomapOptions opts;
+  opts.time_wall = true;
+  const InfomapResult r = core::run_infomap(pp.graph, opts);
+  EXPECT_GT(r.kernel_wall.total(core::kernels::kPageRank), 0.0);
+  EXPECT_GT(r.kernel_wall.total(core::kernels::kFindBestCommunity), 0.0);
+  EXPECT_GT(r.kernel_wall.total(core::kernels::kUpdateMembers), 0.0);
+  // FindBestCommunity dominates (the paper's Fig. 2a shows 70-90%).
+  EXPECT_GT(r.kernel_wall.total(core::kernels::kFindBestCommunity),
+            0.5 * r.kernel_wall.grand_total());
+  EXPECT_GT(r.breakdown.hash_seconds + r.breakdown.other_seconds, 0.0);
+}
+
+TEST(Infomap, MultilevelAggregationHappens) {
+  // A graph with clear nested structure should use more than one level.
+  const auto pp = gen::planted_partition(2000, 40, 0.3, 0.002, 89);
+  const InfomapResult r = core::run_infomap(pp.graph);
+  EXPECT_GE(r.levels, 2);
+  EXPECT_LE(r.num_communities, 60u);
+}
+
+TEST(Infomap, DirectedGraphRuns) {
+  // Two dense directed clusters (complete digraphs on 6 vertices) with a
+  // single directed edge each way between them.
+  graph::EdgeList e;
+  auto add_clique = [&](VertexId base) {
+    for (VertexId i = 0; i < 6; ++i) {
+      for (VertexId j = 0; j < 6; ++j) {
+        if (i != j) e.add(base + i, base + j);
+      }
+    }
+  };
+  add_clique(0);
+  add_clique(6);
+  e.add(0, 6);   // one-way cross edges: the graph is genuinely directed
+  e.add(7, 1);
+  e.coalesce();
+  const CsrGraph g = CsrGraph::from_edges(e);
+  ASSERT_FALSE(g.is_symmetric());
+  const InfomapResult r = core::run_infomap(g);
+  EXPECT_EQ(r.num_communities, 2u);
+  for (VertexId v = 1; v < 6; ++v) EXPECT_EQ(r.communities[v], r.communities[0]);
+  for (VertexId v = 7; v < 12; ++v) EXPECT_EQ(r.communities[v], r.communities[6]);
+  EXPECT_NE(r.communities[0], r.communities[6]);
+}
+
+TEST(Infomap, SingleEdgeGraph) {
+  graph::EdgeList e;
+  e.add_undirected(0, 1);
+  e.coalesce();
+  const InfomapResult r = core::run_infomap(CsrGraph::from_edges(e));
+  EXPECT_EQ(r.num_communities, 1u);
+}
+
+TEST(Infomap, RespectsMaxSweeps) {
+  const auto pp = gen::planted_partition(500, 5, 0.2, 0.01, 97);
+  InfomapOptions opts;
+  opts.max_sweeps_per_level = 1;
+  const InfomapResult r = core::run_infomap(pp.graph, opts);
+  for (const auto& t : r.trace) EXPECT_EQ(t.sweep, 0);
+}
+
+TEST(InfomapParallel, MatchesQualityOfSequential) {
+  const auto pp = gen::planted_partition(1000, 10, 0.2, 0.005, 101);
+  const InfomapResult seq = core::run_infomap(pp.graph);
+  const InfomapResult par = core::run_infomap_parallel(pp.graph, {}, 4);
+  const double nmi = metrics::normalized_mutual_information(
+      to_metrics(seq.communities), to_metrics(par.communities));
+  EXPECT_GT(nmi, 0.9);
+  EXPECT_LT(par.codelength, par.one_level_codelength + 1e9);  // finite
+  EXPECT_LE(par.codelength, seq.codelength * 1.05 + 0.1);
+}
+
+TEST(InfomapParallel, DeterministicForFixedThreads) {
+  const auto pp = gen::planted_partition(600, 6, 0.2, 0.01, 103);
+  const InfomapResult a = core::run_infomap_parallel(pp.graph, {}, 3);
+  const InfomapResult b = core::run_infomap_parallel(pp.graph, {}, 3);
+  EXPECT_EQ(a.communities, b.communities);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(Refinement, NeverWorsensCodelength) {
+  const auto pp = gen::planted_partition(1200, 12, 0.2, 0.006, 211);
+  InfomapOptions with;
+  with.refine_sweeps = 3;
+  InfomapOptions without;
+  without.refine_sweeps = 0;
+  const auto refined = core::run_infomap(pp.graph, with);
+  const auto plain = core::run_infomap(pp.graph, without);
+  EXPECT_LE(refined.codelength, plain.codelength + 1e-12);
+}
+
+TEST(Refinement, HierarchyStaysConsistent) {
+  const auto pp = gen::planted_partition(1500, 30, 0.3, 0.003, 223);
+  InfomapOptions opts;
+  opts.refine_sweeps = 3;
+  const auto r = core::run_infomap(pp.graph, opts);
+  const auto h = r.hierarchy();
+  ASSERT_FALSE(h.empty());
+  EXPECT_EQ(h.coarsest(), r.communities);
+}
+
+TEST(Refinement, DisabledKeepsFullTree) {
+  const auto pp = gen::planted_partition(2000, 40, 0.3, 0.002, 89);
+  InfomapOptions opts;
+  opts.refine_sweeps = 0;
+  const auto r = core::run_infomap(pp.graph, opts);
+  if (r.levels >= 2) {
+    EXPECT_EQ(r.hierarchy().depth(), static_cast<std::size_t>(r.levels));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+// Integration tests across modules: the full simulated pipeline
+// (generator -> Infomap -> machine counters) must reproduce the paper's
+// qualitative claims on scaled-down workloads.  These are the
+// smallest-possible versions of the bench experiments, run under ctest.
+
+#include <gtest/gtest.h>
+
+#include "asamap/benchutil/experiments.hpp"
+#include "asamap/gen/datasets.hpp"
+#include "asamap/gen/generators.hpp"
+#include "asamap/graph/algorithms.hpp"
+#include "asamap/graph/stats.hpp"
+#include "asamap/metrics/partition.hpp"
+
+namespace {
+
+using namespace asamap;
+using benchutil::SimRunConfig;
+using benchutil::SimRunResult;
+using core::AccumulatorKind;
+
+graph::CsrGraph small_powerlaw() {
+  gen::ChungLuParams params;
+  params.n = 4000;
+  params.target_edges = 24000;
+  params.gamma = 2.4;
+  params.max_deg = 600;
+  return gen::chung_lu(params, 111);
+}
+
+SimRunConfig baseline_config() {
+  SimRunConfig cfg;
+  cfg.engine = AccumulatorKind::kChained;
+  cfg.num_cores = 1;
+  cfg.infomap.max_levels = 2;  // keep the test fast; level 0 dominates
+  return cfg;
+}
+
+SimRunConfig asa_config() {
+  SimRunConfig cfg = baseline_config();
+  cfg.engine = AccumulatorKind::kAsa;
+  return cfg;
+}
+
+TEST(Integration, AsaSpeedsUpHashOperations) {
+  // The headline claim (Fig. 6): ASA's hash-operation time is a multiple
+  // below the Baseline's on the same graph.
+  const auto g = small_powerlaw();
+  const SimRunResult base = run_simulated(g, baseline_config());
+  const SimRunResult asa_r = run_simulated(g, asa_config());
+
+  ASSERT_GT(base.hash_seconds, 0.0);
+  ASSERT_GT(asa_r.hash_seconds, 0.0);
+  const double speedup = base.hash_seconds / asa_r.hash_seconds;
+  EXPECT_GT(speedup, 2.0) << "ASA should speed up hash ops severalfold";
+  EXPECT_LT(speedup, 20.0) << "suspiciously large speedup";
+}
+
+TEST(Integration, AsaReducesBranchMispredictions) {
+  // Fig. 8b: large reduction in mispredicted branches.
+  const auto g = small_powerlaw();
+  const SimRunResult base = run_simulated(g, baseline_config());
+  const SimRunResult asa_r = run_simulated(g, asa_config());
+  ASSERT_GT(base.total_mispredicts, 0u);
+  EXPECT_LT(asa_r.total_mispredicts, base.total_mispredicts);
+  const double reduction =
+      1.0 - static_cast<double>(asa_r.total_mispredicts) /
+                static_cast<double>(base.total_mispredicts);
+  EXPECT_GT(reduction, 0.3);
+}
+
+TEST(Integration, AsaReducesInstructionsAndCpi) {
+  // Figs. 8a and 8c: fewer total instructions and lower CPI.
+  const auto g = small_powerlaw();
+  const SimRunResult base = run_simulated(g, baseline_config());
+  const SimRunResult asa_r = run_simulated(g, asa_config());
+  EXPECT_LT(asa_r.total_instructions, base.total_instructions);
+  EXPECT_LT(asa_r.avg_cpi_per_core, base.avg_cpi_per_core);
+}
+
+TEST(Integration, IdenticalPartitionsUnderSimulation) {
+  // Simulation must not perturb results: Baseline and ASA runs produce the
+  // same communities as the uninstrumented run.
+  const auto g = small_powerlaw();
+  core::InfomapOptions opts;
+  opts.max_levels = 2;
+  const auto native = core::run_infomap(g, opts);
+
+  SimRunConfig cfg = baseline_config();
+  const SimRunResult base = run_simulated(g, cfg);
+  const SimRunResult asa_r = run_simulated(g, asa_config());
+  EXPECT_EQ(native.communities, base.infomap.communities);
+  EXPECT_EQ(native.communities, asa_r.infomap.communities);
+}
+
+TEST(Integration, MulticoreCountersScaleSensibly) {
+  const auto g = small_powerlaw();
+  SimRunConfig one = baseline_config();
+  SimRunConfig four = baseline_config();
+  four.num_cores = 4;
+
+  const SimRunResult r1 = run_simulated(g, one);
+  const SimRunResult r4 = run_simulated(g, four);
+
+  // Total work is the same order of magnitude (the greedy trajectory
+  // differs with partitioning, so sweep counts can shift)...
+  EXPECT_GT(static_cast<double>(r4.total_instructions),
+            0.35 * static_cast<double>(r1.total_instructions));
+  EXPECT_LT(static_cast<double>(r4.total_instructions),
+            2.0 * static_cast<double>(r1.total_instructions));
+  // ...while per-core work genuinely shrinks,
+  EXPECT_LT(r4.avg_instructions_per_core,
+            0.6 * r1.avg_instructions_per_core);
+  // and the slowest core finishes faster than the single core.
+  EXPECT_LT(r4.sim_seconds, r1.sim_seconds);
+}
+
+TEST(Integration, CamCoverageOnPowerLawGraph) {
+  // Fig. 5's premise, end to end: on a power-law graph, a 512-entry CAM
+  // (8 KB) covers the overwhelming majority of vertices.
+  const auto g = small_powerlaw();
+  const auto h = graph::degree_histogram(g);
+  EXPECT_GT(graph::coverage_at_capacity(h, 512), 0.99);
+  EXPECT_GT(graph::coverage_at_capacity(h, 64), 0.80);
+}
+
+TEST(Integration, OverflowHandlingIsMinorityOfAsaTime) {
+  // Section IV-C: overflow handling is a small fraction of ASA time even
+  // on graphs with hubs past the CAM capacity.
+  const auto g = small_powerlaw();
+  SimRunConfig cfg = asa_config();
+  cfg.cam.capacity_entries = 128;  // force meaningful overflow
+  cfg.cam.ways = 8;
+  const SimRunResult r = run_simulated(g, cfg);
+  EXPECT_GT(r.cam_evictions, 0u);
+  // Hash phase still beats baseline despite overflow.
+  const SimRunResult base = run_simulated(g, baseline_config());
+  EXPECT_LT(r.hash_seconds, base.hash_seconds);
+}
+
+TEST(Integration, NativeRunProducesKernelBreakdown) {
+  const auto g = small_powerlaw();
+  core::InfomapOptions opts;
+  opts.max_levels = 3;
+  const auto r = benchutil::run_native(g, opts);
+  const double fbc = r.kernel_wall.total(core::kernels::kFindBestCommunity);
+  EXPECT_GT(fbc, 0.0);
+  EXPECT_GT(fbc / r.kernel_wall.grand_total(), 0.4);
+  EXPECT_GT(r.breakdown.hash_seconds, 0.0);
+}
+
+TEST(Integration, DatasetCacheReturnsSameGraph) {
+  const auto& a = benchutil::cached_dataset("Amazon");
+  const auto& b = benchutil::cached_dataset("Amazon");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.num_vertices(), gen::dataset_spec("Amazon").vertices);
+}
+
+}  // namespace
+
+#include "asamap/asa/accumulator.hpp"
+#include "asamap/hashdb/software_accumulator.hpp"
+#include "asamap/sim/core_model.hpp"
+#include "asamap/spgemm/multiply.hpp"
+
+namespace {
+
+TEST(Integration, SpgemmAsaBeatsBaselineUnderSimulation) {
+  // The generalization claim in reverse: the accelerator wins on its
+  // original workload under the same machine model used for Infomap.
+  const auto a = spgemm::CsrMatrix::random(1024, 1024, 8.0, 51);
+  const auto b = spgemm::CsrMatrix::random(1024, 1024, 8.0, 53);
+
+  sim::CoreModel base_core;
+  hashdb::AddressSpace base_addrs;
+  hashdb::ChainedAccumulator<sim::CoreModel> base_acc(base_core, base_addrs);
+  const auto base_sa =
+      spgemm::SpgemmAddresses::for_operands(a, b, base_addrs);
+  const auto base_c = spgemm::multiply(a, b, base_acc, base_core, base_sa);
+
+  sim::CoreModel asa_core;
+  hashdb::AddressSpace asa_addrs;
+  asa::Cam cam;
+  asa::AsaAccumulator<sim::CoreModel> asa_acc(asa_core, cam, asa_addrs);
+  const auto asa_sa = spgemm::SpgemmAddresses::for_operands(a, b, asa_addrs);
+  const auto asa_c = spgemm::multiply(a, b, asa_acc, asa_core, asa_sa);
+
+  EXPECT_LT(spgemm::CsrMatrix::max_abs_diff(base_c, asa_c), 1e-12);
+  EXPECT_LT(asa_core.cycles(), 0.7 * base_core.cycles());
+  EXPECT_LT(asa_core.stats().branch_mispredicts,
+            base_core.stats().branch_mispredicts / 2);
+}
+
+TEST(Integration, DatasetsStayConnectedEnough) {
+  // Community detection on the stand-ins operates on the giant component;
+  // the generators must not fragment the graph.
+  for (const char* name : {"Amazon", "YouTube"}) {
+    const auto& g = benchutil::cached_dataset(name);
+    const auto comp = graph::connected_components(g);
+    EXPECT_GT(static_cast<double>(comp.largest_size) / g.num_vertices(), 0.5)
+        << name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Tests for the Louvain baseline.
+
+#include <gtest/gtest.h>
+
+#include "asamap/core/infomap.hpp"
+#include "asamap/core/louvain.hpp"
+#include "asamap/gen/generators.hpp"
+#include "asamap/gen/lfr.hpp"
+#include "asamap/graph/edge_list.hpp"
+#include "asamap/metrics/partition.hpp"
+
+namespace {
+
+using namespace asamap;
+using core::LouvainResult;
+using graph::CsrGraph;
+
+TEST(Louvain, TwoTriangles) {
+  graph::EdgeList e;
+  e.add_undirected(0, 1);
+  e.add_undirected(1, 2);
+  e.add_undirected(0, 2);
+  e.add_undirected(3, 4);
+  e.add_undirected(4, 5);
+  e.add_undirected(3, 5);
+  e.add_undirected(2, 3);
+  e.coalesce();
+  const LouvainResult r = core::run_louvain(CsrGraph::from_edges(e));
+  EXPECT_EQ(r.num_communities, 2u);
+  EXPECT_NEAR(r.modularity, 6.0 / 7.0 - 0.5, 1e-9);
+}
+
+TEST(Louvain, RecoversPlantedPartition) {
+  const auto pp = gen::planted_partition(1000, 10, 0.25, 0.004, 7);
+  const LouvainResult r = core::run_louvain(pp.graph);
+  const double nmi = metrics::normalized_mutual_information(
+      metrics::Partition(r.communities.begin(), r.communities.end()),
+      metrics::Partition(pp.ground_truth.begin(), pp.ground_truth.end()));
+  EXPECT_GT(nmi, 0.9);
+  EXPECT_GT(r.modularity, 0.5);
+}
+
+TEST(Louvain, ModularityMatchesMetricsLibrary) {
+  const auto g = gen::erdos_renyi(400, 0.03, 11);
+  const LouvainResult r = core::run_louvain(g);
+  const double q = metrics::modularity(
+      g, metrics::Partition(r.communities.begin(), r.communities.end()));
+  EXPECT_NEAR(r.modularity, q, 1e-9);
+}
+
+TEST(Louvain, Deterministic) {
+  const auto g = gen::erdos_renyi(300, 0.04, 13);
+  const LouvainResult a = core::run_louvain(g);
+  const LouvainResult b = core::run_louvain(g);
+  EXPECT_EQ(a.communities, b.communities);
+}
+
+TEST(Louvain, RequiresSymmetricGraph) {
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.coalesce();
+  EXPECT_THROW(core::run_louvain(CsrGraph::from_edges(e)), std::logic_error);
+}
+
+TEST(Louvain, InfomapBeatsLouvainOnHardLfr) {
+  // The paper's motivating observation (via Lancichinetti & Fortunato
+  // 2009): on LFR with substantial mixing, Infomap's NMI is at least as
+  // good as Louvain's.
+  gen::LfrParams params;
+  params.n = 2000;
+  params.mu = 0.45;
+  const auto lfr = gen::lfr_benchmark(params, 17);
+  const metrics::Partition truth(lfr.ground_truth.begin(),
+                                 lfr.ground_truth.end());
+
+  const auto infomap = core::run_infomap(lfr.graph);
+  const auto louvain = core::run_louvain(lfr.graph);
+  const double nmi_infomap = metrics::normalized_mutual_information(
+      metrics::Partition(infomap.communities.begin(),
+                         infomap.communities.end()),
+      truth);
+  const double nmi_louvain = metrics::normalized_mutual_information(
+      metrics::Partition(louvain.communities.begin(),
+                         louvain.communities.end()),
+      truth);
+  EXPECT_GT(nmi_infomap, 0.6);
+  EXPECT_GE(nmi_infomap, nmi_louvain - 0.1);
+}
+
+}  // namespace

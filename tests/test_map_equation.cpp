@@ -1,0 +1,195 @@
+// Tests for the map equation: closed-form values on small networks,
+// delta/apply consistency, and agreement with full recomputation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asamap/core/flow.hpp"
+#include "asamap/core/map_equation.hpp"
+#include "asamap/gen/generators.hpp"
+#include "asamap/graph/edge_list.hpp"
+#include "asamap/support/rng.hpp"
+
+namespace {
+
+using namespace asamap;
+using core::FlowNetwork;
+using core::ModuleState;
+using core::Partition;
+using core::plogp;
+using graph::CsrGraph;
+using graph::EdgeList;
+using graph::VertexId;
+
+CsrGraph two_triangles_bridge() {
+  EdgeList e;
+  e.add_undirected(0, 1);
+  e.add_undirected(1, 2);
+  e.add_undirected(0, 2);
+  e.add_undirected(3, 4);
+  e.add_undirected(4, 5);
+  e.add_undirected(3, 5);
+  e.add_undirected(2, 3);
+  e.coalesce();
+  return CsrGraph::from_edges(e);
+}
+
+TEST(Plogp, BasicValues) {
+  EXPECT_DOUBLE_EQ(plogp(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(plogp(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(plogp(0.5), -0.5);
+  EXPECT_DOUBLE_EQ(plogp(0.25), 0.25 * std::log2(0.25));
+}
+
+TEST(MapEquation, OneModuleIsNodeEntropy) {
+  // All nodes in one module: no index codebook, module codelength equals
+  // the entropy of the visit-rate distribution.
+  const CsrGraph g = two_triangles_bridge();
+  const FlowNetwork fn = core::build_flow(g);
+  ModuleState state(fn, Partition(6, 0), 1);
+  double entropy = 0.0;
+  for (double p : fn.node_flow) entropy -= plogp(p);
+  EXPECT_NEAR(state.codelength(), entropy, 1e-12);
+  EXPECT_NEAR(state.index_codelength(), 0.0, 1e-12);
+}
+
+TEST(MapEquation, KnownTwoModuleValue) {
+  // Closed form for the two-triangle graph under {012},{345}:
+  //   q_i = 1/14 each, S = 2/14
+  //   flow_i = 7/14 each
+  //   L = plogp(2/14) - 2*plogp(1/14) - 2*plogp(1/14)
+  //       + 2*plogp(1/14 + 7/14) - sum plogp(p_alpha)
+  const CsrGraph g = two_triangles_bridge();
+  const FlowNetwork fn = core::build_flow(g);
+  ModuleState state(fn, Partition{0, 0, 0, 1, 1, 1}, 2);
+
+  double node_term = 0.0;
+  for (double p : fn.node_flow) node_term += plogp(p);
+  const double q = 1.0 / 14.0;
+  const double expected = plogp(2 * q) - 2 * plogp(q) - 2 * plogp(q) +
+                          2 * plogp(q + 7.0 / 14.0) - node_term;
+  EXPECT_NEAR(state.codelength(), expected, 1e-12);
+}
+
+TEST(MapEquation, GoodPartitionBeatsSingletonsAndTrivial) {
+  const auto pp = gen::planted_partition(400, 8, 0.2, 0.005, 5);
+  const FlowNetwork fn = core::build_flow(pp.graph);
+
+  ModuleState singletons(fn);
+  Partition truth(pp.ground_truth.begin(), pp.ground_truth.end());
+  ModuleState planted(fn, truth, 8);
+  ModuleState trivial(fn, Partition(400, 0), 1);
+
+  EXPECT_LT(planted.codelength(), singletons.codelength());
+  EXPECT_LT(planted.codelength(), trivial.codelength());
+}
+
+TEST(MapEquation, LiveModulesTracksOccupancy) {
+  const CsrGraph g = two_triangles_bridge();
+  const FlowNetwork fn = core::build_flow(g);
+  ModuleState state(fn);
+  EXPECT_EQ(state.live_modules(), 6u);
+}
+
+TEST(MapEquation, DeltaMatchesRecomputedCodelength) {
+  // Property: for random moves, delta_move must equal the difference of
+  // codelengths computed from scratch.
+  const auto pp = gen::planted_partition(120, 6, 0.25, 0.02, 7);
+  const FlowNetwork fn = core::build_flow(pp.graph);
+  ModuleState state(fn);
+
+  support::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto v = static_cast<VertexId>(rng.next_below(fn.num_nodes()));
+    // Pick the module of a random neighbor as target (realistic moves).
+    const auto nbrs = fn.graph.out_neighbors(v);
+    if (nbrs.empty()) continue;
+    const VertexId u = nbrs[rng.next_below(nbrs.size())].dst;
+    const VertexId target = state.module_of(u);
+    if (target == state.module_of(v)) continue;
+
+    // Compute link flows between v and the two modules directly.
+    ModuleState::MoveFlows f;
+    const std::size_t base = static_cast<std::size_t>(fn.graph.out_offset(v));
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId m = state.module_of(nbrs[i].dst);
+      if (m == target) {
+        f.out_to_target += fn.out_flow[base + i];
+        f.in_from_target += fn.out_flow[base + i];  // symmetric
+      } else if (m == state.module_of(v)) {
+        f.out_to_current += fn.out_flow[base + i];
+        f.in_from_current += fn.out_flow[base + i];
+      }
+    }
+
+    const double predicted = state.delta_move(v, target, f);
+    const double before = state.codelength();
+    state.apply_move(v, target, f);
+
+    // Recompute from scratch via a fresh ModuleState on the same partition.
+    Partition current = state.assignment();
+    VertexId max_id = 0;
+    for (VertexId c : current) max_id = std::max(max_id, c);
+    ModuleState fresh(fn, current, std::size_t{max_id} + 1);
+
+    EXPECT_NEAR(state.codelength(), before + predicted, 1e-9)
+        << "incremental vs delta, trial " << trial;
+    EXPECT_NEAR(state.codelength(), fresh.codelength(), 1e-9)
+        << "incremental vs scratch, trial " << trial;
+  }
+}
+
+TEST(MapEquation, RecomputeIsNoOpUpToTolerance) {
+  const auto pp = gen::planted_partition(200, 5, 0.2, 0.02, 13);
+  const FlowNetwork fn = core::build_flow(pp.graph);
+  ModuleState state(fn);
+
+  // Apply a bunch of moves, then recompute; codelength must not jump.
+  support::Xoshiro256 rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto v = static_cast<VertexId>(rng.next_below(fn.num_nodes()));
+    const auto nbrs = fn.graph.out_neighbors(v);
+    if (nbrs.empty()) continue;
+    const VertexId target =
+        state.module_of(nbrs[rng.next_below(nbrs.size())].dst);
+    if (target == state.module_of(v)) continue;
+    ModuleState::MoveFlows f;
+    const std::size_t base = static_cast<std::size_t>(fn.graph.out_offset(v));
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId m = state.module_of(nbrs[i].dst);
+      if (m == target) {
+        f.out_to_target += fn.out_flow[base + i];
+        f.in_from_target += fn.out_flow[base + i];
+      } else if (m == state.module_of(v)) {
+        f.out_to_current += fn.out_flow[base + i];
+        f.in_from_current += fn.out_flow[base + i];
+      }
+    }
+    state.apply_move(v, target, f);
+  }
+  const double incremental = state.codelength();
+  state.recompute();
+  EXPECT_NEAR(state.codelength(), incremental, 1e-9);
+}
+
+TEST(MapEquation, DirectedTeleportTermsFinite) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 0);
+  e.add(0, 3);
+  e.add(3, 0);
+  e.coalesce();
+  core::FlowOptions opts;
+  opts.model = core::FlowModel::kDirected;
+  const FlowNetwork fn =
+      core::build_flow(CsrGraph::from_edges(e), opts);
+  ModuleState state(fn);
+  EXPECT_TRUE(std::isfinite(state.codelength()));
+  EXPECT_GT(state.codelength(), 0.0);
+  ModuleState merged(fn, Partition{0, 0, 0, 1}, 2);
+  EXPECT_TRUE(std::isfinite(merged.codelength()));
+}
+
+}  // namespace

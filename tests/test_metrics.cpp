@@ -1,0 +1,182 @@
+// Unit tests for partition metrics: NMI, ARI, modularity, and the partition
+// utilities, on cases with known closed-form answers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asamap/gen/generators.hpp"
+#include "asamap/graph/edge_list.hpp"
+#include "asamap/metrics/partition.hpp"
+#include "asamap/support/rng.hpp"
+
+namespace {
+
+using namespace asamap;
+using metrics::Partition;
+
+TEST(PartitionUtils, CompactRelabelsInOrder) {
+  Partition p = {7, 3, 7, 9, 3};
+  const std::size_t k = metrics::compact_partition(p);
+  EXPECT_EQ(k, 3u);
+  EXPECT_EQ(p, (Partition{0, 1, 0, 2, 1}));
+}
+
+TEST(PartitionUtils, CountAndSizes) {
+  const Partition p = {5, 5, 2, 2, 2, 8};
+  EXPECT_EQ(metrics::count_communities(p), 3u);
+  const auto sizes = metrics::community_sizes(p);
+  EXPECT_EQ(sizes, (std::vector<std::uint64_t>{2, 3, 1}));
+}
+
+TEST(Nmi, IdenticalPartitionsScoreOne) {
+  const Partition a = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(metrics::normalized_mutual_information(a, a), 1.0, 1e-12);
+}
+
+TEST(Nmi, RelabelingInvariant) {
+  const Partition a = {0, 0, 1, 1, 2, 2};
+  const Partition b = {9, 9, 4, 4, 7, 7};
+  EXPECT_NEAR(metrics::normalized_mutual_information(a, b), 1.0, 1e-12);
+}
+
+TEST(Nmi, IndependentPartitionsScoreLow) {
+  // Large random partitions: NMI should be near 0.
+  support::Xoshiro256 rng(3);
+  Partition a(10000), b(10000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<graph::VertexId>(rng.next_below(10));
+    b[i] = static_cast<graph::VertexId>(rng.next_below(10));
+  }
+  EXPECT_LT(metrics::normalized_mutual_information(a, b), 0.02);
+}
+
+TEST(Nmi, SymmetricInArguments) {
+  const Partition a = {0, 0, 1, 1, 2, 2, 0, 1};
+  const Partition b = {0, 1, 1, 1, 2, 0, 0, 1};
+  EXPECT_NEAR(metrics::normalized_mutual_information(a, b),
+              metrics::normalized_mutual_information(b, a), 1e-12);
+}
+
+TEST(Nmi, KnownHalfSplitValue) {
+  // a splits 4 elements {01|23}; b groups all together: H(b)=0 => NMI
+  // defined as 2I/(Ha+Hb); I=0, denominator=Ha>0 => 0.
+  const Partition a = {0, 0, 1, 1};
+  const Partition b = {0, 0, 0, 0};
+  EXPECT_NEAR(metrics::normalized_mutual_information(a, b), 0.0, 1e-12);
+}
+
+TEST(Nmi, BothTrivialIsOne) {
+  const Partition a = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(metrics::normalized_mutual_information(a, a), 1.0);
+}
+
+TEST(Ari, IdenticalIsOne) {
+  const Partition a = {0, 1, 1, 2, 2, 2};
+  EXPECT_NEAR(metrics::adjusted_rand_index(a, a), 1.0, 1e-12);
+}
+
+TEST(Ari, IndependentNearZero) {
+  support::Xoshiro256 rng(5);
+  Partition a(20000), b(20000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<graph::VertexId>(rng.next_below(8));
+    b[i] = static_cast<graph::VertexId>(rng.next_below(8));
+  }
+  EXPECT_NEAR(metrics::adjusted_rand_index(a, b), 0.0, 0.01);
+}
+
+TEST(Ari, PartialAgreementBetweenZeroAndOne) {
+  const Partition a = {0, 0, 0, 1, 1, 1};
+  const Partition b = {0, 0, 1, 1, 1, 1};
+  const double ari = metrics::adjusted_rand_index(a, b);
+  EXPECT_GT(ari, 0.0);
+  EXPECT_LT(ari, 1.0);
+}
+
+TEST(Modularity, TwoCliquesWithBridge) {
+  // Two triangles joined by one edge; the natural partition has known Q.
+  graph::EdgeList e;
+  e.add_undirected(0, 1);
+  e.add_undirected(1, 2);
+  e.add_undirected(0, 2);
+  e.add_undirected(3, 4);
+  e.add_undirected(4, 5);
+  e.add_undirected(3, 5);
+  e.add_undirected(2, 3);  // bridge
+  e.coalesce();
+  const auto g = graph::CsrGraph::from_edges(e);
+  const Partition p = {0, 0, 0, 1, 1, 1};
+  // 2W = 14.  Internal arcs per community: 6.  Degrees: 7 each.
+  // Q = 2 * (6/14 - (7/14)^2) = 6/7 - 1/2 = 0.357142...
+  EXPECT_NEAR(metrics::modularity(g, p), 6.0 / 7.0 - 0.5, 1e-12);
+}
+
+TEST(Modularity, SingleCommunityIsZero) {
+  const auto g = gen::erdos_renyi(100, 0.1, 7);
+  const Partition p(100, 0);
+  EXPECT_NEAR(metrics::modularity(g, p), 0.0, 1e-12);
+}
+
+TEST(Modularity, GoodPartitionBeatsRandom) {
+  const auto pp = gen::planted_partition(600, 6, 0.2, 0.005, 11);
+  Partition truth(pp.ground_truth.begin(), pp.ground_truth.end());
+  support::Xoshiro256 rng(13);
+  Partition random(600);
+  for (auto& c : random) c = static_cast<graph::VertexId>(rng.next_below(6));
+  EXPECT_GT(metrics::modularity(pp.graph, truth),
+            metrics::modularity(pp.graph, random) + 0.2);
+}
+
+TEST(Modularity, RequiresMatchingSizes) {
+  const auto g = gen::erdos_renyi(10, 0.5, 1);
+  const Partition p(5, 0);
+  EXPECT_THROW(metrics::modularity(g, p), std::logic_error);
+}
+
+TEST(Nmi, RequiresMatchingSizes) {
+  const Partition a(4, 0), b(5, 0);
+  EXPECT_THROW(metrics::normalized_mutual_information(a, b),
+               std::logic_error);
+}
+
+}  // namespace
+
+#include <sstream>
+
+#include "asamap/metrics/partition_io.hpp"
+
+namespace {
+
+using asamap::metrics::Partition;
+
+TEST(PartitionIo, RoundTrip) {
+  const Partition p = {3, 1, 4, 1, 5, 9, 2, 6};
+  std::ostringstream out;
+  asamap::metrics::write_partition(out, p);
+  std::istringstream in(out.str());
+  EXPECT_EQ(asamap::metrics::read_partition(in), p);
+}
+
+TEST(PartitionIo, ReadsCommentsAndAnyOrder) {
+  std::istringstream in(
+      "# header\n"
+      "2\t7\n"
+      "0\t5\n"
+      "1\t5\n");
+  const Partition p = asamap::metrics::read_partition(in);
+  EXPECT_EQ(p, (Partition{5, 5, 7}));
+}
+
+TEST(PartitionIo, MissingVerticesDefaultToZero) {
+  std::istringstream in("3\t9\n");
+  const Partition p = asamap::metrics::read_partition(in);
+  EXPECT_EQ(p, (Partition{0, 0, 0, 9}));
+}
+
+TEST(PartitionIo, ThrowsOnGarbage) {
+  std::istringstream in("1 banana\n");
+  EXPECT_THROW(asamap::metrics::read_partition(in), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Tests for the SpGEMM library: CSR assembly, algebraic identities, and
+// engine equivalence (the original ASA workload must produce the same
+// product under every accumulation engine).
+
+#include <gtest/gtest.h>
+
+#include "asamap/asa/accumulator.hpp"
+#include "asamap/hashdb/software_accumulator.hpp"
+#include "asamap/spgemm/csr_matrix.hpp"
+#include "asamap/spgemm/multiply.hpp"
+
+namespace {
+
+using namespace asamap;
+using sim::NullSink;
+using spgemm::CsrMatrix;
+using spgemm::Triplet;
+
+TEST(CsrMatrix, FromTripletsSortsAndMerges) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      2, 3, {{1, 2, 1.0}, {0, 1, 2.0}, {1, 2, 0.5}, {0, 0, 3.0}});
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 0.0);
+  const auto cols0 = m.row_cols(0);
+  EXPECT_TRUE(std::is_sorted(cols0.begin(), cols0.end()));
+}
+
+TEST(CsrMatrix, RejectsOutOfBounds) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{2, 0, 1.0}}),
+               std::logic_error);
+}
+
+TEST(CsrMatrix, TransposeInvolution) {
+  const CsrMatrix m = CsrMatrix::random(40, 60, 3.0, 7);
+  EXPECT_EQ(m.transpose().transpose(), m);
+  EXPECT_DOUBLE_EQ(m.transpose().at(5, 3), m.at(3, 5));
+}
+
+TEST(CsrMatrix, RandomHasExpectedDensity) {
+  const CsrMatrix m = CsrMatrix::random(1000, 1000, 8.0, 11);
+  // Dedup shaves a little off 8 per row.
+  EXPECT_GT(m.nnz(), 7500u);
+  EXPECT_LE(m.nnz(), 8000u);
+}
+
+template <typename MakeAcc>
+CsrMatrix multiply_with(const CsrMatrix& a, const CsrMatrix& b,
+                        MakeAcc&& make) {
+  NullSink sink;
+  hashdb::AddressSpace addrs;
+  auto acc = make(sink, addrs);
+  const auto sa = spgemm::SpgemmAddresses::for_operands(a, b, addrs);
+  return spgemm::multiply(a, b, *acc, sink, sa);
+}
+
+TEST(Multiply, IdentityIsNeutral) {
+  const CsrMatrix a = CsrMatrix::random(50, 50, 4.0, 13);
+  const CsrMatrix i = CsrMatrix::identity(50);
+  const auto left = multiply_with(i, a, [](auto& s, auto& ad) {
+    return std::make_unique<hashdb::ChainedAccumulator<NullSink>>(s, ad);
+  });
+  const auto right = multiply_with(a, i, [](auto& s, auto& ad) {
+    return std::make_unique<hashdb::ChainedAccumulator<NullSink>>(s, ad);
+  });
+  EXPECT_LT(CsrMatrix::max_abs_diff(left, a), 1e-15);
+  EXPECT_LT(CsrMatrix::max_abs_diff(right, a), 1e-15);
+}
+
+TEST(Multiply, MatchesReference) {
+  const CsrMatrix a = CsrMatrix::random(80, 120, 5.0, 17);
+  const CsrMatrix b = CsrMatrix::random(120, 60, 5.0, 19);
+  const CsrMatrix ref = spgemm::multiply_reference(a, b);
+  const auto got = multiply_with(a, b, [](auto& s, auto& ad) {
+    return std::make_unique<hashdb::ChainedAccumulator<NullSink>>(s, ad);
+  });
+  EXPECT_LT(CsrMatrix::max_abs_diff(got, ref), 1e-12);
+  EXPECT_EQ(got.nnz(), ref.nnz());
+}
+
+TEST(Multiply, KnownSmallProduct) {
+  // [1 2; 0 3] * [0 1; 4 0] = [8 1; 12 0]
+  const CsrMatrix a =
+      CsrMatrix::from_triplets(2, 2, {{0, 0, 1}, {0, 1, 2}, {1, 1, 3}});
+  const CsrMatrix b =
+      CsrMatrix::from_triplets(2, 2, {{0, 1, 1}, {1, 0, 4}});
+  const auto c = multiply_with(a, b, [](auto& s, auto& ad) {
+    return std::make_unique<hashdb::ChainedAccumulator<NullSink>>(s, ad);
+  });
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 12.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 0.0);
+  EXPECT_EQ(c.nnz(), 3u);
+}
+
+TEST(Multiply, AllEnginesAgree) {
+  const CsrMatrix a = CsrMatrix::random(100, 100, 6.0, 23);
+  const CsrMatrix b = CsrMatrix::random(100, 100, 6.0, 29);
+  const CsrMatrix ref = spgemm::multiply_reference(a, b);
+
+  const auto chained = multiply_with(a, b, [](auto& s, auto& ad) {
+    return std::make_unique<hashdb::ChainedAccumulator<NullSink>>(s, ad);
+  });
+  const auto open = multiply_with(a, b, [](auto& s, auto& ad) {
+    return std::make_unique<hashdb::OpenAccumulator<NullSink>>(s, ad);
+  });
+  asa::Cam cam;  // 512-entry CAM, rows fit: no overflow
+  const auto asa_prod = multiply_with(a, b, [&](auto& s, auto& ad) {
+    return std::make_unique<asa::AsaAccumulator<NullSink>>(s, cam, ad);
+  });
+  EXPECT_LT(CsrMatrix::max_abs_diff(chained, ref), 1e-12);
+  EXPECT_LT(CsrMatrix::max_abs_diff(open, ref), 1e-12);
+  EXPECT_LT(CsrMatrix::max_abs_diff(asa_prod, ref), 1e-12);
+}
+
+TEST(Multiply, AsaWithHeavyOverflowStillCorrect) {
+  // Dense-ish product rows (~300 distinct columns) against a tiny CAM.
+  const CsrMatrix a = CsrMatrix::random(60, 200, 12.0, 31);
+  const CsrMatrix b = CsrMatrix::random(200, 400, 30.0, 37);
+  const CsrMatrix ref = spgemm::multiply_reference(a, b);
+
+  asa::CamConfig cfg;
+  cfg.capacity_entries = 32;
+  asa::Cam cam(cfg);
+  const auto got = multiply_with(a, b, [&](auto& s, auto& ad) {
+    return std::make_unique<asa::AsaAccumulator<NullSink>>(s, cam, ad);
+  });
+  EXPECT_GT(cam.stats().evictions, 0u);
+  EXPECT_LT(CsrMatrix::max_abs_diff(got, ref), 1e-9);
+  EXPECT_EQ(got.nnz(), ref.nnz());
+}
+
+TEST(Multiply, StatsCountPartialProducts) {
+  const CsrMatrix a =
+      CsrMatrix::from_triplets(1, 2, {{0, 0, 1.0}, {0, 1, 1.0}});
+  const CsrMatrix b = CsrMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {0, 1, 1.0}, {1, 0, 1.0}});
+  NullSink sink;
+  hashdb::AddressSpace addrs;
+  hashdb::ChainedAccumulator<NullSink> acc(sink, addrs);
+  const auto sa = spgemm::SpgemmAddresses::for_operands(a, b, addrs);
+  spgemm::SpgemmStats stats;
+  const auto c = spgemm::multiply(a, b, acc, sink, sa, &stats);
+  EXPECT_EQ(stats.partial_products, 3u);  // row0 of B (2) + row1 of B (1)
+  EXPECT_EQ(stats.output_entries, c.nnz());
+}
+
+TEST(Multiply, DimensionMismatchThrows) {
+  const CsrMatrix a = CsrMatrix::random(4, 5, 2.0, 1);
+  const CsrMatrix b = CsrMatrix::random(6, 4, 2.0, 2);
+  NullSink sink;
+  hashdb::AddressSpace addrs;
+  hashdb::ChainedAccumulator<NullSink> acc(sink, addrs);
+  const auto sa = spgemm::SpgemmAddresses::for_operands(a, b, addrs);
+  EXPECT_THROW(spgemm::multiply(a, b, acc, sink, sa), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,230 @@
+// Unit tests for the support library: RNG determinism and statistical
+// sanity, hashing primitives, timers, and the check macros.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "asamap/support/check.hpp"
+#include "asamap/support/hash.hpp"
+#include "asamap/support/rng.hpp"
+#include "asamap/support/timer.hpp"
+
+namespace {
+
+using namespace asamap::support;
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextDoubleMeanNearHalf) {
+  Xoshiro256 rng(99);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1000003ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, NextBelowZeroBoundReturnsZero) {
+  Xoshiro256 rng(5);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Xoshiro256, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kN = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kN; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kN / static_cast<int>(kBuckets), kN / 100);
+  }
+}
+
+TEST(Xoshiro256, NextInIsInclusive) {
+  Xoshiro256 rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_in(4, 6));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{4, 5, 6}));
+}
+
+TEST(Xoshiro256, JumpProducesDisjointStream) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(PowerLaw, StaysInBounds) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint32_t k = sample_power_law(rng, 3, 500, 2.5);
+    EXPECT_GE(k, 3u);
+    EXPECT_LE(k, 500u);
+  }
+}
+
+TEST(PowerLaw, DegenerateRangeReturnsMin) {
+  Xoshiro256 rng(17);
+  EXPECT_EQ(sample_power_law(rng, 7, 7, 2.5), 7u);
+  EXPECT_EQ(sample_power_law(rng, 9, 3, 2.5), 9u);
+}
+
+TEST(PowerLaw, HeavierTailForSmallerGamma) {
+  // Smaller gamma => more mass at high degrees => larger mean.
+  Xoshiro256 rng(23);
+  auto mean_for = [&](double gamma) {
+    double sum = 0.0;
+    for (int i = 0; i < 50000; ++i) {
+      sum += sample_power_law(rng, 1, 10000, gamma);
+    }
+    return sum / 50000.0;
+  };
+  const double mean_21 = mean_for(2.1);
+  const double mean_30 = mean_for(3.0);
+  EXPECT_GT(mean_21, 2.0 * mean_30);
+}
+
+TEST(PowerLaw, EmpiricalExponentMatches) {
+  // Histogram the sampler and fit log-log slope; should recover gamma.
+  Xoshiro256 rng(31);
+  constexpr double kGamma = 2.5;
+  std::vector<double> counts(2000, 0.0);
+  for (int i = 0; i < 400000; ++i) {
+    const std::uint32_t k = sample_power_law(rng, 1, 1999, kGamma);
+    counts[k] += 1.0;
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int m = 0;
+  for (std::size_t k = 2; k < 200; ++k) {
+    if (counts[k] < 5) continue;
+    const double x = std::log(static_cast<double>(k));
+    const double y = std::log(counts[k]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++m;
+  }
+  ASSERT_GT(m, 10);
+  const double slope = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+  EXPECT_NEAR(-slope, kGamma, 0.2);
+}
+
+TEST(Hash, Mix64Avalanche) {
+  // Flipping one input bit should flip ~half the output bits.
+  int total_flips = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t a = mix64(0x12345678ULL);
+    const std::uint64_t b = mix64(0x12345678ULL ^ (1ULL << bit));
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  EXPECT_NEAR(total_flips / 64.0, 32.0, 6.0);
+}
+
+TEST(Hash, FibonacciHashWithinBits) {
+  for (unsigned bits : {4u, 10u, 16u}) {
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+      EXPECT_LT(fibonacci_hash(k, bits), 1ULL << bits);
+    }
+  }
+}
+
+TEST(Hash, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(16), 16u);
+  EXPECT_EQ(next_pow2(17), 32u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Hash, BucketOfStaysInTable) {
+  for (std::uint64_t h = 0; h < 1000; ++h) {
+    EXPECT_LT(bucket_of(mix64(h), 64), 64u);
+  }
+}
+
+TEST(Timer, WallTimerAdvances) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(t.seconds(), 0.004);
+}
+
+TEST(Timer, PhaseTimerAccumulates) {
+  PhaseTimer pt;
+  pt.add("a", 1.0);
+  pt.add("b", 2.0);
+  pt.add("a", 0.5);
+  EXPECT_DOUBLE_EQ(pt.total("a"), 1.5);
+  EXPECT_DOUBLE_EQ(pt.total("b"), 2.0);
+  EXPECT_DOUBLE_EQ(pt.total("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(pt.grand_total(), 3.5);
+  EXPECT_EQ(pt.phases(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Timer, ScopedPhaseRecords) {
+  PhaseTimer pt;
+  {
+    ScopedPhase phase(pt, "scope");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(pt.total("scope"), 0.0);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(ASAMAP_CHECK(false, "boom"), std::logic_error);
+  try {
+    ASAMAP_CHECK(1 == 2, "numbers disagree");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("numbers disagree"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(ASAMAP_CHECK(true, "fine"));
+}
+
+}  // namespace
