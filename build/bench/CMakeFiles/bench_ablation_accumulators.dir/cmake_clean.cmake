@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_accumulators.dir/bench_ablation_accumulators.cpp.o"
+  "CMakeFiles/bench_ablation_accumulators.dir/bench_ablation_accumulators.cpp.o.d"
+  "bench_ablation_accumulators"
+  "bench_ablation_accumulators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_accumulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cam.dir/bench_ablation_cam.cpp.o"
+  "CMakeFiles/bench_ablation_cam.dir/bench_ablation_cam.cpp.o.d"
+  "bench_ablation_cam"
+  "bench_ablation_cam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_l3.dir/bench_ablation_l3.cpp.o"
+  "CMakeFiles/bench_ablation_l3.dir/bench_ablation_l3.cpp.o.d"
+  "bench_ablation_l3"
+  "bench_ablation_l3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_l3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_predictor.dir/bench_ablation_predictor.cpp.o"
+  "CMakeFiles/bench_ablation_predictor.dir/bench_ablation_predictor.cpp.o.d"
+  "bench_ablation_predictor"
+  "bench_ablation_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

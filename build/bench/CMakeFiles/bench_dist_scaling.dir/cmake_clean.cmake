@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dist_scaling.dir/bench_dist_scaling.cpp.o"
+  "CMakeFiles/bench_dist_scaling.dir/bench_dist_scaling.cpp.o.d"
+  "bench_dist_scaling"
+  "bench_dist_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dist_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_degree_distribution.dir/bench_fig4_degree_distribution.cpp.o"
+  "CMakeFiles/bench_fig4_degree_distribution.dir/bench_fig4_degree_distribution.cpp.o.d"
+  "bench_fig4_degree_distribution"
+  "bench_fig4_degree_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_degree_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

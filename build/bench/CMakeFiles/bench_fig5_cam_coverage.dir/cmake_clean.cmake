@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cam_coverage.dir/bench_fig5_cam_coverage.cpp.o"
+  "CMakeFiles/bench_fig5_cam_coverage.dir/bench_fig5_cam_coverage.cpp.o.d"
+  "bench_fig5_cam_coverage"
+  "bench_fig5_cam_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cam_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

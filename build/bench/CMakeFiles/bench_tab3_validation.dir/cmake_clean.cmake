@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_validation.dir/bench_tab3_validation.cpp.o"
+  "CMakeFiles/bench_tab3_validation.dir/bench_tab3_validation.cpp.o.d"
+  "bench_tab3_validation"
+  "bench_tab3_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_hash_time.dir/bench_tab5_hash_time.cpp.o"
+  "CMakeFiles/bench_tab5_hash_time.dir/bench_tab5_hash_time.cpp.o.d"
+  "bench_tab5_hash_time"
+  "bench_tab5_hash_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_hash_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asamap_cli.dir/asamap_cli.cpp.o"
+  "CMakeFiles/asamap_cli.dir/asamap_cli.cpp.o.d"
+  "asamap_cli"
+  "asamap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asamap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

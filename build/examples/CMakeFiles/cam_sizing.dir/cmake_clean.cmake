@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cam_sizing.dir/cam_sizing.cpp.o"
+  "CMakeFiles/cam_sizing.dir/cam_sizing.cpp.o.d"
+  "cam_sizing"
+  "cam_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cam_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cam_sizing.
+# This may be replaced when dependencies are built.

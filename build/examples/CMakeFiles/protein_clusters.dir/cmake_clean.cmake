@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_clusters.dir/protein_clusters.cpp.o"
+  "CMakeFiles/protein_clusters.dir/protein_clusters.cpp.o.d"
+  "protein_clusters"
+  "protein_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

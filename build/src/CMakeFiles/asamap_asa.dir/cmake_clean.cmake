@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asamap_asa.dir/asa/cam.cpp.o"
+  "CMakeFiles/asamap_asa.dir/asa/cam.cpp.o.d"
+  "libasamap_asa.a"
+  "libasamap_asa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asamap_asa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

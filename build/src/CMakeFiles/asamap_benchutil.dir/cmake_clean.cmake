@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asamap_benchutil.dir/benchutil/experiments.cpp.o"
+  "CMakeFiles/asamap_benchutil.dir/benchutil/experiments.cpp.o.d"
+  "CMakeFiles/asamap_benchutil.dir/benchutil/table.cpp.o"
+  "CMakeFiles/asamap_benchutil.dir/benchutil/table.cpp.o.d"
+  "libasamap_benchutil.a"
+  "libasamap_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asamap_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

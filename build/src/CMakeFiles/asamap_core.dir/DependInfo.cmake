@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/flow.cpp" "src/CMakeFiles/asamap_core.dir/core/flow.cpp.o" "gcc" "src/CMakeFiles/asamap_core.dir/core/flow.cpp.o.d"
+  "/root/repo/src/core/hierarchy.cpp" "src/CMakeFiles/asamap_core.dir/core/hierarchy.cpp.o" "gcc" "src/CMakeFiles/asamap_core.dir/core/hierarchy.cpp.o.d"
+  "/root/repo/src/core/infomap.cpp" "src/CMakeFiles/asamap_core.dir/core/infomap.cpp.o" "gcc" "src/CMakeFiles/asamap_core.dir/core/infomap.cpp.o.d"
+  "/root/repo/src/core/louvain.cpp" "src/CMakeFiles/asamap_core.dir/core/louvain.cpp.o" "gcc" "src/CMakeFiles/asamap_core.dir/core/louvain.cpp.o.d"
+  "/root/repo/src/core/map_equation.cpp" "src/CMakeFiles/asamap_core.dir/core/map_equation.cpp.o" "gcc" "src/CMakeFiles/asamap_core.dir/core/map_equation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/asamap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_asa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_hashdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

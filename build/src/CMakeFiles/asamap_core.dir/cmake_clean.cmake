@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asamap_core.dir/core/flow.cpp.o"
+  "CMakeFiles/asamap_core.dir/core/flow.cpp.o.d"
+  "CMakeFiles/asamap_core.dir/core/hierarchy.cpp.o"
+  "CMakeFiles/asamap_core.dir/core/hierarchy.cpp.o.d"
+  "CMakeFiles/asamap_core.dir/core/infomap.cpp.o"
+  "CMakeFiles/asamap_core.dir/core/infomap.cpp.o.d"
+  "CMakeFiles/asamap_core.dir/core/louvain.cpp.o"
+  "CMakeFiles/asamap_core.dir/core/louvain.cpp.o.d"
+  "CMakeFiles/asamap_core.dir/core/map_equation.cpp.o"
+  "CMakeFiles/asamap_core.dir/core/map_equation.cpp.o.d"
+  "libasamap_core.a"
+  "libasamap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asamap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asamap_dist.dir/dist/distributed.cpp.o"
+  "CMakeFiles/asamap_dist.dir/dist/distributed.cpp.o.d"
+  "libasamap_dist.a"
+  "libasamap_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asamap_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

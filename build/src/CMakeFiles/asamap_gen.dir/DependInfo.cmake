@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/alias_table.cpp" "src/CMakeFiles/asamap_gen.dir/gen/alias_table.cpp.o" "gcc" "src/CMakeFiles/asamap_gen.dir/gen/alias_table.cpp.o.d"
+  "/root/repo/src/gen/datasets.cpp" "src/CMakeFiles/asamap_gen.dir/gen/datasets.cpp.o" "gcc" "src/CMakeFiles/asamap_gen.dir/gen/datasets.cpp.o.d"
+  "/root/repo/src/gen/generators.cpp" "src/CMakeFiles/asamap_gen.dir/gen/generators.cpp.o" "gcc" "src/CMakeFiles/asamap_gen.dir/gen/generators.cpp.o.d"
+  "/root/repo/src/gen/lfr.cpp" "src/CMakeFiles/asamap_gen.dir/gen/lfr.cpp.o" "gcc" "src/CMakeFiles/asamap_gen.dir/gen/lfr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/asamap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

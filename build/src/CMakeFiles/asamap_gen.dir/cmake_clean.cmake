@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asamap_gen.dir/gen/alias_table.cpp.o"
+  "CMakeFiles/asamap_gen.dir/gen/alias_table.cpp.o.d"
+  "CMakeFiles/asamap_gen.dir/gen/datasets.cpp.o"
+  "CMakeFiles/asamap_gen.dir/gen/datasets.cpp.o.d"
+  "CMakeFiles/asamap_gen.dir/gen/generators.cpp.o"
+  "CMakeFiles/asamap_gen.dir/gen/generators.cpp.o.d"
+  "CMakeFiles/asamap_gen.dir/gen/lfr.cpp.o"
+  "CMakeFiles/asamap_gen.dir/gen/lfr.cpp.o.d"
+  "libasamap_gen.a"
+  "libasamap_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asamap_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cpp" "src/CMakeFiles/asamap_graph.dir/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/asamap_graph.dir/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/csr_graph.cpp" "src/CMakeFiles/asamap_graph.dir/graph/csr_graph.cpp.o" "gcc" "src/CMakeFiles/asamap_graph.dir/graph/csr_graph.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "src/CMakeFiles/asamap_graph.dir/graph/edge_list.cpp.o" "gcc" "src/CMakeFiles/asamap_graph.dir/graph/edge_list.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/asamap_graph.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/asamap_graph.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/CMakeFiles/asamap_graph.dir/graph/stats.cpp.o" "gcc" "src/CMakeFiles/asamap_graph.dir/graph/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/asamap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asamap_graph.dir/graph/algorithms.cpp.o"
+  "CMakeFiles/asamap_graph.dir/graph/algorithms.cpp.o.d"
+  "CMakeFiles/asamap_graph.dir/graph/csr_graph.cpp.o"
+  "CMakeFiles/asamap_graph.dir/graph/csr_graph.cpp.o.d"
+  "CMakeFiles/asamap_graph.dir/graph/edge_list.cpp.o"
+  "CMakeFiles/asamap_graph.dir/graph/edge_list.cpp.o.d"
+  "CMakeFiles/asamap_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/asamap_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/asamap_graph.dir/graph/stats.cpp.o"
+  "CMakeFiles/asamap_graph.dir/graph/stats.cpp.o.d"
+  "libasamap_graph.a"
+  "libasamap_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asamap_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asamap_hashdb.dir/hashdb/hashdb.cpp.o"
+  "CMakeFiles/asamap_hashdb.dir/hashdb/hashdb.cpp.o.d"
+  "libasamap_hashdb.a"
+  "libasamap_hashdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asamap_hashdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

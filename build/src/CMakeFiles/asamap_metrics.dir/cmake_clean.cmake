@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asamap_metrics.dir/metrics/partition.cpp.o"
+  "CMakeFiles/asamap_metrics.dir/metrics/partition.cpp.o.d"
+  "CMakeFiles/asamap_metrics.dir/metrics/partition_io.cpp.o"
+  "CMakeFiles/asamap_metrics.dir/metrics/partition_io.cpp.o.d"
+  "libasamap_metrics.a"
+  "libasamap_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asamap_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

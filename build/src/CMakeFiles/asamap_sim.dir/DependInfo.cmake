@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/branch_predictor.cpp" "src/CMakeFiles/asamap_sim.dir/sim/branch_predictor.cpp.o" "gcc" "src/CMakeFiles/asamap_sim.dir/sim/branch_predictor.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/CMakeFiles/asamap_sim.dir/sim/cache.cpp.o" "gcc" "src/CMakeFiles/asamap_sim.dir/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/core_model.cpp" "src/CMakeFiles/asamap_sim.dir/sim/core_model.cpp.o" "gcc" "src/CMakeFiles/asamap_sim.dir/sim/core_model.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/asamap_sim.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/asamap_sim.dir/sim/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/asamap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

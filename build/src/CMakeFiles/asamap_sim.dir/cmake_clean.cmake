@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asamap_sim.dir/sim/branch_predictor.cpp.o"
+  "CMakeFiles/asamap_sim.dir/sim/branch_predictor.cpp.o.d"
+  "CMakeFiles/asamap_sim.dir/sim/cache.cpp.o"
+  "CMakeFiles/asamap_sim.dir/sim/cache.cpp.o.d"
+  "CMakeFiles/asamap_sim.dir/sim/core_model.cpp.o"
+  "CMakeFiles/asamap_sim.dir/sim/core_model.cpp.o.d"
+  "CMakeFiles/asamap_sim.dir/sim/machine.cpp.o"
+  "CMakeFiles/asamap_sim.dir/sim/machine.cpp.o.d"
+  "libasamap_sim.a"
+  "libasamap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asamap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spgemm/csr_matrix.cpp" "src/CMakeFiles/asamap_spgemm.dir/spgemm/csr_matrix.cpp.o" "gcc" "src/CMakeFiles/asamap_spgemm.dir/spgemm/csr_matrix.cpp.o.d"
+  "/root/repo/src/spgemm/multiply.cpp" "src/CMakeFiles/asamap_spgemm.dir/spgemm/multiply.cpp.o" "gcc" "src/CMakeFiles/asamap_spgemm.dir/spgemm/multiply.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/asamap_hashdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asamap_spgemm.dir/spgemm/csr_matrix.cpp.o"
+  "CMakeFiles/asamap_spgemm.dir/spgemm/csr_matrix.cpp.o.d"
+  "CMakeFiles/asamap_spgemm.dir/spgemm/multiply.cpp.o"
+  "CMakeFiles/asamap_spgemm.dir/spgemm/multiply.cpp.o.d"
+  "libasamap_spgemm.a"
+  "libasamap_spgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asamap_spgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

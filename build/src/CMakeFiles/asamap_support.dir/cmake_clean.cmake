@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asamap_support.dir/support/rng.cpp.o"
+  "CMakeFiles/asamap_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/asamap_support.dir/support/timer.cpp.o"
+  "CMakeFiles/asamap_support.dir/support/timer.cpp.o.d"
+  "libasamap_support.a"
+  "libasamap_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asamap_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

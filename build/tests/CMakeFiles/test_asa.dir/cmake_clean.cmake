@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asa.dir/test_asa.cpp.o"
+  "CMakeFiles/test_asa.dir/test_asa.cpp.o.d"
+  "test_asa"
+  "test_asa.pdb"
+  "test_asa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchutil.dir/test_benchutil.cpp.o"
+  "CMakeFiles/test_benchutil.dir/test_benchutil.cpp.o.d"
+  "test_benchutil"
+  "test_benchutil.pdb"
+  "test_benchutil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow.dir/test_flow.cpp.o"
+  "CMakeFiles/test_flow.dir/test_flow.cpp.o.d"
+  "test_flow"
+  "test_flow.pdb"
+  "test_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hashdb.dir/test_hashdb.cpp.o"
+  "CMakeFiles/test_hashdb.dir/test_hashdb.cpp.o.d"
+  "test_hashdb"
+  "test_hashdb.pdb"
+  "test_hashdb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hashdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

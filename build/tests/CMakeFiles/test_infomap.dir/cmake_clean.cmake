@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_infomap.dir/test_infomap.cpp.o"
+  "CMakeFiles/test_infomap.dir/test_infomap.cpp.o.d"
+  "test_infomap"
+  "test_infomap.pdb"
+  "test_infomap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_infomap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_louvain.dir/test_louvain.cpp.o"
+  "CMakeFiles/test_louvain.dir/test_louvain.cpp.o.d"
+  "test_louvain"
+  "test_louvain.pdb"
+  "test_louvain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_louvain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_map_equation.cpp" "tests/CMakeFiles/test_map_equation.dir/test_map_equation.cpp.o" "gcc" "tests/CMakeFiles/test_map_equation.dir/test_map_equation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/asamap_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_hashdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_asa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_spgemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/asamap_benchutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_map_equation.dir/test_map_equation.cpp.o"
+  "CMakeFiles/test_map_equation.dir/test_map_equation.cpp.o.d"
+  "test_map_equation"
+  "test_map_equation.pdb"
+  "test_map_equation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_map_equation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
