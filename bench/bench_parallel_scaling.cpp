@@ -1,0 +1,226 @@
+// Native fast-path scaling bench: the speed baseline every later PR is
+// measured against.  Two questions, one JSON artifact:
+//
+//   1. How much faster is the uninstrumented FlatAccumulator than the
+//      instrumented ChainedAccumulator (the simulator's Baseline model) on
+//      the same single-threaded multilevel run?
+//   2. How does run_infomap_parallel scale with threads on a power-law
+//      (Chung-Lu) graph, and does the codelength stay thread-invariant?
+//
+// Emits BENCH_parallel.json — a trajectory artifact meant to be committed
+// so regressions in either answer show up in review diffs.
+//
+//   bench_parallel_scaling [--n N] [--edges M] [--threads 1,2,4,...]
+//                          [--seed S] [--out file.json] [--quick]
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <omp.h>
+
+#include "asamap/benchutil/table.hpp"
+#include "asamap/core/infomap.hpp"
+#include "asamap/gen/generators.hpp"
+#include "asamap/hashdb/flat_accumulator.hpp"
+#include "asamap/hashdb/software_accumulator.hpp"
+#include "asamap/sim/event_sink.hpp"
+#include "asamap/support/timer.hpp"
+
+using namespace asamap;
+using benchutil::fmt;
+
+namespace {
+
+struct Config {
+  graph::VertexId n = 100000;
+  std::uint64_t edges = 800000;
+  std::vector<int> threads = {1, 2, 4};
+  std::uint64_t seed = 42;
+  std::string out = "BENCH_parallel.json";
+};
+
+std::vector<int> parse_thread_list(const std::string& s) {
+  std::vector<int> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stoi(item));
+  return out;
+}
+
+Config parse(int argc, char** argv) {
+  Config c;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--n" && i + 1 < argc) {
+      c.n = static_cast<graph::VertexId>(std::stoul(argv[++i]));
+    } else if (arg == "--edges" && i + 1 < argc) {
+      c.edges = std::stoull(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      c.threads = parse_thread_list(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      c.seed = std::stoull(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      c.out = argv[++i];
+    } else if (arg == "--quick") {
+      c.n = 20000;
+      c.edges = 120000;
+    } else {
+      std::cerr << "unknown argument: " << arg << '\n';
+      std::exit(2);
+    }
+  }
+  return c;
+}
+
+double fbc_seconds(const core::InfomapResult& r) {
+  return r.kernel_wall.total(core::kernels::kFindBestCommunity);
+}
+
+// Replays the FindBestCommunity accumulation workload — for every vertex,
+// begin(); accumulate(module_of(neighbor), flow) over its out-neighbors;
+// finalize() — through an accumulator, returning seconds per round.  This
+// isolates the accumulation machinery itself: everything else in the kernel
+// (delta evaluation, the codelength scan) costs the same for every engine.
+template <typename Acc>
+double replay_accumulation(const graph::CsrGraph& g,
+                           const core::Partition& modules, Acc& acc,
+                           int rounds, double& checksum) {
+  support::WallTimer wall;
+  for (int round = 0; round < rounds; ++round) {
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      acc.begin();
+      for (const graph::Arc& a : g.out_neighbors(v)) {
+        acc.accumulate(modules[a.dst], a.weight);
+      }
+      for (const auto& kv : acc.finalize()) checksum += kv.value;
+    }
+  }
+  return wall.seconds() / rounds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = parse(argc, argv);
+
+  benchutil::banner(std::cout, "Native fast path: accumulator + thread scaling");
+  std::cout << "Chung-Lu graph: n=" << cfg.n << " target_edges=" << cfg.edges
+            << " gamma=2.5 seed=" << cfg.seed << '\n';
+
+  gen::ChungLuParams params;
+  params.n = cfg.n;
+  params.target_edges = cfg.edges;
+  params.gamma = 2.5;
+  params.min_deg = 2;
+  const graph::CsrGraph g = gen::chung_lu(params, cfg.seed);
+  std::cout << "Realized: " << g.num_vertices() << " vertices, "
+            << g.num_arcs() << " arcs, host threads available: "
+            << omp_get_max_threads() << "\n\n";
+
+  // --- Part 1: single-threaded accumulator comparison.  Identical driver,
+  // identical decisions (the kernel tie-breaks order differences away);
+  // only the accumulation machinery differs.
+  core::InfomapOptions opts;
+  const auto chained =
+      core::run_infomap(g, opts, core::AccumulatorKind::kChained);
+  const auto flat = core::run_infomap(g, opts, core::AccumulatorKind::kFlat);
+
+  const double chained_fbc = fbc_seconds(chained);
+  const double flat_fbc = fbc_seconds(flat);
+  benchutil::Table t1({"Engine", "FindBestCommunity (s)", "Speedup",
+                       "Codelength (bits)"});
+  t1.add_row({"chained (instrumented model)", fmt(chained_fbc, 3), "1.00x",
+              fmt(chained.codelength, 6)});
+  t1.add_row({"flat (native fast path)", fmt(flat_fbc, 3),
+              fmt(chained_fbc / flat_fbc, 2) + "x",
+              fmt(flat.codelength, 6)});
+  t1.print(std::cout);
+  std::cout << '\n';
+
+  // --- Part 1b: accumulator-only replay.  The end-to-end numbers above
+  // blend accumulation with work every engine shares; this isolates the
+  // begin/accumulate/finalize cost on the identical real workload (the
+  // converged partition's per-vertex neighborhood aggregation).
+  const int rounds = g.num_vertices() > 50000 ? 20 : 10;
+  double check_chained = 0.0, check_flat = 0.0;
+  sim::NullSink null_sink;
+  hashdb::AddressSpace replay_addrs;
+  hashdb::ChainedAccumulator<sim::NullSink> chained_acc(null_sink,
+                                                        replay_addrs);
+  hashdb::FlatAccumulator flat_acc;
+  const double chained_replay = replay_accumulation(
+      g, flat.communities, chained_acc, rounds, check_chained);
+  const double flat_replay = replay_accumulation(g, flat.communities, flat_acc,
+                                                 rounds, check_flat);
+  const double acc_speedup = chained_replay / flat_replay;
+  benchutil::Table t1b({"Accumulator", "Replay (s/round)", "Speedup"});
+  t1b.add_row({"chained", fmt(chained_replay, 4), "1.00x"});
+  t1b.add_row({"flat", fmt(flat_replay, 4), fmt(acc_speedup, 2) + "x"});
+  t1b.print(std::cout);
+  std::cout << "(checksum parity: "
+            << (std::abs(check_chained - check_flat) < 1e-6 * check_chained
+                    ? "ok"
+                    : "MISMATCH")
+            << ")\n\n";
+
+  // --- Part 2: parallel driver thread scaling.
+  benchutil::Table t2({"Threads", "Total (s)", "FindBestCommunity (s)",
+                       "Self-speedup", "Codelength (bits)", "Communities"});
+  struct ThreadPoint {
+    int threads;
+    double total_seconds;
+    double fbc;
+    double codelength;
+    std::size_t communities;
+  };
+  std::vector<ThreadPoint> points;
+  double base_total = 0.0;
+  for (const int nt : cfg.threads) {
+    support::WallTimer wall;
+    const auto r = core::run_infomap_parallel(g, opts, nt);
+    const double total = wall.seconds();
+    if (points.empty()) base_total = total;
+    points.push_back({nt, total, fbc_seconds(r), r.codelength,
+                      r.num_communities});
+    t2.add_row({std::to_string(nt), fmt(total, 3), fmt(fbc_seconds(r), 3),
+                fmt(base_total / total, 2) + "x", fmt(r.codelength, 6),
+                std::to_string(r.num_communities)});
+  }
+  t2.print(std::cout);
+
+  // --- JSON trajectory artifact.
+  std::ofstream js(cfg.out);
+  js.precision(9);
+  js << "{\n"
+     << "  \"bench\": \"parallel_scaling\",\n"
+     << "  \"graph\": {\"generator\": \"chung_lu\", \"n\": " << g.num_vertices()
+     << ", \"arcs\": " << g.num_arcs() << ", \"gamma\": 2.5, \"seed\": "
+     << cfg.seed << "},\n"
+     << "  \"host_max_threads\": " << omp_get_max_threads() << ",\n"
+     << "  \"single_thread\": {\n"
+     << "    \"chained_fbc_seconds\": " << chained_fbc << ",\n"
+     << "    \"flat_fbc_seconds\": " << flat_fbc << ",\n"
+     << "    \"flat_end_to_end_speedup\": " << chained_fbc / flat_fbc << ",\n"
+     << "    \"chained_replay_seconds\": " << chained_replay << ",\n"
+     << "    \"flat_replay_seconds\": " << flat_replay << ",\n"
+     << "    \"flat_accumulator_speedup\": " << acc_speedup << ",\n"
+     << "    \"codelength_chained\": " << chained.codelength << ",\n"
+     << "    \"codelength_flat\": " << flat.codelength << "\n"
+     << "  },\n"
+     << "  \"parallel\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    js << "    {\"threads\": " << p.threads << ", \"total_seconds\": "
+       << p.total_seconds << ", \"fbc_seconds\": " << p.fbc
+       << ", \"self_speedup\": " << base_total / p.total_seconds
+       << ", \"codelength\": " << p.codelength << ", \"communities\": "
+       << p.communities << '}' << (i + 1 < points.size() ? "," : "") << '\n';
+  }
+  js << "  ]\n}\n";
+  std::cout << "\nWrote " << cfg.out << '\n';
+  return 0;
+}

@@ -1,7 +1,7 @@
 // asamap_cli — the command-line face of the library, for users who want to
 // cluster a graph (or regenerate a paper workload) without writing C++.
 //
-//   asamap_cli cluster <graph.txt> [--out partition.tsv] [--engine chained|asa]
+//   asamap_cli cluster <graph.txt> [--out partition.tsv] [--engine flat|chained|asa]
 //                      [--parallel N] [--directed]
 //   asamap_cli stats   <graph.txt> [--directed]
 //   asamap_cli gen     <dataset-name> <out.txt>      (paper stand-ins)
@@ -28,7 +28,7 @@ int usage() {
   std::cerr <<
       "usage:\n"
       "  asamap_cli cluster <graph.txt> [--out partition.tsv]\n"
-      "                     [--engine chained|open|asa|dense]\n"
+      "                     [--engine flat|chained|open|asa|dense]\n"
       "                     [--parallel N] [--directed]\n"
       "  asamap_cli stats   <graph.txt> [--directed]\n"
       "  asamap_cli gen     <dataset-name> <out.txt>\n"
@@ -39,7 +39,7 @@ int usage() {
 struct Args {
   std::vector<std::string> positional;
   std::optional<std::string> out;
-  std::string engine = "chained";
+  std::string engine = "flat";
   int parallel = 0;
   bool directed = false;
 };
@@ -64,6 +64,7 @@ Args parse(int argc, char** argv) {
 }
 
 core::AccumulatorKind engine_of(const std::string& name) {
+  if (name == "flat") return core::AccumulatorKind::kFlat;
   if (name == "chained") return core::AccumulatorKind::kChained;
   if (name == "open") return core::AccumulatorKind::kOpen;
   if (name == "asa") return core::AccumulatorKind::kAsa;

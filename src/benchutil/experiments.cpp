@@ -8,6 +8,7 @@
 #include "asamap/core/dense_accumulator.hpp"
 #include "asamap/gen/datasets.hpp"
 #include "asamap/hashdb/software_accumulator.hpp"
+#include "asamap/support/check.hpp"
 
 namespace asamap::benchutil {
 
@@ -87,6 +88,13 @@ SimRunResult run_simulated(const graph::CsrGraph& g, const SimRunConfig& cfg) {
                 core, *spaces.back(), g.num_vertices());
           });
     }
+    case AccumulatorKind::kFlat:
+      // The flat accumulator is deliberately uninstrumented (the native
+      // fast path) — there is nothing for the simulator to cost.
+      ASAMAP_CHECK(false,
+                   "AccumulatorKind::kFlat cannot be simulated; pick an "
+                   "instrumented engine (chained/open/dense/asa)");
+      break;
     case AccumulatorKind::kAsa:
       break;
   }

@@ -1,11 +1,15 @@
 #include "asamap/core/flow.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 
 #include "asamap/graph/edge_list.hpp"
 #include "asamap/support/check.hpp"
+#include "asamap/support/parallel.hpp"
 
 namespace asamap::core {
 
@@ -188,6 +192,156 @@ FlowNetwork contract_network(const FlowNetwork& fn, const Partition& modules,
         out.in_flow[k++] = arc.weight;
       }
     }
+  }
+  return out;
+}
+
+FlowNetwork contract_network_parallel(const FlowNetwork& fn,
+                                      const Partition& modules,
+                                      std::size_t num_modules,
+                                      int num_threads) {
+  const VertexId n = fn.num_nodes();
+  ASAMAP_CHECK(modules.size() == n, "partition size mismatch");
+  const int threads = std::max(1, num_threads);
+  // Below this size the scatter/merge machinery costs more than it saves.
+  if (threads == 1 || n < 1 << 14) {
+    return contract_network(fn, modules, num_modules);
+  }
+
+  const std::size_t k = num_modules;
+  FlowNetwork out;
+  out.total_orig = fn.total_orig;
+  out.node_flow.assign(k, 0.0);
+  out.teleport_flow.assign(k, 0.0);
+  out.orig_count.assign(k, 0);
+
+  // The supernode id space is range-partitioned across owner threads; a
+  // scanner thread appends each cross-module arc to the bucket of its
+  // *source* supernode's owner, so each owner's merged slice covers a
+  // disjoint, increasing src range and the slices concatenate sorted.
+  const auto owner_of = [k, threads](VertexId m) {
+    return static_cast<int>(std::uint64_t{m} * static_cast<unsigned>(threads) /
+                            k);
+  };
+
+  std::vector<std::vector<std::vector<graph::Edge>>> buckets(
+      threads, std::vector<std::vector<graph::Edge>>(threads));
+  std::vector<std::vector<double>> flow_part(threads), tp_part(threads);
+  std::vector<std::vector<std::uint64_t>> cnt_part(threads);
+  std::vector<std::vector<graph::Edge>> merged(threads);
+
+  support::tsan_release(&buckets);  // inputs + bucket vectors: main -> team
+#pragma omp parallel num_threads(threads)
+  {
+    support::tsan_acquire(&buckets);
+    const int t = omp_get_thread_num();
+
+    // --- Scatter: scan this thread's vertex range in order.
+    auto& nf = flow_part[t];
+    auto& tp = tp_part[t];
+    auto& cnt = cnt_part[t];
+    nf.assign(k, 0.0);
+    tp.assign(k, 0.0);
+    cnt.assign(k, 0);
+    const auto first = static_cast<VertexId>(std::uint64_t{n} * t / threads);
+    const auto last =
+        static_cast<VertexId>(std::uint64_t{n} * (t + 1) / threads);
+    for (VertexId u = first; u < last; ++u) {
+      const VertexId mu = modules[u];
+      nf[mu] += fn.node_flow[u];
+      tp[mu] += fn.teleport_flow[u];
+      cnt[mu] += fn.orig_count[u];
+      const std::size_t base = static_cast<std::size_t>(fn.graph.out_offset(u));
+      const auto arcs = fn.graph.out_neighbors(u);
+      for (std::size_t i = 0; i < arcs.size(); ++i) {
+        const VertexId mv = modules[arcs[i].dst];
+        if (mu != mv) {
+          buckets[t][owner_of(mu)].push_back(
+              graph::Edge{mu, mv, fn.out_flow[base + i]});
+        }
+      }
+    }
+    support::omp_barrier_sync(&buckets);  // scatter writes -> merge reads
+
+    // --- Merge: this thread owns supernodes [mfirst, mlast) and the arcs
+    // whose source lies in that range.  Concatenating scanner buckets in
+    // scanner order keeps duplicates in member-vertex order, so the stable
+    // sort sums parallel super-arcs in a thread-count-invariant order.
+    auto& mine = merged[t];
+    std::size_t total = 0;
+    for (int s = 0; s < threads; ++s) total += buckets[s][t].size();
+    mine.reserve(total);
+    for (int s = 0; s < threads; ++s) {
+      mine.insert(mine.end(), buckets[s][t].begin(), buckets[s][t].end());
+      buckets[s][t].clear();
+      buckets[s][t].shrink_to_fit();
+    }
+    std::stable_sort(mine.begin(), mine.end(),
+                     [](const graph::Edge& a, const graph::Edge& b) {
+                       return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+                     });
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < mine.size();) {
+      graph::Edge e = mine[i];
+      std::size_t j = i + 1;
+      while (j < mine.size() && mine[j].src == e.src && mine[j].dst == e.dst) {
+        e.weight += mine[j].weight;
+        ++j;
+      }
+      mine[w++] = e;
+      i = j;
+    }
+    mine.resize(w);
+
+    // Fold the per-scanner aggregate partials for the owned module range.
+    const auto mfirst = static_cast<VertexId>(std::uint64_t{k} * t / threads);
+    const auto mlast =
+        static_cast<VertexId>(std::uint64_t{k} * (t + 1) / threads);
+    for (VertexId m = mfirst; m < mlast; ++m) {
+      for (int s = 0; s < threads; ++s) {
+        out.node_flow[m] += flow_part[s][m];
+        out.teleport_flow[m] += tp_part[s][m];
+        out.orig_count[m] += cnt_part[s][m];
+      }
+    }
+    support::omp_barrier_sync(&buckets);  // merged slices: team -> main
+  }
+
+  std::size_t total_edges = 0;
+  for (const auto& m : merged) total_edges += m.size();
+  std::vector<graph::Edge> edges;
+  edges.reserve(total_edges);
+  for (auto& m : merged) {
+    edges.insert(edges.end(), m.begin(), m.end());
+  }
+  out.graph = graph::CsrGraph::from_edges(
+      graph::EdgeList::from_coalesced(std::move(edges),
+                                      static_cast<VertexId>(k)),
+      static_cast<VertexId>(k));
+
+  out.out_flow.resize(out.graph.num_arcs());
+  out.in_flow.resize(out.graph.num_arcs());
+  support::tsan_release(&out);
+#pragma omp parallel num_threads(threads)
+  {
+    support::tsan_acquire(&out);
+#pragma omp for schedule(static) nowait
+    for (std::int64_t ui = 0; ui < static_cast<std::int64_t>(k); ++ui) {
+      const auto u = static_cast<VertexId>(ui);
+      const std::size_t obase =
+          static_cast<std::size_t>(out.graph.out_offset(u));
+      const auto oarcs = out.graph.out_neighbors(u);
+      for (std::size_t i = 0; i < oarcs.size(); ++i) {
+        out.out_flow[obase + i] = oarcs[i].weight;
+      }
+      const std::size_t ibase =
+          static_cast<std::size_t>(out.graph.in_offset(u));
+      const auto iarcs = out.graph.in_neighbors(u);
+      for (std::size_t i = 0; i < iarcs.size(); ++i) {
+        out.in_flow[ibase + i] = iarcs[i].weight;
+      }
+    }
+    support::omp_barrier_sync(&out);
   }
   return out;
 }

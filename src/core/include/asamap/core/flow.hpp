@@ -74,4 +74,17 @@ FlowNetwork build_flow(const CsrGraph& g, const FlowOptions& options = {});
 FlowNetwork contract_network(const FlowNetwork& fn, const Partition& modules,
                              std::size_t num_modules);
 
+/// Parallel Convert2SuperNode (the PCPM-style partition-centric shape):
+/// scanner threads walk disjoint vertex ranges and scatter cross-module
+/// arcs into per-(scanner, owner) buckets partitioned by source supernode;
+/// owner threads then stable-sort and merge their slice, and the slices
+/// concatenate into a globally sorted coalesced super-edge list with no
+/// serial sort.  Super-arc weights are summed in member-vertex order, so
+/// the result is identical to the serial contract_network up to the
+/// floating-point rounding of the per-thread aggregate merge.
+FlowNetwork contract_network_parallel(const FlowNetwork& fn,
+                                      const Partition& modules,
+                                      std::size_t num_modules,
+                                      int num_threads);
+
 }  // namespace asamap::core

@@ -54,7 +54,11 @@ struct SweepTrace {
   std::uint64_t moves = 0;
   double codelength = 0.0;
   double wall_seconds = 0.0;  ///< native time of this sweep
-  double sim_seconds = 0.0;   ///< slowest worker's simulated time
+  /// Slowest worker's time for this sweep: with simulated (CoreModel)
+  /// workers this is simulated seconds from the cycle counters; in the
+  /// native parallel driver it is the slowest thread's proposal-phase wall
+  /// time (the sweep's critical path, i.e. what limits scaling).
+  double sim_seconds = 0.0;
 };
 
 struct InfomapResult {
@@ -334,17 +338,33 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
 }
 
 /// Which accumulation engine a convenience run should use.
-enum class AccumulatorKind { kChained, kOpen, kAsa, kDense };
+///
+/// kChained/kOpen/kAsa/kDense are the paper's *modeled* engines — they emit
+/// sink events so simulated runs can cost every probe.  kFlat is the native
+/// fast path (hashdb::FlatAccumulator): uninstrumented, cache-friendly, and
+/// the default whenever no simulation is attached.
+enum class AccumulatorKind { kChained, kOpen, kAsa, kDense, kFlat };
 
 /// Plain, uninstrumented community detection (NullSink, one worker).
-/// The default configuration a library user wants.
+/// The default configuration a library user wants: the flat native-speed
+/// accumulator.  Pick an instrumented kind to reproduce the modeled
+/// engines' decisions bit-for-bit (all kinds yield identical partitions).
 InfomapResult run_infomap(const graph::CsrGraph& g,
                           const InfomapOptions& opts = {},
-                          AccumulatorKind kind = AccumulatorKind::kChained);
+                          AccumulatorKind kind = AccumulatorKind::kFlat);
 
 /// Shared-memory parallel variant: proposals are computed in parallel with
 /// OpenMP against a snapshot of the module state, then verified and applied
 /// serially (RelaxMap-style relaxed concurrency, made deterministic).
+///
+/// Phase 1 records full move proposals (target + flows), not just flags;
+/// phase 2 replays them in vertex order and only re-runs the accumulator
+/// for vertices whose neighborhood changed since the snapshot (tracked by
+/// per-vertex epoch stamps).  Aggregates stay exact because recorded flows
+/// are only reused when provably unchanged, and the code-length delta is
+/// re-derived from live aggregates in O(1) before applying.  The result is
+/// deterministic *and* thread-count-invariant up to the floating-point
+/// noise of parallel contraction.
 InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
                                    const InfomapOptions& opts = {},
                                    int num_threads = 0);

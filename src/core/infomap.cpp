@@ -6,7 +6,9 @@
 
 #include "asamap/asa/accumulator.hpp"
 #include "asamap/core/dense_accumulator.hpp"
+#include "asamap/hashdb/flat_accumulator.hpp"
 #include "asamap/hashdb/software_accumulator.hpp"
+#include "asamap/support/parallel.hpp"
 
 namespace asamap::core {
 
@@ -19,6 +21,187 @@ InfomapResult run_single(const graph::CsrGraph& g, const InfomapOptions& opts,
   return run_multilevel(g, opts, std::span(&worker, 1));
 }
 
+/// Everything the parallel driver's FindBestCommunity needs, allocated once
+/// at level-0 size and reused across sweeps, levels, and the refinement
+/// pass.  Per-thread entries are cache-line padded — the proposal loop
+/// updates its thread's accumulator and breakdown on every vertex, and
+/// without padding those updates would ping-pong shared lines.
+struct ParallelWorkspace {
+  int threads = 1;
+
+  // Shared per-vertex buffers (indexed by current-level node id).
+  std::vector<std::uint8_t> active;
+  std::vector<std::uint8_t> next_active;
+  std::vector<std::uint8_t> flagged;       ///< has a recorded proposal
+  std::vector<MoveProposal> proposals;     ///< phase-1 output per vertex
+  std::vector<std::uint64_t> stamp;        ///< epoch of last neighborhood change
+
+  // Per-thread state.
+  std::vector<support::CacheAligned<hashdb::FlatAccumulator>> accs;
+  std::vector<support::CacheAligned<KernelBreakdown>> breakdowns;
+  std::vector<support::CacheAligned<double>> propose_seconds;
+
+  hashdb::FlatAccumulator apply_acc;  ///< serial verify/apply phase
+
+  ParallelWorkspace(int num_threads, VertexId n)
+      : threads(num_threads),
+        active(n, 1),
+        next_active(n, 0),
+        flagged(n, 0),
+        proposals(n),
+        stamp(n, 0),
+        accs(static_cast<std::size_t>(num_threads)),
+        breakdowns(static_cast<std::size_t>(num_threads)),
+        propose_seconds(static_cast<std::size_t>(num_threads)) {}
+
+  /// Re-arms the first n entries for a fresh level or refinement pass.
+  void reset(VertexId n) {
+    std::fill_n(active.begin(), n, std::uint8_t{1});
+    std::fill_n(next_active.begin(), n, std::uint8_t{0});
+    std::fill_n(flagged.begin(), n, std::uint8_t{0});
+    std::fill_n(stamp.begin(), n, std::uint64_t{0});
+  }
+};
+
+/// Runs propose/verify sweeps on `state` until convergence or `max_sweeps`.
+///
+/// Phase 1 (parallel, one OpenMP region for *all* sweeps): every active
+/// vertex evaluates its best move against the frozen module state and
+/// records the full proposal (target + boundary flows).  Phase 2 (serial,
+/// inside `omp single`): proposals are replayed in vertex order.  A
+/// proposal's flows are exact iff no neighbor of the vertex moved since the
+/// phase-1 snapshot — tracked with per-vertex epoch stamps bumped on every
+/// applied move — in which case the code-length delta is re-derived from
+/// live aggregates in O(1) and the move applies without touching the
+/// accumulator.  Only vertices whose neighborhood changed re-run the full
+/// accumulation.  Aggregates therefore stay exact, the module state is
+/// incrementally maintained (no per-sweep recompute), and the outcome is
+/// identical for every thread count.
+///
+/// Returns total moves; appends per-sweep traces when `record_trace`.
+std::uint64_t parallel_sweeps(ModuleState& state, const FlowNetwork& fn,
+                              const InfomapOptions& opts, int max_sweeps,
+                              int level, const LevelAddresses& addrs,
+                              const KernelCosts& costs, ParallelWorkspace& ws,
+                              InfomapResult& result, bool record_trace) {
+  const VertexId n = fn.num_nodes();
+  ws.reset(n);
+  sim::NullSink sink;  // stateless: sharing across threads is race-free
+
+  std::uint64_t epoch = 0;        // applied-move counter (phase 2 only)
+  std::uint64_t total_moves = 0;
+  double prev_codelength = state.codelength();
+  bool done = false;
+  support::WallTimer sweep_wall;  // reset by each sweep's phase-2 executor
+
+  support::tsan_release(&ws);  // workspace + state: main -> team
+#pragma omp parallel num_threads(ws.threads) default(shared)
+  {
+    support::tsan_acquire(&ws);
+    const int tid = omp_get_thread_num();
+    hashdb::FlatAccumulator& acc = *ws.accs[tid];
+    KernelBreakdown& bd = *ws.breakdowns[tid];
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+      if (done) break;  // uniform: read after the end-of-sweep barrier
+
+      support::WallTimer propose_wall;
+      // Phase 1: propose against the frozen snapshot.  RelaxMap-style
+      // relaxed reads are safe because nothing mutates state here, and
+      // each iteration writes only its own vertex's slots.
+#pragma omp for schedule(dynamic, 1024) nowait
+      for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
+        const auto v = static_cast<VertexId>(vi);
+        if (!ws.active[v]) continue;
+        const MoveProposal p = evaluate_move(state, fn, v, acc, sink, addrs,
+                                             costs, bd, opts.time_wall);
+        if (p.improving(state.module_of(v))) {
+          ws.proposals[v] = p;
+          ws.flagged[v] = 1;
+        }
+      }
+      *ws.propose_seconds[tid] = propose_wall.seconds();
+      support::omp_barrier_sync(&ws);  // phase-1 writes -> phase-2 reads
+
+#pragma omp single nowait
+      {
+        const std::uint64_t snapshot = epoch;
+        std::uint64_t moves = 0;
+        // Phase 2: verify and apply serially in vertex order — exact and
+        // deterministic regardless of thread count.
+        for (VertexId v = 0; v < n; ++v) {
+          if (!ws.flagged[v]) continue;
+          ws.flagged[v] = 0;
+          bool moved = false;
+          if (ws.stamp[v] <= snapshot) {
+            // Neighborhood untouched since the snapshot: the recorded
+            // flows are exact; only the delta needs refreshing (other
+            // modules' aggregates moved under us), which is O(1).
+            const MoveProposal& p = ws.proposals[v];
+            if (p.target != state.module_of(v) &&
+                state.delta_move(v, p.target, p.flows) < -1e-15) {
+              state.apply_move(v, p.target, p.flows);
+              ++result.breakdown.moves;
+              moved = true;
+            }
+          } else {
+            // A neighbor moved: flows are stale, re-run the accumulator.
+            moved = find_best_community(state, fn, v, ws.apply_acc, sink,
+                                        addrs, costs, result.breakdown,
+                                        opts.time_wall);
+          }
+          if (moved) {
+            ++moves;
+            ++epoch;
+            ws.stamp[v] = epoch;
+            ws.next_active[v] = 1;
+            for (const graph::Arc& arc : fn.graph.out_neighbors(v)) {
+              ws.stamp[arc.dst] = epoch;
+              ws.next_active[arc.dst] = 1;
+            }
+            for (const graph::Arc& arc : fn.graph.in_neighbors(v)) {
+              ws.stamp[arc.dst] = epoch;
+              ws.next_active[arc.dst] = 1;
+            }
+          }
+        }
+        total_moves += moves;
+
+        if (record_trace) {
+          SweepTrace st;
+          st.level = level;
+          st.sweep = sweep;
+          st.moves = moves;
+          st.codelength = state.codelength();
+          st.wall_seconds = sweep_wall.seconds();
+          double worst = 0.0;
+          for (int t = 0; t < ws.threads; ++t) {
+            worst = std::max(worst, *ws.propose_seconds[t]);
+          }
+          st.sim_seconds = worst;
+          result.trace.push_back(st);
+        }
+
+        if (moves == 0 ||
+            prev_codelength - state.codelength() < opts.min_improvement_bits) {
+          done = true;
+        }
+        prev_codelength = state.codelength();
+        ws.active.swap(ws.next_active);
+        std::fill_n(ws.next_active.begin(), n, std::uint8_t{0});
+        sweep_wall.reset();  // next sweep measures from here
+      }
+      // `done`, the applied moves, and the swapped active set become
+      // visible to every thread before the next sweep begins.
+      support::omp_barrier_sync(&ws);
+    }
+    // Team -> main: per-thread accumulators/breakdowns are folded after
+    // the region, and libgomp's pool handoff is invisible to TSAN.
+    support::omp_barrier_sync(&ws);
+  }
+  return total_moves;
+}
+
 }  // namespace
 
 InfomapResult run_infomap(const graph::CsrGraph& g, const InfomapOptions& opts,
@@ -26,6 +209,10 @@ InfomapResult run_infomap(const graph::CsrGraph& g, const InfomapOptions& opts,
   sim::NullSink sink;
   hashdb::AddressSpace addrs;
   switch (kind) {
+    case AccumulatorKind::kFlat: {
+      hashdb::FlatAccumulator acc;
+      return run_single(g, opts, acc, sink);
+    }
     case AccumulatorKind::kOpen: {
       hashdb::OpenAccumulator<sim::NullSink> acc(sink, addrs);
       return run_single(g, opts, acc, sink);
@@ -68,8 +255,8 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
   }
 
   const KernelCosts costs;
-  sim::NullSink null_sink;
   hashdb::AddressSpace addrs_space;
+  ParallelWorkspace ws(num_threads, original.num_nodes());
 
   for (int level = 0; level < opts.max_levels; ++level) {
     ModuleState state(fn);
@@ -77,66 +264,16 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
     const LevelAddresses addrs = LevelAddresses::for_network(fn, addrs_space);
     const VertexId n = fn.num_nodes();
 
-    std::vector<std::uint8_t> active(n, 1);
-    std::vector<std::uint8_t> next_active(n, 0);
-
-    double prev_codelength = state.codelength();
-    for (int sweep = 0; sweep < opts.max_sweeps_per_level; ++sweep) {
-      SweepTrace st;
-      st.level = level;
-      st.sweep = sweep;
-      support::WallTimer sweep_wall;
-
-      // Phase 1 (parallel): propose against a frozen snapshot of the
-      // module state.  RelaxMap-style relaxed reads are safe because
-      // nothing mutates state here.
-      std::vector<std::uint8_t> wants_move(n, 0);
-      {
-        support::ScopedPhase phase(result.kernel_wall,
-                                   kernels::kFindBestCommunity);
-#pragma omp parallel num_threads(num_threads)
-        {
-          sim::NullSink sink;
-          hashdb::AddressSpace local_addrs;
-          hashdb::ChainedAccumulator<sim::NullSink> acc(sink, local_addrs);
-          KernelBreakdown scratch;
-#pragma omp for schedule(dynamic, 1024)
-          for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
-            const auto v = static_cast<VertexId>(vi);
-            if (!active[v]) continue;
-            const MoveProposal p = evaluate_move(state, fn, v, acc, sink,
-                                                 addrs, costs, scratch);
-            wants_move[v] = p.improving(state.module_of(v)) ? 1 : 0;
-          }
-        }
-
-        // Phase 2 (serial): re-evaluate flagged vertices against the live
-        // state and apply.  Re-evaluation keeps aggregates exact even when
-        // earlier applies invalidated a proposal.
-        hashdb::ChainedAccumulator<sim::NullSink> acc(null_sink, addrs_space);
-        for (VertexId v = 0; v < n; ++v) {
-          if (!wants_move[v]) continue;
-          if (find_best_community(state, fn, v, acc, null_sink, addrs, costs,
-                                  result.breakdown)) {
-            ++st.moves;
-            mark_neighborhood(fn, v, next_active.data());
-          }
-        }
-      }
-      state.recompute();
-
-      st.codelength = state.codelength();
-      st.wall_seconds = sweep_wall.seconds();
-      result.trace.push_back(st);
-
-      if (st.moves == 0 ||
-          prev_codelength - state.codelength() < opts.min_improvement_bits) {
-        break;
-      }
-      prev_codelength = state.codelength();
-      active.swap(next_active);
-      std::fill(next_active.begin(), next_active.end(), 0);
+    {
+      support::ScopedPhase phase(result.kernel_wall,
+                                 kernels::kFindBestCommunity);
+      parallel_sweeps(state, fn, opts, opts.max_sweeps_per_level, level,
+                      addrs, costs, ws, result, /*record_trace=*/true);
     }
+    // Incremental aggregates carry the whole level; one recompute here
+    // sheds the accumulated floating-point drift before the partition is
+    // extracted (the seed recomputed every sweep — O(n) per sweep gone).
+    state.recompute();
 
     Partition assignment = state.assignment();
     std::vector<VertexId> relabel(fn.num_nodes(), graph::kInvalidVertex);
@@ -150,8 +287,16 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
 
     {
       support::ScopedPhase phase(result.kernel_wall, kernels::kUpdateMembers);
-      for (VertexId v = 0; v < g.num_vertices(); ++v) {
-        node_of_orig[v] = assignment[node_of_orig[v]];
+      const auto nv = static_cast<std::int64_t>(g.num_vertices());
+      support::tsan_release(&node_of_orig);
+#pragma omp parallel num_threads(num_threads)
+      {
+        support::tsan_acquire(&node_of_orig);
+#pragma omp for schedule(static) nowait
+        for (std::int64_t vi = 0; vi < nv; ++vi) {
+          node_of_orig[vi] = assignment[node_of_orig[vi]];
+        }
+        support::omp_barrier_sync(&node_of_orig);
       }
     }
 
@@ -163,7 +308,7 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
     {
       support::ScopedPhase phase(result.kernel_wall,
                                  kernels::kConvert2SuperNode);
-      fn = contract_network(fn, assignment, k);
+      fn = contract_network_parallel(fn, assignment, k, num_threads);
     }
   }
 
@@ -175,7 +320,33 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
     ModuleState final_state(original, result.communities,
                             result.num_communities);
     result.codelength = final_state.codelength();
+
+    // Refinement (fine-tuning), same propose/verify scheme on the original
+    // network seeded with the final partition — see run_multilevel for the
+    // rationale and the hierarchy re-basing rule.
+    if (opts.refine_sweeps > 0 && result.levels > 1 &&
+        result.num_communities > 1) {
+      support::ScopedPhase phase(result.kernel_wall,
+                                 kernels::kFindBestCommunity);
+      const LevelAddresses addrs =
+          LevelAddresses::for_network(original, addrs_space);
+      const std::uint64_t refine_moves = parallel_sweeps(
+          final_state, original, opts, opts.refine_sweeps, result.levels,
+          addrs, costs, ws, result, /*record_trace=*/false);
+      final_state.recompute();
+      if (refine_moves > 0 && final_state.codelength() < result.codelength) {
+        Partition flat = final_state.assignment();
+        result.num_communities = compact_communities(flat);
+        result.communities = flat;
+        result.codelength = final_state.codelength();
+        result.level_assignments = {std::move(flat)};
+      }
+    }
   }
+
+  // Fold the per-thread proposal-phase breakdowns into the result (the
+  // serial verify/apply phase charged result.breakdown directly).
+  for (const auto& bd : ws.breakdowns) result.breakdown += *bd;
   return result;
 }
 

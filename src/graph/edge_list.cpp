@@ -6,6 +6,16 @@
 
 namespace asamap::graph {
 
+EdgeList EdgeList::from_coalesced(std::vector<Edge> edges, VertexId n) {
+  EdgeList list;
+  list.edges_ = std::move(edges);
+  if (n > 0) list.max_vertex_ = n - 1;
+  for (const Edge& e : list.edges_) {
+    list.max_vertex_ = std::max({list.max_vertex_, e.src, e.dst});
+  }
+  return list;
+}
+
 void EdgeList::add(VertexId u, VertexId v, Weight w) {
   ASAMAP_CHECK(u != kInvalidVertex && v != kInvalidVertex,
                "vertex id out of range");

@@ -17,6 +17,12 @@ class EdgeList {
  public:
   EdgeList() = default;
 
+  /// Adopts an edge vector that is *already* coalesced — sorted by
+  /// (src, dst), parallel arcs merged, self-loops removed.  Skips the
+  /// O(m log m) re-sort of coalesce(); used by parallel graph builders
+  /// whose per-partition merge produces globally sorted output.
+  static EdgeList from_coalesced(std::vector<Edge> edges, VertexId n);
+
   /// Reserves space for `n` edges.
   void reserve(std::size_t n) { edges_.reserve(n); }
 

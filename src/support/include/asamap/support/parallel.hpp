@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Small helpers for shared-memory parallel code.  The library's OpenMP
+/// drivers keep one workspace entry per thread in a plain vector; without
+/// padding, adjacent entries share cache lines and every per-thread counter
+/// update becomes a coherence miss (false sharing).  `CacheAligned<T>` pads
+/// each entry to its own line(s).
+
+#include <cstddef>
+#include <new>
+
+namespace asamap::support {
+
+/// 64 B covers every mainstream x86/ARM core; a fixed value keeps the
+/// layout ABI-stable (std::hardware_destructive_interference_size varies
+/// with -mtune, which GCC warns about for exactly that reason).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// A T on its own cache line(s); use as vector<CacheAligned<T>> for
+/// per-thread mutable state.
+template <typename T>
+struct alignas(kCacheLineBytes) CacheAligned {
+  T value{};
+
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+};
+
+// --- ThreadSanitizer happens-before annotations for OpenMP sync points ---
+//
+// GCC's libgomp implements team barriers (and the implicit barriers of
+// `for`/`single`/region exit) with raw futexes that TSAN's interceptors
+// cannot see, so every perfectly-synchronized cross-barrier access gets
+// reported as a race.  These helpers re-state, in TSAN's vocabulary, the
+// ordering the real barrier already enforces: each thread releases `tag`
+// before waiting and acquires it after, giving an all-to-all happens-before
+// edge across the barrier.  They compile to nothing outside TSAN builds.
+// (LLVM's libomp ships these annotations built in; libgomp does not.)
+
+#if defined(__SANITIZE_THREAD__)
+#define ASAMAP_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ASAMAP_TSAN_ENABLED 1
+#endif
+#endif
+
+#ifdef ASAMAP_TSAN_ENABLED
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+}
+#endif
+
+/// Publishes this thread's prior writes to `tag` (no-op outside TSAN).
+inline void tsan_release([[maybe_unused]] void* tag) {
+#ifdef ASAMAP_TSAN_ENABLED
+  __tsan_release(tag);
+#endif
+}
+
+/// Observes all writes published to `tag` (no-op outside TSAN).
+inline void tsan_acquire([[maybe_unused]] void* tag) {
+#ifdef ASAMAP_TSAN_ENABLED
+  __tsan_acquire(tag);
+#endif
+}
+
+/// An `omp barrier` ThreadSanitizer understands.  Call from every thread of
+/// the innermost enclosing parallel team, like the raw pragma.
+inline void omp_barrier_sync(void* tag) {
+  tsan_release(tag);
+#ifdef _OPENMP
+#pragma omp barrier
+#endif
+  tsan_acquire(tag);
+}
+
+}  // namespace asamap::support

@@ -10,6 +10,7 @@
 
 #include "asamap/hashdb/address_space.hpp"
 #include "asamap/hashdb/chained_map.hpp"
+#include "asamap/hashdb/flat_accumulator.hpp"
 #include "asamap/hashdb/open_map.hpp"
 #include "asamap/hashdb/software_accumulator.hpp"
 #include "asamap/sim/event_sink.hpp"
@@ -246,6 +247,112 @@ TEST(Accumulators, FinalizeIsIdempotent) {
   ASSERT_EQ(p1.size(), 1u);
   ASSERT_EQ(p2.size(), 1u);
   EXPECT_EQ(p1.data(), p2.data());  // same scratch, not re-materialized
+}
+
+// --- FlatAccumulator: the uninstrumented native fast path.
+
+TEST(FlatAccumulator, AccumulatesAndMerges) {
+  hashdb::FlatAccumulator acc;
+  acc.begin();
+  acc.accumulate(7, 1.5);
+  acc.accumulate(3, 2.0);
+  acc.accumulate(7, 0.5);
+  const auto pairs = acc.finalize();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(acc.distinct(), 2u);
+  // First-touch order: 7 before 3.
+  EXPECT_EQ(pairs[0].key, 7u);
+  EXPECT_DOUBLE_EQ(pairs[0].value, 2.0);
+  EXPECT_EQ(pairs[1].key, 3u);
+  EXPECT_DOUBLE_EQ(pairs[1].value, 2.0);
+}
+
+TEST(FlatAccumulator, SparseResetDiscardsPreviousCycle) {
+  hashdb::FlatAccumulator acc;
+  acc.begin();
+  acc.accumulate(1, 1.0);
+  acc.accumulate(2, 1.0);
+  acc.begin();
+  acc.accumulate(2, 5.0);  // same key as last cycle: must start from zero
+  const auto pairs = acc.finalize();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].key, 2u);
+  EXPECT_DOUBLE_EQ(pairs[0].value, 5.0);
+}
+
+TEST(FlatAccumulator, GrowsPastInitialCapacity) {
+  hashdb::FlatAccumulator acc(8);
+  acc.begin();
+  for (std::uint32_t k = 0; k < 10000; ++k) acc.accumulate(k, 1.0);
+  EXPECT_EQ(acc.distinct(), 10000u);
+  EXPECT_GE(acc.capacity(), 10000u);
+  double sum = 0.0;
+  for (const auto& kv : acc.finalize()) sum += kv.value;
+  EXPECT_DOUBLE_EQ(sum, 10000.0);
+}
+
+TEST(FlatAccumulator, GrowPreservesRunningSums) {
+  hashdb::FlatAccumulator acc(8);
+  acc.begin();
+  // Interleave inserts (forcing growth) with re-accumulations of key 0.
+  for (std::uint32_t k = 0; k < 1000; ++k) {
+    acc.accumulate(k, 1.0);
+    acc.accumulate(0, 1.0);
+  }
+  const auto pairs = acc.finalize();
+  ASSERT_EQ(pairs.size(), 1000u);
+  EXPECT_EQ(pairs[0].key, 0u);
+  EXPECT_DOUBLE_EQ(pairs[0].value, 1001.0);
+}
+
+TEST(FlatAccumulator, ManyCyclesStayCheapAndCorrect) {
+  // The epoch-stamped sparse reset must keep every cycle independent even
+  // after far more cycles than slots.
+  hashdb::FlatAccumulator acc(16);
+  support::SplitMix64 rng(12345);
+  for (int cycle = 0; cycle < 5000; ++cycle) {
+    acc.begin();
+    std::unordered_map<std::uint32_t, double> ref;
+    for (int i = 0; i < 8; ++i) {
+      const auto key = static_cast<std::uint32_t>(rng() % 64);
+      const double val = static_cast<double>(rng() % 100) / 10.0;
+      acc.accumulate(key, val);
+      ref[key] += val;
+    }
+    const auto pairs = acc.finalize();
+    ASSERT_EQ(pairs.size(), ref.size());
+    for (const auto& kv : pairs) {
+      ASSERT_TRUE(ref.count(kv.key));
+      EXPECT_NEAR(kv.value, ref[kv.key], 1e-12);
+    }
+  }
+}
+
+TEST(FlatAccumulator, MatchesChainedAccumulatorAsMultiset) {
+  NullSink sink;
+  AddressSpace addrs;
+  hashdb::ChainedAccumulator<NullSink> chained(sink, addrs);
+  hashdb::FlatAccumulator flat;
+  support::SplitMix64 rng(777);
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    chained.begin();
+    flat.begin();
+    const int ops = 1 + static_cast<int>(rng() % 200);
+    for (int i = 0; i < ops; ++i) {
+      const auto key = static_cast<std::uint32_t>(rng() % 128);
+      const double val = static_cast<double>(rng() % 1000) / 100.0;
+      chained.accumulate(key, val);
+      flat.accumulate(key, val);
+    }
+    std::unordered_map<std::uint32_t, double> a, b;
+    for (const auto& kv : chained.finalize()) a[kv.key] = kv.value;
+    for (const auto& kv : flat.finalize()) b[kv.key] = kv.value;
+    ASSERT_EQ(a.size(), b.size());
+    for (const auto& [key, value] : a) {
+      ASSERT_TRUE(b.count(key));
+      EXPECT_NEAR(value, b[key], 1e-12);
+    }
+  }
 }
 
 }  // namespace

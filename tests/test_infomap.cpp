@@ -98,10 +98,14 @@ TEST(Infomap, EnginesAgreeEndToEnd) {
       core::run_infomap(pp.graph, {}, AccumulatorKind::kAsa);
   const InfomapResult dense =
       core::run_infomap(pp.graph, {}, AccumulatorKind::kDense);
+  const InfomapResult flat =
+      core::run_infomap(pp.graph, {}, AccumulatorKind::kFlat);
   EXPECT_EQ(chained.communities, open.communities);
   EXPECT_EQ(chained.communities, asa_r.communities);
   EXPECT_EQ(chained.communities, dense.communities);
+  EXPECT_EQ(chained.communities, flat.communities);
   EXPECT_NEAR(chained.codelength, asa_r.codelength, 1e-9);
+  EXPECT_NEAR(chained.codelength, flat.codelength, 1e-9);
 }
 
 TEST(Infomap, KernelTimersPopulated) {

@@ -1,0 +1,121 @@
+// Tests for the native parallel Infomap driver: thread-count invariance,
+// engine parity with the new flat accumulator, option parity
+// (refine_sweeps / time_wall), and trace/breakdown accounting.
+//
+// This file is also the TSAN target: CI rebuilds it with -fsanitize=thread
+// to catch data races in the propose/verify apply path, so every test here
+// should exercise the parallel region with >1 thread.
+
+#include <gtest/gtest.h>
+
+#include "asamap/core/infomap.hpp"
+#include "asamap/gen/generators.hpp"
+#include "asamap/metrics/partition.hpp"
+
+namespace {
+
+using namespace asamap;
+using core::AccumulatorKind;
+using core::InfomapOptions;
+using core::InfomapResult;
+
+TEST(ParallelDeterminism, CodelengthInvariantAcrossThreadCounts) {
+  const auto pp = gen::planted_partition(2000, 20, 0.2, 0.004, 1301);
+  const InfomapResult t1 = core::run_infomap_parallel(pp.graph, {}, 1);
+  const InfomapResult t2 = core::run_infomap_parallel(pp.graph, {}, 2);
+  const InfomapResult t4 = core::run_infomap_parallel(pp.graph, {}, 4);
+  // Proposals are computed against a frozen snapshot and applied serially
+  // in vertex order, so the thread count must not change the outcome (up
+  // to the floating-point noise of the parallel contraction merge).
+  EXPECT_NEAR(t1.codelength, t2.codelength, 1e-9);
+  EXPECT_NEAR(t1.codelength, t4.codelength, 1e-9);
+  EXPECT_EQ(t1.num_communities, t2.num_communities);
+  EXPECT_EQ(t1.num_communities, t4.num_communities);
+  EXPECT_EQ(t1.communities, t2.communities);
+  EXPECT_EQ(t1.communities, t4.communities);
+}
+
+TEST(ParallelDeterminism, RepeatRunsAreIdentical) {
+  const auto pp = gen::planted_partition(800, 8, 0.2, 0.01, 1303);
+  const InfomapResult a = core::run_infomap_parallel(pp.graph, {}, 4);
+  const InfomapResult b = core::run_infomap_parallel(pp.graph, {}, 4);
+  EXPECT_EQ(a.communities, b.communities);
+  EXPECT_DOUBLE_EQ(a.codelength, b.codelength);
+}
+
+TEST(ParallelDeterminism, EveryAccumulatorKindMatchesChained) {
+  const auto pp = gen::planted_partition(900, 9, 0.2, 0.008, 1307);
+  const InfomapResult chained =
+      core::run_infomap(pp.graph, {}, AccumulatorKind::kChained);
+  for (const AccumulatorKind kind :
+       {AccumulatorKind::kOpen, AccumulatorKind::kAsa, AccumulatorKind::kDense,
+        AccumulatorKind::kFlat}) {
+    const InfomapResult r = core::run_infomap(pp.graph, {}, kind);
+    EXPECT_EQ(chained.communities, r.communities);
+    EXPECT_NEAR(chained.codelength, r.codelength, 1e-9);
+  }
+}
+
+TEST(ParallelParity, HonorsRefineSweeps) {
+  const auto pp = gen::planted_partition(1500, 30, 0.3, 0.003, 1309);
+  InfomapOptions with;
+  with.refine_sweeps = 3;
+  InfomapOptions without;
+  without.refine_sweeps = 0;
+  const InfomapResult refined = core::run_infomap_parallel(pp.graph, with, 2);
+  const InfomapResult plain = core::run_infomap_parallel(pp.graph, without, 2);
+  // Refinement is greedy on exact deltas: it can only improve.
+  EXPECT_LE(refined.codelength, plain.codelength + 1e-12);
+  // And when it rebases, the hierarchy must stay consistent.
+  const auto h = refined.hierarchy();
+  ASSERT_FALSE(h.empty());
+  EXPECT_EQ(h.coarsest(), refined.communities);
+}
+
+TEST(ParallelParity, HonorsTimeWallAndFillsBreakdown) {
+  const auto pp = gen::planted_partition(1000, 10, 0.2, 0.005, 1311);
+  InfomapOptions opts;
+  opts.time_wall = true;
+  const InfomapResult r = core::run_infomap_parallel(pp.graph, opts, 2);
+  // The per-thread proposal breakdowns must be aggregated, not discarded.
+  EXPECT_GT(r.breakdown.vertices, 0u);
+  EXPECT_GT(r.breakdown.accumulate_calls, 0u);
+  EXPECT_GT(r.breakdown.hash_seconds + r.breakdown.other_seconds, 0.0);
+}
+
+TEST(ParallelParity, FillsSweepTraceTimings) {
+  const auto pp = gen::planted_partition(1000, 10, 0.2, 0.005, 1313);
+  const InfomapResult r = core::run_infomap_parallel(pp.graph, {}, 2);
+  ASSERT_FALSE(r.trace.empty());
+  for (const auto& st : r.trace) {
+    EXPECT_GE(st.wall_seconds, 0.0);
+    EXPECT_GE(st.sim_seconds, 0.0);          // slowest thread's propose time
+    EXPECT_LE(st.sim_seconds, st.wall_seconds + 1e-6);
+  }
+  EXPECT_GT(r.trace.front().sim_seconds, 0.0);
+}
+
+TEST(ParallelQuality, MatchesSequentialDriver) {
+  const auto pp = gen::planted_partition(1200, 12, 0.2, 0.005, 1317);
+  const InfomapResult seq = core::run_infomap(pp.graph);
+  const InfomapResult par = core::run_infomap_parallel(pp.graph, {}, 4);
+  const double nmi = metrics::normalized_mutual_information(
+      metrics::Partition(seq.communities.begin(), seq.communities.end()),
+      metrics::Partition(par.communities.begin(), par.communities.end()));
+  EXPECT_GT(nmi, 0.9);
+  EXPECT_LE(par.codelength, seq.codelength * 1.05 + 0.1);
+}
+
+TEST(ParallelQuality, DirectedFlowModelWorks) {
+  // The directed (PageRank + teleportation) flow model exercises the
+  // teleport terms of the O(1) delta replay in the verify phase.
+  const auto pp = gen::planted_partition(800, 8, 0.2, 0.01, 1319);
+  InfomapOptions opts;
+  opts.flow.model = core::FlowModel::kDirected;
+  const InfomapResult t1 = core::run_infomap_parallel(pp.graph, opts, 1);
+  const InfomapResult t4 = core::run_infomap_parallel(pp.graph, opts, 4);
+  EXPECT_NEAR(t1.codelength, t4.codelength, 1e-9);
+  EXPECT_EQ(t1.communities, t4.communities);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Classify ThreadSanitizer reports from an OpenMP (libgomp) binary.
+
+GCC's libgomp synchronizes parallel-region entry with raw futexes TSAN
+cannot intercept, so every region produces one unavoidable false positive
+per shared variable: a pool-reused worker's first read of the
+compiler-generated shared-argument block (on the encountering thread's
+stack) races with the write of that block at the `#pragma omp parallel`
+line — or, when the stack slot has been recycled by a later call, with
+whatever unrelated write last touched the same address.  All *other*
+OpenMP ordering is made visible to TSAN by the explicit annotations in
+src/support/parallel.hpp; LLVM's libomp (Archer) needs none of this.
+
+A report is classified benign only when it matches that entry shape:
+  * the racy location is the main thread's stack (the argument block),
+  * the read's innermost frame is inside an outlined `._omp_fn` clone and
+    its direct caller is `gomp_thread_start` (region-entry prologue, not a
+    nested call), and
+  * the previous write either sits on a source line containing
+    `#pragma omp parallel` (checked against the file on disk), could not be
+    restored, or belongs to a different function than the region host
+    (stack-slot reuse).  A write from the region's own function at any
+    other line — e.g. a shared variable mutated without a barrier — stays
+    fatal.
+
+Anything else is treated as a real race and fails the run.
+
+Usage: check_tsan_log.py <tsan-log-file>...
+Exits 0 when every report is benign (or there are no reports), 1 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SRC_LINE_RE = re.compile(r"(\S+?):(\d+)")
+# Qualified function name: identifier chars, ::, template args, and the
+# literal "(anonymous namespace)" — stops at the parameter list's "(".
+FUNC_NAME_RE = re.compile(
+    r"#0\s+((?:[\w:~<>,&*\s]|\(anonymous namespace\))+)\(")
+
+
+def line_is_parallel_pragma(path: str, lineno: int) -> bool:
+    try:
+        lines = Path(path).read_text(errors="replace").splitlines()
+    except OSError:
+        return False
+    # The write is attributed to the pragma or the statement it expands
+    # into; accept the reported line or the one just above it.
+    for cand in (lineno, lineno - 1):
+        if 1 <= cand <= len(lines) and "#pragma omp parallel" in lines[cand - 1]:
+            return True
+    return False
+
+
+def split_reports(text: str):
+    chunks = re.split(r"(?=WARNING: ThreadSanitizer:)", text)
+    return [c for c in chunks if c.startswith("WARNING: ThreadSanitizer:")]
+
+
+def host_function(clone_frame: str) -> str:
+    """'ns::f(...) [clone ._omp_fn.0] file:1' -> 'ns::f'."""
+    m = FUNC_NAME_RE.search(clone_frame)
+    return m.group(1).strip() if m else ""
+
+
+def is_benign(report: str) -> bool:
+    if "Location is stack of main thread" not in report:
+        return False
+
+    read = re.search(
+        r"(?:Read|Write) of size[^\n]*by thread[^\n]*:\n"
+        r"\s*(#0[^\n]*)\n\s*(#1[^\n]*)",
+        report)
+    if not read:
+        return False
+    read_f0, read_f1 = read.group(1), read.group(2)
+    if "[clone ._omp_fn" not in read_f0 or "gomp_thread_start" not in read_f1:
+        return False
+
+    write_block = re.search(
+        r"Previous (?:write|read)[^\n]*by main thread:\n(.*?)\n\n",
+        report, re.DOTALL)
+    if not write_block:
+        return False
+    body = write_block.group(1)
+    if "[failed to restore the stack]" in body:
+        return True
+    write_f0 = re.search(r"#0[^\n]*", body)
+    if write_f0:
+        loc = SRC_LINE_RE.findall(write_f0.group(0))
+        if loc and line_is_parallel_pragma(loc[-1][0], int(loc[-1][1])):
+            return True
+    # Stack-slot reuse: the recorded write comes from some other call that
+    # recycled the address.  Only excuse it when the region's own function
+    # appears nowhere in the write stack.
+    host = host_function(read_f0)
+    return bool(host) and host not in body
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    total = benign = 0
+    bad = []
+    for logfile in argv[1:]:
+        text = Path(logfile).read_text(errors="replace")
+        for report in split_reports(text):
+            total += 1
+            if is_benign(report):
+                benign += 1
+            else:
+                bad.append(report)
+    print(f"tsan reports: {total} total, {benign} benign libgomp "
+          f"region-entry false positives, {len(bad)} real")
+    for report in bad:
+        print("\n---- unexplained report ----")
+        print(report.rstrip())
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
