@@ -22,6 +22,7 @@
 
 #include <omp.h>
 
+#include "asamap/benchutil/json_env.hpp"
 #include "asamap/benchutil/table.hpp"
 #include "asamap/core/infomap.hpp"
 #include "asamap/gen/generators.hpp"
@@ -195,12 +196,12 @@ int main(int argc, char** argv) {
   // --- JSON trajectory artifact.
   std::ofstream js(cfg.out);
   js.precision(9);
-  js << "{\n"
-     << "  \"bench\": \"parallel_scaling\",\n"
-     << "  \"graph\": {\"generator\": \"chung_lu\", \"n\": " << g.num_vertices()
+  js << "{\n";
+  benchutil::write_envelope_fields(
+      js, benchutil::make_envelope("parallel_scaling"));
+  js << "  \"graph\": {\"generator\": \"chung_lu\", \"n\": " << g.num_vertices()
      << ", \"arcs\": " << g.num_arcs() << ", \"gamma\": 2.5, \"seed\": "
      << cfg.seed << "},\n"
-     << "  \"host_max_threads\": " << omp_get_max_threads() << ",\n"
      << "  \"single_thread\": {\n"
      << "    \"chained_fbc_seconds\": " << chained_fbc << ",\n"
      << "    \"flat_fbc_seconds\": " << flat_fbc << ",\n"

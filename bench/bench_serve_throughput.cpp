@@ -1,0 +1,236 @@
+// Closed-loop load generator for the serving layer: N client threads fire a
+// mixed read/recluster workload at one ServeSession through the same
+// handle_line path the asamap_serve driver uses, for a fixed wall-clock
+// window.  Reports requests/sec, latency quantiles (p50/p95/p99), and the
+// queue-rejection rate under backpressure, and writes the committed
+// BENCH_serve.json trajectory artifact.
+//
+// Mix (per client, closed loop — next request only after the response):
+//   70% MEMBER   15% SAME   8% TOPK   5% SUMMARY   2% CLUSTER (async batch)
+//
+//   bench_serve_throughput [--seconds S] [--clients N] [--workers N]
+//                          [--n N] [--edges M] [--seed S] [--batch-cap N]
+//                          [--cluster-threads N] [--out file.json]
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asamap/benchutil/json_env.hpp"
+#include "asamap/benchutil/table.hpp"
+#include "asamap/serve/session.hpp"
+#include "asamap/support/argparse.hpp"
+#include "asamap/support/histogram.hpp"
+#include "asamap/support/rng.hpp"
+#include "asamap/support/timer.hpp"
+
+using namespace asamap;
+using benchutil::fmt;
+
+namespace {
+
+constexpr const char* kGraph = "bench";
+
+struct ClientResult {
+  support::LatencyHistogram latency;
+  std::uint64_t requests = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t reclusters = 0;
+  std::uint64_t errors = 0;    ///< ERR responses other than rejections
+  std::uint64_t rejected = 0;  ///< ERR rejected (queue backpressure)
+};
+
+void client_loop(serve::ServeSession& session, graph::VertexId n,
+                 std::uint64_t seed, const std::atomic<bool>& stop,
+                 ClientResult& out) {
+  support::Xoshiro256 rng(seed);
+  const std::string name = kGraph;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const std::uint64_t roll = rng.next_below(100);
+    std::string req;
+    bool is_recluster = false;
+    if (roll < 70) {
+      req = "MEMBER " + name + " " + std::to_string(rng.next_below(n));
+    } else if (roll < 85) {
+      req = "SAME " + name + " " + std::to_string(rng.next_below(n)) + " " +
+            std::to_string(rng.next_below(n));
+    } else if (roll < 93) {
+      req = "TOPK " + name + " " + std::to_string(1 + rng.next_below(16));
+    } else if (roll < 98) {
+      req = "SUMMARY " + name;
+    } else {
+      // Mixed lanes: mostly batch refreshes, occasionally an interactive
+      // re-cluster that should jump the batch backlog.
+      req = "CLUSTER " + name + (rng.next_below(4) == 0
+                                    ? " priority=interactive"
+                                    : " priority=batch");
+      is_recluster = true;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::string resp = session.handle_line(req);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    out.latency.record_ns(static_cast<std::uint64_t>(ns));
+    ++out.requests;
+    is_recluster ? ++out.reclusters : ++out.reads;
+    if (resp.rfind("ERR", 0) == 0) {
+      resp.find(" rejected ") != std::string::npos ? ++out.rejected
+                                                   : ++out.errors;
+    }
+    if (is_recluster) {
+      // Think time after a submission: a client that just asked for a
+      // refresh does not immediately ask again, so the rejection rate
+      // measures queue depth against service rate, not a tight spin.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::ArgParser args(argc, argv, 1, {"help"});
+  if (args.flag("help")) {
+    std::cout << "usage: bench_serve_throughput [--seconds S] [--clients N] "
+                 "[--workers N] [--n N]\n"
+                 "        [--edges M] [--seed S] [--batch-cap N] "
+                 "[--cluster-threads N] [--out f.json]\n";
+    return 0;
+  }
+  if (const auto unknown =
+          args.unknown_keys({"seconds", "clients", "workers", "n", "edges",
+                             "seed", "batch-cap", "cluster-threads", "out"});
+      !unknown.empty()) {
+    std::cerr << "unknown argument: --" << unknown.front() << '\n';
+    return 2;
+  }
+
+  const double seconds = args.double_or("seconds", 30.0);
+  const int clients = static_cast<int>(args.int_or("clients", 4));
+  const int workers = static_cast<int>(args.int_or("workers", 2));
+  const auto n = static_cast<graph::VertexId>(args.int_or("n", 20000));
+  const auto edges = static_cast<std::uint64_t>(args.int_or("edges", 120000));
+  const auto seed = static_cast<std::uint64_t>(args.int_or("seed", 42));
+  const std::string out_path = args.get_or("out", "BENCH_serve.json");
+
+  serve::SessionConfig config;
+  config.scheduler.workers = workers;
+  // A deliberately small batch lane: the 2% recluster traffic must hit
+  // backpressure so the rejection path is exercised and measured.
+  config.scheduler.batch_capacity =
+      static_cast<std::size_t>(args.int_or("batch-cap", 4));
+  // One thread per clustering job: concurrency in this bench comes from
+  // scheduler workers + client threads, not nested OpenMP teams.
+  config.cluster_threads =
+      static_cast<int>(args.int_or("cluster-threads", 1));
+
+  benchutil::banner(std::cout, "Serving layer: closed-loop throughput");
+  std::cout << "clients=" << clients << " workers=" << workers
+            << " window=" << seconds << "s graph: chung_lu n=" << n
+            << " edges=" << edges << " seed=" << seed << "\n\n";
+
+  serve::ServeSession session(config);
+  {
+    const auto status = session.gen_chung_lu(kGraph, n, edges, seed);
+    if (!status.ok()) {
+      std::cerr << "graph generation failed: " << status.message << '\n';
+      return 1;
+    }
+    // Warm snapshot so reads have something to answer from.
+    const auto first = session.submit_recluster(kGraph);
+    if (!first.accepted() ||
+        session.scheduler().wait(first.id) != serve::JobState::kDone) {
+      std::cerr << "initial clustering failed\n";
+      return 1;
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<ClientResult> results(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  support::WallTimer wall;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      client_loop(session, n, seed ^ (0x9e3779b9ULL * (c + 1)), stop,
+                  results[static_cast<std::size_t>(c)]);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  const double elapsed = wall.seconds();
+
+  ClientResult total;
+  for (const auto& r : results) {
+    total.latency.merge(r.latency);
+    total.requests += r.requests;
+    total.reads += r.reads;
+    total.reclusters += r.reclusters;
+    total.errors += r.errors;
+    total.rejected += r.rejected;
+  }
+  const auto sched = session.scheduler().stats();
+  const auto snap = session.snapshot(kGraph);
+  const double rps = static_cast<double>(total.requests) / elapsed;
+  const double reject_rate =
+      total.reclusters == 0
+          ? 0.0
+          : static_cast<double>(total.rejected) /
+                static_cast<double>(total.reclusters);
+  const double p50 = total.latency.quantile_seconds(0.50);
+  const double p95 = total.latency.quantile_seconds(0.95);
+  const double p99 = total.latency.quantile_seconds(0.99);
+
+  benchutil::Table t({"Metric", "Value"});
+  t.add_row({"requests", std::to_string(total.requests)});
+  t.add_row({"requests/sec", fmt(rps, 0)});
+  t.add_row({"p50 latency (us)", fmt(p50 * 1e6, 1)});
+  t.add_row({"p95 latency (us)", fmt(p95 * 1e6, 1)});
+  t.add_row({"p99 latency (us)", fmt(p99 * 1e6, 1)});
+  t.add_row({"mean latency (us)", fmt(total.latency.mean_seconds() * 1e6, 1)});
+  t.add_row({"recluster submits", std::to_string(total.reclusters)});
+  t.add_row({"queue rejections", std::to_string(total.rejected)});
+  t.add_row({"rejection rate", fmt(reject_rate, 3)});
+  t.add_row({"partitions published", std::to_string(sched.completed)});
+  t.add_row({"final partition version",
+             std::to_string(snap ? snap->version : 0)});
+  t.add_row({"protocol errors", std::to_string(total.errors)});
+  t.print(std::cout);
+
+  std::ofstream js(out_path);
+  js.precision(9);
+  js << "{\n";
+  benchutil::write_envelope_fields(js,
+                                   benchutil::make_envelope("serve_throughput"));
+  js << "  \"config\": {\"clients\": " << clients << ", \"workers\": "
+     << workers << ", \"window_seconds\": " << seconds
+     << ", \"batch_capacity\": " << config.scheduler.batch_capacity
+     << ", \"cluster_threads\": " << config.cluster_threads << ",\n"
+     << "             \"graph\": {\"generator\": \"chung_lu\", \"n\": " << n
+     << ", \"edges\": " << edges << ", \"seed\": " << seed << "}},\n"
+     << "  \"requests\": " << total.requests << ",\n"
+     << "  \"requests_per_second\": " << rps << ",\n"
+     << "  \"latency_seconds\": {\"p50\": " << p50 << ", \"p95\": " << p95
+     << ", \"p99\": " << p99 << ", \"mean\": " << total.latency.mean_seconds()
+     << ", \"max\": " << total.latency.max_seconds() << "},\n"
+     << "  \"reads\": " << total.reads << ",\n"
+     << "  \"recluster_submits\": " << total.reclusters << ",\n"
+     << "  \"queue_rejections\": " << total.rejected << ",\n"
+     << "  \"rejection_rate\": " << reject_rate << ",\n"
+     << "  \"protocol_errors\": " << total.errors << ",\n"
+     << "  \"scheduler\": {\"submitted\": " << sched.submitted
+     << ", \"completed\": " << sched.completed << ", \"cancelled\": "
+     << sched.cancelled << ", \"expired\": " << sched.expired
+     << ", \"failed\": " << sched.failed << "},\n"
+     << "  \"final_partition_version\": " << (snap ? snap->version : 0)
+     << "\n}\n";
+  std::cout << "\nWrote " << out_path << '\n';
+  return 0;
+}

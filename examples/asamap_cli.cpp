@@ -1,16 +1,23 @@
 // asamap_cli — the command-line face of the library, for users who want to
 // cluster a graph (or regenerate a paper workload) without writing C++.
 //
-//   asamap_cli cluster <graph.txt> [--out partition.tsv] [--engine flat|chained|asa]
-//                      [--parallel N] [--directed]
+//   asamap_cli cluster <graph.txt> [--out partition.tsv] [--engine=flat|...]
+//                      [--parallel N] [--deadline-ms N] [--directed]
 //   asamap_cli stats   <graph.txt> [--directed]
 //   asamap_cli gen     <dataset-name> <out.txt>      (paper stand-ins)
 //   asamap_cli compare <graph.txt> <a.tsv> <b.tsv>   (NMI/ARI/modularity)
+//
+// Options parse through support::ArgParser, the same helper behind
+// asamap_serve and the bench drivers, so `--key value` and `--key=value`
+// both work everywhere.
 
-#include <cstring>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <iostream>
-#include <optional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "asamap/core/infomap.hpp"
@@ -18,6 +25,7 @@
 #include "asamap/graph/io.hpp"
 #include "asamap/graph/stats.hpp"
 #include "asamap/metrics/partition_io.hpp"
+#include "asamap/support/argparse.hpp"
 #include "asamap/support/timer.hpp"
 
 using namespace asamap;
@@ -29,38 +37,11 @@ int usage() {
       "usage:\n"
       "  asamap_cli cluster <graph.txt> [--out partition.tsv]\n"
       "                     [--engine flat|chained|open|asa|dense]\n"
-      "                     [--parallel N] [--directed]\n"
+      "                     [--parallel N] [--deadline-ms N] [--directed]\n"
       "  asamap_cli stats   <graph.txt> [--directed]\n"
       "  asamap_cli gen     <dataset-name> <out.txt>\n"
       "  asamap_cli compare <graph.txt> <a.tsv> <b.tsv>\n";
   return 2;
-}
-
-struct Args {
-  std::vector<std::string> positional;
-  std::optional<std::string> out;
-  std::string engine = "flat";
-  int parallel = 0;
-  bool directed = false;
-};
-
-Args parse(int argc, char** argv) {
-  Args a;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--out" && i + 1 < argc) {
-      a.out = argv[++i];
-    } else if (arg == "--engine" && i + 1 < argc) {
-      a.engine = argv[++i];
-    } else if (arg == "--parallel" && i + 1 < argc) {
-      a.parallel = std::stoi(argv[++i]);
-    } else if (arg == "--directed") {
-      a.directed = true;
-    } else {
-      a.positional.push_back(arg);
-    }
-  }
-  return a;
 }
 
 core::AccumulatorKind engine_of(const std::string& name) {
@@ -78,35 +59,88 @@ graph::CsrGraph load(const std::string& path, bool directed) {
   return graph::load_snap_file(path, opts);
 }
 
-int cmd_cluster(const Args& a) {
-  if (a.positional.empty()) return usage();
-  const auto g = load(a.positional[0], a.directed);
+/// Raises `cancel` once `ms` elapse unless disarm() is called first.  The
+/// clustering run polls the flag at sweep boundaries and returns its best
+/// partition so far with result.interrupted set.
+class DeadlineWatchdog {
+ public:
+  DeadlineWatchdog(long long ms, std::atomic<bool>& cancel) {
+    if (ms <= 0) return;
+    thread_ = std::thread([this, ms, &cancel] {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!cv_.wait_for(lock, std::chrono::milliseconds(ms),
+                        [this] { return disarmed_; })) {
+        cancel.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  ~DeadlineWatchdog() { disarm(); }
+
+  void disarm() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      disarmed_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::thread thread_;
+};
+
+int cmd_cluster(const support::ArgParser& args) {
+  const auto& pos = args.positional();
+  if (pos.empty()) return usage();
+  const auto g = load(pos[0], args.flag("directed"));
   std::cerr << "Loaded " << g.num_vertices() << " vertices, "
             << g.num_arcs() << " arcs\n";
 
+  const int parallel = static_cast<int>(args.int_or("parallel", 0));
+  const long long deadline_ms = args.int_or("deadline-ms", 0);
+
+  std::atomic<bool> cancel{false};
+  core::InfomapOptions opts;
+  if (deadline_ms > 0) opts.cancel = &cancel;
+  DeadlineWatchdog watchdog(deadline_ms, cancel);
+
   support::WallTimer timer;
   const core::InfomapResult result =
-      a.parallel > 0 ? core::run_infomap_parallel(g, {}, a.parallel)
-                     : core::run_infomap(g, {}, engine_of(a.engine));
+      parallel > 0
+          ? core::run_infomap_parallel(g, opts, parallel)
+          : core::run_infomap(g, opts,
+                              engine_of(args.get_or("engine", "flat")));
+  watchdog.disarm();
   std::cerr << "Clustered in " << result.levels << " level(s), "
             << timer.seconds() << " s\n";
+  if (result.interrupted) {
+    std::cerr << "Deadline of " << deadline_ms
+              << " ms hit; reporting the best partition found so far\n";
+  }
 
   std::cout << "communities:\t" << result.num_communities << '\n'
             << "codelength:\t" << result.codelength << " bits\n"
-            << "one-level:\t" << result.one_level_codelength << " bits\n";
+            << "one-level:\t" << result.one_level_codelength << " bits\n"
+            << "interrupted:\t" << (result.interrupted ? "yes" : "no") << '\n';
 
-  if (a.out) {
-    metrics::save_partition(*a.out, metrics::Partition(
-                                        result.communities.begin(),
-                                        result.communities.end()));
-    std::cerr << "Partition written to " << *a.out << '\n';
+  if (const auto out = args.get("out")) {
+    metrics::save_partition(*out, metrics::Partition(
+                                      result.communities.begin(),
+                                      result.communities.end()));
+    std::cerr << "Partition written to " << *out << '\n';
   }
   return 0;
 }
 
-int cmd_stats(const Args& a) {
-  if (a.positional.empty()) return usage();
-  const auto g = load(a.positional[0], a.directed);
+int cmd_stats(const support::ArgParser& args) {
+  const auto& pos = args.positional();
+  if (pos.empty()) return usage();
+  const auto g = load(pos[0], args.flag("directed"));
   const auto h = graph::degree_histogram(g);
   std::cout << "vertices:\t" << g.num_vertices() << '\n'
             << "arcs:\t" << g.num_arcs() << '\n'
@@ -122,21 +156,23 @@ int cmd_stats(const Args& a) {
   return 0;
 }
 
-int cmd_gen(const Args& a) {
-  if (a.positional.size() < 2) return usage();
-  const auto g = gen::make_dataset(a.positional[0]);
-  graph::save_snap_file(a.positional[1], g);
-  std::cerr << "Wrote " << a.positional[0] << " stand-in ("
-            << g.num_vertices() << " vertices, " << g.num_arcs()
-            << " arcs) to " << a.positional[1] << '\n';
+int cmd_gen(const support::ArgParser& args) {
+  const auto& pos = args.positional();
+  if (pos.size() < 2) return usage();
+  const auto g = gen::make_dataset(pos[0]);
+  graph::save_snap_file(pos[1], g);
+  std::cerr << "Wrote " << pos[0] << " stand-in (" << g.num_vertices()
+            << " vertices, " << g.num_arcs() << " arcs) to " << pos[1]
+            << '\n';
   return 0;
 }
 
-int cmd_compare(const Args& a) {
-  if (a.positional.size() < 3) return usage();
-  const auto g = load(a.positional[0], a.directed);
-  const auto pa = metrics::load_partition(a.positional[1]);
-  const auto pb = metrics::load_partition(a.positional[2]);
+int cmd_compare(const support::ArgParser& args) {
+  const auto& pos = args.positional();
+  if (pos.size() < 3) return usage();
+  const auto g = load(pos[0], args.flag("directed"));
+  const auto pa = metrics::load_partition(pos[1]);
+  const auto pb = metrics::load_partition(pos[2]);
   if (pa.size() != g.num_vertices() || pb.size() != g.num_vertices()) {
     std::cerr << "partition size does not match the graph\n";
     return 1;
@@ -154,12 +190,18 @@ int cmd_compare(const Args& a) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  const support::ArgParser args(argc, argv, 2, {"directed"});
+  if (const auto unknown =
+          args.unknown_keys({"out", "engine", "parallel", "deadline-ms"});
+      !unknown.empty()) {
+    std::cerr << "unknown option: --" << unknown.front() << '\n';
+    return usage();
+  }
   try {
-    const Args a = parse(argc, argv);
-    if (cmd == "cluster") return cmd_cluster(a);
-    if (cmd == "stats") return cmd_stats(a);
-    if (cmd == "gen") return cmd_gen(a);
-    if (cmd == "compare") return cmd_compare(a);
+    if (cmd == "cluster") return cmd_cluster(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "compare") return cmd_compare(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -1,0 +1,66 @@
+// asamap_serve: line-protocol front end over serve::ServeSession.
+//
+// Reads one request per line on stdin, writes one response per line on
+// stdout — scriptable (CI pipes a session through it) and usable
+// interactively.  Blank lines and `#` comments are skipped, so a session
+// script can document itself.
+//
+//   asamap_serve [--workers N] [--budget-mb MB] [--cluster-threads N]
+//                [--interactive-cap N] [--batch-cap N] [--echo]
+//
+// Protocol summary (see serve/session.hpp for the full reference):
+//   GEN g 10000 60000       CLUSTER g sync        MEMBER g 17
+//   LOAD g path.txt         CLUSTER g deadline_ms=50
+//   TOPK g 5                SUMMARY g             STATS
+//   WAIT <job>  CANCEL <job>  DROP g  QUIT
+
+#include <iostream>
+#include <string>
+
+#include "asamap/serve/session.hpp"
+#include "asamap/support/argparse.hpp"
+
+int main(int argc, char** argv) {
+  using namespace asamap;
+
+  const support::ArgParser args(argc, argv, 1, {"echo", "help"});
+  if (args.flag("help")) {
+    std::cout << "usage: asamap_serve [--workers N] [--budget-mb MB] "
+                 "[--cluster-threads N]\n"
+                 "                    [--interactive-cap N] [--batch-cap N] "
+                 "[--echo]\n";
+    return 0;
+  }
+  if (const auto unknown = args.unknown_keys(
+          {"workers", "budget-mb", "cluster-threads", "interactive-cap",
+           "batch-cap"});
+      !unknown.empty()) {
+    std::cerr << "unknown option: --" << unknown.front() << '\n';
+    return 2;
+  }
+
+  serve::SessionConfig config;
+  config.scheduler.workers = static_cast<int>(args.int_or("workers", 2));
+  config.registry.memory_budget_bytes =
+      static_cast<std::size_t>(args.int_or("budget-mb", 512)) << 20;
+  config.cluster_threads =
+      static_cast<int>(args.int_or("cluster-threads", 0));
+  config.scheduler.interactive_capacity =
+      static_cast<std::size_t>(args.int_or("interactive-cap", 64));
+  config.scheduler.batch_capacity =
+      static_cast<std::size_t>(args.int_or("batch-cap", 8));
+  const bool echo = args.flag("echo");
+
+  serve::ServeSession session(config);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    if (echo) std::cout << "> " << line << '\n';
+    std::cout << session.handle_line(line) << std::endl;  // flush per response
+    // QUIT is answered ("OK bye") and then honored here, keeping
+    // handle_line a pure request->response map.
+    if (line.compare(start, 4, "QUIT") == 0) break;
+  }
+  return 0;
+}

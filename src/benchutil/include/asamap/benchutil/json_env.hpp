@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file json_env.hpp
+/// Shared envelope for committed BENCH_*.json artifacts.  Every trajectory
+/// bench stamps the same provenance fields — bench name, host thread count,
+/// git revision, UTC timestamp — so that diffs of committed artifacts carry
+/// their own context.  Benches used to hand-roll these lines; this is the
+/// one place they come from now.
+
+#include <ostream>
+#include <string>
+
+namespace asamap::benchutil {
+
+struct BenchEnvelope {
+  std::string bench;          ///< artifact name, e.g. "serve_throughput"
+  int host_max_threads = 1;   ///< omp_get_max_threads() at startup
+  std::string git_rev;        ///< short HEAD hash, "unknown" outside a repo
+  std::string timestamp_utc;  ///< ISO-8601 Z, e.g. "2026-08-06T12:00:00Z"
+};
+
+/// Collects the envelope for `bench_name` from the running process
+/// (OpenMP thread count, `git rev-parse`, wall clock).
+BenchEnvelope make_envelope(std::string bench_name);
+
+/// Escapes a string for embedding in a JSON double-quoted literal.
+std::string json_escape(const std::string& s);
+
+/// Writes the envelope fields as the opening members of a JSON object:
+///   "bench": "...", "host_max_threads": N, "git_rev": "...",
+///   "timestamp_utc": "..."
+/// one per line with `indent`, each line comma-terminated so the caller
+/// continues the object directly.
+void write_envelope_fields(std::ostream& os, const BenchEnvelope& env,
+                           const char* indent = "  ");
+
+}  // namespace asamap::benchutil

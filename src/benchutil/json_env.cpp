@@ -1,0 +1,77 @@
+#include "asamap/benchutil/json_env.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <utility>
+
+#include <omp.h>
+
+namespace asamap::benchutil {
+namespace {
+
+std::string git_short_rev() {
+  std::FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {};
+  std::string out;
+  if (std::fgets(buf, sizeof(buf), pipe) != nullptr) out = buf;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+std::string utc_now_iso8601() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  ::gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
+
+BenchEnvelope make_envelope(std::string bench_name) {
+  BenchEnvelope env;
+  env.bench = std::move(bench_name);
+  env.host_max_threads = omp_get_max_threads();
+  env.git_rev = git_short_rev();
+  env.timestamp_utc = utc_now_iso8601();
+  return env;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_envelope_fields(std::ostream& os, const BenchEnvelope& env,
+                           const char* indent) {
+  os << indent << "\"bench\": \"" << json_escape(env.bench) << "\",\n"
+     << indent << "\"host_max_threads\": " << env.host_max_threads << ",\n"
+     << indent << "\"git_rev\": \"" << json_escape(env.git_rev) << "\",\n"
+     << indent << "\"timestamp_utc\": \"" << json_escape(env.timestamp_utc)
+     << "\",\n";
+}
+
+}  // namespace asamap::benchutil

@@ -15,6 +15,7 @@
 /// configuration.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -41,6 +42,13 @@ struct InfomapOptions {
   /// with the final partition, letting individual vertices correct
   /// coarse-level misassignments.  Improves codelength, never worsens it.
   int refine_sweeps = 2;
+  /// Cooperative cancellation: when non-null and set (by another thread —
+  /// a deadline watchdog, a job scheduler's cancel), the driver stops at
+  /// the next sweep boundary and returns the best partition found so far,
+  /// with InfomapResult::interrupted set.  The partition is always a
+  /// consistent (if unconverged) assignment — moves apply atomically at
+  /// sweep granularity.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// One FindBestCommunity iteration's record (a row of Tables III/IV).
@@ -70,6 +78,7 @@ struct InfomapResult {
   double initial_codelength = 0.0;    ///< L of all-singleton modules;
                                       ///< codelength <= this is guaranteed
   int levels = 0;                 ///< supernode levels processed
+  bool interrupted = false;       ///< stopped early via InfomapOptions::cancel
   std::vector<SweepTrace> trace;
   support::PhaseTimer kernel_wall;  ///< Fig. 2a: per-kernel native seconds
   KernelBreakdown breakdown;        ///< Fig. 2b / Tab. V attribution
@@ -144,6 +153,9 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
                              std::span<Worker<Acc, Sink>> workers) {
   ASAMAP_CHECK(!workers.empty(), "need at least one worker");
   InfomapResult result;
+  const auto cancelled = [&opts] {
+    return opts.cancel && opts.cancel->load(std::memory_order_relaxed);
+  };
 
   // --- PageRank kernel.  `original` stays untouched for the final
   // level-0 codelength evaluation and refinement; `fn` is the working
@@ -191,6 +203,10 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
     double prev_codelength = state.codelength();
     int sweeps_done = 0;
     for (int sweep = 0; sweep < opts.max_sweeps_per_level; ++sweep) {
+      if (cancelled()) {
+        result.interrupted = true;
+        break;
+      }
       SweepTrace st;
       st.level = level;
       st.sweep = sweep;
@@ -276,6 +292,7 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
     result.levels = level + 1;
 
     if (k == n || k <= 1) break;  // no aggregation or fully merged: done
+    if (result.interrupted) break;
 
     // Convert2SuperNode kernel.
     {
@@ -300,13 +317,17 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
     // partition correct vertices that were dragged along with their
     // supernode into a suboptimal module.  Greedy moves only ever improve.
     if (opts.refine_sweeps > 0 && result.levels > 1 &&
-        result.num_communities > 1) {
+        result.num_communities > 1 && !result.interrupted) {
       support::ScopedPhase phase(result.kernel_wall,
                                  kernels::kFindBestCommunity);
       const LevelAddresses addrs =
           LevelAddresses::for_network(original, level_addrs);
       std::uint64_t refine_moves = 0;
       for (int sweep = 0; sweep < opts.refine_sweeps; ++sweep) {
+        if (cancelled()) {
+          result.interrupted = true;
+          break;
+        }
         std::uint64_t moves = 0;
         const std::uint32_t w = static_cast<std::uint32_t>(workers.size());
         for (std::uint32_t i = 0; i < w; ++i) {

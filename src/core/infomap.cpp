@@ -186,6 +186,12 @@ std::uint64_t parallel_sweeps(ModuleState& state, const FlowNetwork& fn,
             prev_codelength - state.codelength() < opts.min_improvement_bits) {
           done = true;
         }
+        // Cooperative cancellation, checked once per sweep in the serial
+        // phase so `done` and `interrupted` stay single-writer.
+        if (opts.cancel && opts.cancel->load(std::memory_order_relaxed)) {
+          done = true;
+          result.interrupted = true;
+        }
         prev_codelength = state.codelength();
         ws.active.swap(ws.next_active);
         std::fill_n(ws.next_active.begin(), n, std::uint8_t{0});
@@ -304,6 +310,7 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
     result.codelength = state.codelength();
     result.levels = level + 1;
     if (k == n || k <= 1) break;
+    if (result.interrupted) break;
 
     {
       support::ScopedPhase phase(result.kernel_wall,
@@ -325,7 +332,7 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
     // network seeded with the final partition — see run_multilevel for the
     // rationale and the hierarchy re-basing rule.
     if (opts.refine_sweeps > 0 && result.levels > 1 &&
-        result.num_communities > 1) {
+        result.num_communities > 1 && !result.interrupted) {
       support::ScopedPhase phase(result.kernel_wall,
                                  kernels::kFindBestCommunity);
       const LevelAddresses addrs =

@@ -4,10 +4,17 @@
 /// SNAP-style edge-list text I/O.  The paper's datasets come from the SNAP
 /// collection, whose on-disk format is one `u <tab/space> v` pair per line
 /// with `#`-prefixed comment lines.  Weighted variants add a third column.
+///
+/// Two parsing entry points: parse_snap_stream reports malformed input as a
+/// structured error with the offending line number (what a service needs to
+/// reject a bad upload with a message), read_snap_stream wraps it and throws
+/// for batch callers that just want to fail loudly.
 
 #include <filesystem>
 #include <istream>
+#include <optional>
 #include <ostream>
+#include <string>
 
 #include "asamap/graph/csr_graph.hpp"
 #include "asamap/graph/edge_list.hpp"
@@ -21,11 +28,39 @@ struct SnapReadOptions {
   bool undirected = true;
   /// Drop self loops while reading.
   bool drop_self_loops = true;
+  /// Largest accepted vertex id.  The default rejects only the
+  /// kInvalidVertex sentinel (which would corrupt downstream bookkeeping);
+  /// services lower it to bound the memory a single upload can demand —
+  /// vertex ids are used as-is, so one line saying `0 4000000000` would
+  /// otherwise allocate four billion CSR slots.
+  VertexId max_vertex_id = kInvalidVertex - 1;
 };
 
-/// Parses SNAP edge-list text from a stream.  Throws std::runtime_error on
-/// malformed lines.  Vertex ids are used as-is (no re-labeling), so sparse id
-/// spaces produce isolated vertices.
+/// A rejected input line: 1-based line number plus a human-readable reason
+/// that names the offending token.
+struct SnapParseError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct SnapParseResult {
+  EdgeList edges;                      ///< valid only when !error
+  std::optional<SnapParseError> error; ///< first malformed line, if any
+  std::size_t lines_read = 0;          ///< lines consumed (incl. comments)
+
+  [[nodiscard]] bool ok() const noexcept { return !error.has_value(); }
+};
+
+/// Parses SNAP edge-list text, stopping at the first malformed line and
+/// reporting it as a structured error (non-numeric tokens, out-of-range or
+/// sentinel vertex ids, truncated lines, trailing garbage, non-finite or
+/// negative weights).  Never throws on malformed input.
+SnapParseResult parse_snap_stream(std::istream& in,
+                                  const SnapReadOptions& opts = {});
+
+/// Throwing wrapper over parse_snap_stream: raises std::runtime_error with
+/// the line number and reason on malformed input.  Vertex ids are used as-is
+/// (no re-labeling), so sparse id spaces produce isolated vertices.
 EdgeList read_snap_stream(std::istream& in, const SnapReadOptions& opts = {});
 
 /// Convenience: read + coalesce + freeze to CSR.

@@ -10,27 +10,21 @@
 namespace asamap::graph {
 namespace {
 
-/// Skips spaces/tabs, then parses one token; returns the remaining view.
-/// Throws on parse failure so corrupt inputs fail loudly.
-template <typename T>
-std::string_view parse_token(std::string_view s, T& out, std::size_t line_no) {
+std::string_view skip_blanks(std::string_view s) {
   std::size_t i = 0;
   while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
   s.remove_prefix(i);
-  const char* begin = s.data();
-  const char* end = s.data() + s.size();
-  std::from_chars_result r{};
-  if constexpr (std::is_floating_point_v<T>) {
-    // GCC 12 supports floating-point from_chars.
-    r = std::from_chars(begin, end, out);
-  } else {
-    r = std::from_chars(begin, end, out);
+  return s;
+}
+
+/// The whitespace-delimited token at the front of `s`, for error messages.
+std::string_view front_token(std::string_view s) {
+  s = skip_blanks(s);
+  std::size_t end = 0;
+  while (end < s.size() && s[end] != ' ' && s[end] != '\t' && s[end] != '\r') {
+    ++end;
   }
-  if (r.ec != std::errc{}) {
-    throw std::runtime_error("SNAP parse error at line " +
-                             std::to_string(line_no));
-  }
-  return s.substr(static_cast<std::size_t>(r.ptr - begin));
+  return s.substr(0, end);
 }
 
 bool has_more_tokens(std::string_view s) {
@@ -40,35 +34,105 @@ bool has_more_tokens(std::string_view s) {
   return false;
 }
 
+/// Parses one numeric token; on failure fills `err` with a reason naming the
+/// token (`what` says which field it was) and returns false.
+template <typename T>
+bool parse_token(std::string_view& s, T& out, std::string_view what,
+                 std::string* err) {
+  s = skip_blanks(s);
+  if (!has_more_tokens(s)) {
+    *err = "truncated line: missing " + std::string(what);
+    return false;
+  }
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const std::from_chars_result r = std::from_chars(begin, end, out);
+  if (r.ec == std::errc::invalid_argument) {
+    *err = "expected a number for " + std::string(what) + ", got '" +
+           std::string(front_token(s)) + "'";
+    return false;
+  }
+  if (r.ec == std::errc::result_out_of_range) {
+    *err = std::string(what) + " out of range: '" +
+           std::string(front_token(s)) + "'";
+    return false;
+  }
+  s.remove_prefix(static_cast<std::size_t>(r.ptr - begin));
+  return true;
+}
+
+/// Vertex ids parse through 64 bits so `5000000000` reports "exceeds
+/// maximum" rather than a bare overflow.
+bool parse_vertex(std::string_view& s, VertexId& out, std::string_view what,
+                  VertexId max_id, std::string* err) {
+  std::uint64_t wide{};
+  if (!parse_token(s, wide, what, err)) return false;
+  if (wide > max_id) {
+    *err = std::string(what) + " " + std::to_string(wide) +
+           " exceeds maximum vertex id " + std::to_string(max_id);
+    return false;
+  }
+  out = static_cast<VertexId>(wide);
+  return true;
+}
+
 }  // namespace
 
-EdgeList read_snap_stream(std::istream& in, const SnapReadOptions& opts) {
-  EdgeList edges;
+SnapParseResult parse_snap_stream(std::istream& in,
+                                  const SnapReadOptions& opts) {
+  SnapParseResult result;
   std::string line;
-  std::size_t line_no = 0;
+  std::string err;
   while (std::getline(in, line)) {
-    ++line_no;
-    std::string_view s = line;
-    // Trim leading whitespace; skip blanks and comments.
-    std::size_t i = 0;
-    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
-    s.remove_prefix(i);
+    ++result.lines_read;
+    std::string_view s = skip_blanks(line);
     if (s.empty() || s.front() == '#' || s.front() == '%') continue;
 
     VertexId u{}, v{};
-    s = parse_token(s, u, line_no);
-    s = parse_token(s, v, line_no);
     Weight w = 1.0;
-    if (has_more_tokens(s)) s = parse_token(s, w, line_no);
+    if (!parse_vertex(s, u, "source vertex id", opts.max_vertex_id, &err) ||
+        !parse_vertex(s, v, "target vertex id", opts.max_vertex_id, &err)) {
+      result.error = {result.lines_read, err};
+      return result;
+    }
+    if (has_more_tokens(s)) {
+      const std::string weight_token(front_token(s));
+      if (!parse_token(s, w, "edge weight", &err)) {
+        result.error = {result.lines_read, err};
+        return result;
+      }
+      if (!std::isfinite(w) || w < 0.0) {
+        result.error = {result.lines_read,
+                        "edge weight must be finite and non-negative, got '" +
+                            weight_token + "'"};
+        return result;
+      }
+    }
+    if (has_more_tokens(s)) {
+      result.error = {result.lines_read,
+                      "unexpected trailing text '" +
+                          std::string(front_token(s)) + "'"};
+      return result;
+    }
 
     if (opts.drop_self_loops && u == v) continue;
     if (opts.undirected) {
-      edges.add_undirected(u, v, w);
+      result.edges.add_undirected(u, v, w);
     } else {
-      edges.add(u, v, w);
+      result.edges.add(u, v, w);
     }
   }
-  return edges;
+  return result;
+}
+
+EdgeList read_snap_stream(std::istream& in, const SnapReadOptions& opts) {
+  SnapParseResult result = parse_snap_stream(in, opts);
+  if (!result.ok()) {
+    throw std::runtime_error("SNAP parse error at line " +
+                             std::to_string(result.error->line) + ": " +
+                             result.error->message);
+  }
+  return std::move(result.edges);
 }
 
 CsrGraph load_snap_file(const std::filesystem::path& path,

@@ -1,0 +1,197 @@
+#include "asamap/serve/graph_registry.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "asamap/support/hash.hpp"
+
+namespace asamap::serve {
+
+GraphRegistry::GraphRegistry(const RegistryConfig& config) : config_(config) {}
+
+std::size_t GraphRegistry::approx_bytes(const graph::CsrGraph& g) noexcept {
+  // CSR stores out+in arcs, two offset arrays, and two weight sums.
+  const std::size_t per_vertex =
+      2 * sizeof(graph::EdgeId) + 2 * sizeof(graph::Weight);
+  const std::size_t per_arc = 2 * sizeof(graph::Arc);
+  return sizeof(graph::CsrGraph) + g.num_vertices() * per_vertex +
+         static_cast<std::size_t>(g.num_arcs()) * per_arc;
+}
+
+std::uint64_t GraphRegistry::fingerprint_text(std::string_view text) noexcept {
+  // mix64 chained over 8-byte chunks; length folded in so "a" and "a\0"
+  // differ.  Not cryptographic — collision here only aliases two uploads.
+  std::uint64_t h = support::mix64(0x5eedULL ^ text.size());
+  std::size_t i = 0;
+  for (; i + 8 <= text.size(); i += 8) {
+    std::uint64_t chunk = 0;
+    for (int b = 0; b < 8; ++b) {
+      chunk |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(text[i + b]))
+               << (8 * b);
+    }
+    h = support::mix64(h ^ chunk);
+  }
+  std::uint64_t tail = 0;
+  for (int b = 0; i < text.size(); ++i, ++b) {
+    tail |= static_cast<std::uint64_t>(static_cast<unsigned char>(text[i]))
+            << (8 * b);
+  }
+  return support::mix64(h ^ tail);
+}
+
+ServeStatus GraphRegistry::put_text(const std::string& name,
+                                    std::string_view text, bool undirected) {
+  if (name.empty()) {
+    return ServeStatus::error(ServeCode::kInvalidArgument,
+                              "graph name must be non-empty");
+  }
+  const std::uint64_t fp = fingerprint_text(text);
+  {
+    // Dedup before paying for the parse: an identical upload maps the new
+    // name onto the already-resident graph.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = by_fingerprint_.find(fp);
+        it != by_fingerprint_.end()) {
+      if (GraphPtr existing = it->second.lock()) {
+        ++counters_.dedup_hits;
+        return insert_locked(name, std::move(existing), fp,
+                             /*counted=*/false);
+      }
+    }
+  }
+
+  graph::SnapReadOptions opts;
+  opts.undirected = undirected;
+  opts.max_vertex_id = config_.max_vertex_id;
+  std::istringstream in{std::string(text)};
+  graph::SnapParseResult parsed = graph::parse_snap_stream(in, opts);
+  if (!parsed.ok()) {
+    return ServeStatus::error(
+        ServeCode::kParseError,
+        "line " + std::to_string(parsed.error->line) + ": " +
+            parsed.error->message);
+  }
+  if (parsed.edges.empty()) {
+    return ServeStatus::error(ServeCode::kInvalidArgument,
+                              "upload contains no edges");
+  }
+  parsed.edges.coalesce();
+  auto g = std::make_shared<graph::CsrGraph>(
+      graph::CsrGraph::from_edges(parsed.edges));
+  if (approx_bytes(*g) > config_.memory_budget_bytes) {
+    return ServeStatus::error(
+        ServeCode::kTooLarge,
+        "graph needs " + std::to_string(approx_bytes(*g)) +
+            " bytes, budget is " +
+            std::to_string(config_.memory_budget_bytes));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  return insert_locked(name, std::move(g), fp, /*counted=*/true);
+}
+
+ServeStatus GraphRegistry::put_file(const std::string& name,
+                                    const std::filesystem::path& path,
+                                    bool undirected) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return ServeStatus::error(ServeCode::kNotFound,
+                              "cannot open file: " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return put_text(name, buffer.str(), undirected);
+}
+
+ServeStatus GraphRegistry::put_graph(const std::string& name,
+                                     graph::CsrGraph g,
+                                     std::uint64_t fingerprint) {
+  if (name.empty()) {
+    return ServeStatus::error(ServeCode::kInvalidArgument,
+                              "graph name must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fingerprint != 0) {
+    if (const auto it = by_fingerprint_.find(fingerprint);
+        it != by_fingerprint_.end()) {
+      if (GraphPtr existing = it->second.lock()) {
+        ++counters_.dedup_hits;
+        return insert_locked(name, std::move(existing), fingerprint,
+                             /*counted=*/false);
+      }
+    }
+  }
+  auto ptr = std::make_shared<const graph::CsrGraph>(std::move(g));
+  return insert_locked(name, std::move(ptr), fingerprint, /*counted=*/true);
+}
+
+ServeStatus GraphRegistry::insert_locked(const std::string& name,
+                                         GraphPtr graph,
+                                         std::uint64_t fingerprint,
+                                         bool counted) {
+  erase_locked(name);  // replace semantics
+  lru_.push_front(name);
+  Entry entry;
+  entry.fingerprint = fingerprint;
+  entry.bytes = counted ? approx_bytes(*graph) : 0;
+  entry.lru_it = lru_.begin();
+  entry.graph = std::move(graph);
+  if (fingerprint != 0) by_fingerprint_[fingerprint] = entry.graph;
+  resident_bytes_ += entry.bytes;
+  entries_[name] = std::move(entry);
+  ++counters_.ingested;
+  evict_to_budget_locked(name);
+  return ServeStatus::success();
+}
+
+void GraphRegistry::erase_locked(const std::string& name) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  resident_bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void GraphRegistry::evict_to_budget_locked(const std::string& keep) {
+  while (resident_bytes_ > config_.memory_budget_bytes && !lru_.empty()) {
+    // Evict from the cold end, skipping the entry being inserted.
+    auto victim = std::prev(lru_.end());
+    if (*victim == keep) {
+      if (lru_.size() == 1) break;
+      victim = std::prev(victim);
+    }
+    erase_locked(*victim);
+    ++counters_.evictions;
+  }
+}
+
+GraphRegistry::GraphPtr GraphRegistry::get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // bump to front
+  return it->second.graph;
+}
+
+bool GraphRegistry::erase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entries_.contains(name)) return false;
+  erase_locked(name);
+  return true;
+}
+
+RegistryStats GraphRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistryStats s = counters_;
+  s.entries = entries_.size();
+  s.resident_bytes = resident_bytes_;
+  return s;
+}
+
+}  // namespace asamap::serve

@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file graph_registry.hpp
+/// Named graph storage for the serving layer.  Ingests SNAP text (through
+/// the structured parser, so a bad upload is rejected with a line number),
+/// deduplicates identical uploads by content fingerprint, and evicts
+/// least-recently-used graphs when the configured memory budget is
+/// exceeded.  Graphs are handed out as shared_ptr<const CsrGraph>: eviction
+/// removes a graph from the registry but a clustering job that already
+/// holds the pointer keeps the memory alive until it finishes.
+
+#include <cstdint>
+#include <filesystem>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "asamap/graph/csr_graph.hpp"
+#include "asamap/graph/io.hpp"
+#include "asamap/serve/status.hpp"
+
+namespace asamap::serve {
+
+struct RegistryConfig {
+  /// Resident budget for graph storage.  Inserting past it evicts LRU
+  /// entries (never the one being inserted).
+  std::size_t memory_budget_bytes = std::size_t{512} << 20;
+  /// Upper bound on vertex ids accepted from text uploads — one malicious
+  /// line `0 4000000000` would otherwise demand billions of CSR slots.
+  graph::VertexId max_vertex_id = (graph::VertexId{1} << 28) - 1;
+};
+
+struct RegistryStats {
+  std::size_t entries = 0;
+  std::size_t resident_bytes = 0;
+  std::uint64_t ingested = 0;    ///< successful put_* calls
+  std::uint64_t dedup_hits = 0;  ///< uploads that matched an existing graph
+  std::uint64_t evictions = 0;
+  std::uint64_t hits = 0;        ///< get() found the graph
+  std::uint64_t misses = 0;      ///< get() did not
+};
+
+class GraphRegistry {
+ public:
+  using GraphPtr = std::shared_ptr<const graph::CsrGraph>;
+
+  explicit GraphRegistry(const RegistryConfig& config = {});
+
+  /// Parses SNAP text and stores it under `name` (replacing any previous
+  /// graph with that name).  Identical text already resident under another
+  /// name shares that graph's memory (fingerprint dedup).
+  ServeStatus put_text(const std::string& name, std::string_view text,
+                       bool undirected = true);
+
+  /// Reads a file through put_text's pipeline (same validation and dedup).
+  ServeStatus put_file(const std::string& name,
+                       const std::filesystem::path& path,
+                       bool undirected = true);
+
+  /// Stores an already-built graph (e.g. a generated workload).
+  /// `fingerprint` deduplicates equal content when the caller can derive
+  /// one (generator parameters); 0 disables dedup for this entry.
+  ServeStatus put_graph(const std::string& name, graph::CsrGraph g,
+                        std::uint64_t fingerprint = 0);
+
+  /// Fetches a graph and marks it most-recently-used; nullptr if absent.
+  GraphPtr get(const std::string& name);
+
+  bool erase(const std::string& name);
+
+  [[nodiscard]] RegistryStats stats() const;
+
+  /// Approximate resident bytes of a frozen CSR graph.
+  static std::size_t approx_bytes(const graph::CsrGraph& g) noexcept;
+
+  /// Content fingerprint of raw upload bytes (mix64-chained, order
+  /// sensitive).
+  static std::uint64_t fingerprint_text(std::string_view text) noexcept;
+
+ private:
+  struct Entry {
+    GraphPtr graph;
+    std::uint64_t fingerprint = 0;
+    std::size_t bytes = 0;  ///< 0 for dedup aliases (memory charged once)
+    std::list<std::string>::iterator lru_it;
+  };
+
+  ServeStatus insert_locked(const std::string& name, GraphPtr graph,
+                            std::uint64_t fingerprint, bool counted);
+  void erase_locked(const std::string& name);
+  void evict_to_budget_locked(const std::string& keep);
+
+  RegistryConfig config_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  /// Fingerprint -> graph, for dedup.  Weak so an evicted graph does not
+  /// linger just to serve future dedup hits.
+  std::unordered_map<std::uint64_t, std::weak_ptr<const graph::CsrGraph>>
+      by_fingerprint_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::size_t resident_bytes_ = 0;
+  RegistryStats counters_;
+};
+
+}  // namespace asamap::serve

@@ -1,0 +1,175 @@
+#pragma once
+
+/// \file job_scheduler.hpp
+/// Worker-pool job scheduler for the serving layer.
+///
+/// Two priority lanes (interactive vs. batch), each a bounded queue:
+/// workers always drain interactive work first, and a full lane rejects the
+/// submission with a reason instead of queueing unboundedly (backpressure —
+/// the caller degrades, the service does not).  Every job carries an
+/// optional deadline and a stop flag: cancel() and deadline expiry both
+/// raise the flag, which long-running job bodies observe cooperatively
+/// (clustering jobs pass it to InfomapOptions::cancel, stopping at the next
+/// sweep boundary).  Queued jobs whose deadline passes are dropped without
+/// running.  Shutdown cancels queued work, stops running jobs via their
+/// flags, and joins — destruction with jobs in flight is clean by design.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "asamap/serve/status.hpp"
+#include "asamap/support/bounded_queue.hpp"
+
+namespace asamap::serve {
+
+enum class JobPriority { kInteractive, kBatch };
+
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,       ///< body returned normally
+  kFailed,     ///< body threw
+  kCancelled,  ///< cancel() before or during the run
+  kExpired,    ///< deadline passed before or during the run
+};
+
+[[nodiscard]] constexpr const char* to_string(JobState s) noexcept {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+/// Handed to the job body.  `stop` is the job's cooperative stop flag —
+/// pass it to InfomapOptions::cancel or poll stop_requested() in loops.
+struct JobContext {
+  std::uint64_t id = 0;
+  const std::atomic<bool>* stop = nullptr;
+
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop != nullptr && stop->load(std::memory_order_relaxed);
+  }
+};
+
+/// Outcome of submit(): an id when accepted, a reason when rejected.
+struct SubmitResult {
+  std::uint64_t id = 0;  ///< 0 when rejected
+  ServeStatus status;
+
+  [[nodiscard]] bool accepted() const noexcept { return id != 0; }
+};
+
+struct SchedulerConfig {
+  int workers = 2;
+  std::size_t interactive_capacity = 64;
+  std::size_t batch_capacity = 8;
+  /// Deadline sweep period.  Expiry latency is bounded by one tick.
+  std::chrono::milliseconds reaper_tick{10};
+  /// Terminal job records kept for state()/wait() lookups; oldest are
+  /// forgotten beyond this.
+  std::size_t completed_history = 4096;
+};
+
+struct SchedulerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;
+  std::size_t queued_interactive = 0;
+  std::size_t queued_batch = 0;
+  std::size_t running = 0;
+};
+
+class JobScheduler {
+ public:
+  using JobFn = std::function<void(const JobContext&)>;
+  using Clock = std::chrono::steady_clock;
+
+  explicit JobScheduler(const SchedulerConfig& config = {});
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Enqueues a job.  `deadline` of zero means none; otherwise it is
+  /// measured from submission, and the job is stopped (or never started)
+  /// once it passes.  Rejects with kRejected when the lane is full, with
+  /// kShutdown after shutdown() began.
+  SubmitResult submit(JobFn fn, JobPriority priority = JobPriority::kBatch,
+                      std::chrono::milliseconds deadline = {});
+
+  /// Requests cancellation.  Queued jobs terminate immediately as
+  /// kCancelled; running jobs get their stop flag raised and finish as
+  /// kCancelled.  False when the job is unknown or already terminal.
+  bool cancel(std::uint64_t id);
+
+  /// Blocks until the job reaches a terminal state (kNotFound -> kFailed
+  /// is impossible; unknown ids return kFailed immediately).
+  JobState wait(std::uint64_t id);
+
+  /// Current state; kFailed for unknown (or long-forgotten) ids.
+  [[nodiscard]] JobState state(std::uint64_t id) const;
+
+  [[nodiscard]] SchedulerStats stats() const;
+
+  /// Stops accepting submissions, cancels queued jobs, raises every running
+  /// job's stop flag, and joins the workers.  Idempotent; the destructor
+  /// calls it.
+  void shutdown();
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    JobFn fn;
+    JobPriority priority = JobPriority::kBatch;
+    Clock::time_point deadline = Clock::time_point::max();
+    std::atomic<bool> stop{false};
+    /// Written under mu_; the terminal state a stopped run resolves to.
+    JobState pending_stop_state = JobState::kCancelled;
+    JobState state = JobState::kQueued;  // guarded by mu_
+  };
+  using JobPtr = std::shared_ptr<Job>;
+
+  void worker_loop();
+  void reaper_loop();
+  void finish_locked(const JobPtr& job, JobState terminal);
+  [[nodiscard]] static bool is_terminal(JobState s) noexcept {
+    return s != JobState::kQueued && s != JobState::kRunning;
+  }
+
+  SchedulerConfig config_;
+  support::BoundedQueue<JobPtr> interactive_;
+  support::BoundedQueue<JobPtr> batch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;  ///< submit -> workers
+  std::condition_variable cv_done_;  ///< terminal transitions -> wait()
+  std::condition_variable cv_reap_;  ///< shutdown -> reaper
+  std::unordered_map<std::uint64_t, JobPtr> jobs_;
+  std::deque<std::uint64_t> terminal_order_;  ///< for history pruning
+  std::uint64_t next_id_ = 1;
+  bool stopping_ = false;
+  SchedulerStats counters_;
+
+  std::vector<std::thread> workers_;
+  std::thread reaper_;
+};
+
+}  // namespace asamap::serve

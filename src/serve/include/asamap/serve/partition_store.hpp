@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file partition_store.hpp
+/// Snapshot-isolated partition storage.  A clustering job builds a complete
+/// immutable PartitionSnapshot off to the side and publishes it with one
+/// pointer swap; queries copy the current shared_ptr and answer everything
+/// (membership, same-community, top-k, summary) from that one object, so a
+/// response can never mix two partition versions no matter how many
+/// re-cluster jobs land mid-request.  Old snapshots stay alive until the
+/// last in-flight reader drops its reference.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asamap/graph/csr_graph.hpp"
+#include "asamap/metrics/partition.hpp"
+
+namespace asamap::core {
+struct InfomapResult;
+}  // namespace asamap::core
+
+namespace asamap::serve {
+
+/// One immutable clustering of one graph.  Everything a query can ask for
+/// hangs off this object; fields are never mutated after publish.
+struct PartitionSnapshot {
+  std::uint64_t version = 0;  ///< assigned by publish(), strictly increasing
+  std::shared_ptr<const graph::CsrGraph> graph;
+  metrics::Partition communities;  ///< community id per vertex, compacted
+  std::size_t num_communities = 0;
+  double codelength = 0.0;
+  double modularity = 0.0;
+  bool interrupted = false;  ///< built from a deadline-truncated run
+  std::uint64_t build_job = 0;  ///< scheduler job id that produced it
+
+  /// Stationary flow per community (sum of member visit rates; for
+  /// symmetric graphs, degree weight over total weight).  Sums to ~1.
+  std::vector<double> community_flow;
+  /// Community ids ordered by descending flow — top-k queries slice this.
+  std::vector<graph::VertexId> by_flow;
+};
+
+/// Derives the query-facing fields (flows, ordering, modularity) from a
+/// finished clustering run.  Version/build_job are left for the caller.
+PartitionSnapshot make_snapshot(std::shared_ptr<const graph::CsrGraph> graph,
+                                const core::InfomapResult& result);
+
+class PartitionStore {
+ public:
+  using SnapshotPtr = std::shared_ptr<const PartitionSnapshot>;
+
+  /// Current snapshot for a graph name; nullptr when never clustered.
+  [[nodiscard]] SnapshotPtr snapshot(const std::string& graph_name) const;
+
+  /// Atomically installs `snap` as the current version for `graph_name`,
+  /// assigning the next version number (monotonic per name, surviving
+  /// drop()).  Returns the assigned version.
+  std::uint64_t publish(const std::string& graph_name, PartitionSnapshot snap);
+
+  /// Removes the current snapshot (in-flight readers keep theirs).
+  void drop(const std::string& graph_name);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SnapshotPtr> current_;
+  std::unordered_map<std::string, std::uint64_t> last_version_;
+};
+
+}  // namespace asamap::serve

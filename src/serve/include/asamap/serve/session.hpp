@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file session.hpp
+/// The embeddable service facade: one ServeSession owns a GraphRegistry, a
+/// PartitionStore, and a JobScheduler, and exposes both a typed API (used
+/// by the load generator and tests) and a line protocol (used by the
+/// asamap_serve driver and scripted sessions).
+///
+/// Line protocol — one request line in, one response line out.  Responses
+/// start with `OK` or `ERR <code>`; fields are `key=value` tokens.
+///
+///   GEN <name> <n> <edges> [seed]        generate a Chung-Lu graph
+///   LOAD <name> <path> [directed]        ingest a SNAP file
+///   DROP <name>                          remove graph + snapshot
+///   CLUSTER <name> [sync] [priority=interactive|batch] [deadline_ms=N]
+///   WAIT <job>                           block until the job is terminal
+///   CANCEL <job>                         request cancellation
+///   MEMBER <name> <v>                    community of one vertex
+///   SAME <name> <u> <v>                  same-community check
+///   TOPK <name> <k>                      top-k communities by flow
+///   SUMMARY <name>                       codelength/modularity summary
+///   STATS                                registry + scheduler counters
+///   QUIT                                 acknowledged; driver exits
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "asamap/core/infomap.hpp"
+#include "asamap/serve/graph_registry.hpp"
+#include "asamap/serve/job_scheduler.hpp"
+#include "asamap/serve/partition_store.hpp"
+#include "asamap/serve/status.hpp"
+
+namespace asamap::serve {
+
+struct SessionConfig {
+  RegistryConfig registry;
+  SchedulerConfig scheduler;
+  /// Threads per clustering job (0 = all available).  Tests pin this to 1
+  /// so thread-level concurrency comes from the scheduler and readers, not
+  /// nested OpenMP teams.
+  int cluster_threads = 0;
+  core::InfomapOptions infomap;
+};
+
+class ServeSession {
+ public:
+  explicit ServeSession(const SessionConfig& config = {});
+  ~ServeSession();
+
+  ServeSession(const ServeSession&) = delete;
+  ServeSession& operator=(const ServeSession&) = delete;
+
+  // --- typed API ---------------------------------------------------------
+
+  ServeStatus load_text(const std::string& name, std::string_view text,
+                        bool undirected = true);
+  ServeStatus load_file(const std::string& name, const std::string& path,
+                        bool undirected = true);
+  /// Generates a Chung-Lu power-law graph into the registry (deduplicated
+  /// by generator parameters).
+  ServeStatus gen_chung_lu(const std::string& name, graph::VertexId n,
+                           std::uint64_t edges, std::uint64_t seed = 42);
+  bool drop(const std::string& name);
+
+  /// Enqueues a re-cluster of `name` on the scheduler.  The job runs
+  /// run_infomap_parallel (native flat-accumulator fast path) against the
+  /// graph snapshot it captured at submission; a publish only happens when
+  /// the job was neither cancelled nor expired.
+  SubmitResult submit_recluster(
+      const std::string& name, JobPriority priority = JobPriority::kBatch,
+      std::chrono::milliseconds deadline = {});
+
+  /// Current snapshot for a graph; nullptr when never clustered.  All
+  /// query answers derived from one SnapshotPtr are mutually consistent.
+  [[nodiscard]] PartitionStore::SnapshotPtr snapshot(const std::string& name);
+
+  GraphRegistry& registry() noexcept { return registry_; }
+  PartitionStore& store() noexcept { return store_; }
+  JobScheduler& scheduler() noexcept { return scheduler_; }
+
+  // --- line protocol ------------------------------------------------------
+
+  /// Executes one protocol line, returning the single response line
+  /// (without trailing newline).  Never throws.
+  std::string handle_line(std::string_view line);
+
+ private:
+  SessionConfig config_;
+  GraphRegistry registry_;
+  PartitionStore store_;
+  /// Last member: destroyed first, so worker threads join before the
+  /// registry/store they reference go away.
+  JobScheduler scheduler_;
+};
+
+}  // namespace asamap::serve

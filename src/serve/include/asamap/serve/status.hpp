@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file status.hpp
+/// Error vocabulary of the serving layer.  Service entry points return a
+/// ServeStatus instead of throwing: a request that fails (bad upload, full
+/// queue, unknown graph) is an expected outcome the caller turns into a
+/// protocol response, not an exceptional one.
+
+#include <string>
+#include <utility>
+
+namespace asamap::serve {
+
+enum class ServeCode {
+  kOk,
+  kInvalidArgument,  ///< malformed request parameters
+  kParseError,       ///< graph upload rejected (see message for line/reason)
+  kTooLarge,         ///< upload exceeds the registry's configured limits
+  kNotFound,         ///< unknown graph or job id
+  kNoPartition,      ///< graph loaded but never clustered (or still pending)
+  kRejected,         ///< scheduler backpressure: submission queue full
+  kShutdown,         ///< service is draining; no new work accepted
+};
+
+[[nodiscard]] constexpr const char* to_string(ServeCode code) noexcept {
+  switch (code) {
+    case ServeCode::kOk: return "ok";
+    case ServeCode::kInvalidArgument: return "invalid_argument";
+    case ServeCode::kParseError: return "parse_error";
+    case ServeCode::kTooLarge: return "too_large";
+    case ServeCode::kNotFound: return "not_found";
+    case ServeCode::kNoPartition: return "no_partition";
+    case ServeCode::kRejected: return "rejected";
+    case ServeCode::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+struct ServeStatus {
+  ServeCode code = ServeCode::kOk;
+  std::string message;
+
+  [[nodiscard]] bool ok() const noexcept { return code == ServeCode::kOk; }
+
+  static ServeStatus success() { return {}; }
+  static ServeStatus error(ServeCode code, std::string message) {
+    return {code, std::move(message)};
+  }
+};
+
+}  // namespace asamap::serve

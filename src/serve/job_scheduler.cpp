@@ -1,0 +1,202 @@
+#include "asamap/serve/job_scheduler.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace asamap::serve {
+
+JobScheduler::JobScheduler(const SchedulerConfig& config)
+    : config_(config),
+      interactive_(config.interactive_capacity),
+      batch_(config.batch_capacity) {
+  config_.workers = std::max(1, config_.workers);
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  reaper_ = std::thread([this] { reaper_loop(); });
+}
+
+JobScheduler::~JobScheduler() { shutdown(); }
+
+SubmitResult JobScheduler::submit(JobFn fn, JobPriority priority,
+                                  std::chrono::milliseconds deadline) {
+  auto job = std::make_shared<Job>();
+  job->fn = std::move(fn);
+  job->priority = priority;
+  if (deadline.count() > 0) job->deadline = Clock::now() + deadline;
+
+  // The push happens under mu_ — the same mutex the workers' wait predicate
+  // holds — so a worker checking "queues empty" and going to sleep cannot
+  // miss a concurrent push (lock order mu_ -> queue mutex, matching
+  // stats()).
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    ++counters_.rejected;
+    return {0, ServeStatus::error(ServeCode::kShutdown,
+                                  "scheduler is shutting down")};
+  }
+  auto& lane = priority == JobPriority::kInteractive ? interactive_ : batch_;
+  if (!lane.try_push(job)) {
+    ++counters_.rejected;
+    const char* lane_name =
+        priority == JobPriority::kInteractive ? "interactive" : "batch";
+    return {0, ServeStatus::error(
+                   ServeCode::kRejected,
+                   std::string(lane_name) + " queue full (capacity " +
+                       std::to_string(lane.capacity()) + "); retry later")};
+  }
+  job->id = next_id_++;
+  jobs_[job->id] = job;
+  ++counters_.submitted;
+  cv_work_.notify_one();
+  return {job->id, ServeStatus::success()};
+}
+
+bool JobScheduler::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || is_terminal(it->second->state)) return false;
+  JobPtr job = it->second;
+  job->pending_stop_state = JobState::kCancelled;
+  job->stop.store(true, std::memory_order_relaxed);
+  if (job->state == JobState::kQueued) {
+    // Workers skip terminal jobs when they pop them.
+    finish_locked(job, JobState::kCancelled);
+  }
+  return true;
+}
+
+JobState JobScheduler::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return JobState::kFailed;
+  JobPtr job = it->second;  // keep alive across history pruning
+  cv_done_.wait(lock, [&] { return is_terminal(job->state); });
+  return job->state;
+}
+
+JobState JobScheduler::state(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? JobState::kFailed : it->second->state;
+}
+
+SchedulerStats JobScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SchedulerStats s = counters_;
+  s.queued_interactive = interactive_.size();
+  s.queued_batch = batch_.size();
+  return s;
+}
+
+void JobScheduler::finish_locked(const JobPtr& job, JobState terminal) {
+  job->state = terminal;
+  switch (terminal) {
+    case JobState::kDone: ++counters_.completed; break;
+    case JobState::kFailed: ++counters_.failed; break;
+    case JobState::kCancelled: ++counters_.cancelled; break;
+    case JobState::kExpired: ++counters_.expired; break;
+    default: break;
+  }
+  terminal_order_.push_back(job->id);
+  while (terminal_order_.size() > config_.completed_history) {
+    const auto victim = jobs_.find(terminal_order_.front());
+    terminal_order_.pop_front();
+    if (victim != jobs_.end() && is_terminal(victim->second->state)) {
+      jobs_.erase(victim);
+    }
+  }
+  cv_done_.notify_all();
+}
+
+void JobScheduler::worker_loop() {
+  for (;;) {
+    JobPtr job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] {
+        return stopping_ || interactive_.size() > 0 || batch_.size() > 0;
+      });
+      auto popped = interactive_.try_pop();
+      if (!popped) popped = batch_.try_pop();
+      if (!popped) {
+        if (stopping_) return;
+        continue;  // another worker won the race
+      }
+      job = std::move(*popped);
+      if (is_terminal(job->state)) continue;  // cancelled/expired in queue
+      if (Clock::now() >= job->deadline) {
+        finish_locked(job, JobState::kExpired);
+        continue;
+      }
+      if (stopping_) {
+        finish_locked(job, JobState::kCancelled);
+        continue;
+      }
+      job->state = JobState::kRunning;
+      ++counters_.running;
+    }
+
+    JobState terminal = JobState::kDone;
+    try {
+      JobContext ctx{job->id, &job->stop};
+      job->fn(ctx);
+    } catch (...) {
+      terminal = JobState::kFailed;
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    --counters_.running;
+    if (terminal != JobState::kFailed &&
+        job->stop.load(std::memory_order_relaxed)) {
+      terminal = job->pending_stop_state;  // kCancelled or kExpired
+    }
+    finish_locked(job, terminal);
+  }
+}
+
+void JobScheduler::reaper_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_reap_.wait_for(lock, config_.reaper_tick,
+                      [&] { return stopping_; });
+    if (stopping_) break;
+    const auto now = Clock::now();
+    for (auto& [id, job] : jobs_) {
+      if (is_terminal(job->state) || now < job->deadline) continue;
+      job->pending_stop_state = JobState::kExpired;
+      job->stop.store(true, std::memory_order_relaxed);
+      if (job->state == JobState::kQueued) {
+        finish_locked(job, JobState::kExpired);
+      }
+    }
+  }
+}
+
+void JobScheduler::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    for (auto& [id, job] : jobs_) {
+      if (is_terminal(job->state)) continue;
+      job->pending_stop_state = JobState::kCancelled;
+      job->stop.store(true, std::memory_order_relaxed);
+      if (job->state == JobState::kQueued) {
+        finish_locked(job, JobState::kCancelled);
+      }
+    }
+  }
+  interactive_.close();
+  batch_.close();
+  cv_work_.notify_all();
+  cv_reap_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  if (reaper_.joinable()) reaper_.join();
+}
+
+}  // namespace asamap::serve

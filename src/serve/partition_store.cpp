@@ -1,0 +1,74 @@
+#include "asamap/serve/partition_store.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "asamap/core/infomap.hpp"
+
+namespace asamap::serve {
+
+PartitionSnapshot make_snapshot(std::shared_ptr<const graph::CsrGraph> graph,
+                                const core::InfomapResult& result) {
+  PartitionSnapshot snap;
+  snap.communities.assign(result.communities.begin(),
+                          result.communities.end());
+  snap.num_communities = result.num_communities;
+  snap.codelength = result.codelength;
+  snap.interrupted = result.interrupted;
+
+  // Community flow from degree weight (the stationary visit rate on
+  // symmetric graphs, and a faithful proxy on directed ones without
+  // re-running PageRank at query time).
+  snap.community_flow.assign(snap.num_communities, 0.0);
+  const double total = graph->total_arc_weight();
+  if (total > 0.0) {
+    for (graph::VertexId v = 0; v < graph->num_vertices(); ++v) {
+      snap.community_flow[snap.communities[v]] +=
+          graph->out_weight(v) / total;
+    }
+  }
+  snap.by_flow.resize(snap.num_communities);
+  std::iota(snap.by_flow.begin(), snap.by_flow.end(), graph::VertexId{0});
+  std::sort(snap.by_flow.begin(), snap.by_flow.end(),
+            [&](graph::VertexId a, graph::VertexId b) {
+              if (snap.community_flow[a] != snap.community_flow[b]) {
+                return snap.community_flow[a] > snap.community_flow[b];
+              }
+              return a < b;  // deterministic ties
+            });
+
+  if (graph->is_symmetric()) {
+    snap.modularity = metrics::modularity(*graph, snap.communities);
+  }
+  snap.graph = std::move(graph);
+  return snap;
+}
+
+PartitionStore::SnapshotPtr PartitionStore::snapshot(
+    const std::string& graph_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = current_.find(graph_name);
+  return it == current_.end() ? nullptr : it->second;
+}
+
+std::uint64_t PartitionStore::publish(const std::string& graph_name,
+                                      PartitionSnapshot snap) {
+  auto ptr = std::make_shared<PartitionSnapshot>(std::move(snap));
+  std::lock_guard<std::mutex> lock(mu_);
+  ptr->version = ++last_version_[graph_name];
+  current_[graph_name] = std::move(ptr);  // the swap: readers see old or new
+  return last_version_[graph_name];
+}
+
+void PartitionStore::drop(const std::string& graph_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_.erase(graph_name);
+}
+
+std::size_t PartitionStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_.size();
+}
+
+}  // namespace asamap::serve

@@ -1,0 +1,378 @@
+#include "asamap/serve/session.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "asamap/gen/generators.hpp"
+#include "asamap/support/hash.hpp"
+
+namespace asamap::serve {
+namespace {
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) tokens.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+template <typename T>
+bool parse_num(std::string_view tok, T& out) {
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  return ec == std::errc{} && ptr == tok.data() + tok.size();
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string err(ServeCode code, std::string_view message) {
+  std::string out = "ERR ";
+  out += to_string(code);
+  out += ' ';
+  out += message;
+  return out;
+}
+
+std::string err(const ServeStatus& status) {
+  return err(status.code, status.message);
+}
+
+}  // namespace
+
+ServeSession::ServeSession(const SessionConfig& config)
+    : config_(config),
+      registry_(config.registry),
+      store_(),
+      scheduler_(config.scheduler) {}
+
+ServeSession::~ServeSession() { scheduler_.shutdown(); }
+
+ServeStatus ServeSession::load_text(const std::string& name,
+                                    std::string_view text, bool undirected) {
+  return registry_.put_text(name, text, undirected);
+}
+
+ServeStatus ServeSession::load_file(const std::string& name,
+                                    const std::string& path, bool undirected) {
+  return registry_.put_file(name, path, undirected);
+}
+
+ServeStatus ServeSession::gen_chung_lu(const std::string& name,
+                                       graph::VertexId n, std::uint64_t edges,
+                                       std::uint64_t seed) {
+  if (n == 0 || edges == 0) {
+    return ServeStatus::error(ServeCode::kInvalidArgument,
+                              "GEN requires n > 0 and edges > 0");
+  }
+  if (n > config_.registry.max_vertex_id) {
+    return ServeStatus::error(
+        ServeCode::kTooLarge,
+        "requested " + std::to_string(n) + " vertices exceeds limit " +
+            std::to_string(config_.registry.max_vertex_id));
+  }
+  gen::ChungLuParams params;
+  params.n = n;
+  params.target_edges = edges;
+  // Parameter fingerprint: identical GEN requests dedup to one resident
+  // graph, like identical text uploads.
+  std::uint64_t fp = support::mix64(0x67656eULL ^ n);
+  fp = support::mix64(fp ^ edges);
+  fp = support::mix64(fp ^ seed);
+  return registry_.put_graph(name, gen::chung_lu(params, seed), fp);
+}
+
+bool ServeSession::drop(const std::string& name) {
+  const bool had_graph = registry_.erase(name);
+  store_.drop(name);
+  return had_graph;
+}
+
+SubmitResult ServeSession::submit_recluster(const std::string& name,
+                                            JobPriority priority,
+                                            std::chrono::milliseconds deadline) {
+  GraphRegistry::GraphPtr graph = registry_.get(name);
+  if (!graph) {
+    return {0, ServeStatus::error(ServeCode::kNotFound,
+                                  "unknown graph '" + name + "'")};
+  }
+  // The job captures the graph shared_ptr: eviction or DROP mid-flight
+  // cannot pull the memory out from under the run.
+  return scheduler_.submit(
+      [this, name, graph](const JobContext& ctx) {
+        core::InfomapOptions opts = config_.infomap;
+        opts.cancel = ctx.stop;
+        core::InfomapResult result =
+            core::run_infomap_parallel(*graph, opts, config_.cluster_threads);
+        // A cancelled or expired job publishes nothing — readers only ever
+        // see partitions from runs that were allowed to finish.
+        if (ctx.stop_requested()) return;
+        PartitionSnapshot snap = make_snapshot(graph, result);
+        snap.build_job = ctx.id;
+        store_.publish(name, std::move(snap));
+      },
+      priority, deadline);
+}
+
+PartitionStore::SnapshotPtr ServeSession::snapshot(const std::string& name) {
+  return store_.snapshot(name);
+}
+
+std::string ServeSession::handle_line(std::string_view line) {
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) return err(ServeCode::kInvalidArgument, "empty request");
+  const std::string_view verb = tokens[0];
+
+  const auto need_snapshot =
+      [&](const std::string& name,
+          PartitionStore::SnapshotPtr& snap) -> std::string {
+    snap = store_.snapshot(name);
+    if (snap) return {};
+    if (!registry_.get(name)) {
+      return err(ServeCode::kNotFound, "unknown graph '" + name + "'");
+    }
+    return err(ServeCode::kNoPartition,
+               "graph '" + name + "' has no published partition; CLUSTER it");
+  };
+
+  if (verb == "GEN") {
+    if (tokens.size() < 4 || tokens.size() > 5) {
+      return err(ServeCode::kInvalidArgument,
+                 "usage: GEN <name> <n> <edges> [seed]");
+    }
+    graph::VertexId n = 0;
+    std::uint64_t edges = 0;
+    std::uint64_t seed = 42;
+    if (!parse_num(tokens[2], n) || !parse_num(tokens[3], edges) ||
+        (tokens.size() == 5 && !parse_num(tokens[4], seed))) {
+      return err(ServeCode::kInvalidArgument, "GEN: numeric argument expected");
+    }
+    const std::string name(tokens[1]);
+    const ServeStatus status = gen_chung_lu(name, n, edges, seed);
+    if (!status.ok()) return err(status);
+    const auto g = registry_.get(name);
+    return "OK graph=" + name + " vertices=" +
+           std::to_string(g->num_vertices()) +
+           " arcs=" + std::to_string(g->num_arcs());
+  }
+
+  if (verb == "LOAD") {
+    if (tokens.size() < 3 || tokens.size() > 4) {
+      return err(ServeCode::kInvalidArgument,
+                 "usage: LOAD <name> <path> [directed]");
+    }
+    const bool undirected = !(tokens.size() == 4 && tokens[3] == "directed");
+    const std::string name(tokens[1]);
+    const ServeStatus status =
+        load_file(name, std::string(tokens[2]), undirected);
+    if (!status.ok()) return err(status);
+    const auto g = registry_.get(name);
+    return "OK graph=" + name + " vertices=" +
+           std::to_string(g->num_vertices()) +
+           " arcs=" + std::to_string(g->num_arcs());
+  }
+
+  if (verb == "DROP") {
+    if (tokens.size() != 2) {
+      return err(ServeCode::kInvalidArgument, "usage: DROP <name>");
+    }
+    const std::string name(tokens[1]);
+    if (!drop(name)) {
+      return err(ServeCode::kNotFound, "unknown graph '" + name + "'");
+    }
+    return "OK dropped=" + name;
+  }
+
+  if (verb == "CLUSTER") {
+    if (tokens.size() < 2) {
+      return err(ServeCode::kInvalidArgument,
+                 "usage: CLUSTER <name> [sync] [priority=interactive|batch] "
+                 "[deadline_ms=N]");
+    }
+    const std::string name(tokens[1]);
+    bool sync = false;
+    JobPriority priority = JobPriority::kBatch;
+    std::chrono::milliseconds deadline{};
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+      const std::string_view opt = tokens[i];
+      if (opt == "sync") {
+        sync = true;
+      } else if (opt == "priority=interactive") {
+        priority = JobPriority::kInteractive;
+      } else if (opt == "priority=batch") {
+        priority = JobPriority::kBatch;
+      } else if (opt.rfind("deadline_ms=", 0) == 0) {
+        std::int64_t ms = 0;
+        if (!parse_num(opt.substr(12), ms) || ms < 0) {
+          return err(ServeCode::kInvalidArgument,
+                     "CLUSTER: bad deadline_ms value");
+        }
+        deadline = std::chrono::milliseconds(ms);
+      } else {
+        return err(ServeCode::kInvalidArgument,
+                   "CLUSTER: unknown option '" + std::string(opt) + "'");
+      }
+    }
+    const SubmitResult submitted = submit_recluster(name, priority, deadline);
+    if (!submitted.accepted()) return err(submitted.status);
+    if (!sync) {
+      return "OK job=" + std::to_string(submitted.id) +
+             " state=" + to_string(scheduler_.state(submitted.id));
+    }
+    const JobState terminal = scheduler_.wait(submitted.id);
+    std::string out = "OK job=" + std::to_string(submitted.id) +
+                      " state=" + to_string(terminal);
+    if (terminal == JobState::kDone) {
+      if (const auto snap = store_.snapshot(name)) {
+        out += " version=" + std::to_string(snap->version) +
+               " communities=" + std::to_string(snap->num_communities) +
+               " codelength=" + fmt_double(snap->codelength);
+      }
+    }
+    return out;
+  }
+
+  if (verb == "WAIT" || verb == "CANCEL") {
+    if (tokens.size() != 2) {
+      return err(ServeCode::kInvalidArgument,
+                 "usage: " + std::string(verb) + " <job>");
+    }
+    std::uint64_t id = 0;
+    if (!parse_num(tokens[1], id) || id == 0) {
+      return err(ServeCode::kInvalidArgument, "bad job id");
+    }
+    if (verb == "CANCEL") {
+      const bool accepted = scheduler_.cancel(id);
+      return "OK job=" + std::to_string(id) +
+             " cancelled=" + (accepted ? "1" : "0") +
+             " state=" + to_string(scheduler_.state(id));
+    }
+    return "OK job=" + std::to_string(id) +
+           " state=" + to_string(scheduler_.wait(id));
+  }
+
+  if (verb == "MEMBER") {
+    if (tokens.size() != 3) {
+      return err(ServeCode::kInvalidArgument, "usage: MEMBER <name> <vertex>");
+    }
+    graph::VertexId v = 0;
+    if (!parse_num(tokens[2], v)) {
+      return err(ServeCode::kInvalidArgument, "bad vertex id");
+    }
+    PartitionStore::SnapshotPtr snap;
+    if (auto e = need_snapshot(std::string(tokens[1]), snap); !e.empty()) {
+      return e;
+    }
+    if (v >= snap->communities.size()) {
+      return err(ServeCode::kInvalidArgument,
+                 "vertex " + std::to_string(v) + " out of range (graph has " +
+                     std::to_string(snap->communities.size()) + " vertices)");
+    }
+    const auto c = snap->communities[v];
+    return "OK version=" + std::to_string(snap->version) +
+           " vertex=" + std::to_string(v) + " community=" + std::to_string(c) +
+           " flow=" + fmt_double(snap->community_flow[c]);
+  }
+
+  if (verb == "SAME") {
+    if (tokens.size() != 4) {
+      return err(ServeCode::kInvalidArgument, "usage: SAME <name> <u> <v>");
+    }
+    graph::VertexId u = 0, v = 0;
+    if (!parse_num(tokens[2], u) || !parse_num(tokens[3], v)) {
+      return err(ServeCode::kInvalidArgument, "bad vertex id");
+    }
+    PartitionStore::SnapshotPtr snap;
+    if (auto e = need_snapshot(std::string(tokens[1]), snap); !e.empty()) {
+      return e;
+    }
+    if (u >= snap->communities.size() || v >= snap->communities.size()) {
+      return err(ServeCode::kInvalidArgument, "vertex out of range");
+    }
+    const auto cu = snap->communities[u];
+    const auto cv = snap->communities[v];
+    return "OK version=" + std::to_string(snap->version) +
+           " u=" + std::to_string(u) + " v=" + std::to_string(v) +
+           " cu=" + std::to_string(cu) + " cv=" + std::to_string(cv) +
+           " same=" + (cu == cv ? "1" : "0");
+  }
+
+  if (verb == "TOPK") {
+    if (tokens.size() != 3) {
+      return err(ServeCode::kInvalidArgument, "usage: TOPK <name> <k>");
+    }
+    std::size_t k = 0;
+    if (!parse_num(tokens[2], k) || k == 0) {
+      return err(ServeCode::kInvalidArgument, "bad k");
+    }
+    PartitionStore::SnapshotPtr snap;
+    if (auto e = need_snapshot(std::string(tokens[1]), snap); !e.empty()) {
+      return e;
+    }
+    k = std::min(k, snap->by_flow.size());
+    std::string out = "OK version=" + std::to_string(snap->version) +
+                      " k=" + std::to_string(k) + " top=";
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto c = snap->by_flow[i];
+      if (i > 0) out += ',';
+      out += std::to_string(c) + ":" + fmt_double(snap->community_flow[c]);
+    }
+    return out;
+  }
+
+  if (verb == "SUMMARY") {
+    if (tokens.size() != 2) {
+      return err(ServeCode::kInvalidArgument, "usage: SUMMARY <name>");
+    }
+    PartitionStore::SnapshotPtr snap;
+    if (auto e = need_snapshot(std::string(tokens[1]), snap); !e.empty()) {
+      return e;
+    }
+    return "OK version=" + std::to_string(snap->version) +
+           " vertices=" + std::to_string(snap->communities.size()) +
+           " arcs=" + std::to_string(snap->graph->num_arcs()) +
+           " communities=" + std::to_string(snap->num_communities) +
+           " codelength=" + fmt_double(snap->codelength) +
+           " modularity=" + fmt_double(snap->modularity) +
+           " interrupted=" + (snap->interrupted ? "1" : "0") +
+           " job=" + std::to_string(snap->build_job);
+  }
+
+  if (verb == "STATS") {
+    const RegistryStats reg = registry_.stats();
+    const SchedulerStats sch = scheduler_.stats();
+    return "OK graphs=" + std::to_string(reg.entries) +
+           " resident_bytes=" + std::to_string(reg.resident_bytes) +
+           " dedup_hits=" + std::to_string(reg.dedup_hits) +
+           " evictions=" + std::to_string(reg.evictions) +
+           " snapshots=" + std::to_string(store_.size()) +
+           " submitted=" + std::to_string(sch.submitted) +
+           " completed=" + std::to_string(sch.completed) +
+           " failed=" + std::to_string(sch.failed) +
+           " rejected=" + std::to_string(sch.rejected) +
+           " cancelled=" + std::to_string(sch.cancelled) +
+           " expired=" + std::to_string(sch.expired) +
+           " queued_interactive=" + std::to_string(sch.queued_interactive) +
+           " queued_batch=" + std::to_string(sch.queued_batch) +
+           " running=" + std::to_string(sch.running);
+  }
+
+  if (verb == "QUIT") return "OK bye";
+
+  return err(ServeCode::kInvalidArgument,
+             "unknown command '" + std::string(verb) + "'");
+}
+
+}  // namespace asamap::serve

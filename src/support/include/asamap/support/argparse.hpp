@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file argparse.hpp
+/// Minimal command-line option parsing shared by the batch CLI
+/// (asamap_cli), the serve driver (asamap_serve), and the bench drivers, so
+/// all front ends accept the same `--key value` / `--key=value` spellings
+/// for the same options (engine selection, deadlines, thread counts).
+///
+/// Boolean flags must be declared up front — without a schema, `--directed
+/// foo.txt` is ambiguous between a flag followed by a positional and an
+/// option consuming a value.
+
+#include <cstdlib>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace asamap::support {
+
+class ArgParser {
+ public:
+  /// Parses argv[first_arg..).  `flag_keys` lists the value-less options
+  /// (without the leading "--"); every other `--key` consumes one value,
+  /// either inline (`--key=v`) or as the next argument.
+  ArgParser(int argc, char** argv, int first_arg,
+            std::initializer_list<std::string_view> flag_keys = {}) {
+    const std::unordered_set<std::string_view> flag_set(flag_keys);
+    for (int i = first_arg; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+        positional_.emplace_back(arg);
+        continue;
+      }
+      arg.remove_prefix(2);
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        values_[std::string(arg.substr(0, eq))] =
+            std::string(arg.substr(eq + 1));
+      } else if (flag_set.contains(arg)) {
+        flags_.insert(std::string(arg));
+      } else if (i + 1 < argc) {
+        values_[std::string(arg)] = argv[++i];
+      } else {
+        missing_value_.emplace_back(arg);
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// True when a declared boolean flag was present.
+  [[nodiscard]] bool flag(std::string_view key) const {
+    return flags_.contains(std::string(key));
+  }
+
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const {
+    const auto it = values_.find(std::string(key));
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::string get_or(std::string_view key,
+                                   std::string fallback) const {
+    const auto v = get(key);
+    return v ? *v : std::move(fallback);
+  }
+
+  [[nodiscard]] long long int_or(std::string_view key,
+                                 long long fallback) const {
+    const auto v = get(key);
+    return v ? std::strtoll(v->c_str(), nullptr, 10) : fallback;
+  }
+
+  [[nodiscard]] double double_or(std::string_view key, double fallback) const {
+    const auto v = get(key);
+    return v ? std::strtod(v->c_str(), nullptr) : fallback;
+  }
+
+  /// Option keys present on the command line but in neither the declared
+  /// flags nor `value_keys` — callers turn a non-empty result into a usage
+  /// error.  Also reports trailing `--key` options that got no value.
+  [[nodiscard]] std::vector<std::string> unknown_keys(
+      std::initializer_list<std::string_view> value_keys) const {
+    const std::unordered_set<std::string_view> known(value_keys);
+    std::vector<std::string> unknown = missing_value_;
+    for (const auto& [key, value] : values_) {
+      if (!known.contains(key)) unknown.push_back(key);
+    }
+    return unknown;
+  }
+
+ private:
+  std::vector<std::string> positional_;
+  std::unordered_map<std::string, std::string> values_;
+  std::unordered_set<std::string> flags_;
+  std::vector<std::string> missing_value_;
+};
+
+}  // namespace asamap::support

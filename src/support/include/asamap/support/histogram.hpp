@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Log-bucketed latency histogram for the serving layer's request metrics.
+/// Buckets are base-2 exponents with 4 linear sub-buckets each (HdrHistogram
+/// shape), so relative error is bounded at ~12.5% across the full nanosecond
+/// to hours range with a fixed 256-slot footprint.  Per-thread instances are
+/// merged after a run; no synchronization inside.
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace asamap::support {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBuckets = 4;  // linear slots per power of two
+  static constexpr int kBuckets = 256;   // covers the full uint64 ns range
+
+  void record_ns(std::uint64_t ns) {
+    counts_[bucket_of(ns)] += 1;
+    count_ += 1;
+    sum_ns_ += static_cast<double>(ns);
+    if (ns < min_ns_) min_ns_ = ns;
+    if (ns > max_ns_) max_ns_ = ns;
+  }
+
+  void record_seconds(double seconds) {
+    record_ns(seconds <= 0.0 ? 0
+                             : static_cast<std::uint64_t>(seconds * 1e9));
+  }
+
+  void merge(const LatencyHistogram& other) {
+    for (int b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+    count_ += other.count_;
+    sum_ns_ += other.sum_ns_;
+    if (other.min_ns_ < min_ns_) min_ns_ = other.min_ns_;
+    if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double total_seconds() const noexcept { return sum_ns_ * 1e-9; }
+  [[nodiscard]] double mean_seconds() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ns_ * 1e-9 / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min_seconds() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(min_ns_) * 1e-9;
+  }
+  [[nodiscard]] double max_seconds() const noexcept {
+    return static_cast<double>(max_ns_) * 1e-9;
+  }
+
+  /// Value at quantile q in [0, 1] (q=0.5 -> p50).  Returns the midpoint of
+  /// the bucket holding the rank, clamped to the observed min/max so p0/p100
+  /// are exact.
+  [[nodiscard]] double quantile_seconds(double q) const noexcept {
+    if (count_ == 0) return 0.0;
+    if (q <= 0.0) return min_seconds();
+    if (q >= 1.0) return max_seconds();
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts_[b];
+      if (seen > rank) {
+        const double mid = bucket_mid_ns(b);
+        const double lo = static_cast<double>(min_ns_);
+        const double hi = static_cast<double>(max_ns_);
+        return std::fmin(std::fmax(mid, lo), hi) * 1e-9;
+      }
+    }
+    return max_seconds();  // unreachable when counts are consistent
+  }
+
+ private:
+  /// ns < 4 map to buckets 0..3; otherwise (exp-1)*4 + top-2-mantissa-bits,
+  /// which continues the sequence without gaps (ns=4..7 -> buckets 4..7).
+  static int bucket_of(std::uint64_t ns) noexcept {
+    if (ns < kSubBuckets) return static_cast<int>(ns);
+    const int exp = 63 - std::countl_zero(ns);
+    const int sub = static_cast<int>((ns >> (exp - 2)) & 3);
+    return (exp - 1) * kSubBuckets + sub;
+  }
+
+  /// Midpoint of bucket b's value range, in ns.
+  static double bucket_mid_ns(int b) noexcept {
+    if (b < kSubBuckets) return static_cast<double>(b);
+    const int exp = b / kSubBuckets + 1;
+    const int sub = b % kSubBuckets;
+    const double lo = std::ldexp(static_cast<double>(4 + sub), exp - 2);
+    const double width = std::ldexp(1.0, exp - 2);
+    return lo + width / 2.0;
+  }
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  double sum_ns_ = 0.0;
+  std::uint64_t min_ns_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ns_ = 0;
+};
+
+}  // namespace asamap::support

@@ -164,6 +164,101 @@ TEST(SnapIo, ThrowsOnGarbage) {
   EXPECT_THROW(read_snap_stream(in), std::runtime_error);
 }
 
+TEST(SnapIo, ThrowMessageCarriesLineNumber) {
+  std::istringstream in("# header\n0 1\n0 banana\n");
+  try {
+    read_snap_stream(in);
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+// Structured-parser negative cases: every malformed input names the line
+// and the offending token instead of throwing from deep inside the reader.
+SnapParseError parse_error(const std::string& text,
+                           const SnapReadOptions& opts = {}) {
+  std::istringstream in(text);
+  const SnapParseResult result = parse_snap_stream(in, opts);
+  EXPECT_FALSE(result.ok()) << "expected rejection of: " << text;
+  return result.error.value_or(SnapParseError{});
+}
+
+TEST(SnapParse, AcceptsValidInputWithComments) {
+  std::istringstream in("# c\n0 1\n\n1 2 0.5\n");
+  const SnapParseResult result = parse_snap_stream(in);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.edges.size(), 4u);  // two undirected edges
+  EXPECT_EQ(result.lines_read, 4u);
+}
+
+TEST(SnapParse, NonNumericSourceToken) {
+  const auto e = parse_error("0 1\nfoo 2\n");
+  EXPECT_EQ(e.line, 2u);
+  EXPECT_NE(e.message.find("'foo'"), std::string::npos);
+  EXPECT_NE(e.message.find("source vertex"), std::string::npos);
+}
+
+TEST(SnapParse, NonNumericDestinationToken) {
+  const auto e = parse_error("0 banana\n");
+  EXPECT_EQ(e.line, 1u);
+  EXPECT_NE(e.message.find("'banana'"), std::string::npos);
+}
+
+TEST(SnapParse, OverflowingVertexId) {
+  // 5e9 overflows the uint32 id space even before any configured cap.
+  const auto e = parse_error("0 5000000000\n");
+  EXPECT_EQ(e.line, 1u);
+  EXPECT_NE(e.message.find("maximum vertex id"), std::string::npos);
+}
+
+TEST(SnapParse, SentinelVertexIdRejected) {
+  // kInvalidVertex (uint32 max) parses numerically but is reserved.
+  const auto e = parse_error("0 4294967295\n");
+  EXPECT_EQ(e.line, 1u);
+  EXPECT_NE(e.message.find("maximum vertex id"), std::string::npos);
+}
+
+TEST(SnapParse, ConfiguredVertexCapEnforced) {
+  SnapReadOptions opts;
+  opts.max_vertex_id = 10;
+  const auto e = parse_error("0 11\n", opts);
+  EXPECT_NE(e.message.find("maximum vertex id"), std::string::npos);
+  std::istringstream ok_in("0 10\n");
+  EXPECT_TRUE(parse_snap_stream(ok_in, opts).ok());
+}
+
+TEST(SnapParse, TruncatedLineMissingDestination) {
+  const auto e = parse_error("0 1\n7\n");
+  EXPECT_EQ(e.line, 2u);
+  EXPECT_NE(e.message.find("truncated"), std::string::npos);
+}
+
+TEST(SnapParse, TrailingGarbageAfterWeight) {
+  const auto e = parse_error("0 1 2.5 zebra\n");
+  EXPECT_EQ(e.line, 1u);
+  EXPECT_NE(e.message.find("trailing"), std::string::npos);
+}
+
+TEST(SnapParse, NegativeWeightRejected) {
+  const auto e = parse_error("0 1 -2.0\n");
+  EXPECT_EQ(e.line, 1u);
+  EXPECT_NE(e.message.find("-2.0"), std::string::npos);
+}
+
+TEST(SnapParse, NonFiniteWeightRejected) {
+  EXPECT_EQ(parse_error("0 1 nan\n").line, 1u);
+  EXPECT_EQ(parse_error("0 1 inf\n").line, 1u);
+}
+
+TEST(SnapParse, StopsAtFirstBadLine) {
+  std::istringstream in("0 1\nbad line here\n2 3\n");
+  const SnapParseResult result = parse_snap_stream(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error->line, 2u);
+  EXPECT_EQ(result.lines_read, 2u);  // did not consume past the failure
+}
+
 TEST(SnapIo, DropsSelfLoopsByDefault) {
   std::istringstream in("3 3\n0 1\n");
   EdgeList e = read_snap_stream(in);

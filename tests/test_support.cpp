@@ -8,8 +8,11 @@
 #include <thread>
 #include <vector>
 
+#include "asamap/support/argparse.hpp"
+#include "asamap/support/bounded_queue.hpp"
 #include "asamap/support/check.hpp"
 #include "asamap/support/hash.hpp"
+#include "asamap/support/histogram.hpp"
 #include "asamap/support/rng.hpp"
 #include "asamap/support/timer.hpp"
 
@@ -225,6 +228,98 @@ TEST(Check, ThrowsWithMessage) {
 
 TEST(Check, PassesSilently) {
   EXPECT_NO_THROW(ASAMAP_CHECK(true, "fine"));
+}
+
+TEST(BoundedQueue, PushPopInOrder) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.try_pop(), 1);
+  EXPECT_EQ(q.try_pop(), 2);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, RejectsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // backpressure, not blocking
+  q.try_pop();
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsShutdown) {
+  BoundedQueue<int> q(4);
+  q.try_push(7);
+  q.close();
+  EXPECT_FALSE(q.try_push(8));        // no pushes after close
+  EXPECT_EQ(q.pop_wait(), 7);         // buffered items still drain
+  EXPECT_EQ(q.pop_wait(), std::nullopt);  // then closed+empty
+}
+
+TEST(BoundedQueue, PopWaitBlocksUntilPush) {
+  BoundedQueue<int> q(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.try_push(42);
+  });
+  EXPECT_EQ(q.pop_wait(), 42);  // blocked until the producer delivered
+  producer.join();
+}
+
+TEST(LatencyHistogram, QuantilesOfUniformRamp) {
+  LatencyHistogram h;
+  for (std::uint64_t ns = 1; ns <= 10000; ++ns) h.record_ns(ns);
+  EXPECT_EQ(h.count(), 10000u);
+  // Log-bucketing bounds relative error at ~12.5% per bucket.
+  EXPECT_NEAR(h.quantile_seconds(0.5) * 1e9, 5000.0, 5000.0 * 0.15);
+  EXPECT_NEAR(h.quantile_seconds(0.99) * 1e9, 9900.0, 9900.0 * 0.15);
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.0) * 1e9, 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(1.0) * 1e9, 10000.0);
+  EXPECT_NEAR(h.mean_seconds() * 1e9, 5000.5, 1e-3);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  for (std::uint64_t ns = 1; ns <= 100; ++ns) {
+    (ns % 2 == 0 ? a : b).record_ns(ns * 1000);
+    combined.record_ns(ns * 1000);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.mean_seconds(), combined.mean_seconds());
+  EXPECT_DOUBLE_EQ(a.quantile_seconds(0.5), combined.quantile_seconds(0.5));
+  EXPECT_DOUBLE_EQ(a.min_seconds(), combined.min_seconds());
+  EXPECT_DOUBLE_EQ(a.max_seconds(), combined.max_seconds());
+}
+
+TEST(LatencyHistogram, EmptyIsAllZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean_seconds(), 0.0);
+}
+
+TEST(ArgParser, ParsesBothOptionSpellings) {
+  const char* argv[] = {"prog", "cmd",   "input.txt",      "--engine=flat",
+                        "--parallel", "4", "--directed"};
+  ArgParser args(7, const_cast<char**>(argv), 2, {"directed"});
+  EXPECT_EQ(args.positional(), std::vector<std::string>{"input.txt"});
+  EXPECT_EQ(args.get_or("engine", "?"), "flat");
+  EXPECT_EQ(args.int_or("parallel", 0), 4);
+  EXPECT_TRUE(args.flag("directed"));
+  EXPECT_FALSE(args.flag("quick"));
+  EXPECT_EQ(args.get("missing"), std::nullopt);
+  EXPECT_EQ(args.int_or("missing", 9), 9);
+  EXPECT_TRUE(args.unknown_keys({"engine", "parallel"}).empty());
+}
+
+TEST(ArgParser, ReportsUnknownAndValuelessOptions) {
+  const char* argv[] = {"prog", "--mystery=1", "--tail"};
+  ArgParser args(3, const_cast<char**>(argv), 1, {});
+  const auto unknown = args.unknown_keys({});
+  ASSERT_EQ(unknown.size(), 2u);  // --mystery unknown, --tail got no value
 }
 
 }  // namespace
