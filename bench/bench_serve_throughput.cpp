@@ -22,6 +22,7 @@
 
 #include "asamap/benchutil/json_env.hpp"
 #include "asamap/benchutil/table.hpp"
+#include "asamap/obs/metrics.hpp"
 #include "asamap/serve/session.hpp"
 #include "asamap/support/argparse.hpp"
 #include "asamap/support/histogram.hpp"
@@ -35,18 +36,13 @@ namespace {
 
 constexpr const char* kGraph = "bench";
 
-struct ClientResult {
-  support::LatencyHistogram latency;
-  std::uint64_t requests = 0;
-  std::uint64_t reads = 0;
-  std::uint64_t reclusters = 0;
-  std::uint64_t errors = 0;    ///< ERR responses other than rejections
-  std::uint64_t rejected = 0;  ///< ERR rejected (queue backpressure)
-};
-
+/// Fires the mixed workload until `stop`.  No private bookkeeping: request
+/// counts, per-verb latency, rejections, and protocol errors all come from
+/// the session's metric registry — the same numbers a METRICS scrape
+/// reports, so the bench measures exactly what production observability
+/// would show.
 void client_loop(serve::ServeSession& session, graph::VertexId n,
-                 std::uint64_t seed, const std::atomic<bool>& stop,
-                 ClientResult& out) {
+                 std::uint64_t seed, const std::atomic<bool>& stop) {
   support::Xoshiro256 rng(seed);
   const std::string name = kGraph;
   while (!stop.load(std::memory_order_relaxed)) {
@@ -71,18 +67,7 @@ void client_loop(serve::ServeSession& session, graph::VertexId n,
       is_recluster = true;
     }
 
-    const auto start = std::chrono::steady_clock::now();
-    const std::string resp = session.handle_line(req);
-    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-    out.latency.record_ns(static_cast<std::uint64_t>(ns));
-    ++out.requests;
-    is_recluster ? ++out.reclusters : ++out.reads;
-    if (resp.rfind("ERR", 0) == 0) {
-      resp.find(" rejected ") != std::string::npos ? ++out.rejected
-                                                   : ++out.errors;
-    }
+    (void)session.handle_line(req);
     if (is_recluster) {
       // Think time after a submission: a client that just asked for a
       // refresh does not immediately ask again, so the rejection rate
@@ -94,7 +79,7 @@ void client_loop(serve::ServeSession& session, graph::VertexId n,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const support::ArgParser args(argc, argv, 1, {"help"});
   if (args.flag("help")) {
     std::cout << "usage: bench_serve_throughput [--seconds S] [--clients N] "
@@ -152,14 +137,12 @@ int main(int argc, char** argv) {
   }
 
   std::atomic<bool> stop{false};
-  std::vector<ClientResult> results(static_cast<std::size_t>(clients));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
   support::WallTimer wall;
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      client_loop(session, n, seed ^ (0x9e3779b9ULL * (c + 1)), stop,
-                  results[static_cast<std::size_t>(c)]);
+      client_loop(session, n, seed ^ (0x9e3779b9ULL * (c + 1)), stop);
     });
   }
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
@@ -167,41 +150,50 @@ int main(int argc, char** argv) {
   for (auto& t : threads) t.join();
   const double elapsed = wall.seconds();
 
-  ClientResult total;
-  for (const auto& r : results) {
-    total.latency.merge(r.latency);
-    total.requests += r.requests;
-    total.reads += r.reads;
-    total.reclusters += r.reclusters;
-    total.errors += r.errors;
-    total.rejected += r.rejected;
-  }
+  // Everything below is read from the session's metric registry — the same
+  // source a METRICS scrape renders.  The warm-up GEN/CLUSTER above went
+  // through the typed API, so the per-verb request counters cover exactly
+  // the measurement window's protocol traffic.
+  const obs::MetricRegistry& reg = session.metrics();
+  const std::uint64_t requests =
+      reg.counter_sum("asamap_serve_requests_total");
+  const std::uint64_t reclusters =
+      reg.counter_total("asamap_serve_requests_total", "verb=\"CLUSTER\"");
+  const std::uint64_t reads = requests - reclusters;
+  const std::uint64_t rejected =
+      reg.counter_sum("asamap_jobs_rejected_total");
+  const std::uint64_t all_errors =
+      reg.counter_total("asamap_serve_errors_total");
+  // ERR responses that were not queue backpressure.
+  const std::uint64_t errors = all_errors - std::min(all_errors, rejected);
+  const support::LatencyHistogram latency =
+      reg.histogram_merged_all("asamap_serve_request_seconds");
+
   const auto sched = session.scheduler().stats();
   const auto snap = session.snapshot(kGraph);
-  const double rps = static_cast<double>(total.requests) / elapsed;
+  const double rps = static_cast<double>(requests) / elapsed;
   const double reject_rate =
-      total.reclusters == 0
-          ? 0.0
-          : static_cast<double>(total.rejected) /
-                static_cast<double>(total.reclusters);
-  const double p50 = total.latency.quantile_seconds(0.50);
-  const double p95 = total.latency.quantile_seconds(0.95);
-  const double p99 = total.latency.quantile_seconds(0.99);
+      reclusters == 0 ? 0.0
+                      : static_cast<double>(rejected) /
+                            static_cast<double>(reclusters);
+  const double p50 = latency.quantile_seconds(0.50);
+  const double p95 = latency.quantile_seconds(0.95);
+  const double p99 = latency.quantile_seconds(0.99);
 
   benchutil::Table t({"Metric", "Value"});
-  t.add_row({"requests", std::to_string(total.requests)});
+  t.add_row({"requests", std::to_string(requests)});
   t.add_row({"requests/sec", fmt(rps, 0)});
   t.add_row({"p50 latency (us)", fmt(p50 * 1e6, 1)});
   t.add_row({"p95 latency (us)", fmt(p95 * 1e6, 1)});
   t.add_row({"p99 latency (us)", fmt(p99 * 1e6, 1)});
-  t.add_row({"mean latency (us)", fmt(total.latency.mean_seconds() * 1e6, 1)});
-  t.add_row({"recluster submits", std::to_string(total.reclusters)});
-  t.add_row({"queue rejections", std::to_string(total.rejected)});
+  t.add_row({"mean latency (us)", fmt(latency.mean_seconds() * 1e6, 1)});
+  t.add_row({"recluster submits", std::to_string(reclusters)});
+  t.add_row({"queue rejections", std::to_string(rejected)});
   t.add_row({"rejection rate", fmt(reject_rate, 3)});
   t.add_row({"partitions published", std::to_string(sched.completed)});
   t.add_row({"final partition version",
              std::to_string(snap ? snap->version : 0)});
-  t.add_row({"protocol errors", std::to_string(total.errors)});
+  t.add_row({"protocol errors", std::to_string(errors)});
   t.print(std::cout);
 
   std::ofstream js(out_path);
@@ -215,22 +207,27 @@ int main(int argc, char** argv) {
      << ", \"cluster_threads\": " << config.cluster_threads << ",\n"
      << "             \"graph\": {\"generator\": \"chung_lu\", \"n\": " << n
      << ", \"edges\": " << edges << ", \"seed\": " << seed << "}},\n"
-     << "  \"requests\": " << total.requests << ",\n"
+     << "  \"requests\": " << requests << ",\n"
      << "  \"requests_per_second\": " << rps << ",\n"
      << "  \"latency_seconds\": {\"p50\": " << p50 << ", \"p95\": " << p95
-     << ", \"p99\": " << p99 << ", \"mean\": " << total.latency.mean_seconds()
-     << ", \"max\": " << total.latency.max_seconds() << "},\n"
-     << "  \"reads\": " << total.reads << ",\n"
-     << "  \"recluster_submits\": " << total.reclusters << ",\n"
-     << "  \"queue_rejections\": " << total.rejected << ",\n"
+     << ", \"p99\": " << p99 << ", \"mean\": " << latency.mean_seconds()
+     << ", \"max\": " << latency.max_seconds() << "},\n"
+     << "  \"reads\": " << reads << ",\n"
+     << "  \"recluster_submits\": " << reclusters << ",\n"
+     << "  \"queue_rejections\": " << rejected << ",\n"
      << "  \"rejection_rate\": " << reject_rate << ",\n"
-     << "  \"protocol_errors\": " << total.errors << ",\n"
+     << "  \"protocol_errors\": " << errors << ",\n"
      << "  \"scheduler\": {\"submitted\": " << sched.submitted
      << ", \"completed\": " << sched.completed << ", \"cancelled\": "
      << sched.cancelled << ", \"expired\": " << sched.expired
      << ", \"failed\": " << sched.failed << "},\n"
      << "  \"final_partition_version\": " << (snap ? snap->version : 0)
-     << "\n}\n";
+     << ",\n  \"metrics\": ";
+  session.metrics().write_json(js, "  ");
+  js << "\n}\n";
   std::cout << "\nWrote " << out_path << '\n';
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 2;
 }

@@ -3,6 +3,7 @@
 //
 //   asamap_cli cluster <graph.txt> [--out partition.tsv] [--engine=flat|...]
 //                      [--parallel N] [--deadline-ms N] [--directed]
+//                      [--metrics prom|json]
 //   asamap_cli stats   <graph.txt> [--directed]
 //   asamap_cli gen     <dataset-name> <out.txt>      (paper stand-ins)
 //   asamap_cli compare <graph.txt> <a.tsv> <b.tsv>   (NMI/ARI/modularity)
@@ -20,11 +21,13 @@
 #include <thread>
 #include <vector>
 
+#include "asamap/benchutil/json_env.hpp"
 #include "asamap/core/infomap.hpp"
 #include "asamap/gen/datasets.hpp"
 #include "asamap/graph/io.hpp"
 #include "asamap/graph/stats.hpp"
 #include "asamap/metrics/partition_io.hpp"
+#include "asamap/obs/metrics.hpp"
 #include "asamap/support/argparse.hpp"
 #include "asamap/support/timer.hpp"
 
@@ -38,6 +41,7 @@ int usage() {
       "  asamap_cli cluster <graph.txt> [--out partition.tsv]\n"
       "                     [--engine flat|chained|open|asa|dense]\n"
       "                     [--parallel N] [--deadline-ms N] [--directed]\n"
+      "                     [--metrics prom|json]\n"
       "  asamap_cli stats   <graph.txt> [--directed]\n"
       "  asamap_cli gen     <dataset-name> <out.txt>\n"
       "  asamap_cli compare <graph.txt> <a.tsv> <b.tsv>\n";
@@ -103,10 +107,19 @@ int cmd_cluster(const support::ArgParser& args) {
 
   const int parallel = static_cast<int>(args.int_or("parallel", 0));
   const long long deadline_ms = args.int_or("deadline-ms", 0);
+  const std::string metrics_format = args.get_or("metrics", "");
+  if (!metrics_format.empty() && metrics_format != "prom" &&
+      metrics_format != "prometheus" && metrics_format != "json") {
+    std::cerr << "--metrics: expected prom or json, got '" << metrics_format
+              << "'\n";
+    return usage();
+  }
 
   std::atomic<bool> cancel{false};
+  obs::MetricRegistry registry;
   core::InfomapOptions opts;
   if (deadline_ms > 0) opts.cancel = &cancel;
+  if (!metrics_format.empty()) opts.metrics = &registry;
   DeadlineWatchdog watchdog(deadline_ms, cancel);
 
   support::WallTimer timer;
@@ -133,6 +146,19 @@ int cmd_cluster(const support::ArgParser& args) {
                                       result.communities.begin(),
                                       result.communities.end()));
     std::cerr << "Partition written to " << *out << '\n';
+  }
+
+  // The same registry contents the serve METRICS verb scrapes, in the same
+  // two formats (Prometheus text / bench JSON envelope).
+  if (metrics_format == "prom" || metrics_format == "prometheus") {
+    registry.write_prometheus(std::cout);
+  } else if (metrics_format == "json") {
+    std::cout << "{\n";
+    benchutil::write_envelope_fields(
+        std::cout, benchutil::make_envelope("cli_metrics"), "  ");
+    std::cout << "  \"metrics\": ";
+    registry.write_json(std::cout, "  ");
+    std::cout << "\n}\n";
   }
   return 0;
 }
@@ -191,8 +217,8 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   const support::ArgParser args(argc, argv, 2, {"directed"});
-  if (const auto unknown =
-          args.unknown_keys({"out", "engine", "parallel", "deadline-ms"});
+  if (const auto unknown = args.unknown_keys(
+          {"out", "engine", "parallel", "deadline-ms", "metrics"});
       !unknown.empty()) {
     std::cerr << "unknown option: --" << unknown.front() << '\n';
     return usage();

@@ -12,7 +12,7 @@
 //   GEN g 10000 60000       CLUSTER g sync        MEMBER g 17
 //   LOAD g path.txt         CLUSTER g deadline_ms=50
 //   TOPK g 5                SUMMARY g             STATS
-//   WAIT <job>  CANCEL <job>  DROP g  QUIT
+//   METRICS [prom|json]     WAIT <job>  CANCEL <job>  DROP g  QUIT
 
 #include <iostream>
 #include <string>
@@ -40,15 +40,20 @@ int main(int argc, char** argv) {
   }
 
   serve::SessionConfig config;
-  config.scheduler.workers = static_cast<int>(args.int_or("workers", 2));
-  config.registry.memory_budget_bytes =
-      static_cast<std::size_t>(args.int_or("budget-mb", 512)) << 20;
-  config.cluster_threads =
-      static_cast<int>(args.int_or("cluster-threads", 0));
-  config.scheduler.interactive_capacity =
-      static_cast<std::size_t>(args.int_or("interactive-cap", 64));
-  config.scheduler.batch_capacity =
-      static_cast<std::size_t>(args.int_or("batch-cap", 8));
+  try {
+    config.scheduler.workers = static_cast<int>(args.int_or("workers", 2));
+    config.registry.memory_budget_bytes =
+        static_cast<std::size_t>(args.int_or("budget-mb", 512)) << 20;
+    config.cluster_threads =
+        static_cast<int>(args.int_or("cluster-threads", 0));
+    config.scheduler.interactive_capacity =
+        static_cast<std::size_t>(args.int_or("interactive-cap", 64));
+    config.scheduler.batch_capacity =
+        static_cast<std::size_t>(args.int_or("batch-cap", 8));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
   const bool echo = args.flag("echo");
 
   serve::ServeSession session(config);

@@ -16,6 +16,7 @@
 #include "asamap/core/louvain.hpp"
 #include "asamap/gen/lfr.hpp"
 #include "asamap/metrics/partition.hpp"
+#include "asamap/support/argparse.hpp"
 #include "asamap/support/timer.hpp"
 
 using namespace asamap;
@@ -29,8 +30,18 @@ metrics::Partition to_metrics(const std::vector<graph::VertexId>& p) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const graph::VertexId n =
-      argc > 1 ? static_cast<graph::VertexId>(std::stoul(argv[1])) : 4000;
+  // Strict whole-token parse: `social_network 4000x` used to abort with an
+  // uncaught std::invalid_argument from std::stoul.
+  graph::VertexId n = 4000;
+  if (argc > 1) {
+    long long parsed = 0;
+    if (!support::ArgParser::parse_int(argv[1], parsed) || parsed <= 0) {
+      std::cerr << "usage: social_network [n]\n"
+                   "  n: positive vertex count (got '" << argv[1] << "')\n";
+      return 2;
+    }
+    n = static_cast<graph::VertexId>(parsed);
+  }
 
   benchutil::banner(std::cout,
                     "Infomap vs Louvain on the LFR benchmark (n = " +

@@ -25,6 +25,7 @@
 #include "asamap/core/hierarchy.hpp"
 #include "asamap/core/kernel.hpp"
 #include "asamap/core/map_equation.hpp"
+#include "asamap/obs/trace.hpp"
 #include "asamap/support/check.hpp"
 #include "asamap/support/timer.hpp"
 
@@ -49,6 +50,12 @@ struct InfomapOptions {
   /// consistent (if unconverged) assignment — moves apply atomically at
   /// sweep granularity.
   const std::atomic<bool>* cancel = nullptr;
+  /// When non-null, kernel-phase spans and run-level counters are published
+  /// into this registry (under `asamap_kernel_seconds{kernel="..."}` etc.)
+  /// in addition to the per-run InfomapResult fields.  The registry must
+  /// outlive the run; recording is lock-cheap and safe to scrape
+  /// concurrently from another thread.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// One FindBestCommunity iteration's record (a row of Tables III/IV).
@@ -104,6 +111,29 @@ inline const std::string kFindBestCommunity = "FindBestCommunity";
 inline const std::string kConvert2SuperNode = "Convert2SuperNode";
 inline const std::string kUpdateMembers = "UpdateMembers";
 }  // namespace kernels
+
+/// Publishes one finished run's summary counters and gauges into `reg`
+/// (no-op when null).  Shared by every driver so serial, parallel, and
+/// simulated runs report under the same names; kernel-phase histograms are
+/// recorded live by obs::KernelSpan, not here.
+inline void publish_run_metrics(const InfomapResult& result,
+                                obs::MetricRegistry* reg) {
+  if (reg == nullptr) return;
+  reg->counter("asamap_runs_total").inc();
+  if (result.interrupted) reg->counter("asamap_runs_interrupted_total").inc();
+  std::uint64_t moves = 0;
+  std::uint64_t sweeps = 0;
+  for (const SweepTrace& st : result.trace) {
+    moves += st.moves;
+    ++sweeps;
+  }
+  reg->counter("asamap_run_moves_total").inc(moves);
+  reg->counter("asamap_run_sweeps_total").inc(sweeps);
+  reg->gauge("asamap_run_levels").set(static_cast<double>(result.levels));
+  reg->gauge("asamap_run_communities")
+      .set(static_cast<double>(result.num_communities));
+  reg->gauge("asamap_run_codelength_bits").set(result.codelength);
+}
 
 /// Renumbers community ids to 0..k-1 in first-appearance order; returns k.
 inline std::size_t compact_communities(Partition& p) {
@@ -162,7 +192,8 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
   // network that gets contracted level by level.
   FlowNetwork original;
   {
-    support::ScopedPhase phase(result.kernel_wall, kernels::kPageRank);
+    obs::KernelSpan span(result.kernel_wall, kernels::kPageRank,
+                         opts.metrics);
     original = build_flow(g, opts.flow);
   }
   FlowNetwork fn = original;
@@ -218,8 +249,8 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
 
       std::uint64_t moves = 0;
       {
-        support::ScopedPhase phase(result.kernel_wall,
-                                   kernels::kFindBestCommunity);
+        obs::KernelSpan span(result.kernel_wall, kernels::kFindBestCommunity,
+                             opts.metrics);
         // Interleaved windows across workers.
         bool any_left = true;
         std::vector<VertexId> cursor(range_begin);
@@ -281,7 +312,8 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
 
     // UpdateMembers kernel: propagate to original vertices.
     {
-      support::ScopedPhase phase(result.kernel_wall, kernels::kUpdateMembers);
+      obs::KernelSpan span(result.kernel_wall, kernels::kUpdateMembers,
+                           opts.metrics);
       for (VertexId v = 0; v < g.num_vertices(); ++v) {
         node_of_orig[v] = assignment[node_of_orig[v]];
       }
@@ -296,8 +328,8 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
 
     // Convert2SuperNode kernel.
     {
-      support::ScopedPhase phase(result.kernel_wall,
-                                 kernels::kConvert2SuperNode);
+      obs::KernelSpan span(result.kernel_wall, kernels::kConvert2SuperNode,
+                           opts.metrics);
       fn = contract_network(fn, assignment, k);
     }
   }
@@ -318,8 +350,8 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
     // supernode into a suboptimal module.  Greedy moves only ever improve.
     if (opts.refine_sweeps > 0 && result.levels > 1 &&
         result.num_communities > 1 && !result.interrupted) {
-      support::ScopedPhase phase(result.kernel_wall,
-                                 kernels::kFindBestCommunity);
+      obs::KernelSpan span(result.kernel_wall, kernels::kFindBestCommunity,
+                           opts.metrics);
       const LevelAddresses addrs =
           LevelAddresses::for_network(original, level_addrs);
       std::uint64_t refine_moves = 0;
@@ -355,6 +387,7 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
       }
     }
   }
+  publish_run_metrics(result, opts.metrics);
   return result;
 }
 

@@ -36,10 +36,12 @@ struct ParallelWorkspace {
   std::vector<MoveProposal> proposals;     ///< phase-1 output per vertex
   std::vector<std::uint64_t> stamp;        ///< epoch of last neighborhood change
 
-  // Per-thread state.
+  // Per-thread state, shard-per-thread with a post-region fold
+  // (obs::PerThread replaces the hand-rolled CacheAligned vectors plus
+  // ad-hoc merge loops this driver used to carry).
   std::vector<support::CacheAligned<hashdb::FlatAccumulator>> accs;
-  std::vector<support::CacheAligned<KernelBreakdown>> breakdowns;
-  std::vector<support::CacheAligned<double>> propose_seconds;
+  obs::PerThread<KernelBreakdown> breakdowns;
+  obs::PerThread<double> propose_seconds;
 
   hashdb::FlatAccumulator apply_acc;  ///< serial verify/apply phase
 
@@ -51,8 +53,8 @@ struct ParallelWorkspace {
         proposals(n),
         stamp(n, 0),
         accs(static_cast<std::size_t>(num_threads)),
-        breakdowns(static_cast<std::size_t>(num_threads)),
-        propose_seconds(static_cast<std::size_t>(num_threads)) {}
+        breakdowns(num_threads),
+        propose_seconds(num_threads) {}
 
   /// Re-arms the first n entries for a fresh level or refinement pass.
   void reset(VertexId n) {
@@ -100,7 +102,7 @@ std::uint64_t parallel_sweeps(ModuleState& state, const FlowNetwork& fn,
     support::tsan_acquire(&ws);
     const int tid = omp_get_thread_num();
     hashdb::FlatAccumulator& acc = *ws.accs[tid];
-    KernelBreakdown& bd = *ws.breakdowns[tid];
+    KernelBreakdown& bd = ws.breakdowns.local(tid);
 
     for (int sweep = 0; sweep < max_sweeps; ++sweep) {
       if (done) break;  // uniform: read after the end-of-sweep barrier
@@ -120,7 +122,7 @@ std::uint64_t parallel_sweeps(ModuleState& state, const FlowNetwork& fn,
           ws.flagged[v] = 1;
         }
       }
-      *ws.propose_seconds[tid] = propose_wall.seconds();
+      ws.propose_seconds.local(tid) = propose_wall.seconds();
       support::omp_barrier_sync(&ws);  // phase-1 writes -> phase-2 reads
 
 #pragma omp single nowait
@@ -175,9 +177,8 @@ std::uint64_t parallel_sweeps(ModuleState& state, const FlowNetwork& fn,
           st.codelength = state.codelength();
           st.wall_seconds = sweep_wall.seconds();
           double worst = 0.0;
-          for (int t = 0; t < ws.threads; ++t) {
-            worst = std::max(worst, *ws.propose_seconds[t]);
-          }
+          ws.propose_seconds.fold(
+              worst, [](double& w, double s) { w = std::max(w, s); });
           st.sim_seconds = worst;
           result.trace.push_back(st);
         }
@@ -247,7 +248,8 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
   InfomapResult result;
   FlowNetwork original;
   {
-    support::ScopedPhase phase(result.kernel_wall, kernels::kPageRank);
+    obs::KernelSpan span(result.kernel_wall, kernels::kPageRank,
+                         opts.metrics);
     original = build_flow(g, opts.flow);
   }
   FlowNetwork fn = original;
@@ -271,8 +273,8 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
     const VertexId n = fn.num_nodes();
 
     {
-      support::ScopedPhase phase(result.kernel_wall,
-                                 kernels::kFindBestCommunity);
+      obs::KernelSpan span(result.kernel_wall, kernels::kFindBestCommunity,
+                           opts.metrics);
       parallel_sweeps(state, fn, opts, opts.max_sweeps_per_level, level,
                       addrs, costs, ws, result, /*record_trace=*/true);
     }
@@ -292,7 +294,8 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
     const std::size_t k = next_id;
 
     {
-      support::ScopedPhase phase(result.kernel_wall, kernels::kUpdateMembers);
+      obs::KernelSpan span(result.kernel_wall, kernels::kUpdateMembers,
+                           opts.metrics);
       const auto nv = static_cast<std::int64_t>(g.num_vertices());
       support::tsan_release(&node_of_orig);
 #pragma omp parallel num_threads(num_threads)
@@ -313,8 +316,8 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
     if (result.interrupted) break;
 
     {
-      support::ScopedPhase phase(result.kernel_wall,
-                                 kernels::kConvert2SuperNode);
+      obs::KernelSpan span(result.kernel_wall, kernels::kConvert2SuperNode,
+                           opts.metrics);
       fn = contract_network_parallel(fn, assignment, k, num_threads);
     }
   }
@@ -333,8 +336,8 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
     // rationale and the hierarchy re-basing rule.
     if (opts.refine_sweeps > 0 && result.levels > 1 &&
         result.num_communities > 1 && !result.interrupted) {
-      support::ScopedPhase phase(result.kernel_wall,
-                                 kernels::kFindBestCommunity);
+      obs::KernelSpan span(result.kernel_wall, kernels::kFindBestCommunity,
+                           opts.metrics);
       const LevelAddresses addrs =
           LevelAddresses::for_network(original, addrs_space);
       const std::uint64_t refine_moves = parallel_sweeps(
@@ -353,7 +356,11 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
 
   // Fold the per-thread proposal-phase breakdowns into the result (the
   // serial verify/apply phase charged result.breakdown directly).
-  for (const auto& bd : ws.breakdowns) result.breakdown += *bd;
+  ws.breakdowns.fold(result.breakdown,
+                     [](KernelBreakdown& into, const KernelBreakdown& bd) {
+                       into += bd;
+                     });
+  publish_run_metrics(result, opts.metrics);
   return result;
 }
 

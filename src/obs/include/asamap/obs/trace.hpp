@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file trace.hpp
+/// Phase-scoped tracing spans for the four HyPC-Map kernels, plus the
+/// per-thread fold helper that replaces hand-rolled per-thread breakdown
+/// aggregation in the parallel driver.
+///
+/// A KernelSpan times one kernel-phase execution and charges the elapsed
+/// wall time to BOTH sinks: the run-local support::PhaseTimer (the Fig. 2
+/// per-kernel breakdown that InfomapResult carries) and, when a registry is
+/// attached, the process-level `asamap_kernel_seconds{kernel="..."}`
+/// histogram.  One measurement, two views — the registry can never drift
+/// from the result struct.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asamap/obs/metrics.hpp"
+#include "asamap/support/parallel.hpp"
+#include "asamap/support/timer.hpp"
+
+namespace asamap::obs {
+
+/// Histogram of kernel-phase span durations; one label set per kernel.
+inline constexpr std::string_view kKernelSpanMetric = "asamap_kernel_seconds";
+
+/// The label body a kernel span records under: `kernel="PageRank"`.
+[[nodiscard]] inline std::string kernel_label(std::string_view kernel) {
+  std::string out = "kernel=\"";
+  out += kernel;
+  out += '"';
+  return out;
+}
+
+/// RAII span over one kernel-phase execution.  Registry may be null (plain
+/// PhaseTimer behaviour, zero extra cost on the uninstrumented path).
+class KernelSpan {
+ public:
+  KernelSpan(support::PhaseTimer& timer, const std::string& kernel,
+             MetricRegistry* registry = nullptr)
+      : timer_(timer), kernel_(kernel), registry_(registry) {}
+
+  KernelSpan(const KernelSpan&) = delete;
+  KernelSpan& operator=(const KernelSpan&) = delete;
+
+  ~KernelSpan() {
+    const double s = watch_.seconds();
+    timer_.add(kernel_, s);
+    if (registry_ != nullptr) {
+      registry_->histogram(kKernelSpanMetric, kernel_label(kernel_))
+          .record_seconds(s);
+    }
+  }
+
+ private:
+  support::PhaseTimer& timer_;
+  std::string kernel_;
+  MetricRegistry* registry_;
+  support::WallTimer watch_;
+};
+
+/// Fixed-size per-thread value shards, cache-line padded so each thread's
+/// hot updates stay on its own line, with a fold step that merges them
+/// after the parallel region.  This is the common shape behind the parallel
+/// driver's per-thread KernelBreakdown and proposal-phase timings (which
+/// each used to hand-roll a vector<CacheAligned<T>> plus an ad-hoc merge
+/// loop).
+template <typename T>
+class PerThread {
+ public:
+  explicit PerThread(int threads)
+      : slots_(static_cast<std::size_t>(threads)) {}
+
+  [[nodiscard]] int threads() const noexcept {
+    return static_cast<int>(slots_.size());
+  }
+
+  [[nodiscard]] T& local(int tid) noexcept {
+    return *slots_[static_cast<std::size_t>(tid)];
+  }
+  [[nodiscard]] const T& local(int tid) const noexcept {
+    return *slots_[static_cast<std::size_t>(tid)];
+  }
+
+  /// Merges every shard into `into` via `f(into, shard)`, in thread order.
+  /// Call only outside the parallel region that writes the shards.
+  template <typename Into, typename Fold>
+  void fold(Into& into, Fold&& f) const {
+    for (const auto& slot : slots_) f(into, *slot);
+  }
+
+ private:
+  std::vector<support::CacheAligned<T>> slots_;
+};
+
+}  // namespace asamap::obs

@@ -1,0 +1,262 @@
+#include "asamap/obs/metrics.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "asamap/support/check.hpp"
+
+namespace asamap::obs {
+namespace {
+
+std::string make_key(std::string_view name, std::string_view labels) {
+  std::string key;
+  key.reserve(name.size() + labels.size() + 2);
+  key += name;
+  if (!labels.empty()) {
+    key += '{';
+    key += labels;
+    key += '}';
+  }
+  return key;
+}
+
+std::string escape_json(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// `name{labels,extra}` with braces elided when there is nothing to wrap.
+std::string prom_series(const std::string& name, const std::string& labels,
+                        std::string_view extra = {}) {
+  if (labels.empty() && extra.empty()) return name;
+  std::string out = name;
+  out += '{';
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+MetricRegistry::Entry& MetricRegistry::find_or_create(MetricKind kind,
+                                                      std::string_view name,
+                                                      std::string_view labels) {
+  const std::string key = make_key(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    Entry& e = *entries_[it->second];
+    ASAMAP_CHECK(e.kind == kind, "metric '" + key + "' already registered as " +
+                                     std::string(to_string(e.kind)));
+    return e;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->name = std::string(name);
+  entry->labels = std::string(labels);
+  switch (kind) {
+    case MetricKind::kCounter: entry->c = std::make_unique<Counter>(); break;
+    case MetricKind::kGauge: entry->g = std::make_unique<Gauge>(); break;
+    case MetricKind::kHistogram:
+      entry->h = std::make_unique<Histogram>();
+      break;
+  }
+  index_[key] = entries_.size();
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+const MetricRegistry::Entry* MetricRegistry::find(
+    std::string_view name, std::string_view labels) const {
+  const std::string key = make_key(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : entries_[it->second].get();
+}
+
+Counter& MetricRegistry::counter(std::string_view name,
+                                 std::string_view labels) {
+  return *find_or_create(MetricKind::kCounter, name, labels).c;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name, std::string_view labels) {
+  return *find_or_create(MetricKind::kGauge, name, labels).g;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name,
+                                     std::string_view labels) {
+  return *find_or_create(MetricKind::kHistogram, name, labels).h;
+}
+
+std::vector<MetricSample> MetricRegistry::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricSample s;
+    s.kind = e->kind;
+    s.name = e->name;
+    s.labels = e->labels;
+    switch (e->kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(e->c->value());
+        break;
+      case MetricKind::kGauge: s.value = e->g->value(); break;
+      case MetricKind::kHistogram: s.hist = e->h->merged(); break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricRegistry::write_prometheus(std::ostream& os) const {
+  const auto all = samples();
+  // Exposition format requires all samples of a metric name to sit
+  // contiguously under one `# TYPE` line, so group by name (names ordered
+  // by first registration, label sets in registration order within one).
+  std::vector<std::string> name_order;
+  std::unordered_map<std::string, std::vector<const MetricSample*>> by_name;
+  for (const auto& s : all) {
+    auto& group = by_name[s.name];
+    if (group.empty()) name_order.push_back(s.name);
+    group.push_back(&s);
+  }
+  for (const auto& name : name_order) {
+    const auto& group = by_name[name];
+    os << "# TYPE " << name << ' ' << to_string(group.front()->kind) << '\n';
+    for (const MetricSample* sp : group) write_prometheus_sample(os, *sp);
+  }
+}
+
+void MetricRegistry::write_prometheus_sample(std::ostream& os,
+                                             const MetricSample& s) {
+  switch (s.kind) {
+    case MetricKind::kCounter:
+      os << prom_series(s.name, s.labels) << ' '
+         << static_cast<std::uint64_t>(s.value) << '\n';
+      break;
+    case MetricKind::kGauge:
+      os << prom_series(s.name, s.labels) << ' ' << fmt_double(s.value)
+         << '\n';
+      break;
+    case MetricKind::kHistogram: {
+      for (const double q : {0.5, 0.9, 0.99}) {
+        os << prom_series(s.name, s.labels,
+                          "quantile=\"" + fmt_double(q) + "\"")
+           << ' ' << fmt_double(s.hist.quantile_seconds(q)) << '\n';
+      }
+      os << prom_series(s.name + "_sum", s.labels) << ' '
+         << fmt_double(s.hist.total_seconds()) << '\n';
+      os << prom_series(s.name + "_count", s.labels) << ' ' << s.hist.count()
+         << '\n';
+      break;
+    }
+  }
+}
+
+void MetricRegistry::write_json(std::ostream& os, const char* indent) const {
+  const auto all = samples();
+  if (all.empty()) {
+    os << "{}";
+    return;
+  }
+  os << "{\n";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const auto& s = all[i];
+    os << indent << "  \"" << escape_json(prom_series(s.name, s.labels))
+       << "\": ";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        os << static_cast<std::uint64_t>(s.value);
+        break;
+      case MetricKind::kGauge: os << fmt_double(s.value); break;
+      case MetricKind::kHistogram:
+        os << "{\"count\": " << s.hist.count()
+           << ", \"sum\": " << fmt_double(s.hist.total_seconds())
+           << ", \"mean\": " << fmt_double(s.hist.mean_seconds())
+           << ", \"min\": " << fmt_double(s.hist.min_seconds())
+           << ", \"max\": " << fmt_double(s.hist.max_seconds())
+           << ", \"p50\": " << fmt_double(s.hist.quantile_seconds(0.5))
+           << ", \"p90\": " << fmt_double(s.hist.quantile_seconds(0.9))
+           << ", \"p99\": " << fmt_double(s.hist.quantile_seconds(0.99))
+           << '}';
+        break;
+    }
+    os << (i + 1 < all.size() ? ",\n" : "\n");
+  }
+  os << indent << '}';
+}
+
+std::uint64_t MetricRegistry::counter_total(std::string_view name,
+                                            std::string_view labels) const {
+  const Entry* e = find(name, labels);
+  return e != nullptr && e->kind == MetricKind::kCounter ? e->c->value() : 0;
+}
+
+double MetricRegistry::gauge_value(std::string_view name,
+                                   std::string_view labels) const {
+  const Entry* e = find(name, labels);
+  return e != nullptr && e->kind == MetricKind::kGauge ? e->g->value() : 0.0;
+}
+
+std::uint64_t MetricRegistry::counter_sum(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t sum = 0;
+  for (const auto& e : entries_) {
+    if (e->kind == MetricKind::kCounter && e->name == name) {
+      sum += e->c->value();
+    }
+  }
+  return sum;
+}
+
+support::LatencyHistogram MetricRegistry::histogram_merged(
+    std::string_view name, std::string_view labels) const {
+  const Entry* e = find(name, labels);
+  return e != nullptr && e->kind == MetricKind::kHistogram
+             ? e->h->merged()
+             : support::LatencyHistogram{};
+}
+
+support::LatencyHistogram MetricRegistry::histogram_merged_all(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  support::LatencyHistogram out;
+  for (const auto& e : entries_) {
+    if (e->kind == MetricKind::kHistogram && e->name == name) {
+      out.merge(e->h->merged());
+    }
+  }
+  return out;
+}
+
+double MetricRegistry::histogram_total_seconds(std::string_view name,
+                                               std::string_view labels) const {
+  return histogram_merged(name, labels).total_seconds();
+}
+
+}  // namespace asamap::obs

@@ -8,7 +8,19 @@
 
 namespace asamap::serve {
 
-GraphRegistry::GraphRegistry(const RegistryConfig& config) : config_(config) {}
+GraphRegistry::GraphRegistry(const RegistryConfig& config) : config_(config) {
+  if (obs::MetricRegistry* reg = config_.metrics) {
+    m_.ingested = &reg->counter("asamap_registry_ingested_total");
+    m_.dedup_hits = &reg->counter("asamap_registry_dedup_hits_total");
+    m_.evictions = &reg->counter("asamap_registry_evictions_total");
+    m_.lookup_hits =
+        &reg->counter("asamap_registry_lookups_total", "outcome=\"hit\"");
+    m_.lookup_misses =
+        &reg->counter("asamap_registry_lookups_total", "outcome=\"miss\"");
+    m_.graphs = &reg->gauge("asamap_registry_graphs");
+    m_.resident_bytes = &reg->gauge("asamap_registry_resident_bytes");
+  }
+}
 
 std::size_t GraphRegistry::approx_bytes(const graph::CsrGraph& g) noexcept {
   // CSR stores out+in arcs, two offset arrays, and two weight sums.
@@ -56,6 +68,7 @@ ServeStatus GraphRegistry::put_text(const std::string& name,
         it != by_fingerprint_.end()) {
       if (GraphPtr existing = it->second.lock()) {
         ++counters_.dedup_hits;
+        if (m_.dedup_hits != nullptr) m_.dedup_hits->inc();
         return insert_locked(name, std::move(existing), fp,
                              /*counted=*/false);
       }
@@ -118,6 +131,7 @@ ServeStatus GraphRegistry::put_graph(const std::string& name,
         it != by_fingerprint_.end()) {
       if (GraphPtr existing = it->second.lock()) {
         ++counters_.dedup_hits;
+        if (m_.dedup_hits != nullptr) m_.dedup_hits->inc();
         return insert_locked(name, std::move(existing), fingerprint,
                              /*counted=*/false);
       }
@@ -142,8 +156,19 @@ ServeStatus GraphRegistry::insert_locked(const std::string& name,
   resident_bytes_ += entry.bytes;
   entries_[name] = std::move(entry);
   ++counters_.ingested;
+  if (m_.ingested != nullptr) m_.ingested->inc();
   evict_to_budget_locked(name);
+  sync_gauges_locked();
   return ServeStatus::success();
+}
+
+void GraphRegistry::sync_gauges_locked() {
+  if (m_.graphs != nullptr) {
+    m_.graphs->set(static_cast<double>(entries_.size()));
+  }
+  if (m_.resident_bytes != nullptr) {
+    m_.resident_bytes->set(static_cast<double>(resident_bytes_));
+  }
 }
 
 void GraphRegistry::erase_locked(const std::string& name) {
@@ -164,6 +189,7 @@ void GraphRegistry::evict_to_budget_locked(const std::string& keep) {
     }
     erase_locked(*victim);
     ++counters_.evictions;
+    if (m_.evictions != nullptr) m_.evictions->inc();
   }
 }
 
@@ -172,9 +198,11 @@ GraphRegistry::GraphPtr GraphRegistry::get(const std::string& name) {
   const auto it = entries_.find(name);
   if (it == entries_.end()) {
     ++counters_.misses;
+    if (m_.lookup_misses != nullptr) m_.lookup_misses->inc();
     return nullptr;
   }
   ++counters_.hits;
+  if (m_.lookup_hits != nullptr) m_.lookup_hits->inc();
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // bump to front
   return it->second.graph;
 }
@@ -183,6 +211,7 @@ bool GraphRegistry::erase(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!entries_.contains(name)) return false;
   erase_locked(name);
+  sync_gauges_locked();
   return true;
 }
 

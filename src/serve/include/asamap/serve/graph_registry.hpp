@@ -20,6 +20,7 @@
 
 #include "asamap/graph/csr_graph.hpp"
 #include "asamap/graph/io.hpp"
+#include "asamap/obs/metrics.hpp"
 #include "asamap/serve/status.hpp"
 
 namespace asamap::serve {
@@ -31,6 +32,10 @@ struct RegistryConfig {
   /// Upper bound on vertex ids accepted from text uploads — one malicious
   /// line `0 4000000000` would otherwise demand billions of CSR slots.
   graph::VertexId max_vertex_id = (graph::VertexId{1} << 28) - 1;
+  /// When non-null, the registry publishes ingest/dedup/eviction/lookup
+  /// counters and residency gauges under `asamap_registry_*`; the metric
+  /// registry must outlive this one.  stats() is unaffected.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 struct RegistryStats {
@@ -88,12 +93,26 @@ class GraphRegistry {
     std::list<std::string>::iterator lru_it;
   };
 
+  /// Construction-time handles into the attached metric registry; all null
+  /// when RegistryConfig::metrics is null.
+  struct MetricHandles {
+    obs::Counter* ingested = nullptr;
+    obs::Counter* dedup_hits = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* lookup_hits = nullptr;
+    obs::Counter* lookup_misses = nullptr;
+    obs::Gauge* graphs = nullptr;
+    obs::Gauge* resident_bytes = nullptr;
+  };
+
   ServeStatus insert_locked(const std::string& name, GraphPtr graph,
                             std::uint64_t fingerprint, bool counted);
   void erase_locked(const std::string& name);
   void evict_to_budget_locked(const std::string& keep);
+  void sync_gauges_locked();
 
   RegistryConfig config_;
+  MetricHandles m_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;
   /// Fingerprint -> graph, for dedup.  Weak so an evicted graph does not

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "asamap/obs/metrics.hpp"
 #include "asamap/serve/status.hpp"
 #include "asamap/support/bounded_queue.hpp"
 
@@ -83,6 +84,10 @@ struct SchedulerConfig {
   /// Terminal job records kept for state()/wait() lookups; oldest are
   /// forgotten beyond this.
   std::size_t completed_history = 4096;
+  /// When non-null, the scheduler publishes its lifecycle under
+  /// `asamap_jobs_*` / `asamap_job_run_seconds` (see DESIGN.md §4d); the
+  /// registry must outlive the scheduler.  stats() is unaffected.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 struct SchedulerStats {
@@ -147,14 +152,33 @@ class JobScheduler {
   };
   using JobPtr = std::shared_ptr<Job>;
 
+  /// Registry handles, resolved once at construction so the hot path never
+  /// touches the registry's name index.  All null when no registry is
+  /// attached (every use is `if (m_.x) m_.x->...`).
+  struct MetricHandles {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* rejected_interactive = nullptr;
+    obs::Counter* rejected_batch = nullptr;
+    obs::Counter* finished_done = nullptr;
+    obs::Counter* finished_failed = nullptr;
+    obs::Counter* finished_cancelled = nullptr;
+    obs::Counter* finished_expired = nullptr;
+    obs::Gauge* queued_interactive = nullptr;
+    obs::Gauge* queued_batch = nullptr;
+    obs::Gauge* running = nullptr;
+    obs::Histogram* run_seconds = nullptr;
+  };
+
   void worker_loop();
   void reaper_loop();
   void finish_locked(const JobPtr& job, JobState terminal);
+  void sync_queue_gauges_locked();
   [[nodiscard]] static bool is_terminal(JobState s) noexcept {
     return s != JobState::kQueued && s != JobState::kRunning;
   }
 
   SchedulerConfig config_;
+  MetricHandles m_;
   support::BoundedQueue<JobPtr> interactive_;
   support::BoundedQueue<JobPtr> batch_;
 

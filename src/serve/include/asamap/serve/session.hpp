@@ -20,15 +20,23 @@
 ///   TOPK <name> <k>                      top-k communities by flow
 ///   SUMMARY <name>                       codelength/modularity summary
 ///   STATS                                registry + scheduler counters
+///   METRICS [prom|json]                  scrape the session metric registry
 ///   QUIT                                 acknowledged; driver exits
+///
+/// METRICS is the one multi-line response: an `OK format=...` line followed
+/// by the Prometheus text exposition (default) or a bench-envelope JSON
+/// object — it is the scrape endpoint, not an interactive query.
 
 #include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <vector>
 
 #include "asamap/core/infomap.hpp"
+#include "asamap/obs/metrics.hpp"
 #include "asamap/serve/graph_registry.hpp"
 #include "asamap/serve/job_scheduler.hpp"
 #include "asamap/serve/partition_store.hpp"
@@ -82,16 +90,42 @@ class ServeSession {
   PartitionStore& store() noexcept { return store_; }
   JobScheduler& scheduler() noexcept { return scheduler_; }
 
+  /// The session-wide metric registry: every subsystem (graph registry,
+  /// scheduler, clustering jobs, the protocol handler itself) publishes
+  /// here.  Safe to scrape from any thread while requests are in flight.
+  obs::MetricRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
   // --- line protocol ------------------------------------------------------
 
-  /// Executes one protocol line, returning the single response line
-  /// (without trailing newline).  Never throws.
+  /// Executes one protocol line, returning the response (without trailing
+  /// newline; multi-line only for METRICS).  Never throws.
   std::string handle_line(std::string_view line);
 
  private:
+  /// Per-verb handles, pre-registered at construction so the request path
+  /// never allocates label strings.
+  struct VerbMetrics {
+    obs::Counter* requests = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+
+  std::string handle_line_impl(std::string_view verb,
+                               const std::vector<std::string_view>& tokens);
+  [[nodiscard]] std::string render_metrics_prometheus() const;
+  [[nodiscard]] std::string render_metrics_json() const;
+
+  /// First member: destroyed last, after the scheduler has joined its
+  /// workers — jobs record into this registry until they finish.
+  obs::MetricRegistry metrics_;
   SessionConfig config_;
   GraphRegistry registry_;
   PartitionStore store_;
+  std::unordered_map<std::string_view, VerbMetrics> verb_metrics_;
+  VerbMetrics other_verb_metrics_;
+  obs::Counter* errors_total_ = nullptr;
   /// Last member: destroyed first, so worker threads join before the
   /// registry/store they reference go away.
   JobScheduler scheduler_;

@@ -4,6 +4,8 @@
 #include <exception>
 #include <utility>
 
+#include "asamap/support/timer.hpp"
+
 namespace asamap::serve {
 
 JobScheduler::JobScheduler(const SchedulerConfig& config)
@@ -11,6 +13,26 @@ JobScheduler::JobScheduler(const SchedulerConfig& config)
       interactive_(config.interactive_capacity),
       batch_(config.batch_capacity) {
   config_.workers = std::max(1, config_.workers);
+  if (obs::MetricRegistry* reg = config_.metrics) {
+    m_.submitted = &reg->counter("asamap_jobs_submitted_total");
+    m_.rejected_interactive =
+        &reg->counter("asamap_jobs_rejected_total", "lane=\"interactive\"");
+    m_.rejected_batch =
+        &reg->counter("asamap_jobs_rejected_total", "lane=\"batch\"");
+    m_.finished_done =
+        &reg->counter("asamap_jobs_finished_total", "state=\"done\"");
+    m_.finished_failed =
+        &reg->counter("asamap_jobs_finished_total", "state=\"failed\"");
+    m_.finished_cancelled =
+        &reg->counter("asamap_jobs_finished_total", "state=\"cancelled\"");
+    m_.finished_expired =
+        &reg->counter("asamap_jobs_finished_total", "state=\"expired\"");
+    m_.queued_interactive =
+        &reg->gauge("asamap_jobs_queued", "lane=\"interactive\"");
+    m_.queued_batch = &reg->gauge("asamap_jobs_queued", "lane=\"batch\"");
+    m_.running = &reg->gauge("asamap_jobs_running");
+    m_.run_seconds = &reg->histogram("asamap_job_run_seconds");
+  }
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -32,14 +54,19 @@ SubmitResult JobScheduler::submit(JobFn fn, JobPriority priority,
   // miss a concurrent push (lock order mu_ -> queue mutex, matching
   // stats()).
   std::lock_guard<std::mutex> lock(mu_);
+  obs::Counter* rejected_metric = priority == JobPriority::kInteractive
+                                      ? m_.rejected_interactive
+                                      : m_.rejected_batch;
   if (stopping_) {
     ++counters_.rejected;
+    if (rejected_metric != nullptr) rejected_metric->inc();
     return {0, ServeStatus::error(ServeCode::kShutdown,
                                   "scheduler is shutting down")};
   }
   auto& lane = priority == JobPriority::kInteractive ? interactive_ : batch_;
   if (!lane.try_push(job)) {
     ++counters_.rejected;
+    if (rejected_metric != nullptr) rejected_metric->inc();
     const char* lane_name =
         priority == JobPriority::kInteractive ? "interactive" : "batch";
     return {0, ServeStatus::error(
@@ -50,6 +77,8 @@ SubmitResult JobScheduler::submit(JobFn fn, JobPriority priority,
   job->id = next_id_++;
   jobs_[job->id] = job;
   ++counters_.submitted;
+  if (m_.submitted != nullptr) m_.submitted->inc();
+  sync_queue_gauges_locked();
   cv_work_.notify_one();
   return {job->id, ServeStatus::success()};
 }
@@ -91,15 +120,38 @@ SchedulerStats JobScheduler::stats() const {
   return s;
 }
 
+void JobScheduler::sync_queue_gauges_locked() {
+  if (m_.queued_interactive != nullptr) {
+    m_.queued_interactive->set(static_cast<double>(interactive_.size()));
+  }
+  if (m_.queued_batch != nullptr) {
+    m_.queued_batch->set(static_cast<double>(batch_.size()));
+  }
+}
+
 void JobScheduler::finish_locked(const JobPtr& job, JobState terminal) {
   job->state = terminal;
+  obs::Counter* finished_metric = nullptr;
   switch (terminal) {
-    case JobState::kDone: ++counters_.completed; break;
-    case JobState::kFailed: ++counters_.failed; break;
-    case JobState::kCancelled: ++counters_.cancelled; break;
-    case JobState::kExpired: ++counters_.expired; break;
+    case JobState::kDone:
+      ++counters_.completed;
+      finished_metric = m_.finished_done;
+      break;
+    case JobState::kFailed:
+      ++counters_.failed;
+      finished_metric = m_.finished_failed;
+      break;
+    case JobState::kCancelled:
+      ++counters_.cancelled;
+      finished_metric = m_.finished_cancelled;
+      break;
+    case JobState::kExpired:
+      ++counters_.expired;
+      finished_metric = m_.finished_expired;
+      break;
     default: break;
   }
+  if (finished_metric != nullptr) finished_metric->inc();
   terminal_order_.push_back(job->id);
   while (terminal_order_.size() > config_.completed_history) {
     const auto victim = jobs_.find(terminal_order_.front());
@@ -126,6 +178,7 @@ void JobScheduler::worker_loop() {
         continue;  // another worker won the race
       }
       job = std::move(*popped);
+      sync_queue_gauges_locked();
       if (is_terminal(job->state)) continue;  // cancelled/expired in queue
       if (Clock::now() >= job->deadline) {
         finish_locked(job, JobState::kExpired);
@@ -137,18 +190,28 @@ void JobScheduler::worker_loop() {
       }
       job->state = JobState::kRunning;
       ++counters_.running;
+      if (m_.running != nullptr) {
+        m_.running->set(static_cast<double>(counters_.running));
+      }
     }
 
     JobState terminal = JobState::kDone;
+    support::WallTimer run_wall;
     try {
       JobContext ctx{job->id, &job->stop};
       job->fn(ctx);
     } catch (...) {
       terminal = JobState::kFailed;
     }
+    if (m_.run_seconds != nullptr) {
+      m_.run_seconds->record_seconds(run_wall.seconds());
+    }
 
     std::lock_guard<std::mutex> lock(mu_);
     --counters_.running;
+    if (m_.running != nullptr) {
+      m_.running->set(static_cast<double>(counters_.running));
+    }
     if (terminal != JobState::kFailed &&
         job->stop.load(std::memory_order_relaxed)) {
       terminal = job->pending_stop_state;  // kCancelled or kExpired

@@ -2,15 +2,30 @@
 
 #include <charconv>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "asamap/benchutil/json_env.hpp"
 #include "asamap/gen/generators.hpp"
 #include "asamap/support/hash.hpp"
+#include "asamap/support/timer.hpp"
 
 namespace asamap::serve {
 namespace {
+
+/// Every protocol verb, for pre-registered per-verb metric handles.  The
+/// array provides stable storage for the string_view map keys; anything not
+/// listed here is counted under verb="other".
+constexpr std::string_view kVerbs[] = {"GEN",    "LOAD",    "DROP",  "CLUSTER",
+                                       "WAIT",   "CANCEL",  "MEMBER", "SAME",
+                                       "TOPK",   "SUMMARY", "STATS",  "METRICS",
+                                       "QUIT"};
+
+std::string verb_label(std::string_view verb) {
+  return "verb=\"" + std::string(verb) + "\"";
+}
 
 std::vector<std::string_view> tokenize(std::string_view line) {
   std::vector<std::string_view> tokens;
@@ -50,13 +65,35 @@ std::string err(const ServeStatus& status) {
   return err(status.code, status.message);
 }
 
+/// The session's config copy with every subsystem pointed at the session
+/// metric registry — the one place the pointers are threaded through, so a
+/// caller-supplied SessionConfig cannot accidentally split the registry.
+SessionConfig with_metrics(SessionConfig c, obs::MetricRegistry* reg) {
+  c.registry.metrics = reg;
+  c.scheduler.metrics = reg;
+  c.infomap.metrics = reg;  // clustering jobs record kernel spans here
+  return c;
+}
+
 }  // namespace
 
 ServeSession::ServeSession(const SessionConfig& config)
-    : config_(config),
-      registry_(config.registry),
+    : config_(with_metrics(config, &metrics_)),
+      registry_(config_.registry),
       store_(),
-      scheduler_(config.scheduler) {}
+      scheduler_(config_.scheduler) {
+  for (const std::string_view verb : kVerbs) {
+    const std::string label = verb_label(verb);
+    verb_metrics_[verb] = {
+        &metrics_.counter("asamap_serve_requests_total", label),
+        &metrics_.histogram("asamap_serve_request_seconds", label)};
+  }
+  const std::string other = verb_label("other");
+  other_verb_metrics_ = {
+      &metrics_.counter("asamap_serve_requests_total", other),
+      &metrics_.histogram("asamap_serve_request_seconds", other)};
+  errors_total_ = &metrics_.counter("asamap_serve_errors_total");
+}
 
 ServeSession::~ServeSession() { scheduler_.shutdown(); }
 
@@ -131,9 +168,22 @@ PartitionStore::SnapshotPtr ServeSession::snapshot(const std::string& name) {
 }
 
 std::string ServeSession::handle_line(std::string_view line) {
+  support::WallTimer wall;
   const auto tokens = tokenize(line);
+  const std::string_view verb = tokens.empty() ? std::string_view{} : tokens[0];
+  std::string response = handle_line_impl(verb, tokens);
+  const auto it = verb_metrics_.find(verb);
+  const VerbMetrics& vm =
+      it == verb_metrics_.end() ? other_verb_metrics_ : it->second;
+  vm.requests->inc();
+  vm.latency->record_seconds(wall.seconds());
+  if (response.rfind("ERR", 0) == 0) errors_total_->inc();
+  return response;
+}
+
+std::string ServeSession::handle_line_impl(
+    std::string_view verb, const std::vector<std::string_view>& tokens) {
   if (tokens.empty()) return err(ServeCode::kInvalidArgument, "empty request");
-  const std::string_view verb = tokens[0];
 
   const auto need_snapshot =
       [&](const std::string& name,
@@ -369,10 +419,45 @@ std::string ServeSession::handle_line(std::string_view line) {
            " running=" + std::to_string(sch.running);
   }
 
+  if (verb == "METRICS") {
+    if (tokens.size() > 2) {
+      return err(ServeCode::kInvalidArgument, "usage: METRICS [prom|json]");
+    }
+    const std::string_view format = tokens.size() == 2 ? tokens[1] : "prom";
+    if (format == "prom" || format == "prometheus") {
+      return render_metrics_prometheus();
+    }
+    if (format == "json") return render_metrics_json();
+    return err(ServeCode::kInvalidArgument,
+               "METRICS: unknown format '" + std::string(format) +
+                   "' (want prom or json)");
+  }
+
   if (verb == "QUIT") return "OK bye";
 
   return err(ServeCode::kInvalidArgument,
              "unknown command '" + std::string(verb) + "'");
+}
+
+std::string ServeSession::render_metrics_prometheus() const {
+  std::ostringstream out;
+  out << "OK format=prometheus\n";
+  metrics_.write_prometheus(out);
+  std::string s = out.str();
+  if (!s.empty() && s.back() == '\n') s.pop_back();  // driver adds the newline
+  return s;
+}
+
+std::string ServeSession::render_metrics_json() const {
+  std::ostringstream out;
+  out << "OK format=json\n";
+  out << "{\n";
+  benchutil::write_envelope_fields(
+      out, benchutil::make_envelope("serve_metrics"), "  ");
+  out << "  \"metrics\": ";
+  metrics_.write_json(out, "  ");
+  out << "\n}";
+  return out.str();
 }
 
 }  // namespace asamap::serve

@@ -10,9 +10,12 @@
 /// foo.txt` is ambiguous between a flag followed by a positional and an
 /// option consuming a value.
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <initializer_list>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -71,15 +74,68 @@ class ArgParser {
     return v ? *v : std::move(fallback);
   }
 
+  /// Strict integer parse: the whole token must be a base-10 integer in
+  /// long long range.  Returns false for empty input, leading whitespace,
+  /// trailing junk ("12abc"), and overflow.
+  [[nodiscard]] static bool parse_int(const std::string& text,
+                                      long long& out) {
+    if (text.empty() ||
+        std::isspace(static_cast<unsigned char>(text.front()))) {
+      return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size() ||
+        end == text.c_str()) {
+      return false;
+    }
+    out = v;
+    return true;
+  }
+
+  /// Strict floating-point parse with the same whole-token rules.
+  [[nodiscard]] static bool parse_double(const std::string& text,
+                                         double& out) {
+    if (text.empty() ||
+        std::isspace(static_cast<unsigned char>(text.front()))) {
+      return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (errno == ERANGE || end != text.c_str() + text.size() ||
+        end == text.c_str()) {
+      return false;
+    }
+    out = v;
+    return true;
+  }
+
+  /// Throws std::invalid_argument on malformed values instead of silently
+  /// reading them as 0 (the old strtoll(..., nullptr, 10) behaviour, which
+  /// turned `--deadline-ms=1s` into an immediate deadline).
   [[nodiscard]] long long int_or(std::string_view key,
                                  long long fallback) const {
     const auto v = get(key);
-    return v ? std::strtoll(v->c_str(), nullptr, 10) : fallback;
+    if (!v) return fallback;
+    long long out = 0;
+    if (!parse_int(*v, out)) {
+      throw std::invalid_argument("--" + std::string(key) +
+                                  ": expected an integer, got '" + *v + "'");
+    }
+    return out;
   }
 
   [[nodiscard]] double double_or(std::string_view key, double fallback) const {
     const auto v = get(key);
-    return v ? std::strtod(v->c_str(), nullptr) : fallback;
+    if (!v) return fallback;
+    double out = 0.0;
+    if (!parse_double(*v, out)) {
+      throw std::invalid_argument("--" + std::string(key) +
+                                  ": expected a number, got '" + *v + "'");
+    }
+    return out;
   }
 
   /// Option keys present on the command line but in neither the declared

@@ -29,8 +29,11 @@ class LatencyHistogram {
   }
 
   void record_seconds(double seconds) {
-    record_ns(seconds <= 0.0 ? 0
-                             : static_cast<std::uint64_t>(seconds * 1e9));
+    // Round to the nearest ns: truncation biased every sample low by up to
+    // 1ns, which shows up at the bottom of the range (0.9999ns -> bucket 0).
+    record_ns(seconds <= 0.0
+                  ? 0
+                  : static_cast<std::uint64_t>(seconds * 1e9 + 0.5));
   }
 
   void merge(const LatencyHistogram& other) {
@@ -53,24 +56,29 @@ class LatencyHistogram {
     return static_cast<double>(max_ns_) * 1e-9;
   }
 
-  /// Value at quantile q in [0, 1] (q=0.5 -> p50).  Returns the midpoint of
-  /// the bucket holding the rank, clamped to the observed min/max so p0/p100
-  /// are exact.
+  /// Value at quantile q in [0, 1] (q=0.5 -> p50), interpolated by rank
+  /// within the bucket holding that rank: the bucket's m samples are treated
+  /// as spread evenly across its value range, so the j-th of them sits at
+  /// lo + (j + 0.5)/m * width.  Clamped to the observed min/max so p0/p100
+  /// are exact and a single-sample distribution reports the sample itself.
   [[nodiscard]] double quantile_seconds(double q) const noexcept {
     if (count_ == 0) return 0.0;
     if (q <= 0.0) return min_seconds();
     if (q >= 1.0) return max_seconds();
-    const auto rank = static_cast<std::uint64_t>(
-        q * static_cast<double>(count_ - 1));
-    std::uint64_t seen = 0;
+    const double target = q * static_cast<double>(count_ - 1);
+    double seen = 0.0;
     for (int b = 0; b < kBuckets; ++b) {
-      seen += counts_[b];
-      if (seen > rank) {
-        const double mid = bucket_mid_ns(b);
+      if (counts_[b] == 0) continue;
+      const double m = static_cast<double>(counts_[b]);
+      if (seen + m > target) {
+        const double in_bucket = target - seen;  // in [0, m)
+        const double v = bucket_lo_ns(b) +
+                         (in_bucket + 0.5) / m * bucket_width_ns(b);
         const double lo = static_cast<double>(min_ns_);
         const double hi = static_cast<double>(max_ns_);
-        return std::fmin(std::fmax(mid, lo), hi) * 1e-9;
+        return std::fmin(std::fmax(v, lo), hi) * 1e-9;
       }
+      seen += m;
     }
     return max_seconds();  // unreachable when counts are consistent
   }
@@ -85,14 +93,19 @@ class LatencyHistogram {
     return (exp - 1) * kSubBuckets + sub;
   }
 
-  /// Midpoint of bucket b's value range, in ns.
-  static double bucket_mid_ns(int b) noexcept {
+  /// Lower edge of bucket b's value range, in ns.
+  static double bucket_lo_ns(int b) noexcept {
     if (b < kSubBuckets) return static_cast<double>(b);
     const int exp = b / kSubBuckets + 1;
     const int sub = b % kSubBuckets;
-    const double lo = std::ldexp(static_cast<double>(4 + sub), exp - 2);
-    const double width = std::ldexp(1.0, exp - 2);
-    return lo + width / 2.0;
+    return std::ldexp(static_cast<double>(kSubBuckets + sub), exp - 2);
+  }
+
+  /// Width of bucket b's value range, in ns (exact buckets below
+  /// kSubBuckets have width 1).
+  static double bucket_width_ns(int b) noexcept {
+    if (b < kSubBuckets) return 1.0;
+    return std::ldexp(1.0, b / kSubBuckets - 1);
   }
 
   std::array<std::uint64_t, kBuckets> counts_{};

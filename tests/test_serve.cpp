@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "asamap/gen/generators.hpp"
+#include "asamap/obs/metrics.hpp"
 #include "asamap/serve/graph_registry.hpp"
 #include "asamap/serve/job_scheduler.hpp"
 #include "asamap/serve/partition_store.hpp"
@@ -433,6 +434,105 @@ TEST(ServeStress, ReadersSeeOnlyConsistentSnapshotsDuringSwaps) {
   const auto snap = session.snapshot("g");
   ASSERT_NE(snap, nullptr);
   EXPECT_EQ(snap->version, static_cast<std::uint64_t>(kSwaps) + 1);
+}
+
+// --- METRICS verb / observability --------------------------------------
+
+TEST(ServeSession, MetricsVerbRendersBothFormatsFromOneRegistry) {
+  ServeSession session(test_config());
+  ASSERT_EQ(session.handle_line("GEN g 500 2000 7").substr(0, 2), "OK");
+  ASSERT_EQ(session.handle_line("CLUSTER g sync").substr(0, 2), "OK");
+
+  const std::string prom = session.handle_line("METRICS");
+  ASSERT_EQ(prom.substr(0, 21), "OK format=prometheus\n");
+  EXPECT_NE(prom.find("# TYPE asamap_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("asamap_serve_requests_total{verb=\"GEN\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("asamap_kernel_seconds"), std::string::npos);
+  EXPECT_NE(prom.find("asamap_jobs_submitted_total 1"), std::string::npos);
+  EXPECT_NE(prom.find("asamap_runs_total 1"), std::string::npos);
+  EXPECT_NE(prom.find("asamap_registry_graphs 1"), std::string::npos);
+
+  const std::string json = session.handle_line("METRICS json");
+  ASSERT_EQ(json.substr(0, 15), "OK format=json\n");
+  EXPECT_EQ(json[15], '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"metrics\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"asamap_runs_total\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"git_rev\""), std::string::npos);
+
+  // Same registry backs the typed accessor, the scrape verbs, and (by
+  // construction) asamap_cli --metrics — one source of truth.
+  EXPECT_EQ(session.metrics().counter_total("asamap_serve_requests_total",
+                                            "verb=\"GEN\""),
+            1u);
+  EXPECT_EQ(session.handle_line("METRICS yaml").substr(0, 3), "ERR");
+}
+
+TEST(ServeSession, MetricsCountRequestsLatenciesAndErrors) {
+  ServeSession session(test_config());
+  ASSERT_EQ(session.handle_line("GEN g 400 1600 9").substr(0, 2), "OK");
+  EXPECT_EQ(session.handle_line("MEMBER g 0").substr(0, 2), "ER");  // no snap
+  EXPECT_EQ(session.handle_line("NOPE").substr(0, 3), "ERR");
+
+  const obs::MetricRegistry& reg = session.metrics();
+  EXPECT_EQ(reg.counter_total("asamap_serve_requests_total", "verb=\"GEN\""),
+            1u);
+  EXPECT_EQ(
+      reg.counter_total("asamap_serve_requests_total", "verb=\"MEMBER\""),
+      1u);
+  EXPECT_EQ(reg.counter_total("asamap_serve_requests_total",
+                              "verb=\"other\""),
+            1u);  // unknown verbs pool under "other"
+  EXPECT_EQ(reg.counter_total("asamap_serve_errors_total"), 2u);
+  // Every request also recorded a latency sample under its verb.
+  EXPECT_EQ(reg.histogram_merged_all("asamap_serve_request_seconds").count(),
+            reg.counter_sum("asamap_serve_requests_total"));
+}
+
+// Scraping METRICS from several threads while clustering jobs run and
+// publish must be clean: the registry is recorded into by scheduler
+// workers (kernel spans, job timings) while scrapers merge and render it.
+// This is the TSAN target for scrape-while-record across real subsystems.
+TEST(ServeStress, ConcurrentMetricsScrapeWhileClustering) {
+  constexpr int kScrapers = 3;
+  ServeSession session(test_config());
+  ASSERT_TRUE(session.gen_chung_lu("g", 300, 1200, 7).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> scrapers;
+  scrapers.reserve(kScrapers);
+  for (int t = 0; t < kScrapers; ++t) {
+    scrapers.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string resp =
+            session.handle_line(t % 2 == 0 ? "METRICS" : "METRICS json");
+        if (resp.rfind("OK format=", 0) != 0) {
+          ++failures;
+          return;
+        }
+        // Typed scrape helpers race the same shards as the renderers.
+        (void)session.metrics().histogram_merged_all(
+            "asamap_kernel_seconds");
+        (void)session.metrics().counter_sum("asamap_serve_requests_total");
+      }
+    });
+  }
+
+  for (int i = 0; i < 6; ++i) {
+    const auto job = session.submit_recluster("g");
+    ASSERT_TRUE(job.accepted());
+    ASSERT_EQ(session.scheduler().wait(job.id), JobState::kDone);
+  }
+  stop = true;
+  for (auto& s : scrapers) s.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(session.metrics().counter_total("asamap_runs_total"), 6u);
+  EXPECT_EQ(session.metrics().counter_total("asamap_jobs_finished_total",
+                                            "state=\"done\""),
+            6u);
 }
 
 // Destroying the session while clustering jobs are queued and running must

@@ -301,6 +301,55 @@ TEST(LatencyHistogram, EmptyIsAllZero) {
   EXPECT_DOUBLE_EQ(h.mean_seconds(), 0.0);
 }
 
+// Golden values for the rank-interpolated quantile.  A degenerate
+// distribution (every sample identical) must report the sample exactly at
+// every quantile — the old bucket-midpoint rule reported 104ns for three
+// 100ns samples.
+TEST(LatencyHistogram, GoldenIdenticalSamplesReportThemselves) {
+  LatencyHistogram h;
+  for (int i = 0; i < 3; ++i) h.record_ns(100);
+  for (double q : {0.0, 0.01, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile_seconds(q) * 1e9, 100.0) << "q=" << q;
+  }
+}
+
+// Uniform ramp 1..10000ns: rank interpolation lands p50 on 5001ns exactly
+// (the 5000.5-th order statistic, one bucket-width interpolation step past
+// the bucket floor at 4096), and clamping pins p99 to the observed max
+// because the tail bucket [8192, 10240) extends past it.
+TEST(LatencyHistogram, GoldenUniformRampQuantiles) {
+  LatencyHistogram h;
+  for (std::uint64_t ns = 1; ns <= 10000; ++ns) h.record_ns(ns);
+  EXPECT_NEAR(h.quantile_seconds(0.5) * 1e9, 5001.0, 1e-6);
+  EXPECT_NEAR(h.quantile_seconds(0.9) * 1e9, 9107.43, 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.99) * 1e9, 10000.0);
+}
+
+// Widely separated epochs: the median of {3, 500, 5000, 70000} ns has
+// target rank 1.5, which interpolates half-way INTO the 500ns sample's
+// bucket [448, 512) — landing on its upper edge, not the 480ns midpoint.
+TEST(LatencyHistogram, GoldenSparseEpochsMedian) {
+  LatencyHistogram h;
+  for (std::uint64_t ns : {3ULL, 500ULL, 5000ULL, 70000ULL}) h.record_ns(ns);
+  EXPECT_NEAR(h.quantile_seconds(0.5) * 1e9, 512.0, 1e-6);
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.0) * 1e9, 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(1.0) * 1e9, 70000.0);
+}
+
+TEST(LatencyHistogram, RecordSecondsRoundsToNearestNs) {
+  // Truncation used to bias every sample low by up to 1ns; 2.6ns must
+  // record as 3, not 2.
+  LatencyHistogram up;
+  up.record_seconds(2.6e-9);
+  EXPECT_DOUBLE_EQ(up.min_seconds() * 1e9, 3.0);
+  LatencyHistogram down;
+  down.record_seconds(2.4e-9);
+  EXPECT_DOUBLE_EQ(down.min_seconds() * 1e9, 2.0);
+  LatencyHistogram zero;
+  zero.record_seconds(-1.0);  // negative durations clamp to 0, not wrap
+  EXPECT_DOUBLE_EQ(zero.max_seconds(), 0.0);
+}
+
 TEST(ArgParser, ParsesBothOptionSpellings) {
   const char* argv[] = {"prog", "cmd",   "input.txt",      "--engine=flat",
                         "--parallel", "4", "--directed"};
@@ -320,6 +369,55 @@ TEST(ArgParser, ReportsUnknownAndValuelessOptions) {
   ArgParser args(3, const_cast<char**>(argv), 1, {});
   const auto unknown = args.unknown_keys({});
   ASSERT_EQ(unknown.size(), 2u);  // --mystery unknown, --tail got no value
+}
+
+TEST(ArgParser, ParseIntAcceptsWholeTokensOnly) {
+  long long v = -1;
+  EXPECT_TRUE(ArgParser::parse_int("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ArgParser::parse_int("-7", v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ArgParser::parse_int("", v));
+  EXPECT_FALSE(ArgParser::parse_int(" 12", v));
+  EXPECT_FALSE(ArgParser::parse_int("12 ", v));
+  EXPECT_FALSE(ArgParser::parse_int("12abc", v));
+  EXPECT_FALSE(ArgParser::parse_int("1s", v));
+  EXPECT_FALSE(ArgParser::parse_int("abc", v));
+  EXPECT_FALSE(ArgParser::parse_int("99999999999999999999999", v));  // range
+}
+
+TEST(ArgParser, ParseDoubleAcceptsWholeTokensOnly) {
+  double v = -1.0;
+  EXPECT_TRUE(ArgParser::parse_double("2.5", v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(ArgParser::parse_double("1e3", v));
+  EXPECT_DOUBLE_EQ(v, 1000.0);
+  EXPECT_FALSE(ArgParser::parse_double("", v));
+  EXPECT_FALSE(ArgParser::parse_double("2.5x", v));
+  EXPECT_FALSE(ArgParser::parse_double("fast", v));
+  EXPECT_FALSE(ArgParser::parse_double(" 1.0", v));
+  EXPECT_FALSE(ArgParser::parse_double("1e999", v));  // overflow
+}
+
+TEST(ArgParser, MalformedValuesThrowInsteadOfReadingZero) {
+  // The strtoll(..., nullptr, 10) bug this guards against: "1s" silently
+  // parsed as 1, "abc" as 0 — turning `--deadline-ms=1s` into a no-op or
+  // an immediate deadline.
+  const char* argv[] = {"prog", "--deadline-ms=1s", "--rate=fast"};
+  ArgParser args(3, const_cast<char**>(argv), 1, {});
+  EXPECT_THROW((void)args.int_or("deadline-ms", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.double_or("rate", 0.0), std::invalid_argument);
+  try {
+    (void)args.int_or("deadline-ms", 0);
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--deadline-ms"), std::string::npos);
+    EXPECT_NE(what.find("1s"), std::string::npos);
+  }
+  // Absent keys still fall back without throwing.
+  EXPECT_EQ(args.int_or("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(args.double_or("missing", 0.5), 0.5);
 }
 
 }  // namespace
