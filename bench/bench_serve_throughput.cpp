@@ -8,9 +8,18 @@
 // Mix (per client, closed loop — next request only after the response):
 //   70% MEMBER   15% SAME   8% TOPK   5% SUMMARY   2% CLUSTER (async batch)
 //
+// With --faults <plan> a second phase runs the same workload against a
+// FRESH session armed with the fault plan (builds configured with
+// -DASAMAP_FAULT_INJECTION=ON): the chaos variant.  It reports
+// interactive-lane goodput (the fraction of reads + interactive reclusters
+// answered OK, counting STALE degradations as good — the client got an
+// answer), injected-fault/retry/stale/breaker counters, and appends a
+// "chaos" section to the JSON artifact.
+//
 //   bench_serve_throughput [--seconds S] [--clients N] [--workers N]
 //                          [--n N] [--edges M] [--seed S] [--batch-cap N]
-//                          [--cluster-threads N] [--out file.json]
+//                          [--cluster-threads N] [--faults plan.txt]
+//                          [--out file.json]
 
 #include <atomic>
 #include <chrono>
@@ -22,6 +31,7 @@
 
 #include "asamap/benchutil/json_env.hpp"
 #include "asamap/benchutil/table.hpp"
+#include "asamap/fault/fault.hpp"
 #include "asamap/obs/metrics.hpp"
 #include "asamap/serve/session.hpp"
 #include "asamap/support/argparse.hpp"
@@ -36,19 +46,46 @@ namespace {
 
 constexpr const char* kGraph = "bench";
 
-/// Fires the mixed workload until `stop`.  No private bookkeeping: request
-/// counts, per-verb latency, rejections, and protocol errors all come from
-/// the session's metric registry — the same numbers a METRICS scrape
-/// reports, so the bench measures exactly what production observability
-/// would show.
+/// Client-side goodput ledger.  The metric registry counts errors, but
+/// goodput needs OK-vs-ERR per lane *as the client saw it* — including
+/// `OK STALE` degradations, which are answers, not failures.
+struct ClientTotals {
+  std::uint64_t reads = 0;
+  std::uint64_t reads_ok = 0;
+  std::uint64_t interactive = 0;  ///< CLUSTER priority=interactive
+  std::uint64_t interactive_ok = 0;
+  std::uint64_t batch = 0;  ///< CLUSTER priority=batch
+  std::uint64_t batch_ok = 0;
+
+  ClientTotals& operator+=(const ClientTotals& o) {
+    reads += o.reads;
+    reads_ok += o.reads_ok;
+    interactive += o.interactive;
+    interactive_ok += o.interactive_ok;
+    batch += o.batch;
+    batch_ok += o.batch_ok;
+    return *this;
+  }
+  [[nodiscard]] double interactive_goodput() const {
+    const std::uint64_t total = reads + interactive;
+    const std::uint64_t good = reads_ok + interactive_ok;
+    return total == 0 ? 1.0
+                      : static_cast<double>(good) / static_cast<double>(total);
+  }
+};
+
+/// Fires the mixed workload until `stop`.  Latency/per-verb counters come
+/// from the session's metric registry — the same numbers a METRICS scrape
+/// reports — while OK/ERR per lane is tallied client-side for goodput.
 void client_loop(serve::ServeSession& session, graph::VertexId n,
-                 std::uint64_t seed, const std::atomic<bool>& stop) {
+                 std::uint64_t seed, const std::atomic<bool>& stop,
+                 ClientTotals& totals) {
   support::Xoshiro256 rng(seed);
   const std::string name = kGraph;
   while (!stop.load(std::memory_order_relaxed)) {
     const std::uint64_t roll = rng.next_below(100);
     std::string req;
-    bool is_recluster = false;
+    enum { kRead, kInteractive, kBatch } lane = kRead;
     if (roll < 70) {
       req = "MEMBER " + name + " " + std::to_string(rng.next_below(n));
     } else if (roll < 85) {
@@ -61,20 +98,75 @@ void client_loop(serve::ServeSession& session, graph::VertexId n,
     } else {
       // Mixed lanes: mostly batch refreshes, occasionally an interactive
       // re-cluster that should jump the batch backlog.
-      req = "CLUSTER " + name + (rng.next_below(4) == 0
-                                    ? " priority=interactive"
-                                    : " priority=batch");
-      is_recluster = true;
+      const bool interactive = rng.next_below(4) == 0;
+      req = "CLUSTER " + name +
+            (interactive ? " priority=interactive" : " priority=batch");
+      lane = interactive ? kInteractive : kBatch;
     }
 
-    (void)session.handle_line(req);
-    if (is_recluster) {
+    const std::string resp = session.handle_line(req);
+    const bool ok = resp.rfind("OK", 0) == 0;  // includes OK STALE
+    switch (lane) {
+      case kRead:
+        ++totals.reads;
+        totals.reads_ok += ok ? 1 : 0;
+        break;
+      case kInteractive:
+        ++totals.interactive;
+        totals.interactive_ok += ok ? 1 : 0;
+        break;
+      case kBatch:
+        ++totals.batch;
+        totals.batch_ok += ok ? 1 : 0;
+        break;
+    }
+    if (lane != kRead) {
       // Think time after a submission: a client that just asked for a
       // refresh does not immediately ask again, so the rejection rate
       // measures queue depth against service rate, not a tight spin.
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
   }
+}
+
+/// Generates the bench graph and publishes a warm snapshot.
+bool warm_up(serve::ServeSession& session, graph::VertexId n,
+             std::uint64_t edges, std::uint64_t seed) {
+  const auto status = session.gen_chung_lu(kGraph, n, edges, seed);
+  if (!status.ok()) {
+    std::cerr << "graph generation failed: " << status.message << '\n';
+    return false;
+  }
+  const auto first = session.submit_recluster(kGraph);
+  if (!first.accepted() ||
+      session.scheduler().wait(first.id) != serve::JobState::kDone) {
+    std::cerr << "initial clustering failed\n";
+    return false;
+  }
+  return true;
+}
+
+/// Runs one closed-loop measurement window; returns elapsed seconds.
+double run_window(serve::ServeSession& session, int clients,
+                  graph::VertexId n, std::uint64_t seed, double seconds,
+                  ClientTotals& totals) {
+  std::atomic<bool> stop{false};
+  std::vector<ClientTotals> per_client(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  support::WallTimer wall;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      client_loop(session, n, seed ^ (0x9e3779b9ULL * (c + 1)), stop,
+                  per_client[static_cast<std::size_t>(c)]);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  const double elapsed = wall.seconds();
+  for (const auto& c : per_client) totals += c;
+  return elapsed;
 }
 
 }  // namespace
@@ -85,12 +177,13 @@ int main(int argc, char** argv) try {
     std::cout << "usage: bench_serve_throughput [--seconds S] [--clients N] "
                  "[--workers N] [--n N]\n"
                  "        [--edges M] [--seed S] [--batch-cap N] "
-                 "[--cluster-threads N] [--out f.json]\n";
+                 "[--cluster-threads N]\n"
+                 "        [--faults plan.txt] [--out f.json]\n";
     return 0;
   }
-  if (const auto unknown =
-          args.unknown_keys({"seconds", "clients", "workers", "n", "edges",
-                             "seed", "batch-cap", "cluster-threads", "out"});
+  if (const auto unknown = args.unknown_keys(
+          {"seconds", "clients", "workers", "n", "edges", "seed", "batch-cap",
+           "cluster-threads", "faults", "out"});
       !unknown.empty()) {
     std::cerr << "unknown argument: --" << unknown.front() << '\n';
     return 2;
@@ -102,6 +195,7 @@ int main(int argc, char** argv) try {
   const auto n = static_cast<graph::VertexId>(args.int_or("n", 20000));
   const auto edges = static_cast<std::uint64_t>(args.int_or("edges", 120000));
   const auto seed = static_cast<std::uint64_t>(args.int_or("seed", 42));
+  const std::string faults_path = args.get_or("faults", "");
   const std::string out_path = args.get_or("out", "BENCH_serve.json");
 
   serve::SessionConfig config;
@@ -120,35 +214,13 @@ int main(int argc, char** argv) try {
             << " window=" << seconds << "s graph: chung_lu n=" << n
             << " edges=" << edges << " seed=" << seed << "\n\n";
 
+  // ---- phase 1: baseline (no injection) --------------------------------
   serve::ServeSession session(config);
-  {
-    const auto status = session.gen_chung_lu(kGraph, n, edges, seed);
-    if (!status.ok()) {
-      std::cerr << "graph generation failed: " << status.message << '\n';
-      return 1;
-    }
-    // Warm snapshot so reads have something to answer from.
-    const auto first = session.submit_recluster(kGraph);
-    if (!first.accepted() ||
-        session.scheduler().wait(first.id) != serve::JobState::kDone) {
-      std::cerr << "initial clustering failed\n";
-      return 1;
-    }
-  }
+  if (!warm_up(session, n, edges, seed)) return 1;
 
-  std::atomic<bool> stop{false};
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(clients));
-  support::WallTimer wall;
-  for (int c = 0; c < clients; ++c) {
-    threads.emplace_back([&, c] {
-      client_loop(session, n, seed ^ (0x9e3779b9ULL * (c + 1)), stop);
-    });
-  }
-  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-  stop.store(true, std::memory_order_relaxed);
-  for (auto& t : threads) t.join();
-  const double elapsed = wall.seconds();
+  ClientTotals totals;
+  const double elapsed =
+      run_window(session, clients, n, seed, seconds, totals);
 
   // Everything below is read from the session's metric registry — the same
   // source a METRICS scrape renders.  The warm-up GEN/CLUSTER above went
@@ -190,11 +262,102 @@ int main(int argc, char** argv) try {
   t.add_row({"recluster submits", std::to_string(reclusters)});
   t.add_row({"queue rejections", std::to_string(rejected)});
   t.add_row({"rejection rate", fmt(reject_rate, 3)});
+  t.add_row({"stale serves",
+             std::to_string(reg.counter_total("asamap_stale_serves_total"))});
   t.add_row({"partitions published", std::to_string(sched.completed)});
   t.add_row({"final partition version",
              std::to_string(snap ? snap->version : 0)});
   t.add_row({"protocol errors", std::to_string(errors)});
   t.print(std::cout);
+
+  // ---- phase 2: chaos (optional) ---------------------------------------
+  // A fresh session with the same config, armed with the fault plan AFTER
+  // warm-up (so the bench graph ingests cleanly), plus a burst of small
+  // text uploads to exercise the ingest.parse retry path.
+  struct ChaosReport {
+    bool ran = false;
+    double elapsed = 0;
+    std::uint64_t requests = 0;
+    double rps = 0;
+    ClientTotals totals;
+    std::uint64_t injected = 0;
+    std::uint64_t retries_ingest = 0;
+    std::uint64_t retries_dispatch = 0;
+    std::uint64_t stale = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t rejected = 0;
+    double p50 = 0, p95 = 0, p99 = 0;
+    std::uint64_t final_version = 0;
+  } chaos;
+
+  if (!faults_path.empty()) {
+    if (!fault::kFaultInjectionEnabled) {
+      std::cerr << "--faults wants a build configured with "
+                   "-DASAMAP_FAULT_INJECTION=ON\n";
+      return 2;
+    }
+    benchutil::banner(std::cout, "Chaos variant: same workload under faults");
+    serve::ServeSession chaos_session(config);
+    if (!warm_up(chaos_session, n, edges, seed)) return 1;
+    const std::string armed =
+        chaos_session.handle_line("FAULTS LOAD " + faults_path);
+    if (armed.rfind("OK", 0) != 0) {
+      std::cerr << "fault plan rejected: " << armed << '\n';
+      return 2;
+    }
+    std::cout << armed << "\n\n";
+    // Exercise ingest retries: small distinct uploads through put_text.
+    for (int i = 0; i < 10; ++i) {
+      const std::string text =
+          "0 " + std::to_string(i + 1) + "\n" + std::to_string(i + 1) + " " +
+          std::to_string(i + 2) + "\n";
+      (void)chaos_session.load_text("tiny" + std::to_string(i), text);
+    }
+
+    chaos.ran = true;
+    chaos.elapsed = run_window(chaos_session, clients, n, seed ^ 0xC4405ULL,
+                               seconds, chaos.totals);
+    const obs::MetricRegistry& creg = chaos_session.metrics();
+    chaos.requests = creg.counter_sum("asamap_serve_requests_total");
+    chaos.rps = static_cast<double>(chaos.requests) / chaos.elapsed;
+    chaos.injected = creg.counter_sum("asamap_faults_injected_total");
+    chaos.retries_ingest =
+        creg.counter_total("asamap_retries_total", "site=\"ingest.parse\"");
+    chaos.retries_dispatch = creg.counter_total("asamap_retries_total",
+                                                "site=\"scheduler.dispatch\"");
+    chaos.stale = creg.counter_total("asamap_stale_serves_total");
+    chaos.shed = creg.counter_sum("asamap_jobs_shed_total");
+    chaos.breaker_opens =
+        creg.counter_total("asamap_breaker_transitions_total", "to=\"open\"");
+    chaos.rejected = creg.counter_sum("asamap_jobs_rejected_total");
+    const auto chaos_latency =
+        creg.histogram_merged_all("asamap_serve_request_seconds");
+    chaos.p50 = chaos_latency.quantile_seconds(0.50);
+    chaos.p95 = chaos_latency.quantile_seconds(0.95);
+    chaos.p99 = chaos_latency.quantile_seconds(0.99);
+    const auto chaos_snap = chaos_session.snapshot(kGraph);
+    chaos.final_version = chaos_snap ? chaos_snap->version : 0;
+
+    benchutil::Table ct({"Metric", "Value"});
+    ct.add_row({"requests", std::to_string(chaos.requests)});
+    ct.add_row({"requests/sec", fmt(chaos.rps, 0)});
+    ct.add_row(
+        {"interactive goodput", fmt(chaos.totals.interactive_goodput(), 4)});
+    ct.add_row({"faults injected", std::to_string(chaos.injected)});
+    ct.add_row({"retries (ingest.parse)",
+                std::to_string(chaos.retries_ingest)});
+    ct.add_row({"retries (scheduler.dispatch)",
+                std::to_string(chaos.retries_dispatch)});
+    ct.add_row({"stale serves", std::to_string(chaos.stale)});
+    ct.add_row({"jobs shed", std::to_string(chaos.shed)});
+    ct.add_row({"breaker opens", std::to_string(chaos.breaker_opens)});
+    ct.add_row({"queue rejections", std::to_string(chaos.rejected)});
+    ct.add_row({"p99 latency (us)", fmt(chaos.p99 * 1e6, 1)});
+    ct.add_row({"final partition version",
+                std::to_string(chaos.final_version)});
+    ct.print(std::cout);
+  }
 
   std::ofstream js(out_path);
   js.precision(9);
@@ -216,13 +379,40 @@ int main(int argc, char** argv) try {
      << "  \"recluster_submits\": " << reclusters << ",\n"
      << "  \"queue_rejections\": " << rejected << ",\n"
      << "  \"rejection_rate\": " << reject_rate << ",\n"
+     << "  \"interactive_goodput\": " << totals.interactive_goodput() << ",\n"
      << "  \"protocol_errors\": " << errors << ",\n"
      << "  \"scheduler\": {\"submitted\": " << sched.submitted
      << ", \"completed\": " << sched.completed << ", \"cancelled\": "
      << sched.cancelled << ", \"expired\": " << sched.expired
      << ", \"failed\": " << sched.failed << "},\n"
      << "  \"final_partition_version\": " << (snap ? snap->version : 0)
-     << ",\n  \"metrics\": ";
+     << ",\n";
+  if (chaos.ran) {
+    js << "  \"chaos\": {\n"
+       << "    \"plan\": \"" << faults_path << "\",\n"
+       << "    \"requests\": " << chaos.requests << ",\n"
+       << "    \"requests_per_second\": " << chaos.rps << ",\n"
+       << "    \"interactive_goodput\": "
+       << chaos.totals.interactive_goodput() << ",\n"
+       << "    \"reads\": " << chaos.totals.reads << ",\n"
+       << "    \"reads_ok\": " << chaos.totals.reads_ok << ",\n"
+       << "    \"interactive_clusters\": " << chaos.totals.interactive
+       << ",\n"
+       << "    \"interactive_clusters_ok\": " << chaos.totals.interactive_ok
+       << ",\n"
+       << "    \"faults_injected\": " << chaos.injected << ",\n"
+       << "    \"retries\": {\"ingest_parse\": " << chaos.retries_ingest
+       << ", \"scheduler_dispatch\": " << chaos.retries_dispatch << "},\n"
+       << "    \"stale_serves\": " << chaos.stale << ",\n"
+       << "    \"jobs_shed\": " << chaos.shed << ",\n"
+       << "    \"breaker_opens\": " << chaos.breaker_opens << ",\n"
+       << "    \"queue_rejections\": " << chaos.rejected << ",\n"
+       << "    \"latency_seconds\": {\"p50\": " << chaos.p50
+       << ", \"p95\": " << chaos.p95 << ", \"p99\": " << chaos.p99 << "},\n"
+       << "    \"final_partition_version\": " << chaos.final_version << "\n"
+       << "  },\n";
+  }
+  js << "  \"metrics\": ";
   session.metrics().write_json(js, "  ");
   js << "\n}\n";
   std::cout << "\nWrote " << out_path << '\n';

@@ -6,13 +6,20 @@
 // script can document itself.
 //
 //   asamap_serve [--workers N] [--budget-mb MB] [--cluster-threads N]
-//                [--interactive-cap N] [--batch-cap N] [--echo]
+//                [--interactive-cap N] [--batch-cap N] [--faults plan.txt]
+//                [--echo]
+//
+// --faults arms a fault plan at startup (equivalent to a leading
+// `FAULTS LOAD <plan>` request; wants a build configured with
+// -DASAMAP_FAULT_INJECTION=ON) — the CI chaos job starts the server this
+// way so every scripted request runs under injected faults.
 //
 // Protocol summary (see serve/session.hpp for the full reference):
 //   GEN g 10000 60000       CLUSTER g sync        MEMBER g 17
 //   LOAD g path.txt         CLUSTER g deadline_ms=50
 //   TOPK g 5                SUMMARY g             STATS
-//   METRICS [prom|json]     WAIT <job>  CANCEL <job>  DROP g  QUIT
+//   METRICS [prom|json]     FAULTS LOAD p.txt|CLEAR|STATUS
+//   WAIT <job>  CANCEL <job>  DROP g  QUIT
 
 #include <iostream>
 #include <string>
@@ -28,12 +35,12 @@ int main(int argc, char** argv) {
     std::cout << "usage: asamap_serve [--workers N] [--budget-mb MB] "
                  "[--cluster-threads N]\n"
                  "                    [--interactive-cap N] [--batch-cap N] "
-                 "[--echo]\n";
+                 "[--faults plan.txt] [--echo]\n";
     return 0;
   }
   if (const auto unknown = args.unknown_keys(
           {"workers", "budget-mb", "cluster-threads", "interactive-cap",
-           "batch-cap"});
+           "batch-cap", "faults"});
       !unknown.empty()) {
     std::cerr << "unknown option: --" << unknown.front() << '\n';
     return 2;
@@ -57,6 +64,14 @@ int main(int argc, char** argv) {
   const bool echo = args.flag("echo");
 
   serve::ServeSession session(config);
+  if (const std::string plan = args.get_or("faults", ""); !plan.empty()) {
+    const std::string resp = session.handle_line("FAULTS LOAD " + plan);
+    if (resp.rfind("OK", 0) != 0) {
+      std::cerr << "--faults: " << resp << '\n';
+      return 2;
+    }
+    std::cerr << resp << '\n';  // arming note on stderr; stdout stays protocol
+  }
   std::string line;
   while (std::getline(std::cin, line)) {
     const auto start = line.find_first_not_of(" \t");

@@ -1,0 +1,310 @@
+#include "asamap/fault/fault.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "asamap/obs/metrics.hpp"
+#include "asamap/support/hash.hpp"
+#include "asamap/support/rng.hpp"
+
+namespace asamap::fault {
+
+namespace {
+
+constexpr std::array<const char*, kNumSites> kSiteNames = {
+    "ingest.parse", "scheduler.dispatch", "cluster.sweep", "registry.evict",
+    "session.io"};
+
+constexpr int site_index(Site site) noexcept { return static_cast<int>(site); }
+
+/// Uniform double in [0, 1) keyed on (seed, site, rule, hit) through
+/// SplitMix64.  Pure function — the determinism contract lives here.
+double keyed_unit(std::uint64_t seed, int site, std::size_t rule,
+                  std::uint64_t hit) noexcept {
+  support::SplitMix64 sm(seed ^ support::mix64(0xA5A5u + static_cast<std::uint64_t>(site)) ^
+                         support::mix64((rule + 1) * 0x9e3779b97f4a7c15ULL) ^
+                         support::mix64(hit));
+  return static_cast<double>(sm() >> 11) * 0x1.0p-53;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  out = v;
+  return true;
+}
+
+bool parse_double(std::string_view text, double& out) {
+  if (text.empty()) return false;
+  const std::string buf(text);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  out = v;
+  return true;
+}
+
+PlanParseError err_at(int line, std::string message) {
+  return PlanParseError{line, std::move(message)};
+}
+
+}  // namespace
+
+const char* to_string(Site site) noexcept {
+  const int i = site_index(site);
+  return (i >= 0 && i < kNumSites) ? kSiteNames[static_cast<std::size_t>(i)]
+                                   : "unknown";
+}
+
+std::optional<Site> site_from_string(std::string_view name) noexcept {
+  for (int i = 0; i < kNumSites; ++i) {
+    if (name == kSiteNames[static_cast<std::size_t>(i)]) {
+      return static_cast<Site>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+const char* to_string(Effect effect) noexcept {
+  switch (effect) {
+    case Effect::kNone: return "none";
+    case Effect::kError: return "error";
+    case Effect::kLatency: return "latency";
+    case Effect::kCancel: return "cancel";
+    case Effect::kPartialWrite: return "partial";
+  }
+  return "unknown";
+}
+
+std::optional<Effect> effect_from_string(std::string_view name) noexcept {
+  if (name == "error") return Effect::kError;
+  if (name == "latency") return Effect::kLatency;
+  if (name == "cancel") return Effect::kCancel;
+  if (name == "partial") return Effect::kPartialWrite;
+  return std::nullopt;
+}
+
+PlanParseResult parse_fault_plan(std::istream& in) {
+  PlanParseResult result;
+  std::string line;
+  int lineno = 0;
+  bool saw_seed = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word) || word[0] == '#') continue;
+
+    if (word == "seed") {
+      std::string value;
+      if (!(ls >> value) || !parse_u64(value, result.plan.seed)) {
+        result.error = err_at(lineno, "seed wants one unsigned integer");
+        return result;
+      }
+      saw_seed = true;
+      continue;
+    }
+
+    if (word != "site") {
+      result.error = err_at(lineno, "unknown directive '" + word +
+                                        "' (expected 'seed' or 'site')");
+      return result;
+    }
+
+    FaultRule rule;
+    std::string site_name;
+    std::string effect_name;
+    if (!(ls >> site_name >> effect_name)) {
+      result.error = err_at(lineno, "site wants: site <site> <effect> [k=v ...]");
+      return result;
+    }
+    const auto site = site_from_string(site_name);
+    if (!site) {
+      result.error = err_at(lineno, "unknown site '" + site_name + "'");
+      return result;
+    }
+    const auto effect = effect_from_string(effect_name);
+    if (!effect) {
+      result.error = err_at(lineno, "unknown effect '" + effect_name +
+                                        "' (error|latency|cancel|partial)");
+      return result;
+    }
+    rule.site = *site;
+    rule.effect = *effect;
+
+    std::uint64_t latency_ms = 0;
+    while (ls >> word) {
+      const auto eq = word.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == word.size()) {
+        result.error = err_at(lineno, "malformed option '" + word +
+                                          "' (expected key=value)");
+        return result;
+      }
+      const std::string_view key(word.data(), eq);
+      const std::string_view value(word.data() + eq + 1, word.size() - eq - 1);
+      bool ok = false;
+      if (key == "p") {
+        ok = parse_double(value, rule.probability) && rule.probability > 0.0 &&
+             rule.probability <= 1.0;
+      } else if (key == "every") {
+        ok = parse_u64(value, rule.every_nth) && rule.every_nth > 0;
+      } else if (key == "once") {
+        ok = parse_u64(value, rule.one_shot_at) && rule.one_shot_at > 0;
+      } else if (key == "max") {
+        ok = parse_u64(value, rule.max_fires) && rule.max_fires > 0;
+      } else if (key == "ms") {
+        ok = parse_u64(value, latency_ms) && latency_ms > 0;
+      } else {
+        result.error = err_at(lineno, "unknown option '" + std::string(key) +
+                                          "' (p|every|once|max|ms)");
+        return result;
+      }
+      if (!ok) {
+        result.error = err_at(lineno, "bad value for '" + std::string(key) +
+                                          "': '" + std::string(value) + "'");
+        return result;
+      }
+    }
+
+    const int triggers = (rule.probability > 0.0 ? 1 : 0) +
+                         (rule.every_nth > 0 ? 1 : 0) +
+                         (rule.one_shot_at > 0 ? 1 : 0);
+    if (triggers != 1) {
+      result.error = err_at(
+          lineno, "rule wants exactly one trigger among p=/every=/once=");
+      return result;
+    }
+    if (rule.effect == Effect::kLatency && latency_ms == 0) {
+      result.error = err_at(lineno, "latency effect wants ms=<millis>");
+      return result;
+    }
+    if (rule.effect != Effect::kLatency && latency_ms != 0) {
+      result.error = err_at(lineno, "ms= only applies to the latency effect");
+      return result;
+    }
+    rule.latency = std::chrono::milliseconds(latency_ms);
+    result.plan.rules.push_back(rule);
+  }
+  if (!result.plan.rules.empty() && !saw_seed) {
+    result.error = err_at(lineno, "plan wants a 'seed <n>' directive");
+    return result;
+  }
+  return result;
+}
+
+PlanParseResult parse_fault_plan_text(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return parse_fault_plan(in);
+}
+
+PlanParseResult load_fault_plan_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    PlanParseResult result;
+    result.error = err_at(0, "cannot open fault plan '" + path + "'");
+    return result;
+  }
+  return parse_fault_plan(in);
+}
+
+void FaultInjector::attach_metrics(obs::MetricRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    injected_counters_.fill(nullptr);
+    return;
+  }
+  for (int i = 0; i < kNumSites; ++i) {
+    const std::string labels =
+        std::string("site=\"") + kSiteNames[static_cast<std::size_t>(i)] + "\"";
+    injected_counters_[static_cast<std::size_t>(i)] =
+        &registry->counter("asamap_faults_injected_total", labels);
+  }
+}
+
+void FaultInjector::load(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = std::move(plan);
+  for (auto& per_site : rules_by_site_) per_site.clear();
+  for (std::size_t ri = 0; ri < plan_.rules.size(); ++ri) {
+    rules_by_site_[static_cast<std::size_t>(site_index(plan_.rules[ri].site))]
+        .push_back(ri);
+  }
+  hits_.fill(0);
+  injected_.fill(0);
+  fires_.assign(plan_.rules.size(), 0);
+  armed_.store(!plan_.rules.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  plan_ = FaultPlan{};
+  for (auto& per_site : rules_by_site_) per_site.clear();
+  hits_.fill(0);
+  injected_.fill(0);
+  fires_.clear();
+}
+
+FaultDecision FaultInjector::decide(Site site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return {};
+  const auto si = static_cast<std::size_t>(site_index(site));
+  const std::uint64_t hit = ++hits_[si];
+  for (std::size_t ri : rules_by_site_[si]) {
+    const FaultRule& rule = plan_.rules[ri];
+    if (rule.max_fires != 0 && fires_[ri] >= rule.max_fires) continue;
+    bool fire = false;
+    if (rule.one_shot_at != 0) {
+      fire = (hit == rule.one_shot_at);
+    } else if (rule.every_nth != 0) {
+      fire = (hit % rule.every_nth == 0);
+    } else if (rule.probability > 0.0) {
+      fire = keyed_unit(plan_.seed, site_index(site), ri, hit) <
+             rule.probability;
+    }
+    if (!fire) continue;
+    ++fires_[ri];
+    ++injected_[si];
+    if (injected_counters_[si] != nullptr) injected_counters_[si]->inc();
+    return FaultDecision{rule.effect, rule.latency};
+  }
+  return {};
+}
+
+std::uint64_t FaultInjector::seed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_.seed;
+}
+
+std::size_t FaultInjector::rule_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_.rules.size();
+}
+
+std::uint64_t FaultInjector::hits(Site site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_[static_cast<std::size_t>(site_index(site))];
+}
+
+std::uint64_t FaultInjector::injected(Site site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_[static_cast<std::size_t>(site_index(site))];
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (std::uint64_t v : injected_) total += v;
+  return total;
+}
+
+}  // namespace asamap::fault

@@ -1,0 +1,180 @@
+#pragma once
+
+/// \file fault.hpp
+/// asamap::fault — deterministic fault injection for the serving stack.
+///
+/// The serving layer (asamap::serve) is exercised in CI and benches under
+/// *injected* failures: a `FaultPlan` names injection sites inside the stack
+/// and, per site, rules for when to fire (probability, every-Nth hit, or a
+/// one-shot at hit N) and what to inject (an error return, a latency spike,
+/// a cancellation, or a simulated partial write).  Decisions are a pure
+/// function of (plan seed, site, rule index, per-site hit counter) through a
+/// SplitMix64-keyed hash, so two runs of the same workload under the same
+/// plan inject the *identical* fault sequence — the deterministic-replay
+/// contract that makes chaos tests debuggable (DESIGN.md §4e).
+///
+/// Injection is compile-time gated: unless the build sets
+/// `-DASAMAP_FAULT_INJECTION=ON` (which defines the ASAMAP_FAULT_INJECTION
+/// macro), `fault::check()` is a constexpr-folded no-op and every site in
+/// the serve hot paths costs zero instructions.  Plan parsing, the injector
+/// bookkeeping, and the retry/breaker machinery in retry.hpp are ordinary
+/// code in both build flavors — only the *sites* disappear.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <istream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asamap::obs {
+class MetricRegistry;
+class Counter;
+}  // namespace asamap::obs
+
+namespace asamap::fault {
+
+#if defined(ASAMAP_FAULT_INJECTION) && ASAMAP_FAULT_INJECTION
+inline constexpr bool kFaultInjectionEnabled = true;
+#else
+inline constexpr bool kFaultInjectionEnabled = false;
+#endif
+
+/// Where in the serving stack a fault can be injected.
+enum class Site : int {
+  kIngestParse = 0,     ///< GraphRegistry::put_text, before parsing
+  kSchedulerDispatch,   ///< JobScheduler worker, after pop / before run
+  kClusterSweep,        ///< inside the re-cluster job body
+  kRegistryEvict,       ///< GraphRegistry LRU eviction loop
+  kSessionIo,           ///< ServeSession::handle_line entry
+};
+inline constexpr int kNumSites = 5;
+
+[[nodiscard]] const char* to_string(Site site) noexcept;
+[[nodiscard]] std::optional<Site> site_from_string(std::string_view name) noexcept;
+
+/// What an armed rule injects when it fires.
+enum class Effect : int {
+  kNone = 0,
+  kError,         ///< the site reports failure (retryable where wired)
+  kLatency,       ///< the site sleeps for the rule's `ms=` duration
+  kCancel,        ///< the site behaves as if the caller cancelled
+  kPartialWrite,  ///< the site does its work but drops the publish/commit
+};
+
+[[nodiscard]] const char* to_string(Effect effect) noexcept;
+[[nodiscard]] std::optional<Effect> effect_from_string(std::string_view name) noexcept;
+
+/// One line of a plan: a site, an effect, and exactly one trigger.
+struct FaultRule {
+  Site site = Site::kSessionIo;
+  Effect effect = Effect::kNone;
+  double probability = 0.0;              ///< `p=` — fire with this chance per hit
+  std::uint64_t every_nth = 0;           ///< `every=` — fire on hits N, 2N, ...
+  std::uint64_t one_shot_at = 0;         ///< `once=` — fire exactly on hit N (1-based)
+  std::uint64_t max_fires = 0;           ///< `max=` — stop after this many fires (0 = no cap)
+  std::chrono::milliseconds latency{0};  ///< `ms=` — spike size for kLatency
+};
+
+/// A parsed plan: the seed that keys every probabilistic decision plus the
+/// rule list in file order (first matching rule per hit wins).
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+};
+
+/// Plan text format, one directive per line (`#` comments, blank lines ok):
+///
+///   seed 20230807
+///   site ingest.parse error p=0.3
+///   site scheduler.dispatch error every=7
+///   site cluster.sweep latency p=0.1 ms=5
+///   site session.io cancel once=3
+///   site registry.evict error p=0.5 max=10
+struct PlanParseError {
+  int line = 0;  ///< 1-based; 0 when the file could not be opened
+  std::string message;
+};
+
+struct PlanParseResult {
+  FaultPlan plan;
+  std::optional<PlanParseError> error;
+  [[nodiscard]] bool ok() const noexcept { return !error.has_value(); }
+};
+
+[[nodiscard]] PlanParseResult parse_fault_plan(std::istream& in);
+[[nodiscard]] PlanParseResult parse_fault_plan_text(std::string_view text);
+[[nodiscard]] PlanParseResult load_fault_plan_file(const std::string& path);
+
+/// What a site should do right now.  kNone means proceed normally.
+struct FaultDecision {
+  Effect effect = Effect::kNone;
+  std::chrono::milliseconds latency{0};
+};
+
+/// The runtime half: owns the loaded plan, the per-site hit counters, and
+/// the deterministic decision function.  decide() takes a mutex — only the
+/// chaos path pays it; production builds compile the call sites out and
+/// un-armed injectors short-circuit on one relaxed atomic load.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Pre-registers asamap_faults_injected_total{site=...} for every site so
+  /// the scrape schema is stable whether or not faults ever fire.
+  void attach_metrics(obs::MetricRegistry* registry);
+
+  /// Install a plan (resetting all counters) and arm if it has rules.
+  void load(FaultPlan plan);
+
+  /// Disarm and drop the plan; counters reset.
+  void clear();
+
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Record a hit at `site` and evaluate its rules in plan order; the first
+  /// rule that fires wins.  Deterministic: the decision depends only on the
+  /// plan seed, the site, the rule index, and this site's hit ordinal.
+  [[nodiscard]] FaultDecision decide(Site site);
+
+  [[nodiscard]] std::uint64_t seed() const;
+  [[nodiscard]] std::size_t rule_count() const;
+  [[nodiscard]] std::uint64_t hits(Site site) const;
+  [[nodiscard]] std::uint64_t injected(Site site) const;
+  [[nodiscard]] std::uint64_t injected_total() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<bool> armed_{false};
+  FaultPlan plan_;
+  std::array<std::vector<std::size_t>, kNumSites> rules_by_site_{};
+  std::array<std::uint64_t, kNumSites> hits_{};
+  std::array<std::uint64_t, kNumSites> injected_{};
+  std::vector<std::uint64_t> fires_;  ///< per-rule fire counts (max= caps)
+  std::array<obs::Counter*, kNumSites> injected_counters_{};
+};
+
+/// The one call sites make.  When the build is configured without
+/// ASAMAP_FAULT_INJECTION this folds to `return {};` — zero instructions on
+/// the hot path; when configured with it, a null or un-armed injector costs
+/// one branch (+ one relaxed load).
+[[nodiscard]] inline FaultDecision check(FaultInjector* injector, Site site) {
+  if constexpr (!kFaultInjectionEnabled) {
+    (void)injector;
+    (void)site;
+    return {};
+  } else {
+    if (injector == nullptr || !injector->armed()) return {};
+    return injector->decide(site);
+  }
+}
+
+}  // namespace asamap::fault

@@ -1,0 +1,158 @@
+#pragma once
+
+/// \file retry.hpp
+/// asamap::fault — retry policies and the per-session circuit breaker.
+///
+/// RetryPolicy bounds how hard a component fights a transient failure:
+/// total attempts, plus the base/cap of the decorrelated-jitter backoff
+/// schedule (support::DecorrelatedBackoff).  Callers are budget-aware —
+/// the scheduler checks a job's deadline before sleeping and fails the job
+/// as kExpired when the next backoff would not fit.
+///
+/// CircuitBreaker implements the classic three-state machine:
+///
+///   closed ──K consecutive failures──▶ open ──timer──▶ half-open
+///     ▲                                  ▲                 │
+///     └──────── probe succeeds ──────────┴─ probe fails ───┘
+///
+/// While open, allow() answers false so callers can degrade immediately
+/// (serve a stale snapshot) instead of queueing doomed work.  After
+/// `open_duration` the breaker admits a single probe (half-open); the
+/// probe's outcome either closes the breaker or re-opens it for another
+/// full timer period.  All transitions report to an optional listener so
+/// the session can mirror state into asamap_breaker_state and shed load.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace asamap::fault {
+
+/// Bounds for one retry loop.  max_attempts counts the first try: 1 means
+/// "no retries", 3 means "one try plus up to two retries".
+struct RetryPolicy {
+  int max_attempts = 3;
+  std::chrono::milliseconds initial_backoff{2};
+  std::chrono::milliseconds max_backoff{50};
+};
+
+struct BreakerConfig {
+  int failure_threshold = 5;  ///< consecutive failures that trip the breaker
+  std::chrono::milliseconds open_duration{1000};  ///< open -> half-open timer
+  int half_open_successes = 1;  ///< probe successes needed to close again
+};
+
+class CircuitBreaker {
+ public:
+  enum class State : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+  using Clock = std::chrono::steady_clock;
+  /// Called on every state change, while the breaker lock is held — keep it
+  /// cheap and never call back into the breaker.
+  using Listener = std::function<void(State)>;
+
+  explicit CircuitBreaker(const BreakerConfig& config = {})
+      : config_(config) {}
+
+  void set_listener(Listener listener) {
+    std::lock_guard<std::mutex> lock(mu_);
+    listener_ = std::move(listener);
+  }
+
+  /// May this request proceed?  Closed: always.  Open: no, until the timer
+  /// promotes to half-open.  Half-open: yes for one in-flight probe at a
+  /// time; further callers are refused until the probe resolves via
+  /// record_success()/record_failure().
+  [[nodiscard]] bool allow() {
+    std::lock_guard<std::mutex> lock(mu_);
+    maybe_half_open_locked();
+    switch (state_) {
+      case State::kClosed:
+        return true;
+      case State::kOpen:
+        return false;
+      case State::kHalfOpen:
+        if (probe_in_flight_) return false;
+        probe_in_flight_ = true;
+        return true;
+    }
+    return true;
+  }
+
+  void record_success() {
+    std::lock_guard<std::mutex> lock(mu_);
+    maybe_half_open_locked();
+    if (state_ == State::kHalfOpen) {
+      probe_in_flight_ = false;
+      if (++half_open_successes_ >= config_.half_open_successes) {
+        transition_locked(State::kClosed);
+      }
+      return;
+    }
+    consecutive_failures_ = 0;
+  }
+
+  void record_failure() {
+    std::lock_guard<std::mutex> lock(mu_);
+    maybe_half_open_locked();
+    if (state_ == State::kHalfOpen) {
+      probe_in_flight_ = false;
+      transition_locked(State::kOpen);
+      return;
+    }
+    if (state_ == State::kClosed &&
+        ++consecutive_failures_ >= config_.failure_threshold) {
+      transition_locked(State::kOpen);
+    }
+  }
+
+  /// Current state; reflects a pending open -> half-open timer promotion.
+  [[nodiscard]] State state() {
+    std::lock_guard<std::mutex> lock(mu_);
+    maybe_half_open_locked();
+    return state_;
+  }
+
+  [[nodiscard]] std::uint64_t transitions_to(State to) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return transition_counts_[static_cast<std::size_t>(to)];
+  }
+
+ private:
+  void maybe_half_open_locked() {
+    if (state_ == State::kOpen && Clock::now() >= reopen_at_) {
+      transition_locked(State::kHalfOpen);
+    }
+  }
+
+  void transition_locked(State to) {
+    state_ = to;
+    ++transition_counts_[static_cast<std::size_t>(to)];
+    consecutive_failures_ = 0;
+    half_open_successes_ = 0;
+    probe_in_flight_ = false;
+    if (to == State::kOpen) reopen_at_ = Clock::now() + config_.open_duration;
+    if (listener_) listener_(to);
+  }
+
+  BreakerConfig config_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  bool probe_in_flight_ = false;
+  Clock::time_point reopen_at_{};
+  std::uint64_t transition_counts_[3] = {0, 0, 0};
+  Listener listener_;
+};
+
+[[nodiscard]] constexpr const char* to_string(CircuitBreaker::State s) noexcept {
+  switch (s) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+}  // namespace asamap::fault

@@ -2,8 +2,10 @@
 
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <utility>
 
+#include "asamap/support/backoff.hpp"
 #include "asamap/support/hash.hpp"
 
 namespace asamap::serve {
@@ -19,6 +21,8 @@ GraphRegistry::GraphRegistry(const RegistryConfig& config) : config_(config) {
         &reg->counter("asamap_registry_lookups_total", "outcome=\"miss\"");
     m_.graphs = &reg->gauge("asamap_registry_graphs");
     m_.resident_bytes = &reg->gauge("asamap_registry_resident_bytes");
+    m_.retries_ingest =
+        &reg->counter("asamap_retries_total", "site=\"ingest.parse\"");
   }
 }
 
@@ -73,6 +77,36 @@ ServeStatus GraphRegistry::put_text(const std::string& name,
                              /*counted=*/false);
       }
     }
+  }
+
+  // Injected ingest faults (chaos builds only): an error here models a
+  // transient parse-side failure — storage hiccup, truncated read — and is
+  // the retryable kind.  Real parse errors below never retry.
+  for (int attempt = 1;; ++attempt) {
+    const fault::FaultDecision injected =
+        fault::check(config_.faults, fault::Site::kIngestParse);
+    if (injected.effect == fault::Effect::kNone) break;
+    if (injected.effect == fault::Effect::kLatency) {
+      std::this_thread::sleep_for(injected.latency);
+      break;
+    }
+    if (attempt >= config_.ingest_retry.max_attempts) {
+      return ServeStatus::error_static(
+          ServeCode::kUnavailable,
+          "ingest failed (injected fault); retries exhausted");
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.ingest_retries;
+    }
+    if (m_.retries_ingest != nullptr) m_.retries_ingest->inc();
+    // Deterministic per-upload schedule, replayed to the current attempt.
+    support::DecorrelatedBackoff backoff(config_.ingest_retry.initial_backoff,
+                                         config_.ingest_retry.max_backoff,
+                                         config_.retry_seed ^ fp);
+    std::chrono::milliseconds delay{0};
+    for (int i = 0; i < attempt; ++i) delay = backoff.next();
+    std::this_thread::sleep_for(delay);
   }
 
   graph::SnapReadOptions opts;
@@ -181,6 +215,15 @@ void GraphRegistry::erase_locked(const std::string& name) {
 
 void GraphRegistry::evict_to_budget_locked(const std::string& keep) {
   while (resident_bytes_ > config_.memory_budget_bytes && !lru_.empty()) {
+    const fault::FaultDecision injected =
+        fault::check(config_.faults, fault::Site::kRegistryEvict);
+    if (injected.effect == fault::Effect::kLatency) {
+      std::this_thread::sleep_for(injected.latency);
+    } else if (injected.effect != fault::Effect::kNone) {
+      // Eviction "failed": stay over budget.  under_pressure() turns true
+      // and the session degrades instead of the registry rejecting.
+      return;
+    }
     // Evict from the cold end, skipping the entry being inserted.
     auto victim = std::prev(lru_.end());
     if (*victim == keep) {
@@ -213,6 +256,11 @@ bool GraphRegistry::erase(const std::string& name) {
   erase_locked(name);
   sync_gauges_locked();
   return true;
+}
+
+bool GraphRegistry::under_pressure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_ > config_.memory_budget_bytes;
 }
 
 RegistryStats GraphRegistry::stats() const {

@@ -18,6 +18,8 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "asamap/fault/fault.hpp"
+#include "asamap/fault/retry.hpp"
 #include "asamap/graph/csr_graph.hpp"
 #include "asamap/graph/io.hpp"
 #include "asamap/obs/metrics.hpp"
@@ -36,6 +38,15 @@ struct RegistryConfig {
   /// counters and residency gauges under `asamap_registry_*`; the metric
   /// registry must outlive this one.  stats() is unaffected.
   obs::MetricRegistry* metrics = nullptr;
+  /// When non-null (and the build has ASAMAP_FAULT_INJECTION), put_text
+  /// consults `ingest.parse` before parsing and the eviction loop consults
+  /// `registry.evict`.  Must outlive the registry.
+  fault::FaultInjector* faults = nullptr;
+  /// Retry budget for injected ingest faults (real parse errors never
+  /// retry — malformed text stays malformed).  Backoff is deterministic
+  /// per upload (retry_seed ^ content fingerprint).
+  fault::RetryPolicy ingest_retry{};
+  std::uint64_t retry_seed = 0x1d9e57ULL;
 };
 
 struct RegistryStats {
@@ -46,6 +57,7 @@ struct RegistryStats {
   std::uint64_t evictions = 0;
   std::uint64_t hits = 0;        ///< get() found the graph
   std::uint64_t misses = 0;      ///< get() did not
+  std::uint64_t ingest_retries = 0;  ///< retries of injected ingest faults
 };
 
 class GraphRegistry {
@@ -78,6 +90,12 @@ class GraphRegistry {
 
   [[nodiscard]] RegistryStats stats() const;
 
+  /// True while resident bytes exceed the budget — normally transient, but
+  /// sustained when eviction is failing (e.g. an injected `registry.evict`
+  /// fault).  The session treats this as memory pressure and degrades
+  /// CLUSTER to stale serving instead of piling on more work.
+  [[nodiscard]] bool under_pressure() const;
+
   /// Approximate resident bytes of a frozen CSR graph.
   static std::size_t approx_bytes(const graph::CsrGraph& g) noexcept;
 
@@ -103,6 +121,7 @@ class GraphRegistry {
     obs::Counter* lookup_misses = nullptr;
     obs::Gauge* graphs = nullptr;
     obs::Gauge* resident_bytes = nullptr;
+    obs::Counter* retries_ingest = nullptr;
   };
 
   ServeStatus insert_locked(const std::string& name, GraphPtr graph,

@@ -27,6 +27,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "asamap/fault/fault.hpp"
+#include "asamap/fault/retry.hpp"
 #include "asamap/obs/metrics.hpp"
 #include "asamap/serve/status.hpp"
 #include "asamap/support/bounded_queue.hpp"
@@ -88,6 +90,17 @@ struct SchedulerConfig {
   /// `asamap_jobs_*` / `asamap_job_run_seconds` (see DESIGN.md §4d); the
   /// registry must outlive the scheduler.  stats() is unaffected.
   obs::MetricRegistry* metrics = nullptr;
+  /// When non-null (and the build has ASAMAP_FAULT_INJECTION), workers
+  /// consult the `scheduler.dispatch` site after popping a job; injected
+  /// errors exercise the retry path below.  Must outlive the scheduler.
+  fault::FaultInjector* faults = nullptr;
+  /// Retry budget for failed dispatches.  Only *injected* dispatch faults
+  /// retry — a job body that throws is a real failure and never re-runs.
+  /// Backoff is deterministic per job (retry_seed ^ job id) and
+  /// budget-aware: a retry that cannot fit before the job's deadline fails
+  /// the job as kExpired instead of sleeping.
+  fault::RetryPolicy dispatch_retry{};
+  std::uint64_t retry_seed = 0x7e7a11c0ffeeULL;
 };
 
 struct SchedulerStats {
@@ -97,6 +110,8 @@ struct SchedulerStats {
   std::uint64_t rejected = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t expired = 0;
+  std::uint64_t dispatch_retries = 0;
+  std::uint64_t shed = 0;
   std::size_t queued_interactive = 0;
   std::size_t queued_batch = 0;
   std::size_t running = 0;
@@ -134,6 +149,14 @@ class JobScheduler {
 
   [[nodiscard]] SchedulerStats stats() const;
 
+  /// Load shedding: cancels every *queued* (not running) job in `lane`,
+  /// finishing each as kCancelled, and returns how many were shed.  The
+  /// session calls this for the batch lane when its circuit breaker opens,
+  /// so interactive work keeps flowing.  Shed entries stay in the lane's
+  /// deque until a worker pops and skips them, so queue-depth gauges may
+  /// briefly overcount.
+  std::size_t shed(JobPriority lane);
+
   /// Stops accepting submissions, cancels queued jobs, raises every running
   /// job's stop flag, and joins the workers.  Idempotent; the destructor
   /// calls it.
@@ -149,6 +172,7 @@ class JobScheduler {
     /// Written under mu_; the terminal state a stopped run resolves to.
     JobState pending_stop_state = JobState::kCancelled;
     JobState state = JobState::kQueued;  // guarded by mu_
+    int dispatch_attempts = 0;           // guarded by mu_
   };
   using JobPtr = std::shared_ptr<Job>;
 
@@ -167,12 +191,23 @@ class JobScheduler {
     obs::Gauge* queued_batch = nullptr;
     obs::Gauge* running = nullptr;
     obs::Histogram* run_seconds = nullptr;
+    obs::Counter* retries_dispatch = nullptr;
+    obs::Counter* shed_interactive = nullptr;
+    obs::Counter* shed_batch = nullptr;
   };
 
   void worker_loop();
   void reaper_loop();
   void finish_locked(const JobPtr& job, JobState terminal);
   void sync_queue_gauges_locked();
+  /// Handles an injected dispatch failure on a popped-but-unstarted job:
+  /// backoff (deterministic, deadline-aware), then re-queue or finish.
+  void retry_dispatch(std::unique_lock<std::mutex>& lock, const JobPtr& job);
+  /// Sleeps `duration` in 1 ms slices, returning early (false) when `stop`
+  /// is raised — keeps backoff and injected latency responsive to
+  /// cancel/deadline/shutdown.
+  static bool sleep_interruptible(const std::atomic<bool>& stop,
+                                  std::chrono::milliseconds duration);
   [[nodiscard]] static bool is_terminal(JobState s) noexcept {
     return s != JobState::kQueued && s != JobState::kRunning;
   }

@@ -21,11 +21,27 @@
 ///   SUMMARY <name>                       codelength/modularity summary
 ///   STATS                                registry + scheduler counters
 ///   METRICS [prom|json]                  scrape the session metric registry
+///   FAULTS LOAD <path> | CLEAR | STATUS  chaos-test fault plans (see below)
 ///   QUIT                                 acknowledged; driver exits
 ///
 /// METRICS is the one multi-line response: an `OK format=...` line followed
 /// by the Prometheus text exposition (default) or a bench-envelope JSON
 /// object — it is the scrape endpoint, not an interactive query.
+///
+/// Robustness semantics (DESIGN.md §4e):
+///  - CLUSTER degrades instead of failing where it can: when the circuit
+///    breaker is open, the registry is under memory pressure, or the
+///    scheduler rejects with backpressure, the response is the last
+///    published snapshot annotated `OK STALE version=N reason=...` rather
+///    than an error (readers were going to see that snapshot anyway).
+///  - The per-session circuit breaker trips after K consecutive
+///    backpressure failures, sheds the batch lane, and half-opens on a
+///    timer; its state is the asamap_breaker_state gauge (0/1/2 =
+///    closed/open/half_open).
+///  - FAULTS LOAD arms a deterministic fault plan (builds configured with
+///    ASAMAP_FAULT_INJECTION only; otherwise ERR unavailable).  FAULTS
+///    itself is exempt from the session.io injection site so an operator
+///    can always CLEAR a misbehaving plan.
 
 #include <chrono>
 #include <cstdint>
@@ -36,6 +52,8 @@
 #include <vector>
 
 #include "asamap/core/infomap.hpp"
+#include "asamap/fault/fault.hpp"
+#include "asamap/fault/retry.hpp"
 #include "asamap/obs/metrics.hpp"
 #include "asamap/serve/graph_registry.hpp"
 #include "asamap/serve/job_scheduler.hpp"
@@ -52,6 +70,9 @@ struct SessionConfig {
   /// nested OpenMP teams.
   int cluster_threads = 0;
   core::InfomapOptions infomap;
+  /// Circuit-breaker thresholds for CLUSTER submissions (consecutive
+  /// backpressure failures trip it; see retry.hpp).
+  fault::BreakerConfig breaker;
 };
 
 class ServeSession {
@@ -98,6 +119,11 @@ class ServeSession {
     return metrics_;
   }
 
+  /// The session fault injector (armed via FAULTS LOAD or directly in
+  /// tests) and the CLUSTER circuit breaker.
+  fault::FaultInjector& faults() noexcept { return faults_; }
+  fault::CircuitBreaker& breaker() noexcept { return breaker_; }
+
   // --- line protocol ------------------------------------------------------
 
   /// Executes one protocol line, returning the response (without trailing
@@ -116,16 +142,29 @@ class ServeSession {
                                const std::vector<std::string_view>& tokens);
   [[nodiscard]] std::string render_metrics_prometheus() const;
   [[nodiscard]] std::string render_metrics_json() const;
+  /// The degraded CLUSTER answer: the last published snapshot annotated
+  /// `OK STALE version=N reason=<reason>`, or "" when the graph has never
+  /// been clustered (the caller falls back to an error / best effort).
+  std::string degraded_cluster(const std::string& name, const char* reason);
 
   /// First member: destroyed last, after the scheduler has joined its
   /// workers — jobs record into this registry until they finish.
   obs::MetricRegistry metrics_;
+  /// Second: the registry/scheduler configs point at it, and running jobs
+  /// consult it until the scheduler joins.
+  fault::FaultInjector faults_;
   SessionConfig config_;
   GraphRegistry registry_;
   PartitionStore store_;
+  fault::CircuitBreaker breaker_;
   std::unordered_map<std::string_view, VerbMetrics> verb_metrics_;
   VerbMetrics other_verb_metrics_;
   obs::Counter* errors_total_ = nullptr;
+  obs::Counter* stale_serves_ = nullptr;
+  obs::Gauge* breaker_state_ = nullptr;
+  obs::Counter* breaker_to_open_ = nullptr;
+  obs::Counter* breaker_to_half_open_ = nullptr;
+  obs::Counter* breaker_to_closed_ = nullptr;
   /// Last member: destroyed first, so worker threads join before the
   /// registry/store they reference go away.
   JobScheduler scheduler_;

@@ -7,6 +7,7 @@
 /// protocol response, not an exceptional one.
 
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace asamap::serve {
@@ -19,6 +20,7 @@ enum class ServeCode {
   kNotFound,         ///< unknown graph or job id
   kNoPartition,      ///< graph loaded but never clustered (or still pending)
   kRejected,         ///< scheduler backpressure: submission queue full
+  kUnavailable,      ///< degraded / faulted and no fallback applies
   kShutdown,         ///< service is draining; no new work accepted
 };
 
@@ -31,20 +33,38 @@ enum class ServeCode {
     case ServeCode::kNotFound: return "not_found";
     case ServeCode::kNoPartition: return "no_partition";
     case ServeCode::kRejected: return "rejected";
+    case ServeCode::kUnavailable: return "unavailable";
     case ServeCode::kShutdown: return "shutdown";
   }
   return "unknown";
 }
 
+/// Detail text travels one of two ways: `message` owns dynamic detail
+/// (parse errors with line numbers, job ids), while `brief` points at a
+/// static string literal for hot-path outcomes — a backpressure reject must
+/// not allocate just to say "queue full".  text() is what callers render.
 struct ServeStatus {
   ServeCode code = ServeCode::kOk;
   std::string message;
+  const char* brief = "";
 
   [[nodiscard]] bool ok() const noexcept { return code == ServeCode::kOk; }
 
+  [[nodiscard]] std::string_view text() const noexcept {
+    return message.empty() ? std::string_view(brief) : std::string_view(message);
+  }
+
   static ServeStatus success() { return {}; }
   static ServeStatus error(ServeCode code, std::string message) {
-    return {code, std::move(message)};
+    return {code, std::move(message), ""};
+  }
+  /// Allocation-free error: `brief` must be a string literal (or otherwise
+  /// outlive every reader of this status).
+  static ServeStatus error_static(ServeCode code, const char* brief) noexcept {
+    ServeStatus s;
+    s.code = code;
+    s.brief = brief;
+    return s;
   }
 };
 

@@ -4,9 +4,21 @@
 #include <exception>
 #include <utility>
 
+#include "asamap/support/backoff.hpp"
 #include "asamap/support/timer.hpp"
 
 namespace asamap::serve {
+
+namespace {
+// Static reject reasons: the backpressure path must not allocate (it runs
+// once per refused request under overload).  No dynamic capacity number —
+// STATS reports the live queue depths.
+constexpr const char* kRejectInteractive =
+    "interactive queue full; retry later or slow the submit rate";
+constexpr const char* kRejectBatch =
+    "batch queue full; retry later or slow the submit rate";
+constexpr const char* kRejectShutdown = "scheduler is shutting down";
+}  // namespace
 
 JobScheduler::JobScheduler(const SchedulerConfig& config)
     : config_(config),
@@ -32,6 +44,11 @@ JobScheduler::JobScheduler(const SchedulerConfig& config)
     m_.queued_batch = &reg->gauge("asamap_jobs_queued", "lane=\"batch\"");
     m_.running = &reg->gauge("asamap_jobs_running");
     m_.run_seconds = &reg->histogram("asamap_job_run_seconds");
+    m_.retries_dispatch =
+        &reg->counter("asamap_retries_total", "site=\"scheduler.dispatch\"");
+    m_.shed_interactive =
+        &reg->counter("asamap_jobs_shed_total", "lane=\"interactive\"");
+    m_.shed_batch = &reg->counter("asamap_jobs_shed_total", "lane=\"batch\"");
   }
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
@@ -60,19 +77,17 @@ SubmitResult JobScheduler::submit(JobFn fn, JobPriority priority,
   if (stopping_) {
     ++counters_.rejected;
     if (rejected_metric != nullptr) rejected_metric->inc();
-    return {0, ServeStatus::error(ServeCode::kShutdown,
-                                  "scheduler is shutting down")};
+    return {0, ServeStatus::error_static(ServeCode::kShutdown,
+                                         kRejectShutdown)};
   }
   auto& lane = priority == JobPriority::kInteractive ? interactive_ : batch_;
   if (!lane.try_push(job)) {
     ++counters_.rejected;
     if (rejected_metric != nullptr) rejected_metric->inc();
-    const char* lane_name =
-        priority == JobPriority::kInteractive ? "interactive" : "batch";
-    return {0, ServeStatus::error(
+    return {0, ServeStatus::error_static(
                    ServeCode::kRejected,
-                   std::string(lane_name) + " queue full (capacity " +
-                       std::to_string(lane.capacity()) + "); retry later")};
+                   priority == JobPriority::kInteractive ? kRejectInteractive
+                                                         : kRejectBatch)};
   }
   job->id = next_id_++;
   jobs_[job->id] = job;
@@ -118,6 +133,83 @@ SchedulerStats JobScheduler::stats() const {
   s.queued_interactive = interactive_.size();
   s.queued_batch = batch_.size();
   return s;
+}
+
+std::size_t JobScheduler::shed(JobPriority lane) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t count = 0;
+  for (auto& [id, job] : jobs_) {
+    if (job->priority != lane || job->state != JobState::kQueued) continue;
+    job->pending_stop_state = JobState::kCancelled;
+    job->stop.store(true, std::memory_order_relaxed);
+    finish_locked(job, JobState::kCancelled);
+    ++count;
+  }
+  if (count > 0) {
+    counters_.shed += count;
+    obs::Counter* shed_metric = lane == JobPriority::kInteractive
+                                    ? m_.shed_interactive
+                                    : m_.shed_batch;
+    if (shed_metric != nullptr) shed_metric->inc(count);
+  }
+  return count;
+}
+
+bool JobScheduler::sleep_interruptible(const std::atomic<bool>& stop,
+                                       std::chrono::milliseconds duration) {
+  constexpr std::chrono::milliseconds kSlice{1};
+  auto remaining = duration;
+  while (remaining.count() > 0) {
+    if (stop.load(std::memory_order_relaxed)) return false;
+    const auto step = std::min(remaining, kSlice);
+    std::this_thread::sleep_for(step);
+    remaining -= step;
+  }
+  return !stop.load(std::memory_order_relaxed);
+}
+
+void JobScheduler::retry_dispatch(std::unique_lock<std::mutex>& lock,
+                                  const JobPtr& job) {
+  ++job->dispatch_attempts;
+  if (job->dispatch_attempts >= config_.dispatch_retry.max_attempts) {
+    finish_locked(job, JobState::kFailed);
+    return;
+  }
+  // Deterministic per-job schedule: replay the decorrelated-jitter stream up
+  // to this attempt instead of storing backoff state in the job.
+  support::DecorrelatedBackoff backoff(config_.dispatch_retry.initial_backoff,
+                                       config_.dispatch_retry.max_backoff,
+                                       config_.retry_seed ^ job->id);
+  std::chrono::milliseconds delay{0};
+  for (int i = 0; i < job->dispatch_attempts; ++i) delay = backoff.next();
+  // Budget-aware: a retry that cannot finish sleeping before the deadline
+  // expires the job now instead of wasting the wait.
+  if (job->deadline != Clock::time_point::max() &&
+      Clock::now() + delay >= job->deadline) {
+    finish_locked(job, JobState::kExpired);
+    return;
+  }
+  ++counters_.dispatch_retries;
+  if (m_.retries_dispatch != nullptr) m_.retries_dispatch->inc();
+
+  lock.unlock();
+  sleep_interruptible(job->stop, delay);
+  lock.lock();
+
+  if (is_terminal(job->state)) return;  // cancelled/expired/shed while asleep
+  if (stopping_) {
+    finish_locked(job, JobState::kCancelled);
+    return;
+  }
+  auto& lane = job->priority == JobPriority::kInteractive ? interactive_ : batch_;
+  if (!lane.try_push(job)) {
+    // The lane refilled (or closed) during the backoff — give up rather
+    // than block a worker holding backpressured work.
+    finish_locked(job, JobState::kFailed);
+    return;
+  }
+  sync_queue_gauges_locked();
+  cv_work_.notify_one();
 }
 
 void JobScheduler::sync_queue_gauges_locked() {
@@ -166,6 +258,7 @@ void JobScheduler::finish_locked(const JobPtr& job, JobState terminal) {
 void JobScheduler::worker_loop() {
   for (;;) {
     JobPtr job;
+    std::chrono::milliseconds injected_latency{0};
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_work_.wait(lock, [&] {
@@ -188,6 +281,19 @@ void JobScheduler::worker_loop() {
         finish_locked(job, JobState::kCancelled);
         continue;
       }
+      const fault::FaultDecision dispatch_fault =
+          fault::check(config_.faults, fault::Site::kSchedulerDispatch);
+      if (dispatch_fault.effect == fault::Effect::kLatency) {
+        injected_latency = dispatch_fault.latency;
+      } else if (dispatch_fault.effect == fault::Effect::kCancel) {
+        finish_locked(job, JobState::kCancelled);
+        continue;
+      } else if (dispatch_fault.effect != fault::Effect::kNone) {
+        // kError / kPartialWrite: the dispatch "failed" before the body ran
+        // — the only scheduler path that retries.
+        retry_dispatch(lock, job);
+        continue;
+      }
       job->state = JobState::kRunning;
       ++counters_.running;
       if (m_.running != nullptr) {
@@ -195,6 +301,9 @@ void JobScheduler::worker_loop() {
       }
     }
 
+    if (injected_latency.count() > 0) {
+      sleep_interruptible(job->stop, injected_latency);
+    }
     JobState terminal = JobState::kDone;
     support::WallTimer run_wall;
     try {

@@ -3,7 +3,9 @@
 #include <charconv>
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -21,7 +23,7 @@ namespace {
 constexpr std::string_view kVerbs[] = {"GEN",    "LOAD",    "DROP",  "CLUSTER",
                                        "WAIT",   "CANCEL",  "MEMBER", "SAME",
                                        "TOPK",   "SUMMARY", "STATS",  "METRICS",
-                                       "QUIT"};
+                                       "FAULTS", "QUIT"};
 
 std::string verb_label(std::string_view verb) {
   return "verb=\"" + std::string(verb) + "\"";
@@ -62,25 +64,30 @@ std::string err(ServeCode code, std::string_view message) {
 }
 
 std::string err(const ServeStatus& status) {
-  return err(status.code, status.message);
+  return err(status.code, status.text());
 }
 
 /// The session's config copy with every subsystem pointed at the session
-/// metric registry — the one place the pointers are threaded through, so a
-/// caller-supplied SessionConfig cannot accidentally split the registry.
-SessionConfig with_metrics(SessionConfig c, obs::MetricRegistry* reg) {
+/// metric registry and fault injector — the one place the pointers are
+/// threaded through, so a caller-supplied SessionConfig cannot accidentally
+/// split the registry (or miss the injection sites).
+SessionConfig with_metrics(SessionConfig c, obs::MetricRegistry* reg,
+                           fault::FaultInjector* faults) {
   c.registry.metrics = reg;
   c.scheduler.metrics = reg;
   c.infomap.metrics = reg;  // clustering jobs record kernel spans here
+  c.registry.faults = faults;
+  c.scheduler.faults = faults;
   return c;
 }
 
 }  // namespace
 
 ServeSession::ServeSession(const SessionConfig& config)
-    : config_(with_metrics(config, &metrics_)),
+    : config_(with_metrics(config, &metrics_, &faults_)),
       registry_(config_.registry),
       store_(),
+      breaker_(config_.breaker),
       scheduler_(config_.scheduler) {
   for (const std::string_view verb : kVerbs) {
     const std::string label = verb_label(verb);
@@ -93,6 +100,36 @@ ServeSession::ServeSession(const SessionConfig& config)
       &metrics_.counter("asamap_serve_requests_total", other),
       &metrics_.histogram("asamap_serve_request_seconds", other)};
   errors_total_ = &metrics_.counter("asamap_serve_errors_total");
+  // Robustness metrics, pre-registered so the scrape schema is stable
+  // whether or not any fault/degradation ever happens.
+  faults_.attach_metrics(&metrics_);
+  stale_serves_ = &metrics_.counter("asamap_stale_serves_total");
+  breaker_state_ = &metrics_.gauge("asamap_breaker_state");
+  breaker_state_->set(0);  // closed
+  breaker_to_open_ =
+      &metrics_.counter("asamap_breaker_transitions_total", "to=\"open\"");
+  breaker_to_half_open_ = &metrics_.counter("asamap_breaker_transitions_total",
+                                            "to=\"half_open\"");
+  breaker_to_closed_ =
+      &metrics_.counter("asamap_breaker_transitions_total", "to=\"closed\"");
+  breaker_.set_listener([this](fault::CircuitBreaker::State s) {
+    breaker_state_->set(static_cast<double>(s));
+    switch (s) {
+      case fault::CircuitBreaker::State::kOpen:
+        breaker_to_open_->inc();
+        // Shed batch-lane queued work before interactive: the breaker
+        // opening means submissions are failing, and queued batch jobs are
+        // the load we can drop without hurting interactive callers.
+        scheduler_.shed(JobPriority::kBatch);
+        break;
+      case fault::CircuitBreaker::State::kHalfOpen:
+        breaker_to_half_open_->inc();
+        break;
+      case fault::CircuitBreaker::State::kClosed:
+        breaker_to_closed_->inc();
+        break;
+    }
+  });
 }
 
 ServeSession::~ServeSession() { scheduler_.shutdown(); }
@@ -149,6 +186,21 @@ SubmitResult ServeSession::submit_recluster(const std::string& name,
   // cannot pull the memory out from under the run.
   return scheduler_.submit(
       [this, name, graph](const JobContext& ctx) {
+        // `cluster.sweep` injection (chaos builds): error -> the job fails,
+        // cancel -> a real cooperative cancel, latency -> a stalled sweep,
+        // partial -> the run completes but its publish is lost.
+        const fault::FaultDecision sweep_fault =
+            fault::check(&faults_, fault::Site::kClusterSweep);
+        if (sweep_fault.effect == fault::Effect::kError) {
+          throw std::runtime_error("injected cluster.sweep fault");
+        }
+        if (sweep_fault.effect == fault::Effect::kCancel) {
+          scheduler_.cancel(ctx.id);
+          return;
+        }
+        if (sweep_fault.effect == fault::Effect::kLatency) {
+          std::this_thread::sleep_for(sweep_fault.latency);
+        }
         core::InfomapOptions opts = config_.infomap;
         opts.cancel = ctx.stop;
         core::InfomapResult result =
@@ -156,6 +208,7 @@ SubmitResult ServeSession::submit_recluster(const std::string& name,
         // A cancelled or expired job publishes nothing — readers only ever
         // see partitions from runs that were allowed to finish.
         if (ctx.stop_requested()) return;
+        if (sweep_fault.effect == fault::Effect::kPartialWrite) return;
         PartitionSnapshot snap = make_snapshot(graph, result);
         snap.build_job = ctx.id;
         store_.publish(name, std::move(snap));
@@ -165,6 +218,17 @@ SubmitResult ServeSession::submit_recluster(const std::string& name,
 
 PartitionStore::SnapshotPtr ServeSession::snapshot(const std::string& name) {
   return store_.snapshot(name);
+}
+
+std::string ServeSession::degraded_cluster(const std::string& name,
+                                           const char* reason) {
+  const auto snap = store_.snapshot(name);
+  if (!snap) return {};
+  stale_serves_->inc();
+  return "OK STALE version=" + std::to_string(snap->version) + " graph=" +
+         name + " reason=" + reason +
+         " communities=" + std::to_string(snap->num_communities) +
+         " codelength=" + fmt_double(snap->codelength);
 }
 
 std::string ServeSession::handle_line(std::string_view line) {
@@ -184,6 +248,18 @@ std::string ServeSession::handle_line(std::string_view line) {
 std::string ServeSession::handle_line_impl(
     std::string_view verb, const std::vector<std::string_view>& tokens) {
   if (tokens.empty()) return err(ServeCode::kInvalidArgument, "empty request");
+
+  // `session.io` injection (chaos builds): the request itself hiccups.
+  // FAULTS is exempt so an operator can always inspect or CLEAR a plan.
+  if (verb != "FAULTS") {
+    const fault::FaultDecision io_fault =
+        fault::check(&faults_, fault::Site::kSessionIo);
+    if (io_fault.effect == fault::Effect::kLatency) {
+      std::this_thread::sleep_for(io_fault.latency);
+    } else if (io_fault.effect != fault::Effect::kNone) {
+      return err(ServeCode::kUnavailable, "injected session.io fault");
+    }
+  }
 
   const auto need_snapshot =
       [&](const std::string& name,
@@ -275,8 +351,39 @@ std::string ServeSession::handle_line_impl(
                    "CLUSTER: unknown option '" + std::string(opt) + "'");
       }
     }
+    // Graceful degradation: under memory pressure or an open breaker, a
+    // re-cluster would only add load — answer from the last published
+    // snapshot, explicitly marked STALE, instead of rejecting.
+    if (registry_.under_pressure()) {
+      if (auto stale = degraded_cluster(name, "memory_pressure");
+          !stale.empty()) {
+        return stale;
+      }
+      // Never clustered: fall through and try anyway (best effort).
+    }
+    if (!breaker_.allow()) {
+      if (auto stale = degraded_cluster(name, "breaker_open"); !stale.empty()) {
+        return stale;
+      }
+      return err(ServeCode::kUnavailable,
+                 "circuit breaker open and no snapshot to degrade to");
+    }
     const SubmitResult submitted = submit_recluster(name, priority, deadline);
-    if (!submitted.accepted()) return err(submitted.status);
+    if (!submitted.accepted()) {
+      if (submitted.status.code == ServeCode::kRejected ||
+          submitted.status.code == ServeCode::kShutdown) {
+        breaker_.record_failure();
+        if (auto stale = degraded_cluster(name, "queue_full"); !stale.empty()) {
+          return stale;
+        }
+      } else {
+        // Client-side failure (unknown graph): the service answered fine —
+        // resolve a half-open probe as success, not failure.
+        breaker_.record_success();
+      }
+      return err(submitted.status);
+    }
+    breaker_.record_success();
     if (!sync) {
       return "OK job=" + std::to_string(submitted.id) +
              " state=" + to_string(scheduler_.state(submitted.id));
@@ -416,7 +523,65 @@ std::string ServeSession::handle_line_impl(
            " expired=" + std::to_string(sch.expired) +
            " queued_interactive=" + std::to_string(sch.queued_interactive) +
            " queued_batch=" + std::to_string(sch.queued_batch) +
-           " running=" + std::to_string(sch.running);
+           " running=" + std::to_string(sch.running) +
+           " retries=" + std::to_string(reg.ingest_retries +
+                                        sch.dispatch_retries) +
+           " shed=" + std::to_string(sch.shed) + " breaker=" +
+           fault::to_string(breaker_.state());
+  }
+
+  if (verb == "FAULTS") {
+    constexpr const char* kUsage =
+        "usage: FAULTS LOAD <path> | FAULTS CLEAR | FAULTS STATUS";
+    if (tokens.size() < 2) return err(ServeCode::kInvalidArgument, kUsage);
+    const std::string_view sub = tokens[1];
+    if (sub == "STATUS") {
+      if (tokens.size() != 2) {
+        return err(ServeCode::kInvalidArgument, "usage: FAULTS STATUS");
+      }
+      std::string out = "OK enabled=";
+      out += fault::kFaultInjectionEnabled ? '1' : '0';
+      out += " armed=";
+      out += faults_.armed() ? '1' : '0';
+      out += " rules=" + std::to_string(faults_.rule_count()) +
+             " injected=" + std::to_string(faults_.injected_total()) +
+             " breaker=";
+      out += fault::to_string(breaker_.state());
+      return out;
+    }
+    if (!fault::kFaultInjectionEnabled) {
+      return err(ServeCode::kUnavailable,
+                 "fault injection compiled out; configure with "
+                 "-DASAMAP_FAULT_INJECTION=ON");
+    }
+    if (sub == "CLEAR") {
+      if (tokens.size() != 2) {
+        return err(ServeCode::kInvalidArgument, "usage: FAULTS CLEAR");
+      }
+      faults_.clear();
+      return "OK armed=0";
+    }
+    if (sub == "LOAD") {
+      if (tokens.size() != 3) {
+        return err(ServeCode::kInvalidArgument, "usage: FAULTS LOAD <path>");
+      }
+      fault::PlanParseResult parsed =
+          fault::load_fault_plan_file(std::string(tokens[2]));
+      if (!parsed.ok()) {
+        return err(ServeCode::kInvalidArgument,
+                   "line " + std::to_string(parsed.error->line) + ": " +
+                       parsed.error->message);
+      }
+      const std::size_t rules = parsed.plan.rules.size();
+      const std::uint64_t seed = parsed.plan.seed;
+      faults_.load(std::move(parsed.plan));
+      std::string out = "OK loaded=" + std::string(tokens[2]) +
+                        " seed=" + std::to_string(seed) +
+                        " rules=" + std::to_string(rules) + " armed=";
+      out += faults_.armed() ? '1' : '0';
+      return out;
+    }
+    return err(ServeCode::kInvalidArgument, kUsage);
   }
 
   if (verb == "METRICS") {

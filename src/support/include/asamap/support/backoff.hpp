@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file backoff.hpp
+/// Deterministic retry backoff schedule: capped exponential growth with
+/// decorrelated jitter.
+///
+/// "Decorrelated jitter" (the AWS architecture blog's variant) samples each
+/// sleep uniformly from [base, min(cap, 3 * previous)] instead of scaling a
+/// fixed exponential curve.  Retries from many contenders spread out instead
+/// of synchronizing into retry storms, while the expected sleep still grows
+/// geometrically until it hits the cap.  The jitter stream comes from the
+/// repo's deterministic xoshiro256** generator, so a given (seed, attempt
+/// index) always produces the same schedule — required by the fault layer's
+/// deterministic-replay contract (see DESIGN.md §4e).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "asamap/support/rng.hpp"
+
+namespace asamap::support {
+
+class DecorrelatedBackoff {
+ public:
+  using Millis = std::chrono::milliseconds;
+
+  DecorrelatedBackoff(Millis base, Millis cap, std::uint64_t seed) noexcept
+      : base_(base.count() > 0 ? base : Millis{1}),
+        cap_(std::max(cap, base_)),
+        prev_(base_),
+        rng_(seed) {}
+
+  /// The sleep before the next retry attempt.  First call returns a value in
+  /// [base, base] .. [base, 3*base]; subsequent calls grow toward the cap.
+  Millis next() noexcept {
+    const auto lo = static_cast<std::uint64_t>(base_.count());
+    const auto hi = std::max(
+        lo, std::min(static_cast<std::uint64_t>(cap_.count()),
+                     static_cast<std::uint64_t>(prev_.count()) * 3));
+    prev_ = Millis{static_cast<Millis::rep>(rng_.next_in(lo, hi))};
+    return prev_;
+  }
+
+  /// Restart the schedule (e.g. after a success resets the retry streak).
+  void reset() noexcept { prev_ = base_; }
+
+ private:
+  Millis base_;
+  Millis cap_;
+  Millis prev_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace asamap::support

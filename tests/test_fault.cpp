@@ -1,0 +1,480 @@
+/// Tests for asamap::fault — plan parsing, deterministic injection,
+/// backoff, and the circuit-breaker state machine.
+///
+/// Everything except the end-to-end replay suite runs in BOTH build
+/// flavors: the injector, parser, backoff, and breaker are ordinary code
+/// regardless of ASAMAP_FAULT_INJECTION — only the serve-stack *sites*
+/// (fault::check) compile out.  The replay suite drives a ServeSession
+/// through fault::check and skips itself when the sites are compiled out.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asamap/fault/fault.hpp"
+#include "asamap/fault/retry.hpp"
+#include "asamap/serve/session.hpp"
+#include "asamap/support/backoff.hpp"
+
+using namespace asamap;
+using namespace std::chrono_literals;
+using fault::CircuitBreaker;
+using fault::Effect;
+using fault::FaultDecision;
+using fault::FaultInjector;
+using fault::FaultPlan;
+using fault::FaultRule;
+using fault::Site;
+
+// ---------------------------------------------------------------- parsing
+
+TEST(FaultPlanParse, FullPlanRoundTrips) {
+  const auto r = fault::parse_fault_plan_text(
+      "# chaos plan\n"
+      "seed 20230807\n"
+      "\n"
+      "site ingest.parse error p=0.25\n"
+      "site scheduler.dispatch error every=7\n"
+      "site cluster.sweep latency p=0.1 ms=5\n"
+      "site session.io cancel once=3\n"
+      "site registry.evict partial p=0.5 max=10\n");
+  ASSERT_TRUE(r.ok()) << r.error->message;
+  EXPECT_EQ(r.plan.seed, 20230807u);
+  ASSERT_EQ(r.plan.rules.size(), 5u);
+  EXPECT_EQ(r.plan.rules[0].site, Site::kIngestParse);
+  EXPECT_EQ(r.plan.rules[0].effect, Effect::kError);
+  EXPECT_DOUBLE_EQ(r.plan.rules[0].probability, 0.25);
+  EXPECT_EQ(r.plan.rules[1].every_nth, 7u);
+  EXPECT_EQ(r.plan.rules[2].effect, Effect::kLatency);
+  EXPECT_EQ(r.plan.rules[2].latency, 5ms);
+  EXPECT_EQ(r.plan.rules[3].one_shot_at, 3u);
+  EXPECT_EQ(r.plan.rules[4].effect, Effect::kPartialWrite);
+  EXPECT_EQ(r.plan.rules[4].max_fires, 10u);
+}
+
+TEST(FaultPlanParse, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* text;
+    int line;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"seed 1\nbogus directive\n", 2, "unknown directive"},
+      {"seed 1\nsite nowhere error p=0.5\n", 2, "unknown site"},
+      {"seed 1\nsite session.io explode p=0.5\n", 2, "unknown effect"},
+      {"seed 1\nsite session.io error p=1.5\n", 2, "bad value"},
+      {"seed 1\nsite session.io error p=0.5 every=3\n", 2, "exactly one"},
+      {"seed 1\nsite session.io error\n", 2, "exactly one"},
+      {"seed 1\nsite session.io latency p=0.5\n", 2, "ms="},
+      {"seed 1\nsite session.io error p=0.5 ms=3\n", 2, "latency"},
+      {"seed 1\nsite session.io error p=0.5 frequency=2\n", 2,
+       "unknown option"},
+      {"seed x\n", 1, "seed"},
+      {"site session.io error p=0.5\n", 1, "seed"},
+  };
+  for (const Case& c : cases) {
+    const auto r = fault::parse_fault_plan_text(c.text);
+    ASSERT_FALSE(r.ok()) << c.text;
+    EXPECT_EQ(r.error->line, c.line) << c.text;
+    EXPECT_NE(r.error->message.find(c.needle), std::string::npos)
+        << c.text << " -> " << r.error->message;
+  }
+}
+
+TEST(FaultPlanParse, MissingFileReportsLineZero) {
+  const auto r = fault::load_fault_plan_file("/nonexistent/plan.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->line, 0);
+}
+
+TEST(FaultPlanParse, SiteAndEffectNamesRoundTrip) {
+  for (int i = 0; i < fault::kNumSites; ++i) {
+    const auto site = static_cast<Site>(i);
+    const auto back = fault::site_from_string(fault::to_string(site));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, site);
+  }
+  for (Effect e : {Effect::kError, Effect::kLatency, Effect::kCancel,
+                   Effect::kPartialWrite}) {
+    const auto back = fault::effect_from_string(fault::to_string(e));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, e);
+  }
+  EXPECT_FALSE(fault::site_from_string("nope").has_value());
+  EXPECT_FALSE(fault::effect_from_string("none").has_value());
+}
+
+// --------------------------------------------------------------- injector
+
+namespace {
+
+FaultPlan make_plan(std::uint64_t seed, std::vector<FaultRule> rules) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.rules = std::move(rules);
+  return plan;
+}
+
+FaultRule rule(Site site, Effect effect, double p = 0.0,
+               std::uint64_t every = 0, std::uint64_t once = 0) {
+  FaultRule r;
+  r.site = site;
+  r.effect = effect;
+  r.probability = p;
+  r.every_nth = every;
+  r.one_shot_at = once;
+  return r;
+}
+
+}  // namespace
+
+TEST(FaultInjector, UnarmedAndNullAreNoops) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.armed());
+  EXPECT_EQ(inj.decide(Site::kSessionIo).effect, Effect::kNone);
+  EXPECT_EQ(fault::check(nullptr, Site::kSessionIo).effect, Effect::kNone);
+}
+
+TEST(FaultInjector, EveryNthFiresOnMultiples) {
+  FaultInjector inj;
+  inj.load(make_plan(1, {rule(Site::kSessionIo, Effect::kError, 0, 3)}));
+  std::vector<int> fired;
+  for (int i = 1; i <= 9; ++i) {
+    if (inj.decide(Site::kSessionIo).effect != Effect::kNone) fired.push_back(i);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{3, 6, 9}));
+  EXPECT_EQ(inj.hits(Site::kSessionIo), 9u);
+  EXPECT_EQ(inj.injected(Site::kSessionIo), 3u);
+}
+
+TEST(FaultInjector, OneShotFiresExactlyOnce) {
+  FaultInjector inj;
+  inj.load(make_plan(1, {rule(Site::kIngestParse, Effect::kCancel, 0, 0, 4)}));
+  int fired_at = 0;
+  for (int i = 1; i <= 10; ++i) {
+    if (inj.decide(Site::kIngestParse).effect != Effect::kNone) fired_at = i;
+  }
+  EXPECT_EQ(fired_at, 4);
+  EXPECT_EQ(inj.injected_total(), 1u);
+}
+
+TEST(FaultInjector, MaxFiresCapsARule) {
+  FaultRule r = rule(Site::kRegistryEvict, Effect::kError, 0, 1);  // every hit
+  r.max_fires = 2;
+  FaultInjector inj;
+  inj.load(make_plan(1, {r}));
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (inj.decide(Site::kRegistryEvict).effect != Effect::kNone) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(FaultInjector, ProbabilityRateIsRoughlyHonored) {
+  FaultInjector inj;
+  inj.load(make_plan(42, {rule(Site::kClusterSweep, Effect::kError, 0.3)}));
+  int fired = 0;
+  const int kHits = 10000;
+  for (int i = 0; i < kHits; ++i) {
+    if (inj.decide(Site::kClusterSweep).effect != Effect::kNone) ++fired;
+  }
+  const double rate = static_cast<double>(fired) / kHits;
+  EXPECT_GT(rate, 0.25);
+  EXPECT_LT(rate, 0.35);
+}
+
+TEST(FaultInjector, DecisionsAreDeterministicAcrossInjectors) {
+  const auto plan = make_plan(
+      777, {rule(Site::kIngestParse, Effect::kError, 0.3),
+            rule(Site::kSessionIo, Effect::kLatency, 0.2),
+            rule(Site::kSchedulerDispatch, Effect::kCancel, 0, 4)});
+  FaultInjector a;
+  FaultInjector b;
+  a.load(plan);
+  b.load(plan);
+  std::vector<Effect> seq_a;
+  std::vector<Effect> seq_b;
+  const Site sites[] = {Site::kIngestParse, Site::kSessionIo,
+                        Site::kSchedulerDispatch};
+  for (int i = 0; i < 600; ++i) {
+    const Site s = sites[i % 3];
+    seq_a.push_back(a.decide(s).effect);
+    seq_b.push_back(b.decide(s).effect);
+  }
+  EXPECT_EQ(seq_a, seq_b);
+  EXPECT_GT(a.injected_total(), 0u);
+  EXPECT_EQ(a.injected_total(), b.injected_total());
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  const std::vector<FaultRule> rules = {
+      rule(Site::kIngestParse, Effect::kError, 0.5)};
+  FaultInjector a;
+  FaultInjector b;
+  a.load(make_plan(1, rules));
+  b.load(make_plan(2, rules));
+  int differ = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.decide(Site::kIngestParse).effect !=
+        b.decide(Site::kIngestParse).effect) {
+      ++differ;
+    }
+  }
+  EXPECT_GT(differ, 0);
+}
+
+TEST(FaultInjector, ReloadResetsCounters) {
+  FaultInjector inj;
+  inj.load(make_plan(1, {rule(Site::kSessionIo, Effect::kError, 0, 1)}));
+  (void)inj.decide(Site::kSessionIo);
+  EXPECT_EQ(inj.injected_total(), 1u);
+  inj.load(make_plan(1, {rule(Site::kSessionIo, Effect::kError, 0, 1)}));
+  EXPECT_EQ(inj.hits(Site::kSessionIo), 0u);
+  EXPECT_EQ(inj.injected_total(), 0u);
+  inj.clear();
+  EXPECT_FALSE(inj.armed());
+  EXPECT_EQ(inj.rule_count(), 0u);
+  EXPECT_EQ(inj.decide(Site::kSessionIo).effect, Effect::kNone);
+}
+
+// ---------------------------------------------------------------- backoff
+
+TEST(Backoff, DeterministicAndBounded) {
+  support::DecorrelatedBackoff a(2ms, 50ms, 9);
+  support::DecorrelatedBackoff b(2ms, 50ms, 9);
+  std::chrono::milliseconds prev{2};
+  for (int i = 0; i < 32; ++i) {
+    const auto da = a.next();
+    const auto db = b.next();
+    EXPECT_EQ(da, db);
+    EXPECT_GE(da, 2ms);
+    EXPECT_LE(da, 50ms);
+    // decorrelated jitter: next <= 3 * previous (before capping)
+    EXPECT_LE(da.count(), std::max<std::int64_t>(prev.count() * 3, 2));
+    prev = da;
+  }
+  // reset() restarts the growth curve (the jitter stream continues): the
+  // first post-reset sleep is back in [base, 3*base].
+  a.reset();
+  const auto after_reset = a.next();
+  EXPECT_GE(after_reset, 2ms);
+  EXPECT_LE(after_reset, 6ms);
+}
+
+TEST(Backoff, DegenerateBoundsAreClamped) {
+  support::DecorrelatedBackoff tiny(0ms, 0ms, 1);  // base clamps to 1ms
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(tiny.next(), 1ms);
+}
+
+// ----------------------------------------------------------------- breaker
+
+TEST(Breaker, TripsAfterConsecutiveFailures) {
+  fault::BreakerConfig cfg;
+  cfg.failure_threshold = 3;
+  cfg.open_duration = 10s;  // never reached in this test
+  CircuitBreaker br(cfg);
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kClosed);
+  br.record_failure();
+  br.record_failure();
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(br.allow());
+  br.record_failure();
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(br.allow());
+  EXPECT_EQ(br.transitions_to(CircuitBreaker::State::kOpen), 1u);
+}
+
+TEST(Breaker, SuccessResetsTheStreak) {
+  fault::BreakerConfig cfg;
+  cfg.failure_threshold = 3;
+  CircuitBreaker br(cfg);
+  br.record_failure();
+  br.record_failure();
+  br.record_success();  // streak resets
+  br.record_failure();
+  br.record_failure();
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kClosed);
+  br.record_failure();
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(Breaker, HalfOpensOnTimerAndClosesOnProbeSuccess) {
+  fault::BreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_duration = 30ms;
+  CircuitBreaker br(cfg);
+  br.record_failure();
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(br.allow());
+  std::this_thread::sleep_for(40ms);
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(br.allow());    // the probe
+  EXPECT_FALSE(br.allow());   // only one probe in flight
+  br.record_success();
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(br.allow());
+  EXPECT_EQ(br.transitions_to(CircuitBreaker::State::kHalfOpen), 1u);
+  EXPECT_EQ(br.transitions_to(CircuitBreaker::State::kClosed), 1u);
+}
+
+TEST(Breaker, ProbeFailureReopens) {
+  fault::BreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_duration = 20ms;
+  CircuitBreaker br(cfg);
+  br.record_failure();
+  std::this_thread::sleep_for(30ms);
+  EXPECT_TRUE(br.allow());
+  br.record_failure();  // probe fails
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(br.allow());
+  EXPECT_EQ(br.transitions_to(CircuitBreaker::State::kOpen), 2u);
+  // ...and the cycle completes again after the timer.
+  std::this_thread::sleep_for(30ms);
+  EXPECT_TRUE(br.allow());
+  br.record_success();
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(Breaker, ListenerSeesEveryTransition) {
+  fault::BreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_duration = 15ms;
+  CircuitBreaker br(cfg);
+  std::vector<CircuitBreaker::State> seen;
+  br.set_listener([&](CircuitBreaker::State s) { seen.push_back(s); });
+  br.record_failure();
+  std::this_thread::sleep_for(25ms);
+  ASSERT_TRUE(br.allow());
+  br.record_success();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], CircuitBreaker::State::kOpen);
+  EXPECT_EQ(seen[1], CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(seen[2], CircuitBreaker::State::kClosed);
+}
+
+// ----------------------------------------------- end-to-end replay (gated)
+
+namespace {
+
+/// Writes a plan to a temp file and returns its path.
+std::string write_plan(const std::string& name, const std::string& text) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+serve::SessionConfig replay_config() {
+  serve::SessionConfig cfg;
+  cfg.scheduler.workers = 1;
+  cfg.cluster_threads = 1;
+  return cfg;
+}
+
+std::vector<std::string> run_script(const std::string& plan_path) {
+  serve::ServeSession session(replay_config());
+  const char* script[] = {
+      "GEN g 2000 8000 7", "CLUSTER g sync", "MEMBER g 0",
+      "MEMBER g 1",        "SAME g 0 1",     "CLUSTER g sync",
+      "SUMMARY g",         "FAULTS STATUS",
+  };
+  std::vector<std::string> responses;
+  responses.push_back(session.handle_line("FAULTS LOAD " + plan_path));
+  for (const char* line : script) responses.push_back(session.handle_line(line));
+  return responses;
+}
+
+}  // namespace
+
+TEST(FaultReplay, SamePlanSameSequenceSamePartitions) {
+  if (!fault::kFaultInjectionEnabled) {
+    GTEST_SKIP() << "built without ASAMAP_FAULT_INJECTION";
+  }
+  const std::string plan = write_plan("replay_plan.txt",
+                                      "seed 99\n"
+                                      "site session.io error every=5\n"
+                                      "site cluster.sweep partial once=2\n");
+  const auto first = run_script(plan);
+  const auto second = run_script(plan);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "response " << i << " diverged";
+  }
+  // The injected sequence actually did something: at least one ERR from
+  // session.io, and FAULTS STATUS reports nonzero injections.
+  bool saw_injected_error = false;
+  for (const auto& r : first) {
+    if (r.rfind("ERR unavailable", 0) == 0) saw_injected_error = true;
+  }
+  EXPECT_TRUE(saw_injected_error);
+  EXPECT_NE(first.back().find("injected="), std::string::npos);
+  EXPECT_EQ(first.back().find("injected=0 "), std::string::npos);
+}
+
+TEST(FaultReplay, PartialWriteSkipsPublish) {
+  if (!fault::kFaultInjectionEnabled) {
+    GTEST_SKIP() << "built without ASAMAP_FAULT_INJECTION";
+  }
+  serve::ServeSession session(replay_config());
+  // Every cluster.sweep is a partial write: runs finish, publishes vanish.
+  session.faults().load(make_plan(
+      5, {rule(Site::kClusterSweep, Effect::kPartialWrite, 0, 1)}));
+  ASSERT_EQ(session.handle_line("GEN g 1000 4000").substr(0, 2), "OK");
+  const std::string resp = session.handle_line("CLUSTER g sync");
+  EXPECT_EQ(resp.substr(0, 2), "OK");
+  EXPECT_NE(resp.find("state=done"), std::string::npos);
+  EXPECT_EQ(session.snapshot("g"), nullptr);  // publish was dropped
+  EXPECT_EQ(session.handle_line("MEMBER g 0").substr(0, 16),
+            "ERR no_partition");
+}
+
+TEST(FaultReplay, IngestRetriesExhaustThenFail) {
+  if (!fault::kFaultInjectionEnabled) {
+    GTEST_SKIP() << "built without ASAMAP_FAULT_INJECTION";
+  }
+  serve::SessionConfig cfg = replay_config();
+  cfg.registry.ingest_retry.max_attempts = 3;
+  cfg.registry.ingest_retry.initial_backoff = 1ms;
+  cfg.registry.ingest_retry.max_backoff = 2ms;
+  serve::ServeSession session(cfg);
+  session.faults().load(
+      make_plan(5, {rule(Site::kIngestParse, Effect::kError, 0, 1)}));
+  const auto status = session.load_text("g", "0 1\n1 2\n");
+  EXPECT_EQ(status.code, serve::ServeCode::kUnavailable);
+  EXPECT_EQ(session.registry().stats().ingest_retries, 2u);
+  EXPECT_EQ(
+      session.metrics().counter_total("asamap_retries_total",
+                                      "site=\"ingest.parse\""),
+      2u);
+  // A later upload with the plan cleared succeeds.
+  session.faults().clear();
+  EXPECT_TRUE(session.load_text("g", "0 1\n1 2\n").ok());
+}
+
+TEST(FaultReplay, DispatchFaultRetriesThenRuns) {
+  if (!fault::kFaultInjectionEnabled) {
+    GTEST_SKIP() << "built without ASAMAP_FAULT_INJECTION";
+  }
+  serve::SessionConfig cfg = replay_config();
+  cfg.scheduler.dispatch_retry.max_attempts = 3;
+  cfg.scheduler.dispatch_retry.initial_backoff = 1ms;
+  cfg.scheduler.dispatch_retry.max_backoff = 2ms;
+  serve::ServeSession session(cfg);
+  // First dispatch attempt of the first job fails; the retry succeeds.
+  session.faults().load(
+      make_plan(5, {rule(Site::kSchedulerDispatch, Effect::kError, 0, 0, 1)}));
+  ASSERT_EQ(session.handle_line("GEN g 1000 4000").substr(0, 2), "OK");
+  const std::string resp = session.handle_line("CLUSTER g sync");
+  EXPECT_NE(resp.find("state=done"), std::string::npos) << resp;
+  EXPECT_NE(session.snapshot("g"), nullptr);
+  EXPECT_EQ(session.scheduler().stats().dispatch_retries, 1u);
+  EXPECT_EQ(
+      session.metrics().counter_total("asamap_retries_total",
+                                      "site=\"scheduler.dispatch\""),
+      1u);
+}

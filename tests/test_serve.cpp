@@ -192,7 +192,9 @@ TEST(JobScheduler, FullLaneRejectsWithReason) {
   const auto rejected = g.sched->submit([](const JobContext&) {});
   EXPECT_FALSE(rejected.accepted());
   EXPECT_EQ(rejected.status.code, ServeCode::kRejected);
-  EXPECT_NE(rejected.status.message.find("batch queue full"),
+  // The reject reason is a static literal (allocation-free hot path).
+  EXPECT_TRUE(rejected.status.message.empty());
+  EXPECT_NE(rejected.status.text().find("batch queue full"),
             std::string::npos);
   EXPECT_EQ(g.sched->stats().rejected, 1u);
   g.release = true;
@@ -546,6 +548,172 @@ TEST(ServeStress, ShutdownWithClusterJobsInFlight) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5 * round));
   }  // destructor: shutdown with work in every state
   SUCCEED();
+}
+
+// --- Robustness: degradation, breaker, stale serves ----------------------
+// These exercise the retry/breaker/degradation layer (DESIGN.md §4e) and
+// run in BOTH build flavors — they rely on real backpressure and memory
+// pressure, not injected faults.
+
+// A session whose single worker is pinned and whose batch lane holds one
+// queued job: the next batch CLUSTER hits real backpressure.
+struct GatedSession {
+  SessionConfig config;
+  std::optional<ServeSession> session;
+  std::atomic<bool> release{false};
+  std::uint64_t gate_id = 0;
+  std::uint64_t filler_id = 0;
+
+  explicit GatedSession(fault::BreakerConfig breaker = {}) {
+    config.cluster_threads = 1;
+    config.scheduler.workers = 1;
+    config.scheduler.batch_capacity = 1;
+    config.breaker = breaker;
+    session.emplace(config);
+  }
+
+  /// Pins the worker on a gate job and fills the one-slot batch lane.
+  void jam() {
+    std::atomic<bool> running{false};
+    gate_id = session->scheduler()
+                  .submit([this, &running](const JobContext&) {
+                    running = true;
+                    while (!release) std::this_thread::sleep_for(1ms);
+                  })
+                  .id;
+    while (!running) std::this_thread::sleep_for(1ms);
+    filler_id = session->scheduler().submit([](const JobContext&) {}).id;
+  }
+
+  void drain() {
+    release = true;
+    session->scheduler().wait(gate_id);
+    session->scheduler().wait(filler_id);
+  }
+};
+
+TEST(ServeRobustness, ClusterDegradesToStaleUnderBackpressure) {
+  GatedSession g;
+  ServeSession& session = *g.session;
+  ASSERT_EQ(session.handle_line("GEN g 300 1200 7").substr(0, 2), "OK");
+  ASSERT_NE(session.handle_line("CLUSTER g sync").find("version=1"),
+            std::string::npos);
+  g.jam();
+  // The batch lane is full: instead of ERR rejected, CLUSTER serves the
+  // last published snapshot annotated STALE.
+  const std::string resp = session.handle_line("CLUSTER g");
+  EXPECT_EQ(resp.rfind("OK STALE version=1", 0), 0u) << resp;
+  EXPECT_NE(resp.find("reason=queue_full"), std::string::npos);
+  // Readers keep answering from that same prior snapshot.
+  EXPECT_EQ(session.handle_line("MEMBER g 0").rfind("OK version=1", 0), 0u);
+  EXPECT_EQ(session.metrics().counter_total("asamap_stale_serves_total"), 1u);
+  g.drain();
+}
+
+TEST(ServeRobustness, ClusterDegradesToStaleUnderMemoryPressure) {
+  SessionConfig config;
+  config.cluster_threads = 1;
+  config.scheduler.workers = 1;
+  // A budget no graph fits under: the newest insert survives (the registry
+  // never evicts the entry it just admitted), so the session sits
+  // permanently over budget — sustained memory pressure.
+  config.registry.memory_budget_bytes = 1;
+  ServeSession session(config);
+  ASSERT_EQ(session.handle_line("GEN g 300 1200 7").substr(0, 2), "OK");
+  ASSERT_TRUE(session.registry().under_pressure());
+  // No snapshot yet: degradation has nothing to serve, so the first CLUSTER
+  // proceeds best-effort and publishes version 1.
+  ASSERT_NE(session.handle_line("CLUSTER g sync").find("version=1"),
+            std::string::npos);
+  const std::string resp = session.handle_line("CLUSTER g sync");
+  EXPECT_EQ(resp.rfind("OK STALE version=1", 0), 0u) << resp;
+  EXPECT_NE(resp.find("reason=memory_pressure"), std::string::npos);
+}
+
+TEST(ServeRobustness, BreakerOpensAfterConsecutiveBackpressureAndSheds) {
+  fault::BreakerConfig breaker;
+  breaker.failure_threshold = 2;
+  breaker.open_duration = 10s;  // stays open for the whole test
+  GatedSession g(breaker);
+  ServeSession& session = *g.session;
+  ASSERT_EQ(session.handle_line("GEN g 300 1200 7").substr(0, 2), "OK");
+  g.jam();
+  // No snapshot exists, so each backpressure failure surfaces as an error
+  // (nothing to degrade to) and feeds the breaker.
+  EXPECT_EQ(session.handle_line("CLUSTER g").substr(0, 12), "ERR rejected");
+  EXPECT_EQ(session.metrics().gauge_value("asamap_breaker_state"), 0.0);
+  EXPECT_EQ(session.handle_line("CLUSTER g").substr(0, 12), "ERR rejected");
+  // Second consecutive failure tripped it: gauge flips, batch lane sheds.
+  EXPECT_EQ(session.breaker().state(),
+            fault::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(session.metrics().gauge_value("asamap_breaker_state"), 1.0);
+  EXPECT_EQ(session.metrics().counter_total("asamap_breaker_transitions_total",
+                                            "to=\"open\""),
+            1u);
+  EXPECT_EQ(session.scheduler().state(g.filler_id), JobState::kCancelled);
+  EXPECT_GE(session.scheduler().stats().shed, 1u);
+  EXPECT_EQ(session.metrics().counter_total("asamap_jobs_shed_total",
+                                            "lane=\"batch\""),
+            1u);
+  // While open, CLUSTER short-circuits before touching the scheduler.
+  const auto rejected_before = session.scheduler().stats().rejected;
+  EXPECT_EQ(session.handle_line("CLUSTER g").substr(0, 15), "ERR unavailable");
+  EXPECT_EQ(session.scheduler().stats().rejected, rejected_before);
+  EXPECT_NE(session.handle_line("STATS").find("breaker=open"),
+            std::string::npos);
+  g.drain();
+}
+
+TEST(ServeRobustness, BreakerHalfOpensAndClosesOnProbeSuccess) {
+  fault::BreakerConfig breaker;
+  breaker.failure_threshold = 1;
+  breaker.open_duration = 50ms;
+  GatedSession g(breaker);
+  ServeSession& session = *g.session;
+  ASSERT_EQ(session.handle_line("GEN g 300 1200 7").substr(0, 2), "OK");
+  g.jam();
+  EXPECT_EQ(session.handle_line("CLUSTER g").substr(0, 12), "ERR rejected");
+  EXPECT_EQ(session.breaker().state(), fault::CircuitBreaker::State::kOpen);
+  g.drain();  // free the worker so the probe can actually run
+  std::this_thread::sleep_for(60ms);
+  // The open timer elapsed: the next CLUSTER is the half-open probe; it
+  // succeeds and closes the breaker.
+  const std::string resp = session.handle_line("CLUSTER g sync");
+  EXPECT_NE(resp.find("state=done"), std::string::npos) << resp;
+  EXPECT_EQ(session.breaker().state(), fault::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(session.metrics().gauge_value("asamap_breaker_state"), 0.0);
+  EXPECT_EQ(session.metrics().counter_total("asamap_breaker_transitions_total",
+                                            "to=\"half_open\""),
+            1u);
+  EXPECT_EQ(session.metrics().counter_total("asamap_breaker_transitions_total",
+                                            "to=\"closed\""),
+            1u);
+}
+
+// The robustness metric schema is pre-registered at construction: a scrape
+// of a fresh session already exposes every name OPERATIONS.md documents,
+// whether or not a fault ever fired.
+TEST(ServeRobustness, MetricSchemaIsPreRegistered) {
+  ServeSession session(test_config());
+  const std::string prom = session.handle_line("METRICS");
+  for (const char* needle : {
+           "asamap_retries_total{site=\"ingest.parse\"}",
+           "asamap_retries_total{site=\"scheduler.dispatch\"}",
+           "asamap_breaker_state 0",
+           "asamap_breaker_transitions_total{to=\"open\"}",
+           "asamap_stale_serves_total 0",
+           "asamap_jobs_shed_total{lane=\"batch\"}",
+           "asamap_jobs_shed_total{lane=\"interactive\"}",
+           "asamap_faults_injected_total{site=\"session.io\"}",
+       }) {
+    EXPECT_NE(prom.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_NE(session.handle_line("STATS").find("breaker=closed"),
+            std::string::npos);
+  // FAULTS STATUS answers in both build flavors.
+  const std::string status = session.handle_line("FAULTS STATUS");
+  EXPECT_EQ(status.rfind("OK enabled=", 0), 0u) << status;
+  EXPECT_NE(status.find("armed=0"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Fail when docs/OPERATIONS.md misses a registered metric name.
+
+Usage: check_ops_doc.py <prom-scrape> [<ops-doc>]
+
+<prom-scrape> is a Prometheus text scrape of a *fresh* ServeSession — the
+serving stack pre-registers its whole metric schema at construction, so a
+fresh session's METRICS response already enumerates every name the stack
+can ever emit (see the MetricSchemaIsPreRegistered test).  CI produces one
+with:
+
+    echo METRICS | ./build/examples/asamap_serve > scrape.prom
+
+Every `# TYPE <name> <kind>` line must be mentioned (verbatim name) in the
+operations runbook; exit 1 lists the missing ones.  This is what keeps the
+"every metric, documented" guarantee from drifting as metrics are added.
+"""
+
+import re
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    scrape_path = sys.argv[1]
+    doc_path = sys.argv[2] if len(sys.argv) > 2 else "docs/OPERATIONS.md"
+
+    with open(scrape_path, encoding="utf-8") as f:
+        scrape = f.read()
+    names = sorted(set(re.findall(r"^# TYPE (\S+) \S+$", scrape, re.M)))
+    if not names:
+        print(f"error: no '# TYPE' lines found in {scrape_path} — is it a "
+              "Prometheus text scrape?", file=sys.stderr)
+        return 2
+
+    with open(doc_path, encoding="utf-8") as f:
+        doc = f.read()
+    missing = [n for n in names if n not in doc]
+    if missing:
+        print(f"{doc_path} is missing {len(missing)} of {len(names)} "
+              "registered metrics:", file=sys.stderr)
+        for n in missing:
+            print(f"  {n}", file=sys.stderr)
+        return 1
+    print(f"ok: all {len(names)} registered metrics documented in {doc_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
