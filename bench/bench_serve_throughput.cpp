@@ -16,11 +16,18 @@
 // answer), injected-fault/retry/stale/breaker counters, and appends a
 // "chaos" section to the JSON artifact.
 //
+// With --trace a tracer-overhead phase reruns the workload on a fresh
+// session with the flight recorder disabled.  The baseline above IS the
+// traced number (the recorder is always on), so the delta is the tracer's
+// cost; the run fails if that overhead exceeds 5%.  A "trace" section
+// lands in the JSON artifact either way.
+//
 //   bench_serve_throughput [--seconds S] [--clients N] [--workers N]
 //                          [--n N] [--edges M] [--seed S] [--batch-cap N]
 //                          [--cluster-threads N] [--faults plan.txt]
-//                          [--out file.json]
+//                          [--trace] [--out file.json]
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <fstream>
@@ -33,6 +40,7 @@
 #include "asamap/benchutil/table.hpp"
 #include "asamap/fault/fault.hpp"
 #include "asamap/obs/metrics.hpp"
+#include "asamap/obs/tracing.hpp"
 #include "asamap/serve/session.hpp"
 #include "asamap/support/argparse.hpp"
 #include "asamap/support/histogram.hpp"
@@ -172,18 +180,18 @@ double run_window(serve::ServeSession& session, int clients,
 }  // namespace
 
 int main(int argc, char** argv) try {
-  const support::ArgParser args(argc, argv, 1, {"help"});
+  const support::ArgParser args(argc, argv, 1, {"help", "trace"});
   if (args.flag("help")) {
     std::cout << "usage: bench_serve_throughput [--seconds S] [--clients N] "
                  "[--workers N] [--n N]\n"
                  "        [--edges M] [--seed S] [--batch-cap N] "
                  "[--cluster-threads N]\n"
-                 "        [--faults plan.txt] [--out f.json]\n";
+                 "        [--faults plan.txt] [--trace] [--out f.json]\n";
     return 0;
   }
   if (const auto unknown = args.unknown_keys(
           {"seconds", "clients", "workers", "n", "edges", "seed", "batch-cap",
-           "cluster-threads", "faults", "out"});
+           "cluster-threads", "faults", "trace", "out"});
       !unknown.empty()) {
     std::cerr << "unknown argument: --" << unknown.front() << '\n';
     return 2;
@@ -270,7 +278,64 @@ int main(int argc, char** argv) try {
   t.add_row({"protocol errors", std::to_string(errors)});
   t.print(std::cout);
 
-  // ---- phase 2: chaos (optional) ---------------------------------------
+  // ---- phase 2: tracer overhead (optional) -----------------------------
+  // The flight recorder is ALWAYS on, so the baseline above is already the
+  // traced number.  This phase reruns the identical workload on a fresh
+  // session with the recorder disabled; the throughput delta is what the
+  // always-on tracer costs.  Budget: 5%.
+  struct TraceReport {
+    bool ran = false;
+    double traced_rps = 0;
+    double untraced_rps = 0;
+    double overhead = 0;  ///< (untraced - traced) / untraced, clamped >= 0
+    obs::TraceStats stats{};
+  } trace;
+  constexpr double kTraceOverheadLimit = 0.05;
+
+  if (args.flag("trace")) {
+    benchutil::banner(std::cout, "Tracer overhead: always-on vs. recorder off");
+    // Recorder stats as of the end of the traced window, before anything
+    // else writes events.
+    trace.stats = obs::FlightRecorder::instance().stats();
+    obs::FlightRecorder::instance().set_enabled(false);
+    {
+      serve::ServeSession untraced_session(config);
+      if (!warm_up(untraced_session, n, edges, seed)) {
+        obs::FlightRecorder::instance().set_enabled(true);
+        return 1;
+      }
+      ClientTotals untraced_totals;
+      const double untraced_elapsed =
+          run_window(untraced_session, clients, n, seed ^ 0x7ACEULL, seconds,
+                     untraced_totals);
+      const std::uint64_t untraced_requests =
+          untraced_session.metrics().counter_sum(
+              "asamap_serve_requests_total");
+      trace.untraced_rps =
+          static_cast<double>(untraced_requests) / untraced_elapsed;
+    }
+    obs::FlightRecorder::instance().set_enabled(true);
+    trace.ran = true;
+    trace.traced_rps = rps;
+    trace.overhead =
+        trace.untraced_rps <= 0.0
+            ? 0.0
+            : std::max(0.0, (trace.untraced_rps - trace.traced_rps) /
+                                trace.untraced_rps);
+
+    benchutil::Table tt({"Metric", "Value"});
+    tt.add_row({"traced requests/sec", fmt(trace.traced_rps, 0)});
+    tt.add_row({"untraced requests/sec", fmt(trace.untraced_rps, 0)});
+    tt.add_row({"tracer overhead (%)", fmt(trace.overhead * 100.0, 2)});
+    tt.add_row({"overhead budget (%)", fmt(kTraceOverheadLimit * 100.0, 2)});
+    tt.add_row({"events recorded", std::to_string(trace.stats.recorded)});
+    tt.add_row({"events dropped", std::to_string(trace.stats.dropped)});
+    tt.add_row({"rings", std::to_string(trace.stats.rings)});
+    tt.add_row({"ring capacity", std::to_string(trace.stats.ring_capacity)});
+    tt.print(std::cout);
+  }
+
+  // ---- phase 3: chaos (optional) ---------------------------------------
   // A fresh session with the same config, armed with the fault plan AFTER
   // warm-up (so the bench graph ingests cleanly), plus a burst of small
   // text uploads to exercise the ingest.parse retry path.
@@ -387,6 +452,18 @@ int main(int argc, char** argv) try {
      << ", \"failed\": " << sched.failed << "},\n"
      << "  \"final_partition_version\": " << (snap ? snap->version : 0)
      << ",\n";
+  if (trace.ran) {
+    js << "  \"trace\": {\n"
+       << "    \"traced_rps\": " << trace.traced_rps << ",\n"
+       << "    \"untraced_rps\": " << trace.untraced_rps << ",\n"
+       << "    \"overhead_fraction\": " << trace.overhead << ",\n"
+       << "    \"overhead_limit\": " << kTraceOverheadLimit << ",\n"
+       << "    \"recorder\": {\"recorded\": " << trace.stats.recorded
+       << ", \"dropped\": " << trace.stats.dropped
+       << ", \"rings\": " << trace.stats.rings
+       << ", \"ring_capacity\": " << trace.stats.ring_capacity << "}\n"
+       << "  },\n";
+  }
   if (chaos.ran) {
     js << "  \"chaos\": {\n"
        << "    \"plan\": \"" << faults_path << "\",\n"
@@ -416,6 +493,12 @@ int main(int argc, char** argv) try {
   session.metrics().write_json(js, "  ");
   js << "\n}\n";
   std::cout << "\nWrote " << out_path << '\n';
+  if (trace.ran && trace.overhead > kTraceOverheadLimit) {
+    std::cerr << "FAIL: tracer overhead " << fmt(trace.overhead * 100.0, 2)
+              << "% exceeds the " << fmt(kTraceOverheadLimit * 100.0, 0)
+              << "% budget\n";
+    return 1;
+  }
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

@@ -3,7 +3,7 @@
 //
 //   asamap_cli cluster <graph.txt> [--out partition.tsv] [--engine=flat|...]
 //                      [--parallel N] [--deadline-ms N] [--directed]
-//                      [--metrics prom|json]
+//                      [--metrics prom|json] [--trace-out FILE]
 //   asamap_cli stats   <graph.txt> [--directed]
 //   asamap_cli gen     <dataset-name> <out.txt>      (paper stand-ins)
 //   asamap_cli compare <graph.txt> <a.tsv> <b.tsv>   (NMI/ARI/modularity)
@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <string>
@@ -23,6 +24,7 @@
 
 #include "asamap/benchutil/json_env.hpp"
 #include "asamap/core/infomap.hpp"
+#include "asamap/obs/tracing.hpp"
 #include "asamap/gen/datasets.hpp"
 #include "asamap/graph/io.hpp"
 #include "asamap/graph/stats.hpp"
@@ -41,7 +43,7 @@ int usage() {
       "  asamap_cli cluster <graph.txt> [--out partition.tsv]\n"
       "                     [--engine flat|chained|open|asa|dense]\n"
       "                     [--parallel N] [--deadline-ms N] [--directed]\n"
-      "                     [--metrics prom|json]\n"
+      "                     [--metrics prom|json] [--trace-out FILE]\n"
       "  asamap_cli stats   <graph.txt> [--directed]\n"
       "  asamap_cli gen     <dataset-name> <out.txt>\n"
       "  asamap_cli compare <graph.txt> <a.tsv> <b.tsv>\n";
@@ -123,11 +125,16 @@ int cmd_cluster(const support::ArgParser& args) {
   DeadlineWatchdog watchdog(deadline_ms, cancel);
 
   support::WallTimer timer;
-  const core::InfomapResult result =
-      parallel > 0
-          ? core::run_infomap_parallel(g, opts, parallel)
-          : core::run_infomap(g, opts,
-                              engine_of(args.get_or("engine", "flat")));
+  core::InfomapResult result;
+  {
+    // Root span of the run's trace; kernel-phase spans parent under it and
+    // land in the flight recorder for --trace-out.
+    obs::TraceSpan run_span("cli.cluster", obs::TraceCat::kSession);
+    result = parallel > 0
+                 ? core::run_infomap_parallel(g, opts, parallel)
+                 : core::run_infomap(g, opts,
+                                     engine_of(args.get_or("engine", "flat")));
+  }
   watchdog.disarm();
   std::cerr << "Clustered in " << result.levels << " level(s), "
             << timer.seconds() << " s\n";
@@ -159,6 +166,17 @@ int cmd_cluster(const support::ArgParser& args) {
     std::cout << "  \"metrics\": ";
     registry.write_json(std::cout, "  ");
     std::cout << "\n}\n";
+  }
+
+  if (const auto trace_out = args.get("trace-out")) {
+    std::ofstream f(*trace_out);
+    if (!f) {
+      std::cerr << "--trace-out: cannot open " << *trace_out << '\n';
+      return 1;
+    }
+    obs::FlightRecorder::instance().write_chrome_json(f);
+    f << '\n';
+    std::cerr << "Trace written to " << *trace_out << '\n';
   }
   return 0;
 }
@@ -218,7 +236,8 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const support::ArgParser args(argc, argv, 2, {"directed"});
   if (const auto unknown = args.unknown_keys(
-          {"out", "engine", "parallel", "deadline-ms", "metrics"});
+          {"out", "engine", "parallel", "deadline-ms", "metrics",
+           "trace-out"});
       !unknown.empty()) {
     std::cerr << "unknown option: --" << unknown.front() << '\n';
     return usage();

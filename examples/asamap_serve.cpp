@@ -7,12 +7,16 @@
 //
 //   asamap_serve [--workers N] [--budget-mb MB] [--cluster-threads N]
 //                [--interactive-cap N] [--batch-cap N] [--faults plan.txt]
-//                [--echo]
+//                [--trace-out FILE] [--echo]
 //
 // --faults arms a fault plan at startup (equivalent to a leading
 // `FAULTS LOAD <plan>` request; wants a build configured with
 // -DASAMAP_FAULT_INJECTION=ON) — the CI chaos job starts the server this
 // way so every scripted request runs under injected faults.
+//
+// --trace-out writes the flight recorder's Chrome trace-event JSON to FILE
+// when the session ends (same payload as a final TRACE DUMP) — open it in
+// Perfetto or chrome://tracing.
 //
 // Protocol summary (see serve/session.hpp for the full reference):
 //   GEN g 10000 60000       CLUSTER g sync        MEMBER g 17
@@ -21,9 +25,11 @@
 //   METRICS [prom|json]     FAULTS LOAD p.txt|CLEAR|STATUS
 //   WAIT <job>  CANCEL <job>  DROP g  QUIT
 
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "asamap/obs/tracing.hpp"
 #include "asamap/serve/session.hpp"
 #include "asamap/support/argparse.hpp"
 
@@ -35,12 +41,13 @@ int main(int argc, char** argv) {
     std::cout << "usage: asamap_serve [--workers N] [--budget-mb MB] "
                  "[--cluster-threads N]\n"
                  "                    [--interactive-cap N] [--batch-cap N] "
-                 "[--faults plan.txt] [--echo]\n";
+                 "[--faults plan.txt]\n"
+                 "                    [--trace-out FILE] [--echo]\n";
     return 0;
   }
   if (const auto unknown = args.unknown_keys(
           {"workers", "budget-mb", "cluster-threads", "interactive-cap",
-           "batch-cap", "faults"});
+           "batch-cap", "faults", "trace-out"});
       !unknown.empty()) {
     std::cerr << "unknown option: --" << unknown.front() << '\n';
     return 2;
@@ -81,6 +88,17 @@ int main(int argc, char** argv) {
     // QUIT is answered ("OK bye") and then honored here, keeping
     // handle_line a pure request->response map.
     if (line.compare(start, 4, "QUIT") == 0) break;
+  }
+  if (const std::string trace_out = args.get_or("trace-out", "");
+      !trace_out.empty()) {
+    std::ofstream f(trace_out);
+    if (!f) {
+      std::cerr << "--trace-out: cannot open " << trace_out << '\n';
+      return 2;
+    }
+    asamap::obs::FlightRecorder::instance().write_chrome_json(f);
+    f << '\n';
+    std::cerr << "trace written to " << trace_out << '\n';
   }
   return 0;
 }

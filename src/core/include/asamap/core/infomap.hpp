@@ -183,6 +183,9 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
                              std::span<Worker<Acc, Sink>> workers) {
   ASAMAP_CHECK(!workers.empty(), "need at least one worker");
   InfomapResult result;
+  // Resolve every kernel-span sink (timer slots + histogram handles) once;
+  // the spans in the level loop then open/close allocation-free.
+  obs::KernelTimers ktimers(result.kernel_wall, opts.metrics);
   const auto cancelled = [&opts] {
     return opts.cancel && opts.cancel->load(std::memory_order_relaxed);
   };
@@ -192,8 +195,7 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
   // network that gets contracted level by level.
   FlowNetwork original;
   {
-    obs::KernelSpan span(result.kernel_wall, kernels::kPageRank,
-                         opts.metrics);
+    obs::KernelSpan span(ktimers, obs::KernelPhase::kPageRank);
     original = build_flow(g, opts.flow);
   }
   FlowNetwork fn = original;
@@ -249,8 +251,7 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
 
       std::uint64_t moves = 0;
       {
-        obs::KernelSpan span(result.kernel_wall, kernels::kFindBestCommunity,
-                             opts.metrics);
+        obs::KernelSpan span(ktimers, obs::KernelPhase::kFindBestCommunity);
         // Interleaved windows across workers.
         bool any_left = true;
         std::vector<VertexId> cursor(range_begin);
@@ -312,8 +313,7 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
 
     // UpdateMembers kernel: propagate to original vertices.
     {
-      obs::KernelSpan span(result.kernel_wall, kernels::kUpdateMembers,
-                           opts.metrics);
+      obs::KernelSpan span(ktimers, obs::KernelPhase::kUpdateMembers);
       for (VertexId v = 0; v < g.num_vertices(); ++v) {
         node_of_orig[v] = assignment[node_of_orig[v]];
       }
@@ -328,8 +328,7 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
 
     // Convert2SuperNode kernel.
     {
-      obs::KernelSpan span(result.kernel_wall, kernels::kConvert2SuperNode,
-                           opts.metrics);
+      obs::KernelSpan span(ktimers, obs::KernelPhase::kConvert2SuperNode);
       fn = contract_network(fn, assignment, k);
     }
   }
@@ -350,8 +349,7 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
     // supernode into a suboptimal module.  Greedy moves only ever improve.
     if (opts.refine_sweeps > 0 && result.levels > 1 &&
         result.num_communities > 1 && !result.interrupted) {
-      obs::KernelSpan span(result.kernel_wall, kernels::kFindBestCommunity,
-                           opts.metrics);
+      obs::KernelSpan span(ktimers, obs::KernelPhase::kFindBestCommunity);
       const LevelAddresses addrs =
           LevelAddresses::for_network(original, level_addrs);
       std::uint64_t refine_moves = 0;

@@ -246,10 +246,12 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
   if (num_threads <= 0) num_threads = omp_get_max_threads();
 
   InfomapResult result;
+  // Resolve every kernel-span sink (timer slots + histogram handles) once;
+  // the spans in the level loop then open/close allocation-free.
+  obs::KernelTimers ktimers(result.kernel_wall, opts.metrics);
   FlowNetwork original;
   {
-    obs::KernelSpan span(result.kernel_wall, kernels::kPageRank,
-                         opts.metrics);
+    obs::KernelSpan span(ktimers, obs::KernelPhase::kPageRank);
     original = build_flow(g, opts.flow);
   }
   FlowNetwork fn = original;
@@ -273,8 +275,7 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
     const VertexId n = fn.num_nodes();
 
     {
-      obs::KernelSpan span(result.kernel_wall, kernels::kFindBestCommunity,
-                           opts.metrics);
+      obs::KernelSpan span(ktimers, obs::KernelPhase::kFindBestCommunity);
       parallel_sweeps(state, fn, opts, opts.max_sweeps_per_level, level,
                       addrs, costs, ws, result, /*record_trace=*/true);
     }
@@ -294,8 +295,7 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
     const std::size_t k = next_id;
 
     {
-      obs::KernelSpan span(result.kernel_wall, kernels::kUpdateMembers,
-                           opts.metrics);
+      obs::KernelSpan span(ktimers, obs::KernelPhase::kUpdateMembers);
       const auto nv = static_cast<std::int64_t>(g.num_vertices());
       support::tsan_release(&node_of_orig);
 #pragma omp parallel num_threads(num_threads)
@@ -316,8 +316,7 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
     if (result.interrupted) break;
 
     {
-      obs::KernelSpan span(result.kernel_wall, kernels::kConvert2SuperNode,
-                           opts.metrics);
+      obs::KernelSpan span(ktimers, obs::KernelPhase::kConvert2SuperNode);
       fn = contract_network_parallel(fn, assignment, k, num_threads);
     }
   }
@@ -336,8 +335,7 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
     // rationale and the hierarchy re-basing rule.
     if (opts.refine_sweeps > 0 && result.levels > 1 &&
         result.num_communities > 1 && !result.interrupted) {
-      obs::KernelSpan span(result.kernel_wall, kernels::kFindBestCommunity,
-                           opts.metrics);
+      obs::KernelSpan span(ktimers, obs::KernelPhase::kFindBestCommunity);
       const LevelAddresses addrs =
           LevelAddresses::for_network(original, addrs_space);
       const std::uint64_t refine_moves = parallel_sweeps(

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "asamap/obs/metrics.hpp"
+#include "asamap/obs/tracing.hpp"
 #include "asamap/support/hash.hpp"
 #include "asamap/support/rng.hpp"
 
@@ -275,6 +276,11 @@ FaultDecision FaultInjector::decide(Site site) {
     ++fires_[ri];
     ++injected_[si];
     if (injected_counters_[si] != nullptr) injected_counters_[si]->inc();
+    // Annotate the active request's trace: in a dump, the injected fault
+    // shows up as an instant event at the site, inside whichever span the
+    // caller was in (ingest, dispatch, verb, ...).
+    obs::FlightRecorder::instance().instant(kSiteNames[si],
+                                            obs::TraceCat::kFault);
     return FaultDecision{rule.effect, rule.latency};
   }
   return {};

@@ -10,13 +10,22 @@
 /// per-kernel breakdown that InfomapResult carries) and, when a registry is
 /// attached, the process-level `asamap_kernel_seconds{kernel="..."}`
 /// histogram.  One measurement, two views — the registry can never drift
-/// from the result struct.
+/// from the result struct.  Every sink handle is resolved once per run by
+/// KernelTimers, so opening and closing a span allocates nothing; each span
+/// also emits begin/end events into the trace flight recorder
+/// (asamap/obs/tracing.hpp) under the caller's active TraceContext.
+///
+/// Naming note: this header and `asamap/obs/tracing.hpp` are the
+/// *observability* trace layer (wall-clock spans of real executions).
+/// `asamap/sim/trace.hpp` is unrelated — it records the simulator's
+/// synthetic memory-access event stream for the ASA cost model.
 
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "asamap/obs/metrics.hpp"
+#include "asamap/obs/tracing.hpp"
 #include "asamap/support/parallel.hpp"
 #include "asamap/support/timer.hpp"
 
@@ -33,30 +42,79 @@ inline constexpr std::string_view kKernelSpanMetric = "asamap_kernel_seconds";
   return out;
 }
 
-/// RAII span over one kernel-phase execution.  Registry may be null (plain
-/// PhaseTimer behaviour, zero extra cost on the uninstrumented path).
+/// The four HyPC-Map kernel phases of Fig. 2, in paper order.
+enum class KernelPhase : int {
+  kPageRank = 0,
+  kFindBestCommunity = 1,
+  kConvert2SuperNode = 2,
+  kUpdateMembers = 3,
+};
+
+inline constexpr int kNumKernelPhases = 4;
+
+/// Phase names; must match core::kernels so PhaseTimer totals keyed by
+/// either spelling agree.
+inline constexpr const char* kKernelPhaseNames[kNumKernelPhases] = {
+    "PageRank", "FindBestCommunity", "Convert2SuperNode", "UpdateMembers"};
+
+[[nodiscard]] constexpr const char* to_string(KernelPhase phase) noexcept {
+  return kKernelPhaseNames[static_cast<int>(phase)];
+}
+
+/// Pre-resolved per-phase sink handles: one PhaseTimer accumulator slot and
+/// (when a registry is attached) one histogram handle per kernel phase.
+/// Construct once per Infomap run; KernelSpan then opens and closes with
+/// zero allocations and zero name lookups.  All four phases are created in
+/// the PhaseTimer eagerly (at 0.0), in paper order.
+class KernelTimers {
+ public:
+  struct Slot {
+    double* wall = nullptr;
+    Histogram* hist = nullptr;
+    const char* name = nullptr;
+  };
+
+  explicit KernelTimers(support::PhaseTimer& timer,
+                        MetricRegistry* registry = nullptr) {
+    for (int i = 0; i < kNumKernelPhases; ++i) {
+      const char* name = kKernelPhaseNames[i];
+      slots_[i].name = name;
+      slots_[i].wall = &timer.slot(name);
+      slots_[i].hist = registry == nullptr
+                           ? nullptr
+                           : &registry->histogram(kKernelSpanMetric,
+                                                  kernel_label(name));
+    }
+  }
+
+  [[nodiscard]] const Slot& slot(KernelPhase phase) const noexcept {
+    return slots_[static_cast<int>(phase)];
+  }
+
+ private:
+  Slot slots_[kNumKernelPhases];
+};
+
+/// RAII span over one kernel-phase execution.  Allocation-free on both open
+/// and close (test-enforced): the destructor is two pointer-target updates
+/// plus the trace end event (a handful of atomic stores).
 class KernelSpan {
  public:
-  KernelSpan(support::PhaseTimer& timer, const std::string& kernel,
-             MetricRegistry* registry = nullptr)
-      : timer_(timer), kernel_(kernel), registry_(registry) {}
+  KernelSpan(const KernelTimers& timers, KernelPhase phase) noexcept
+      : slot_(timers.slot(phase)), span_(slot_.name, TraceCat::kKernel) {}
 
   KernelSpan(const KernelSpan&) = delete;
   KernelSpan& operator=(const KernelSpan&) = delete;
 
   ~KernelSpan() {
     const double s = watch_.seconds();
-    timer_.add(kernel_, s);
-    if (registry_ != nullptr) {
-      registry_->histogram(kKernelSpanMetric, kernel_label(kernel_))
-          .record_seconds(s);
-    }
+    *slot_.wall += s;
+    if (slot_.hist != nullptr) slot_.hist->record_seconds(s);
   }
 
  private:
-  support::PhaseTimer& timer_;
-  std::string kernel_;
-  MetricRegistry* registry_;
+  const KernelTimers::Slot& slot_;
+  TraceSpan span_;  // begin fires before the watch starts, end after it stops
   support::WallTimer watch_;
 };
 

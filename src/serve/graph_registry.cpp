@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "asamap/obs/tracing.hpp"
 #include "asamap/support/backoff.hpp"
 #include "asamap/support/hash.hpp"
 
@@ -63,6 +64,9 @@ ServeStatus GraphRegistry::put_text(const std::string& name,
     return ServeStatus::error(ServeCode::kInvalidArgument,
                               "graph name must be non-empty");
   }
+  // Covers dedup, injected-fault retries, the parse, and the insert; under
+  // a GEN/LOAD verb it parents under that request's span.
+  obs::TraceSpan ingest_span("registry.ingest", obs::TraceCat::kRegistry);
   const std::uint64_t fp = fingerprint_text(text);
   {
     // Dedup before paying for the parse: an identical upload maps the new
@@ -106,7 +110,11 @@ ServeStatus GraphRegistry::put_text(const std::string& name,
                                          config_.retry_seed ^ fp);
     std::chrono::milliseconds delay{0};
     for (int i = 0; i < attempt; ++i) delay = backoff.next();
+    const std::uint64_t backoff_start = obs::FlightRecorder::now_ns();
     std::this_thread::sleep_for(delay);
+    obs::FlightRecorder::instance().complete(
+        "ingest.backoff", obs::TraceCat::kRegistry, obs::current_trace(),
+        backoff_start, obs::FlightRecorder::now_ns() - backoff_start);
   }
 
   graph::SnapReadOptions opts;
@@ -159,6 +167,7 @@ ServeStatus GraphRegistry::put_graph(const std::string& name,
     return ServeStatus::error(ServeCode::kInvalidArgument,
                               "graph name must be non-empty");
   }
+  obs::TraceSpan ingest_span("registry.ingest", obs::TraceCat::kRegistry);
   std::lock_guard<std::mutex> lock(mu_);
   if (fingerprint != 0) {
     if (const auto it = by_fingerprint_.find(fingerprint);

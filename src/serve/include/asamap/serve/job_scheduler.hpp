@@ -30,6 +30,7 @@
 #include "asamap/fault/fault.hpp"
 #include "asamap/fault/retry.hpp"
 #include "asamap/obs/metrics.hpp"
+#include "asamap/obs/tracing.hpp"
 #include "asamap/serve/status.hpp"
 #include "asamap/support/bounded_queue.hpp"
 
@@ -173,6 +174,12 @@ class JobScheduler {
     JobState pending_stop_state = JobState::kCancelled;
     JobState state = JobState::kQueued;  // guarded by mu_
     int dispatch_attempts = 0;           // guarded by mu_
+    /// Submitter's trace context, captured at submit() and re-installed on
+    /// the worker thread so the body's spans (job.run, the kernel phases)
+    /// parent under the submitting verb's span.
+    obs::TraceContext trace{};
+    /// Submission instant, for the retroactive queue-wait span.
+    Clock::time_point submitted{};
   };
   using JobPtr = std::shared_ptr<Job>;
 

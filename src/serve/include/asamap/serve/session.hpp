@@ -21,12 +21,19 @@
 ///   SUMMARY <name>                       codelength/modularity summary
 ///   STATS                                registry + scheduler counters
 ///   METRICS [prom|json]                  scrape the session metric registry
+///   TRACE DUMP | STATUS | MARK <label>   flight-recorder export / status
 ///   FAULTS LOAD <path> | CLEAR | STATUS  chaos-test fault plans (see below)
 ///   QUIT                                 acknowledged; driver exits
 ///
-/// METRICS is the one multi-line response: an `OK format=...` line followed
-/// by the Prometheus text exposition (default) or a bench-envelope JSON
-/// object — it is the scrape endpoint, not an interactive query.
+/// METRICS and TRACE DUMP are the two multi-line responses: an
+/// `OK format=...` line followed by the payload (Prometheus text or
+/// bench-envelope JSON for METRICS; one line of Chrome trace-event JSON
+/// for TRACE DUMP) — they are scrape endpoints, not interactive queries.
+///
+/// Tracing: every request runs inside a TraceSpan named after its verb, so
+/// one CLUSTER line yields a connected span tree (verb -> queue.wait ->
+/// job.run -> the four kernel phases -> snapshot.publish) in the process
+/// flight recorder, exportable via TRACE DUMP (see asamap/obs/tracing.hpp).
 ///
 /// Robustness semantics (DESIGN.md §4e):
 ///  - CLUSTER degrades instead of failing where it can: when the circuit
@@ -136,6 +143,8 @@ class ServeSession {
   struct VerbMetrics {
     obs::Counter* requests = nullptr;
     obs::Histogram* latency = nullptr;
+    /// Static verb name used as the request's root trace-span label.
+    const char* trace_name = "other";
   };
 
   std::string handle_line_impl(std::string_view verb,

@@ -64,7 +64,9 @@ SubmitResult JobScheduler::submit(JobFn fn, JobPriority priority,
   auto job = std::make_shared<Job>();
   job->fn = std::move(fn);
   job->priority = priority;
-  if (deadline.count() > 0) job->deadline = Clock::now() + deadline;
+  job->trace = obs::current_trace();
+  job->submitted = Clock::now();
+  if (deadline.count() > 0) job->deadline = job->submitted + deadline;
 
   // The push happens under mu_ — the same mutex the workers' wait predicate
   // holds — so a worker checking "queues empty" and going to sleep cannot
@@ -193,7 +195,11 @@ void JobScheduler::retry_dispatch(std::unique_lock<std::mutex>& lock,
   if (m_.retries_dispatch != nullptr) m_.retries_dispatch->inc();
 
   lock.unlock();
+  const std::uint64_t backoff_start = obs::FlightRecorder::now_ns();
   sleep_interruptible(job->stop, delay);
+  obs::FlightRecorder::instance().complete(
+      "dispatch.backoff", obs::TraceCat::kScheduler, job->trace, backoff_start,
+      obs::FlightRecorder::now_ns() - backoff_start, job->id);
   lock.lock();
 
   if (is_terminal(job->state)) return;  // cancelled/expired/shed while asleep
@@ -304,13 +310,36 @@ void JobScheduler::worker_loop() {
     if (injected_latency.count() > 0) {
       sleep_interruptible(job->stop, injected_latency);
     }
+    // Retroactive queue-wait interval under the submitter's trace, then the
+    // body inside a job.run span chained under it — so a CLUSTER trace reads
+    // verb -> queue.wait -> job.run -> kernel phases.  Jobs submitted with
+    // no ambient trace get their own trace id here so the chain still
+    // shares one.
+    obs::TraceContext job_trace = job->trace;
+    if (!job_trace.active()) job_trace.trace_id = obs::mint_trace_id();
+    auto& recorder = obs::FlightRecorder::instance();
+    const auto waited = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        Clock::now() - job->submitted);
+    const auto wait_ns = static_cast<std::uint64_t>(
+        std::max<std::chrono::nanoseconds::rep>(0, waited.count()));
+    const std::uint64_t run_start = obs::FlightRecorder::now_ns();
+    const std::uint64_t wait_span = recorder.complete(
+        "queue.wait", obs::TraceCat::kScheduler, job_trace,
+        run_start > wait_ns ? run_start - wait_ns : 0, wait_ns, job->id);
+
     JobState terminal = JobState::kDone;
     support::WallTimer run_wall;
-    try {
-      JobContext ctx{job->id, &job->stop};
-      job->fn(ctx);
-    } catch (...) {
-      terminal = JobState::kFailed;
+    {
+      obs::TraceScope trace_scope(
+          obs::TraceContext{job_trace.trace_id, wait_span});
+      obs::TraceSpan run_span("job.run", obs::TraceCat::kScheduler, recorder,
+                              job->id);
+      try {
+        JobContext ctx{job->id, &job->stop};
+        job->fn(ctx);
+      } catch (...) {
+        terminal = JobState::kFailed;
+      }
     }
     if (m_.run_seconds != nullptr) {
       m_.run_seconds->record_seconds(run_wall.seconds());

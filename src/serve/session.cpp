@@ -11,6 +11,7 @@
 
 #include "asamap/benchutil/json_env.hpp"
 #include "asamap/gen/generators.hpp"
+#include "asamap/obs/tracing.hpp"
 #include "asamap/support/hash.hpp"
 #include "asamap/support/timer.hpp"
 
@@ -20,10 +21,10 @@ namespace {
 /// Every protocol verb, for pre-registered per-verb metric handles.  The
 /// array provides stable storage for the string_view map keys; anything not
 /// listed here is counted under verb="other".
-constexpr std::string_view kVerbs[] = {"GEN",    "LOAD",    "DROP",  "CLUSTER",
-                                       "WAIT",   "CANCEL",  "MEMBER", "SAME",
-                                       "TOPK",   "SUMMARY", "STATS",  "METRICS",
-                                       "FAULTS", "QUIT"};
+constexpr std::string_view kVerbs[] = {
+    "GEN",     "LOAD",  "DROP",    "CLUSTER", "WAIT",
+    "CANCEL",  "MEMBER", "SAME",   "TOPK",    "SUMMARY",
+    "STATS",   "METRICS", "TRACE", "FAULTS",  "QUIT"};
 
 std::string verb_label(std::string_view verb) {
   return "verb=\"" + std::string(verb) + "\"";
@@ -91,9 +92,12 @@ ServeSession::ServeSession(const SessionConfig& config)
       scheduler_(config_.scheduler) {
   for (const std::string_view verb : kVerbs) {
     const std::string label = verb_label(verb);
+    // kVerbs literals are NUL-terminated, so .data() doubles as the static
+    // trace-span name.
     verb_metrics_[verb] = {
         &metrics_.counter("asamap_serve_requests_total", label),
-        &metrics_.histogram("asamap_serve_request_seconds", label)};
+        &metrics_.histogram("asamap_serve_request_seconds", label),
+        verb.data()};
   }
   const std::string other = verb_label("other");
   other_verb_metrics_ = {
@@ -209,6 +213,8 @@ SubmitResult ServeSession::submit_recluster(const std::string& name,
         // see partitions from runs that were allowed to finish.
         if (ctx.stop_requested()) return;
         if (sweep_fault.effect == fault::Effect::kPartialWrite) return;
+        obs::TraceSpan publish_span("snapshot.publish",
+                                    obs::TraceCat::kSession);
         PartitionSnapshot snap = make_snapshot(graph, result);
         snap.build_job = ctx.id;
         store_.publish(name, std::move(snap));
@@ -235,10 +241,16 @@ std::string ServeSession::handle_line(std::string_view line) {
   support::WallTimer wall;
   const auto tokens = tokenize(line);
   const std::string_view verb = tokens.empty() ? std::string_view{} : tokens[0];
-  std::string response = handle_line_impl(verb, tokens);
   const auto it = verb_metrics_.find(verb);
   const VerbMetrics& vm =
       it == verb_metrics_.end() ? other_verb_metrics_ : it->second;
+  std::string response;
+  {
+    // Root span of this request's trace: jobs submitted inside inherit the
+    // context, so everything the verb triggers lands under one trace id.
+    obs::TraceSpan span(vm.trace_name, obs::TraceCat::kSession);
+    response = handle_line_impl(verb, tokens);
+  }
   vm.requests->inc();
   vm.latency->record_seconds(wall.seconds());
   if (response.rfind("ERR", 0) == 0) errors_total_->inc();
@@ -580,6 +592,49 @@ std::string ServeSession::handle_line_impl(
                         " rules=" + std::to_string(rules) + " armed=";
       out += faults_.armed() ? '1' : '0';
       return out;
+    }
+    return err(ServeCode::kInvalidArgument, kUsage);
+  }
+
+  if (verb == "TRACE") {
+    constexpr const char* kUsage =
+        "usage: TRACE DUMP | TRACE STATUS | TRACE MARK <label>";
+    if (tokens.size() < 2) return err(ServeCode::kInvalidArgument, kUsage);
+    const std::string_view sub = tokens[1];
+    obs::FlightRecorder& rec = obs::FlightRecorder::instance();
+    if (sub == "DUMP") {
+      if (tokens.size() != 2) {
+        return err(ServeCode::kInvalidArgument, "usage: TRACE DUMP");
+      }
+      std::ostringstream out;
+      out << "OK format=chrome-trace\n";
+      rec.write_chrome_json(out);  // one line, so transcripts stay parseable
+      return out.str();
+    }
+    if (sub == "STATUS") {
+      if (tokens.size() != 2) {
+        return err(ServeCode::kInvalidArgument, "usage: TRACE STATUS");
+      }
+      const obs::TraceStats stats = rec.stats();
+      std::string out = "OK enabled=";
+      out += stats.enabled ? '1' : '0';
+      out += " rings=" + std::to_string(stats.rings) +
+             " capacity=" + std::to_string(stats.ring_capacity) +
+             " recorded=" + std::to_string(stats.recorded) +
+             " dropped=" + std::to_string(stats.dropped);
+      return out;
+    }
+    if (sub == "MARK") {
+      if (tokens.size() < 3) {
+        return err(ServeCode::kInvalidArgument, "usage: TRACE MARK <label>");
+      }
+      std::string label(tokens[2]);
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        label += ' ';
+        label += tokens[i];
+      }
+      rec.instant(rec.intern(label), obs::TraceCat::kUser);
+      return "OK marked=" + label;
     }
     return err(ServeCode::kInvalidArgument, kUsage);
   }

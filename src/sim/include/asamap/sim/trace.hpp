@@ -11,6 +11,12 @@
 /// Used by bench_ablation_l3 to answer a question the paper's Table II
 /// leaves open — how much the ZSim 16 MB power-of-two L3 standing in for
 /// the native 20 MB part matters.
+///
+/// Naming note: this is the *simulator's* synthetic memory-access event
+/// stream, an input to the ASA cost model.  It is unrelated to
+/// `asamap/obs/tracing.hpp`, the observability layer's request tracing
+/// (wall-clock spans, flight recorder, Chrome trace-event export); see
+/// the README Observability section for when to reach for which.
 
 #include <cstdint>
 #include <span>

@@ -38,6 +38,12 @@ class PhaseTimer {
   /// Adds `seconds` to phase `name` (creates the phase on first use).
   void add(const std::string& name, double seconds);
 
+  /// Stable reference to the accumulator for `name` (created at 0.0 on
+  /// first use).  References stay valid across later add()/slot() calls —
+  /// node-based map — so hot paths can resolve a phase once and then
+  /// accumulate without any lookup or allocation.
+  [[nodiscard]] double& slot(const std::string& name);
+
   /// Total seconds recorded for `name`, 0.0 if never recorded.
   [[nodiscard]] double total(const std::string& name) const;
 

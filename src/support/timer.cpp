@@ -8,6 +8,12 @@ void PhaseTimer::add(const std::string& name, double seconds) {
   it->second += seconds;
 }
 
+double& PhaseTimer::slot(const std::string& name) {
+  auto [it, inserted] = totals_.try_emplace(name, 0.0);
+  if (inserted) order_.push_back(name);
+  return it->second;
+}
+
 double PhaseTimer::total(const std::string& name) const {
   auto it = totals_.find(name);
   return it == totals_.end() ? 0.0 : it->second;

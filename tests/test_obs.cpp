@@ -190,29 +190,34 @@ TEST(MetricRegistry, ConcurrentRecordAndScrape) {
 TEST(KernelSpan, ChargesTimerAndRegistryFromOneMeasurement) {
   support::PhaseTimer timer;
   MetricRegistry reg;
+  KernelTimers ktimers(timer, &reg);
   {
-    KernelSpan span(timer, "TestKernel", &reg);
+    KernelSpan span(ktimers, KernelPhase::kPageRank);
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
-  const double timer_s = timer.total("TestKernel");
-  const double reg_s = reg.histogram_total_seconds(
-      kKernelSpanMetric, kernel_label("TestKernel"));
+  const double timer_s = timer.total("PageRank");
+  const double reg_s =
+      reg.histogram_total_seconds(kKernelSpanMetric, kernel_label("PageRank"));
   EXPECT_GT(timer_s, 0.0);
   // Same WallTimer read feeds both sinks; they differ only by the
   // histogram's nanosecond rounding.
   EXPECT_NEAR(reg_s, timer_s, 2e-9);
-  EXPECT_EQ(reg.histogram_merged(kKernelSpanMetric,
-                                 kernel_label("TestKernel")).count(),
-            1u);
+  EXPECT_EQ(
+      reg.histogram_merged(kKernelSpanMetric, kernel_label("PageRank")).count(),
+      1u);
 }
 
 TEST(KernelSpan, NullRegistryStillFeedsTimer) {
   support::PhaseTimer timer;
+  KernelTimers ktimers(timer);
   {
-    KernelSpan span(timer, "TestKernel", nullptr);
+    KernelSpan span(ktimers, KernelPhase::kUpdateMembers);
   }
-  EXPECT_GE(timer.total("TestKernel"), 0.0);
-  EXPECT_EQ(timer.phases(), std::vector<std::string>{"TestKernel"});
+  EXPECT_GE(timer.total("UpdateMembers"), 0.0);
+  // KernelTimers eagerly creates every phase slot, in paper order.
+  const std::vector<std::string> all = {"PageRank", "FindBestCommunity",
+                                        "Convert2SuperNode", "UpdateMembers"};
+  EXPECT_EQ(timer.phases(), all);
 }
 
 // --- PerThread -----------------------------------------------------------

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Fail when docs/OPERATIONS.md misses a registered metric name.
+"""Fail when docs/OPERATIONS.md misses a registered metric name or verb.
 
 Usage: check_ops_doc.py <prom-scrape> [<ops-doc>]
 
@@ -11,9 +11,16 @@ with:
 
     echo METRICS | ./build/examples/asamap_serve > scrape.prom
 
-Every `# TYPE <name> <kind>` line must be mentioned (verbatim name) in the
-operations runbook; exit 1 lists the missing ones.  This is what keeps the
-"every metric, documented" guarantee from drifting as metrics are added.
+Two guarantees are enforced:
+  - every `# TYPE <name> <kind>` line must be mentioned (verbatim name) in
+    the operations runbook;
+  - every protocol verb — enumerated from the pre-registered
+    asamap_serve_requests_total{verb="..."} samples, so TRACE and FAULTS
+    are covered automatically — must have a `| VERB |` row in the
+    runbook's protocol-reference table.
+
+Exit 1 lists whatever is missing.  This is what keeps the "every metric
+and every verb, documented" guarantee from drifting as features are added.
 """
 
 import re
@@ -35,6 +42,15 @@ def main() -> int:
               "Prometheus text scrape?", file=sys.stderr)
         return 2
 
+    verbs = sorted(set(re.findall(
+        r'^asamap_serve_requests_total\{verb="(\w+)"\}', scrape, re.M)))
+    verbs = [v for v in verbs if v != "other"]
+    if not verbs:
+        print(f"error: no asamap_serve_requests_total{{verb=...}} samples in "
+              f"{scrape_path} — is it a fresh-session scrape?",
+              file=sys.stderr)
+        return 2
+
     with open(doc_path, encoding="utf-8") as f:
         doc = f.read()
     missing = [n for n in names if n not in doc]
@@ -44,7 +60,16 @@ def main() -> int:
         for n in missing:
             print(f"  {n}", file=sys.stderr)
         return 1
-    print(f"ok: all {len(names)} registered metrics documented in {doc_path}")
+    undocumented = [v for v in verbs
+                    if not re.search(rf"^\|\s*{re.escape(v)}\s*\|", doc, re.M)]
+    if undocumented:
+        print(f"{doc_path} protocol table is missing {len(undocumented)} of "
+              f"{len(verbs)} verbs:", file=sys.stderr)
+        for v in undocumented:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    print(f"ok: all {len(names)} registered metrics and {len(verbs)} verbs "
+          f"documented in {doc_path}")
     return 0
 
 

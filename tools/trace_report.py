@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Validate an asamap Chrome trace-event dump and print a critical-path report.
+
+Usage: trace_report.py <trace-file> [--require-cluster] [--require-cli]
+
+<trace-file> is either a raw Chrome trace-event JSON file (from
+`asamap_serve --trace-out` / `asamap_cli --trace-out`) or a serve-session
+transcript containing a TRACE DUMP response — the one line starting with
+`{"traceEvents":` is extracted automatically.
+
+Checks (exit 1 on any failure):
+  - the JSON parses and has the Chrome trace-event shape: a traceEvents
+    array whose entries carry name/cat/ph/ts/pid/tid and args with
+    trace/span/parent ids (ids are decimal strings — u64 does not survive a
+    double round-trip);
+  - every B has a matching E with the same span id, every X has a dur;
+  - span parent links are acyclic and stay within their trace id;
+  - with --require-cluster: at least one CLUSTER trace forms the connected
+    chain verb -> queue.wait -> job.run -> all four kernel phases, all
+    under ONE trace id;
+  - with --require-cli: at least one cli.cluster trace contains all four
+    kernel phases under one trace id.
+
+On success, prints a per-request critical-path breakdown for each CLUSTER
+or cli.cluster trace: total, queue wait, job run, and per-kernel seconds.
+"""
+
+import json
+import sys
+
+KERNELS = ("PageRank", "FindBestCommunity", "Convert2SuperNode",
+           "UpdateMembers")
+REQUIRED_KEYS = ("name", "cat", "ph", "ts", "pid", "tid", "args")
+
+
+def fail(msg: str) -> int:
+    print(f"trace_report: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def extract_json(path: str) -> str:
+    """Return the trace JSON text: whole file, or the dump line of a
+    transcript."""
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    stripped = text.lstrip()
+    if stripped.startswith('{"traceEvents"'):
+        return stripped
+    for line in text.splitlines():
+        if line.startswith('{"traceEvents"'):
+            return line
+    raise ValueError(
+        f"{path}: no Chrome trace JSON found (expected the file itself or a "
+        'transcript line starting with {"traceEvents")')
+
+
+def spans_of(events):
+    """Pair B/E events and absorb X events into one span table:
+    span_id -> dict(name, trace, parent, start_us, dur_us)."""
+    spans = {}
+    open_begins = {}
+    for e in events:
+        sid = e["args"]["span"]
+        if e["ph"] == "B":
+            open_begins[sid] = e
+        elif e["ph"] == "E":
+            b = open_begins.pop(sid, None)
+            if b is None:
+                raise ValueError(f"E without B for span {sid} ({e['name']})")
+            if b["name"] != e["name"]:
+                raise ValueError(
+                    f"span {sid} begins as {b['name']} ends as {e['name']}")
+            spans[sid] = {
+                "name": b["name"], "trace": b["args"]["trace"],
+                "parent": b["args"]["parent"], "start_us": b["ts"],
+                "dur_us": e["ts"] - b["ts"],
+            }
+        elif e["ph"] == "X":
+            if "dur" not in e:
+                raise ValueError(f"X event {e['name']} has no dur")
+            spans[sid] = {
+                "name": e["name"], "trace": e["args"]["trace"],
+                "parent": e["args"]["parent"], "start_us": e["ts"],
+                "dur_us": e["dur"],
+            }
+    # Spans still open at dump time (e.g. the TRACE verb itself) are fine —
+    # they just don't make it into the table.
+    return spans
+
+
+def check_shape(payload) -> list:
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("top level is not {\"traceEvents\": [...]}")
+    events = payload["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents is empty")
+    for e in events:
+        for k in REQUIRED_KEYS:
+            if k not in e:
+                raise ValueError(f"event missing '{k}': {e}")
+        if e["ph"] not in ("B", "E", "X", "i"):
+            raise ValueError(f"unexpected ph '{e['ph']}'")
+        for k in ("trace", "span", "parent"):
+            if not isinstance(e["args"].get(k), str):
+                raise ValueError(
+                    f"args.{k} must be a decimal string (u64-safe): {e}")
+    return events
+
+
+def check_links(spans) -> None:
+    for sid, s in spans.items():
+        parent = s["parent"]
+        seen = {sid}
+        while parent != "0":
+            p = spans.get(parent)
+            if p is None:
+                break  # parent span not captured (wrapped out of the ring)
+            if p["trace"] != s["trace"]:
+                raise ValueError(
+                    f"span {sid} ({s['name']}) parents across trace ids")
+            if parent in seen:
+                raise ValueError(f"parent cycle at span {parent}")
+            seen.add(parent)
+            parent = p["parent"]
+
+
+def chain_ok(spans, trace_id) -> bool:
+    """True when this trace holds verb -> queue.wait -> job.run -> all four
+    kernels as one connected chain."""
+    members = {sid: s for sid, s in spans.items() if s["trace"] == trace_id}
+    by_name = {}
+    for sid, s in members.items():
+        by_name.setdefault(s["name"], []).append(sid)
+    if "queue.wait" not in by_name or "job.run" not in by_name:
+        return False
+    if any(k not in by_name for k in KERNELS):
+        return False
+    # job.run parents under queue.wait, which parents under the verb root.
+    run = members[by_name["job.run"][0]]
+    if run["parent"] not in by_name["queue.wait"]:
+        return False
+    wait = members[run["parent"]]
+    root = members.get(wait["parent"])
+    if root is None or root["name"] not in ("CLUSTER", "cli.cluster"):
+        return False
+    # Every kernel span must reach job.run through parent links.
+    run_ids = set(by_name["job.run"])
+    for k in KERNELS:
+        for sid in by_name[k]:
+            cur = members[sid]["parent"]
+            while cur != "0" and cur in members and cur not in run_ids:
+                cur = members[cur]["parent"]
+            if cur not in run_ids:
+                return False
+    return True
+
+
+def cli_trace_ok(spans, trace_id) -> bool:
+    members = {sid: s for sid, s in spans.items() if s["trace"] == trace_id}
+    names = {s["name"] for s in members.values()}
+    if "cli.cluster" not in names:
+        return False
+    return all(k in names for k in KERNELS)
+
+
+def report(spans) -> None:
+    roots = {sid: s for sid, s in spans.items()
+             if s["name"] in ("CLUSTER", "cli.cluster") and s["parent"] == "0"}
+    for sid, root in sorted(roots.items(), key=lambda kv: kv[1]["start_us"]):
+        members = [s for s in spans.values() if s["trace"] == root["trace"]]
+        total = root["dur_us"]
+        queue = sum(s["dur_us"] for s in members if s["name"] == "queue.wait")
+        run = sum(s["dur_us"] for s in members if s["name"] == "job.run")
+        print(f"{root['name']} trace {root['trace']}: "
+              f"total {total / 1e6:.6f}s = queue {queue / 1e6:.6f}s "
+              f"+ run {run / 1e6:.6f}s "
+              f"(other {max(0.0, total - queue - run) / 1e6:.6f}s)")
+        for k in KERNELS:
+            ks = [s for s in members if s["name"] == k]
+            if ks:
+                ksum = sum(s["dur_us"] for s in ks)
+                print(f"    {k:<20} {ksum / 1e6:.6f}s over {len(ks)} span(s)")
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    flags = set(sys.argv[2:])
+    unknown = flags - {"--require-cluster", "--require-cli"}
+    if unknown:
+        return fail(f"unknown flags: {sorted(unknown)}")
+
+    try:
+        payload = json.loads(extract_json(path))
+        events = check_shape(payload)
+        spans = spans_of(events)
+        check_links(spans)
+    except (ValueError, json.JSONDecodeError) as err:
+        return fail(str(err))
+
+    trace_ids = {s["trace"] for s in spans.values()}
+    if "--require-cluster" in flags:
+        if not any(chain_ok(spans, t) for t in trace_ids):
+            return fail("no trace forms the connected CLUSTER chain "
+                        "verb -> queue.wait -> job.run -> "
+                        f"{' + '.join(KERNELS)} under one trace id")
+    if "--require-cli" in flags:
+        if not any(cli_trace_ok(spans, t) for t in trace_ids):
+            return fail("no cli.cluster trace contains all four kernel "
+                        "phases under one trace id")
+
+    print(f"ok: {len(events)} events, {len(spans)} spans, "
+          f"{len(trace_ids)} trace(s)")
+    report(spans)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
