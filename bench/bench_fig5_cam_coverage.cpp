@@ -4,6 +4,14 @@
 // social networks in Table I.
 //
 // Entries are 16 bytes (key + partial sum), so capacity KB -> KB*64 entries.
+//
+// The table is a *degree histogram* argument — it counts neighborhoods that
+// would fit, it doesn't run anything.  The last two columns cross-check the
+// claim against the real implementation: every vertex's neighborhood is
+// replayed through hashdb::HotSetAccumulator sized to admit 512 keys (the
+// 8 KB point) under an identity module map (worst case: every neighbor a
+// distinct key), reporting the measured fraction of vertices the hot set
+// absorbed without a single spill, and the per-call hit rate.
 
 #include <iostream>
 #include <string>
@@ -13,9 +21,34 @@
 #include "asamap/benchutil/table.hpp"
 #include "asamap/gen/datasets.hpp"
 #include "asamap/graph/stats.hpp"
+#include "asamap/hashdb/hot_set_accumulator.hpp"
 
 using namespace asamap;
 using benchutil::fmt_pct;
+
+namespace {
+
+/// Replays per-vertex neighborhood accumulation (identity modules) through
+/// a hot set sized to track the CAM's 512 keys and returns its stats.  The
+/// software front is open-addressed with a 50%-load admission budget, so
+/// matching the 8 KB CAM's 512 *entries* takes 2x512 slots — the budget,
+/// not the slot count, is what bounds how many keys a cycle can admit.
+hashdb::HotSetStats measured_hot_set(const graph::CsrGraph& g) {
+  hashdb::HotSetAccumulator acc(
+      2 * hashdb::HotSetAccumulator::kDefaultHotEntries);
+  double sink = 0.0;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    acc.begin();
+    const auto arcs = g.out_neighbors(v);
+    for (const graph::Arc& a : arcs) acc.accumulate(a.dst, a.weight);
+    acc.note_accumulates(arcs.size());
+    sink += acc.finalize().empty() ? 0.0 : acc.finalize().front().value;
+  }
+  if (sink < -1.0) std::cout << "";  // defeat dead-code elimination
+  return acc.hot_stats();
+}
+
+}  // namespace
 
 int main() {
   benchutil::banner(std::cout,
@@ -25,9 +58,11 @@ int main() {
   const std::vector<std::size_t> cam_kb = {1, 2, 4, 8, 16, 32, 64};
   std::vector<std::string> headers = {"Network"};
   for (std::size_t kb : cam_kb) headers.push_back(std::to_string(kb) + " KB");
+  headers.push_back("hot-set cov @8KB");
+  headers.push_back("hot-set hit rate");
   benchutil::Table t(headers);
 
-  bool claim_1kb = true, claim_8kb = true;
+  bool claim_1kb = true, claim_8kb = true, claim_measured = true;
   for (const auto& spec : gen::dataset_registry()) {
     const auto& g = benchutil::cached_dataset(spec.name);
     const auto h = graph::degree_histogram(g);
@@ -39,6 +74,10 @@ int main() {
       if (kb == 1 && cov <= 0.82) claim_1kb = false;
       if (kb == 8 && cov <= 0.99) claim_8kb = false;
     }
+    const hashdb::HotSetStats m = measured_hot_set(g);
+    row.push_back(fmt_pct(m.vertex_coverage(), 2));
+    row.push_back(fmt_pct(m.hit_rate(), 2));
+    if (m.vertex_coverage() <= 0.99) claim_measured = false;
     t.add_row(std::move(row));
   }
   t.print(std::cout);
@@ -47,6 +86,9 @@ int main() {
             << "  1 KB CAM covers > 82% of vertices on every network:  "
             << (claim_1kb ? "HOLDS" : "VIOLATED") << '\n'
             << "  8 KB CAM covers > 99% of vertices on every network:  "
-            << (claim_8kb ? "HOLDS" : "VIOLATED") << '\n';
+            << (claim_8kb ? "HOLDS" : "VIOLATED") << '\n'
+            << "  measured software hot set (512 entries) absorbs > 99% of\n"
+            << "  vertices without spilling on every network:          "
+            << (claim_measured ? "HOLDS" : "VIOLATED") << '\n';
   return 0;
 }

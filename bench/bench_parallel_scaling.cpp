@@ -1,17 +1,28 @@
 // Native fast-path scaling bench: the speed baseline every later PR is
-// measured against.  Two questions, one JSON artifact:
+// measured against.  Three questions, one JSON artifact:
 //
-//   1. How much faster is the uninstrumented FlatAccumulator than the
-//      instrumented ChainedAccumulator (the simulator's Baseline model) on
-//      the same single-threaded multilevel run?
-//   2. How does run_infomap_parallel scale with threads on a power-law
+//   1. How much faster are the uninstrumented native engines (flat, hotset)
+//      than the instrumented ChainedAccumulator on the same single-threaded
+//      multilevel run — and does the two-level hot-set front beat the flat
+//      table end-to-end on the FindBestCommunity phase?
+//   2. How do the accumulators compare on a pure begin/accumulate/finalize
+//      replay of the same workload (machinery cost, nothing else)?
+//   3. How does run_infomap_parallel scale with threads on a power-law
 //      (Chung-Lu) graph, and does the codelength stay thread-invariant?
 //
+// The bench *asserts* (exit 1) that all three engines report bit-identical
+// codelengths — the accumulators are constructed to be output-equivalent,
+// so any drift is a correctness bug, not noise.  When the host has more
+// than one hardware thread it also asserts positive self-speedup; on a
+// single-core host that assertion is meaningless (threads just timeslice)
+// and is skipped with an explicit caveat, mirrored in the JSON envelope's
+// `single_core_caveat` flag.
+//
 // Emits BENCH_parallel.json — a trajectory artifact meant to be committed
-// so regressions in either answer show up in review diffs.
+// so regressions in any answer show up in review diffs.
 //
 //   bench_parallel_scaling [--n N] [--edges M] [--threads 1,2,4,...]
-//                          [--seed S] [--out file.json] [--quick]
+//                          [--seed S] [--reps R] [--out file.json] [--quick]
 
 #include <cmath>
 #include <fstream>
@@ -27,6 +38,7 @@
 #include "asamap/core/infomap.hpp"
 #include "asamap/gen/generators.hpp"
 #include "asamap/hashdb/flat_accumulator.hpp"
+#include "asamap/hashdb/hot_set_accumulator.hpp"
 #include "asamap/hashdb/software_accumulator.hpp"
 #include "asamap/obs/trace.hpp"
 #include "asamap/sim/event_sink.hpp"
@@ -42,6 +54,7 @@ struct Config {
   std::uint64_t edges = 800000;
   std::vector<int> threads = {1, 2, 4};
   std::uint64_t seed = 42;
+  int reps = 3;
   std::string out = "BENCH_parallel.json";
 };
 
@@ -65,6 +78,8 @@ Config parse(int argc, char** argv) {
       c.threads = parse_thread_list(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
       c.seed = std::stoull(argv[++i]);
+    } else if (arg == "--reps" && i + 1 < argc) {
+      c.reps = std::stoi(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       c.out = argv[++i];
     } else if (arg == "--quick") {
@@ -75,6 +90,7 @@ Config parse(int argc, char** argv) {
       std::exit(2);
     }
   }
+  if (c.reps < 1) c.reps = 1;
   return c;
 }
 
@@ -86,6 +102,18 @@ double fbc_seconds(const obs::MetricRegistry& reg) {
   return reg.histogram_total_seconds(
       obs::kKernelSpanMetric,
       obs::kernel_label(core::kernels::kFindBestCommunity));
+}
+
+/// One timed single-threaded run: fresh registry, returns the result and
+/// writes the FindBestCommunity phase seconds into `fbc`.
+core::InfomapResult timed_run(const graph::CsrGraph& g,
+                              core::AccumulatorKind kind, double& fbc) {
+  obs::MetricRegistry reg;
+  core::InfomapOptions opts;
+  opts.metrics = &reg;
+  auto r = core::run_infomap(g, opts, kind);
+  fbc = fbc_seconds(reg);
+  return r;
 }
 
 // Replays the FindBestCommunity accumulation workload — for every vertex,
@@ -114,6 +142,7 @@ double replay_accumulation(const graph::CsrGraph& g,
 
 int main(int argc, char** argv) {
   const Config cfg = parse(argc, argv);
+  const auto env = benchutil::make_envelope("parallel_scaling");
 
   benchutil::banner(std::cout, "Native fast path: accumulator + thread scaling");
   std::cout << "Chung-Lu graph: n=" << cfg.n << " target_edges=" << cfg.edges
@@ -127,22 +156,29 @@ int main(int argc, char** argv) {
   const graph::CsrGraph g = gen::chung_lu(params, cfg.seed);
   std::cout << "Realized: " << g.num_vertices() << " vertices, "
             << g.num_arcs() << " arcs, host threads available: "
-            << omp_get_max_threads() << "\n\n";
+            << env.host_max_threads << "\n\n";
 
-  // --- Part 1: single-threaded accumulator comparison.  Identical driver,
-  // identical decisions (the kernel tie-breaks order differences away);
-  // only the accumulation machinery differs.
-  core::InfomapOptions opts;
-  obs::MetricRegistry chained_reg;
-  opts.metrics = &chained_reg;
+  // --- Part 1: single-threaded FindBestCommunity phase, three engines.
+  // Identical driver, identical decisions (the kernel tie-breaks order
+  // differences away); only the accumulation machinery differs.  The
+  // chained model is deterministic overhead so one run suffices; flat and
+  // hotset race each other for the headline number, so they run `reps`
+  // interleaved repetitions and keep the per-engine minimum — adjacent
+  // runs share whatever noise the host is producing, and the minimum is
+  // the least-disturbed sample of a deterministic quantity.
+  double chained_fbc = 0.0;
   const auto chained =
-      core::run_infomap(g, opts, core::AccumulatorKind::kChained);
-  obs::MetricRegistry flat_reg;
-  opts.metrics = &flat_reg;
-  const auto flat = core::run_infomap(g, opts, core::AccumulatorKind::kFlat);
+      timed_run(g, core::AccumulatorKind::kChained, chained_fbc);
+  double flat_fbc = 1e300, hotset_fbc = 1e300;
+  core::InfomapResult flat, hotset;
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    double f = 0.0, h = 0.0;
+    flat = timed_run(g, core::AccumulatorKind::kFlat, f);
+    hotset = timed_run(g, core::AccumulatorKind::kHotSet, h);
+    flat_fbc = std::min(flat_fbc, f);
+    hotset_fbc = std::min(hotset_fbc, h);
+  }
 
-  const double chained_fbc = fbc_seconds(chained_reg);
-  const double flat_fbc = fbc_seconds(flat_reg);
   benchutil::Table t1({"Engine", "FindBestCommunity (s)", "Speedup",
                        "Codelength (bits)"});
   t1.add_row({"chained (instrumented model)", fmt(chained_fbc, 3), "1.00x",
@@ -150,34 +186,61 @@ int main(int argc, char** argv) {
   t1.add_row({"flat (native fast path)", fmt(flat_fbc, 3),
               fmt(chained_fbc / flat_fbc, 2) + "x",
               fmt(flat.codelength, 6)});
+  t1.add_row({"hotset (software CAM front)", fmt(hotset_fbc, 3),
+              fmt(chained_fbc / hotset_fbc, 2) + "x",
+              fmt(hotset.codelength, 6)});
   t1.print(std::cout);
-  std::cout << '\n';
+  std::cout << "hotset vs flat (FBC phase): "
+            << fmt(flat_fbc / hotset_fbc, 3) << "x  |  hot-set hit rate "
+            << fmt(hotset.hotset.hit_rate() * 100.0, 2) << "%, vertex coverage "
+            << fmt(hotset.hotset.vertex_coverage() * 100.0, 2) << "%\n\n";
+
+  // Bit-identical codelength across engines is a construction guarantee
+  // (shared first-touch pair order), not a tolerance — enforce it.
+  if (flat.codelength != chained.codelength ||
+      flat.codelength != hotset.codelength) {
+    std::cerr << "FATAL: codelength mismatch across accumulators\n"
+              << "  chained=" << chained.codelength
+              << "\n  flat=" << flat.codelength
+              << "\n  hotset=" << hotset.codelength << '\n';
+    return 1;
+  }
 
   // --- Part 1b: accumulator-only replay.  The end-to-end numbers above
   // blend accumulation with work every engine shares; this isolates the
   // begin/accumulate/finalize cost on the identical real workload (the
   // converged partition's per-vertex neighborhood aggregation).
   const int rounds = g.num_vertices() > 50000 ? 20 : 10;
-  double check_chained = 0.0, check_flat = 0.0;
+  double check_chained = 0.0, check_flat = 0.0, check_hotset = 0.0;
   sim::NullSink null_sink;
   hashdb::AddressSpace replay_addrs;
   hashdb::ChainedAccumulator<sim::NullSink> chained_acc(null_sink,
                                                         replay_addrs);
   hashdb::FlatAccumulator flat_acc;
+  hashdb::HotSetAccumulator hotset_acc;
   const double chained_replay = replay_accumulation(
       g, flat.communities, chained_acc, rounds, check_chained);
   const double flat_replay = replay_accumulation(g, flat.communities, flat_acc,
                                                  rounds, check_flat);
+  const double hotset_replay = replay_accumulation(
+      g, flat.communities, hotset_acc, rounds, check_hotset);
   const double acc_speedup = chained_replay / flat_replay;
+  const double hot_acc_speedup = chained_replay / hotset_replay;
   benchutil::Table t1b({"Accumulator", "Replay (s/round)", "Speedup"});
   t1b.add_row({"chained", fmt(chained_replay, 4), "1.00x"});
   t1b.add_row({"flat", fmt(flat_replay, 4), fmt(acc_speedup, 2) + "x"});
+  t1b.add_row({"hotset", fmt(hotset_replay, 4),
+               fmt(hot_acc_speedup, 2) + "x"});
   t1b.print(std::cout);
-  std::cout << "(checksum parity: "
-            << (std::abs(check_chained - check_flat) < 1e-6 * check_chained
-                    ? "ok"
-                    : "MISMATCH")
+  const bool replay_parity =
+      std::abs(check_chained - check_flat) < 1e-6 * check_chained &&
+      check_flat == check_hotset;  // flat/hotset are bitwise-equivalent
+  std::cout << "(checksum parity: " << (replay_parity ? "ok" : "MISMATCH")
             << ")\n\n";
+  if (!replay_parity) {
+    std::cerr << "FATAL: replay checksum parity failed\n";
+    return 1;
+  }
 
   // --- Part 2: parallel driver thread scaling.
   benchutil::Table t2({"Threads", "Total (s)", "FindBestCommunity (s)",
@@ -193,6 +256,7 @@ int main(int argc, char** argv) {
   };
   std::vector<ThreadPoint> points;
   double base_total = 0.0;
+  core::InfomapOptions opts;
   for (const int nt : cfg.threads) {
     obs::MetricRegistry reg;  // fresh per run: totals are this run's alone
     opts.metrics = &reg;
@@ -210,24 +274,58 @@ int main(int argc, char** argv) {
   }
   t2.print(std::cout);
 
+  // Self-speedup is only a meaningful claim when the host actually has
+  // cores to scale onto; a single-core host timeslices the threads and
+  // "scaling" numbers measure scheduler overhead.
+  if (env.single_core_caveat) {
+    std::cout << "\nNOTE: single-core host (host_max_threads="
+              << env.host_max_threads
+              << ") — multi-thread rows measure oversubscription, not "
+                 "scaling; self-speedup assertion skipped.\n";
+  } else {
+    double best_self = 1.0;
+    for (const auto& p : points) {
+      if (p.threads > 1) {
+        best_self = std::max(best_self, base_total / p.total_seconds);
+      }
+    }
+    if (points.size() > 1 && best_self <= 1.0) {
+      std::cerr << "FATAL: no multi-thread point beat 1 thread on a "
+                << env.host_max_threads << "-thread host (best self-speedup "
+                << best_self << ")\n";
+      return 1;
+    }
+  }
+
   // --- JSON trajectory artifact.
   std::ofstream js(cfg.out);
   js.precision(9);
   js << "{\n";
-  benchutil::write_envelope_fields(
-      js, benchutil::make_envelope("parallel_scaling"));
+  benchutil::write_envelope_fields(js, env);
   js << "  \"graph\": {\"generator\": \"chung_lu\", \"n\": " << g.num_vertices()
      << ", \"arcs\": " << g.num_arcs() << ", \"gamma\": 2.5, \"seed\": "
      << cfg.seed << "},\n"
-     << "  \"single_thread\": {\n"
-     << "    \"chained_fbc_seconds\": " << chained_fbc << ",\n"
-     << "    \"flat_fbc_seconds\": " << flat_fbc << ",\n"
-     << "    \"flat_end_to_end_speedup\": " << chained_fbc / flat_fbc << ",\n"
-     << "    \"chained_replay_seconds\": " << chained_replay << ",\n"
-     << "    \"flat_replay_seconds\": " << flat_replay << ",\n"
-     << "    \"flat_accumulator_speedup\": " << acc_speedup << ",\n"
-     << "    \"codelength_chained\": " << chained.codelength << ",\n"
-     << "    \"codelength_flat\": " << flat.codelength << "\n"
+     << "  \"fbc_phase\": {\n"
+     << "    \"reps\": " << cfg.reps << ",\n"
+     << "    \"chained\": {\"fbc_seconds\": " << chained_fbc
+     << ", \"codelength\": " << chained.codelength << "},\n"
+     << "    \"flat\": {\"fbc_seconds\": " << flat_fbc
+     << ", \"codelength\": " << flat.codelength << "},\n"
+     << "    \"hotset\": {\"fbc_seconds\": " << hotset_fbc
+     << ", \"codelength\": " << hotset.codelength
+     << ", \"hit_rate\": " << hotset.hotset.hit_rate()
+     << ", \"vertex_coverage\": " << hotset.hotset.vertex_coverage()
+     << ", \"accumulates\": " << hotset.hotset.accumulates
+     << ", \"spills\": " << hotset.hotset.spills << "},\n"
+     << "    \"flat_vs_chained_speedup\": " << chained_fbc / flat_fbc << ",\n"
+     << "    \"hotset_vs_flat_speedup\": " << flat_fbc / hotset_fbc << "\n"
+     << "  },\n"
+     << "  \"replay\": {\n"
+     << "    \"chained_seconds\": " << chained_replay << ",\n"
+     << "    \"flat_seconds\": " << flat_replay << ",\n"
+     << "    \"hotset_seconds\": " << hotset_replay << ",\n"
+     << "    \"flat_speedup\": " << acc_speedup << ",\n"
+     << "    \"hotset_speedup\": " << hot_acc_speedup << "\n"
      << "  },\n"
      << "  \"parallel\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {

@@ -460,6 +460,7 @@ int main(int argc, char** argv) try {
        << "    \"overhead_limit\": " << kTraceOverheadLimit << ",\n"
        << "    \"recorder\": {\"recorded\": " << trace.stats.recorded
        << ", \"dropped\": " << trace.stats.dropped
+       << ", \"dropped_fraction\": " << trace.stats.dropped_fraction
        << ", \"rings\": " << trace.stats.rings
        << ", \"ring_capacity\": " << trace.stats.ring_capacity << "}\n"
        << "  },\n";

@@ -41,9 +41,11 @@ int usage() {
   std::cerr <<
       "usage:\n"
       "  asamap_cli cluster <graph.txt> [--out partition.tsv]\n"
-      "                     [--engine flat|chained|open|asa|dense]\n"
+      "                     [--accumulator hotset|flat|chained|open|asa|dense]\n"
       "                     [--parallel N] [--deadline-ms N] [--directed]\n"
       "                     [--metrics prom|json] [--trace-out FILE]\n"
+      "                     (--engine is an alias for --accumulator;\n"
+      "                      --parallel accepts only hotset|flat)\n"
       "  asamap_cli stats   <graph.txt> [--directed]\n"
       "  asamap_cli gen     <dataset-name> <out.txt>\n"
       "  asamap_cli compare <graph.txt> <a.tsv> <b.tsv>\n";
@@ -51,12 +53,13 @@ int usage() {
 }
 
 core::AccumulatorKind engine_of(const std::string& name) {
+  if (name == "hotset") return core::AccumulatorKind::kHotSet;
   if (name == "flat") return core::AccumulatorKind::kFlat;
   if (name == "chained") return core::AccumulatorKind::kChained;
   if (name == "open") return core::AccumulatorKind::kOpen;
   if (name == "asa") return core::AccumulatorKind::kAsa;
   if (name == "dense") return core::AccumulatorKind::kDense;
-  throw std::runtime_error("unknown engine: " + name);
+  throw std::runtime_error("unknown accumulator: " + name);
 }
 
 graph::CsrGraph load(const std::string& path, bool directed) {
@@ -108,6 +111,18 @@ int cmd_cluster(const support::ArgParser& args) {
             << g.num_arcs() << " arcs\n";
 
   const int parallel = static_cast<int>(args.int_or("parallel", 0));
+  // --accumulator selects the engine; --engine stays as an alias.  Default
+  // is the two-level software-CAM hot set (the fastest native path, and
+  // what run_infomap_parallel defaults to).
+  const std::string engine_name =
+      args.get_or("accumulator", args.get_or("engine", "hotset"));
+  const core::AccumulatorKind engine = engine_of(engine_name);
+  if (parallel > 0 && engine != core::AccumulatorKind::kHotSet &&
+      engine != core::AccumulatorKind::kFlat) {
+    std::cerr << "--parallel supports only the native accumulators "
+                 "(hotset, flat); got '" << engine_name << "'\n";
+    return usage();
+  }
   const long long deadline_ms = args.int_or("deadline-ms", 0);
   const std::string metrics_format = args.get_or("metrics", "");
   if (!metrics_format.empty() && metrics_format != "prom" &&
@@ -131,9 +146,8 @@ int cmd_cluster(const support::ArgParser& args) {
     // land in the flight recorder for --trace-out.
     obs::TraceSpan run_span("cli.cluster", obs::TraceCat::kSession);
     result = parallel > 0
-                 ? core::run_infomap_parallel(g, opts, parallel)
-                 : core::run_infomap(g, opts,
-                                     engine_of(args.get_or("engine", "flat")));
+                 ? core::run_infomap_parallel(g, opts, parallel, engine)
+                 : core::run_infomap(g, opts, engine);
   }
   watchdog.disarm();
   std::cerr << "Clustered in " << result.levels << " level(s), "
@@ -236,8 +250,8 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const support::ArgParser args(argc, argv, 2, {"directed"});
   if (const auto unknown = args.unknown_keys(
-          {"out", "engine", "parallel", "deadline-ms", "metrics",
-           "trace-out"});
+          {"out", "engine", "accumulator", "parallel", "deadline-ms",
+           "metrics", "trace-out"});
       !unknown.empty()) {
     std::cerr << "unknown option: --" << unknown.front() << '\n';
     return usage();

@@ -89,11 +89,12 @@ SimRunResult run_simulated(const graph::CsrGraph& g, const SimRunConfig& cfg) {
           });
     }
     case AccumulatorKind::kFlat:
-      // The flat accumulator is deliberately uninstrumented (the native
-      // fast path) — there is nothing for the simulator to cost.
+    case AccumulatorKind::kHotSet:
+      // The native fast-path accumulators are deliberately uninstrumented —
+      // there is nothing for the simulator to cost.
       ASAMAP_CHECK(false,
-                   "AccumulatorKind::kFlat cannot be simulated; pick an "
-                   "instrumented engine (chained/open/dense/asa)");
+                   "the native engines (flat/hotset) cannot be simulated; "
+                   "pick an instrumented engine (chained/open/dense/asa)");
       break;
     case AccumulatorKind::kAsa:
       break;

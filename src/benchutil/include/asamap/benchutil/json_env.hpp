@@ -15,6 +15,10 @@ namespace asamap::benchutil {
 struct BenchEnvelope {
   std::string bench;          ///< artifact name, e.g. "serve_throughput"
   int host_max_threads = 1;   ///< omp_get_max_threads() at startup
+  /// True when the host offers a single hardware thread.  Multi-thread
+  /// numbers in such an artifact measure oversubscription, not scaling —
+  /// readers (and CI assertions) must not treat self-speedup as meaningful.
+  bool single_core_caveat = false;
   std::string git_rev;        ///< short HEAD hash, "unknown" outside a repo
   std::string timestamp_utc;  ///< ISO-8601 Z, e.g. "2026-08-06T12:00:00Z"
 };
@@ -27,8 +31,8 @@ BenchEnvelope make_envelope(std::string bench_name);
 std::string json_escape(const std::string& s);
 
 /// Writes the envelope fields as the opening members of a JSON object:
-///   "bench": "...", "host_max_threads": N, "git_rev": "...",
-///   "timestamp_utc": "..."
+///   "bench": "...", "host_max_threads": N, "single_core_caveat": bool,
+///   "git_rev": "...", "timestamp_utc": "..."
 /// one per line with `indent`, each line comma-terminated so the caller
 /// continues the object directly.
 void write_envelope_fields(std::ostream& os, const BenchEnvelope& env,

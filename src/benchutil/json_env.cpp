@@ -37,6 +37,7 @@ BenchEnvelope make_envelope(std::string bench_name) {
   BenchEnvelope env;
   env.bench = std::move(bench_name);
   env.host_max_threads = omp_get_max_threads();
+  env.single_core_caveat = env.host_max_threads <= 1;
   env.git_rev = git_short_rev();
   env.timestamp_utc = utc_now_iso8601();
   return env;
@@ -69,6 +70,8 @@ void write_envelope_fields(std::ostream& os, const BenchEnvelope& env,
                            const char* indent) {
   os << indent << "\"bench\": \"" << json_escape(env.bench) << "\",\n"
      << indent << "\"host_max_threads\": " << env.host_max_threads << ",\n"
+     << indent << "\"single_core_caveat\": "
+     << (env.single_core_caveat ? "true" : "false") << ",\n"
      << indent << "\"git_rev\": \"" << json_escape(env.git_rev) << "\",\n"
      << indent << "\"timestamp_utc\": \"" << json_escape(env.timestamp_utc)
      << "\",\n";

@@ -25,6 +25,7 @@
 #include "asamap/core/hierarchy.hpp"
 #include "asamap/core/kernel.hpp"
 #include "asamap/core/map_equation.hpp"
+#include "asamap/hashdb/hot_set_accumulator.hpp"
 #include "asamap/obs/trace.hpp"
 #include "asamap/support/check.hpp"
 #include "asamap/support/timer.hpp"
@@ -89,6 +90,9 @@ struct InfomapResult {
   std::vector<SweepTrace> trace;
   support::PhaseTimer kernel_wall;  ///< Fig. 2a: per-kernel native seconds
   KernelBreakdown breakdown;        ///< Fig. 2b / Tab. V attribution
+  /// Aggregated hot-set counters when the run used HotSetAccumulator
+  /// (begins == 0 otherwise) — the software analogue of asa::CamStats.
+  hashdb::HotSetStats hotset;
 
   /// Per-level compacted assignments (level k maps level-(k-1) modules;
   /// level 0 maps original vertices).  Feed to ModuleHierarchy for
@@ -133,6 +137,17 @@ inline void publish_run_metrics(const InfomapResult& result,
   reg->gauge("asamap_run_communities")
       .set(static_cast<double>(result.num_communities));
   reg->gauge("asamap_run_codelength_bits").set(result.codelength);
+  reg->gauge("asamap_kernel_prefetch_distance")
+      .set(static_cast<double>(kModulePrefetchDistance));
+  if (result.hotset.begins > 0) {
+    reg->counter("asamap_hotset_accumulates_total")
+        .inc(result.hotset.accumulates);
+    reg->counter("asamap_hotset_hits_total").inc(result.hotset.hot_hits());
+    reg->counter("asamap_hotset_spills_total").inc(result.hotset.spills);
+    reg->gauge("asamap_hotset_hit_rate").set(result.hotset.hit_rate());
+    reg->gauge("asamap_hotset_vertex_coverage")
+        .set(result.hotset.vertex_coverage());
+  }
 }
 
 /// Renumbers community ids to 0..k-1 in first-appearance order; returns k.
@@ -385,6 +400,9 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
       }
     }
   }
+  if constexpr (requires { workers[0].acc->hot_stats(); }) {
+    for (const Worker<Acc, Sink>& w : workers) result.hotset += w.acc->hot_stats();
+  }
   publish_run_metrics(result, opts.metrics);
   return result;
 }
@@ -392,10 +410,12 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
 /// Which accumulation engine a convenience run should use.
 ///
 /// kChained/kOpen/kAsa/kDense are the paper's *modeled* engines — they emit
-/// sink events so simulated runs can cost every probe.  kFlat is the native
-/// fast path (hashdb::FlatAccumulator): uninstrumented, cache-friendly, and
-/// the default whenever no simulation is attached.
-enum class AccumulatorKind { kChained, kOpen, kAsa, kDense, kFlat };
+/// sink events so simulated runs can cost every probe.  kFlat and kHotSet
+/// are the native fast paths: uninstrumented and cache-friendly.  kHotSet
+/// (hashdb::HotSetAccumulator) fronts the flat table with a fixed 8 KB
+/// SIMD-probed hot set mirroring the paper's CAM, and is the default for
+/// the parallel driver.
+enum class AccumulatorKind { kChained, kOpen, kAsa, kDense, kFlat, kHotSet };
 
 /// Plain, uninstrumented community detection (NullSink, one worker).
 /// The default configuration a library user wants: the flat native-speed
@@ -417,8 +437,14 @@ InfomapResult run_infomap(const graph::CsrGraph& g,
 /// re-derived from live aggregates in O(1) before applying.  The result is
 /// deterministic *and* thread-count-invariant up to the floating-point
 /// noise of parallel contraction.
+///
+/// `kind` selects the native accumulation engine: kHotSet (default — the
+/// software-CAM two-level accumulator) or kFlat.  The instrumented kinds
+/// are not supported here (their sinks are not thread-safe); both native
+/// engines produce bitwise-identical results by construction.
 InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
                                    const InfomapOptions& opts = {},
-                                   int num_threads = 0);
+                                   int num_threads = 0,
+                                   AccumulatorKind kind = AccumulatorKind::kHotSet);
 
 }  // namespace asamap::core

@@ -98,6 +98,19 @@ struct KernelBreakdown {
   }
 };
 
+/// How many arcs ahead the accumulation loops prefetch the neighbor's
+/// module-id slot.  The module gather is the kernel's intrinsic random
+/// access (the arc stream itself is sequential and covered by the hardware
+/// prefetcher); issuing the load a few arcs early hides most of its
+/// latency.  Published as `asamap_kernel_prefetch_distance`.
+inline constexpr std::size_t kModulePrefetchDistance = 4;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ASAMAP_PREFETCH_READ(addr) __builtin_prefetch((addr), 0, 1)
+#else
+#define ASAMAP_PREFETCH_READ(addr) ((void)0)
+#endif
+
 namespace detail {
 
 template <typename Sink>
@@ -134,8 +147,13 @@ MoveProposal evaluate_move(const ModuleState& state, const FlowNetwork& fn,
   const graph::CsrGraph& g = fn.graph;
   ++breakdown.vertices;
 
-  support::WallTimer wall;
+  // One timer, armed only when the caller wants the hash/other wall split:
+  // an unconditional WallTimer costs two clock reads per vertex, which is
+  // real money at millions of low-degree vertices per sweep.
+  support::WallTimer wall{support::WallTimer::Disarmed{}};
+  if (time_wall) wall.reset();
   const double cycles_before = detail::cycles_of(sink);
+  const VertexId* const modules = state.assignment().data();
 
   // --- Accumulation phase (Alg. 1 lines 4-14 / Alg. 2 lines 5-13): scan
   // the adjacency, gather each neighbor's module id, and accumulate the arc
@@ -149,27 +167,41 @@ MoveProposal evaluate_move(const ModuleState& state, const FlowNetwork& fn,
     const std::size_t base = static_cast<std::size_t>(g.out_offset(v));
     const auto arcs = g.out_neighbors(v);
     for (std::size_t i = 0; i < arcs.size(); ++i) {
+      if (i + kModulePrefetchDistance < arcs.size()) {
+        ASAMAP_PREFETCH_READ(modules + arcs[i + kModulePrefetchDistance].dst);
+      }
       sink.load_stream(addrs.out_arcs + (base + i) * 16, 16);
       sink.load(addrs.module_of + std::uint64_t{arcs[i].dst} * 4, 4);
       sink.instructions(costs.per_link);
       const double t0 = detail::cycles_of(sink);
-      acc.accumulate(state.module_of(arcs[i].dst), fn.out_flow[base + i]);
+      acc.accumulate(modules[arcs[i].dst], fn.out_flow[base + i]);
       hash_cycles += detail::cycles_of(sink) - t0;
     }
     breakdown.accumulate_calls += arcs.size();
+    // Accumulators that track stats in bulk (HotSetAccumulator) get one
+    // addition per neighborhood instead of a counter in every accumulate().
+    if constexpr (requires { acc.note_accumulates(std::uint64_t{}); }) {
+      acc.note_accumulates(arcs.size());
+    }
   }
   {
     const std::size_t base = static_cast<std::size_t>(g.in_offset(v));
     const auto arcs = g.in_neighbors(v);
     for (std::size_t i = 0; i < arcs.size(); ++i) {
+      if (i + kModulePrefetchDistance < arcs.size()) {
+        ASAMAP_PREFETCH_READ(modules + arcs[i + kModulePrefetchDistance].dst);
+      }
       sink.load_stream(addrs.in_arcs + (base + i) * 16, 16);
       sink.load(addrs.module_of + std::uint64_t{arcs[i].dst} * 4, 4);
       sink.instructions(costs.per_link);
       const double t0 = detail::cycles_of(sink);
-      acc.accumulate(state.module_of(arcs[i].dst), fn.in_flow[base + i]);
+      acc.accumulate(modules[arcs[i].dst], fn.in_flow[base + i]);
       hash_cycles += detail::cycles_of(sink) - t0;
     }
     breakdown.accumulate_calls += arcs.size();
+    if constexpr (requires { acc.note_accumulates(std::uint64_t{}); }) {
+      acc.note_accumulates(arcs.size());
+    }
   }
   const double t_finalize = detail::cycles_of(sink);
   const std::span<const hashdb::KeyValue> pairs = acc.finalize();
@@ -178,23 +210,37 @@ MoveProposal evaluate_move(const ModuleState& state, const FlowNetwork& fn,
   breakdown.hash_cycles += hash_cycles;
   breakdown.other_cycles +=
       detail::cycles_of(sink) - cycles_before - hash_cycles;
-  if (time_wall) breakdown.hash_seconds += wall.seconds();
+  if (time_wall) {
+    breakdown.hash_seconds += wall.seconds();
+    wall.reset();  // re-arm for the decision phase
+  }
   const double cycles_mid = detail::cycles_of(sink);
-  support::WallTimer wall2;
 
   // --- Decision phase (Alg. 1 lines 15-25 / Alg. 2 line 14).
   // Pre-scan for the flow between v and its current module, needed by every
   // delta evaluation.  Pair values hold out+in flow combined; the symmetric
   // flow models used here split it evenly (exact for undirected networks).
+  // The scan is branch-free (a predicated add — each key appears at most
+  // once, so adding the masked value equals selecting it), which lets the
+  // compiler vectorize it once the sink calls compile away (NullSink).
   sink.instructions(costs.per_vertex);
   const VertexId current = state.module_of(v);
   double flow_current = 0.0;
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    sink.instructions(costs.per_scan_pair);
-    sink.load_stream(addrs.pair_scan + i * 16, 16);
-    const bool is_current = pairs[i].key == current;
-    sink.branch(sim::sites::kScanLoop, is_current);
-    if (is_current) flow_current = pairs[i].value;
+  if constexpr (requires { acc.lookup(current); }) {
+    // Accumulators that stay queryable after accumulation (the hot set)
+    // answer the current-module pre-scan with one O(1) probe instead of a
+    // pass over every materialized pair.  The probe reads the same stored
+    // double the scan would have summed (each key appears exactly once),
+    // so the result is bitwise identical.
+    flow_current = acc.lookup(current);
+  } else {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      sink.instructions(costs.per_scan_pair);
+      sink.load_stream(addrs.pair_scan + i * 16, 16);
+      const bool is_current = pairs[i].key == current;
+      sink.branch(sim::sites::kScanLoop, is_current);
+      flow_current += is_current ? pairs[i].value : 0.0;
+    }
   }
 
   ModuleState::MoveFlows best_flows;
@@ -236,7 +282,7 @@ MoveProposal evaluate_move(const ModuleState& state, const FlowNetwork& fn,
   }
 
   breakdown.other_cycles += detail::cycles_of(sink) - cycles_mid;
-  if (time_wall) breakdown.other_seconds += wall2.seconds();
+  if (time_wall) breakdown.other_seconds += wall.seconds();
 
   MoveProposal proposal;
   proposal.target = best_module;

@@ -26,6 +26,9 @@ InfomapResult run_single(const graph::CsrGraph& g, const InfomapOptions& opts,
 /// pass.  Per-thread entries are cache-line padded — the proposal loop
 /// updates its thread's accumulator and breakdown on every vertex, and
 /// without padding those updates would ping-pong shared lines.
+/// Parameterized on the native accumulation engine (FlatAccumulator or
+/// HotSetAccumulator — both uninstrumented and bitwise-equivalent).
+template <typename Acc>
 struct ParallelWorkspace {
   int threads = 1;
 
@@ -35,15 +38,16 @@ struct ParallelWorkspace {
   std::vector<std::uint8_t> flagged;       ///< has a recorded proposal
   std::vector<MoveProposal> proposals;     ///< phase-1 output per vertex
   std::vector<std::uint64_t> stamp;        ///< epoch of last neighborhood change
+  std::vector<VertexId> order;             ///< phase-1 schedule (degree-desc)
 
   // Per-thread state, shard-per-thread with a post-region fold
   // (obs::PerThread replaces the hand-rolled CacheAligned vectors plus
   // ad-hoc merge loops this driver used to carry).
-  std::vector<support::CacheAligned<hashdb::FlatAccumulator>> accs;
+  std::vector<support::CacheAligned<Acc>> accs;
   obs::PerThread<KernelBreakdown> breakdowns;
   obs::PerThread<double> propose_seconds;
 
-  hashdb::FlatAccumulator apply_acc;  ///< serial verify/apply phase
+  Acc apply_acc;  ///< serial verify/apply phase
 
   ParallelWorkspace(int num_threads, VertexId n)
       : threads(num_threads),
@@ -63,7 +67,48 @@ struct ParallelWorkspace {
     std::fill_n(flagged.begin(), n, std::uint8_t{0});
     std::fill_n(stamp.begin(), n, std::uint64_t{0});
   }
+
+  /// Folds per-thread hot-set counters into `result` (no-op for engines
+  /// without them, e.g. FlatAccumulator).
+  void fold_hot_stats(InfomapResult& result) {
+    if constexpr (requires(Acc& a) { a.hot_stats(); }) {
+      for (auto& acc : accs) {
+        result.hotset += acc->hot_stats();
+        acc->reset_hot_stats();
+      }
+      result.hotset += apply_acc.hot_stats();
+      apply_acc.reset_hot_stats();
+    } else {
+      (void)result;
+    }
+  }
 };
+
+/// Fills `order` with the vertices of `fn` in descending total-degree order
+/// (stable: ties stay in ascending vertex id).  Counting sort, O(n + D).
+///
+/// This is the phase-1 *schedule* only: hubs go first so (a) the dynamic
+/// OpenMP chunks don't leave a heavy straggler for last, and (b) each
+/// thread's hot set takes its capacity misses while it is cold, then stays
+/// warm across the long tail of low-degree vertices.  Phase 2 still applies
+/// proposals in vertex-id order, so the outcome is unchanged — proposals
+/// are independent evaluations against the frozen snapshot.
+void build_degree_order(const FlowNetwork& fn, std::vector<VertexId>& order) {
+  const VertexId n = fn.num_nodes();
+  order.resize(n);
+  std::vector<std::uint32_t> deg(n);
+  std::uint32_t max_deg = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto d = static_cast<std::uint32_t>(
+        fn.graph.out_neighbors(v).size() + fn.graph.in_neighbors(v).size());
+    deg[v] = d;
+    max_deg = std::max(max_deg, d);
+  }
+  std::vector<std::uint32_t> start(std::size_t{max_deg} + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++start[max_deg - deg[v] + 1];
+  for (std::size_t b = 1; b < start.size(); ++b) start[b] += start[b - 1];
+  for (VertexId v = 0; v < n; ++v) order[start[max_deg - deg[v]]++] = v;
+}
 
 /// Runs propose/verify sweeps on `state` until convergence or `max_sweeps`.
 ///
@@ -81,13 +126,16 @@ struct ParallelWorkspace {
 /// identical for every thread count.
 ///
 /// Returns total moves; appends per-sweep traces when `record_trace`.
+template <typename Acc>
 std::uint64_t parallel_sweeps(ModuleState& state, const FlowNetwork& fn,
                               const InfomapOptions& opts, int max_sweeps,
                               int level, const LevelAddresses& addrs,
-                              const KernelCosts& costs, ParallelWorkspace& ws,
+                              const KernelCosts& costs,
+                              ParallelWorkspace<Acc>& ws,
                               InfomapResult& result, bool record_trace) {
   const VertexId n = fn.num_nodes();
   ws.reset(n);
+  build_degree_order(fn, ws.order);
   sim::NullSink sink;  // stateless: sharing across threads is race-free
 
   std::uint64_t epoch = 0;        // applied-move counter (phase 2 only)
@@ -101,7 +149,7 @@ std::uint64_t parallel_sweeps(ModuleState& state, const FlowNetwork& fn,
   {
     support::tsan_acquire(&ws);
     const int tid = omp_get_thread_num();
-    hashdb::FlatAccumulator& acc = *ws.accs[tid];
+    Acc& acc = *ws.accs[tid];
     KernelBreakdown& bd = ws.breakdowns.local(tid);
 
     for (int sweep = 0; sweep < max_sweeps; ++sweep) {
@@ -110,10 +158,12 @@ std::uint64_t parallel_sweeps(ModuleState& state, const FlowNetwork& fn,
       support::WallTimer propose_wall;
       // Phase 1: propose against the frozen snapshot.  RelaxMap-style
       // relaxed reads are safe because nothing mutates state here, and
-      // each iteration writes only its own vertex's slots.
+      // each iteration writes only its own vertex's slots.  Iteration runs
+      // the degree-descending schedule (see build_degree_order); the
+      // outcome is order-independent because proposals don't interact.
 #pragma omp for schedule(dynamic, 1024) nowait
       for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
-        const auto v = static_cast<VertexId>(vi);
+        const VertexId v = ws.order[static_cast<std::size_t>(vi)];
         if (!ws.active[v]) continue;
         const MoveProposal p = evaluate_move(state, fn, v, acc, sink, addrs,
                                              costs, bd, opts.time_wall);
@@ -220,6 +270,10 @@ InfomapResult run_infomap(const graph::CsrGraph& g, const InfomapOptions& opts,
       hashdb::FlatAccumulator acc;
       return run_single(g, opts, acc, sink);
     }
+    case AccumulatorKind::kHotSet: {
+      hashdb::HotSetAccumulator acc;
+      return run_single(g, opts, acc, sink);
+    }
     case AccumulatorKind::kOpen: {
       hashdb::OpenAccumulator<sim::NullSink> acc(sink, addrs);
       return run_single(g, opts, acc, sink);
@@ -240,11 +294,12 @@ InfomapResult run_infomap(const graph::CsrGraph& g, const InfomapOptions& opts,
   return run_single(g, opts, acc, sink);
 }
 
-InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
-                                   const InfomapOptions& opts,
-                                   int num_threads) {
-  if (num_threads <= 0) num_threads = omp_get_max_threads();
+namespace {
 
+/// The parallel driver body, parameterized on the native engine.
+template <typename Acc>
+InfomapResult run_parallel_impl(const graph::CsrGraph& g,
+                                const InfomapOptions& opts, int num_threads) {
   InfomapResult result;
   // Resolve every kernel-span sink (timer slots + histogram handles) once;
   // the spans in the level loop then open/close allocation-free.
@@ -266,7 +321,7 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
 
   const KernelCosts costs;
   hashdb::AddressSpace addrs_space;
-  ParallelWorkspace ws(num_threads, original.num_nodes());
+  ParallelWorkspace<Acc> ws(num_threads, original.num_nodes());
 
   for (int level = 0; level < opts.max_levels; ++level) {
     ModuleState state(fn);
@@ -358,8 +413,25 @@ InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
                      [](KernelBreakdown& into, const KernelBreakdown& bd) {
                        into += bd;
                      });
+  ws.fold_hot_stats(result);
   publish_run_metrics(result, opts.metrics);
   return result;
+}
+
+}  // namespace
+
+InfomapResult run_infomap_parallel(const graph::CsrGraph& g,
+                                   const InfomapOptions& opts, int num_threads,
+                                   AccumulatorKind kind) {
+  if (num_threads <= 0) num_threads = omp_get_max_threads();
+  ASAMAP_CHECK(
+      kind == AccumulatorKind::kFlat || kind == AccumulatorKind::kHotSet,
+      "run_infomap_parallel supports only the native engines (flat/hotset); "
+      "instrumented kinds need the sequential simulated driver");
+  return kind == AccumulatorKind::kFlat
+             ? run_parallel_impl<hashdb::FlatAccumulator>(g, opts, num_threads)
+             : run_parallel_impl<hashdb::HotSetAccumulator>(g, opts,
+                                                            num_threads);
 }
 
 }  // namespace asamap::core

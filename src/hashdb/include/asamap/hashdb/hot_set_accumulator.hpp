@@ -1,0 +1,495 @@
+#pragma once
+
+/// \file hot_set_accumulator.hpp
+/// Software mirror of the paper's ASA: a two-level flow accumulator whose
+/// front level is a small, fixed-capacity, cache-resident "hot set" playing
+/// the role of the 8 KB CAM (512 entries x 16 B, Fig. 5: covers >= 99% of
+/// power-law neighborhoods), backed by an epoch-stamped flat table for the
+/// overflow tail (the CAM's FIFO + sort-and-merge path, collapsed into a
+/// second hash level because software has no free background merge).
+///
+/// Unlike `asa::Cam` — which *models* the hardware (LRU metadata, eviction
+/// FIFO, per-probe sink events for the cost simulator) — this accumulator is
+/// uninstrumented and built to actually be fast on a host CPU:
+///
+///   - The hot level is a bucketized tag array: a contiguous vector of
+///     64-bit meta words (`epoch << 32 | key`) plus a parallel pair-index
+///     array, 8 slots per bucket.  Packing epoch and key into one word
+///     makes the common hit test a single load and a single 64-bit compare.
+///     At the default 512 entries the two arrays total 6 KB — resident in
+///     L1 like the CAM the paper sizes in Fig. 5.
+///   - Probing is two-stage.  The fast path checks the key's single *home*
+///     slot scalar — one Fibonacci hash (a multiply + shift, far cheaper
+///     than the mix64 avalanche a growable table needs) and one L1 load —
+///     which resolves the overwhelmingly common hit/fresh-insert cases at
+///     below FlatAccumulator's per-probe cost.  Only a home-slot collision
+///     falls back to sweeping the 8-tag bucket (and one adjacent bucket)
+///     with SSE2/AVX2 compares, the software stand-in for the CAM's
+///     all-entries-at-once associative match.
+///   - A per-cycle admission budget caps hot-level load at 50% (the CAM
+///     analogue: a full CAM stops accepting and overflows).  Keys turned
+///     away — budget exhausted or probe buckets full — spill to a
+///     FlatAccumulator-style epoch-stamped overflow table (mix64 + linear
+///     probing, grows on load); already-admitted keys keep hitting the hot
+///     level at full speed.  Overflow is the cold path: on power-law
+///     graphs ~99% of vertices never touch it.
+///   - Both levels append first-touch pairs into ONE shared `pairs_`
+///     vector.  The output of `finalize()` is therefore *bitwise identical*
+///     to FlatAccumulator's — same first-touch order, same per-key addition
+///     order — so the kernel's decisions (and the final codelength) cannot
+///     differ between the two engines.
+///
+/// Occupancy invariant (why a bounded probe stays correct): within one
+/// accumulation cycle slots are only ever claimed, never freed.  Insertion
+/// claims the first free slot in probe-bucket order, so if a lookup finds a
+/// free slot and no tag match in some probe bucket, the key cannot live in
+/// a later bucket — and a key that spilled did so because every probe
+/// bucket was full, which remains true for the rest of the cycle.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "asamap/hashdb/kv.hpp"
+#include "asamap/support/hash.hpp"
+
+#if defined(__SSE2__)
+#include <immintrin.h>
+#endif
+
+namespace asamap::hashdb {
+
+/// Counters mirroring asa::CamStats for the software hot set — the hit rate
+/// and per-vertex coverage are the quantities Fig. 5 sizes the CAM by, so
+/// bench_fig5_cam_coverage cross-checks them against the simulated numbers.
+struct HotSetStats {
+  std::uint64_t accumulates = 0;    ///< total accumulate() calls (bulk-counted)
+  std::uint64_t spills = 0;         ///< fell through to the overflow table
+  std::uint64_t begins = 0;         ///< accumulation cycles (vertices)
+  std::uint64_t spilled_begins = 0; ///< cycles with at least one spill
+
+  HotSetStats& operator+=(const HotSetStats& o) noexcept {
+    accumulates += o.accumulates;
+    spills += o.spills;
+    begins += o.begins;
+    spilled_begins += o.spilled_begins;
+    return *this;
+  }
+
+  /// Accumulates resolved in the hot level.  Derived (every call either
+  /// hits the hot level or spills) so the hot path pays one counter, not
+  /// two.
+  [[nodiscard]] std::uint64_t hot_hits() const noexcept {
+    return accumulates - spills;
+  }
+
+  /// Fraction of accumulates served by the hot level.
+  [[nodiscard]] double hit_rate() const noexcept {
+    return accumulates == 0
+               ? 1.0
+               : static_cast<double>(hot_hits()) /
+                     static_cast<double>(accumulates);
+  }
+
+  /// Fraction of cycles whose whole neighborhood fit the hot level — the
+  /// software analogue of the paper's "vertices whose neighbor list fits
+  /// the CAM" coverage metric.
+  [[nodiscard]] double vertex_coverage() const noexcept {
+    return begins == 0 ? 1.0
+                       : 1.0 - static_cast<double>(spilled_begins) /
+                                   static_cast<double>(begins);
+  }
+};
+
+class HotSetAccumulator {
+ public:
+  /// 512 entries x 16 B logical entry = the paper's 8 KB CAM sizing.
+  static constexpr std::size_t kDefaultHotEntries = 512;
+  /// Slots probed per vector compare; buckets are this wide.
+  static constexpr std::size_t kBucketSlots = 8;
+  /// Buckets tried before giving up on the hot level.  Two buckets = 16
+  /// tags, enough slack that hash clustering alone almost never spills a
+  /// neighborhood that fits the capacity.
+  static constexpr std::size_t kProbeBuckets = 2;
+
+  explicit HotSetAccumulator(std::size_t hot_entries = kDefaultHotEntries,
+                             std::size_t overflow_capacity = 256)
+      : bucket_slots_(hot_entries < kBucketSlots
+                          ? support::next_pow2(hot_entries ? hot_entries : 1)
+                          : kBucketSlots) {
+    const std::size_t capacity =
+        support::next_pow2(hot_entries ? hot_entries : 1);
+    num_buckets_ = capacity / bucket_slots_;
+    unsigned cap_bits = 0;
+    while ((std::size_t{1} << cap_bits) < capacity) ++cap_bits;
+    // 64 - log2(capacity), clamped so capacity == 1 (shift of 64 would be
+    // UB) degenerates to shift 63 + mask 0, which still yields home == 0.
+    home_shift_ = cap_bits == 0 ? 63u : 64u - cap_bits;
+    home_mask_ = capacity - 1;
+    slot_shift_ = 0;
+    while ((std::size_t{1} << slot_shift_) < bucket_slots_) ++slot_shift_;
+    hot_meta_.assign(capacity, 0);
+    hot_pair_.assign(capacity, 0);
+    overflow_.assign(
+        support::next_pow2(overflow_capacity < 8 ? 8 : overflow_capacity),
+        OvfSlot{});
+    pairs_.reserve(capacity);
+  }
+
+  /// Starts a fresh accumulation.  O(1) + O(spills of the previous cycle):
+  /// live hot and overflow entries are invalidated by one epoch bump.
+  void begin() {
+    pairs_.clear();
+    spilled_this_cycle_ = false;
+    // Ceiling division so degenerate tiny capacities still admit a key.
+    hot_budget_ = (hot_meta_.size() + 1) / 2;
+    ++stats_.begins;
+    if (++epoch_ == 0) {  // epoch wrapped: stale stamps could alias
+      std::fill(hot_meta_.begin(), hot_meta_.end(), std::uint64_t{0});
+      for (OvfSlot& s : overflow_) s.epoch = 0;
+      epoch_ = 1;
+    }
+  }
+
+  /// key += value, inserting on first sight.  Fast path: one Fibonacci
+  /// hash, one load, and one 64-bit compare against the key's home slot;
+  /// collisions fall back to the vectorized bucket sweep.  Per-call stats
+  /// are deliberately NOT counted here — callers report totals in bulk via
+  /// note_accumulates() so the hot loop carries no counter traffic.
+  void accumulate(std::uint32_t key, double value) {
+    const std::uint64_t want =
+        (static_cast<std::uint64_t>(epoch_) << 32) | key;
+    const std::size_t home =
+        static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) >>
+                                 home_shift_) &
+        home_mask_;
+    const std::uint64_t meta = hot_meta_[home];
+    if (meta == want) {  // hot home hit: works saturated or not
+      pairs_[hot_pair_[home]].value += value;
+      return;
+    }
+    if (hot_budget_ == 0) {  // saturated: everything else is overflow's job
+      spill(key, value);
+      return;
+    }
+    if ((meta >> 32) == epoch_) {  // live with another key: collision
+      accumulate_slow(key, value, home, want);
+      return;
+    }
+    // Home slot free this cycle.  Slots are never freed mid-cycle and every
+    // insert probes home first, so a free home slot proves the key is not
+    // resident anywhere in the hot level: claim it.  The admission budget
+    // bounds hot-level load at 50%; hitting zero triggers saturation (see
+    // saturate()), after which the whole cycle runs on the overflow table.
+    hot_meta_[home] = want;
+    hot_pair_[home] = static_cast<std::uint32_t>(pairs_.size());
+    pairs_.push_back(KeyValue{key, value});
+    if (--hot_budget_ == 0) saturate();
+  }
+
+  /// Bulk stats hook: the kernel reports how many accumulate() calls it
+  /// issued for the current neighborhood (one addition per vertex instead
+  /// of a read-modify-write inside every accumulate()).
+  void note_accumulates(std::uint64_t n) noexcept {
+    stats_.accumulates += n;
+  }
+
+  /// Point query: the accumulated value for `key` this cycle (0.0 when the
+  /// key was never accumulated).  This is the capability the hot set buys
+  /// beyond a scan-only accumulator: the kernel's current-module pre-scan
+  /// collapses from O(distinct) to one O(1) probe.  Reads the same stored
+  /// doubles `finalize()` exposes, so the result is bitwise identical to
+  /// what the scan would have found.
+  [[nodiscard]] double lookup(std::uint32_t key) const noexcept {
+    const std::uint64_t want =
+        (static_cast<std::uint64_t>(epoch_) << 32) | key;
+    const std::size_t home =
+        static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) >>
+                                 home_shift_) &
+        home_mask_;
+    const std::uint64_t meta = hot_meta_[home];
+    if (meta == want) return pairs_[hot_pair_[home]].value;
+    // A saturated cycle dumped every pair into the overflow table (see
+    // saturate()), so that probe alone is complete.  Otherwise absence
+    // from the hot level is definitive for non-spilled keys: every key
+    // seen this cycle was admitted somewhere the bounded probe visits.
+    if (hot_budget_ == 0) return lookup_overflow(key);
+    if ((meta >> 32) != (want >> 32)) return 0.0;  // home free: key absent
+    // Collision: sweep the same buckets accumulate() would have probed.
+    std::size_t b = home >> slot_shift_;
+    for (std::size_t probe = 0; probe < kProbeBuckets; ++probe) {
+      const std::size_t base = b * bucket_slots_;
+      std::uint32_t match_mask = 0;
+      std::uint32_t live_mask = 0;
+      probe_bucket(base, want, match_mask, live_mask);
+      if (match_mask != 0) {
+        const auto lane =
+            static_cast<std::size_t>(__builtin_ctz(match_mask));
+        return pairs_[hot_pair_[base + lane]].value;
+      }
+      if (live_mask != ((1u << bucket_slots_) - 1u)) return 0.0;
+      if (num_buckets_ == 1) break;
+      b = (b + 1) & (num_buckets_ - 1);
+    }
+    // Every probe bucket full: the key would have spilled.
+    return lookup_overflow(key);
+  }
+
+  /// The accumulated (key, value) pairs in first-touch order — bitwise
+  /// identical to what FlatAccumulator returns on the same call sequence.
+  [[nodiscard]] std::span<const KeyValue> finalize() const noexcept {
+    return pairs_;
+  }
+
+  [[nodiscard]] std::size_t distinct() const noexcept { return pairs_.size(); }
+  [[nodiscard]] std::size_t hot_capacity() const noexcept {
+    return hot_meta_.size();
+  }
+  [[nodiscard]] std::size_t overflow_capacity() const noexcept {
+    return overflow_.size();
+  }
+
+  [[nodiscard]] const HotSetStats& hot_stats() const noexcept {
+    return stats_;
+  }
+  void reset_hot_stats() noexcept { stats_ = HotSetStats{}; }
+
+  /// Test hook: jump the epoch counter so a test can exercise the uint32
+  /// wraparound reset without running 4 billion cycles.
+  void set_epoch_for_testing(std::uint32_t e) noexcept { epoch_ = e; }
+
+ private:
+  struct OvfSlot {
+    std::uint32_t key = 0;
+    std::uint32_t epoch = 0;
+    std::uint32_t pair_index = 0;
+  };
+
+  /// Collision path: the home slot is live with another key.  Sweeps the
+  /// home bucket (which contains the home slot) and one adjacent bucket
+  /// with vector compares; claims the first free slot on a miss, spilling
+  /// only when both buckets are full.  Insertion claims free slots in the
+  /// same bucket order the lookup scans them, which keeps the bounded
+  /// probe's free-slot-means-absent reasoning valid at bucket granularity.
+  void accumulate_slow(std::uint32_t key, double value, std::size_t home,
+                       std::uint64_t want) {
+    std::size_t b = home >> slot_shift_;
+    for (std::size_t probe = 0; probe < kProbeBuckets; ++probe) {
+      const std::size_t base = b * bucket_slots_;
+      std::uint32_t match_mask = 0;
+      std::uint32_t live_mask = 0;
+      probe_bucket(base, want, match_mask, live_mask);
+      if (match_mask != 0) {
+        const auto lane =
+            static_cast<std::size_t>(__builtin_ctz(match_mask));
+        pairs_[hot_pair_[base + lane]].value += value;
+        return;
+      }
+      const std::uint32_t free_mask =
+          ~live_mask & ((1u << bucket_slots_) - 1u);
+      if (free_mask != 0) {
+        const auto lane =
+            static_cast<std::size_t>(__builtin_ctz(free_mask));
+        const std::size_t i = base + lane;
+        hot_meta_[i] = want;
+        hot_pair_[i] = static_cast<std::uint32_t>(pairs_.size());
+        pairs_.push_back(KeyValue{key, value});
+        if (--hot_budget_ == 0) saturate();
+        return;
+      }
+      if (num_buckets_ == 1) break;
+      b = (b + 1) & (num_buckets_ - 1);
+    }
+    spill(key, value);
+  }
+
+  /// Sets bit i of `match_mask` when slot base+i holds exactly `want`
+  /// (same key, live this cycle), and bit i of `live_mask` when the slot's
+  /// epoch half matches the current epoch (`want >> 32`).
+  void probe_bucket(std::size_t base, std::uint64_t want,
+                    std::uint32_t& match_mask,
+                    std::uint32_t& live_mask) const noexcept {
+    if (bucket_slots_ == kBucketSlots) {
+      const std::uint64_t* m = hot_meta_.data() + base;
+#if defined(__AVX2__)
+      const __m256i vw =
+          _mm256_set1_epi64x(static_cast<long long>(want));
+      std::uint32_t lm = 0;
+      std::uint32_t mm = 0;
+      for (int v = 0; v < 2; ++v) {  // 4 slots per 256-bit vector
+        const __m256i meta = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(m + v * 4));
+        const auto eq64 = static_cast<std::uint32_t>(_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(meta, vw))));
+        const auto eq32 = static_cast<std::uint32_t>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(meta, vw))));
+        mm |= eq64 << (v * 4);
+        // Epoch halves live in the odd 32-bit lanes (little endian).
+        lm |= (((eq32 >> 1) & 1u) | (((eq32 >> 3) & 1u) << 1) |
+               (((eq32 >> 5) & 1u) << 2) | (((eq32 >> 7) & 1u) << 3))
+              << (v * 4);
+      }
+      live_mask = lm;
+      match_mask = mm;
+      return;
+#elif defined(__SSE2__)
+      const __m128i vw = _mm_set1_epi64x(static_cast<long long>(want));
+      std::uint32_t lm = 0;
+      std::uint32_t mm = 0;
+      for (int v = 0; v < 4; ++v) {  // 2 slots per 128-bit vector
+        const __m128i meta = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(m + v * 2));
+        const auto eq = static_cast<std::uint32_t>(
+            _mm_movemask_epi8(_mm_cmpeq_epi32(meta, vw)));
+        // Per slot: low 4 byte-mask bits = key half, high 4 = epoch half.
+        lm |= static_cast<std::uint32_t>(((eq >> 4) & 0xFu) == 0xFu)
+              << (v * 2);
+        lm |= static_cast<std::uint32_t>(((eq >> 12) & 0xFu) == 0xFu)
+              << (v * 2 + 1);
+        mm |= static_cast<std::uint32_t>((eq & 0xFFu) == 0xFFu) << (v * 2);
+        mm |= static_cast<std::uint32_t>(((eq >> 8) & 0xFFu) == 0xFFu)
+              << (v * 2 + 1);
+      }
+      live_mask = lm;
+      match_mask = mm;
+      return;
+#endif
+    }
+    std::uint32_t lm = 0;
+    std::uint32_t mm = 0;
+    for (std::size_t i = 0; i < bucket_slots_; ++i) {
+      const std::uint64_t meta = hot_meta_[base + i];
+      lm |= static_cast<std::uint32_t>((meta >> 32) == (want >> 32)) << i;
+      mm |= static_cast<std::uint32_t>(meta == want) << i;
+    }
+    live_mask = lm;
+    match_mask = mm;
+  }
+
+  /// Point query against the overflow table only (0.0 when absent).  The
+  /// linear probe terminates: the table grows at 50% load, so a free slot
+  /// is always reachable.
+  [[nodiscard]] double lookup_overflow(std::uint32_t key) const noexcept {
+    std::size_t i =
+        support::bucket_of(support::mix64(key), overflow_.size());
+    const std::size_t mask = overflow_.size() - 1;
+    for (;;) {
+      const OvfSlot& s = overflow_[i];
+      if (s.epoch != epoch_) return 0.0;
+      if (s.key == key) return pairs_[s.pair_index].value;
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Stats wrapper for keys the hot level turned away — cycle saturated or
+  /// both probe buckets full.
+  void spill(std::uint32_t key, double value) {
+    ++stats_.spills;
+    if (!spilled_this_cycle_) {
+      spilled_this_cycle_ = true;
+      ++stats_.spilled_begins;
+    }
+    ovf_insert(key, value);
+  }
+
+  /// Saturation event: the admission budget just hit zero (a neighborhood
+  /// larger than the hot level can hold at 50% load — the CAM-full case).
+  /// Folding every pair into the overflow table once makes the overflow
+  /// probe complete on its own, so the rest of the cycle runs exactly like
+  /// FlatAccumulator instead of paying a futile hot sweep per key.
+  /// Already-accumulated values are untouched: the dump maps keys to their
+  /// existing pair indices, preserving bitwise output parity.
+  void saturate() {
+    if (pairs_.size() * 2 >= overflow_.size()) {
+      grow_overflow();  // re-inserts every pair while resizing
+      return;
+    }
+    // Room already: upsert into the persistent table (keys re-inserted by
+    // an earlier grow this cycle are skipped).
+    const std::size_t mask = overflow_.size() - 1;
+    for (std::size_t p = 0; p < pairs_.size(); ++p) {
+      const std::uint32_t key = pairs_[p].key;
+      std::size_t i =
+          support::bucket_of(support::mix64(key), overflow_.size());
+      while (overflow_[i].epoch == epoch_ && overflow_[i].key != key) {
+        i = (i + 1) & mask;
+      }
+      if (overflow_[i].epoch != epoch_) {
+        overflow_[i] = OvfSlot{key, epoch_, static_cast<std::uint32_t>(p)};
+      }
+    }
+  }
+
+  /// Overflow level: FlatAccumulator's epoch-stamped open addressing.  The
+  /// grow trigger deliberately uses `pairs_.size()` (total distinct keys,
+  /// an upper bound on overflow occupancy) — it is already in a register
+  /// from the pair push, so the claim path carries no occupancy counter at
+  /// all, matching FlatAccumulator's insert cost exactly.
+  void ovf_insert(std::uint32_t key, double value) {
+    std::size_t i =
+        support::bucket_of(support::mix64(key), overflow_.size());
+    const std::size_t mask = overflow_.size() - 1;
+    for (;;) {
+      OvfSlot& s = overflow_[i];
+      if (s.epoch != epoch_) {  // empty this cycle: claim it
+        s.key = key;
+        s.epoch = epoch_;
+        s.pair_index = static_cast<std::uint32_t>(pairs_.size());
+        pairs_.push_back(KeyValue{key, value});
+        if (pairs_.size() * 2 >= overflow_.size()) grow_overflow();
+        return;
+      }
+      if (s.key == key) {
+        pairs_[s.pair_index].value += value;
+        return;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Rebuilds the overflow table sized so every distinct key this cycle
+  /// sits under 50% load, re-inserting every pair.  Serves both the grow
+  /// path and the saturation dump.  Hot-resident keys land in the overflow
+  /// too, which is harmless: their entries map to the same pair index, so
+  /// whichever level answers first yields the same accumulator cell.  The
+  /// epoch counter is left alone (it also stamps the hot level); fresh
+  /// slots carry epoch 0, which never equals a live epoch.
+  void grow_overflow() {
+    // Grow-only, like FlatAccumulator: the table reaches the workload's
+    // peak neighborhood size once and then persists, so steady-state cycles
+    // never pay a rebuild (shrinking here would re-stamp and re-insert on
+    // every saturated cycle).
+    std::size_t ns = overflow_.size();
+    while (pairs_.size() * 2 >= ns) ns *= 2;
+    overflow_.assign(ns, OvfSlot{});
+    const std::size_t mask = ns - 1;
+    for (std::size_t p = 0; p < pairs_.size(); ++p) {
+      std::size_t i = support::bucket_of(support::mix64(pairs_[p].key), ns);
+      while (overflow_[i].epoch == epoch_) i = (i + 1) & mask;
+      overflow_[i] =
+          OvfSlot{pairs_[p].key, epoch_, static_cast<std::uint32_t>(p)};
+    }
+  }
+
+  // Hot level: packed (epoch << 32 | key) meta words plus a parallel
+  // pair-index array, bucketized for vectorized probes.  6 KB total at the
+  // default 512 entries.
+  std::vector<std::uint64_t> hot_meta_;
+  std::vector<std::uint32_t> hot_pair_;
+  std::size_t bucket_slots_ = kBucketSlots;
+  std::size_t num_buckets_ = 0;
+  unsigned home_shift_ = 0;     ///< 64 - log2(hot capacity), clamped to 63
+  std::size_t home_mask_ = 0;   ///< hot capacity - 1
+  unsigned slot_shift_ = 0;     ///< log2(bucket_slots_): home slot -> bucket
+
+  // Overflow level + the shared first-touch pair list.
+  std::vector<OvfSlot> overflow_;
+  std::vector<KeyValue> pairs_;
+
+  std::uint32_t epoch_ = 1;
+  std::size_t hot_budget_ = 0;  ///< hot claims left this cycle (50% load cap)
+  bool spilled_this_cycle_ = false;
+  HotSetStats stats_;
+};
+
+}  // namespace asamap::hashdb

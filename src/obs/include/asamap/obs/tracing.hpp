@@ -90,6 +90,11 @@ struct TraceEvent {
 struct TraceStats {
   std::uint64_t recorded = 0; ///< events ever written (monotone)
   std::uint64_t dropped = 0;  ///< overwritten by ring wrap (monotone)
+  /// dropped / recorded (0.0 when nothing recorded).  A value near 1.0
+  /// means the rings wrapped many times over and a dump holds only the
+  /// newest sliver of the run — consumers should warn, not silently
+  /// present a near-empty trace as complete.
+  double dropped_fraction = 0.0;
   int rings = 0;              ///< rings touched so far
   std::size_t ring_capacity = 0;
   bool enabled = true;

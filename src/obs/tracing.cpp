@@ -222,6 +222,10 @@ TraceStats FlightRecorder::stats() const {
     out.recorded += head;
     if (head > ring_capacity_) out.dropped += head - ring_capacity_;
   }
+  if (out.recorded > 0) {
+    out.dropped_fraction = static_cast<double>(out.dropped) /
+                           static_cast<double>(out.recorded);
+  }
   return out;
 }
 

@@ -103,7 +103,7 @@ class ServeSession {
   bool drop(const std::string& name);
 
   /// Enqueues a re-cluster of `name` on the scheduler.  The job runs
-  /// run_infomap_parallel (native flat-accumulator fast path) against the
+  /// run_infomap_parallel (native hot-set fast path) against the
   /// graph snapshot it captured at submission; a publish only happens when
   /// the job was neither cancelled nor expired.
   SubmitResult submit_recluster(

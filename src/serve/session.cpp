@@ -621,7 +621,14 @@ std::string ServeSession::handle_line_impl(
       out += " rings=" + std::to_string(stats.rings) +
              " capacity=" + std::to_string(stats.ring_capacity) +
              " recorded=" + std::to_string(stats.recorded) +
-             " dropped=" + std::to_string(stats.dropped);
+             " dropped=" + std::to_string(stats.dropped) +
+             " dropped_fraction=" + fmt_double(stats.dropped_fraction);
+      // The rings hold only the newest events; once most of the run has
+      // been overwritten a DUMP is a sliver, not a trace — say so here
+      // instead of letting the near-empty dump speak for itself.
+      if (stats.dropped_fraction > 0.5) {
+        out += " warning=ring_wrapped";
+      }
       return out;
     }
     if (sub == "MARK") {

@@ -18,6 +18,12 @@ class WallTimer {
  public:
   WallTimer() noexcept : start_(clock::now()) {}
 
+  /// Disarmed construction: no clock read.  For hot paths that only
+  /// sometimes time themselves — construct disarmed, reset() when armed.
+  /// seconds() before a reset() is meaningless.
+  struct Disarmed {};
+  explicit WallTimer(Disarmed) noexcept : start_{} {}
+
   void reset() noexcept { start_ = clock::now(); }
 
   /// Seconds elapsed since construction or the last reset().

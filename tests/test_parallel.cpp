@@ -49,7 +49,7 @@ TEST(ParallelDeterminism, EveryAccumulatorKindMatchesChained) {
       core::run_infomap(pp.graph, {}, AccumulatorKind::kChained);
   for (const AccumulatorKind kind :
        {AccumulatorKind::kOpen, AccumulatorKind::kAsa, AccumulatorKind::kDense,
-        AccumulatorKind::kFlat}) {
+        AccumulatorKind::kFlat, AccumulatorKind::kHotSet}) {
     const InfomapResult r = core::run_infomap(pp.graph, {}, kind);
     EXPECT_EQ(chained.communities, r.communities);
     EXPECT_NEAR(chained.codelength, r.codelength, 1e-9);

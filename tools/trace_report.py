@@ -26,6 +26,7 @@ or cli.cluster trace: total, queue wait, job run, and per-kernel seconds.
 """
 
 import json
+import re
 import sys
 
 KERNELS = ("PageRank", "FindBestCommunity", "Convert2SuperNode",
@@ -43,6 +44,7 @@ def extract_json(path: str) -> str:
     transcript."""
     with open(path, encoding="utf-8") as f:
         text = f.read()
+    warn_if_wrapped(text)
     stripped = text.lstrip()
     if stripped.startswith('{"traceEvents"'):
         return stripped
@@ -52,6 +54,22 @@ def extract_json(path: str) -> str:
     raise ValueError(
         f"{path}: no Chrome trace JSON found (expected the file itself or a "
         'transcript line starting with {"traceEvents")')
+
+
+def warn_if_wrapped(text: str) -> None:
+    """If the input is a transcript holding a TRACE STATUS response, check
+    its dropped_fraction: rings that wrapped away most of the run mean the
+    dump below is the newest sliver, not the whole story.  Warn loudly
+    (stderr) but don't fail — a partial trace is still a valid trace."""
+    m = re.search(r"\bdropped_fraction=([0-9.eE+-]+)", text)
+    if m is None:
+        return
+    frac = float(m.group(1))
+    if frac > 0.5:
+        print(f"trace_report: WARNING: recorder dropped "
+              f"{frac:.1%} of recorded events (ring wrapped) — this dump "
+              f"holds only the newest events; raise the per-thread ring "
+              f"capacity to capture the full run", file=sys.stderr)
 
 
 def spans_of(events):
