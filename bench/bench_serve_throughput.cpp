@@ -22,10 +22,22 @@
 // cost; the run fails if that overhead exceeds 5%.  A "trace" section
 // lands in the JSON artifact either way.
 //
+// With --delta two dynamic-graph phases run (DESIGN.md §4f):
+//   1. APPLY speedup: a --delta-n vertex graph takes --delta-churn edge
+//      churn, then APPLY recluster=full and recluster=incr are timed on
+//      identically prepared sessions; reports the incremental speedup and
+//      the codelength gap between the two answers.
+//   2. Mixed update/read window: 90% MEMBER / 9% ADD_EDGE / 1% APPLY incr
+//      (async) on a fresh session, closed loop like the baseline.
+// Both land in a "delta" section of the JSON artifact.  The read-only
+// baseline phase is untouched by --delta.
+//
 //   bench_serve_throughput [--seconds S] [--clients N] [--workers N]
 //                          [--n N] [--edges M] [--seed S] [--batch-cap N]
 //                          [--cluster-threads N] [--faults plan.txt]
-//                          [--trace] [--out file.json]
+//                          [--trace] [--delta] [--delta-n N]
+//                          [--delta-edges M] [--delta-churn F]
+//                          [--out file.json]
 
 #include <algorithm>
 #include <atomic>
@@ -38,6 +50,7 @@
 
 #include "asamap/benchutil/json_env.hpp"
 #include "asamap/benchutil/table.hpp"
+#include "asamap/dyn/incremental.hpp"
 #include "asamap/fault/fault.hpp"
 #include "asamap/obs/metrics.hpp"
 #include "asamap/obs/tracing.hpp"
@@ -137,6 +150,74 @@ void client_loop(serve::ServeSession& session, graph::VertexId n,
   }
 }
 
+/// Per-lane ledger for the --delta mixed window.
+struct DeltaTotals {
+  std::uint64_t reads = 0;
+  std::uint64_t reads_ok = 0;
+  std::uint64_t mutations = 0;
+  std::uint64_t mutations_ok = 0;
+  std::uint64_t applies = 0;
+  std::uint64_t applies_accepted = 0;
+  std::uint64_t applies_busy = 0;  ///< rejected: one already in flight
+
+  DeltaTotals& operator+=(const DeltaTotals& o) {
+    reads += o.reads;
+    reads_ok += o.reads_ok;
+    mutations += o.mutations;
+    mutations_ok += o.mutations_ok;
+    applies += o.applies;
+    applies_accepted += o.applies_accepted;
+    applies_busy += o.applies_busy;
+    return *this;
+  }
+  [[nodiscard]] double goodput() const {
+    // A busy-rejected APPLY is correct behavior (at most one in flight per
+    // graph), so it counts as answered.
+    const std::uint64_t total = reads + mutations + applies;
+    const std::uint64_t good =
+        reads_ok + mutations_ok + applies_accepted + applies_busy;
+    return total == 0 ? 1.0
+                      : static_cast<double>(good) / static_cast<double>(total);
+  }
+};
+
+/// The --delta mixed workload: 90% MEMBER / 9% ADD_EDGE / 1% APPLY incr
+/// (async batch — the closed loop must not stall on a recluster).
+void delta_client_loop(serve::ServeSession& session, graph::VertexId n,
+                       std::uint64_t seed, const std::atomic<bool>& stop,
+                       DeltaTotals& totals) {
+  support::Xoshiro256 rng(seed);
+  const std::string name = kGraph;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const std::uint64_t roll = rng.next_below(100);
+    if (roll < 90) {
+      const std::string resp =
+          session.handle_line("MEMBER " + name + " " +
+                              std::to_string(rng.next_below(n)));
+      ++totals.reads;
+      totals.reads_ok += resp.rfind("OK", 0) == 0 ? 1 : 0;
+    } else if (roll < 99) {
+      const auto u = static_cast<graph::VertexId>(rng.next_below(n));
+      const auto v = static_cast<graph::VertexId>(rng.next_below(n));
+      if (u == v) continue;
+      const std::string resp = session.handle_line(
+          "ADD_EDGE " + name + " " + std::to_string(u) + " " +
+          std::to_string(v));
+      ++totals.mutations;
+      totals.mutations_ok += resp.rfind("OK", 0) == 0 ? 1 : 0;
+    } else {
+      const std::string resp = session.handle_line("APPLY " + name);
+      ++totals.applies;
+      if (resp.rfind("OK", 0) == 0) {
+        ++totals.applies_accepted;
+      } else if (resp.find("already in flight") != std::string::npos) {
+        ++totals.applies_busy;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+}
+
 /// Generates the bench graph and publishes a warm snapshot.
 bool warm_up(serve::ServeSession& session, graph::VertexId n,
              std::uint64_t edges, std::uint64_t seed) {
@@ -180,18 +261,21 @@ double run_window(serve::ServeSession& session, int clients,
 }  // namespace
 
 int main(int argc, char** argv) try {
-  const support::ArgParser args(argc, argv, 1, {"help", "trace"});
+  const support::ArgParser args(argc, argv, 1, {"help", "trace", "delta"});
   if (args.flag("help")) {
     std::cout << "usage: bench_serve_throughput [--seconds S] [--clients N] "
                  "[--workers N] [--n N]\n"
                  "        [--edges M] [--seed S] [--batch-cap N] "
                  "[--cluster-threads N]\n"
-                 "        [--faults plan.txt] [--trace] [--out f.json]\n";
+                 "        [--faults plan.txt] [--trace] [--delta] "
+                 "[--delta-n N] [--delta-edges M]\n"
+                 "        [--delta-churn F] [--out f.json]\n";
     return 0;
   }
   if (const auto unknown = args.unknown_keys(
           {"seconds", "clients", "workers", "n", "edges", "seed", "batch-cap",
-           "cluster-threads", "faults", "trace", "out"});
+           "cluster-threads", "faults", "trace", "delta", "delta-n",
+           "delta-edges", "delta-churn", "out"});
       !unknown.empty()) {
     std::cerr << "unknown argument: --" << unknown.front() << '\n';
     return 2;
@@ -424,6 +508,176 @@ int main(int argc, char** argv) try {
     ct.print(std::cout);
   }
 
+  // ---- phase 4: dynamic graphs (optional) ------------------------------
+  // 4a. APPLY speedup: two identically prepared sessions (graph + initial
+  //     snapshot + the same churn batch in the delta log); one pays a full
+  //     recluster, the other the warm-started incremental path.
+  // 4b. Mixed update/read window: 90% MEMBER / 9% ADD_EDGE / 1% APPLY incr.
+  struct DeltaReport {
+    bool ran = false;
+    graph::VertexId n = 0;
+    std::uint64_t edges = 0;
+    std::size_t churn = 0;
+    double full_seconds = 0, incr_seconds = 0, speedup = 0;
+    double full_codelength = 0, incr_codelength = 0, codelength_gap = 0;
+    bool incr_published = false;
+    double elapsed = 0;
+    std::uint64_t requests = 0;
+    double rps = 0;
+    DeltaTotals totals;
+    std::uint64_t folds = 0, applies_incr = 0;
+    std::uint64_t incr_published_total = 0, incr_skipped_total = 0;
+    double p50 = 0, p95 = 0, p99 = 0;
+  } delta;
+
+  if (args.flag("delta")) {
+    delta.ran = true;
+    delta.n = static_cast<graph::VertexId>(args.int_or("delta-n", 100000));
+    delta.edges =
+        static_cast<std::uint64_t>(args.int_or("delta-edges", 600000));
+    const double churn_fraction = args.double_or("delta-churn", 0.001);
+    benchutil::banner(std::cout, "Dynamic graphs: APPLY incr vs full");
+    std::cout << "graph: chung_lu n=" << delta.n << " edges=" << delta.edges
+              << " churn=" << fmt(churn_fraction * 100.0, 2) << "% of edges\n\n";
+
+    // The same churn stream for both sessions, sampled against the shared
+    // base graph: half deletions of real arcs, half fresh additions.
+    serve::SessionConfig delta_config = config;
+    const auto prepare = [&](serve::ServeSession& s) -> bool {
+      if (!warm_up(s, delta.n, delta.edges, seed ^ 0xDE17AULL)) return false;
+      const auto base = s.registry().get(kGraph);
+      support::Xoshiro256 rng(seed ^ 0xC0117ULL);
+      delta.churn = static_cast<std::size_t>(
+          static_cast<double>(base->num_arcs() / 2) * churn_fraction);
+      std::size_t applied = 0;
+      while (applied < delta.churn) {
+        const auto u = static_cast<graph::VertexId>(rng.next_below(delta.n));
+        if (rng.next_double() < 0.5) {
+          const auto nbrs = base->out_neighbors(u);
+          if (nbrs.empty()) continue;
+          const auto v = nbrs[rng.next_below(nbrs.size())].dst;
+          if (u == v || !s.del_edge(kGraph, u, v).ok()) continue;
+        } else {
+          const auto v = static_cast<graph::VertexId>(rng.next_below(delta.n));
+          if (u == v || !s.add_edge(kGraph, u, v).ok()) continue;
+        }
+        ++applied;
+      }
+      return true;
+    };
+    const auto timed_apply = [&](serve::ServeSession& s,
+                                 bool incremental) -> double {
+      support::WallTimer w;
+      const auto sub = s.submit_apply(kGraph, incremental);
+      if (!sub.accepted() ||
+          s.scheduler().wait(sub.id) != serve::JobState::kDone) {
+        return -1.0;
+      }
+      return w.seconds();
+    };
+
+    {
+      serve::ServeSession full_session(delta_config);
+      if (!prepare(full_session)) return 1;
+      delta.full_seconds = timed_apply(full_session, false);
+      if (delta.full_seconds < 0) {
+        std::cerr << "full APPLY failed\n";
+        return 1;
+      }
+      delta.full_codelength = full_session.snapshot(kGraph)->codelength;
+    }
+    {
+      serve::ServeSession incr_session(delta_config);
+      if (!prepare(incr_session)) return 1;
+      const auto before = incr_session.snapshot(kGraph);
+      delta.incr_seconds = timed_apply(incr_session, true);
+      if (delta.incr_seconds < 0) {
+        std::cerr << "incremental APPLY failed\n";
+        return 1;
+      }
+      const auto after = incr_session.snapshot(kGraph);
+      delta.incr_published = after->version != before->version;
+      if (delta.incr_published) {
+        delta.incr_codelength = after->codelength;
+      } else {
+        // Not published: the served answer is still the warm partition —
+        // score that membership on the merged graph.
+        delta.incr_codelength = dyn::evaluate_codelength(
+            *incr_session.registry().get(kGraph), before->communities);
+      }
+    }
+    delta.speedup = delta.incr_seconds > 0.0
+                        ? delta.full_seconds / delta.incr_seconds
+                        : 0.0;
+    delta.codelength_gap =
+        delta.full_codelength > 0.0
+            ? (delta.incr_codelength - delta.full_codelength) /
+                  delta.full_codelength
+            : 0.0;
+
+    benchutil::Table dt({"Metric", "Value"});
+    dt.add_row({"churn records", std::to_string(delta.churn)});
+    dt.add_row({"APPLY full (s)", fmt(delta.full_seconds, 3)});
+    dt.add_row({"APPLY incr (s)", fmt(delta.incr_seconds, 3)});
+    dt.add_row({"incremental speedup", fmt(delta.speedup, 2)});
+    dt.add_row({"codelength full", fmt(delta.full_codelength, 6)});
+    dt.add_row({"codelength incr", fmt(delta.incr_codelength, 6)});
+    dt.add_row({"codelength gap (%)", fmt(delta.codelength_gap * 100.0, 3)});
+    dt.add_row({"incr published", delta.incr_published ? "1" : "0"});
+    dt.print(std::cout);
+
+    // 4b: the mixed window, on the baseline-sized graph and config.
+    benchutil::banner(std::cout,
+                      "Dynamic graphs: mixed window (90/9/1 member/add/apply)");
+    serve::ServeSession mixed_session(config);
+    if (!warm_up(mixed_session, n, edges, seed ^ 0x313ULL)) return 1;
+    std::atomic<bool> stop{false};
+    std::vector<DeltaTotals> per_client(static_cast<std::size_t>(clients));
+    std::vector<std::thread> threads;
+    support::WallTimer wall;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        delta_client_loop(mixed_session, n, seed ^ (0xD317AULL * (c + 1)),
+                          stop, per_client[static_cast<std::size_t>(c)]);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& th : threads) th.join();
+    delta.elapsed = wall.seconds();
+    for (const auto& c : per_client) delta.totals += c;
+    const obs::MetricRegistry& dreg = mixed_session.metrics();
+    delta.requests = dreg.counter_sum("asamap_serve_requests_total");
+    delta.rps = static_cast<double>(delta.requests) / delta.elapsed;
+    delta.folds = dreg.counter_total("asamap_delta_compactions_total");
+    delta.applies_incr =
+        dreg.counter_total("asamap_delta_applies_total", "mode=\"incr\"");
+    delta.incr_published_total =
+        dreg.counter_total("asamap_incr_publishes_total");
+    delta.incr_skipped_total = dreg.counter_total(
+        "asamap_incr_skipped_total", "reason=\"no_improvement\"");
+    const auto dlat = dreg.histogram_merged_all("asamap_serve_request_seconds");
+    delta.p50 = dlat.quantile_seconds(0.50);
+    delta.p95 = dlat.quantile_seconds(0.95);
+    delta.p99 = dlat.quantile_seconds(0.99);
+
+    benchutil::Table mt({"Metric", "Value"});
+    mt.add_row({"requests", std::to_string(delta.requests)});
+    mt.add_row({"requests/sec", fmt(delta.rps, 0)});
+    mt.add_row({"goodput", fmt(delta.totals.goodput(), 4)});
+    mt.add_row({"mutations", std::to_string(delta.totals.mutations)});
+    mt.add_row({"applies accepted",
+                std::to_string(delta.totals.applies_accepted)});
+    mt.add_row({"applies busy-rejected",
+                std::to_string(delta.totals.applies_busy)});
+    mt.add_row({"threshold folds", std::to_string(delta.folds)});
+    mt.add_row({"incr reclusters", std::to_string(delta.applies_incr)});
+    mt.add_row({"incr published", std::to_string(delta.incr_published_total)});
+    mt.add_row({"incr skipped", std::to_string(delta.incr_skipped_total)});
+    mt.add_row({"p99 latency (us)", fmt(delta.p99 * 1e6, 1)});
+    mt.print(std::cout);
+  }
+
   std::ofstream js(out_path);
   js.precision(9);
   js << "{\n";
@@ -489,6 +743,40 @@ int main(int argc, char** argv) try {
        << ", \"p95\": " << chaos.p95 << ", \"p99\": " << chaos.p99 << "},\n"
        << "    \"final_partition_version\": " << chaos.final_version << "\n"
        << "  },\n";
+  }
+  if (delta.ran) {
+    js << "  \"delta\": {\n"
+       << "    \"speedup\": {\n"
+       << "      \"graph\": {\"generator\": \"chung_lu\", \"n\": " << delta.n
+       << ", \"edges\": " << delta.edges << "},\n"
+       << "      \"churn_records\": " << delta.churn << ",\n"
+       << "      \"apply_full_seconds\": " << delta.full_seconds << ",\n"
+       << "      \"apply_incr_seconds\": " << delta.incr_seconds << ",\n"
+       << "      \"incremental_speedup\": " << delta.speedup << ",\n"
+       << "      \"codelength_full\": " << delta.full_codelength << ",\n"
+       << "      \"codelength_incr\": " << delta.incr_codelength << ",\n"
+       << "      \"codelength_gap_fraction\": " << delta.codelength_gap
+       << ",\n"
+       << "      \"incr_published\": " << (delta.incr_published ? 1 : 0)
+       << "\n    },\n"
+       << "    \"mixed\": {\n"
+       << "      \"requests\": " << delta.requests << ",\n"
+       << "      \"requests_per_second\": " << delta.rps << ",\n"
+       << "      \"goodput\": " << delta.totals.goodput() << ",\n"
+       << "      \"reads\": " << delta.totals.reads << ",\n"
+       << "      \"mutations\": " << delta.totals.mutations << ",\n"
+       << "      \"applies\": " << delta.totals.applies << ",\n"
+       << "      \"applies_accepted\": " << delta.totals.applies_accepted
+       << ",\n"
+       << "      \"applies_busy_rejected\": " << delta.totals.applies_busy
+       << ",\n"
+       << "      \"threshold_folds\": " << delta.folds << ",\n"
+       << "      \"incr_reclusters\": " << delta.applies_incr << ",\n"
+       << "      \"incr_published\": " << delta.incr_published_total << ",\n"
+       << "      \"incr_skipped\": " << delta.incr_skipped_total << ",\n"
+       << "      \"latency_seconds\": {\"p50\": " << delta.p50
+       << ", \"p95\": " << delta.p95 << ", \"p99\": " << delta.p99 << "}\n"
+       << "    }\n  },\n";
   }
   js << "  \"metrics\": ";
   session.metrics().write_json(js, "  ");

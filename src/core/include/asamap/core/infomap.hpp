@@ -57,6 +57,32 @@ struct InfomapOptions {
   /// outlive the run; recording is lock-cheap and safe to scrape
   /// concurrently from another thread.
   obs::MetricRegistry* metrics = nullptr;
+  /// Warm start (incremental reclustering, DESIGN.md §4f): when non-null,
+  /// the level-0 sweep starts from this membership (one id per vertex; ids
+  /// need not be compact — the driver compacts a copy) instead of
+  /// all-singletons.  InfomapResult::initial_codelength then reports the
+  /// warm partition's codelength, which is the publish-on-improvement
+  /// baseline: greedy sweeps only ever lower it.  Must outlive the run.
+  const Partition* warm_start = nullptr;
+  /// Active-set seed for a warm-started run: when non-null (and warm_start
+  /// is set), the level-0 and refinement sweeps activate only these
+  /// vertices plus their 1-hop neighborhood instead of the full vertex set
+  /// — the incremental re-sweep around a delta batch.  Activation still
+  /// propagates from movers sweep over sweep, so the result is a valid
+  /// (locally converged) partition; vertices the wavefront never reaches
+  /// simply keep their warm assignment.  Coarser levels are unaffected
+  /// (supernode counts are already small).  Must outlive the run.
+  const std::vector<VertexId>* active_seed = nullptr;
+  /// Local-repair shortcut for seeded warm runs: when the active seed covers
+  /// at most this fraction of the vertex set, the perturbation is local — the
+  /// run stops after the (converged) level-0 re-sweep instead of rebuilding
+  /// the coarse supernode hierarchy.  The hierarchy rebuild costs several
+  /// O(E) passes (contraction + coarse sweeps) to recover merges the warm
+  /// partition already encodes; measured on a 100k/600k graph at 0.1% churn
+  /// it changes codelength by ~0.006% while taking ~40% of the run.  Large
+  /// perturbations (seed above the threshold) still rebuild the full
+  /// hierarchy.  Set 0 to always rebuild.  Ignored without an active_seed.
+  double warm_local_repair_fraction = 0.05;
 };
 
 /// One FindBestCommunity iteration's record (a row of Tables III/IV).
@@ -83,7 +109,9 @@ struct InfomapResult {
   double codelength = 0.0;        ///< bits per step, of the final partition
                                   ///< evaluated over the original network
   double one_level_codelength = 0.0;  ///< L of the trivial partition
-  double initial_codelength = 0.0;    ///< L of all-singleton modules;
+  double initial_codelength = 0.0;    ///< L of the level-0 start state —
+                                      ///< all-singletons, or the warm_start
+                                      ///< partition when one was given;
                                       ///< codelength <= this is guaranteed
   int levels = 0;                 ///< supernode levels processed
   bool interrupted = false;       ///< stopped early via InfomapOptions::cancel
@@ -164,6 +192,23 @@ inline std::size_t compact_communities(Partition& p) {
   return next_id;
 }
 
+/// Zeroes `active` and re-marks `seed` plus its 1-hop neighborhood — the
+/// level-0 / refinement start state of an incremental (active_seed) run.
+/// Out-of-range seeds are ignored (a delta batch can reference vertices the
+/// caller's graph snapshot predates).
+inline void seed_active_set(const FlowNetwork& fn,
+                            std::span<const VertexId> seed,
+                            std::vector<std::uint8_t>& active) {
+  std::fill(active.begin(), active.end(), 0);
+  const VertexId n = fn.num_nodes();
+  for (const VertexId s : seed) {
+    if (s >= n) continue;
+    active[s] = 1;
+    for (const graph::Arc& a : fn.graph.out_neighbors(s)) active[a.dst] = 1;
+    for (const graph::Arc& a : fn.graph.in_neighbors(s)) active[a.dst] = 1;
+  }
+}
+
 /// Number of distinct community ids in a partition.
 inline std::size_t count_distinct_communities(const Partition& p) {
   VertexId max_id = 0;
@@ -213,27 +258,47 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
     obs::KernelSpan span(ktimers, obs::KernelPhase::kPageRank);
     original = build_flow(g, opts.flow);
   }
-  FlowNetwork fn = original;
+  // Level-0 reads `original` directly; contracted levels swap in the owned
+  // supernode network.  Saves a full O(E) FlowNetwork copy per run.
+  FlowNetwork contracted;
+  const FlowNetwork* fn = &original;
 
   // UpdateMembers state: original vertex -> current-level node.
   std::vector<VertexId> node_of_orig(g.num_vertices());
   for (VertexId v = 0; v < g.num_vertices(); ++v) node_of_orig[v] = v;
 
-  {
-    ModuleState trivial(original, Partition(original.num_nodes(), 0), 1);
-    result.one_level_codelength = trivial.codelength();
-    // The proper one-level codelength is the entropy of node visit rates;
-    // a single module with zero exit gives exactly that.
-  }
+  // The proper one-level codelength is the entropy of node visit rates; a
+  // single module with zero exit gives exactly that.
+  result.one_level_codelength = one_level_codelength(original);
 
   hashdb::AddressSpace level_addrs;  // fresh simulated regions per run
   const KernelCosts costs;
 
+  const bool warm = opts.warm_start != nullptr;
+  const bool seeded = warm && opts.active_seed != nullptr;
+  // Local repair (see InfomapOptions::warm_local_repair_fraction): a small
+  // seeded perturbation converges at level 0; the coarse hierarchy the warm
+  // partition came from is still valid, so skip rebuilding it.
+  const bool local_repair =
+      seeded && opts.warm_local_repair_fraction > 0.0 &&
+      static_cast<double>(opts.active_seed->size()) <=
+          opts.warm_local_repair_fraction *
+              static_cast<double>(g.num_vertices());
+
   for (int level = 0; level < opts.max_levels; ++level) {
-    ModuleState state(fn);
+    ModuleState state = [&]() -> ModuleState {
+      if (level == 0 && warm) {
+        ASAMAP_CHECK(opts.warm_start->size() == fn->num_nodes(),
+                     "warm_start must have one entry per vertex");
+        Partition init = *opts.warm_start;
+        const std::size_t k = compact_communities(init);
+        return ModuleState(*fn, init, k);
+      }
+      return ModuleState(*fn);
+    }();
     if (level == 0) result.initial_codelength = state.codelength();
-    const LevelAddresses addrs = LevelAddresses::for_network(fn, level_addrs);
-    const VertexId n = fn.num_nodes();
+    const LevelAddresses addrs = LevelAddresses::for_network(*fn, level_addrs);
+    const VertexId n = fn->num_nodes();
 
     // Per-worker contiguous ranges.
     const std::uint32_t w = static_cast<std::uint32_t>(workers.size());
@@ -244,9 +309,11 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
     }
 
     // Active-set pruning: all vertices active on the first sweep, then only
-    // neighborhoods of movers.
+    // neighborhoods of movers.  An incremental run instead seeds level 0
+    // with the delta batch's touched vertices + 1-hop frontier.
     std::vector<std::uint8_t> active(n, 1);
     std::vector<std::uint8_t> next_active(n, 0);
+    if (level == 0 && seeded) seed_active_set(*fn, *opts.active_seed, active);
 
     double prev_codelength = state.codelength();
     int sweeps_done = 0;
@@ -278,7 +345,7 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
                 static_cast<VertexId>(std::min<std::uint64_t>(
                     std::uint64_t{cursor[i]} + opts.interleave_block,
                     range_end[i]));
-            moves += sweep_range(state, fn, cursor[i], stop, *workers[i].acc,
+            moves += sweep_range(state, *fn, cursor[i], stop, *workers[i].acc,
                                  *workers[i].sink, addrs, costs,
                                  result.breakdown, opts.time_wall,
                                  active.data(), next_active.data());
@@ -317,7 +384,7 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
 
     // Compact the level partition.
     Partition assignment = state.assignment();
-    std::vector<VertexId> relabel(fn.num_nodes(), graph::kInvalidVertex);
+    std::vector<VertexId> relabel(fn->num_nodes(), graph::kInvalidVertex);
     VertexId next_id = 0;
     for (VertexId v = 0; v < n; ++v) {
       VertexId& slot = relabel[assignment[v]];
@@ -338,13 +405,15 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
     result.codelength = state.codelength();
     result.levels = level + 1;
 
+    if (level == 0 && local_repair) break;
     if (k == n || k <= 1) break;  // no aggregation or fully merged: done
     if (result.interrupted) break;
 
     // Convert2SuperNode kernel.
     {
       obs::KernelSpan span(ktimers, obs::KernelPhase::kConvert2SuperNode);
-      fn = contract_network(fn, assignment, k);
+      contracted = contract_network(*fn, assignment, k);
+      fn = &contracted;
     }
   }
 
@@ -355,7 +424,12 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
   // coarse-level values recorded in the trace omit the (level-constant)
   // leaf-entropy term, so only a level-0 evaluation yields the true
   // two-level map-equation value of the final partition.
-  {
+  if (local_repair) {
+    // The level-0 state lived on the original network and was recomputed
+    // after its last sweep — result.codelength already holds the true
+    // two-level value, and the seeded re-sweep converged over the active
+    // set, so refinement would only re-walk the same vertices.
+  } else {
     ModuleState state(original, result.communities, result.num_communities);
     result.codelength = state.codelength();
 
@@ -367,6 +441,16 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
       obs::KernelSpan span(ktimers, obs::KernelPhase::kFindBestCommunity);
       const LevelAddresses addrs =
           LevelAddresses::for_network(original, level_addrs);
+      // Incremental runs confine refinement to the same seeded active set
+      // (plus whatever the move wavefront reaches) — a full-vertex
+      // refinement would erase the active-set speedup.
+      std::vector<std::uint8_t> refine_active;
+      std::vector<std::uint8_t> refine_next;
+      if (seeded) {
+        refine_active.assign(g.num_vertices(), 0);
+        refine_next.assign(g.num_vertices(), 0);
+        seed_active_set(original, *opts.active_seed, refine_active);
+      }
       std::uint64_t refine_moves = 0;
       for (int sweep = 0; sweep < opts.refine_sweeps; ++sweep) {
         if (cancelled()) {
@@ -382,11 +466,17 @@ InfomapResult run_multilevel(const graph::CsrGraph& g,
               std::uint64_t{g.num_vertices()} * (i + 1) / w);
           moves += sweep_range(state, original, first, last, *workers[i].acc,
                                *workers[i].sink, addrs, costs,
-                               result.breakdown, opts.time_wall);
+                               result.breakdown, opts.time_wall,
+                               seeded ? refine_active.data() : nullptr,
+                               seeded ? refine_next.data() : nullptr);
         }
         state.recompute();
         refine_moves += moves;
         if (moves == 0) break;
+        if (seeded) {
+          refine_active.swap(refine_next);
+          std::fill(refine_next.begin(), refine_next.end(), 0);
+        }
       }
 
       if (refine_moves > 0 && state.codelength() < result.codelength) {

@@ -32,6 +32,13 @@ namespace asamap::core {
 /// x * log2(x), with plogp(0) = 0.
 double plogp(double x) noexcept;
 
+/// Codelength of the trivial all-in-one-module partition, in O(n): the
+/// single module has exactly zero exit and enter flow, so the map equation
+/// collapses to plogp(total_flow) - sum_v plogp(p_v).  Bitwise identical to
+/// evaluating ModuleState over that partition (same accumulation order)
+/// without its three O(E) aggregate passes.
+double one_level_codelength(const FlowNetwork& fn);
+
 class ModuleState {
  public:
   /// Initializes with every node in its own module (the start state of the

@@ -126,15 +126,21 @@ void build_degree_order(const FlowNetwork& fn, std::vector<VertexId>& order) {
 /// identical for every thread count.
 ///
 /// Returns total moves; appends per-sweep traces when `record_trace`.
+/// When `seed` is non-null the first sweep activates only those vertices
+/// plus their 1-hop neighborhood (the incremental re-sweep of a delta
+/// batch) instead of every vertex; activation then propagates from movers
+/// exactly as in the full case.
 template <typename Acc>
 std::uint64_t parallel_sweeps(ModuleState& state, const FlowNetwork& fn,
                               const InfomapOptions& opts, int max_sweeps,
                               int level, const LevelAddresses& addrs,
                               const KernelCosts& costs,
                               ParallelWorkspace<Acc>& ws,
-                              InfomapResult& result, bool record_trace) {
+                              InfomapResult& result, bool record_trace,
+                              const std::vector<VertexId>* seed = nullptr) {
   const VertexId n = fn.num_nodes();
   ws.reset(n);
+  if (seed != nullptr) seed_active_set(fn, *seed, ws.active);
   build_degree_order(fn, ws.order);
   sim::NullSink sink;  // stateless: sharing across threads is race-free
 
@@ -309,30 +315,51 @@ InfomapResult run_parallel_impl(const graph::CsrGraph& g,
     obs::KernelSpan span(ktimers, obs::KernelPhase::kPageRank);
     original = build_flow(g, opts.flow);
   }
-  FlowNetwork fn = original;
+  // Level-0 reads `original` directly; contracted levels swap in the owned
+  // supernode network.  Saves a full O(E) FlowNetwork copy per run.
+  FlowNetwork contracted;
+  const FlowNetwork* fn = &original;
 
   std::vector<VertexId> node_of_orig(g.num_vertices());
   for (VertexId v = 0; v < g.num_vertices(); ++v) node_of_orig[v] = v;
 
-  {
-    ModuleState trivial(original, Partition(original.num_nodes(), 0), 1);
-    result.one_level_codelength = trivial.codelength();
-  }
+  result.one_level_codelength = one_level_codelength(original);
 
   const KernelCosts costs;
   hashdb::AddressSpace addrs_space;
   ParallelWorkspace<Acc> ws(num_threads, original.num_nodes());
 
+  const bool warm = opts.warm_start != nullptr;
+  const bool seeded = warm && opts.active_seed != nullptr;
+  // Local repair (see InfomapOptions::warm_local_repair_fraction): a small
+  // seeded perturbation converges at level 0; the coarse hierarchy the warm
+  // partition came from is still valid, so skip rebuilding it.
+  const bool local_repair =
+      seeded && opts.warm_local_repair_fraction > 0.0 &&
+      static_cast<double>(opts.active_seed->size()) <=
+          opts.warm_local_repair_fraction *
+              static_cast<double>(g.num_vertices());
+
   for (int level = 0; level < opts.max_levels; ++level) {
-    ModuleState state(fn);
+    ModuleState state = [&]() -> ModuleState {
+      if (level == 0 && warm) {
+        ASAMAP_CHECK(opts.warm_start->size() == fn->num_nodes(),
+                     "warm_start must have one entry per vertex");
+        Partition init = *opts.warm_start;
+        const std::size_t k = compact_communities(init);
+        return ModuleState(*fn, init, k);
+      }
+      return ModuleState(*fn);
+    }();
     if (level == 0) result.initial_codelength = state.codelength();
-    const LevelAddresses addrs = LevelAddresses::for_network(fn, addrs_space);
-    const VertexId n = fn.num_nodes();
+    const LevelAddresses addrs = LevelAddresses::for_network(*fn, addrs_space);
+    const VertexId n = fn->num_nodes();
 
     {
       obs::KernelSpan span(ktimers, obs::KernelPhase::kFindBestCommunity);
-      parallel_sweeps(state, fn, opts, opts.max_sweeps_per_level, level,
-                      addrs, costs, ws, result, /*record_trace=*/true);
+      parallel_sweeps(state, *fn, opts, opts.max_sweeps_per_level, level,
+                      addrs, costs, ws, result, /*record_trace=*/true,
+                      level == 0 && seeded ? opts.active_seed : nullptr);
     }
     // Incremental aggregates carry the whole level; one recompute here
     // sheds the accumulated floating-point drift before the partition is
@@ -340,7 +367,7 @@ InfomapResult run_parallel_impl(const graph::CsrGraph& g,
     state.recompute();
 
     Partition assignment = state.assignment();
-    std::vector<VertexId> relabel(fn.num_nodes(), graph::kInvalidVertex);
+    std::vector<VertexId> relabel(fn->num_nodes(), graph::kInvalidVertex);
     VertexId next_id = 0;
     for (VertexId v = 0; v < n; ++v) {
       VertexId& slot = relabel[assignment[v]];
@@ -367,18 +394,26 @@ InfomapResult run_parallel_impl(const graph::CsrGraph& g,
     result.level_assignments.push_back(assignment);
     result.codelength = state.codelength();
     result.levels = level + 1;
+    if (level == 0 && local_repair) break;
     if (k == n || k <= 1) break;
     if (result.interrupted) break;
 
     {
       obs::KernelSpan span(ktimers, obs::KernelPhase::kConvert2SuperNode);
-      fn = contract_network_parallel(fn, assignment, k, num_threads);
+      contracted = contract_network_parallel(*fn, assignment, k, num_threads);
+      fn = &contracted;
     }
   }
 
   result.communities = std::move(node_of_orig);
   result.num_communities = compact_communities(result.communities);
-  {
+  if (local_repair) {
+    // The level-0 state lived on the original network and was recomputed
+    // after its last sweep, so result.codelength already holds the true
+    // two-level value — no final re-evaluation, and the level-0 re-sweep
+    // already converged over the active set, so refinement would only
+    // re-walk the same vertices.
+  } else {
     // True level-0 codelength of the final partition (coarse-level values
     // omit the leaf-entropy constant; see run_multilevel).
     ModuleState final_state(original, result.communities,
@@ -393,9 +428,12 @@ InfomapResult run_parallel_impl(const graph::CsrGraph& g,
       obs::KernelSpan span(ktimers, obs::KernelPhase::kFindBestCommunity);
       const LevelAddresses addrs =
           LevelAddresses::for_network(original, addrs_space);
+      // Incremental runs confine refinement to the seeded active set too —
+      // a full-vertex refinement would erase the active-set speedup.
       const std::uint64_t refine_moves = parallel_sweeps(
           final_state, original, opts, opts.refine_sweeps, result.levels,
-          addrs, costs, ws, result, /*record_trace=*/false);
+          addrs, costs, ws, result, /*record_trace=*/false,
+          seeded ? opts.active_seed : nullptr);
       final_state.recompute();
       if (refine_moves > 0 && final_state.codelength() < result.codelength) {
         Partition flat = final_state.assignment();

@@ -10,6 +10,20 @@ double plogp(double x) noexcept {
   return x > 0.0 ? x * std::log2(x) : 0.0;
 }
 
+double one_level_codelength(const FlowNetwork& fn) {
+  // One module holding every node: all arcs are intra-module, so exit and
+  // enter are exactly zero and the index codebook vanishes.  Accumulate in
+  // the same vertex order as ModuleState::init_aggregates so the value is
+  // bitwise identical to the ModuleState evaluation it replaces.
+  double total_flow = 0.0;
+  double node_flow_log = 0.0;
+  for (VertexId v = 0; v < fn.num_nodes(); ++v) {
+    total_flow += fn.node_flow[v];
+    node_flow_log += plogp(fn.node_flow[v]);
+  }
+  return plogp(total_flow) - node_flow_log;
+}
+
 ModuleState::ModuleState(const FlowNetwork& fn) : fn_(&fn) {
   const VertexId n = fn.num_nodes();
   module_of_.resize(n);

@@ -1,0 +1,141 @@
+#include "asamap/dyn/delta_log.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "asamap/graph/edge_list.hpp"
+
+namespace asamap::dyn {
+
+void DeltaLog::add_edge(graph::VertexId u, graph::VertexId v,
+                        graph::Weight w) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(DeltaRecord{u, v, w, DeltaOp::kAddEdge});
+  ++stats_.adds;
+  stats_.pending = records_.size();
+}
+
+void DeltaLog::del_edge(graph::VertexId u, graph::VertexId v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(DeltaRecord{u, v, 0.0, DeltaOp::kDelEdge});
+  ++stats_.dels;
+  stats_.pending = records_.size();
+}
+
+std::size_t DeltaLog::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+DeltaLogStats DeltaLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<DeltaRecord> DeltaLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+void DeltaLog::truncate(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (n == 0) return;
+  n = std::min(n, records_.size());
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<std::ptrdiff_t>(n));
+  ++stats_.truncations;
+  stats_.pending = records_.size();
+}
+
+DeltaView::DeltaView(const graph::CsrGraph& base,
+                     std::span<const DeltaRecord> batch)
+    : DeltaView(base, batch, base.is_symmetric()) {}
+
+DeltaView::DeltaView(const graph::CsrGraph& base,
+                     std::span<const DeltaRecord> batch, bool undirected)
+    : base_(&base),
+      n_(base.num_vertices()),
+      batch_size_(batch.size()),
+      undirected_(undirected) {
+  for (const DeltaRecord& rec : batch) apply_record(rec);
+  // Patch runs accumulate in arrival order; the merge needs ascending dst.
+  const auto sort_runs = [](PatchMap& m) {
+    for (auto& [src, run] : m) {
+      std::sort(run.begin(), run.end(),
+                [](const Patch& a, const Patch& b) { return a.dst < b.dst; });
+    }
+  };
+  sort_runs(out_patches_);
+  sort_runs(in_patches_);
+  std::sort(touched_.begin(), touched_.end());
+  touched_.erase(std::unique(touched_.begin(), touched_.end()),
+                 touched_.end());
+}
+
+void DeltaView::apply_record(const DeltaRecord& rec) {
+  if (rec.u == rec.v) return;  // self-loops are rejected upstream
+  // Every record implies the directed arc u->v; on an undirected base it
+  // also implies v->u so symmetry survives the fold.
+  patch_one(out_patches_, rec.u, rec.v, rec);
+  patch_one(in_patches_, rec.v, rec.u, rec);
+  if (undirected_) {
+    patch_one(out_patches_, rec.v, rec.u, rec);
+    patch_one(in_patches_, rec.u, rec.v, rec);
+  }
+  n_ = std::max({n_, rec.u + 1, rec.v + 1});
+  touched_.push_back(rec.u);
+  touched_.push_back(rec.v);
+}
+
+void DeltaView::patch_one(PatchMap& m, graph::VertexId src,
+                          graph::VertexId dst, const DeltaRecord& rec) {
+  std::vector<Patch>& run = m[src];
+  auto it = std::find_if(run.begin(), run.end(),
+                         [dst](const Patch& p) { return p.dst == dst; });
+  if (it == run.end()) {
+    it = run.insert(run.end(), Patch{dst, 0.0, false});
+  }
+  if (rec.op == DeltaOp::kAddEdge) {
+    it->add += rec.weight;
+  } else {
+    // DEL tombstones the base arc and voids adds logged before it; an ADD
+    // after the DEL resurrects the arc with only the new weight.
+    it->drop_base = true;
+    it->add = 0.0;
+  }
+}
+
+std::vector<graph::Arc> DeltaView::out_arcs(graph::VertexId u) const {
+  std::vector<graph::Arc> out;
+  for_each_out(u, [&out](const graph::Arc& a) { out.push_back(a); });
+  return out;
+}
+
+std::vector<graph::Arc> DeltaView::in_arcs(graph::VertexId u) const {
+  std::vector<graph::Arc> out;
+  for_each_in(u, [&out](const graph::Arc& a) { out.push_back(a); });
+  return out;
+}
+
+std::size_t DeltaView::out_degree(graph::VertexId u) const {
+  std::size_t d = 0;
+  for_each_out(u, [&d](const graph::Arc&) { ++d; });
+  return d;
+}
+
+graph::CsrGraph DeltaView::materialize() const {
+  std::vector<graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(base_->num_arcs()) + batch_size_);
+  for (graph::VertexId u = 0; u < n_; ++u) {
+    for_each_out(u, [&edges, u](const graph::Arc& a) {
+      edges.push_back(graph::Edge{u, a.dst, a.weight});
+    });
+  }
+  // The merge emits ascending (src, dst) with parallel arcs already folded,
+  // which is exactly the from_coalesced contract — no re-sort.
+  graph::EdgeList el =
+      graph::EdgeList::from_coalesced(std::move(edges), n_);
+  return graph::CsrGraph::from_edges(el, n_);
+}
+
+}  // namespace asamap::dyn

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file incremental.hpp
+/// Warm-start planning for incremental reclustering (DESIGN.md §4f).
+///
+/// After a delta batch folds into a merged CSR, re-clustering from scratch
+/// throws away everything the previous run learned.  The incremental path
+/// instead seeds the Infomap drivers with the last published snapshot's
+/// membership (InfomapOptions::warm_start) and restricts the level-0 sweep
+/// to an *active set* around the vertices the batch touched
+/// (InfomapOptions::active_seed) — the 1-hop expansion and the
+/// activation-propagation sweeps are the drivers' existing machinery.  The
+/// result's initial_codelength is then the warm partition's codelength on
+/// the merged graph, which is exactly the publish-on-improvement baseline.
+
+#include <span>
+#include <vector>
+
+#include "asamap/core/flow.hpp"
+#include "asamap/graph/csr_graph.hpp"
+#include "asamap/graph/types.hpp"
+
+namespace asamap::dyn {
+
+/// The inputs an incremental driver run needs, with lifetimes owned here so
+/// InfomapOptions can point at them for the duration of the call.
+struct WarmStart {
+  core::Partition init;  ///< per-vertex module id, compacted to 0..k-1
+  std::size_t num_modules = 0;
+  std::vector<graph::VertexId> active_seed;  ///< batch-touched + new vertices
+};
+
+/// Carries the previous snapshot's membership onto the merged graph:
+/// existing vertices keep their community, vertices the merge added
+/// (prev.size() .. n_new-1) start as fresh singletons, and the active seed
+/// is the union of `touched` and those new vertices.  `prev` ids need not
+/// be compact; the plan's are.
+[[nodiscard]] WarmStart plan_warm_start(
+    const core::Partition& prev, graph::VertexId n_new,
+    std::span<const graph::VertexId> touched);
+
+/// Map-equation codelength of an arbitrary membership on `g` — the
+/// measuring stick for incremental-vs-scratch quality gates.  Ids need not
+/// be compact; empty modules cost nothing.
+[[nodiscard]] double evaluate_codelength(const graph::CsrGraph& g,
+                                         const core::Partition& partition,
+                                         const core::FlowOptions& flow = {});
+
+}  // namespace asamap::dyn

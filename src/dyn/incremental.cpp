@@ -1,0 +1,57 @@
+#include "asamap/dyn/incremental.hpp"
+
+#include <algorithm>
+
+#include "asamap/core/infomap.hpp"
+#include "asamap/core/map_equation.hpp"
+
+namespace asamap::dyn {
+
+WarmStart plan_warm_start(const core::Partition& prev, graph::VertexId n_new,
+                          std::span<const graph::VertexId> touched) {
+  WarmStart plan;
+  plan.init.assign(n_new, 0);
+  const std::size_t carried = std::min<std::size_t>(prev.size(), n_new);
+  std::copy_n(prev.begin(), carried, plan.init.begin());
+  // Compact the carried ids first so new singletons slot in right after the
+  // surviving modules.
+  core::Partition compacted(plan.init.begin(),
+                            plan.init.begin() +
+                                static_cast<std::ptrdiff_t>(carried));
+  std::size_t k = core::compact_communities(compacted);
+  std::copy(compacted.begin(), compacted.end(), plan.init.begin());
+  for (std::size_t v = carried; v < n_new; ++v) {
+    plan.init[v] = static_cast<graph::VertexId>(k++);
+    plan.active_seed.push_back(static_cast<graph::VertexId>(v));
+  }
+  plan.num_modules = k;
+  for (graph::VertexId v : touched) {
+    if (v < n_new) plan.active_seed.push_back(v);
+  }
+  std::sort(plan.active_seed.begin(), plan.active_seed.end());
+  plan.active_seed.erase(
+      std::unique(plan.active_seed.begin(), plan.active_seed.end()),
+      plan.active_seed.end());
+  return plan;
+}
+
+double evaluate_codelength(const graph::CsrGraph& g,
+                           const core::Partition& partition,
+                           const core::FlowOptions& flow) {
+  const core::FlowNetwork fn = core::build_flow(g, flow);
+  const std::size_t n = fn.num_nodes();
+  core::Partition compact = partition;
+  if (compact.size() < n) {
+    // Vertices beyond the given membership count as fresh singletons.
+    graph::VertexId next = 0;
+    for (const graph::VertexId m : compact) next = std::max(next, m + 1);
+    compact.reserve(n);
+    while (compact.size() < n) compact.push_back(next++);
+  }
+  compact.resize(n);
+  const std::size_t k = core::compact_communities(compact);
+  const core::ModuleState state(fn, compact, k);
+  return state.codelength();
+}
+
+}  // namespace asamap::dyn

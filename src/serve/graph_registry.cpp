@@ -22,6 +22,7 @@ GraphRegistry::GraphRegistry(const RegistryConfig& config) : config_(config) {
         &reg->counter("asamap_registry_lookups_total", "outcome=\"miss\"");
     m_.graphs = &reg->gauge("asamap_registry_graphs");
     m_.resident_bytes = &reg->gauge("asamap_registry_resident_bytes");
+    m_.pinned = &reg->gauge("asamap_registry_pinned");
     m_.retries_ingest =
         &reg->counter("asamap_retries_total", "site=\"ingest.parse\"");
   }
@@ -212,12 +213,16 @@ void GraphRegistry::sync_gauges_locked() {
   if (m_.resident_bytes != nullptr) {
     m_.resident_bytes->set(static_cast<double>(resident_bytes_));
   }
+  if (m_.pinned != nullptr) {
+    m_.pinned->set(static_cast<double>(counters_.pinned));
+  }
 }
 
 void GraphRegistry::erase_locked(const std::string& name) {
   const auto it = entries_.find(name);
   if (it == entries_.end()) return;
   resident_bytes_ -= it->second.bytes;
+  if (it->second.pinned) --counters_.pinned;
   lru_.erase(it->second.lru_it);
   entries_.erase(it);
 }
@@ -233,11 +238,24 @@ void GraphRegistry::evict_to_budget_locked(const std::string& keep) {
       // and the session degrades instead of the registry rejecting.
       return;
     }
-    // Evict from the cold end, skipping the entry being inserted.
-    auto victim = std::prev(lru_.end());
-    if (*victim == keep) {
-      if (lru_.size() == 1) break;
-      victim = std::prev(victim);
+    // Evict from the cold end, skipping the entry being inserted and any
+    // pinned entry (pending deltas / in-flight APPLY patch *that* graph —
+    // dropping it would lose the mutations).
+    auto victim = lru_.end();
+    for (auto it = std::prev(lru_.end());; --it) {
+      const auto e = entries_.find(*it);
+      const bool evictable =
+          *it != keep && (e == entries_.end() || !e->second.pinned);
+      if (evictable) {
+        victim = it;
+        break;
+      }
+      if (it == lru_.begin()) break;
+    }
+    if (victim == lru_.end()) {
+      // Only pinned entries (or the insertee) remain: stay over budget and
+      // let under_pressure() drive degradation instead of losing deltas.
+      return;
     }
     erase_locked(*victim);
     ++counters_.evictions;
@@ -265,6 +283,30 @@ bool GraphRegistry::erase(const std::string& name) {
   erase_locked(name);
   sync_gauges_locked();
   return true;
+}
+
+bool GraphRegistry::set_pinned(const std::string& name, bool pinned) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  if (it->second.pinned != pinned) {
+    it->second.pinned = pinned;
+    if (pinned) {
+      ++counters_.pinned;
+    } else {
+      --counters_.pinned;
+      // Unpinning may make a deferred eviction possible again.
+      evict_to_budget_locked(std::string{});
+    }
+    sync_gauges_locked();
+  }
+  return true;
+}
+
+bool GraphRegistry::pinned(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.pinned;
 }
 
 bool GraphRegistry::under_pressure() const {

@@ -58,6 +58,7 @@ struct RegistryStats {
   std::uint64_t hits = 0;        ///< get() found the graph
   std::uint64_t misses = 0;      ///< get() did not
   std::uint64_t ingest_retries = 0;  ///< retries of injected ingest faults
+  std::size_t pinned = 0;        ///< entries currently exempt from eviction
 };
 
 class GraphRegistry {
@@ -88,6 +89,18 @@ class GraphRegistry {
 
   bool erase(const std::string& name);
 
+  /// Pins (or unpins) a graph against LRU eviction.  The dynamic-graph
+  /// layer pins any graph whose delta log holds un-compacted records or
+  /// whose APPLY job is in flight: evicting it would silently discard the
+  /// pending mutations (the log patches *that* base CSR).  Pinned entries
+  /// still count against the budget — when only pinned entries remain the
+  /// registry stays over budget and under_pressure() reports it.  No-op
+  /// (returns false) when the graph is absent.
+  bool set_pinned(const std::string& name, bool pinned);
+
+  /// True when `name` is resident and currently pinned.
+  [[nodiscard]] bool pinned(const std::string& name) const;
+
   [[nodiscard]] RegistryStats stats() const;
 
   /// True while resident bytes exceed the budget — normally transient, but
@@ -108,6 +121,7 @@ class GraphRegistry {
     GraphPtr graph;
     std::uint64_t fingerprint = 0;
     std::size_t bytes = 0;  ///< 0 for dedup aliases (memory charged once)
+    bool pinned = false;    ///< exempt from eviction (pending deltas/APPLY)
     std::list<std::string>::iterator lru_it;
   };
 
@@ -121,6 +135,7 @@ class GraphRegistry {
     obs::Counter* lookup_misses = nullptr;
     obs::Gauge* graphs = nullptr;
     obs::Gauge* resident_bytes = nullptr;
+    obs::Gauge* pinned = nullptr;
     obs::Counter* retries_ingest = nullptr;
   };
 

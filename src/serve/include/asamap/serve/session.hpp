@@ -11,8 +11,12 @@
 ///
 ///   GEN <name> <n> <edges> [seed]        generate a Chung-Lu graph
 ///   LOAD <name> <path> [directed]        ingest a SNAP file
-///   DROP <name>                          remove graph + snapshot
+///   DROP <name>                          remove graph + snapshot + deltas
 ///   CLUSTER <name> [sync] [priority=interactive|batch] [deadline_ms=N]
+///   ADD_EDGE <name> <u> <v> [w]          append an edge mutation (w > 0)
+///   DEL_EDGE <name> <u> <v>              append an edge deletion
+///   APPLY <name> [recluster=full|incr] [sync] [priority=...] [deadline_ms=N]
+///   DELTA STATUS <name>                  pending-mutation counters
 ///   WAIT <job>                           block until the job is terminal
 ///   CANCEL <job>                         request cancellation
 ///   MEMBER <name> <v>                    community of one vertex
@@ -49,16 +53,29 @@
 ///    ASAMAP_FAULT_INJECTION only; otherwise ERR unavailable).  FAULTS
 ///    itself is exempt from the session.io injection site so an operator
 ///    can always CLEAR a misbehaving plan.
+///
+/// Dynamic graphs (DESIGN.md §4f): ADD_EDGE/DEL_EDGE append to a per-graph
+/// DeltaLog without touching the served CSR; APPLY folds the pending batch
+/// into a fresh CSR (republished through the registry) and re-clusters —
+/// `recluster=incr` (the default) warm-starts from the previous snapshot,
+/// re-sweeps only the batch's active set, and publishes a new version only
+/// when codelength improves (otherwise the old snapshot keeps serving and
+/// DELTA STATUS reports last_skip=no_improvement).  A graph with pending
+/// deltas or an in-flight APPLY is pinned against LRU eviction.  Folding
+/// also auto-triggers when pending reaches delta_compact_threshold.
+/// Re-ingesting or dropping a name discards its pending deltas.
 
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "asamap/core/infomap.hpp"
+#include "asamap/dyn/delta_log.hpp"
 #include "asamap/fault/fault.hpp"
 #include "asamap/fault/retry.hpp"
 #include "asamap/obs/metrics.hpp"
@@ -80,6 +97,20 @@ struct SessionConfig {
   /// Circuit-breaker thresholds for CLUSTER submissions (consecutive
   /// backpressure failures trip it; see retry.hpp).
   fault::BreakerConfig breaker;
+  /// Pending delta records at which a mutation auto-folds the log into a
+  /// fresh CSR (APPLY always folds).  Folding costs one merged-CSR rebuild;
+  /// the threshold bounds both the log's memory and the merge debt a later
+  /// APPLY has to pay.
+  std::size_t delta_compact_threshold = 65536;
+  /// Minimum codelength improvement (bits) an incremental APPLY must find
+  /// to publish a new snapshot version; below it the previous snapshot
+  /// keeps serving and the skip is recorded.
+  double incr_publish_epsilon = 1e-9;
+  /// ADD_EDGE/DEL_EDGE endpoints may exceed the current vertex count (new
+  /// vertices arrive with their first edge) by at most this headroom — a
+  /// lone `ADD_EDGE g 0 268000000` must not demand a quarter-billion CSR
+  /// slots at the next fold.
+  graph::VertexId delta_new_vertex_headroom = 65536;
 };
 
 class ServeSession {
@@ -114,6 +145,48 @@ class ServeSession {
   /// query answers derived from one SnapshotPtr are mutually consistent.
   [[nodiscard]] PartitionStore::SnapshotPtr snapshot(const std::string& name);
 
+  // --- dynamic graphs (DESIGN.md §4f) ------------------------------------
+
+  /// Appends one edge mutation to `name`'s delta log (w > 0 for add_edge;
+  /// self-loops rejected).  The served CSR and snapshot are untouched until
+  /// APPLY or threshold-triggered auto-folding; the graph is pinned against
+  /// eviction while mutations are pending.
+  ServeStatus add_edge(const std::string& name, graph::VertexId u,
+                       graph::VertexId v, graph::Weight w = 1.0);
+  ServeStatus del_edge(const std::string& name, graph::VertexId u,
+                       graph::VertexId v);
+
+  /// Enqueues an APPLY job: fold the pending batch into a fresh CSR,
+  /// republish it through the registry, and re-cluster.  `incremental`
+  /// warm-starts from the previous snapshot and publishes only on
+  /// codelength improvement (falls back to a full recluster when the graph
+  /// has never been clustered); otherwise a from-scratch recluster that
+  /// always publishes.  At most one APPLY per graph is in flight — a second
+  /// submission is rejected with kUnavailable.
+  SubmitResult submit_apply(const std::string& name, bool incremental = true,
+                            JobPriority priority = JobPriority::kBatch,
+                            std::chrono::milliseconds deadline = {});
+
+  /// Point-in-time counters for one graph's delta machinery (the typed
+  /// DELTA STATUS answer).
+  struct DeltaStatus {
+    bool known = false;  ///< a delta log exists for this name
+    std::size_t pending = 0;
+    std::uint64_t adds = 0;
+    std::uint64_t dels = 0;
+    std::uint64_t compactions = 0;   ///< folds (APPLY or threshold)
+    std::uint64_t applies_full = 0;  ///< completed APPLY recluster=full
+    std::uint64_t applies_incr = 0;  ///< completed APPLY recluster=incr
+    std::uint64_t last_batch = 0;    ///< records folded by the last fold
+    std::uint64_t incr_published = 0;
+    std::uint64_t incr_skipped = 0;
+    const char* last_skip = "none";  ///< why the last incr did not publish
+    bool apply_inflight = false;
+    std::uint64_t apply_job = 0;  ///< last APPLY job id (0 = never)
+    bool pinned = false;          ///< registry pin currently held
+  };
+  [[nodiscard]] DeltaStatus delta_status(const std::string& name);
+
   GraphRegistry& registry() noexcept { return registry_; }
   PartitionStore& store() noexcept { return store_; }
   JobScheduler& scheduler() noexcept { return scheduler_; }
@@ -147,6 +220,23 @@ class ServeSession {
     const char* trace_name = "other";
   };
 
+  /// Per-graph dynamic-graph state.  `mu` orders mutations, folds, and
+  /// APPLY submissions for one graph; the lock order is DeltaState::mu ->
+  /// registry/scheduler/store internals, never the reverse.
+  struct DeltaState {
+    std::mutex mu;
+    dyn::DeltaLog log;
+    std::uint64_t apply_job = 0;  ///< last APPLY job id (0 = never)
+    std::uint64_t compactions = 0;
+    std::uint64_t applies_full = 0;
+    std::uint64_t applies_incr = 0;
+    std::uint64_t last_batch = 0;
+    std::uint64_t incr_published = 0;
+    std::uint64_t incr_skipped = 0;
+    const char* last_skip = "none";  ///< static strings only
+  };
+  using DeltaStatePtr = std::shared_ptr<DeltaState>;
+
   std::string handle_line_impl(std::string_view verb,
                                const std::vector<std::string_view>& tokens);
   [[nodiscard]] std::string render_metrics_prometheus() const;
@@ -155,6 +245,34 @@ class ServeSession {
   /// `OK STALE version=N reason=<reason>`, or "" when the graph has never
   /// been clustered (the caller falls back to an error / best effort).
   std::string degraded_cluster(const std::string& name, const char* reason);
+
+  /// Find-or-create the delta state for a graph name.
+  DeltaStatePtr delta_state(const std::string& name);
+  /// Removes a name's delta state (DROP / re-ingest), returning the pending
+  /// gauge to truth.
+  void reset_deltas(const std::string& name);
+  /// Shared ADD_EDGE/DEL_EDGE body; reports the post-append pending count
+  /// and whether the append tripped a threshold fold.
+  ServeStatus mutate_edge(const std::string& name, graph::VertexId u,
+                          graph::VertexId v, graph::Weight w, bool is_add,
+                          std::size_t* pending_out, bool* folded_out);
+  /// Folds the pending batch into a fresh CSR and republishes it under
+  /// `name` (no-op on an empty log).  Call with ds.mu held.  On success the
+  /// log is truncated past the folded batch and `merged_out`/`touched_out`
+  /// (when non-null) receive the republished graph and the batch's distinct
+  /// endpoints.
+  ServeStatus fold_delta_locked(const std::string& name, DeltaState& ds,
+                                GraphRegistry::GraphPtr* merged_out,
+                                std::vector<graph::VertexId>* touched_out);
+  /// True while ds.apply_job exists and is not terminal.  ds.mu held.
+  [[nodiscard]] bool apply_inflight_locked(const DeltaState& ds) const;
+  /// Re-derives the graph's eviction pin from (pending deltas || in-flight
+  /// APPLY).  ds.mu held.
+  void refresh_delta_pin_locked(const std::string& name, DeltaState& ds);
+  /// The APPLY job body: fold, (maybe) warm-start, recluster, publish on
+  /// improvement.
+  void apply_job_body(const std::string& name, const DeltaStatePtr& ds,
+                      bool incremental, const JobContext& ctx);
 
   /// First member: destroyed last, after the scheduler has joined its
   /// workers — jobs record into this registry until they finish.
@@ -170,6 +288,21 @@ class ServeSession {
   VerbMetrics other_verb_metrics_;
   obs::Counter* errors_total_ = nullptr;
   obs::Counter* stale_serves_ = nullptr;
+  // Dynamic-graph metrics, pre-registered at construction (scrape schema is
+  // stable whether or not any mutation ever arrives).
+  obs::Counter* delta_adds_ = nullptr;
+  obs::Counter* delta_dels_ = nullptr;
+  obs::Gauge* delta_pending_ = nullptr;  ///< pending records, all graphs
+  obs::Counter* delta_compactions_ = nullptr;
+  obs::Counter* delta_folded_ = nullptr;
+  obs::Counter* apply_full_ = nullptr;
+  obs::Counter* apply_incr_ = nullptr;
+  obs::Histogram* apply_seconds_ = nullptr;
+  obs::Counter* incr_published_ = nullptr;
+  obs::Counter* incr_skipped_ = nullptr;
+  obs::Gauge* incr_active_ = nullptr;  ///< last warm start's seed size
+  std::mutex delta_mu_;                ///< guards the deltas_ map shape
+  std::unordered_map<std::string, DeltaStatePtr> deltas_;
   obs::Gauge* breaker_state_ = nullptr;
   obs::Counter* breaker_to_open_ = nullptr;
   obs::Counter* breaker_to_half_open_ = nullptr;

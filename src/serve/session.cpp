@@ -1,5 +1,6 @@
 #include "asamap/serve/session.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <sstream>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "asamap/benchutil/json_env.hpp"
+#include "asamap/dyn/incremental.hpp"
 #include "asamap/gen/generators.hpp"
 #include "asamap/obs/tracing.hpp"
 #include "asamap/support/hash.hpp"
@@ -22,9 +24,10 @@ namespace {
 /// array provides stable storage for the string_view map keys; anything not
 /// listed here is counted under verb="other".
 constexpr std::string_view kVerbs[] = {
-    "GEN",     "LOAD",  "DROP",    "CLUSTER", "WAIT",
-    "CANCEL",  "MEMBER", "SAME",   "TOPK",    "SUMMARY",
-    "STATS",   "METRICS", "TRACE", "FAULTS",  "QUIT"};
+    "GEN",     "LOAD",    "DROP",     "CLUSTER", "ADD_EDGE",
+    "DEL_EDGE", "APPLY",  "DELTA",    "WAIT",    "CANCEL",
+    "MEMBER",  "SAME",    "TOPK",     "SUMMARY", "STATS",
+    "METRICS", "TRACE",   "FAULTS",   "QUIT"};
 
 std::string verb_label(std::string_view verb) {
   return "verb=\"" + std::string(verb) + "\"";
@@ -108,6 +111,20 @@ ServeSession::ServeSession(const SessionConfig& config)
   // whether or not any fault/degradation ever happens.
   faults_.attach_metrics(&metrics_);
   stale_serves_ = &metrics_.counter("asamap_stale_serves_total");
+  // Dynamic-graph metrics (DESIGN.md §4f), pre-registered for the same
+  // reason: the scrape schema must not depend on whether mutations arrived.
+  delta_adds_ = &metrics_.counter("asamap_delta_records_total", "op=\"add\"");
+  delta_dels_ = &metrics_.counter("asamap_delta_records_total", "op=\"del\"");
+  delta_pending_ = &metrics_.gauge("asamap_delta_pending");
+  delta_compactions_ = &metrics_.counter("asamap_delta_compactions_total");
+  delta_folded_ = &metrics_.counter("asamap_delta_folded_records_total");
+  apply_full_ = &metrics_.counter("asamap_delta_applies_total", "mode=\"full\"");
+  apply_incr_ = &metrics_.counter("asamap_delta_applies_total", "mode=\"incr\"");
+  apply_seconds_ = &metrics_.histogram("asamap_delta_apply_seconds");
+  incr_published_ = &metrics_.counter("asamap_incr_publishes_total");
+  incr_skipped_ = &metrics_.counter("asamap_incr_skipped_total",
+                                    "reason=\"no_improvement\"");
+  incr_active_ = &metrics_.gauge("asamap_incr_active_vertices");
   breaker_state_ = &metrics_.gauge("asamap_breaker_state");
   breaker_state_->set(0);  // closed
   breaker_to_open_ =
@@ -140,12 +157,17 @@ ServeSession::~ServeSession() { scheduler_.shutdown(); }
 
 ServeStatus ServeSession::load_text(const std::string& name,
                                     std::string_view text, bool undirected) {
-  return registry_.put_text(name, text, undirected);
+  const ServeStatus status = registry_.put_text(name, text, undirected);
+  // Replace semantics: pending deltas patched the *previous* base graph.
+  if (status.ok()) reset_deltas(name);
+  return status;
 }
 
 ServeStatus ServeSession::load_file(const std::string& name,
                                     const std::string& path, bool undirected) {
-  return registry_.put_file(name, path, undirected);
+  const ServeStatus status = registry_.put_file(name, path, undirected);
+  if (status.ok()) reset_deltas(name);
+  return status;
 }
 
 ServeStatus ServeSession::gen_chung_lu(const std::string& name,
@@ -169,10 +191,14 @@ ServeStatus ServeSession::gen_chung_lu(const std::string& name,
   std::uint64_t fp = support::mix64(0x67656eULL ^ n);
   fp = support::mix64(fp ^ edges);
   fp = support::mix64(fp ^ seed);
-  return registry_.put_graph(name, gen::chung_lu(params, seed), fp);
+  const ServeStatus status =
+      registry_.put_graph(name, gen::chung_lu(params, seed), fp);
+  if (status.ok()) reset_deltas(name);
+  return status;
 }
 
 bool ServeSession::drop(const std::string& name) {
+  reset_deltas(name);  // discard pending mutations and release the pin
   const bool had_graph = registry_.erase(name);
   store_.drop(name);
   return had_graph;
@@ -224,6 +250,303 @@ SubmitResult ServeSession::submit_recluster(const std::string& name,
 
 PartitionStore::SnapshotPtr ServeSession::snapshot(const std::string& name) {
   return store_.snapshot(name);
+}
+
+// --- dynamic graphs (DESIGN.md §4f) ----------------------------------------
+
+ServeSession::DeltaStatePtr ServeSession::delta_state(const std::string& name) {
+  std::lock_guard<std::mutex> lock(delta_mu_);
+  DeltaStatePtr& slot = deltas_[name];
+  if (!slot) slot = std::make_shared<DeltaState>();
+  return slot;
+}
+
+void ServeSession::reset_deltas(const std::string& name) {
+  DeltaStatePtr ds;
+  {
+    std::lock_guard<std::mutex> lock(delta_mu_);
+    const auto it = deltas_.find(name);
+    if (it == deltas_.end()) return;
+    ds = std::move(it->second);
+    deltas_.erase(it);
+  }
+  std::lock_guard<std::mutex> lock(ds->mu);
+  const std::size_t pending = ds->log.pending();
+  if (pending > 0) {
+    ds->log.truncate(pending);
+    delta_pending_->add(-static_cast<double>(pending));
+  }
+  // An APPLY job still holding this (now orphaned) state folds an empty log
+  // and re-clusters whatever graph the name resolves to — harmless.
+  registry_.set_pinned(name, false);
+}
+
+ServeStatus ServeSession::add_edge(const std::string& name, graph::VertexId u,
+                                   graph::VertexId v, graph::Weight w) {
+  return mutate_edge(name, u, v, w, /*is_add=*/true, nullptr, nullptr);
+}
+
+ServeStatus ServeSession::del_edge(const std::string& name, graph::VertexId u,
+                                   graph::VertexId v) {
+  return mutate_edge(name, u, v, 0.0, /*is_add=*/false, nullptr, nullptr);
+}
+
+ServeStatus ServeSession::mutate_edge(const std::string& name,
+                                      graph::VertexId u, graph::VertexId v,
+                                      graph::Weight w, bool is_add,
+                                      std::size_t* pending_out,
+                                      bool* folded_out) {
+  if (u == v) {
+    return ServeStatus::error(ServeCode::kInvalidArgument,
+                              "self-loops carry no flow; rejected");
+  }
+  if (is_add && !(w > 0.0)) {
+    return ServeStatus::error(ServeCode::kInvalidArgument,
+                              "ADD_EDGE weight must be > 0");
+  }
+  if (u > config_.registry.max_vertex_id ||
+      v > config_.registry.max_vertex_id) {
+    return ServeStatus::error(
+        ServeCode::kTooLarge,
+        "vertex id exceeds limit " +
+            std::to_string(config_.registry.max_vertex_id));
+  }
+  const GraphRegistry::GraphPtr base = registry_.get(name);
+  if (!base) {
+    return ServeStatus::error(ServeCode::kNotFound,
+                              "unknown graph '" + name + "'");
+  }
+  // New vertices arrive with their first edge, but only within headroom of
+  // the current count — one wild endpoint must not inflate the next fold.
+  const std::uint64_t limit = std::uint64_t{base->num_vertices()} +
+                              config_.delta_new_vertex_headroom;
+  if (u >= limit || v >= limit) {
+    return ServeStatus::error(
+        ServeCode::kTooLarge,
+        "endpoint " + std::to_string(std::max(u, v)) +
+            " exceeds vertex headroom (graph has " +
+            std::to_string(base->num_vertices()) + " vertices, headroom " +
+            std::to_string(config_.delta_new_vertex_headroom) + ")");
+  }
+  const DeltaStatePtr ds = delta_state(name);
+  std::lock_guard<std::mutex> lock(ds->mu);
+  if (is_add) {
+    ds->log.add_edge(u, v, w);
+    delta_adds_->inc();
+  } else {
+    ds->log.del_edge(u, v);
+    delta_dels_->inc();
+  }
+  delta_pending_->add(1.0);
+  bool folded = false;
+  // Threshold fold: bound the log's memory without waiting for an APPLY.
+  // Skipped while an APPLY is in flight — its own fold is imminent, and two
+  // concurrent folds of the same base would race on the republish.
+  if (ds->log.pending() >= config_.delta_compact_threshold &&
+      !apply_inflight_locked(*ds)) {
+    folded = fold_delta_locked(name, *ds, nullptr, nullptr).ok();
+  }
+  refresh_delta_pin_locked(name, *ds);
+  if (pending_out != nullptr) *pending_out = ds->log.pending();
+  if (folded_out != nullptr) *folded_out = folded;
+  return {};
+}
+
+ServeStatus ServeSession::fold_delta_locked(
+    const std::string& name, DeltaState& ds,
+    GraphRegistry::GraphPtr* merged_out,
+    std::vector<graph::VertexId>* touched_out) {
+  GraphRegistry::GraphPtr base = registry_.get(name);
+  if (!base) {
+    return ServeStatus::error(
+        ServeCode::kNotFound,
+        "graph '" + name + "' is gone; pending mutations are orphaned");
+  }
+  const std::vector<dyn::DeltaRecord> batch = ds.log.snapshot();
+  if (batch.empty()) {
+    if (merged_out != nullptr) *merged_out = std::move(base);
+    if (touched_out != nullptr) touched_out->clear();
+    return {};
+  }
+  obs::TraceSpan span("delta.compact", obs::TraceCat::kSession);
+  const dyn::DeltaView view(*base, batch);
+  // Fingerprint 0: a merged graph is never content-identical to an upload.
+  const ServeStatus put = registry_.put_graph(name, view.materialize(), 0);
+  if (!put.ok()) return put;
+  // Only now consume the batch: a fold that failed above lost nothing.
+  ds.log.truncate(batch.size());
+  ds.compactions += 1;
+  ds.last_batch = batch.size();
+  delta_pending_->add(-static_cast<double>(batch.size()));
+  delta_compactions_->inc();
+  delta_folded_->inc(batch.size());
+  if (touched_out != nullptr) *touched_out = view.touched();
+  if (merged_out != nullptr) *merged_out = registry_.get(name);
+  return {};
+}
+
+bool ServeSession::apply_inflight_locked(const DeltaState& ds) const {
+  if (ds.apply_job == 0) return false;
+  const JobState s = scheduler_.state(ds.apply_job);
+  return s == JobState::kQueued || s == JobState::kRunning;
+}
+
+void ServeSession::refresh_delta_pin_locked(const std::string& name,
+                                            DeltaState& ds) {
+  registry_.set_pinned(name,
+                       !ds.log.empty() || apply_inflight_locked(ds));
+}
+
+SubmitResult ServeSession::submit_apply(const std::string& name,
+                                        bool incremental, JobPriority priority,
+                                        std::chrono::milliseconds deadline) {
+  if (!registry_.get(name)) {
+    return {0, ServeStatus::error(ServeCode::kNotFound,
+                                  "unknown graph '" + name + "'")};
+  }
+  const DeltaStatePtr ds = delta_state(name);
+  // Check-and-submit under ds->mu so two racing APPLYs cannot both pass the
+  // in-flight test (lock order: DeltaState::mu -> scheduler internals).
+  std::lock_guard<std::mutex> lock(ds->mu);
+  if (apply_inflight_locked(*ds)) {
+    return {0, ServeStatus::error(ServeCode::kUnavailable,
+                                  "APPLY already in flight for '" + name +
+                                      "' (job " +
+                                      std::to_string(ds->apply_job) + ")")};
+  }
+  const SubmitResult submitted = scheduler_.submit(
+      [this, name, ds, incremental](const JobContext& ctx) {
+        apply_job_body(name, ds, incremental, ctx);
+      },
+      priority, deadline);
+  if (submitted.accepted()) {
+    ds->apply_job = submitted.id;
+    refresh_delta_pin_locked(name, *ds);
+  }
+  return submitted;
+}
+
+void ServeSession::apply_job_body(const std::string& name,
+                                  const DeltaStatePtr& ds, bool incremental,
+                                  const JobContext& ctx) {
+  obs::TraceSpan apply_span("delta.apply", obs::TraceCat::kSession);
+  support::WallTimer wall;
+  // Re-derive the pin on every exit (early returns, throws): once this body
+  // is done the job is terminal, so only un-folded records keep it held.
+  struct PinGuard {
+    ServeSession* session;
+    const std::string& name;
+    const DeltaStatePtr& ds;
+    ~PinGuard() {
+      std::lock_guard<std::mutex> lock(ds->mu);
+      session->registry_.set_pinned(name, !ds->log.empty());
+    }
+  } pin_guard{this, name, ds};
+  // Same chaos surface as CLUSTER's job body (`cluster.sweep`).
+  const fault::FaultDecision sweep_fault =
+      fault::check(&faults_, fault::Site::kClusterSweep);
+  if (sweep_fault.effect == fault::Effect::kError) {
+    throw std::runtime_error("injected cluster.sweep fault");
+  }
+  if (sweep_fault.effect == fault::Effect::kCancel) {
+    scheduler_.cancel(ctx.id);
+    return;
+  }
+  if (sweep_fault.effect == fault::Effect::kLatency) {
+    std::this_thread::sleep_for(sweep_fault.latency);
+  }
+
+  GraphRegistry::GraphPtr merged;
+  std::vector<graph::VertexId> touched;
+  {
+    std::lock_guard<std::mutex> lock(ds->mu);
+    const ServeStatus fold = fold_delta_locked(name, *ds, &merged, &touched);
+    if (!fold.ok()) {
+      throw std::runtime_error("APPLY fold failed: " +
+                               std::string(fold.text()));
+    }
+  }
+  if (ctx.stop_requested()) return;
+
+  const PartitionStore::SnapshotPtr prev = store_.snapshot(name);
+  // Warm start needs a previous membership that still fits the merged
+  // graph; without one (never clustered) fall back to a full recluster.
+  const bool warm = incremental && prev != nullptr &&
+                    prev->communities.size() <= merged->num_vertices();
+  core::InfomapOptions opts = config_.infomap;
+  opts.cancel = ctx.stop;
+  dyn::WarmStart plan;
+  if (warm) {
+    obs::TraceSpan warm_span("delta.warm_start", obs::TraceCat::kSession);
+    plan = dyn::plan_warm_start(prev->communities, merged->num_vertices(),
+                                touched);
+    opts.warm_start = &plan.init;
+    opts.active_seed = &plan.active_seed;
+    incr_active_->set(static_cast<double>(plan.active_seed.size()));
+  }
+  const core::InfomapResult result =
+      core::run_infomap_parallel(*merged, opts, config_.cluster_threads);
+  if (ctx.stop_requested()) return;
+  if (sweep_fault.effect == fault::Effect::kPartialWrite) return;
+
+  // Publish-on-improvement: for a warm run, initial_codelength is the
+  // carried-over partition's L on the merged graph — if the re-sweep could
+  // not beat it, the old snapshot keeps serving and we record why.
+  const bool published =
+      !warm ||
+      result.codelength < result.initial_codelength - config_.incr_publish_epsilon;
+  (warm ? apply_incr_ : apply_full_)->inc();
+  if (published) {
+    obs::TraceSpan publish_span("snapshot.publish", obs::TraceCat::kSession);
+    PartitionSnapshot snap = make_snapshot(merged, result);
+    snap.build_job = ctx.id;
+    store_.publish(name, std::move(snap));
+    if (warm) incr_published_->inc();
+  } else {
+    incr_skipped_->inc();
+  }
+  apply_seconds_->record_seconds(wall.seconds());
+  std::lock_guard<std::mutex> lock(ds->mu);
+  if (warm) {
+    ds->applies_incr += 1;
+    if (published) {
+      ds->incr_published += 1;
+      ds->last_skip = "none";
+    } else {
+      ds->incr_skipped += 1;
+      ds->last_skip = "no_improvement";
+    }
+  } else {
+    ds->applies_full += 1;
+  }
+}
+
+ServeSession::DeltaStatus ServeSession::delta_status(const std::string& name) {
+  DeltaStatus out;
+  out.pinned = registry_.pinned(name);
+  DeltaStatePtr ds;
+  {
+    std::lock_guard<std::mutex> lock(delta_mu_);
+    const auto it = deltas_.find(name);
+    if (it != deltas_.end()) ds = it->second;
+  }
+  if (!ds) return out;
+  std::lock_guard<std::mutex> lock(ds->mu);
+  out.known = true;
+  const dyn::DeltaLogStats ls = ds->log.stats();
+  out.pending = ls.pending;
+  out.adds = ls.adds;
+  out.dels = ls.dels;
+  out.compactions = ds->compactions;
+  out.applies_full = ds->applies_full;
+  out.applies_incr = ds->applies_incr;
+  out.last_batch = ds->last_batch;
+  out.incr_published = ds->incr_published;
+  out.incr_skipped = ds->incr_skipped;
+  out.last_skip = ds->last_skip;
+  out.apply_inflight = apply_inflight_locked(*ds);
+  out.apply_job = ds->apply_job;
+  return out;
 }
 
 std::string ServeSession::degraded_cluster(const std::string& name,
@@ -410,6 +733,131 @@ std::string ServeSession::handle_line_impl(
                " codelength=" + fmt_double(snap->codelength);
       }
     }
+    return out;
+  }
+
+  if (verb == "ADD_EDGE" || verb == "DEL_EDGE") {
+    const bool is_add = verb == "ADD_EDGE";
+    const bool arity_ok = is_add ? tokens.size() == 4 || tokens.size() == 5
+                                 : tokens.size() == 4;
+    if (!arity_ok) {
+      return err(ServeCode::kInvalidArgument,
+                 is_add ? "usage: ADD_EDGE <name> <u> <v> [w]"
+                        : "usage: DEL_EDGE <name> <u> <v>");
+    }
+    graph::VertexId u = 0, v = 0;
+    double w = 1.0;
+    if (!parse_num(tokens[2], u) || !parse_num(tokens[3], v) ||
+        (tokens.size() == 5 && !parse_num(tokens[4], w))) {
+      return err(ServeCode::kInvalidArgument,
+                 std::string(verb) + ": numeric argument expected");
+    }
+    const std::string name(tokens[1]);
+    std::size_t pending = 0;
+    bool folded = false;
+    const ServeStatus status =
+        mutate_edge(name, u, v, w, is_add, &pending, &folded);
+    if (!status.ok()) return err(status);
+    std::string out = "OK graph=" + name + " op=";
+    out += is_add ? "add" : "del";
+    out += " u=" + std::to_string(u) + " v=" + std::to_string(v);
+    if (is_add) out += " w=" + fmt_double(w);
+    out += " pending=" + std::to_string(pending) + " folded=";
+    out += folded ? '1' : '0';
+    return out;
+  }
+
+  if (verb == "APPLY") {
+    if (tokens.size() < 2) {
+      return err(ServeCode::kInvalidArgument,
+                 "usage: APPLY <name> [recluster=full|incr] [sync] "
+                 "[priority=interactive|batch] [deadline_ms=N]");
+    }
+    const std::string name(tokens[1]);
+    bool incremental = true;
+    bool sync = false;
+    JobPriority priority = JobPriority::kBatch;
+    std::chrono::milliseconds deadline{};
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+      const std::string_view opt = tokens[i];
+      if (opt == "sync") {
+        sync = true;
+      } else if (opt == "recluster=incr") {
+        incremental = true;
+      } else if (opt == "recluster=full") {
+        incremental = false;
+      } else if (opt == "priority=interactive") {
+        priority = JobPriority::kInteractive;
+      } else if (opt == "priority=batch") {
+        priority = JobPriority::kBatch;
+      } else if (opt.rfind("deadline_ms=", 0) == 0) {
+        std::int64_t ms = 0;
+        if (!parse_num(opt.substr(12), ms) || ms < 0) {
+          return err(ServeCode::kInvalidArgument,
+                     "APPLY: bad deadline_ms value");
+        }
+        deadline = std::chrono::milliseconds(ms);
+      } else {
+        return err(ServeCode::kInvalidArgument,
+                   "APPLY: unknown option '" + std::string(opt) + "'");
+      }
+    }
+    // `published=` in the sync answer compares snapshot versions across the
+    // job, not a flag out of the body — the observable truth.
+    const auto pre = store_.snapshot(name);
+    const std::uint64_t pre_version = pre ? pre->version : 0;
+    const SubmitResult submitted = submit_apply(name, incremental, priority,
+                                                deadline);
+    if (!submitted.accepted()) return err(submitted.status);
+    const char* mode = incremental ? "incr" : "full";
+    if (!sync) {
+      return "OK job=" + std::to_string(submitted.id) + " mode=" + mode +
+             " state=" + to_string(scheduler_.state(submitted.id));
+    }
+    const JobState terminal = scheduler_.wait(submitted.id);
+    std::string out = "OK job=" + std::to_string(submitted.id) +
+                      " mode=" + mode + " state=" + to_string(terminal);
+    if (terminal == JobState::kDone) {
+      const auto snap = store_.snapshot(name);
+      const bool published = snap && snap->version != pre_version;
+      out += " published=";
+      out += published ? '1' : '0';
+      if (snap) {
+        out += " version=" + std::to_string(snap->version) +
+               " communities=" + std::to_string(snap->num_communities) +
+               " codelength=" + fmt_double(snap->codelength);
+      }
+      if (!published) {
+        out += " reason=";
+        out += delta_status(name).last_skip;
+      }
+    }
+    return out;
+  }
+
+  if (verb == "DELTA") {
+    if (tokens.size() != 3 || tokens[1] != "STATUS") {
+      return err(ServeCode::kInvalidArgument, "usage: DELTA STATUS <name>");
+    }
+    const std::string name(tokens[2]);
+    const DeltaStatus st = delta_status(name);
+    if (!st.known && !registry_.get(name)) {
+      return err(ServeCode::kNotFound, "unknown graph '" + name + "'");
+    }
+    std::string out = "OK graph=" + name +
+                      " pending=" + std::to_string(st.pending) +
+                      " adds=" + std::to_string(st.adds) +
+                      " dels=" + std::to_string(st.dels) +
+                      " compactions=" + std::to_string(st.compactions) +
+                      " last_batch=" + std::to_string(st.last_batch) +
+                      " applies_full=" + std::to_string(st.applies_full) +
+                      " applies_incr=" + std::to_string(st.applies_incr) +
+                      " incr_published=" + std::to_string(st.incr_published) +
+                      " incr_skipped=" + std::to_string(st.incr_skipped) +
+                      " last_skip=" + st.last_skip + " inflight=";
+    out += st.apply_inflight ? '1' : '0';
+    out += " apply_job=" + std::to_string(st.apply_job) + " pinned=";
+    out += st.pinned ? '1' : '0';
     return out;
   }
 

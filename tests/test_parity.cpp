@@ -15,8 +15,14 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "asamap/core/infomap.hpp"
+#include "asamap/dyn/delta_log.hpp"
+#include "asamap/dyn/incremental.hpp"
 #include "asamap/gen/generators.hpp"
+#include "asamap/gen/lfr.hpp"
+#include "asamap/support/rng.hpp"
 
 namespace {
 
@@ -82,6 +88,100 @@ TEST(AccumulatorParity, ThreeWayOnDenseChungLu) {
   params.gamma = 2.2;
   params.min_deg = 4;
   expect_three_way_parity(gen::chung_lu(params, 2407));
+}
+
+TEST(AccumulatorParity, ThreeWayUnderWarmStart) {
+  // Warm-started runs (incremental reclustering, DESIGN.md §4f) go through
+  // the same sweep kernels from a non-singleton start state — the three
+  // engines must still take identical decisions, active-set seeding
+  // included.
+  const auto pp = gen::planted_partition(1200, 12, 0.22, 0.005, 2417);
+  std::vector<graph::VertexId> seed;
+  for (graph::VertexId v = 0; v < 100; ++v) seed.push_back(v * 7 % 1200);
+  core::InfomapOptions opts;
+  opts.warm_start = &pp.ground_truth;
+  opts.active_seed = &seed;
+  const InfomapResult chained =
+      core::run_infomap(pp.graph, opts, AccumulatorKind::kChained);
+  const InfomapResult flat =
+      core::run_infomap(pp.graph, opts, AccumulatorKind::kFlat);
+  const InfomapResult hotset =
+      core::run_infomap(pp.graph, opts, AccumulatorKind::kHotSet);
+  EXPECT_EQ(chained.codelength, flat.codelength);
+  EXPECT_EQ(flat.codelength, hotset.codelength);
+  EXPECT_EQ(chained.communities, flat.communities);
+  EXPECT_EQ(flat.communities, hotset.communities);
+  expect_same_moves(chained, flat);
+  expect_same_moves(flat, hotset);
+  // All three report the warm partition's codelength as the start state.
+  EXPECT_EQ(chained.initial_codelength, hotset.initial_codelength);
+  EXPECT_LE(chained.codelength, chained.initial_codelength + 1e-12);
+}
+
+/// Replays `batches` rounds of random edge churn over `g`, re-clustering
+/// each merged graph twice — incrementally (warm-started from the previous
+/// round's partition, active set seeded from the batch) and from scratch —
+/// and asserts the incremental codelength stays within `tolerance` of the
+/// from-scratch answer every round (the ISSUE's <= 0.5% quality gate).
+void expect_incremental_quality(const graph::CsrGraph& g, std::uint64_t seed,
+                                int batches, std::size_t batch_size,
+                                double tolerance = 0.005) {
+  support::Xoshiro256 rng(seed);
+  graph::CsrGraph current = g;
+  core::InfomapResult prev = core::run_infomap_parallel(current, {}, 2);
+  for (int round = 0; round < batches; ++round) {
+    const graph::VertexId n = current.num_vertices();
+    std::vector<dyn::DeltaRecord> batch;
+    while (batch.size() < batch_size) {
+      dyn::DeltaRecord rec;
+      if (rng.next_double() < 0.5) {
+        // Delete a real arc so communities actually lose internal edges.
+        const auto u = static_cast<graph::VertexId>(rng.next_below(n));
+        const auto nbrs = current.out_neighbors(u);
+        if (nbrs.empty()) continue;
+        rec.u = u;
+        rec.v = nbrs[rng.next_below(nbrs.size())].dst;
+        rec.op = dyn::DeltaOp::kDelEdge;
+      } else {
+        rec.u = static_cast<graph::VertexId>(rng.next_below(n));
+        rec.v = static_cast<graph::VertexId>(rng.next_below(n));
+        rec.op = dyn::DeltaOp::kAddEdge;
+        rec.weight = 1.0;
+      }
+      if (rec.u == rec.v) continue;
+      batch.push_back(rec);
+    }
+    const dyn::DeltaView view(current, batch);
+    current = view.materialize();
+
+    const dyn::WarmStart plan = dyn::plan_warm_start(
+        prev.communities, current.num_vertices(), view.touched());
+    core::InfomapOptions warm_opts;
+    warm_opts.warm_start = &plan.init;
+    warm_opts.active_seed = &plan.active_seed;
+    const core::InfomapResult incr =
+        core::run_infomap_parallel(current, warm_opts, 2);
+    const core::InfomapResult scratch =
+        core::run_infomap_parallel(current, {}, 2);
+    EXPECT_LE(incr.codelength, scratch.codelength * (1.0 + tolerance))
+        << "round " << round;
+    prev = incr;
+  }
+}
+
+TEST(IncrementalQuality, WithinHalfPercentOnPlantedPartitionChurn) {
+  const auto pp = gen::planted_partition(1500, 15, 0.2, 0.004, 2421);
+  expect_incremental_quality(pp.graph, 2423, /*batches=*/4,
+                             /*batch_size=*/60);
+}
+
+TEST(IncrementalQuality, WithinHalfPercentOnLfrChurn) {
+  gen::LfrParams params;
+  params.n = 1200;
+  params.mu = 0.25;
+  const auto lfr = gen::lfr_benchmark(params, 2427);
+  expect_incremental_quality(lfr.graph, 2429, /*batches=*/3,
+                             /*batch_size=*/50);
 }
 
 TEST(AccumulatorParity, ParallelFlatAndHotSetAreBitwiseEqual) {
