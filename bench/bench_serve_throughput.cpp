@@ -32,16 +32,50 @@
 // Both land in a "delta" section of the JSON artifact.  The read-only
 // baseline phase is untouched by --delta.
 //
+// With --net three read-heavy phases compare request planes on the same
+// request mix (80% MEMBER / 15% SAME / 5% SUMMARY, prebuilt
+// deterministically):
+//   1. In-process line-at-a-time baseline: the stdin-style serving plane
+//      asamap_serve shipped with — requests arrive on a pipe, each is
+//      answered by handle_line, each response is flushed with its own
+//      write(2), exactly like the driver's `std::endl` loop.  This is the
+//      plane the network endpoint replaces, and the number the >= 2x
+//      acceptance bar is measured against.
+//   2. Direct-call ceiling: a bare handle_line loop with no transport at
+//      all — the upper bound any request plane could reach, reported for
+//      context.
+//   3. Network open loop: a NetServer on an ephemeral loopback port, one
+//      pipelined client streaming binary-framed requests under a bounded
+//      in-flight window — contiguous read runs are answered through
+//      ServeSession::handle_batch, which amortizes the snapshot acquire,
+//      tracing, and syscalls across the batch.
+// Reports all three req/s, the network/line-loop speedup (target: >= 2x),
+// and the network phase's server-side p99; a "net" section lands in the
+// JSON.
+//
 //   bench_serve_throughput [--seconds S] [--clients N] [--workers N]
 //                          [--n N] [--edges M] [--seed S] [--batch-cap N]
 //                          [--cluster-threads N] [--faults plan.txt]
 //                          [--trace] [--delta] [--delta-n N]
 //                          [--delta-edges M] [--delta-churn F]
+//                          [--net] [--net-ring N] [--net-batch N]
 //                          [--out file.json]
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -52,6 +86,8 @@
 #include "asamap/benchutil/table.hpp"
 #include "asamap/dyn/incremental.hpp"
 #include "asamap/fault/fault.hpp"
+#include "asamap/net/frame.hpp"
+#include "asamap/net/server.hpp"
 #include "asamap/obs/metrics.hpp"
 #include "asamap/obs/tracing.hpp"
 #include "asamap/serve/session.hpp"
@@ -261,7 +297,8 @@ double run_window(serve::ServeSession& session, int clients,
 }  // namespace
 
 int main(int argc, char** argv) try {
-  const support::ArgParser args(argc, argv, 1, {"help", "trace", "delta"});
+  const support::ArgParser args(argc, argv, 1, {"help", "trace", "delta",
+                                                "net"});
   if (args.flag("help")) {
     std::cout << "usage: bench_serve_throughput [--seconds S] [--clients N] "
                  "[--workers N] [--n N]\n"
@@ -269,13 +306,15 @@ int main(int argc, char** argv) try {
                  "[--cluster-threads N]\n"
                  "        [--faults plan.txt] [--trace] [--delta] "
                  "[--delta-n N] [--delta-edges M]\n"
-                 "        [--delta-churn F] [--out f.json]\n";
+                 "        [--delta-churn F] [--net] [--net-ring N] "
+                 "[--net-batch N] [--out f.json]\n";
     return 0;
   }
   if (const auto unknown = args.unknown_keys(
           {"seconds", "clients", "workers", "n", "edges", "seed", "batch-cap",
            "cluster-threads", "faults", "trace", "delta", "delta-n",
-           "delta-edges", "delta-churn", "out"});
+           "delta-edges", "delta-churn", "net", "net-ring", "net-batch",
+           "out"});
       !unknown.empty()) {
     std::cerr << "unknown argument: --" << unknown.front() << '\n';
     return 2;
@@ -678,6 +717,301 @@ int main(int argc, char** argv) try {
     mt.print(std::cout);
   }
 
+  // ---- phase 5: network transport (optional) ---------------------------
+  // Same read-heavy mix through three request planes.  The baseline is the
+  // line-at-a-time plane the driver's stdin mode uses (pipe in, handle_line,
+  // per-response write(2) out); the direct handle_line loop bounds what any
+  // plane could do; the network loop pipelines binary frames at an epoll
+  // NetServer whose worker answers contiguous read runs through
+  // handle_batch.  Pipelined batching must beat the line-at-a-time plane
+  // by >= 2x on one core.
+  struct NetReport {
+    bool ran = false;
+    double line_rps = 0;  ///< stdin-style line-at-a-time plane (the baseline)
+    std::uint64_t line_requests = 0;
+    double call_rps = 0;  ///< direct handle_line ceiling, for context
+    std::uint64_t call_requests = 0;
+    double net_rps = 0;
+    std::uint64_t net_responses = 0;
+    std::uint64_t net_errors = 0;  ///< ERR payloads seen by the client
+    double speedup = 0;            ///< net_rps / line_rps
+    double p50 = 0, p95 = 0, p99 = 0;
+    std::uint64_t batches = 0;
+    double batch_fill = 0;  ///< mean requests per worker batch
+    std::uint64_t rejected = 0;
+    std::size_t ring_capacity = 0;
+    std::size_t max_batch = 0;
+  } netrep;
+  constexpr double kNetSpeedupTarget = 2.0;
+
+  if (args.flag("net")) {
+    netrep.ran = true;
+    // The line-loop teardown closes a pipe's read end under a blocked
+    // writer; without this the resulting SIGPIPE would kill the bench.
+    std::signal(SIGPIPE, SIG_IGN);
+    // One deterministic request set serves both transports: 80% MEMBER /
+    // 15% SAME / 5% SUMMARY.  No TOPK — its sort cost would dominate both
+    // sides equally and mask the transport difference this phase measures.
+    constexpr std::size_t kMixSize = 4096;
+    std::vector<std::string> mix;
+    mix.reserve(kMixSize);
+    {
+      support::Xoshiro256 rng(seed ^ 0x4E7ULL);
+      const std::string name = kGraph;
+      for (std::size_t i = 0; i < kMixSize; ++i) {
+        const std::uint64_t roll = rng.next_below(100);
+        if (roll < 80) {
+          mix.push_back("MEMBER " + name + " " +
+                        std::to_string(rng.next_below(n)));
+        } else if (roll < 95) {
+          mix.push_back("SAME " + name + " " +
+                        std::to_string(rng.next_below(n)) + " " +
+                        std::to_string(rng.next_below(n)));
+        } else {
+          mix.push_back("SUMMARY " + name);
+        }
+      }
+    }
+
+    benchutil::banner(std::cout,
+                      "Network transport: in-process line-at-a-time plane");
+    {
+      // Faithful emulation of the driver's stdin mode: a feeder thread
+      // writes newline-terminated requests into a pipe, the serving thread
+      // reads them line-at-a-time, answers through handle_line, and flushes
+      // each response to a second pipe with its own write(2) — the same
+      // one-syscall-per-response cadence as `std::cout << resp << std::endl`
+      // — which a drainer thread consumes and counts.
+      serve::ServeSession ip_session(config);
+      if (!warm_up(ip_session, n, edges, seed)) return 1;
+      int req_pipe[2], resp_pipe[2];
+      if (::pipe(req_pipe) != 0 || ::pipe(resp_pipe) != 0) {
+        std::cerr << "--net: pipe failed\n";
+        return 1;
+      }
+      std::atomic<bool> stop{false};
+      std::atomic<std::uint64_t> drained{0};
+      std::thread feeder([&] {
+        std::string chunk;
+        for (const auto& req : mix) {
+          chunk += req;
+          chunk += '\n';
+        }
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::size_t off = 0;
+          while (off < chunk.size()) {
+            const ssize_t k = ::write(req_pipe[1], chunk.data() + off,
+                                      chunk.size() - off);
+            if (k <= 0) return;
+            off += static_cast<std::size_t>(k);
+          }
+        }
+      });
+      std::thread drainer([&] {
+        char buf[65536];
+        for (;;) {
+          const ssize_t k = ::read(resp_pipe[0], buf, sizeof buf);
+          if (k <= 0) return;
+          std::uint64_t lines = 0;
+          for (ssize_t i = 0; i < k; ++i) lines += buf[i] == '\n' ? 1 : 0;
+          drained.fetch_add(lines, std::memory_order_relaxed);
+        }
+      });
+      FILE* in = ::fdopen(req_pipe[0], "r");
+      char* linebuf = nullptr;
+      std::size_t linecap = 0;
+      support::WallTimer w;
+      double elapsed_line = 0;
+      while (true) {
+        // Clock check every 64 requests: a vDSO gettime per request would
+        // be measurable against a microsecond-scale served line.
+        for (int k = 0; k < 64; ++k) {
+          const ssize_t got = ::getline(&linebuf, &linecap, in);
+          if (got <= 0) break;
+          std::string resp = ip_session.handle_line(
+              std::string_view(linebuf, static_cast<std::size_t>(got) - 1));
+          resp += '\n';
+          (void)!::write(resp_pipe[1], resp.data(), resp.size());
+        }
+        if ((elapsed_line = w.seconds()) >= seconds) break;
+      }
+      netrep.line_requests = drained.load(std::memory_order_relaxed);
+      netrep.line_rps =
+          static_cast<double>(netrep.line_requests) / elapsed_line;
+      stop.store(true, std::memory_order_relaxed);
+      // Unblock the feeder (it may be asleep in write(2) on a full pipe —
+      // closing the read end turns that into EPIPE; SIGPIPE is ignored for
+      // this phase) and the drainer, then tear the pipes down.
+      std::fclose(in);  // closes req_pipe[0]
+      feeder.join();
+      ::close(req_pipe[1]);
+      ::close(resp_pipe[1]);
+      drainer.join();
+      ::close(resp_pipe[0]);
+      ::free(linebuf);
+    }
+
+    benchutil::banner(std::cout, "Network transport: direct-call ceiling");
+    {
+      serve::ServeSession ip_session(config);
+      if (!warm_up(ip_session, n, edges, seed)) return 1;
+      support::WallTimer w;
+      std::uint64_t done = 0;
+      std::size_t i = 0;
+      // Clock check every 256 requests: a vDSO gettime per request would
+      // be measurable against a sub-microsecond MEMBER.
+      while (w.seconds() < seconds) {
+        for (int k = 0; k < 256; ++k) {
+          (void)ip_session.handle_line(mix[i++ % kMixSize]);
+        }
+        done += 256;
+      }
+      netrep.call_requests = done;
+      netrep.call_rps = static_cast<double>(done) / w.seconds();
+    }
+
+    benchutil::banner(std::cout, "Network transport: pipelined binary client");
+    {
+      serve::ServeSession net_session(config);
+      if (!warm_up(net_session, n, edges, seed)) return 1;
+      net::NetConfig nc;
+      nc.port = 0;  // ephemeral
+      nc.workers = 1;
+      nc.ring_capacity =
+          static_cast<std::size_t>(args.int_or("net-ring", 1024));
+      nc.max_batch = static_cast<std::size_t>(args.int_or("net-batch", 64));
+      netrep.ring_capacity = nc.ring_capacity;
+      netrep.max_batch = nc.max_batch;
+      net::NetServer server(net_session, nc);
+      if (const auto st = server.start(); !st.ok()) {
+        std::cerr << "--net: " << st.text() << '\n';
+        return 1;
+      }
+
+      const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(server.port());
+      ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+      if (fd < 0 || (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                               sizeof addr) < 0 &&
+                     errno != EINPROGRESS)) {
+        std::cerr << "--net: connect failed: " << std::strerror(errno)
+                  << '\n';
+        return 1;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+      // The whole mix, binary-framed, as one wire image the writer replays.
+      // frame_end[i] marks the byte just past frame i, so the writer can
+      // count whole frames sent from its byte offset.
+      std::string wire;
+      std::vector<std::size_t> frame_end;
+      frame_end.reserve(kMixSize);
+      for (const auto& req : mix) {
+        net::append_frame(req, wire);
+        frame_end.push_back(wire.size());
+      }
+
+      // Open loop with an in-flight window, single thread: poll()
+      // interleaves writing requests and draining responses.  The window
+      // keeps the flood deep enough to saturate batching but below the
+      // worker ring's capacity — otherwise the server spends the core
+      // answering cheap rejections and the measurement flatters itself
+      // (rejects are counted separately and must stay ~0).
+      constexpr std::uint64_t kWindow = 16384;
+      std::size_t woff = 0;    // byte offset into wire
+      std::size_t frame_i = 0; // next frame boundary to cross
+      std::uint64_t sent = 0;
+      std::string rbuf;
+      char buf[65536];
+      support::WallTimer w;
+      while (w.seconds() < seconds) {
+        const bool can_write = sent - netrep.net_responses < kWindow;
+        pollfd p{fd, static_cast<short>(can_write ? POLLIN | POLLOUT
+                                                  : POLLIN),
+                 0};
+        if (::poll(&p, 1, 100) <= 0) continue;
+        if (p.revents & POLLOUT) {
+          const ssize_t k = ::send(fd, wire.data() + woff,
+                                   wire.size() - woff, MSG_NOSIGNAL);
+          if (k > 0) {
+            woff += static_cast<std::size_t>(k);
+            while (frame_i < kMixSize && frame_end[frame_i] <= woff) {
+              ++frame_i;
+              ++sent;
+            }
+            if (woff == wire.size()) {
+              woff = 0;
+              frame_i = 0;
+            }
+          }
+        }
+        if (p.revents & (POLLIN | POLLERR | POLLHUP)) {
+          for (;;) {
+            const ssize_t k = ::recv(fd, buf, sizeof buf, 0);
+            if (k <= 0) break;
+            rbuf.append(buf, static_cast<std::size_t>(k));
+            std::size_t off = 0;
+            for (;;) {
+              const auto d =
+                  net::decode_one(std::string_view(rbuf).substr(off));
+              if (d.status == net::DecodeStatus::kNeedMore) break;
+              off += d.consumed;
+              ++netrep.net_responses;
+              netrep.net_errors += d.payload.rfind("ERR", 0) == 0 ? 1 : 0;
+            }
+            rbuf.erase(0, off);
+          }
+          if (p.revents & (POLLERR | POLLHUP)) break;
+        }
+      }
+      const double net_elapsed = w.seconds();
+      ::close(fd);
+      server.stop();
+      netrep.net_rps =
+          static_cast<double>(netrep.net_responses) / net_elapsed;
+
+      const obs::MetricRegistry& nreg = net_session.metrics();
+      netrep.batches = nreg.counter_total("asamap_net_batches_total");
+      netrep.rejected = nreg.counter_sum("asamap_net_rejected_total");
+      const std::uint64_t net_reqs =
+          nreg.counter_sum("asamap_net_requests_total");
+      netrep.batch_fill =
+          netrep.batches == 0 ? 0.0
+                              : static_cast<double>(net_reqs) /
+                                    static_cast<double>(netrep.batches);
+      const auto nlat =
+          nreg.histogram_merged_all("asamap_serve_request_seconds");
+      netrep.p50 = nlat.quantile_seconds(0.50);
+      netrep.p95 = nlat.quantile_seconds(0.95);
+      netrep.p99 = nlat.quantile_seconds(0.99);
+    }
+    netrep.speedup =
+        netrep.line_rps > 0.0 ? netrep.net_rps / netrep.line_rps : 0.0;
+
+    benchutil::Table nt({"Metric", "Value"});
+    nt.add_row({"line-at-a-time req/s", fmt(netrep.line_rps, 0)});
+    nt.add_row({"direct-call req/s", fmt(netrep.call_rps, 0)});
+    nt.add_row({"network read req/s", fmt(netrep.net_rps, 0)});
+    nt.add_row({"network speedup vs line loop", fmt(netrep.speedup, 2)});
+    nt.add_row({"speedup target", fmt(kNetSpeedupTarget, 1)});
+    nt.add_row({"responses", std::to_string(netrep.net_responses)});
+    nt.add_row({"error responses", std::to_string(netrep.net_errors)});
+    nt.add_row({"batches", std::to_string(netrep.batches)});
+    nt.add_row({"mean batch fill", fmt(netrep.batch_fill, 1)});
+    nt.add_row({"ring rejections", std::to_string(netrep.rejected)});
+    nt.add_row({"server p50 (us)", fmt(netrep.p50 * 1e6, 2)});
+    nt.add_row({"server p99 (us)", fmt(netrep.p99 * 1e6, 2)});
+    nt.print(std::cout);
+    if (netrep.speedup < kNetSpeedupTarget) {
+      std::cerr << "WARN: network speedup " << fmt(netrep.speedup, 2)
+                << "x is below the " << fmt(kNetSpeedupTarget, 1)
+                << "x pipelining target\n";
+    }
+  }
+
   std::ofstream js(out_path);
   js.precision(9);
   js << "{\n";
@@ -777,6 +1111,29 @@ int main(int argc, char** argv) try {
        << "      \"latency_seconds\": {\"p50\": " << delta.p50
        << ", \"p95\": " << delta.p95 << ", \"p99\": " << delta.p99 << "}\n"
        << "    }\n  },\n";
+  }
+  if (netrep.ran) {
+    js << "  \"net\": {\n"
+       << "    \"config\": {\"net_workers\": 1, \"ring_capacity\": "
+       << netrep.ring_capacity << ", \"max_batch\": " << netrep.max_batch
+       << ",\n"
+       << "               \"mix\": {\"member\": 0.80, \"same\": 0.15, "
+          "\"summary\": 0.05}},\n"
+       << "    \"inprocess_line_rps\": " << netrep.line_rps << ",\n"
+       << "    \"inprocess_line_requests\": " << netrep.line_requests
+       << ",\n"
+       << "    \"inprocess_call_rps\": " << netrep.call_rps << ",\n"
+       << "    \"network_read_rps\": " << netrep.net_rps << ",\n"
+       << "    \"network_responses\": " << netrep.net_responses << ",\n"
+       << "    \"network_error_responses\": " << netrep.net_errors << ",\n"
+       << "    \"speedup_vs_inprocess\": " << netrep.speedup << ",\n"
+       << "    \"speedup_target\": " << kNetSpeedupTarget << ",\n"
+       << "    \"batches\": " << netrep.batches << ",\n"
+       << "    \"mean_batch_fill\": " << netrep.batch_fill << ",\n"
+       << "    \"ring_rejections\": " << netrep.rejected << ",\n"
+       << "    \"latency_seconds\": {\"p50\": " << netrep.p50
+       << ", \"p95\": " << netrep.p95 << ", \"p99\": " << netrep.p99
+       << "}\n  },\n";
   }
   js << "  \"metrics\": ";
   session.metrics().write_json(js, "  ");

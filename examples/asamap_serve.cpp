@@ -1,13 +1,23 @@
-// asamap_serve: line-protocol front end over serve::ServeSession.
+// asamap_serve: protocol front end over serve::ServeSession.
 //
-// Reads one request per line on stdin, writes one response per line on
-// stdout — scriptable (CI pipes a session through it) and usable
-// interactively.  Blank lines and `#` comments are skipped, so a session
-// script can document itself.
+// Two transports share the one session:
+//
+//  - stdin mode (default): one request per line on stdin, one response per
+//    line on stdout — scriptable (CI pipes a session through it) and usable
+//    interactively.  Blank lines and `#` comments are skipped, so a session
+//    script can document itself.
+//  - --listen <port>: the epoll-multiplexed TCP endpoint (asamap::net) —
+//    text and length-prefixed binary framing autodetected per message,
+//    pipelined batching, `QUIT` closes one connection.  Port 0 binds an
+//    ephemeral port; the bound port is announced on stdout as
+//    `LISTEN port=N` so harnesses can discover it.  SIGTERM/SIGINT drain
+//    and stop the server cleanly (`SHUTDOWN clean=1` on stdout).
 //
 //   asamap_serve [--workers N] [--budget-mb MB] [--cluster-threads N]
 //                [--interactive-cap N] [--batch-cap N] [--faults plan.txt]
 //                [--trace-out FILE] [--echo]
+//                [--listen PORT] [--net-workers N] [--net-ring N]
+//                [--net-batch N]
 //
 // --faults arms a fault plan at startup (equivalent to a leading
 // `FAULTS LOAD <plan>` request; wants a build configured with
@@ -25,13 +35,48 @@
 //   METRICS [prom|json]     FAULTS LOAD p.txt|CLEAR|STATUS
 //   WAIT <job>  CANCEL <job>  DROP g  QUIT
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 
+#include "asamap/net/server.hpp"
 #include "asamap/obs/tracing.hpp"
 #include "asamap/serve/session.hpp"
 #include "asamap/support/argparse.hpp"
+
+namespace {
+
+/// Runs the TCP endpoint until SIGTERM/SIGINT.  Returns the exit code.
+int run_listen(asamap::serve::ServeSession& session, asamap::net::NetConfig
+               net_config) {
+  using namespace asamap;
+  // Block the shutdown signals BEFORE the server spawns its threads (they
+  // inherit the mask), then wait for one synchronously — no async-signal
+  // handler, no self-pipe.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGTERM);
+  sigaddset(&set, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+  net::NetServer server(session, net_config);
+  if (const serve::ServeStatus st = server.start(); !st.ok()) {
+    std::cerr << "--listen: " << st.text() << '\n';
+    return 2;
+  }
+  std::cout << "LISTEN port=" << server.port() << std::endl;
+
+  int sig = 0;
+  sigwait(&set, &sig);
+  std::cerr << "signal " << sig << ": draining and stopping\n";
+  server.stop();
+  std::cout << "SHUTDOWN clean=1" << std::endl;
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace asamap;
@@ -42,18 +87,23 @@ int main(int argc, char** argv) {
                  "[--cluster-threads N]\n"
                  "                    [--interactive-cap N] [--batch-cap N] "
                  "[--faults plan.txt]\n"
-                 "                    [--trace-out FILE] [--echo]\n";
+                 "                    [--trace-out FILE] [--echo]\n"
+                 "                    [--listen PORT] [--net-workers N] "
+                 "[--net-ring N] [--net-batch N]\n";
     return 0;
   }
   if (const auto unknown = args.unknown_keys(
           {"workers", "budget-mb", "cluster-threads", "interactive-cap",
-           "batch-cap", "faults", "trace-out"});
+           "batch-cap", "faults", "trace-out", "listen", "net-workers",
+           "net-ring", "net-batch"});
       !unknown.empty()) {
     std::cerr << "unknown option: --" << unknown.front() << '\n';
     return 2;
   }
 
   serve::SessionConfig config;
+  long long listen_port = -1;
+  net::NetConfig net_config;
   try {
     config.scheduler.workers = static_cast<int>(args.int_or("workers", 2));
     config.registry.memory_budget_bytes =
@@ -64,6 +114,19 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.int_or("interactive-cap", 64));
     config.scheduler.batch_capacity =
         static_cast<std::size_t>(args.int_or("batch-cap", 8));
+    listen_port = args.int_or("listen", -1);
+    if (listen_port > 65535) {
+      std::cerr << "--listen: port out of range\n";
+      return 2;
+    }
+    net_config.port = listen_port < 0
+                          ? std::uint16_t{0}
+                          : static_cast<std::uint16_t>(listen_port);
+    net_config.workers = static_cast<int>(args.int_or("net-workers", 1));
+    net_config.ring_capacity =
+        static_cast<std::size_t>(args.int_or("net-ring", 1024));
+    net_config.max_batch =
+        static_cast<std::size_t>(args.int_or("net-batch", 64));
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;
@@ -79,16 +142,30 @@ int main(int argc, char** argv) {
     }
     std::cerr << resp << '\n';  // arming note on stderr; stdout stays protocol
   }
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    const auto start = line.find_first_not_of(" \t");
-    if (start == std::string::npos || line[start] == '#') continue;
-    if (echo) std::cout << "> " << line << '\n';
-    std::cout << session.handle_line(line) << std::endl;  // flush per response
-    // QUIT is answered ("OK bye") and then honored here, keeping
-    // handle_line a pure request->response map.
-    if (line.compare(start, 4, "QUIT") == 0) break;
+
+  int rc = 0;
+  if (listen_port >= 0) {
+    rc = run_listen(session, net_config);
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      const auto start = line.find_first_not_of(" \t");
+      if (start == std::string::npos || line[start] == '#') continue;
+      if (echo) std::cout << "> " << line << '\n';
+      std::cout << session.handle_line(line) << std::endl;  // flush per line
+      // QUIT is answered ("OK bye") and then honored here, keeping
+      // handle_line a pure request->response map.  Only the exact verb
+      // quits: `QUITX` must get its ERR without killing the driver, so
+      // compare the full first token ('\r' counts as a delimiter for CRLF
+      // piped scripts).
+      const auto end = line.find_first_of(" \t\r", start);
+      const std::string_view verb =
+          std::string_view(line).substr(
+              start, (end == std::string::npos ? line.size() : end) - start);
+      if (verb == "QUIT") break;
+    }
   }
+
   if (const std::string trace_out = args.get_or("trace-out", "");
       !trace_out.empty()) {
     std::ofstream f(trace_out);
@@ -100,5 +177,5 @@ int main(int argc, char** argv) {
     f << '\n';
     std::cerr << "trace written to " << trace_out << '\n';
   }
-  return 0;
+  return rc;
 }

@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file frame.hpp
+/// Wire framing of the network request plane (asamap::net).
+///
+/// Two message encodings coexist on every connection, autodetected per
+/// message by the first byte:
+///
+///   binary   magic (0xA5) | u32 payload length (little-endian) | payload
+///   text     any byte != 0xA5 ... '\n'   (trailing '\r' tolerated)
+///
+/// The payload of a binary frame and the body of a text line are the SAME
+/// protocol request/response strings ServeSession speaks — framing decides
+/// where a message *ends*, not what it means.  That is what lets a load
+/// balancer pipeline thousands of length-prefixed requests per syscall
+/// while `nc`/`telnet` debugging keeps working on the same port: a binary
+/// request is answered with a binary frame, a text request with a
+/// newline-terminated line.
+///
+/// 0xA5 never begins a text request: protocol verbs are uppercase ASCII,
+/// and the driver-level conveniences (blank lines, `#` comments) are ASCII
+/// too, so the magic byte is an unambiguous discriminator.
+///
+/// The decoder is an incremental pull parser over whatever prefix of the
+/// stream has arrived: it either consumes exactly one message, asks for
+/// more bytes, or reports an unrecoverable framing error (oversized or
+/// malformed length header) — the caller is expected to answer with an
+/// error and close, because a stream that lied about a length can never be
+/// re-synchronised.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace asamap::net {
+
+/// First byte of every binary frame.
+inline constexpr unsigned char kFrameMagic = 0xA5;
+
+/// magic + u32 little-endian payload length.
+inline constexpr std::size_t kFrameHeaderBytes = 5;
+
+/// Hard cap on one message, both directions and both encodings.  Requests
+/// are one protocol line (tiny); responses are bounded by METRICS / TRACE
+/// DUMP payloads, which sit in the tens-of-KB range — 16 MiB is generous
+/// headroom, while still rejecting a garbage length header (e.g. text
+/// accidentally parsed as a frame) before it makes the server buffer 4 GiB.
+inline constexpr std::size_t kMaxMessageBytes = std::size_t{16} << 20;
+
+enum class DecodeStatus : std::uint8_t {
+  kNeedMore,  ///< the buffer holds only a prefix of the next message
+  kText,      ///< one newline-terminated text request decoded
+  kBinary,    ///< one length-prefixed binary frame decoded
+  kError,     ///< unrecoverable framing error; close the connection
+};
+
+/// Result of decoding one message off the front of a receive buffer.
+struct Decoded {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  /// The message body (no newline, no header), viewing into the caller's
+  /// buffer — valid only until the buffer is mutated.  For kText a single
+  /// trailing '\r' has already been stripped (CRLF clients).
+  std::string_view payload{};
+  /// Bytes of the buffer this message consumed (0 for kNeedMore/kError);
+  /// the caller erases this prefix before the next decode.
+  std::size_t consumed = 0;
+  /// Static reason for kError.
+  const char* error = "";
+};
+
+/// Decodes one message from the front of `buffer`.  Never throws; never
+/// reads past `buffer`; consumes nothing unless a whole message is present.
+[[nodiscard]] inline Decoded decode_one(std::string_view buffer) {
+  Decoded out;
+  if (buffer.empty()) return out;
+  if (static_cast<unsigned char>(buffer[0]) == kFrameMagic) {
+    if (buffer.size() < kFrameHeaderBytes) return out;  // header incomplete
+    const auto b = [&](std::size_t i) {
+      return static_cast<std::uint32_t>(
+          static_cast<unsigned char>(buffer[1 + i]));
+    };
+    const std::uint32_t len = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+    if (len > kMaxMessageBytes) {
+      out.status = DecodeStatus::kError;
+      out.error = "frame length exceeds limit";
+      return out;
+    }
+    if (buffer.size() < kFrameHeaderBytes + len) return out;  // body pending
+    out.status = DecodeStatus::kBinary;
+    out.payload = buffer.substr(kFrameHeaderBytes, len);
+    out.consumed = kFrameHeaderBytes + len;
+    return out;
+  }
+  const std::size_t nl = buffer.find('\n');
+  if (nl == std::string_view::npos) {
+    if (buffer.size() > kMaxMessageBytes) {
+      out.status = DecodeStatus::kError;
+      out.error = "text line exceeds length limit";
+    }
+    return out;
+  }
+  std::string_view line = buffer.substr(0, nl);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  out.status = DecodeStatus::kText;
+  out.payload = line;
+  out.consumed = nl + 1;
+  return out;
+}
+
+/// Appends one binary frame carrying `payload` to `out`.
+inline void append_frame(std::string_view payload, std::string& out) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<char>(kFrameMagic));
+  out.push_back(static_cast<char>(len & 0xFF));
+  out.push_back(static_cast<char>((len >> 8) & 0xFF));
+  out.push_back(static_cast<char>((len >> 16) & 0xFF));
+  out.push_back(static_cast<char>((len >> 24) & 0xFF));
+  out.append(payload);
+}
+
+/// Appends `payload` in the given encoding: a binary frame, or the payload
+/// plus the terminating newline of the text protocol.
+inline void append_message(std::string_view payload, bool binary,
+                           std::string& out) {
+  if (binary) {
+    append_frame(payload, out);
+  } else {
+    out.append(payload);
+    out.push_back('\n');
+  }
+}
+
+}  // namespace asamap::net

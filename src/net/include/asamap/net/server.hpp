@@ -1,0 +1,200 @@
+#pragma once
+
+/// \file server.hpp
+/// asamap::net — the epoll-multiplexed TCP request plane over ServeSession.
+///
+/// Threading model (DESIGN.md §4g):
+///
+///   socket thread            worker 0..N-1
+///   ─────────────            ─────────────
+///   epoll: listener (ET),    blocks on an eventfd; drains its request
+///   conn fds (ET), one       ring; runs each batch through
+///   response-eventfd per     ServeSession::handle_batch under a
+///   worker, one stop fd      "net.batch" trace root; pushes the encoded
+///                            reply + rings the response eventfd
+///
+/// One socket thread owns every fd and every connection's buffers — no
+/// locks on the connection state, ever.  Socket→worker and worker→socket
+/// handoff are bounded lock-free SPSC rings (spsc_ring.hpp), one pair per
+/// worker; a connection is pinned to worker `conn_id % workers`, which
+/// together with ring FIFO order preserves per-connection response order
+/// without any sequencing protocol.
+///
+/// Backpressure is reject-with-reason, the support::BoundedQueue
+/// discipline: when a worker's request ring is full the socket thread
+/// answers every request of the batch with `ERR rejected ...` immediately
+/// instead of queuing unboundedly (asamap_net_rejected_total counts them).
+///
+/// Batching is the throughput lever: everything readable from one
+/// connection in one epoll wakeup is decoded into one batch (capped at
+/// `max_batch`), handed off as one ring slot + one eventfd ring, and a
+/// contiguous run of read verbs inside it is answered under a single
+/// snapshot acquire (see ServeSession::handle_batch).  Framing is
+/// autodetected per message (frame.hpp): binary requests get binary-framed
+/// responses, text requests newline-terminated ones — `nc` still works.
+///
+/// QUIT closes that connection (never the server); stop() / the driver's
+/// SIGTERM path shuts the listener, drains, and joins.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "asamap/net/spsc_ring.hpp"
+#include "asamap/obs/metrics.hpp"
+#include "asamap/serve/session.hpp"
+#include "asamap/serve/status.hpp"
+
+namespace asamap::net {
+
+struct NetConfig {
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// IPv4 address to bind.  Loopback by default — exposing the endpoint is
+  /// an explicit operator decision (the protocol has no auth).
+  std::string bind_address = "127.0.0.1";
+  /// Protocol worker threads (each owns one request/response ring pair).
+  /// The container benches run everything on one core, so one worker is
+  /// the default; scale with cores.
+  int workers = 1;
+  /// Slots per SPSC ring, in *batches* (rounded up to a power of two).
+  /// Full ring = reject-with-reason, so this bounds queued work per worker
+  /// at ring_capacity * max_batch requests.
+  std::size_t ring_capacity = 1024;
+  /// Max requests decoded into one socket→worker batch (and thus the max
+  /// run length sharing one snapshot acquire).
+  std::size_t max_batch = 64;
+  /// listen(2) backlog.
+  int backlog = 128;
+};
+
+class NetServer {
+ public:
+  /// Registers the asamap_net_* metrics on `session.metrics()`.  The
+  /// session must outlive the server.
+  NetServer(serve::ServeSession& session, const NetConfig& config = {});
+  ~NetServer();  ///< stop()s if still running
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds + listens and spawns the socket thread and workers.  On failure
+  /// (port in use, bad address) returns kUnavailable with the errno text
+  /// and owns no resources.
+  serve::ServeStatus start();
+
+  /// Closes the listener, fails over in-flight work (drains rings), joins
+  /// every thread, closes every connection.  Idempotent.
+  void stop();
+
+  /// The bound port (resolves port 0), valid after a successful start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  [[nodiscard]] bool running() const noexcept {
+    return started_ && !stopped_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// One decoded request inside a batch: a span of the batch's payload
+  /// arena plus the encoding its response must use.
+  struct Item {
+    std::uint32_t offset = 0;  ///< into Batch::arena
+    std::uint32_t length = 0;
+    bool binary = false;  ///< respond in the encoding the request used
+  };
+  /// One ring slot: everything one epoll wakeup decoded from one
+  /// connection (capped at max_batch).  Payload bytes live in one arena
+  /// string — one allocation per batch instead of one per request, and no
+  /// cross-thread frees of per-request strings on the worker.
+  struct Batch {
+    std::uint64_t conn_id = 0;
+    std::string arena;        ///< concatenated payloads, no terminators
+    std::vector<Item> items;
+    [[nodiscard]] std::string_view payload(const Item& it) const {
+      return std::string_view(arena).substr(it.offset, it.length);
+    }
+  };
+  /// The worker's answer: all responses of the batch, already encoded.
+  struct Reply {
+    std::uint64_t conn_id = 0;
+    std::string data;
+    bool close = false;  ///< the batch contained QUIT
+  };
+
+  struct Worker {
+    explicit Worker(std::size_t ring_slots)
+        : requests(ring_slots), replies(ring_slots) {}
+    SpscRing<Batch> requests;  ///< socket thread -> worker
+    SpscRing<Reply> replies;   ///< worker -> socket thread
+    int request_event = -1;    ///< worker blocks here when idle
+    int reply_event = -1;      ///< registered in epoll
+    std::thread thread;
+  };
+
+  /// Per-connection state machine, owned exclusively by the socket thread.
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    int worker = 0;
+    std::string rbuf;        ///< unconsumed inbound bytes
+    std::string wbuf;        ///< pending outbound bytes
+    std::size_t woff = 0;    ///< wbuf bytes already written
+    std::uint32_t inflight = 0;  ///< batches at the worker, not yet replied
+    bool want_write = false;     ///< EPOLLOUT currently armed
+    bool closing = false;  ///< no more reads; close once drained + replied
+  };
+
+  void socket_loop();
+  void worker_loop(int index);
+  void accept_ready();
+  void conn_readable(Conn& conn);
+  void conn_writable(Conn& conn);
+  /// Hands a batch to the connection's worker, or rejects every request in
+  /// it with reason when the ring is full.
+  void dispatch(Conn& conn, Batch&& batch);
+  /// Appends replies sitting in worker `index`'s response ring to their
+  /// connections' write buffers and flushes.
+  void drain_replies(int index);
+  /// Writes as much of conn.wbuf as the socket accepts; manages EPOLLOUT
+  /// interest; destroys the connection when it is closing and done.
+  void flush(Conn& conn);
+  void destroy(Conn& conn);
+  [[nodiscard]] Conn* find_conn(std::uint64_t id);
+
+  serve::ServeSession& session_;
+  NetConfig config_;
+
+  // asamap_net_* handles, pre-registered at construction (stable scrape
+  // schema whether or not a connection ever arrives).
+  obs::Counter* connections_total_ = nullptr;
+  obs::Gauge* connections_active_ = nullptr;
+  obs::Counter* requests_text_ = nullptr;
+  obs::Counter* requests_binary_ = nullptr;
+  obs::Counter* batches_total_ = nullptr;
+  obs::Counter* rejected_total_ = nullptr;
+  obs::Counter* frame_errors_total_ = nullptr;
+  obs::Counter* bytes_read_ = nullptr;
+  obs::Counter* bytes_written_ = nullptr;
+  obs::Histogram* batch_seconds_ = nullptr;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int stop_event_ = -1;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread socket_thread_;
+
+  // Socket-thread-only state.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_ = 0;
+};
+
+}  // namespace asamap::net

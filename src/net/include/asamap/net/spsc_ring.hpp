@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file spsc_ring.hpp
+/// Bounded lock-free single-producer/single-consumer ring, the handoff
+/// primitive between the socket thread and a protocol worker.
+///
+/// Design (the classic cached-index SPSC queue): producer and consumer
+/// each own one monotonically increasing position; an item is visible to
+/// the consumer once the producer's release store of `tail_` happens, and
+/// a slot is reusable once the consumer's release store of `head_` lands.
+/// Each side keeps a *cached* copy of the other side's index so the hot
+/// path usually touches only its own cache line — the cross-core load
+/// happens only when the cached view says "maybe full/empty".
+///
+/// try_push never blocks: a full ring reports false and the caller applies
+/// the same reject-with-reason backpressure discipline as
+/// support::BoundedQueue — bounded memory, explicit rejection, never an
+/// unbounded queue hiding an overload.  (BoundedQueue itself stays the
+/// right tool for the MPMC job lanes; this ring exists for the exactly-two
+/// -thread socket->worker edge where a mutex per message would dominate
+/// the cost of a pipelined read.)
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace asamap::net {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side.  False when the ring is full (item untouched).
+  bool try_push(T& item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+  bool try_push(T&& item) { return try_push(item); }
+
+  /// Consumer side.  False when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Power-of-two slot count.
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Racy size estimate (monitoring only).
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer position
+  alignas(64) std::size_t cached_tail_ = 0;       ///< consumer's view of tail_
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer position
+  alignas(64) std::size_t cached_head_ = 0;       ///< producer's view of head_
+};
+
+}  // namespace asamap::net

@@ -29,10 +29,13 @@
 ///   FAULTS LOAD <path> | CLEAR | STATUS  chaos-test fault plans (see below)
 ///   QUIT                                 acknowledged; driver exits
 ///
-/// METRICS and TRACE DUMP are the two multi-line responses: an
-/// `OK format=...` line followed by the payload (Prometheus text or
-/// bench-envelope JSON for METRICS; one line of Chrome trace-event JSON
-/// for TRACE DUMP) — they are scrape endpoints, not interactive queries.
+/// METRICS and TRACE DUMP are the two multi-line responses.  They are
+/// self-describing: an `OK format=<fmt> bytes=N` header line followed by
+/// exactly N payload bytes (Prometheus text or bench-envelope JSON for
+/// METRICS; one line of Chrome trace-event JSON for TRACE DUMP).  A client
+/// reads the header, then N bytes, then the message terminator of its
+/// transport (the newline of the text protocol; nothing extra inside a
+/// binary frame) — no guessing where an embedded-newline payload ends.
 ///
 /// Tracing: every request runs inside a TraceSpan named after its verb, so
 /// one CLUSTER line yields a connected span tree (verb -> queue.wait ->
@@ -207,8 +210,25 @@ class ServeSession {
   // --- line protocol ------------------------------------------------------
 
   /// Executes one protocol line, returning the response (without trailing
-  /// newline; multi-line only for METRICS).  Never throws.
+  /// newline; multi-line only for METRICS / TRACE DUMP, see the envelope
+  /// note above).  Trailing whitespace — including the '\r' a CRLF client
+  /// sends — is stripped before parsing.  Never throws.
   std::string handle_line(std::string_view line);
+
+  /// Executes a pipelined batch of protocol lines, appending one response
+  /// per line to `responses` (cleared first), in order.
+  ///
+  /// The point of the batch form is the read fast path: a contiguous run of
+  /// read verbs (MEMBER / SAME / TOPK / SUMMARY) against the same graph is
+  /// answered under a SINGLE snapshot acquire — every answer in the run
+  /// reports the same `version=`, and the per-request cost drops to parse +
+  /// lookup + format (no root trace span, no store lock, no per-call
+  /// allocation churn).  Any non-read verb flushes the cached snapshot
+  /// before executing, so a read after a write inside one batch observes
+  /// whatever the write published; non-read verbs go through the exact
+  /// handle_line path (root span, fault sites, metrics) unchanged.
+  void handle_batch(const std::vector<std::string_view>& lines,
+                    std::vector<std::string>& responses);
 
  private:
   /// Per-verb handles, pre-registered at construction so the request path
@@ -239,6 +259,24 @@ class ServeSession {
 
   std::string handle_line_impl(std::string_view verb,
                                const std::vector<std::string_view>& tokens);
+
+  /// One-entry snapshot memo for a batch's contiguous read run: while the
+  /// run keeps naming the same graph, every read reuses this SnapshotPtr
+  /// (version-consistency within the run is the documented guarantee, the
+  /// skipped store lock is the speed).  Reset whenever a non-read verb
+  /// executes.
+  struct SnapshotCache {
+    std::string name;
+    PartitionStore::SnapshotPtr snap;
+  };
+
+  /// The one implementation of the four read verbs, shared by
+  /// handle_line_impl (cache == nullptr: acquire per call) and handle_batch
+  /// (cache != nullptr) so the two paths cannot drift apart.
+  std::string handle_read(std::string_view verb,
+                          const std::vector<std::string_view>& tokens,
+                          SnapshotCache* cache);
+
   [[nodiscard]] std::string render_metrics_prometheus() const;
   [[nodiscard]] std::string render_metrics_json() const;
   /// The degraded CLUSTER answer: the last published snapshot annotated

@@ -33,8 +33,9 @@ std::string verb_label(std::string_view verb) {
   return "verb=\"" + std::string(verb) + "\"";
 }
 
-std::vector<std::string_view> tokenize(std::string_view line) {
-  std::vector<std::string_view> tokens;
+void tokenize_into(std::string_view line,
+                   std::vector<std::string_view>& tokens) {
+  tokens.clear();
   std::size_t i = 0;
   while (i < line.size()) {
     while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
@@ -43,7 +44,31 @@ std::vector<std::string_view> tokenize(std::string_view line) {
     if (j > i) tokens.push_back(line.substr(i, j - i));
     i = j;
   }
+}
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  tokenize_into(line, tokens);
   return tokens;
+}
+
+/// CRLF / sloppy-client tolerance: strip the line terminator residue before
+/// parsing.  tokenize() splits only on space/tab, so without this a telnet
+/// client's `MEMBER g 5\r` reaches the parser with the '\r' welded onto the
+/// last token and the request fails with a bogus parse error.
+std::string_view trim_trailing_ws(std::string_view line) {
+  while (!line.empty()) {
+    const char c = line.back();
+    if (c != '\r' && c != '\n' && c != ' ' && c != '\t') break;
+    line.remove_suffix(1);
+  }
+  return line;
+}
+
+/// The snapshot-lookup verbs eligible for the batched read fast path.
+bool is_read_verb(std::string_view verb) {
+  return verb == "MEMBER" || verb == "SAME" || verb == "TOPK" ||
+         verb == "SUMMARY";
 }
 
 template <typename T>
@@ -69,6 +94,19 @@ std::string err(ServeCode code, std::string_view message) {
 
 std::string err(const ServeStatus& status) {
   return err(status.code, status.text());
+}
+
+/// The multi-line response envelope: `OK format=<fmt> bytes=N` then exactly
+/// N payload bytes.  The transport's message terminator (the text
+/// protocol's newline / the binary frame length) follows the payload and is
+/// NOT part of N — so a client reads the header line, then N bytes, done.
+std::string enveloped(const char* format, std::string payload) {
+  std::string out = "OK format=";
+  out += format;
+  out += " bytes=" + std::to_string(payload.size());
+  out += '\n';
+  out += payload;
+  return out;
 }
 
 /// The session's config copy with every subsystem pointed at the session
@@ -562,7 +600,7 @@ std::string ServeSession::degraded_cluster(const std::string& name,
 
 std::string ServeSession::handle_line(std::string_view line) {
   support::WallTimer wall;
-  const auto tokens = tokenize(line);
+  const auto tokens = tokenize(trim_trailing_ws(line));
   const std::string_view verb = tokens.empty() ? std::string_view{} : tokens[0];
   const auto it = verb_metrics_.find(verb);
   const VerbMetrics& vm =
@@ -580,6 +618,58 @@ std::string ServeSession::handle_line(std::string_view line) {
   return response;
 }
 
+void ServeSession::handle_batch(const std::vector<std::string_view>& lines,
+                                std::vector<std::string>& responses) {
+  responses.clear();
+  responses.reserve(lines.size());
+  SnapshotCache cache;
+  // Reused across calls on the same thread: the read fast path must not pay
+  // a vector allocation per request.
+  thread_local std::vector<std::string_view> tokens;
+  // Pipelined batches repeat the same verb run after run, so the per-verb
+  // metrics hash lookup is memoised on the previous verb.
+  std::string_view last_verb;
+  const VerbMetrics* last_vm = nullptr;
+  for (const std::string_view raw : lines) {
+    const std::string_view line = trim_trailing_ws(raw);
+    tokenize_into(line, tokens);
+    const std::string_view verb =
+        tokens.empty() ? std::string_view{} : tokens[0];
+    if (!is_read_verb(verb)) {
+      // Non-read verbs take the full handle_line path (root span, metrics,
+      // fault sites) and may publish or drop snapshots — reset the memo so
+      // later reads in this batch observe what they changed.
+      cache = SnapshotCache{};
+      responses.push_back(handle_line(line));
+      continue;
+    }
+    // Read fast path: no root trace span (the transport owns the batch
+    // span), snapshot acquire memoised across the run.
+    support::WallTimer wall;
+    if (verb != last_verb) {
+      last_vm = &verb_metrics_.find(verb)->second;
+      last_verb = verb;
+    }
+    const VerbMetrics& vm = *last_vm;
+    std::string response;
+    const fault::FaultDecision io_fault =
+        fault::check(&faults_, fault::Site::kSessionIo);
+    if (io_fault.effect != fault::Effect::kNone &&
+        io_fault.effect != fault::Effect::kLatency) {
+      response = err(ServeCode::kUnavailable, "injected session.io fault");
+    } else {
+      if (io_fault.effect == fault::Effect::kLatency) {
+        std::this_thread::sleep_for(io_fault.latency);
+      }
+      response = handle_read(verb, tokens, &cache);
+    }
+    vm.requests->inc();
+    vm.latency->record_seconds(wall.seconds());
+    if (response.rfind("ERR", 0) == 0) errors_total_->inc();
+    responses.push_back(std::move(response));
+  }
+}
+
 std::string ServeSession::handle_line_impl(
     std::string_view verb, const std::vector<std::string_view>& tokens) {
   if (tokens.empty()) return err(ServeCode::kInvalidArgument, "empty request");
@@ -595,18 +685,6 @@ std::string ServeSession::handle_line_impl(
       return err(ServeCode::kUnavailable, "injected session.io fault");
     }
   }
-
-  const auto need_snapshot =
-      [&](const std::string& name,
-          PartitionStore::SnapshotPtr& snap) -> std::string {
-    snap = store_.snapshot(name);
-    if (snap) return {};
-    if (!registry_.get(name)) {
-      return err(ServeCode::kNotFound, "unknown graph '" + name + "'");
-    }
-    return err(ServeCode::kNoPartition,
-               "graph '" + name + "' has no published partition; CLUSTER it");
-  };
 
   if (verb == "GEN") {
     if (tokens.size() < 4 || tokens.size() > 5) {
@@ -880,92 +958,7 @@ std::string ServeSession::handle_line_impl(
            " state=" + to_string(scheduler_.wait(id));
   }
 
-  if (verb == "MEMBER") {
-    if (tokens.size() != 3) {
-      return err(ServeCode::kInvalidArgument, "usage: MEMBER <name> <vertex>");
-    }
-    graph::VertexId v = 0;
-    if (!parse_num(tokens[2], v)) {
-      return err(ServeCode::kInvalidArgument, "bad vertex id");
-    }
-    PartitionStore::SnapshotPtr snap;
-    if (auto e = need_snapshot(std::string(tokens[1]), snap); !e.empty()) {
-      return e;
-    }
-    if (v >= snap->communities.size()) {
-      return err(ServeCode::kInvalidArgument,
-                 "vertex " + std::to_string(v) + " out of range (graph has " +
-                     std::to_string(snap->communities.size()) + " vertices)");
-    }
-    const auto c = snap->communities[v];
-    return "OK version=" + std::to_string(snap->version) +
-           " vertex=" + std::to_string(v) + " community=" + std::to_string(c) +
-           " flow=" + fmt_double(snap->community_flow[c]);
-  }
-
-  if (verb == "SAME") {
-    if (tokens.size() != 4) {
-      return err(ServeCode::kInvalidArgument, "usage: SAME <name> <u> <v>");
-    }
-    graph::VertexId u = 0, v = 0;
-    if (!parse_num(tokens[2], u) || !parse_num(tokens[3], v)) {
-      return err(ServeCode::kInvalidArgument, "bad vertex id");
-    }
-    PartitionStore::SnapshotPtr snap;
-    if (auto e = need_snapshot(std::string(tokens[1]), snap); !e.empty()) {
-      return e;
-    }
-    if (u >= snap->communities.size() || v >= snap->communities.size()) {
-      return err(ServeCode::kInvalidArgument, "vertex out of range");
-    }
-    const auto cu = snap->communities[u];
-    const auto cv = snap->communities[v];
-    return "OK version=" + std::to_string(snap->version) +
-           " u=" + std::to_string(u) + " v=" + std::to_string(v) +
-           " cu=" + std::to_string(cu) + " cv=" + std::to_string(cv) +
-           " same=" + (cu == cv ? "1" : "0");
-  }
-
-  if (verb == "TOPK") {
-    if (tokens.size() != 3) {
-      return err(ServeCode::kInvalidArgument, "usage: TOPK <name> <k>");
-    }
-    std::size_t k = 0;
-    if (!parse_num(tokens[2], k) || k == 0) {
-      return err(ServeCode::kInvalidArgument, "bad k");
-    }
-    PartitionStore::SnapshotPtr snap;
-    if (auto e = need_snapshot(std::string(tokens[1]), snap); !e.empty()) {
-      return e;
-    }
-    k = std::min(k, snap->by_flow.size());
-    std::string out = "OK version=" + std::to_string(snap->version) +
-                      " k=" + std::to_string(k) + " top=";
-    for (std::size_t i = 0; i < k; ++i) {
-      const auto c = snap->by_flow[i];
-      if (i > 0) out += ',';
-      out += std::to_string(c) + ":" + fmt_double(snap->community_flow[c]);
-    }
-    return out;
-  }
-
-  if (verb == "SUMMARY") {
-    if (tokens.size() != 2) {
-      return err(ServeCode::kInvalidArgument, "usage: SUMMARY <name>");
-    }
-    PartitionStore::SnapshotPtr snap;
-    if (auto e = need_snapshot(std::string(tokens[1]), snap); !e.empty()) {
-      return e;
-    }
-    return "OK version=" + std::to_string(snap->version) +
-           " vertices=" + std::to_string(snap->communities.size()) +
-           " arcs=" + std::to_string(snap->graph->num_arcs()) +
-           " communities=" + std::to_string(snap->num_communities) +
-           " codelength=" + fmt_double(snap->codelength) +
-           " modularity=" + fmt_double(snap->modularity) +
-           " interrupted=" + (snap->interrupted ? "1" : "0") +
-           " job=" + std::to_string(snap->build_job);
-  }
+  if (is_read_verb(verb)) return handle_read(verb, tokens, nullptr);
 
   if (verb == "STATS") {
     const RegistryStats reg = registry_.stats();
@@ -1055,9 +1048,8 @@ std::string ServeSession::handle_line_impl(
         return err(ServeCode::kInvalidArgument, "usage: TRACE DUMP");
       }
       std::ostringstream out;
-      out << "OK format=chrome-trace\n";
       rec.write_chrome_json(out);  // one line, so transcripts stay parseable
-      return out.str();
+      return enveloped("chrome-trace", out.str());
     }
     if (sub == "STATUS") {
       if (tokens.size() != 2) {
@@ -1114,25 +1106,136 @@ std::string ServeSession::handle_line_impl(
              "unknown command '" + std::string(verb) + "'");
 }
 
+std::string ServeSession::handle_read(
+    std::string_view verb, const std::vector<std::string_view>& tokens,
+    SnapshotCache* cache) {
+  const auto need_snapshot =
+      [&](std::string_view name,
+          PartitionStore::SnapshotPtr& snap) -> std::string {
+    if (cache && cache->snap && std::string_view(cache->name) == name) {
+      snap = cache->snap;  // the batch's memoised acquire
+      return {};
+    }
+    std::string key(name);
+    snap = store_.snapshot(key);
+    if (snap) {
+      if (cache) {
+        cache->name = std::move(key);
+        cache->snap = snap;
+      }
+      return {};
+    }
+    if (!registry_.get(key)) {
+      return err(ServeCode::kNotFound, "unknown graph '" + key + "'");
+    }
+    return err(ServeCode::kNoPartition,
+               "graph '" + key + "' has no published partition; CLUSTER it");
+  };
+
+  if (verb == "MEMBER") {
+    if (tokens.size() != 3) {
+      return err(ServeCode::kInvalidArgument, "usage: MEMBER <name> <vertex>");
+    }
+    graph::VertexId v = 0;
+    if (!parse_num(tokens[2], v)) {
+      return err(ServeCode::kInvalidArgument, "bad vertex id");
+    }
+    PartitionStore::SnapshotPtr snap;
+    if (auto e = need_snapshot(tokens[1], snap); !e.empty()) {
+      return e;
+    }
+    if (v >= snap->communities.size()) {
+      return err(ServeCode::kInvalidArgument,
+                 "vertex " + std::to_string(v) + " out of range (graph has " +
+                     std::to_string(snap->communities.size()) + " vertices)");
+    }
+    const auto c = snap->communities[v];
+    return "OK version=" + std::to_string(snap->version) +
+           " vertex=" + std::to_string(v) + " community=" + std::to_string(c) +
+           " flow=" + fmt_double(snap->community_flow[c]);
+  }
+
+  if (verb == "SAME") {
+    if (tokens.size() != 4) {
+      return err(ServeCode::kInvalidArgument, "usage: SAME <name> <u> <v>");
+    }
+    graph::VertexId u = 0, v = 0;
+    if (!parse_num(tokens[2], u) || !parse_num(tokens[3], v)) {
+      return err(ServeCode::kInvalidArgument, "bad vertex id");
+    }
+    PartitionStore::SnapshotPtr snap;
+    if (auto e = need_snapshot(tokens[1], snap); !e.empty()) {
+      return e;
+    }
+    if (u >= snap->communities.size() || v >= snap->communities.size()) {
+      return err(ServeCode::kInvalidArgument, "vertex out of range");
+    }
+    const auto cu = snap->communities[u];
+    const auto cv = snap->communities[v];
+    return "OK version=" + std::to_string(snap->version) +
+           " u=" + std::to_string(u) + " v=" + std::to_string(v) +
+           " cu=" + std::to_string(cu) + " cv=" + std::to_string(cv) +
+           " same=" + (cu == cv ? "1" : "0");
+  }
+
+  if (verb == "TOPK") {
+    if (tokens.size() != 3) {
+      return err(ServeCode::kInvalidArgument, "usage: TOPK <name> <k>");
+    }
+    std::size_t k = 0;
+    if (!parse_num(tokens[2], k) || k == 0) {
+      return err(ServeCode::kInvalidArgument, "bad k");
+    }
+    PartitionStore::SnapshotPtr snap;
+    if (auto e = need_snapshot(tokens[1], snap); !e.empty()) {
+      return e;
+    }
+    k = std::min(k, snap->by_flow.size());
+    std::string out = "OK version=" + std::to_string(snap->version) +
+                      " k=" + std::to_string(k) + " top=";
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto c = snap->by_flow[i];
+      if (i > 0) out += ',';
+      out += std::to_string(c) + ":" + fmt_double(snap->community_flow[c]);
+    }
+    return out;
+  }
+
+  // SUMMARY (is_read_verb admits nothing else).
+  if (tokens.size() != 2) {
+    return err(ServeCode::kInvalidArgument, "usage: SUMMARY <name>");
+  }
+  PartitionStore::SnapshotPtr snap;
+  if (auto e = need_snapshot(tokens[1], snap); !e.empty()) {
+    return e;
+  }
+  return "OK version=" + std::to_string(snap->version) +
+         " vertices=" + std::to_string(snap->communities.size()) +
+         " arcs=" + std::to_string(snap->graph->num_arcs()) +
+         " communities=" + std::to_string(snap->num_communities) +
+         " codelength=" + fmt_double(snap->codelength) +
+         " modularity=" + fmt_double(snap->modularity) +
+         " interrupted=" + (snap->interrupted ? "1" : "0") +
+         " job=" + std::to_string(snap->build_job);
+}
+
 std::string ServeSession::render_metrics_prometheus() const {
   std::ostringstream out;
-  out << "OK format=prometheus\n";
   metrics_.write_prometheus(out);
   std::string s = out.str();
   if (!s.empty() && s.back() == '\n') s.pop_back();  // driver adds the newline
-  return s;
+  return enveloped("prometheus", std::move(s));
 }
 
 std::string ServeSession::render_metrics_json() const {
   std::ostringstream out;
-  out << "OK format=json\n";
   out << "{\n";
   benchutil::write_envelope_fields(
       out, benchutil::make_envelope("serve_metrics"), "  ");
   out << "  \"metrics\": ";
   metrics_.write_json(out, "  ");
   out << "\n}";
-  return out.str();
+  return enveloped("json", out.str());
 }
 
 }  // namespace asamap::serve

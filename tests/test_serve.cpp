@@ -446,7 +446,16 @@ TEST(ServeSession, MetricsVerbRendersBothFormatsFromOneRegistry) {
   ASSERT_EQ(session.handle_line("CLUSTER g sync").substr(0, 2), "OK");
 
   const std::string prom = session.handle_line("METRICS");
-  ASSERT_EQ(prom.substr(0, 21), "OK format=prometheus\n");
+  ASSERT_EQ(prom.rfind("OK format=prometheus bytes=", 0), 0u);
+  // The envelope is self-describing: bytes=N counts exactly the payload
+  // after the header line.
+  {
+    const std::size_t nl = prom.find('\n');
+    ASSERT_NE(nl, std::string::npos);
+    const std::size_t declared =
+        std::stoull(prom.substr(27, nl - 27));
+    EXPECT_EQ(declared, prom.size() - nl - 1);
+  }
   EXPECT_NE(prom.find("# TYPE asamap_serve_requests_total counter"),
             std::string::npos);
   EXPECT_NE(prom.find("asamap_serve_requests_total{verb=\"GEN\"} 1"),
@@ -457,8 +466,9 @@ TEST(ServeSession, MetricsVerbRendersBothFormatsFromOneRegistry) {
   EXPECT_NE(prom.find("asamap_registry_graphs 1"), std::string::npos);
 
   const std::string json = session.handle_line("METRICS json");
-  ASSERT_EQ(json.substr(0, 15), "OK format=json\n");
-  EXPECT_EQ(json[15], '{');
+  ASSERT_EQ(json.rfind("OK format=json bytes=", 0), 0u);
+  const std::size_t json_payload = json.find('\n') + 1;
+  EXPECT_EQ(json[json_payload], '{');
   EXPECT_EQ(json.back(), '}');
   EXPECT_NE(json.find("\"metrics\": {"), std::string::npos);
   EXPECT_NE(json.find("\"asamap_runs_total\": 1"), std::string::npos);
@@ -714,6 +724,123 @@ TEST(ServeRobustness, MetricSchemaIsPreRegistered) {
   const std::string status = session.handle_line("FAULTS STATUS");
   EXPECT_EQ(status.rfind("OK enabled=", 0), 0u) << status;
   EXPECT_NE(status.find("armed=0"), std::string::npos);
+}
+
+// --- CRLF tolerance / batched reads --------------------------------------
+
+// A CRLF client (telnet, netcat, any TCP peer) terminates lines with \r\n;
+// the \r must not reach the parser welded onto the last token.
+TEST(ServeSession, HandleLineStripsCarriageReturnAndTrailingWhitespace) {
+  ServeSession session(test_config());
+  ASSERT_EQ(session.handle_line("GEN g 300 1200 7\r").substr(0, 2), "OK");
+  ASSERT_EQ(session.handle_line("CLUSTER g sync\r").substr(0, 2), "OK");
+  EXPECT_EQ(session.handle_line("MEMBER g 5\r").substr(0, 2), "OK");
+  EXPECT_EQ(session.handle_line("MEMBER g 5 \t\r").substr(0, 2), "OK");
+  EXPECT_EQ(session.handle_line("SUMMARY g\r\n").substr(0, 2), "OK");
+  // The CRLF request must parse identically to its clean twin.
+  EXPECT_EQ(session.handle_line("SAME g 1 2\r"),
+            session.handle_line("SAME g 1 2"));
+}
+
+TEST(ServeSession, HandleBatchMatchesHandleLineAnswers) {
+  ServeSession session(test_config());
+  ASSERT_EQ(session.handle_line("GEN g 500 2000 7").substr(0, 2), "OK");
+  ASSERT_EQ(session.handle_line("CLUSTER g sync").substr(0, 2), "OK");
+
+  const std::vector<std::string_view> lines = {
+      "MEMBER g 5", "SAME g 1 2", "TOPK g 3", "SUMMARY g",
+      "MEMBER g 999999",  // error answers must match too
+      "STATS",            // non-read verb inside a batch
+      "MEMBER g 7\r",     // CRLF twin
+  };
+  std::vector<std::string> batched;
+  session.handle_batch(lines, batched);
+  ASSERT_EQ(batched.size(), lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i] == "STATS") continue;  // counters move between calls
+    EXPECT_EQ(batched[i], session.handle_line(lines[i])) << lines[i];
+  }
+}
+
+// The batch read fast path's documented guarantee: one snapshot acquire per
+// contiguous read run, so every answer in the run reports the same version
+// even when a writer publishes concurrently.
+TEST(ServeSession, HandleBatchReadsAreVersionConsistent) {
+  ServeSession session(test_config());
+  ASSERT_EQ(session.handle_line("GEN g 400 1600 9").substr(0, 2), "OK");
+  ASSERT_EQ(session.handle_line("CLUSTER g sync").substr(0, 2), "OK");
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      session.handle_line("CLUSTER g sync");
+    }
+  });
+
+  const auto version_of = [](const std::string& resp) {
+    const auto at = resp.find("version=");
+    return resp.substr(at, resp.find(' ', at) - at);
+  };
+  std::vector<std::string_view> lines;
+  for (int i = 0; i < 32; ++i) {
+    lines.push_back(i % 2 == 0 ? "MEMBER g 3" : "SUMMARY g");
+  }
+  std::vector<std::string> responses;
+  for (int round = 0; round < 50; ++round) {
+    session.handle_batch(lines, responses);
+    ASSERT_EQ(responses.size(), lines.size());
+    const std::string v0 = version_of(responses[0]);
+    for (const std::string& r : responses) {
+      ASSERT_EQ(r.substr(0, 2), "OK") << r;
+      EXPECT_EQ(version_of(r), v0) << r;
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+// A write inside the batch invalidates the memoised snapshot: reads after
+// it must observe the version it published, not the pre-write one.
+TEST(ServeSession, HandleBatchReadAfterWriteSeesNewVersion) {
+  ServeSession session(test_config());
+  ASSERT_EQ(session.handle_line("GEN g 300 1200 11").substr(0, 2), "OK");
+  ASSERT_EQ(session.handle_line("CLUSTER g sync").substr(0, 2), "OK");
+
+  const std::vector<std::string_view> lines = {
+      "SUMMARY g",       // version=1
+      "CLUSTER g sync",  // publishes version=2
+      "SUMMARY g",       // must answer version=2
+  };
+  std::vector<std::string> responses;
+  session.handle_batch(lines, responses);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_NE(responses[0].find("version=1"), std::string::npos)
+      << responses[0];
+  EXPECT_NE(responses[2].find("version=2"), std::string::npos)
+      << responses[2];
+}
+
+// Batched reads still feed the per-verb request counters and latency
+// histograms — the fast path is invisible to dashboards.
+TEST(ServeSession, HandleBatchRecordsPerVerbMetrics) {
+  ServeSession session(test_config());
+  ASSERT_EQ(session.handle_line("GEN g 300 1200 13").substr(0, 2), "OK");
+  ASSERT_EQ(session.handle_line("CLUSTER g sync").substr(0, 2), "OK");
+
+  const std::vector<std::string_view> lines = {
+      "MEMBER g 1", "MEMBER g 2", "TOPK g 2", "MEMBER g 99999999"};
+  std::vector<std::string> responses;
+  session.handle_batch(lines, responses);
+
+  const obs::MetricRegistry& reg = session.metrics();
+  EXPECT_EQ(
+      reg.counter_total("asamap_serve_requests_total", "verb=\"MEMBER\""),
+      3u);
+  EXPECT_EQ(reg.counter_total("asamap_serve_requests_total", "verb=\"TOPK\""),
+            1u);
+  EXPECT_EQ(reg.counter_total("asamap_serve_errors_total"), 1u);
+  EXPECT_EQ(reg.histogram_merged_all("asamap_serve_request_seconds").count(),
+            reg.counter_sum("asamap_serve_requests_total"));
 }
 
 }  // namespace

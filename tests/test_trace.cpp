@@ -319,9 +319,12 @@ TEST(TraceGolden, ClusterProducesOneConnectedSpanTree) {
 
   // TRACE DUMP exports the same events as single-line Chrome JSON.
   const std::string dump = session.handle_line("TRACE DUMP");
-  ASSERT_EQ(dump.rfind("OK format=chrome-trace\n", 0), 0u);
+  ASSERT_EQ(dump.rfind("OK format=chrome-trace bytes=", 0), 0u);
   const std::size_t json_at = dump.find('\n') + 1;
   EXPECT_EQ(dump.compare(json_at, 15, "{\"traceEvents\":"), 0);
+  // bytes=N in the header counts exactly the payload after the newline.
+  const std::size_t declared = std::stoull(dump.substr(29, json_at - 30));
+  EXPECT_EQ(declared, dump.size() - json_at);
   const std::string status = session.handle_line("TRACE STATUS");
   EXPECT_EQ(status.rfind("OK enabled=1", 0), 0u);
 }

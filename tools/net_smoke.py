@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Scripted mixed text/binary client for the asamap_serve --listen endpoint.
+
+Usage: net_smoke.py <port> [trace-out.json]
+
+Drives one TCP connection through the full protocol surface the network
+plane promises (see docs/OPERATIONS.md "Serving over TCP"):
+
+  - text framing (newline-terminated, CRLF tolerated) and binary framing
+    (0xA5 | u32 LE length | payload), autodetected per message, with the
+    response echoed in the request's encoding;
+  - a pipelined burst answered in order with one consistent snapshot
+    version;
+  - the multi-line envelope (`OK format=... bytes=N`) surviving both
+    framings, with the declared byte count exact;
+  - QUITX answered with ERR (and the connection surviving), QUIT closing
+    the connection after `OK bye`.
+
+With a second argument, the TRACE DUMP payload is written there so the
+caller can validate the span tree with tools/trace_report.py.
+
+Exits 0 on success, 1 with a message on the first failed expectation.
+"""
+
+import socket
+import struct
+import sys
+
+MAGIC = 0xA5
+
+
+class Client:
+    def __init__(self, port: int):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        self.sock.settimeout(30)
+        self.buf = b""
+
+    def send_text(self, line: str, crlf: bool = False) -> None:
+        self.sock.sendall(line.encode() + (b"\r\n" if crlf else b"\n"))
+
+    def send_binary(self, payload: str) -> None:
+        p = payload.encode()
+        self.sock.sendall(bytes([MAGIC]) + struct.pack("<I", len(p)) + p)
+
+    def send_raw(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def read_message(self):
+        """Returns (payload_bytes, is_binary) for the next framed message."""
+        while True:
+            if self.buf:
+                if self.buf[0] == MAGIC:
+                    if len(self.buf) >= 5:
+                        (n,) = struct.unpack("<I", self.buf[1:5])
+                        if len(self.buf) >= 5 + n:
+                            payload = self.buf[5:5 + n]
+                            self.buf = self.buf[5 + n:]
+                            return payload, True
+                else:
+                    nl = self.buf.find(b"\n")
+                    if nl >= 0:
+                        payload = self.buf[:nl]
+                        self.buf = self.buf[nl + 1:]
+                        return payload, False
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise EOFError("connection closed mid-message")
+            self.buf += chunk
+
+    def at_eof(self) -> bool:
+        try:
+            chunk = self.sock.recv(65536)
+        except socket.timeout:
+            return False
+        if chunk:
+            self.buf += chunk
+            return False
+        return True
+
+
+def expect(cond: bool, what: str) -> None:
+    if not cond:
+        sys.exit(f"net_smoke: FAIL: {what}")
+
+
+def frame(payload: str) -> bytes:
+    p = payload.encode()
+    return bytes([MAGIC]) + struct.pack("<I", len(p)) + p
+
+
+def main() -> None:
+    port = int(sys.argv[1])
+    trace_out = sys.argv[2] if len(sys.argv) > 2 else None
+    c = Client(port)
+
+    # Text request -> text response.
+    c.send_text("GEN smoke 3000 18000 7")
+    resp, binary = c.read_message()
+    expect(resp.startswith(b"OK graph=smoke"), f"GEN answered {resp!r}")
+    expect(not binary, "text GEN got a binary response")
+
+    # Binary request -> binary response, non-read verb over the network.
+    c.send_binary("CLUSTER smoke sync")
+    resp, binary = c.read_message()
+    expect(resp.startswith(b"OK job=") and b"state=done" in resp,
+           f"CLUSTER answered {resp!r}")
+    expect(binary, "binary CLUSTER got a text response")
+
+    # Pipelined mixed burst in ONE write: answers must come back in order,
+    # in each request's encoding, all against one snapshot version.
+    burst = b""
+    for i in range(50):
+        if i % 2 == 0:
+            burst += frame(f"MEMBER smoke {i}")
+        else:
+            burst += f"SAME smoke {i} 0\r\n".encode()  # CRLF text client
+    c.send_raw(burst)
+    versions = set()
+    for i in range(50):
+        resp, binary = c.read_message()
+        expect(resp.startswith(b"OK version="),
+               f"burst reply {i} was {resp!r}")
+        expect(binary == (i % 2 == 0), f"burst reply {i} wrong encoding")
+        versions.add(resp.split()[1])
+        if i % 2 == 0:
+            expect(f"vertex={i}".encode() in resp,
+                   f"burst reply {i} out of order: {resp!r}")
+    expect(len(versions) == 1, f"burst saw versions {versions}")
+
+    # QUITX is an unknown command, not a quit.
+    c.send_text("QUITX")
+    resp, _ = c.read_message()
+    expect(resp.startswith(b"ERR") and b"QUITX" in resp,
+           f"QUITX answered {resp!r}")
+
+    # Multi-line envelope over the binary framing: the whole response is
+    # one frame, and the declared byte count is exact.
+    c.send_binary("METRICS")
+    resp, binary = c.read_message()
+    expect(binary, "binary METRICS got a text response")
+    header, _, payload = resp.partition(b"\n")
+    expect(header.startswith(b"OK format=prometheus bytes="),
+           f"METRICS header was {header!r}")
+    declared = int(header.rsplit(b"=", 1)[1])
+    expect(len(payload) == declared,
+           f"METRICS declared {declared} bytes, got {len(payload)}")
+    expect(b"asamap_net_connections_total" in payload,
+           "net metrics missing from scrape")
+
+    # TRACE DUMP the same way; hand the payload to trace_report.py.
+    c.send_binary("TRACE DUMP")
+    resp, _ = c.read_message()
+    header, _, payload = resp.partition(b"\n")
+    expect(header.startswith(b"OK format=chrome-trace bytes="),
+           f"TRACE DUMP header was {header!r}")
+    declared = int(header.rsplit(b"=", 1)[1])
+    expect(len(payload) == declared,
+           f"TRACE DUMP declared {declared} bytes, got {len(payload)}")
+    if trace_out:
+        with open(trace_out, "wb") as f:
+            f.write(payload + b"\n")
+
+    # QUIT: answered, then the server closes this connection.
+    c.send_text("QUIT", crlf=True)
+    resp, _ = c.read_message()
+    expect(resp == b"OK bye", f"QUIT answered {resp!r}")
+    expect(c.at_eof(), "connection still open after QUIT")
+
+    print("net_smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

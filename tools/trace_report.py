@@ -48,6 +48,18 @@ def extract_json(path: str) -> str:
     stripped = text.lstrip()
     if stripped.startswith('{"traceEvents"'):
         return stripped
+    # Self-describing envelope (TRACE DUMP): `OK format=chrome-trace
+    # bytes=N` followed by exactly N payload bytes; the transport's
+    # terminator after the payload is not counted.
+    m = re.search(r"^OK format=chrome-trace bytes=(\d+)\n", text, re.M)
+    if m is not None:
+        declared = int(m.group(1))
+        payload = text[m.end():m.end() + declared]
+        if len(payload.encode("utf-8")) != declared:
+            raise ValueError(
+                f"{path}: envelope declares {declared} payload bytes but "
+                f"only {len(payload.encode('utf-8'))} are present")
+        return payload
     for line in text.splitlines():
         if line.startswith('{"traceEvents"'):
             return line
