@@ -84,6 +84,8 @@
 
 #include "asamap/benchutil/json_env.hpp"
 #include "asamap/benchutil/table.hpp"
+#include "asamap/dist/router.hpp"
+#include "asamap/dist/shard.hpp"
 #include "asamap/dyn/incremental.hpp"
 #include "asamap/fault/fault.hpp"
 #include "asamap/net/frame.hpp"
@@ -298,7 +300,7 @@ double run_window(serve::ServeSession& session, int clients,
 
 int main(int argc, char** argv) try {
   const support::ArgParser args(argc, argv, 1, {"help", "trace", "delta",
-                                                "net"});
+                                                "net", "dist"});
   if (args.flag("help")) {
     std::cout << "usage: bench_serve_throughput [--seconds S] [--clients N] "
                  "[--workers N] [--n N]\n"
@@ -307,14 +309,15 @@ int main(int argc, char** argv) try {
                  "        [--faults plan.txt] [--trace] [--delta] "
                  "[--delta-n N] [--delta-edges M]\n"
                  "        [--delta-churn F] [--net] [--net-ring N] "
-                 "[--net-batch N] [--out f.json]\n";
+                 "[--net-batch N] [--dist]\n"
+                 "        [--dist-shards N] [--out f.json]\n";
     return 0;
   }
   if (const auto unknown = args.unknown_keys(
           {"seconds", "clients", "workers", "n", "edges", "seed", "batch-cap",
            "cluster-threads", "faults", "trace", "delta", "delta-n",
            "delta-edges", "delta-churn", "net", "net-ring", "net-batch",
-           "out"});
+           "dist", "dist-shards", "out"});
       !unknown.empty()) {
     std::cerr << "unknown argument: --" << unknown.front() << '\n';
     return 2;
@@ -1012,6 +1015,183 @@ int main(int argc, char** argv) try {
     }
   }
 
+  // ---- optional phase: the sharded tier (--dist) -------------------------
+  struct DistReport {
+    bool ran = false;
+    std::uint32_t shards = 0;
+    std::uint64_t router_requests = 0;
+    double router_rps = 0;       ///< via router + real TCP to every shard
+    double single_rps = 0;       ///< same mix, direct single-session calls
+    double fanout_cost = 0;      ///< single_rps / router_rps
+    double p50 = 0, p99 = 0;     ///< router-side request latency
+    double scatter_p50 = 0, scatter_p99 = 0;
+    double cluster_seconds = 0;  ///< CLUSTER mode=dist wall time
+    double cluster_codelength = 0;
+    double sync_codelength = 0;  ///< single-process CLUSTER sync reference
+    double codelength_gap = 0;
+    std::uint64_t supersteps = 0;
+    std::uint64_t levels = 0;
+  } distrep;
+
+  if (args.flag("dist")) {
+    distrep.ran = true;
+    distrep.shards =
+        static_cast<std::uint32_t>(args.int_or("dist-shards", 2));
+    benchutil::banner(std::cout, "Sharded tier: router + " +
+                                     std::to_string(distrep.shards) +
+                                     " TCP shards vs single process");
+    // The same read mix as the --net phase: 80/15/5 MEMBER/SAME/SUMMARY.
+    constexpr std::size_t kMixSize = 4096;
+    std::vector<std::string> mix;
+    mix.reserve(kMixSize);
+    {
+      support::Xoshiro256 rng(seed ^ 0xD157ULL);
+      for (std::size_t i = 0; i < kMixSize; ++i) {
+        const std::uint64_t roll = rng.next_below(100);
+        if (roll < 80) {
+          mix.push_back(std::string("MEMBER ") + kGraph + " " +
+                        std::to_string(rng.next_below(n)));
+        } else if (roll < 95) {
+          mix.push_back(std::string("SAME ") + kGraph + " " +
+                        std::to_string(rng.next_below(n)) + " " +
+                        std::to_string(rng.next_below(n)));
+        } else {
+          mix.push_back(std::string("SUMMARY ") + kGraph);
+        }
+      }
+    }
+
+    std::vector<std::unique_ptr<serve::ServeSession>> shard_sessions;
+    std::vector<std::unique_ptr<dist::ShardSession>> shard_wrappers;
+    std::vector<std::unique_ptr<net::NetServer>> shard_servers;
+    dist::RouterConfig rc;
+    bool shards_ok = true;
+    for (std::uint32_t i = 0; i < distrep.shards; ++i) {
+      shard_sessions.push_back(
+          std::make_unique<serve::ServeSession>(config));
+      shard_wrappers.push_back(std::make_unique<dist::ShardSession>(
+          *shard_sessions.back(), dist::ShardConfig{i, distrep.shards}));
+      net::NetConfig nc;
+      nc.workers = 1;
+      shard_servers.push_back(
+          std::make_unique<net::NetServer>(*shard_wrappers.back(), nc));
+      if (const auto st = shard_servers.back()->start(); !st.ok()) {
+        std::cerr << "--dist: shard " << i << ": " << st.text() << '\n';
+        shards_ok = false;
+        break;
+      }
+      net::ClientConfig ep;
+      ep.port = shard_servers.back()->port();
+      rc.shards.push_back(ep);
+    }
+    if (!shards_ok) return 1;
+    dist::Router router(rc);
+    if (router.connect() != distrep.shards) {
+      std::cerr << "--dist: not every shard connected\n";
+      return 1;
+    }
+    // Replicated warm-up through the router, then the distributed
+    // clustering protocol, timed against the single-process reference.
+    const std::string gen_line = std::string("GEN ") + kGraph + " " +
+                                 std::to_string(n) + " " +
+                                 std::to_string(edges) + " " +
+                                 std::to_string(seed);
+    if (router.handle_line(gen_line).rfind("OK", 0) != 0) {
+      std::cerr << "--dist: replicated GEN failed\n";
+      return 1;
+    }
+    {
+      support::WallTimer w;
+      const std::string resp =
+          router.handle_line(std::string("CLUSTER ") + kGraph +
+                             " mode=dist");
+      distrep.cluster_seconds = w.seconds();
+      const auto field = [&resp](const char* key) -> double {
+        const std::string pat = std::string(" ") + key + "=";
+        const auto at = resp.find(pat);
+        return at == std::string::npos
+                   ? 0.0
+                   : std::strtod(resp.c_str() + at + pat.size(), nullptr);
+      };
+      if (resp.rfind("OK mode=dist state=done", 0) != 0) {
+        std::cerr << "--dist: CLUSTER mode=dist failed: " << resp << '\n';
+        return 1;
+      }
+      distrep.cluster_codelength = field("codelength");
+      distrep.supersteps = static_cast<std::uint64_t>(field("supersteps"));
+      distrep.levels = static_cast<std::uint64_t>(field("levels"));
+    }
+    {
+      serve::ServeSession single(config);
+      if (!warm_up(single, n, edges, seed)) return 1;
+      // handle_line SUMMARY reports at %.6g; read the snapshot directly
+      // for a full-precision reference.
+      const auto snap_ref = single.store().snapshot(kGraph);
+      distrep.sync_codelength = snap_ref ? snap_ref->codelength : 0.0;
+      distrep.codelength_gap =
+          distrep.sync_codelength == 0.0
+              ? 0.0
+              : (distrep.cluster_codelength - distrep.sync_codelength) /
+                    distrep.sync_codelength;
+      // Single-process ceiling on the same mix.
+      support::WallTimer w;
+      std::uint64_t done = 0;
+      std::size_t i = 0;
+      while (w.seconds() < seconds) {
+        for (int k = 0; k < 256; ++k) {
+          (void)single.handle_line(mix[i++ % kMixSize]);
+        }
+        done += 256;
+      }
+      distrep.single_rps = static_cast<double>(done) / w.seconds();
+    }
+    {
+      // Closed loop through the router: every read crosses real TCP to at
+      // least one shard (scatters cross all of them).
+      support::WallTimer w;
+      std::uint64_t done = 0;
+      std::size_t i = 0;
+      double elapsed = 0;
+      while ((elapsed = w.seconds()) < seconds) {
+        for (int k = 0; k < 64; ++k) {
+          (void)router.handle_line(mix[i++ % kMixSize]);
+        }
+        done += 64;
+      }
+      distrep.router_requests = done;
+      distrep.router_rps = static_cast<double>(done) / elapsed;
+    }
+    distrep.fanout_cost = distrep.router_rps > 0.0
+                              ? distrep.single_rps / distrep.router_rps
+                              : 0.0;
+    const obs::MetricRegistry& rreg = router.metrics();
+    const auto rlat =
+        rreg.histogram_merged_all("asamap_router_request_seconds");
+    distrep.p50 = rlat.quantile_seconds(0.50);
+    distrep.p99 = rlat.quantile_seconds(0.99);
+    const auto slat =
+        rreg.histogram_merged_all("asamap_router_scatter_seconds");
+    distrep.scatter_p50 = slat.quantile_seconds(0.50);
+    distrep.scatter_p99 = slat.quantile_seconds(0.99);
+
+    benchutil::Table dt({"Metric", "Value"});
+    dt.add_row({"shards", std::to_string(distrep.shards)});
+    dt.add_row({"router read req/s", fmt(distrep.router_rps, 0)});
+    dt.add_row({"single-process req/s", fmt(distrep.single_rps, 0)});
+    dt.add_row({"fan-out cost (single/router)",
+                fmt(distrep.fanout_cost, 2)});
+    dt.add_row({"router p50 (us)", fmt(distrep.p50 * 1e6, 2)});
+    dt.add_row({"router p99 (us)", fmt(distrep.p99 * 1e6, 2)});
+    dt.add_row({"scatter p99 (us)", fmt(distrep.scatter_p99 * 1e6, 2)});
+    dt.add_row({"dist cluster seconds", fmt(distrep.cluster_seconds, 3)});
+    dt.add_row({"dist codelength", fmt(distrep.cluster_codelength, 6)});
+    dt.add_row({"sync codelength", fmt(distrep.sync_codelength, 6)});
+    dt.add_row({"codelength gap", fmt(distrep.codelength_gap, 6)});
+    dt.add_row({"supersteps", std::to_string(distrep.supersteps)});
+    dt.print(std::cout);
+    for (auto& s : shard_servers) s->stop();
+  }
+
   std::ofstream js(out_path);
   js.precision(9);
   js << "{\n";
@@ -1133,6 +1313,28 @@ int main(int argc, char** argv) try {
        << "    \"ring_rejections\": " << netrep.rejected << ",\n"
        << "    \"latency_seconds\": {\"p50\": " << netrep.p50
        << ", \"p95\": " << netrep.p95 << ", \"p99\": " << netrep.p99
+       << "}\n  },\n";
+  }
+  if (distrep.ran) {
+    js << "  \"dist\": {\n"
+       << "    \"config\": {\"shards\": " << distrep.shards
+       << ", \"net_workers\": 1,\n"
+       << "               \"mix\": {\"member\": 0.80, \"same\": 0.15, "
+          "\"summary\": 0.05}},\n"
+       << "    \"router_read_rps\": " << distrep.router_rps << ",\n"
+       << "    \"router_requests\": " << distrep.router_requests << ",\n"
+       << "    \"single_process_rps\": " << distrep.single_rps << ",\n"
+       << "    \"fanout_cost\": " << distrep.fanout_cost << ",\n"
+       << "    \"latency_seconds\": {\"p50\": " << distrep.p50
+       << ", \"p99\": " << distrep.p99 << "},\n"
+       << "    \"scatter_seconds\": {\"p50\": " << distrep.scatter_p50
+       << ", \"p99\": " << distrep.scatter_p99 << "},\n"
+       << "    \"dist_cluster\": {\"seconds\": " << distrep.cluster_seconds
+       << ", \"codelength\": " << distrep.cluster_codelength
+       << ", \"sync_codelength\": " << distrep.sync_codelength
+       << ",\n                     \"codelength_gap_fraction\": "
+       << distrep.codelength_gap << ", \"supersteps\": "
+       << distrep.supersteps << ", \"levels\": " << distrep.levels
        << "}\n  },\n";
   }
   js << "  \"metrics\": ";

@@ -1,0 +1,171 @@
+// asamap_router: the client-facing front of the sharded serving tier
+// (dist::Router over the asamap::net plane).
+//
+//   asamap_router --shards host:port,host:port[,...]
+//                 [--listen PORT] [--net-workers N] [--net-ring N]
+//                 [--net-batch N] [--timeout-ms N] [--retries N]
+//                 [--print-metrics]
+//
+// --shards lists the shard endpoints in shard-id order — endpoint i must
+// be an `asamap_serve --shard-id i --shards N` process.  The router speaks
+// the same line protocol as a single asamap_serve: clients point at it and
+// get placement, scatter/gather, vector-clocked staleness labels, and
+// degraded failover for free (docs/OPERATIONS.md "Sharded serving").
+//
+// --listen PORT serves TCP like asamap_serve (`LISTEN port=N` announced,
+// SIGTERM/SIGINT drain, `SHUTDOWN clean=1`); without it, one request per
+// stdin line.  --print-metrics dumps the freshly-registered router metric
+// schema to stdout and exits — CI feeds this to tools/check_ops_doc.py so
+// every asamap_router_* metric must be documented.
+
+#include <csignal>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "asamap/dist/router.hpp"
+#include "asamap/net/server.hpp"
+#include "asamap/support/argparse.hpp"
+
+namespace {
+
+int run_listen(asamap::dist::Router& router,
+               asamap::net::NetConfig net_config) {
+  using namespace asamap;
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGTERM);
+  sigaddset(&set, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+  net::NetServer server(router, net_config);
+  if (const serve::ServeStatus st = server.start(); !st.ok()) {
+    std::cerr << "--listen: " << st.text() << '\n';
+    return 2;
+  }
+  std::cout << "LISTEN port=" << server.port() << std::endl;
+
+  int sig = 0;
+  sigwait(&set, &sig);
+  std::cerr << "signal " << sig << ": draining and stopping\n";
+  server.stop();
+  std::cout << "SHUTDOWN clean=1" << std::endl;
+  return 0;
+}
+
+/// "host:port,host:port" → endpoint list; empty on any parse failure.
+std::vector<asamap::net::ClientConfig> parse_shards(const std::string& spec,
+                                                    int timeout_ms) {
+  std::vector<asamap::net::ClientConfig> out;
+  std::istringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= item.size()) {
+      return {};
+    }
+    asamap::net::ClientConfig ep;
+    ep.host = item.substr(0, colon);
+    ep.timeout_ms = timeout_ms;
+    try {
+      const int port = std::stoi(item.substr(colon + 1));
+      if (port < 1 || port > 65535) return {};
+      ep.port = static_cast<std::uint16_t>(port);
+    } catch (const std::exception&) {
+      return {};
+    }
+    out.push_back(std::move(ep));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace asamap;
+
+  const support::ArgParser args(argc, argv, 1, {"help", "print-metrics"});
+  if (args.flag("help")) {
+    std::cout << "usage: asamap_router --shards host:port,host:port[,...]\n"
+                 "                     [--listen PORT] [--net-workers N] "
+                 "[--net-ring N] [--net-batch N]\n"
+                 "                     [--timeout-ms N] [--retries N] "
+                 "[--print-metrics]\n";
+    return 0;
+  }
+  if (const auto unknown = args.unknown_keys(
+          {"shards", "listen", "net-workers", "net-ring", "net-batch",
+           "timeout-ms", "retries"});
+      !unknown.empty()) {
+    std::cerr << "unknown option: --" << unknown.front() << '\n';
+    return 2;
+  }
+
+  dist::RouterConfig config;
+  long long listen_port = -1;
+  net::NetConfig net_config;
+  try {
+    const int timeout_ms = static_cast<int>(args.int_or("timeout-ms", 5000));
+    config.retry.max_attempts = static_cast<int>(args.int_or("retries", 3));
+    const std::string spec = args.get_or("shards", "");
+    if (!spec.empty()) {
+      config.shards = parse_shards(spec, timeout_ms);
+      if (config.shards.empty()) {
+        std::cerr << "--shards: expected host:port[,host:port...]\n";
+        return 2;
+      }
+    }
+    listen_port = args.int_or("listen", -1);
+    if (listen_port > 65535) {
+      std::cerr << "--listen: port out of range\n";
+      return 2;
+    }
+    net_config.port = listen_port < 0
+                          ? std::uint16_t{0}
+                          : static_cast<std::uint16_t>(listen_port);
+    net_config.workers = static_cast<int>(args.int_or("net-workers", 1));
+    net_config.ring_capacity =
+        static_cast<std::size_t>(args.int_or("net-ring", 1024));
+    net_config.max_batch =
+        static_cast<std::size_t>(args.int_or("net-batch", 64));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+
+  if (args.flag("print-metrics")) {
+    // The full pre-registered scrape schema of a two-shard router, for the
+    // ops-doc CI check — no shards are contacted.
+    if (config.shards.empty()) config.shards.resize(2);
+    dist::Router router(config);
+    std::ostringstream out;
+    router.metrics().write_prometheus(out);
+    std::cout << out.str();
+    return 0;
+  }
+
+  if (config.shards.empty()) {
+    std::cerr << "asamap_router: --shards is required (see --help)\n";
+    return 2;
+  }
+
+  dist::Router router(config);
+  const std::size_t reached = router.connect();
+  std::cerr << "router: " << reached << "/" << config.shards.size()
+            << " shards reachable\n";
+
+  if (listen_port >= 0) return run_listen(router, net_config);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::cout << router.handle_line(line) << std::endl;
+    const auto end = line.find_first_of(" \t\r", start);
+    const std::string_view verb = std::string_view(line).substr(
+        start, (end == std::string::npos ? line.size() : end) - start);
+    if (verb == "QUIT") break;
+  }
+  return 0;
+}

@@ -17,7 +17,13 @@
 //                [--interactive-cap N] [--batch-cap N] [--faults plan.txt]
 //                [--trace-out FILE] [--echo]
 //                [--listen PORT] [--net-workers N] [--net-ring N]
-//                [--net-batch N]
+//                [--net-batch N] [--shard-id K --shards N]
+//
+// --shard-id K --shards N runs the session as shard K of an N-way sharded
+// tier (dist::ShardSession): the same protocol, but MEMBER/SAME are
+// enforced against the shard's vertex range, TOPK/SUMMARY answer range
+// partials for the router to merge, and the DCLUSTER superstep verbs are
+// enabled.  Pair with asamap_router (see docs/OPERATIONS.md).
 //
 // --faults arms a fault plan at startup (equivalent to a leading
 // `FAULTS LOAD <plan>` request; wants a build configured with
@@ -37,10 +43,12 @@
 
 #include <csignal>
 #include <fstream>
+#include <memory>
 #include <iostream>
 #include <string>
 #include <string_view>
 
+#include "asamap/dist/shard.hpp"
 #include "asamap/net/server.hpp"
 #include "asamap/obs/tracing.hpp"
 #include "asamap/serve/session.hpp"
@@ -49,7 +57,7 @@
 namespace {
 
 /// Runs the TCP endpoint until SIGTERM/SIGINT.  Returns the exit code.
-int run_listen(asamap::serve::ServeSession& session, asamap::net::NetConfig
+int run_listen(asamap::serve::RequestHandler& handler, asamap::net::NetConfig
                net_config) {
   using namespace asamap;
   // Block the shutdown signals BEFORE the server spawns its threads (they
@@ -61,7 +69,7 @@ int run_listen(asamap::serve::ServeSession& session, asamap::net::NetConfig
   sigaddset(&set, SIGINT);
   pthread_sigmask(SIG_BLOCK, &set, nullptr);
 
-  net::NetServer server(session, net_config);
+  net::NetServer server(handler, net_config);
   if (const serve::ServeStatus st = server.start(); !st.ok()) {
     std::cerr << "--listen: " << st.text() << '\n';
     return 2;
@@ -89,13 +97,14 @@ int main(int argc, char** argv) {
                  "[--faults plan.txt]\n"
                  "                    [--trace-out FILE] [--echo]\n"
                  "                    [--listen PORT] [--net-workers N] "
-                 "[--net-ring N] [--net-batch N]\n";
+                 "[--net-ring N] [--net-batch N]\n"
+                 "                    [--shard-id K --shards N]\n";
     return 0;
   }
   if (const auto unknown = args.unknown_keys(
           {"workers", "budget-mb", "cluster-threads", "interactive-cap",
            "batch-cap", "faults", "trace-out", "listen", "net-workers",
-           "net-ring", "net-batch"});
+           "net-ring", "net-batch", "shard-id", "shards"});
       !unknown.empty()) {
     std::cerr << "unknown option: --" << unknown.front() << '\n';
     return 2;
@@ -104,6 +113,7 @@ int main(int argc, char** argv) {
   serve::SessionConfig config;
   long long listen_port = -1;
   net::NetConfig net_config;
+  dist::ShardConfig shard_config;
   try {
     config.scheduler.workers = static_cast<int>(args.int_or("workers", 2));
     config.registry.memory_budget_bytes =
@@ -127,6 +137,9 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.int_or("net-ring", 1024));
     net_config.max_batch =
         static_cast<std::size_t>(args.int_or("net-batch", 64));
+    shard_config.shard_id =
+        static_cast<std::uint32_t>(args.int_or("shard-id", 0));
+    shard_config.shards = static_cast<std::uint32_t>(args.int_or("shards", 1));
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;
@@ -134,6 +147,21 @@ int main(int argc, char** argv) {
   const bool echo = args.flag("echo");
 
   serve::ServeSession session(config);
+  // Sharded mode wraps the session; both transports below speak to the
+  // wrapper so range enforcement applies on stdin exactly as over TCP.
+  std::unique_ptr<dist::ShardSession> shard;
+  if (shard_config.shards > 1) {
+    if (shard_config.shard_id >= shard_config.shards) {
+      std::cerr << "--shard-id must be < --shards\n";
+      return 2;
+    }
+    shard = std::make_unique<dist::ShardSession>(session, shard_config);
+    std::cerr << "shard " << shard_config.shard_id << "/"
+              << shard_config.shards << " serving range partials\n";
+  }
+  serve::RequestHandler& handler =
+      shard ? static_cast<serve::RequestHandler&>(*shard)
+            : static_cast<serve::RequestHandler&>(session);
   if (const std::string plan = args.get_or("faults", ""); !plan.empty()) {
     const std::string resp = session.handle_line("FAULTS LOAD " + plan);
     if (resp.rfind("OK", 0) != 0) {
@@ -145,14 +173,14 @@ int main(int argc, char** argv) {
 
   int rc = 0;
   if (listen_port >= 0) {
-    rc = run_listen(session, net_config);
+    rc = run_listen(handler, net_config);
   } else {
     std::string line;
     while (std::getline(std::cin, line)) {
       const auto start = line.find_first_not_of(" \t");
       if (start == std::string::npos || line[start] == '#') continue;
       if (echo) std::cout << "> " << line << '\n';
-      std::cout << session.handle_line(line) << std::endl;  // flush per line
+      std::cout << handler.handle_line(line) << std::endl;  // flush per line
       // QUIT is answered ("OK bye") and then honored here, keeping
       // handle_line a pure request->response map.  Only the exact verb
       // quits: `QUITX` must get its ERR without killing the driver, so

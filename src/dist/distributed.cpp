@@ -1,5 +1,7 @@
 #include "asamap/dist/distributed.hpp"
 
+#include "asamap/dist/partition_map.hpp"
+
 #include <algorithm>
 
 #include "asamap/hashdb/software_accumulator.hpp"
@@ -13,36 +15,9 @@ using core::ModuleState;
 using core::Partition;
 using graph::VertexId;
 
-namespace {
-
-struct RankRange {
-  VertexId begin = 0;
-  VertexId end = 0;
-};
-
-std::vector<RankRange> make_ranges(VertexId n, std::uint32_t ranks) {
-  std::vector<RankRange> out(ranks);
-  for (std::uint32_t r = 0; r < ranks; ++r) {
-    out[r].begin = static_cast<VertexId>(std::uint64_t{n} * r / ranks);
-    out[r].end = static_cast<VertexId>(std::uint64_t{n} * (r + 1) / ranks);
-  }
-  return out;
-}
-
-/// Owner rank of vertex v under the block partition `ranges` (inverse of
-/// make_ranges; starts from the proportional estimate and fixes up the
-/// off-by-one the flooring can introduce).
-std::uint32_t owner_of(VertexId v, VertexId n,
-                       const std::vector<RankRange>& ranges) {
-  const auto ranks = static_cast<std::uint32_t>(ranges.size());
-  auto r = static_cast<std::uint32_t>(std::min<std::uint64_t>(
-      std::uint64_t{v} * ranks / std::max<VertexId>(n, 1), ranks - 1));
-  while (r > 0 && v < ranges[r].begin) --r;
-  while (r + 1 < ranks && v >= ranges[r].end) ++r;
-  return r;
-}
-
-}  // namespace
+// Rank placement is the shared block partition of partition_map.hpp — the
+// same make_ranges/owner_of the shard servers and router use, so the
+// simulation and the live tier cannot drift on ownership.
 
 DistResult run_distributed_infomap(const graph::CsrGraph& g,
                                    const DistOptions& opts) {

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file partition_map.hpp
+/// The block vertex partition shared by the dist simulation
+/// (run_distributed_infomap), the shard servers, and the router: shard r
+/// of N owns the contiguous range [n*r/N, n*(r+1)/N).  One definition so
+/// placement computed on the router always agrees with the range a shard
+/// enforces — the partition IS the placement function (ISSUE 9; cf. the
+/// rank-partitioned exchange of the MPI exemplars).
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "asamap/graph/types.hpp"
+
+namespace asamap::dist {
+
+struct ShardRange {
+  graph::VertexId begin = 0;
+  graph::VertexId end = 0;  ///< exclusive
+
+  [[nodiscard]] bool contains(graph::VertexId v) const noexcept {
+    return v >= begin && v < end;
+  }
+  [[nodiscard]] graph::VertexId size() const noexcept { return end - begin; }
+};
+
+/// The block partition of [0, n) into `shards` contiguous ranges.
+inline std::vector<ShardRange> make_ranges(graph::VertexId n,
+                                           std::uint32_t shards) {
+  std::vector<ShardRange> out(std::max<std::uint32_t>(shards, 1));
+  const auto k = static_cast<std::uint32_t>(out.size());
+  for (std::uint32_t r = 0; r < k; ++r) {
+    out[r].begin = static_cast<graph::VertexId>(std::uint64_t{n} * r / k);
+    out[r].end = static_cast<graph::VertexId>(std::uint64_t{n} * (r + 1) / k);
+  }
+  return out;
+}
+
+/// Owner shard of vertex v under `ranges` (inverse of make_ranges; starts
+/// from the proportional estimate and fixes up the off-by-one flooring can
+/// introduce).
+inline std::uint32_t owner_of(graph::VertexId v, graph::VertexId n,
+                              const std::vector<ShardRange>& ranges) {
+  const auto shards = static_cast<std::uint32_t>(ranges.size());
+  auto r = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      std::uint64_t{v} * shards / std::max<graph::VertexId>(n, 1),
+      shards - 1));
+  while (r > 0 && v < ranges[r].begin) --r;
+  while (r + 1 < shards && v >= ranges[r].end) ++r;
+  return r;
+}
+
+/// One shard's own range.
+inline ShardRange range_of(graph::VertexId n, std::uint32_t shard,
+                           std::uint32_t shards) {
+  return make_ranges(n, shards)[std::min(shard, shards - 1)];
+}
+
+}  // namespace asamap::dist

@@ -1,0 +1,193 @@
+#pragma once
+
+/// \file router.hpp
+/// Router — the client-facing front of the sharded serving tier (ISSUE 9).
+/// A RequestHandler (so the same epoll NetServer serves it) that owns one
+/// pooled net::Client per shard endpoint and turns the single-process line
+/// protocol into placement + scatter/gather over the block partition of
+/// partition_map.hpp:
+///
+///   MEMBER        → forwarded to the owner shard of the vertex
+///   SAME          → owner shard when both vertices co-locate, else two
+///                   MEMBER legs composed (version skew ⇒ OK STALE)
+///   TOPK          → scatter; shards return full-precision range-partial
+///                   flows which the router sums in shard order and sorts
+///   SUMMARY       → scatter; vertex counts sum, global fields agree
+///   GEN/LOAD/DROP/CLUSTER/ADD_EDGE/DEL_EDGE/APPLY
+///                 → broadcast to every shard (replicated ingest)
+///   CLUSTER <g> mode=dist
+///                 → drives the DCLUSTER superstep protocol of shard.hpp:
+///                   per level, scatter PROPOSE, concatenate movers in
+///                   shard order, broadcast APPLY, until converged; then
+///                   LEVEL, then COMMIT (the live form of
+///                   run_distributed_infomap — same kernels, same order,
+///                   same codelength)
+///   SHARDS        → per-shard up/breaker status
+///
+/// Staleness is labeled, never hidden: every gathered read carries a
+/// `vclock=v0:v1:...` vector of the per-shard snapshot versions last seen
+/// for that graph; a gather across mismatched versions answers from the
+/// newest replica as `OK STALE ... reason=version_skew`; a gather with a
+/// shard down answers from a live replica (`SHARD FORWARD`, exact because
+/// shards hold full replicas) tagged `degraded=1 shards_down=...`.
+///
+/// Fault handling reuses the fault layer per shard: a RetryPolicy-bounded
+/// retry loop (reconnect + backoff) around every call, a CircuitBreaker
+/// per shard so a dead shard costs nothing after it trips, and
+/// asamap_router_* metrics for all of it.  Tracing: each request opens a
+/// root span and every shard call is prefixed `TRACECTX <trace> <span>`,
+/// which the shard adopts — one connected cross-process span tree.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "asamap/dist/partition_map.hpp"
+#include "asamap/fault/retry.hpp"
+#include "asamap/net/client.hpp"
+#include "asamap/obs/metrics.hpp"
+#include "asamap/serve/handler.hpp"
+
+namespace asamap::dist {
+
+struct RouterConfig {
+  /// Shard endpoints, in shard-id order (index == shard id).
+  std::vector<net::ClientConfig> shards;
+  /// Per-call retry bounds (reconnect + resend per attempt).
+  fault::RetryPolicy retry;
+  /// Per-shard circuit breaker (trips after consecutive call failures; an
+  /// open breaker fails the shard immediately so degraded reads stay fast).
+  fault::BreakerConfig breaker;
+  /// Distributed CLUSTER bounds — mirror DistOptions so mode=dist matches
+  /// run_distributed_infomap.
+  int dist_max_supersteps = 30;
+  int dist_max_levels = 30;
+  double dist_min_improvement_bits = 1e-10;
+};
+
+class Router : public serve::RequestHandler {
+ public:
+  explicit Router(const RouterConfig& config);
+  ~Router() override;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Dials every shard; returns how many connected.  Best effort — a shard
+  /// that is down reconnects lazily on first use.
+  std::size_t connect();
+
+  std::string handle_line(std::string_view line) override;
+  obs::MetricRegistry& metrics() noexcept override { return metrics_; }
+
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards_.size();
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(const fault::BreakerConfig& breaker_config)
+        : breaker(breaker_config) {}
+    net::ClientConfig endpoint;
+    std::mutex mu;  ///< serialises the pooled connection
+    net::Client client;
+    fault::CircuitBreaker breaker;
+    std::atomic<bool> up{false};
+    obs::Gauge* up_gauge = nullptr;
+    obs::Gauge* breaker_gauge = nullptr;
+  };
+
+  /// One scatter's outcome: per-shard response + transport success.
+  struct Gather {
+    std::vector<std::string> responses;
+    std::vector<bool> ok;
+    std::size_t ok_count = 0;
+    [[nodiscard]] bool all_ok() const { return ok_count == ok.size(); }
+  };
+
+  struct VerbMetrics {
+    obs::Counter* requests = nullptr;
+    const char* trace_name = "other";
+  };
+
+  std::string dispatch(std::string_view line,
+                       const std::vector<std::string_view>& tokens);
+
+  /// One call to shard `i` with retry/reconnect/breaker, TRACECTX-prefixed.
+  /// False ⇒ transport-level failure (response untouched); a shard-side
+  /// `ERR rejected` (ring full) is retried like a transport failure but
+  /// propagated verbatim when attempts run out.
+  bool shard_call(std::size_t i, std::string_view line,
+                  std::string& response);
+  /// shard_call to every shard, in shard order.
+  Gather broadcast(std::string_view line);
+  /// First live shard's answer to `SHARD FORWARD <line>` — the failover /
+  /// fallback read path (exact: shards hold full replicas).  Returns the
+  /// shard index or SIZE_MAX.
+  std::size_t forward_any(std::string_view line, std::string& response);
+
+  // Verb bodies.
+  std::string handle_member(const std::vector<std::string_view>& tokens,
+                            std::string_view line);
+  std::string handle_same(const std::vector<std::string_view>& tokens,
+                          std::string_view line);
+  std::string handle_topk(const std::vector<std::string_view>& tokens,
+                          std::string_view line);
+  std::string handle_summary(const std::vector<std::string_view>& tokens,
+                             std::string_view line);
+  std::string handle_ingest(std::string_view verb,
+                            const std::vector<std::string_view>& tokens,
+                            std::string_view line);
+  std::string handle_cluster(const std::vector<std::string_view>& tokens,
+                             std::string_view line);
+  std::string run_dist_cluster(const std::string& name);
+  std::string handle_shards();
+  std::string handle_stats();
+  std::string handle_metrics(const std::vector<std::string_view>& tokens);
+  std::string handle_trace(const std::vector<std::string_view>& tokens);
+
+  /// Stale/degraded fallback: answer `line` from the newest / any live
+  /// replica and re-tag the response.
+  std::string stale_fallback(std::string_view line, const std::string& name);
+  std::string degraded_fallback(std::string_view line, const std::string& name,
+                                const Gather& gather);
+
+  /// Vertex count for `name` (cached from ingest/SUMMARY responses; lazily
+  /// fetched via a forwarded SUMMARY).  0 ⇒ unknown.
+  graph::VertexId graph_n(const std::string& name, std::string* error_out);
+  /// Record a successful response's version/vertices fields for `name`.
+  void observe_response(std::size_t shard, const std::string& name,
+                        const std::string& response);
+  [[nodiscard]] std::string vclock_of(const std::string& name);
+
+  RouterConfig config_;
+  obs::MetricRegistry metrics_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::unordered_map<std::string_view, VerbMetrics> verb_metrics_;
+  VerbMetrics other_verb_metrics_;
+  obs::Histogram* request_seconds_ = nullptr;
+  obs::Histogram* scatter_seconds_ = nullptr;
+  obs::Counter* shard_calls_total_ = nullptr;
+  obs::Counter* retries_total_ = nullptr;
+  obs::Counter* degraded_total_ = nullptr;
+  obs::Counter* stale_total_ = nullptr;
+  obs::Counter* errors_total_ = nullptr;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> stale_{0};
+
+  std::mutex state_mu_;  ///< guards vclock_ and graph_n_
+  /// graph → per-shard last-seen snapshot version (0 = never seen).
+  std::unordered_map<std::string, std::vector<std::uint64_t>> vclock_;
+  std::unordered_map<std::string, graph::VertexId> graph_n_;
+};
+
+}  // namespace asamap::dist

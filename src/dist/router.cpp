@@ -1,0 +1,939 @@
+#include "asamap/dist/router.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+#include <thread>
+
+#include "asamap/benchutil/json_env.hpp"
+#include "asamap/obs/tracing.hpp"
+#include "asamap/support/timer.hpp"
+
+namespace asamap::dist {
+
+using graph::VertexId;
+
+namespace {
+
+constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+
+std::string_view trim_trailing_ws(std::string_view s) {
+  while (!s.empty() &&
+         (s.back() == '\r' || s.back() == '\n' || s.back() == ' ' ||
+          s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+void tokenize_into(std::string_view line,
+                   std::vector<std::string_view>& tokens) {
+  tokens.clear();
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) tokens.push_back(line.substr(i, j - i));
+    i = j;
+  }
+}
+
+template <typename T>
+bool parse_num(std::string_view s, T& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool parse_double(std::string_view s, double& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string err(const char* code, std::string_view message) {
+  std::string out = "ERR ";
+  out += code;
+  out += ' ';
+  out += message;
+  return out;
+}
+
+std::string enveloped(const char* format, std::string payload) {
+  std::string out = "OK format=";
+  out += format;
+  out += " bytes=" + std::to_string(payload.size());
+  out += '\n';
+  out += payload;
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+/// `key=` value on the response's first line, matched at token boundaries;
+/// empty when absent.
+std::string_view field(std::string_view resp, std::string_view key) {
+  const std::size_t eol = resp.find('\n');
+  if (eol != std::string_view::npos) resp = resp.substr(0, eol);
+  std::size_t pos = 0;
+  while (pos < resp.size()) {
+    pos = resp.find(key, pos);
+    if (pos == std::string_view::npos) return {};
+    if (pos == 0 || resp[pos - 1] == ' ') {
+      const std::size_t start = pos + key.size();
+      const std::size_t end = resp.find(' ', start);
+      return resp.substr(start, end == std::string_view::npos
+                                    ? std::string_view::npos
+                                    : end - start);
+    }
+    ++pos;
+  }
+  return {};
+}
+
+const char* breaker_name(fault::CircuitBreaker::State s) {
+  switch (s) {
+    case fault::CircuitBreaker::State::kClosed: return "closed";
+    case fault::CircuitBreaker::State::kOpen: return "open";
+    case fault::CircuitBreaker::State::kHalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+/// Verbs the router understands; everything else is either unsupported
+/// shard-local machinery (WAIT/CANCEL/DELTA/FAULTS) or unknown.
+constexpr std::string_view kRouterVerbs[] = {
+    "GEN",     "LOAD", "DROP",    "CLUSTER", "ADD_EDGE", "DEL_EDGE",
+    "APPLY",   "MEMBER", "SAME",  "TOPK",    "SUMMARY",  "SHARDS",
+    "STATS",   "METRICS", "TRACE", "QUIT"};
+
+std::string verb_label(std::string_view verb) {
+  return "verb=\"" + std::string(verb) + "\"";
+}
+
+}  // namespace
+
+Router::Router(const RouterConfig& config) : config_(config) {
+  metrics_.gauge("asamap_router_shards")
+      .set(static_cast<double>(config_.shards.size()));
+  for (const std::string_view verb : kRouterVerbs) {
+    VerbMetrics vm;
+    vm.requests =
+        &metrics_.counter("asamap_router_requests_total", verb_label(verb));
+    vm.trace_name = verb.data();  // the literals above are NUL-terminated
+    verb_metrics_.emplace(verb, vm);
+  }
+  other_verb_metrics_.requests =
+      &metrics_.counter("asamap_router_requests_total", verb_label("other"));
+  request_seconds_ = &metrics_.histogram("asamap_router_request_seconds");
+  scatter_seconds_ = &metrics_.histogram("asamap_router_scatter_seconds");
+  shard_calls_total_ = &metrics_.counter("asamap_router_shard_calls_total");
+  retries_total_ = &metrics_.counter("asamap_router_retries_total");
+  degraded_total_ = &metrics_.counter("asamap_router_degraded_total");
+  stale_total_ = &metrics_.counter("asamap_router_stale_total");
+  errors_total_ = &metrics_.counter("asamap_router_errors_total");
+  for (std::size_t i = 0; i < config_.shards.size(); ++i) {
+    auto shard = std::make_unique<Shard>(config_.breaker);
+    shard->endpoint = config_.shards[i];
+    const std::string label = "shard=\"" + std::to_string(i) + "\"";
+    shard->up_gauge = &metrics_.gauge("asamap_router_shard_up", label);
+    shard->breaker_gauge =
+        &metrics_.gauge("asamap_router_breaker_state", label);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Router::~Router() = default;
+
+std::size_t Router::connect() {
+  std::size_t reached = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const bool ok = shard->client.connect(shard->endpoint).ok();
+    shard->up.store(ok, std::memory_order_relaxed);
+    shard->up_gauge->set(ok ? 1 : 0);
+    if (ok) ++reached;
+  }
+  return reached;
+}
+
+bool Router::shard_call(std::size_t i, std::string_view line,
+                        std::string& response) {
+  Shard& s = *shards_[i];
+  if (!s.breaker.allow()) {
+    s.breaker_gauge->set(static_cast<double>(static_cast<int>(s.breaker.state())));
+    return false;
+  }
+  // Ship the request under the caller's trace identity so the shard's
+  // spans (and its scheduler jobs) parent under this router span.
+  const obs::TraceContext ctx = obs::current_trace();
+  std::string wire;
+  if (ctx.active()) {
+    wire = "TRACECTX " + std::to_string(ctx.trace_id) + " " +
+           std::to_string(ctx.span_id) + " ";
+  }
+  wire += line;
+
+  std::string rejected;  // a delivered `ERR rejected` (ring full)
+  for (int attempt = 0; attempt < config_.retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      retries_total_->inc();
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      auto backoff = config_.retry.initial_backoff * (1 << (attempt - 1));
+      std::this_thread::sleep_for(
+          std::min<std::chrono::milliseconds>(backoff,
+                                              config_.retry.max_backoff));
+    }
+    std::string resp;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      shard_calls_total_->inc();
+      if (!s.client.connected() && !s.client.connect(s.endpoint).ok()) {
+        continue;
+      }
+      if (!s.client.request(wire, resp).ok()) continue;
+    }
+    if (starts_with(resp, "ERR rejected")) {
+      // Shard-side backpressure: retry like a transport failure, but the
+      // shard is alive (the rejection was delivered) — count it as breaker
+      // success, and when attempts run out propagate the rejection verbatim
+      // instead of failing the shard.
+      s.breaker.record_success();
+      s.up.store(true, std::memory_order_relaxed);
+      s.up_gauge->set(1);
+      rejected = std::move(resp);
+      continue;
+    }
+    s.breaker.record_success();
+    s.up.store(true, std::memory_order_relaxed);
+    s.up_gauge->set(1);
+    s.breaker_gauge->set(static_cast<double>(static_cast<int>(s.breaker.state())));
+    response = std::move(resp);
+    return true;
+  }
+  if (!rejected.empty()) {
+    response = std::move(rejected);
+    return true;
+  }
+  s.breaker.record_failure();
+  s.up.store(false, std::memory_order_relaxed);
+  s.up_gauge->set(0);
+  s.breaker_gauge->set(static_cast<double>(static_cast<int>(s.breaker.state())));
+  return false;
+}
+
+Router::Gather Router::broadcast(std::string_view line) {
+  const support::WallTimer timer;
+  Gather g;
+  g.responses.resize(shards_.size());
+  g.ok.assign(shards_.size(), false);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    g.ok[i] = shard_call(i, line, g.responses[i]);
+    if (g.ok[i]) ++g.ok_count;
+  }
+  scatter_seconds_->record_seconds(timer.seconds());
+  return g;
+}
+
+std::size_t Router::forward_any(std::string_view line,
+                                std::string& response) {
+  std::string wire = "SHARD FORWARD ";
+  wire += line;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shard_call(i, wire, response)) return i;
+  }
+  return kNoShard;
+}
+
+void Router::observe_response(std::size_t shard, const std::string& name,
+                              const std::string& response) {
+  std::uint64_t version = 0;
+  VertexId vertices = 0;
+  const bool has_version = parse_num(field(response, "version="), version);
+  const bool has_vertices = parse_num(field(response, "vertices="), vertices);
+  if (!has_version && !has_vertices) return;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (has_version) {
+    auto& clock = vclock_[name];
+    clock.resize(shards_.size(), 0);
+    clock[shard] = std::max(clock[shard], version);
+  }
+  // SUMMARY merges report the global count; per-shard partials are tagged
+  // with range= and must not clobber the global vertex count.
+  if (has_vertices && field(response, "range=").empty()) {
+    graph_n_[name] = vertices;
+  }
+}
+
+std::string Router::vclock_of(const std::string& name) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto& clock = vclock_[name];
+  clock.resize(shards_.size(), 0);
+  std::string out;
+  for (std::size_t i = 0; i < clock.size(); ++i) {
+    if (i > 0) out += ':';
+    out += std::to_string(clock[i]);
+  }
+  return out;
+}
+
+graph::VertexId Router::graph_n(const std::string& name,
+                                std::string* error_out) {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    const auto it = graph_n_.find(name);
+    if (it != graph_n_.end() && it->second > 0) return it->second;
+  }
+  // Learn it from any live replica (also primes the vclock).
+  std::string resp;
+  const std::size_t idx = forward_any("SUMMARY " + name, resp);
+  if (idx == kNoShard) {
+    if (error_out) *error_out = err("unavailable", "no shard reachable");
+    return 0;
+  }
+  if (!starts_with(resp, "OK")) {
+    if (error_out) *error_out = resp;  // canonical unknown-graph/no-partition
+    return 0;
+  }
+  observe_response(idx, name, resp);
+  VertexId n = 0;
+  parse_num(field(resp, "vertices="), n);
+  if (n == 0 && error_out) {
+    *error_out = err("unavailable", "could not determine vertex count");
+  }
+  return n;
+}
+
+std::string Router::handle_line(std::string_view raw) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::string_view line = trim_trailing_ws(raw);
+  std::vector<std::string_view> tokens;
+  tokenize_into(line, tokens);
+  if (tokens.empty()) return err("invalid_argument", "empty request");
+  const auto it = verb_metrics_.find(tokens[0]);
+  const VerbMetrics& vm =
+      it == verb_metrics_.end() ? other_verb_metrics_ : it->second;
+  vm.requests->inc();
+  const support::WallTimer timer;
+  std::string response;
+  {
+    obs::TraceSpan span(vm.trace_name, obs::TraceCat::kSession);
+    response = dispatch(line, tokens);
+  }
+  request_seconds_->record_seconds(timer.seconds());
+  if (starts_with(response, "ERR")) errors_total_->inc();
+  return response;
+}
+
+std::string Router::dispatch(std::string_view line,
+                             const std::vector<std::string_view>& tokens) {
+  const std::string_view verb = tokens[0];
+  if (verb == "MEMBER") return handle_member(tokens, line);
+  if (verb == "SAME") return handle_same(tokens, line);
+  if (verb == "TOPK") return handle_topk(tokens, line);
+  if (verb == "SUMMARY") return handle_summary(tokens, line);
+  if (verb == "CLUSTER") return handle_cluster(tokens, line);
+  if (verb == "GEN" || verb == "LOAD" || verb == "DROP" ||
+      verb == "ADD_EDGE" || verb == "DEL_EDGE" || verb == "APPLY") {
+    return handle_ingest(verb, tokens, line);
+  }
+  if (verb == "SHARDS") return handle_shards();
+  if (verb == "STATS") return handle_stats();
+  if (verb == "METRICS") return handle_metrics(tokens);
+  if (verb == "TRACE") return handle_trace(tokens);
+  if (verb == "QUIT") return "OK bye";
+  if (verb == "WAIT" || verb == "CANCEL" || verb == "DELTA" ||
+      verb == "FAULTS") {
+    return err("invalid_argument",
+               "verb '" + std::string(verb) +
+                   "' is shard-local; connect to a shard directly");
+  }
+  return err("invalid_argument",
+             "unknown command '" + std::string(verb) + "'");
+}
+
+std::string Router::handle_member(
+    const std::vector<std::string_view>& tokens, std::string_view line) {
+  if (tokens.size() != 3) {
+    return err("invalid_argument", "usage: MEMBER <name> <vertex>");
+  }
+  VertexId v = 0;
+  if (!parse_num(tokens[2], v)) {
+    return err("invalid_argument", "bad vertex id");
+  }
+  const std::string name(tokens[1]);
+  std::string error;
+  const VertexId n = graph_n(name, &error);
+  if (n == 0) return error;
+  if (v >= n) {
+    return err("invalid_argument",
+               "vertex " + std::to_string(v) + " out of range (graph has " +
+                   std::to_string(n) + " vertices)");
+  }
+  std::size_t owner = owner_of(v, n, make_ranges(n, shards_.size()));
+  std::string resp;
+  if (shard_call(owner, line, resp)) {
+    if (starts_with(resp, "ERR not_found wrong_shard")) {
+      // The cached vertex count drifted (re-ingest); relearn and retry.
+      {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        graph_n_.erase(name);
+      }
+      const VertexId n2 = graph_n(name, &error);
+      if (n2 == 0) return error;
+      owner = owner_of(v, n2, make_ranges(n2, shards_.size()));
+      if (!shard_call(owner, line, resp)) resp.clear();
+    }
+    if (!resp.empty()) {
+      observe_response(owner, name, resp);
+      if (starts_with(resp, "OK")) resp += " vclock=" + vclock_of(name);
+      return resp;
+    }
+  }
+  // Owner down: exact failover to any live replica, labeled degraded.
+  std::string fwd;
+  const std::size_t idx = forward_any(line, fwd);
+  if (idx == kNoShard) {
+    return err("unavailable", "no shard available for MEMBER");
+  }
+  degraded_total_->inc();
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+  observe_response(idx, name, fwd);
+  if (starts_with(fwd, "OK")) {
+    fwd += " degraded=1 vclock=" + vclock_of(name);
+  }
+  return fwd;
+}
+
+std::string Router::handle_same(const std::vector<std::string_view>& tokens,
+                                std::string_view line) {
+  if (tokens.size() != 4) {
+    return err("invalid_argument", "usage: SAME <name> <u> <v>");
+  }
+  VertexId u = 0, v = 0;
+  if (!parse_num(tokens[2], u) || !parse_num(tokens[3], v)) {
+    return err("invalid_argument", "bad vertex id");
+  }
+  const std::string name(tokens[1]);
+  std::string error;
+  const VertexId n = graph_n(name, &error);
+  if (n == 0) return error;
+  if (u >= n || v >= n) {
+    return err("invalid_argument", "vertex out of range");
+  }
+  const auto ranges = make_ranges(n, shards_.size());
+  const std::size_t ou = owner_of(u, n, ranges);
+  const std::size_t ov = owner_of(v, n, ranges);
+
+  if (ou == ov) {
+    // Co-located: one shard answers exactly like a single process.
+    std::string resp;
+    if (shard_call(ou, line, resp)) {
+      observe_response(ou, name, resp);
+      if (starts_with(resp, "OK")) resp += " vclock=" + vclock_of(name);
+      return resp;
+    }
+    std::string fwd;
+    const std::size_t idx = forward_any(line, fwd);
+    if (idx == kNoShard) {
+      return err("unavailable", "no shard available for SAME");
+    }
+    degraded_total_->inc();
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+    observe_response(idx, name, fwd);
+    if (starts_with(fwd, "OK")) {
+      fwd += " degraded=1 vclock=" + vclock_of(name);
+    }
+    return fwd;
+  }
+
+  // Cross-shard: one MEMBER leg per owner, composed here.
+  bool degraded = false;
+  const auto member_leg = [&](VertexId vertex, std::size_t owner,
+                              std::uint64_t& version, std::uint64_t& community,
+                              std::string& fail) -> bool {
+    const std::string leg = "MEMBER " + name + " " + std::to_string(vertex);
+    std::string resp;
+    std::size_t responder = owner;
+    if (!shard_call(owner, leg, resp)) {
+      responder = forward_any(leg, resp);
+      if (responder == kNoShard) {
+        fail = err("unavailable", "no shard available for SAME");
+        return false;
+      }
+      degraded = true;
+    }
+    if (!starts_with(resp, "OK")) {
+      fail = std::move(resp);
+      return false;
+    }
+    observe_response(responder, name, resp);
+    return parse_num(field(resp, "version="), version) &&
+           parse_num(field(resp, "community="), community);
+  };
+
+  std::uint64_t vu = 0, cu = 0, vv = 0, cv = 0;
+  std::string fail;
+  if (!member_leg(u, ou, vu, cu, fail)) return fail;
+  if (!member_leg(v, ov, vv, cv, fail)) return fail;
+  if (degraded) {
+    degraded_total_->inc();
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::string out;
+  if (vu == vv) {
+    out = "OK version=" + std::to_string(vu);
+  } else {
+    stale_total_->inc();
+    stale_.fetch_add(1, std::memory_order_relaxed);
+    out = "OK STALE version=" + std::to_string(std::max(vu, vv));
+  }
+  out += " u=" + std::to_string(u) + " v=" + std::to_string(v) +
+         " cu=" + std::to_string(cu) + " cv=" + std::to_string(cv) +
+         " same=" + (cu == cv ? "1" : "0");
+  if (vu != vv) out += " reason=version_skew";
+  if (degraded) out += " degraded=1";
+  out += " vclock=" + vclock_of(name);
+  return out;
+}
+
+std::string Router::stale_fallback(std::string_view line,
+                                   const std::string& name) {
+  // Answer from the newest replica; shards are full replicas, so its global
+  // answer is exact at its version — only cross-shard coherence is lost.
+  std::size_t newest = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    auto& clock = vclock_[name];
+    clock.resize(shards_.size(), 0);
+    newest = static_cast<std::size_t>(
+        std::max_element(clock.begin(), clock.end()) - clock.begin());
+  }
+  std::string wire = "SHARD FORWARD ";
+  wire += line;
+  std::string resp;
+  std::size_t responder = newest;
+  if (!shard_call(newest, wire, resp)) {
+    responder = forward_any(line, resp);
+    if (responder == kNoShard) {
+      return err("unavailable", "no shard reachable");
+    }
+  }
+  if (!starts_with(resp, "OK")) return resp;
+  observe_response(responder, name, resp);
+  stale_total_->inc();
+  stale_.fetch_add(1, std::memory_order_relaxed);
+  std::string out = "OK STALE ";
+  out += std::string_view(resp).substr(3);  // past "OK "
+  out += " reason=version_skew vclock=" + vclock_of(name);
+  return out;
+}
+
+std::string Router::degraded_fallback(std::string_view line,
+                                      const std::string& name,
+                                      const Gather& gather) {
+  std::string resp;
+  const std::size_t idx = forward_any(line, resp);
+  if (idx == kNoShard) return err("unavailable", "no shard reachable");
+  degraded_total_->inc();
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+  observe_response(idx, name, resp);
+  if (!starts_with(resp, "OK")) return resp;
+  std::string down;
+  for (std::size_t i = 0; i < gather.ok.size(); ++i) {
+    if (!gather.ok[i]) {
+      if (!down.empty()) down += ',';
+      down += std::to_string(i);
+    }
+  }
+  resp += " degraded=1 shards_down=" + down + " vclock=" + vclock_of(name);
+  return resp;
+}
+
+std::string Router::handle_topk(const std::vector<std::string_view>& tokens,
+                                std::string_view line) {
+  if (tokens.size() != 3) {
+    return err("invalid_argument", "usage: TOPK <name> <k>");
+  }
+  std::size_t k = 0;
+  if (!parse_num(tokens[2], k) || k == 0) {
+    return err("invalid_argument", "bad k");
+  }
+  const std::string name(tokens[1]);
+  Gather g = broadcast(line);
+  if (g.ok_count == 0) return err("unavailable", "no shard reachable");
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!g.ok[i]) continue;
+    if (starts_with(g.responses[i], "ERR too_large")) {
+      // Shard refused the partial (too many communities) — the forwarded
+      // global answer is still exact.
+      std::string resp;
+      const std::size_t idx = forward_any(line, resp);
+      if (idx == kNoShard) return err("unavailable", "no shard reachable");
+      observe_response(idx, name, resp);
+      if (starts_with(resp, "OK")) resp += " vclock=" + vclock_of(name);
+      return resp;
+    }
+    if (starts_with(g.responses[i], "ERR")) return g.responses[i];
+    observe_response(i, name, g.responses[i]);
+  }
+  if (!g.all_ok()) return degraded_fallback(line, name, g);
+
+  // All shards answered with range partials: check version coherence.
+  std::uint64_t version = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::uint64_t vi = 0;
+    parse_num(field(g.responses[i], "version="), vi);
+    if (i == 0) {
+      version = vi;
+    } else if (vi != version) {
+      return stale_fallback(line, name);
+    }
+  }
+
+  // Merge: sum per-community partial flows in shard order (matches the
+  // left-to-right vertex order of make_snapshot up to final-rounding ulps),
+  // then sort exactly like the oracle (flow desc, id asc).
+  std::vector<double> flow;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::string_view partial = field(g.responses[i], "partial=");
+    std::size_t communities = 0;
+    parse_num(field(g.responses[i], "communities="), communities);
+    if (flow.empty()) flow.assign(communities, 0.0);
+    if (communities != flow.size()) {
+      return stale_fallback(line, name);  // replicas disagree on shape
+    }
+    while (!partial.empty()) {
+      const std::size_t comma = partial.find(',');
+      const std::string_view pair = partial.substr(0, comma);
+      const std::size_t colon = pair.find(':');
+      std::size_t c = 0;
+      double f = 0.0;
+      if (colon == std::string_view::npos ||
+          !parse_num(pair.substr(0, colon), c) ||
+          !parse_double(pair.substr(colon + 1), f) || c >= flow.size()) {
+        return err("unavailable", "malformed shard partial");
+      }
+      flow[c] += f;
+      partial = comma == std::string_view::npos ? std::string_view{}
+                                                : partial.substr(comma + 1);
+    }
+  }
+  std::vector<VertexId> by_flow(flow.size());
+  std::iota(by_flow.begin(), by_flow.end(), VertexId{0});
+  std::sort(by_flow.begin(), by_flow.end(), [&](VertexId a, VertexId b) {
+    if (flow[a] != flow[b]) return flow[a] > flow[b];
+    return a < b;
+  });
+  k = std::min(k, by_flow.size());
+  std::string out = "OK version=" + std::to_string(version) +
+                    " k=" + std::to_string(k) + " top=";
+  for (std::size_t i = 0; i < k; ++i) {
+    const VertexId c = by_flow[i];
+    if (i > 0) out += ',';
+    out += std::to_string(c) + ":" + fmt_double(flow[c]);
+  }
+  out += " vclock=" + vclock_of(name);
+  return out;
+}
+
+std::string Router::handle_summary(
+    const std::vector<std::string_view>& tokens, std::string_view line) {
+  if (tokens.size() != 2) {
+    return err("invalid_argument", "usage: SUMMARY <name>");
+  }
+  const std::string name(tokens[1]);
+  Gather g = broadcast(line);
+  if (g.ok_count == 0) return err("unavailable", "no shard reachable");
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!g.ok[i]) continue;
+    if (starts_with(g.responses[i], "ERR")) return g.responses[i];
+    observe_response(i, name, g.responses[i]);
+  }
+  if (!g.all_ok()) return degraded_fallback(line, name, g);
+
+  std::uint64_t version = 0;
+  std::uint64_t vertices = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::uint64_t vi = 0;
+    parse_num(field(g.responses[i], "version="), vi);
+    if (i == 0) {
+      version = vi;
+    } else if (vi != version) {
+      return stale_fallback(line, name);
+    }
+    std::uint64_t range_vertices = 0;
+    parse_num(field(g.responses[i], "vertices="), range_vertices);
+    vertices += range_vertices;  // ranges partition [0, n)
+  }
+  const std::string& first = g.responses[0];
+  double codelength = 0.0, modularity = 0.0;
+  parse_double(field(first, "codelength="), codelength);
+  parse_double(field(first, "modularity="), modularity);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    graph_n_[name] = static_cast<VertexId>(vertices);
+  }
+  std::string out =
+      "OK version=" + std::to_string(version) +
+      " vertices=" + std::to_string(vertices) +
+      " arcs=" + std::string(field(first, "arcs=")) +
+      " communities=" + std::string(field(first, "communities=")) +
+      " codelength=" + fmt_double(codelength) +
+      " modularity=" + fmt_double(modularity) +
+      " interrupted=" + std::string(field(first, "interrupted=")) +
+      " job=" + std::string(field(first, "job="));
+  out += " vclock=" + vclock_of(name);
+  return out;
+}
+
+std::string Router::handle_ingest(std::string_view verb,
+                                  const std::vector<std::string_view>& tokens,
+                                  std::string_view line) {
+  if (tokens.size() < 2) {
+    return err("invalid_argument",
+               "usage: " + std::string(verb) + " <name> ...");
+  }
+  const std::string name(tokens[1]);
+  const Gather g = broadcast(line);
+  if (g.ok_count == 0) return err("unavailable", "no shard reachable");
+  std::size_t first_ok = kNoShard;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!g.ok[i]) continue;
+    if (first_ok == kNoShard) first_ok = i;
+    observe_response(i, name, g.responses[i]);
+  }
+  if (!g.all_ok()) {
+    // A replica missed a mutation: refuse rather than silently diverge
+    // (reads would keep serving the old state everywhere anyway).
+    std::string down;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (!g.ok[i]) {
+        if (!down.empty()) down += ',';
+        down += std::to_string(i);
+      }
+    }
+    return err("unavailable",
+               "replicated " + std::string(verb) +
+                   " incomplete; shards_down=" + down);
+  }
+  if (verb == "DROP") {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    vclock_.erase(name);
+    graph_n_.erase(name);
+  }
+  return g.responses[first_ok];
+}
+
+std::string Router::handle_cluster(
+    const std::vector<std::string_view>& tokens, std::string_view line) {
+  if (tokens.size() < 2) {
+    return err("invalid_argument",
+               "usage: CLUSTER <name> [sync] [mode=dist] [...]");
+  }
+  const std::string name(tokens[1]);
+  bool dist_mode = false;
+  std::string replicated = "CLUSTER " + name + " sync";  // forced sync: every
+  // replica must publish before the router answers, else reads skew.
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    if (tokens[i] == "mode=dist") {
+      dist_mode = true;
+    } else if (tokens[i] != "sync") {
+      replicated += ' ';
+      replicated += tokens[i];
+    }
+  }
+  if (dist_mode) return run_dist_cluster(name);
+
+  const Gather g = broadcast(replicated);
+  if (g.ok_count == 0) return err("unavailable", "no shard reachable");
+  std::size_t first_ok = kNoShard;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!g.ok[i]) continue;
+    if (first_ok == kNoShard) first_ok = i;
+    observe_response(i, name, g.responses[i]);
+  }
+  std::string out = g.responses[first_ok];
+  if (!g.all_ok() && starts_with(out, "OK")) {
+    // The replicas that answered did publish; the dead one will be skewed
+    // when it returns — exactly what vclock/STALE reads are for.
+    degraded_total_->inc();
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+    out += " degraded=1";
+  }
+  if (starts_with(out, "OK")) out += " vclock=" + vclock_of(name);
+  return out;
+}
+
+std::string Router::run_dist_cluster(const std::string& name) {
+  // The live form of run_distributed_infomap: shards propose over their
+  // ranges against replicated module state; the router is the exchange,
+  // concatenating movers in shard order and broadcasting one identical
+  // apply list.  Same kernels, same order ⇒ same codelength as the
+  // simulation with num_ranks == shards.
+  const auto fail = [&](const std::string& why) {
+    broadcast("DCLUSTER ABORT " + name);  // best effort
+    return err("unavailable", "distributed cluster failed: " + why);
+  };
+  const auto all_ok = [](const Gather& g) {
+    if (!g.all_ok()) return false;
+    for (const std::string& r : g.responses) {
+      if (!starts_with(r, "OK")) return false;
+    }
+    return true;
+  };
+
+  Gather g = broadcast("DCLUSTER BEGIN " + name);
+  if (!all_ok(g)) {
+    for (std::size_t i = 0; i < g.responses.size(); ++i) {
+      if (g.ok[i] && starts_with(g.responses[i], "ERR")) {
+        broadcast("DCLUSTER ABORT " + name);
+        return g.responses[i];  // canonical (unknown graph, ...)
+      }
+    }
+    return fail("BEGIN incomplete");
+  }
+  double prev = 0.0;
+  parse_double(field(g.responses[0], "codelength="), prev);
+
+  int levels = 0;
+  std::uint64_t supersteps = 0;
+  for (int level = 0; level < config_.dist_max_levels; ++level) {
+    levels = level + 1;
+    for (int step = 0; step < config_.dist_max_supersteps; ++step) {
+      // Scatter PROPOSE: each shard evaluates its own range.
+      std::string movers;
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        std::string resp;
+        if (!shard_call(i, "DCLUSTER PROPOSE " + name, resp) ||
+            !starts_with(resp, "OK")) {
+          return fail("PROPOSE shard " + std::to_string(i));
+        }
+        const std::string_view list = field(resp, "list=");
+        if (!list.empty() && list != "-") {
+          if (!movers.empty()) movers += ',';
+          movers += list;
+        }
+      }
+      if (movers.empty()) break;
+      ++supersteps;
+      g = broadcast("DCLUSTER APPLY " + name + " " + movers);
+      if (!all_ok(g)) return fail("APPLY incomplete");
+      std::uint64_t applied = 0;
+      double codelength = prev;
+      parse_num(field(g.responses[0], "applied="), applied);
+      parse_double(field(g.responses[0], "codelength="), codelength);
+      if (applied == 0 ||
+          prev - codelength < config_.dist_min_improvement_bits) {
+        break;
+      }
+      prev = codelength;
+    }
+    g = broadcast("DCLUSTER LEVEL " + name);
+    if (!all_ok(g)) return fail("LEVEL incomplete");
+    std::uint64_t done = 0;
+    parse_num(field(g.responses[0], "done="), done);
+    if (done == 1) break;
+    parse_double(field(g.responses[0], "codelength="), prev);
+  }
+
+  g = broadcast("DCLUSTER COMMIT " + name);
+  if (!all_ok(g)) return fail("COMMIT incomplete");
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    observe_response(i, name, g.responses[i]);
+  }
+  std::uint64_t version = 0, communities = 0;
+  double codelength = 0.0;
+  parse_num(field(g.responses[0], "version="), version);
+  parse_num(field(g.responses[0], "communities="), communities);
+  parse_double(field(g.responses[0], "codelength="), codelength);
+  return "OK mode=dist state=done version=" + std::to_string(version) +
+         " communities=" + std::to_string(communities) +
+         " codelength=" + fmt_double(codelength) +
+         " levels=" + std::to_string(levels) +
+         " supersteps=" + std::to_string(supersteps) +
+         " vclock=" + vclock_of(name);
+}
+
+std::string Router::handle_shards() {
+  std::string status, breakers;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i > 0) {
+      status += ',';
+      breakers += ',';
+    }
+    status += shards_[i]->up.load(std::memory_order_relaxed) ? "up" : "down";
+    breakers += breaker_name(shards_[i]->breaker.state());
+  }
+  return "OK shards=" + std::to_string(shards_.size()) +
+         " status=" + status + " breakers=" + breakers;
+}
+
+std::string Router::handle_stats() {
+  return "OK shards=" + std::to_string(shards_.size()) +
+         " requests=" + std::to_string(requests_.load()) +
+         " retries=" + std::to_string(retries_.load()) +
+         " degraded=" + std::to_string(degraded_.load()) +
+         " stale=" + std::to_string(stale_.load());
+}
+
+std::string Router::handle_metrics(
+    const std::vector<std::string_view>& tokens) {
+  if (tokens.size() > 2) {
+    return err("invalid_argument", "usage: METRICS [prom|json]");
+  }
+  const std::string_view fmt = tokens.size() == 2 ? tokens[1] : "prom";
+  if (fmt == "prom") {
+    std::ostringstream out;
+    metrics_.write_prometheus(out);
+    std::string s = out.str();
+    if (!s.empty() && s.back() == '\n') s.pop_back();
+    return enveloped("prometheus", std::move(s));
+  }
+  if (fmt == "json") {
+    std::ostringstream out;
+    out << "{\n";
+    benchutil::write_envelope_fields(
+        out, benchutil::make_envelope("router_metrics"), "  ");
+    out << "  \"metrics\": ";
+    metrics_.write_json(out, "  ");
+    out << "\n}";
+    return enveloped("json", out.str());
+  }
+  return err("invalid_argument", "unknown metrics format");
+}
+
+std::string Router::handle_trace(
+    const std::vector<std::string_view>& tokens) {
+  constexpr const char* kUsage = "usage: TRACE DUMP | TRACE STATUS";
+  if (tokens.size() != 2) return err("invalid_argument", kUsage);
+  obs::FlightRecorder& rec = obs::FlightRecorder::instance();
+  if (tokens[1] == "DUMP") {
+    std::ostringstream out;
+    rec.write_chrome_json(out);
+    return enveloped("chrome-trace", out.str());
+  }
+  if (tokens[1] == "STATUS") {
+    const obs::TraceStats stats = rec.stats();
+    std::string out = "OK enabled=";
+    out += stats.enabled ? '1' : '0';
+    out += " rings=" + std::to_string(stats.rings) +
+           " capacity=" + std::to_string(stats.ring_capacity) +
+           " recorded=" + std::to_string(stats.recorded) +
+           " dropped=" + std::to_string(stats.dropped);
+    return out;
+  }
+  return err("invalid_argument", kUsage);
+}
+
+}  // namespace asamap::dist

@@ -1,0 +1,463 @@
+#include "asamap/dist/shard.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <functional>
+#include <utility>
+
+#include "asamap/core/infomap.hpp"
+#include "asamap/hashdb/software_accumulator.hpp"
+#include "asamap/obs/tracing.hpp"
+#include "asamap/sim/event_sink.hpp"
+#include "asamap/support/timer.hpp"
+
+namespace asamap::dist {
+
+using core::FlowNetwork;
+using core::LevelAddresses;
+using core::ModuleState;
+using graph::VertexId;
+
+namespace {
+
+// Small local copies of the session.cpp parsing helpers (they are
+// file-local there by design — the protocol surface, not the parser, is
+// the shared contract).
+
+std::string_view trim_trailing_ws(std::string_view s) {
+  while (!s.empty() &&
+         (s.back() == '\r' || s.back() == '\n' || s.back() == ' ' ||
+          s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+void tokenize_into(std::string_view line,
+                   std::vector<std::string_view>& tokens) {
+  tokens.clear();
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) tokens.push_back(line.substr(i, j - i));
+    i = j;
+  }
+}
+
+template <typename T>
+bool parse_num(std::string_view s, T& out) {
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+/// Full-precision rendering for router-side merging: %.17g round-trips a
+/// double exactly, so summed partials equal what a local sum of the same
+/// terms produces.
+std::string fmt_full(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string err(const char* code, const std::string& text) {
+  return std::string("ERR ") + code + " " + text;
+}
+
+/// Tail of `line` starting at token `tokens[from]` — the verbatim rest of
+/// the request for SHARD FORWARD / TRACECTX delegation (preserves inner
+/// spacing past the prefix, which tokenization would not).
+std::string_view line_tail(std::string_view line,
+                           const std::vector<std::string_view>& tokens,
+                           std::size_t from) {
+  if (from >= tokens.size()) return {};
+  const auto off =
+      static_cast<std::size_t>(tokens[from].data() - line.data());
+  return line.substr(off);
+}
+
+/// Communities above which a range-partial TOPK response is refused (the
+/// router falls back to SHARD FORWARD).  Bounds the response well under
+/// the 16 MiB frame cap.
+constexpr std::size_t kMaxPartialCommunities = 200000;
+
+}  // namespace
+
+/// One in-flight distributed clustering, the shard half of the superstep
+/// protocol.  Mirrors run_distributed_infomap exactly: same flow build,
+/// same per-level ModuleState, same evaluate/re-validate kernels — so the
+/// converged codelength matches the simulation bit for bit when the router
+/// concatenates movers in shard order.
+struct ShardSession::DclusterState {
+  serve::GraphRegistry::GraphPtr graph;
+  FlowNetwork original;
+  FlowNetwork fn;
+  std::vector<VertexId> node_of_orig;
+  std::unique_ptr<ModuleState> state;
+  hashdb::AddressSpace addr_space;
+  LevelAddresses addrs{};
+  sim::NullSink sink;
+  std::unique_ptr<hashdb::AddressSpace> heap;
+  std::unique_ptr<hashdb::ChainedAccumulator<sim::NullSink>> acc;
+  core::KernelCosts costs;
+  std::vector<std::uint8_t> active;
+  std::vector<std::uint8_t> next_active;
+  int level = 0;
+
+  void reset_level() {
+    const VertexId n = fn.num_nodes();
+    state = std::make_unique<ModuleState>(fn);
+    addrs = LevelAddresses::for_network(fn, addr_space);
+    heap = std::make_unique<hashdb::AddressSpace>();
+    acc = std::make_unique<hashdb::ChainedAccumulator<sim::NullSink>>(sink,
+                                                                     *heap);
+    active.assign(n, 1);
+    next_active.assign(n, 0);
+  }
+};
+
+ShardSession::ShardSession(serve::ServeSession& inner,
+                           const ShardConfig& config)
+    : inner_(inner), config_(config) {
+  if (config_.shards < 1) config_.shards = 1;
+  if (config_.shard_id >= config_.shards) config_.shard_id = 0;
+  obs::MetricRegistry& m = inner_.metrics();
+  m.gauge("asamap_shard_id").set(static_cast<double>(config_.shard_id));
+  m.gauge("asamap_shard_count").set(static_cast<double>(config_.shards));
+  requests_total_ = &m.counter("asamap_shard_requests_total");
+  wrong_shard_total_ = &m.counter("asamap_shard_wrong_shard_total");
+  forwards_total_ = &m.counter("asamap_shard_forwards_total");
+  dcluster_steps_total_ = &m.counter("asamap_shard_dcluster_steps_total");
+  dcluster_step_seconds_ =
+      &m.histogram("asamap_shard_dcluster_step_seconds");
+}
+
+ShardSession::~ShardSession() = default;
+
+std::string ShardSession::handle_line(std::string_view line) {
+  requests_total_->inc();
+  return dispatch(trim_trailing_ws(line));
+}
+
+std::string ShardSession::dispatch(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  tokenize_into(line, tokens);
+  if (tokens.empty()) return inner_.handle_line(line);
+  const std::string_view verb = tokens[0];
+  if (verb == "TRACECTX") return handle_tracectx(line, tokens);
+  if (verb == "SHARD") return handle_shard(line, tokens);
+  if (verb == "DCLUSTER") return handle_dcluster(tokens);
+  if (verb == "MEMBER" || verb == "SAME" || verb == "TOPK" ||
+      verb == "SUMMARY") {
+    return handle_ranged_read(verb, tokens, line);
+  }
+  return inner_.handle_line(line);
+}
+
+std::string ShardSession::handle_tracectx(
+    std::string_view line, const std::vector<std::string_view>& tokens) {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  if (tokens.size() < 4 || !parse_num(tokens[1], trace_id) ||
+      !parse_num(tokens[2], span_id)) {
+    return err("invalid_argument", "usage: TRACECTX <trace> <span> <line>");
+  }
+  // Adopt the router's identity: spans recorded while handling the inner
+  // line (including scheduler hops) parent under the router's span, so a
+  // merged TRACE DUMP from both processes renders one connected tree.
+  obs::TraceScope scope(obs::TraceContext{trace_id, span_id});
+  obs::TraceSpan span("shard.request", obs::TraceCat::kSession);
+  return dispatch(line_tail(line, tokens, 3));
+}
+
+std::string ShardSession::handle_shard(
+    std::string_view line, const std::vector<std::string_view>& tokens) {
+  if (tokens.size() >= 2 && tokens[1] == "INFO") {
+    return "OK shard=" + std::to_string(config_.shard_id) +
+           " shards=" + std::to_string(config_.shards);
+  }
+  if (tokens.size() >= 3 && tokens[1] == "FORWARD") {
+    forwards_total_->inc();
+    // Failover path: answer from the full replica, range checks waived.
+    return inner_.handle_line(line_tail(line, tokens, 2));
+  }
+  return err("invalid_argument", "usage: SHARD INFO | SHARD FORWARD <line>");
+}
+
+const ShardSession::RangeView* ShardSession::range_view(
+    const std::string& name) {
+  const serve::PartitionStore::SnapshotPtr snap = inner_.snapshot(name);
+  if (!snap) return nullptr;
+  std::lock_guard<std::mutex> lock(range_mu_);
+  RangeView& rv = range_views_[name];
+  if (rv.snap == snap) return &rv;
+  const auto n = static_cast<VertexId>(snap->communities.size());
+  rv.range = range_of(n, config_.shard_id, config_.shards);
+  rv.partial_flow.assign(snap->num_communities, 0.0);
+  // Same per-vertex terms as make_snapshot — only the grouping differs, so
+  // a router summing shard partials in order reproduces the oracle values
+  // to within final-rounding ulps.
+  const double total = snap->graph->total_arc_weight();
+  if (total > 0.0) {
+    for (VertexId v = rv.range.begin; v < rv.range.end; ++v) {
+      rv.partial_flow[snap->communities[v]] +=
+          snap->graph->out_weight(v) / total;
+    }
+  }
+  rv.snap = snap;
+  return &rv;
+}
+
+std::string ShardSession::handle_ranged_read(
+    std::string_view verb, const std::vector<std::string_view>& tokens,
+    std::string_view line) {
+  // Malformed requests and graphs without a snapshot fall through to the
+  // inner session, whose error texts are the canonical ones.
+  if (tokens.size() < 2) return inner_.handle_line(line);
+  const std::string name(tokens[1]);
+
+  if (verb == "MEMBER" || verb == "SAME") {
+    const serve::PartitionStore::SnapshotPtr snap = inner_.snapshot(name);
+    if (!snap) return inner_.handle_line(line);
+    const auto n = static_cast<VertexId>(snap->communities.size());
+    const auto ranges = make_ranges(n, config_.shards);
+    const std::size_t first_vertex_token = 2;
+    const std::size_t expect = verb == "MEMBER" ? 3 : 4;
+    if (tokens.size() != expect) return inner_.handle_line(line);
+    for (std::size_t i = first_vertex_token; i < expect; ++i) {
+      VertexId v = 0;
+      if (!parse_num(tokens[i], v)) return inner_.handle_line(line);
+      if (v >= n) return inner_.handle_line(line);  // inner's range error
+      const std::uint32_t owner = owner_of(v, n, ranges);
+      if (owner != config_.shard_id) {
+        wrong_shard_total_->inc();
+        return err("not_found",
+                   "wrong_shard vertex=" + std::to_string(v) +
+                       " owner=" + std::to_string(owner) +
+                       " shard=" + std::to_string(config_.shard_id));
+      }
+    }
+    return inner_.handle_line(line);
+  }
+
+  if (verb == "TOPK") {
+    std::size_t k = 0;
+    if (tokens.size() != 3 || !parse_num(tokens[2], k) || k == 0) {
+      return inner_.handle_line(line);
+    }
+    const RangeView* rv = range_view(name);
+    if (rv == nullptr) return inner_.handle_line(line);
+    if (rv->partial_flow.size() > kMaxPartialCommunities) {
+      return err("too_large",
+                 "partial merge over " +
+                     std::to_string(rv->partial_flow.size()) +
+                     " communities; use SHARD FORWARD");
+    }
+    std::string out = "OK version=" + std::to_string(rv->snap->version) +
+                      " shard=" + std::to_string(config_.shard_id) +
+                      " shards=" + std::to_string(config_.shards) +
+                      " range=" + std::to_string(rv->range.begin) + ":" +
+                      std::to_string(rv->range.end) +
+                      " k=" + std::to_string(k) +
+                      " communities=" + std::to_string(rv->partial_flow.size()) +
+                      " partial=";
+    for (std::size_t c = 0; c < rv->partial_flow.size(); ++c) {
+      if (c > 0) out += ',';
+      out += std::to_string(c) + ":" + fmt_full(rv->partial_flow[c]);
+    }
+    return out;
+  }
+
+  // SUMMARY
+  if (tokens.size() != 2) return inner_.handle_line(line);
+  const RangeView* rv = range_view(name);
+  if (rv == nullptr) return inner_.handle_line(line);
+  const auto& snap = *rv->snap;
+  return "OK version=" + std::to_string(snap.version) +
+         " shard=" + std::to_string(config_.shard_id) +
+         " shards=" + std::to_string(config_.shards) +
+         " range=" + std::to_string(rv->range.begin) + ":" +
+         std::to_string(rv->range.end) +
+         " vertices=" + std::to_string(rv->range.size()) +
+         " arcs=" + std::to_string(snap.graph->num_arcs()) +
+         " communities=" + std::to_string(snap.num_communities) +
+         " codelength=" + fmt_full(snap.codelength) +
+         " modularity=" + fmt_full(snap.modularity) +
+         " interrupted=" + (snap.interrupted ? "1" : "0") +
+         " job=" + std::to_string(snap.build_job);
+}
+
+std::string ShardSession::run_step(const char* label,
+                                   const std::function<std::string()>& fn) {
+  std::string result;
+  // The superstep runs as an interactive job so it shares the scheduler's
+  // queueing, stop flags, and trace plumbing with every other unit of work
+  // in the process; wait() makes the protocol step synchronous.
+  auto submitted = inner_.scheduler().submit(
+      [&](const serve::JobContext&) { result = fn(); },
+      serve::JobPriority::kInteractive);
+  if (!submitted.accepted()) {
+    return err("rejected", "dcluster step rejected: " +
+                               std::string(submitted.status.text()));
+  }
+  const serve::JobState state = inner_.scheduler().wait(submitted.id);
+  if (state != serve::JobState::kDone) {
+    return err("unavailable",
+               std::string("dcluster step ") + label + " did not complete");
+  }
+  return result;
+}
+
+std::string ShardSession::handle_dcluster(
+    const std::vector<std::string_view>& tokens) {
+  if (tokens.size() < 3) {
+    return err("invalid_argument",
+               "usage: DCLUSTER BEGIN|PROPOSE|APPLY|LEVEL|COMMIT|ABORT "
+               "<graph> [...]");
+  }
+  const std::string_view op = tokens[1];
+  const std::string name(tokens[2]);
+  dcluster_steps_total_->inc();
+  const support::WallTimer timer;
+  std::lock_guard<std::mutex> lock(dc_mu_);
+
+  std::string response;
+  if (op == "BEGIN") {
+    auto graph = inner_.registry().get(name);
+    if (!graph) {
+      return err("not_found", "unknown graph '" + name + "'");
+    }
+    response = run_step("begin", [&]() -> std::string {
+      auto dc = std::make_unique<DclusterState>();
+      dc->graph = graph;
+      dc->original = core::build_flow(*graph, core::FlowOptions{});
+      dc->fn = dc->original;
+      dc->node_of_orig.resize(graph->num_vertices());
+      for (VertexId v = 0; v < graph->num_vertices(); ++v) {
+        dc->node_of_orig[v] = v;
+      }
+      dc->reset_level();
+      std::string out = "OK graph=" + name +
+                        " n=" + std::to_string(dc->fn.num_nodes()) +
+                        " codelength=" + fmt_full(dc->state->codelength());
+      dcluster_[name] = std::move(dc);
+      return out;
+    });
+  } else {
+    const auto it = dcluster_.find(name);
+    if (it == dcluster_.end()) {
+      return err("not_found", "no dcluster in progress for '" + name + "'");
+    }
+    DclusterState& dc = *it->second;
+
+    if (op == "PROPOSE") {
+      response = run_step("propose", [&]() -> std::string {
+        const VertexId n = dc.fn.num_nodes();
+        const ShardRange range =
+            range_of(n, config_.shard_id, config_.shards);
+        core::KernelBreakdown scratch;
+        std::string out = "OK movers=";
+        std::string list;
+        std::size_t count = 0;
+        for (VertexId v = range.begin; v < range.end; ++v) {
+          if (!dc.active[v]) continue;
+          const core::MoveProposal p =
+              core::evaluate_move(*dc.state, dc.fn, v, *dc.acc, dc.sink,
+                                  dc.addrs, dc.costs, scratch);
+          if (p.improving(dc.state->module_of(v))) {
+            if (!list.empty()) list += ',';
+            list += std::to_string(v);
+            ++count;
+          }
+        }
+        out += std::to_string(count) + " list=" + (list.empty() ? "-" : list);
+        return out;
+      });
+    } else if (op == "APPLY") {
+      if (tokens.size() != 4) {
+        return err("invalid_argument", "usage: DCLUSTER APPLY <graph> <list>");
+      }
+      // The router concatenates every shard's movers in shard order; each
+      // replica applies the full list identically, so all replicas hold
+      // the same module state without shipping aggregates.
+      std::vector<VertexId> movers;
+      if (tokens[3] != "-") {
+        std::string_view list = tokens[3];
+        while (!list.empty()) {
+          const std::size_t comma = list.find(',');
+          const std::string_view tok = list.substr(0, comma);
+          VertexId v = 0;
+          if (!parse_num(tok, v) || v >= dc.fn.num_nodes()) {
+            return err("invalid_argument", "bad mover list");
+          }
+          movers.push_back(v);
+          list = comma == std::string_view::npos ? std::string_view{}
+                                                 : list.substr(comma + 1);
+        }
+      }
+      response = run_step("apply", [&]() -> std::string {
+        core::KernelBreakdown bd;
+        std::size_t applied = 0;
+        for (const VertexId v : movers) {
+          if (core::find_best_community(*dc.state, dc.fn, v, *dc.acc,
+                                        dc.sink, dc.addrs, dc.costs, bd)) {
+            ++applied;
+            core::mark_neighborhood(dc.fn, v, dc.next_active.data());
+          }
+        }
+        dc.state->recompute();
+        dc.active.swap(dc.next_active);
+        std::fill(dc.next_active.begin(), dc.next_active.end(), 0);
+        return "OK applied=" + std::to_string(applied) +
+               " codelength=" + fmt_full(dc.state->codelength());
+      });
+    } else if (op == "LEVEL") {
+      response = run_step("level", [&]() -> std::string {
+        const VertexId n = dc.fn.num_nodes();
+        core::Partition assignment = dc.state->assignment();
+        const std::size_t k = core::compact_communities(assignment);
+        for (VertexId v = 0; v < dc.node_of_orig.size(); ++v) {
+          dc.node_of_orig[v] = assignment[dc.node_of_orig[v]];
+        }
+        if (k == n || k <= 1) {
+          return "OK done=1 communities=" + std::to_string(k);
+        }
+        dc.fn = core::contract_network(dc.fn, assignment, k);
+        ++dc.level;
+        dc.reset_level();
+        return "OK done=0 n=" + std::to_string(dc.fn.num_nodes()) +
+               " codelength=" + fmt_full(dc.state->codelength());
+      });
+    } else if (op == "COMMIT") {
+      response = run_step("commit", [&]() -> std::string {
+        core::InfomapResult result;
+        result.communities = dc.node_of_orig;
+        result.num_communities =
+            core::compact_communities(result.communities);
+        ModuleState final_state(dc.original, result.communities,
+                                result.num_communities);
+        result.codelength = final_state.codelength();
+        const std::uint64_t version =
+            inner_.store().publish(name,
+                                   serve::make_snapshot(dc.graph, result));
+        return "OK version=" + std::to_string(version) +
+               " communities=" + std::to_string(result.num_communities) +
+               " codelength=" + fmt_full(result.codelength);
+      });
+      if (response.rfind("OK", 0) == 0) dcluster_.erase(name);
+    } else if (op == "ABORT") {
+      dcluster_.erase(name);
+      response = "OK aborted=" + name;
+    } else {
+      return err("invalid_argument",
+                 "unknown DCLUSTER op '" + std::string(op) + "'");
+    }
+  }
+  dcluster_step_seconds_->record_seconds(timer.seconds());
+  return response;
+}
+
+}  // namespace asamap::dist

@@ -1,0 +1,123 @@
+#include "asamap/net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "asamap/net/frame.hpp"
+
+namespace asamap::net {
+
+namespace {
+
+serve::ServeStatus errno_status(const char* what) {
+  return serve::ServeStatus::error(
+      serve::ServeCode::kUnavailable,
+      std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+}
+
+serve::ServeStatus Client::connect(const ClientConfig& config) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    last_error_ = std::strerror(errno);
+    return errno_status("socket");
+  }
+  timeval tv{};
+  tv.tv_sec = config.timeout_ms / 1000;
+  tv.tv_usec = (config.timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    last_error_ = "bad address " + config.host;
+    return serve::ServeStatus::error(serve::ServeCode::kInvalidArgument,
+                                     last_error_);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    last_error_ = std::strerror(errno);
+    ::close(fd);
+    return errno_status("connect");
+  }
+  fd_ = fd;
+  return serve::ServeStatus::success();
+}
+
+serve::ServeStatus Client::request(std::string_view line,
+                                   std::string& response) {
+  if (fd_ < 0) {
+    last_error_ = "not connected";
+    return serve::ServeStatus::error(serve::ServeCode::kUnavailable,
+                                     "not connected");
+  }
+  std::string wire;
+  wire.reserve(line.size() + 8);
+  append_frame(line, wire);
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n = ::send(fd_, wire.data() + off, wire.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      last_error_ = std::strerror(errno);
+      close();
+      return errno_status("send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // One response message, either encoding.  Leftover bytes past it (a
+  // pipelined peer) stay in rbuf_ for the next call.
+  for (;;) {
+    const Decoded d = decode_one(rbuf_);
+    if (d.status == DecodeStatus::kError) {
+      last_error_ = d.error != nullptr ? d.error : "frame error";
+      close();
+      return serve::ServeStatus::error(serve::ServeCode::kUnavailable,
+                                       last_error_);
+    }
+    if (d.status != DecodeStatus::kNeedMore) {
+      response.assign(d.payload);
+      rbuf_.erase(0, d.consumed);
+      return serve::ServeStatus::success();
+    }
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      last_error_ = "connection closed";
+      close();
+      return serve::ServeStatus::error(serve::ServeCode::kUnavailable,
+                                       "connection closed");
+    }
+    if (n < 0) {
+      last_error_ = std::strerror(errno);
+      close();
+      return errno_status("recv");
+    }
+    rbuf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace asamap::net

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file client.hpp
+/// asamap::net::Client — a blocking, single-connection protocol client for
+/// the frame codec (frame.hpp).  The router holds one per shard endpoint
+/// (pooled, one in-flight request at a time per connection); tests and
+/// tools use it as the canonical "talk to an asamap endpoint" helper.
+///
+/// Requests go out binary-framed (length-prefixed, so payloads may embed
+/// anything); the response is decoded with the same autodetecting codec
+/// the server uses, so either encoding is accepted.  All socket waits are
+/// bounded by SO_RCVTIMEO/SO_SNDTIMEO — a dead peer surfaces as
+/// kUnavailable within `timeout_ms`, never a hang.  Not thread-safe:
+/// callers serialize access (the router guards each shard connection with
+/// a mutex).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "asamap/serve/status.hpp"
+
+namespace asamap::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Per-syscall send/receive timeout.  One request() may take a small
+  /// multiple of this when a response trickles in across several reads.
+  int timeout_ms = 5000;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects (TCP_NODELAY, timeouts armed).  Idempotent: an existing
+  /// connection is closed first.  kUnavailable with errno text on failure.
+  serve::ServeStatus connect(const ClientConfig& config);
+
+  /// Sends one request line and blocks for exactly one response message.
+  /// On any transport error the connection is closed (a later request()
+  /// via the router reconnects) and kUnavailable is returned; `response`
+  /// is only written on success.
+  serve::ServeStatus request(std::string_view line, std::string& response);
+
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& last_error() const noexcept {
+    return last_error_;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string rbuf_;  ///< bytes received past the last decoded message
+  std::string last_error_;
+};
+
+}  // namespace asamap::net

@@ -46,7 +46,7 @@
 
 #include "asamap/net/spsc_ring.hpp"
 #include "asamap/obs/metrics.hpp"
-#include "asamap/serve/session.hpp"
+#include "asamap/serve/handler.hpp"
 #include "asamap/serve/status.hpp"
 
 namespace asamap::net {
@@ -74,9 +74,10 @@ struct NetConfig {
 
 class NetServer {
  public:
-  /// Registers the asamap_net_* metrics on `session.metrics()`.  The
-  /// session must outlive the server.
-  NetServer(serve::ServeSession& session, const NetConfig& config = {});
+  /// Registers the asamap_net_* metrics on `handler.metrics()`.  The
+  /// handler (a ServeSession, dist::ShardSession, or dist::Router) must
+  /// outlive the server.
+  NetServer(serve::RequestHandler& handler, const NetConfig& config = {});
   ~NetServer();  ///< stop()s if still running
 
   NetServer(const NetServer&) = delete;
@@ -165,7 +166,7 @@ class NetServer {
   void destroy(Conn& conn);
   [[nodiscard]] Conn* find_conn(std::uint64_t id);
 
-  serve::ServeSession& session_;
+  serve::RequestHandler& handler_;
   NetConfig config_;
 
   // asamap_net_* handles, pre-registered at construction (stable scrape

@@ -70,11 +70,11 @@ bool is_quit(std::string_view payload) {
 
 }  // namespace
 
-NetServer::NetServer(serve::ServeSession& session, const NetConfig& config)
-    : session_(session), config_(config) {
+NetServer::NetServer(serve::RequestHandler& handler, const NetConfig& config)
+    : handler_(handler), config_(config) {
   if (config_.workers < 1) config_.workers = 1;
   if (config_.max_batch < 1) config_.max_batch = 1;
-  obs::MetricRegistry& m = session_.metrics();
+  obs::MetricRegistry& m = handler_.metrics();
   connections_total_ = &m.counter("asamap_net_connections_total");
   connections_active_ = &m.gauge("asamap_net_connections_active");
   requests_text_ = &m.counter("asamap_net_requests_total", "proto=\"text\"");
@@ -226,7 +226,7 @@ void NetServer::worker_loop(int index) {
       // fans out to) parents under it, keyed by the connection id.
       obs::TraceSpan span("net.batch", obs::TraceCat::kSession,
                           obs::FlightRecorder::instance(), batch.conn_id);
-      session_.handle_batch(lines, responses);
+      handler_.handle_batch(lines, responses);
     }
     for (std::size_t i = 0; i < responses.size(); ++i) {
       append_message(responses[i], batch.items[i].binary, reply.data);

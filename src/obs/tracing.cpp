@@ -1,10 +1,14 @@
 #include "asamap/obs/tracing.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <ostream>
+
+#include "asamap/support/hash.hpp"
 
 namespace asamap::obs {
 
@@ -94,7 +98,16 @@ const char* to_string(TraceCat cat) noexcept {
 TraceContext current_trace() noexcept { return g_current; }
 
 std::uint64_t mint_trace_id() noexcept {
-  static std::atomic<std::uint64_t> next{1};
+  // Seeded per process so ids minted by cooperating processes (router and
+  // shards merging spans under one trace via TRACECTX) don't collide the
+  // way a plain 1,2,3,... counter would.  |1 keeps 0 = "no trace".
+  static std::atomic<std::uint64_t> next{
+      support::mix64(static_cast<std::uint64_t>(::getpid()) ^
+                     static_cast<std::uint64_t>(
+                         std::chrono::steady_clock::now()
+                             .time_since_epoch()
+                             .count())) |
+      1};
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 

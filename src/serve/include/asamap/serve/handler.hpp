@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file handler.hpp
+/// RequestHandler — the minimal seam between the line protocol and its
+/// transports.  A transport (the stdin driver, the epoll NetServer) needs
+/// exactly three things from whatever answers requests: execute one line,
+/// execute a pipelined batch, and expose a metric registry to publish
+/// transport counters into.  ServeSession implements it directly;
+/// dist::ShardSession and dist::Router wrap or replace it so the same
+/// NetServer front end serves a single process, one shard of a partition,
+/// or the scatter/gather router without knowing which.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asamap::obs {
+class MetricRegistry;
+}  // namespace asamap::obs
+
+namespace asamap::serve {
+
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+
+  /// Executes one protocol line, returning the response without trailing
+  /// newline (multi-line only inside a self-describing envelope).  Never
+  /// throws.
+  virtual std::string handle_line(std::string_view line) = 0;
+
+  /// Executes a pipelined batch, appending one response per line to
+  /// `responses` (cleared first), in order.  The default simply loops
+  /// handle_line; ServeSession overrides it with the shared-snapshot read
+  /// fast path.
+  virtual void handle_batch(const std::vector<std::string_view>& lines,
+                            std::vector<std::string>& responses) {
+    responses.clear();
+    responses.reserve(lines.size());
+    for (const std::string_view line : lines) {
+      responses.push_back(handle_line(line));
+    }
+  }
+
+  /// The registry a transport publishes its own metrics into (and METRICS
+  /// scrapes).  Safe to call from any thread.
+  virtual obs::MetricRegistry& metrics() noexcept = 0;
+};
+
+}  // namespace asamap::serve

@@ -83,6 +83,7 @@
 #include "asamap/fault/retry.hpp"
 #include "asamap/obs/metrics.hpp"
 #include "asamap/serve/graph_registry.hpp"
+#include "asamap/serve/handler.hpp"
 #include "asamap/serve/job_scheduler.hpp"
 #include "asamap/serve/partition_store.hpp"
 #include "asamap/serve/status.hpp"
@@ -116,10 +117,10 @@ struct SessionConfig {
   graph::VertexId delta_new_vertex_headroom = 65536;
 };
 
-class ServeSession {
+class ServeSession : public RequestHandler {
  public:
   explicit ServeSession(const SessionConfig& config = {});
-  ~ServeSession();
+  ~ServeSession() override;
 
   ServeSession(const ServeSession&) = delete;
   ServeSession& operator=(const ServeSession&) = delete;
@@ -197,7 +198,7 @@ class ServeSession {
   /// The session-wide metric registry: every subsystem (graph registry,
   /// scheduler, clustering jobs, the protocol handler itself) publishes
   /// here.  Safe to scrape from any thread while requests are in flight.
-  obs::MetricRegistry& metrics() noexcept { return metrics_; }
+  obs::MetricRegistry& metrics() noexcept override { return metrics_; }
   [[nodiscard]] const obs::MetricRegistry& metrics() const noexcept {
     return metrics_;
   }
@@ -213,7 +214,7 @@ class ServeSession {
   /// newline; multi-line only for METRICS / TRACE DUMP, see the envelope
   /// note above).  Trailing whitespace — including the '\r' a CRLF client
   /// sends — is stripped before parsing.  Never throws.
-  std::string handle_line(std::string_view line);
+  std::string handle_line(std::string_view line) override;
 
   /// Executes a pipelined batch of protocol lines, appending one response
   /// per line to `responses` (cleared first), in order.
@@ -228,7 +229,7 @@ class ServeSession {
   /// whatever the write published; non-read verbs go through the exact
   /// handle_line path (root span, fault sites, metrics) unchanged.
   void handle_batch(const std::vector<std::string_view>& lines,
-                    std::vector<std::string>& responses);
+                    std::vector<std::string>& responses) override;
 
  private:
   /// Per-verb handles, pre-registered at construction so the request path

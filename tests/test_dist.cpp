@@ -1,11 +1,36 @@
-// Tests for the simulated distributed-memory Infomap layer.
+// Tests for the distributed Infomap layer: the message-cost simulation
+// (run_distributed_infomap) and the live sharded serving tier — shard
+// sessions + router over real loopback TCP, including degraded/stale
+// fallbacks, backpressure propagation, and the cross-process trace tree.
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
 #include "asamap/core/infomap.hpp"
 #include "asamap/dist/distributed.hpp"
+#include "asamap/dist/partition_map.hpp"
+#include "asamap/dist/router.hpp"
+#include "asamap/dist/shard.hpp"
 #include "asamap/gen/generators.hpp"
 #include "asamap/metrics/partition.hpp"
+#include "asamap/net/frame.hpp"
+#include "asamap/net/server.hpp"
+#include "asamap/obs/tracing.hpp"
+#include "asamap/serve/session.hpp"
 
 namespace {
 
@@ -113,6 +138,353 @@ TEST(Distributed, CodelengthIsLevelZeroConsistent) {
   const auto fn = core::build_flow(pp.graph);
   core::ModuleState check(fn, d.communities, d.num_communities);
   EXPECT_NEAR(check.codelength(), d.codelength, 1e-9);
+}
+
+// --- partition map -------------------------------------------------------
+
+TEST(PartitionMap, BlockRangesCoverAndAgreeWithOwnerOf) {
+  for (const graph::VertexId n : {1u, 2u, 7u, 1000u, 1001u}) {
+    for (const std::uint32_t shards : {1u, 2u, 3u, 8u}) {
+      const auto ranges = dist::make_ranges(n, shards);
+      ASSERT_EQ(ranges.size(), shards);
+      EXPECT_EQ(ranges.front().begin, 0u);
+      EXPECT_EQ(ranges.back().end, n);
+      for (std::uint32_t r = 0; r + 1 < shards; ++r) {
+        EXPECT_EQ(ranges[r].end, ranges[r + 1].begin);  // contiguous
+      }
+      for (graph::VertexId v = 0; v < n; ++v) {
+        const std::uint32_t owner = dist::owner_of(v, n, ranges);
+        EXPECT_TRUE(ranges[owner].contains(v)) << v << "/" << n;
+      }
+    }
+  }
+}
+
+// --- live sharded tier over loopback TCP ---------------------------------
+
+serve::SessionConfig tier_config() {
+  serve::SessionConfig config;
+  config.cluster_threads = 1;  // deterministic codelengths across processes
+  config.scheduler.workers = 2;
+  return config;
+}
+
+/// Splits a response's first line into its `key=value` fields (keyless
+/// leading tokens like "OK"/"STALE" land under "" concatenated).
+std::map<std::string, std::string> fields_of(const std::string& resp) {
+  std::map<std::string, std::string> out;
+  const std::string first = resp.substr(0, resp.find('\n'));
+  std::size_t pos = 0;
+  while (pos < first.size()) {
+    const std::size_t end = first.find(' ', pos);
+    const std::string tok =
+        first.substr(pos, end == std::string::npos ? end : end - pos);
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      out[""] += out[""].empty() ? tok : " " + tok;
+    } else {
+      out[tok.substr(0, eq)] = tok.substr(eq + 1);
+    }
+    if (end == std::string::npos) break;
+    pos = end + 1;
+  }
+  return out;
+}
+
+/// Routed reads must carry the same payload as the single-process oracle:
+/// identical ids/integers, float fields to ~1e-9 relative (gather-merge
+/// regroups FP sums), ignoring router-only envelope fields.
+void expect_matches_oracle(const std::string& routed,
+                           const std::string& oracle) {
+  const auto r = fields_of(routed);
+  const auto o = fields_of(oracle);
+  ASSERT_TRUE(r.count("")) << routed;
+  EXPECT_EQ(r.at(""), o.at("")) << routed << "\n vs \n" << oracle;
+  for (const auto& [key, want] : o) {
+    if (key.empty() || key == "version" || key == "job") continue;
+    ASSERT_TRUE(r.count(key)) << key << " missing in: " << routed;
+    const std::string& got = r.at(key);
+    if (key == "flow" || key == "codelength" || key == "modularity") {
+      const double a = std::stod(got);
+      const double b = std::stod(want);
+      EXPECT_NEAR(a, b, 1e-9 * std::max(1.0, std::fabs(b))) << key;
+    } else if (key == "top") {
+      // c:f,c:f,... — ids exact and ordered, flows to tolerance.
+      std::istringstream gs(got), ws(want);
+      std::string gp, wp;
+      while (std::getline(ws, wp, ',')) {
+        ASSERT_TRUE(std::getline(gs, gp, ',')) << key << ": " << routed;
+        const auto gc = gp.find(':');
+        const auto wc = wp.find(':');
+        EXPECT_EQ(gp.substr(0, gc), wp.substr(0, wc)) << routed;
+        EXPECT_NEAR(std::stod(gp.substr(gc + 1)),
+                    std::stod(wp.substr(wc + 1)), 1e-9);
+      }
+    } else {
+      EXPECT_EQ(got, want) << key << " in: " << routed;
+    }
+  }
+}
+
+/// Two in-process shards behind real NetServers + a Router dialing them
+/// over loopback, plus a single-process oracle fed the same commands.
+class ShardedTierTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kShards = 2;
+
+  void SetUp() override {
+    for (std::uint32_t i = 0; i < kShards; ++i) {
+      sessions_[i] = std::make_unique<serve::ServeSession>(tier_config());
+      shards_[i] = std::make_unique<dist::ShardSession>(
+          *sessions_[i], dist::ShardConfig{i, kShards});
+      net::NetConfig config;
+      config.workers = 2;
+      servers_[i] = std::make_unique<net::NetServer>(*shards_[i], config);
+      ASSERT_TRUE(servers_[i]->start().ok());
+      ASSERT_NE(servers_[i]->port(), 0);
+    }
+    dist::RouterConfig rc;
+    for (const auto& s : servers_) {
+      net::ClientConfig ep;
+      ep.port = s->port();
+      ep.timeout_ms = 5000;
+      rc.shards.push_back(ep);
+    }
+    rc.retry.initial_backoff = std::chrono::milliseconds(1);
+    rc.retry.max_backoff = std::chrono::milliseconds(5);
+    router_ = std::make_unique<dist::Router>(rc);
+    EXPECT_EQ(router_->connect(), kShards);
+    oracle_ = std::make_unique<serve::ServeSession>(tier_config());
+  }
+
+  /// Feeds the same line to router and oracle; both must report OK.
+  void ingest(const std::string& line) {
+    ASSERT_EQ(router_->handle_line(line).substr(0, 2), "OK") << line;
+    ASSERT_EQ(oracle_->handle_line(line).substr(0, 2), "OK") << line;
+  }
+
+  std::unique_ptr<serve::ServeSession> sessions_[kShards];
+  std::unique_ptr<dist::ShardSession> shards_[kShards];
+  std::unique_ptr<net::NetServer> servers_[kShards];
+  std::unique_ptr<dist::Router> router_;
+  std::unique_ptr<serve::ServeSession> oracle_;
+};
+
+TEST_F(ShardedTierTest, ReadsMatchSingleProcessOracle) {
+  ingest("GEN g 900 3600 11");
+  ingest("CLUSTER g sync");
+  // Vertices from both ranges (450 splits the block partition), co-located
+  // and cross-shard SAME pairs, merged TOPK, aggregated SUMMARY.
+  for (const char* line :
+       {"MEMBER g 0", "MEMBER g 449", "MEMBER g 450", "MEMBER g 899",
+        "SAME g 1 2", "SAME g 500 600", "SAME g 10 880", "TOPK g 1",
+        "TOPK g 7", "SUMMARY g"}) {
+    expect_matches_oracle(router_->handle_line(line),
+                          oracle_->handle_line(line));
+  }
+  // Error surfaces must match verbatim (no vclock on errors).
+  for (const char* line :
+       {"MEMBER g 900", "MEMBER g", "MEMBER nosuch 0", "TOPK g 0"}) {
+    EXPECT_EQ(router_->handle_line(line), oracle_->handle_line(line)) << line;
+  }
+}
+
+TEST_F(ShardedTierTest, EveryOkReadCarriesAVectorClock) {
+  ingest("GEN g 400 1600 3");
+  ingest("CLUSTER g sync");
+  for (const char* line :
+       {"MEMBER g 7", "SAME g 1 399", "TOPK g 3", "SUMMARY g"}) {
+    const std::string resp = router_->handle_line(line);
+    ASSERT_EQ(resp.substr(0, 2), "OK") << resp;
+    const auto f = fields_of(resp);
+    ASSERT_TRUE(f.count("vclock")) << resp;
+    EXPECT_EQ(f.at("vclock"), "1:1") << resp;
+  }
+}
+
+TEST_F(ShardedTierTest, DistClusterMatchesSimulationCodelength) {
+  ingest("GEN g 800 3200 17");
+  const std::string resp = router_->handle_line("CLUSTER g mode=dist");
+  ASSERT_EQ(resp.substr(0, 2), "OK") << resp;
+  const auto f = fields_of(resp);
+  ASSERT_TRUE(f.count("codelength")) << resp;
+  const double live = std::stod(f.at("codelength"));
+
+  // The live superstep protocol is run_distributed_infomap over TCP: same
+  // kernels, same rank ranges, same apply order — same codelength.
+  gen::ChungLuParams params;
+  params.n = 800;
+  params.target_edges = 3200;
+  const auto graph = gen::chung_lu(params, 17);
+  DistOptions opts;
+  opts.num_ranks = kShards;
+  const DistResult sim = dist::run_distributed_infomap(graph, opts);
+  EXPECT_NEAR(live, sim.codelength, 1e-4) << "live=" << live
+                                          << " sim=" << sim.codelength;
+
+  // And within 0.5% of the single-process sync result (ISSUE 9 acceptance).
+  const auto sync = fields_of(oracle_->handle_line("CLUSTER g sync"));
+  const double seq = std::stod(sync.at("codelength"));
+  EXPECT_LT(std::fabs(live - seq) / seq, 0.005);
+
+  // The committed snapshot serves ordinary reads.
+  const std::string member = router_->handle_line("MEMBER g 5");
+  EXPECT_EQ(member.substr(0, 2), "OK") << member;
+}
+
+TEST_F(ShardedTierTest, WrongShardReadsAreRefusedAtTheShard) {
+  ingest("GEN g 600 2400 5");
+  ingest("CLUSTER g sync");
+  // Vertex 0 belongs to shard 0; shard 1 must refuse it with an owner hint
+  // rather than quietly answering from its replica.
+  const std::string refused = shards_[1]->handle_line("MEMBER g 0");
+  EXPECT_EQ(refused.rfind("ERR not_found wrong_shard", 0), 0u) << refused;
+  EXPECT_NE(refused.find("owner=0"), std::string::npos) << refused;
+  // SHARD FORWARD bypasses the range check — the router's failover path.
+  const std::string forwarded =
+      shards_[1]->handle_line("SHARD FORWARD MEMBER g 0");
+  EXPECT_EQ(forwarded, oracle_->handle_line("MEMBER g 0"));
+  EXPECT_EQ(shards_[1]->handle_line("SHARD INFO"), "OK shard=1 shards=2");
+}
+
+TEST_F(ShardedTierTest, ShardDownMidScatterDegradesAndRetries) {
+  ingest("GEN g 500 2000 7");
+  ingest("CLUSTER g sync");
+  servers_[1]->stop();  // shard 1 dies; shard 0 still holds a full replica
+
+  for (const char* line : {"MEMBER g 499", "SAME g 0 499", "TOPK g 4",
+                           "SUMMARY g"}) {
+    const std::string resp = router_->handle_line(line);
+    ASSERT_EQ(resp.substr(0, 2), "OK") << line << " -> " << resp;
+    const auto f = fields_of(resp);
+    EXPECT_EQ(f.count("degraded") ? f.at("degraded") : "", "1") << resp;
+    expect_matches_oracle(resp, oracle_->handle_line(line));
+  }
+  const auto stats = fields_of(router_->handle_line("STATS"));
+  EXPECT_GT(std::stoull(stats.at("retries")), 0u);
+  EXPECT_GT(std::stoull(stats.at("degraded")), 0u);
+  EXPECT_GE(router_->metrics().counter_total("asamap_router_retries_total"),
+            1u);
+  const std::string shard_status = router_->handle_line("SHARDS");
+  EXPECT_NE(shard_status.find("status=up,down"), std::string::npos)
+      << shard_status;
+
+  // Replicated ingest, by contrast, must refuse rather than fork replicas.
+  const std::string gen = router_->handle_line("GEN h 100 400 1");
+  EXPECT_EQ(gen.rfind("ERR unavailable", 0), 0u) << gen;
+}
+
+TEST_F(ShardedTierTest, VersionSkewIsLabeledStale) {
+  ingest("GEN g 500 2000 7");
+  ingest("CLUSTER g sync");
+  // Recluster shard 1's replica behind the router's back: versions now
+  // disagree (shard0 snapshot v1, shard1 v2).
+  ASSERT_EQ(sessions_[1]->handle_line("CLUSTER g sync").substr(0, 2), "OK");
+
+  const std::string topk = router_->handle_line("TOPK g 3");
+  EXPECT_EQ(topk.rfind("OK STALE", 0), 0u) << topk;
+  EXPECT_NE(topk.find("reason=version_skew"), std::string::npos) << topk;
+  const auto f = fields_of(topk);
+  ASSERT_TRUE(f.count("vclock")) << topk;
+  EXPECT_EQ(f.at("vclock"), "1:2") << topk;
+
+  // A cross-shard SAME whose legs observe different versions is also stale.
+  const std::string same = router_->handle_line("SAME g 0 499");
+  EXPECT_EQ(same.rfind("OK STALE", 0), 0u) << same;
+  EXPECT_NE(same.find("reason=version_skew"), std::string::npos) << same;
+
+  const auto stats = fields_of(router_->handle_line("STATS"));
+  EXPECT_GT(std::stoull(stats.at("stale")), 0u);
+}
+
+TEST_F(ShardedTierTest, RouterAndShardSpansFormOneTraceTree) {
+  ingest("GEN g 300 1200 5");
+  ingest("CLUSTER g sync");
+  const auto before = obs::FlightRecorder::instance().snapshot().size();
+  ASSERT_EQ(router_->handle_line("TOPK g 3").substr(0, 2), "OK");
+  (void)before;
+
+  // Both ends record into this process's recorder: the router's root span
+  // ("TOPK") and each shard's "shard.request" span, joined by TRACECTX.
+  const auto events = obs::FlightRecorder::instance().snapshot();
+  std::uint64_t root_trace = 0;
+  for (const auto& e : events) {
+    if (e.name != nullptr && std::string_view(e.name) == "TOPK" &&
+        e.kind == obs::TraceKind::kBegin) {
+      root_trace = e.trace_id;  // newest TOPK root wins
+    }
+  }
+  ASSERT_NE(root_trace, 0u);
+  int shard_spans = 0;
+  for (const auto& e : events) {
+    if (e.trace_id == root_trace && e.name != nullptr &&
+        std::string_view(e.name) == "shard.request" &&
+        e.kind == obs::TraceKind::kBegin) {
+      ++shard_spans;
+      EXPECT_NE(e.parent_id, 0u) << "shard span must parent under router";
+    }
+  }
+  EXPECT_GE(shard_spans, 2) << "scatter must reach both shards in-trace";
+}
+
+// A fake shard whose only answer is the ring-full rejection: backpressure
+// must propagate through the router verbatim, not fail the shard.
+TEST(RouterBackpressure, RingFullRejectionPropagatesVerbatim) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+
+  std::atomic<bool> stop{false};
+  std::thread responder([&] {
+    while (!stop.load()) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;
+      // One rejection per connection, then close: an idle-but-open pooled
+      // connection must never wedge this thread past the test's end.
+      char buf[4096];
+      const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+      if (r > 0) {
+        std::string out;
+        net::append_frame("ERR rejected worker ring full; retry later", out);
+        (void)!::send(fd, out.data(), out.size(), MSG_NOSIGNAL);
+      }
+      ::close(fd);
+    }
+  });
+
+  dist::RouterConfig rc;
+  net::ClientConfig ep;
+  ep.port = ntohs(addr.sin_port);
+  rc.shards = {ep, ep};  // both "shards" are the overloaded responder
+  rc.retry.initial_backoff = std::chrono::milliseconds(1);
+  rc.retry.max_backoff = std::chrono::milliseconds(2);
+  dist::Router router(rc);
+
+  const std::string resp = router.handle_line("SUMMARY g");
+  EXPECT_EQ(resp, "ERR rejected worker ring full; retry later");
+  // Rejections were retried (shard alive, just shedding load)...
+  EXPECT_GE(router.metrics().counter_total("asamap_router_retries_total"),
+            1u);
+  // ...but never tripped the breaker or marked the shard down.
+  const std::string shards = router.handle_line("SHARDS");
+  EXPECT_NE(shards.find("status=up,up"), std::string::npos) << shards;
+  EXPECT_NE(shards.find("breakers=closed,closed"), std::string::npos)
+      << shards;
+
+  stop.store(true);
+  ::shutdown(listen_fd, SHUT_RDWR);
+  ::close(listen_fd);
+  responder.join();
 }
 
 }  // namespace

@@ -1,23 +1,29 @@
 #!/usr/bin/env python3
 """Fail when docs/OPERATIONS.md misses a registered metric name or verb.
 
-Usage: check_ops_doc.py <prom-scrape> [<ops-doc>]
+Usage: check_ops_doc.py <prom-scrape> [<prom-scrape>...] [<ops-doc.md>]
 
-<prom-scrape> is a Prometheus text scrape of a *fresh* ServeSession — the
+Each <prom-scrape> is a Prometheus text scrape of a *fresh* component — the
 serving stack pre-registers its whole metric schema at construction, so a
-fresh session's METRICS response already enumerates every name the stack
-can ever emit (see the MetricSchemaIsPreRegistered test).  CI produces one
-with:
+fresh scrape already enumerates every name the component can ever emit
+(see the MetricSchemaIsPreRegistered test).  CI produces them with:
 
-    echo METRICS | ./build/examples/asamap_serve > scrape.prom
+    echo METRICS | ./build/examples/asamap_serve > serve.prom
+    printf 'METRICS\\nQUIT\\n' | ./build/examples/asamap_serve \\
+        --shard-id 0 --shards 2 > shard.prom
+    ./build/examples/asamap_router --print-metrics > router.prom
 
-Two guarantees are enforced:
+The trailing argument names the runbook when it ends in `.md` (default
+docs/OPERATIONS.md).  Two guarantees are enforced across the union of all
+scrapes:
+
   - every `# TYPE <name> <kind>` line must be mentioned (verbatim name) in
     the operations runbook;
   - every protocol verb — enumerated from the pre-registered
-    asamap_serve_requests_total{verb="..."} samples, so TRACE and FAULTS
-    are covered automatically — must have a `| VERB |` row in the
-    runbook's protocol-reference table.
+    asamap_serve_requests_total{verb="..."} and
+    asamap_router_requests_total{verb="..."} samples, so TRACE, FAULTS,
+    and the router's SHARDS are covered automatically — must have a
+    `| VERB |` row in a runbook protocol table.
 
 Exit 1 lists whatever is missing.  This is what keeps the "every metric
 and every verb, documented" guarantee from drifting as features are added.
@@ -26,42 +32,49 @@ and every verb, documented" guarantee from drifting as features are added.
 import re
 import sys
 
+VERB_COUNTERS = ("asamap_serve_requests_total", "asamap_router_requests_total")
+
 
 def main() -> int:
-    if len(sys.argv) < 2:
+    args = sys.argv[1:]
+    if not args:
         print(__doc__, file=sys.stderr)
         return 2
-    scrape_path = sys.argv[1]
-    doc_path = sys.argv[2] if len(sys.argv) > 2 else "docs/OPERATIONS.md"
+    doc_path = "docs/OPERATIONS.md"
+    if len(args) > 1 and args[-1].endswith(".md"):
+        doc_path = args.pop()
 
-    with open(scrape_path, encoding="utf-8") as f:
-        scrape = f.read()
-    names = sorted(set(re.findall(r"^# TYPE (\S+) \S+$", scrape, re.M)))
-    if not names:
-        print(f"error: no '# TYPE' lines found in {scrape_path} — is it a "
-              "Prometheus text scrape?", file=sys.stderr)
-        return 2
-
-    verbs = sorted(set(re.findall(
-        r'^asamap_serve_requests_total\{verb="(\w+)"\}', scrape, re.M)))
-    verbs = [v for v in verbs if v != "other"]
+    names, verbs = set(), set()
+    for scrape_path in args:
+        with open(scrape_path, encoding="utf-8") as f:
+            scrape = f.read()
+        found = set(re.findall(r"^# TYPE (\S+) \S+$", scrape, re.M))
+        if not found:
+            print(f"error: no '# TYPE' lines found in {scrape_path} — is it "
+                  "a Prometheus text scrape?", file=sys.stderr)
+            return 2
+        names |= found
+        for counter in VERB_COUNTERS:
+            verbs |= set(re.findall(
+                rf'^{counter}{{verb="(\w+)"}}', scrape, re.M))
+    verbs -= {"other"}
     if not verbs:
-        print(f"error: no asamap_serve_requests_total{{verb=...}} samples in "
-              f"{scrape_path} — is it a fresh-session scrape?",
-              file=sys.stderr)
+        print("error: no per-verb request counters in any scrape — are these "
+              "fresh-session scrapes?", file=sys.stderr)
         return 2
 
     with open(doc_path, encoding="utf-8") as f:
         doc = f.read()
-    missing = [n for n in names if n not in doc]
+    missing = sorted(n for n in names if n not in doc)
     if missing:
         print(f"{doc_path} is missing {len(missing)} of {len(names)} "
               "registered metrics:", file=sys.stderr)
         for n in missing:
             print(f"  {n}", file=sys.stderr)
         return 1
-    undocumented = [v for v in verbs
-                    if not re.search(rf"^\|\s*{re.escape(v)}\s*\|", doc, re.M)]
+    undocumented = sorted(
+        v for v in verbs
+        if not re.search(rf"^\|\s*{re.escape(v)}\s*\|", doc, re.M))
     if undocumented:
         print(f"{doc_path} protocol table is missing {len(undocumented)} of "
               f"{len(verbs)} verbs:", file=sys.stderr)

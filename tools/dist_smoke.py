@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for the sharded serving tier (router + shard processes).
+
+Usage: dist_smoke.py <asamap_serve> <asamap_router>
+
+Spawns the real process topology from docs/OPERATIONS.md "Sharded serving"
+— two `asamap_serve --shard-id K --shards 2` processes, one `asamap_router`
+in front, and a single-process oracle — all on ephemeral loopback ports,
+then checks the tier's load-bearing promises:
+
+  - routed reads (MEMBER both ranges, co-located and cross-shard SAME,
+    merged TOPK, aggregated SUMMARY) carry the same payload as the oracle
+    (ids exact, floats to 1e-9 relative — gather-merge regroups FP sums),
+    and every OK read carries a `vclock=` version vector;
+  - `CLUSTER g mode=dist` (the live run_distributed_infomap superstep
+    protocol) converges with a codelength within 0.5% of the oracle's
+    single-process sync run, and the committed snapshot serves reads;
+  - SIGKILLing one shard degrades but does not break reads: answers still
+    match the oracle, are tagged `degraded=1`, the router's retry counter
+    moves, and SHARDS reports the death;
+  - the router's and a shard's TRACE DUMPs share trace ids: the
+    TRACECTX-bridged spans form one cross-process tree;
+  - SIGTERM drains the router cleanly (`SHUTDOWN clean=1`).
+
+Exits 0 on success, 1 with a message on the first failed expectation.
+"""
+
+import json
+import re
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import time
+
+MAGIC = 0xA5
+
+
+class Client:
+    def __init__(self, port: int):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=60)
+        self.sock.settimeout(60)
+        self.buf = b""
+
+    def request(self, line: str) -> bytes:
+        p = line.encode()
+        self.sock.sendall(bytes([MAGIC]) + struct.pack("<I", len(p)) + p)
+        while True:
+            if self.buf and self.buf[0] == MAGIC and len(self.buf) >= 5:
+                (n,) = struct.unpack("<I", self.buf[1:5])
+                if len(self.buf) >= 5 + n:
+                    payload = self.buf[5:5 + n]
+                    self.buf = self.buf[5 + n:]
+                    return payload
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise EOFError("connection closed mid-message")
+            self.buf += chunk
+
+
+def expect(cond: bool, what: str) -> None:
+    if not cond:
+        sys.exit(f"dist_smoke: FAIL: {what}")
+
+
+def fields(resp: bytes) -> dict:
+    """First-line `key=value` fields; keyless tokens joined under ''."""
+    out = {}
+    for tok in resp.split(b"\n", 1)[0].decode().split(" "):
+        if "=" in tok:
+            k, _, v = tok.partition("=")
+            out[k] = v
+        else:
+            out[""] = (out[""] + " " + tok) if "" in out else tok
+    return out
+
+
+IGNORED = {"", "version", "job", "vclock", "degraded", "shards_down"}
+FLOATS = {"flow", "codelength", "modularity"}
+
+
+def expect_matches(routed: bytes, oracle: bytes, what: str) -> None:
+    r, o = fields(routed), fields(oracle)
+    expect(r.get("") == o.get(""), f"{what}: status {r.get('')!r} vs "
+                                   f"{o.get('')!r} ({routed!r})")
+    for key, want in o.items():
+        if key in IGNORED:
+            continue
+        expect(key in r, f"{what}: {key} missing in {routed!r}")
+        got = r[key]
+        if key in FLOATS:
+            a, b = float(got), float(want)
+            expect(abs(a - b) <= 1e-9 * max(1.0, abs(b)),
+                   f"{what}: {key} {a} vs {b}")
+        elif key == "top":
+            gp, wp = got.split(","), want.split(",")
+            expect(len(gp) == len(wp), f"{what}: top length")
+            for g, w in zip(gp, wp):
+                gc, gf = g.split(":")
+                wc, wf = w.split(":")
+                expect(gc == wc, f"{what}: top ids {got} vs {want}")
+                expect(abs(float(gf) - float(wf)) <= 1e-9,
+                       f"{what}: top flows {got} vs {want}")
+        else:
+            expect(got == want, f"{what}: {key} {got!r} vs {want!r} "
+                                f"({routed!r})")
+
+
+def spawn(argv: list) -> tuple:
+    """Starts a --listen 0 process, returns (proc, announced port)."""
+    proc = subprocess.Popen(argv, stdout=subprocess.PIPE,
+                            stderr=subprocess.DEVNULL, text=True)
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        m = re.match(r"LISTEN port=(\d+)", line)
+        if m:
+            return proc, int(m.group(1))
+    sys.exit(f"dist_smoke: FAIL: {argv[0]} never announced LISTEN port=")
+
+
+def envelope_payload(resp: bytes, fmt: str, what: str) -> bytes:
+    header, _, payload = resp.partition(b"\n")
+    expect(header.startswith(f"OK format={fmt} bytes=".encode()),
+           f"{what}: header was {header!r}")
+    declared = int(header.rsplit(b"=", 1)[1])
+    expect(len(payload) == declared,
+           f"{what}: declared {declared} bytes, got {len(payload)}")
+    return payload
+
+
+def trace_ids(dump: bytes, name: str) -> set:
+    events = json.loads(dump)["traceEvents"]
+    return {e["args"]["trace"] for e in events
+            if e.get("name") == name and e.get("ph") == "B"}
+
+
+def main() -> None:
+    serve_bin, router_bin = sys.argv[1], sys.argv[2]
+    procs = []
+    try:
+        shard_procs, shard_ports = [], []
+        for i in range(2):
+            p, port = spawn([serve_bin, "--listen", "0", "--shard-id",
+                             str(i), "--shards", "2", "--cluster-threads",
+                             "1", "--workers", "2"])
+            procs.append(p)
+            shard_procs.append(p)
+            shard_ports.append(port)
+        router_proc, router_port = spawn(
+            [router_bin, "--listen", "0", "--shards",
+             f"127.0.0.1:{shard_ports[0]},127.0.0.1:{shard_ports[1]}"])
+        procs.append(router_proc)
+        oracle_proc, oracle_port = spawn(
+            [serve_bin, "--listen", "0", "--cluster-threads", "1",
+             "--workers", "2"])
+        procs.append(oracle_proc)
+
+        router = Client(router_port)
+        oracle = Client(oracle_port)
+
+        # Replicated ingest + one sync clustering on both sides.
+        for line in ("GEN g 4000 24000 7", "CLUSTER g sync"):
+            r, o = router.request(line), oracle.request(line)
+            expect(r.startswith(b"OK"), f"router {line}: {r!r}")
+            expect(o.startswith(b"OK"), f"oracle {line}: {o!r}")
+
+        # Routed reads match the oracle, and carry version vectors.
+        reads = ["MEMBER g 0", "MEMBER g 1999", "MEMBER g 2000",
+                 "MEMBER g 3999", "SAME g 1 2", "SAME g 100 3900",
+                 "TOPK g 1", "TOPK g 5", "SUMMARY g"]
+        for line in reads:
+            routed = router.request(line)
+            expect_matches(routed, oracle.request(line), line)
+            expect(b"vclock=2000:2000" not in routed and
+                   b"vclock=" in routed, f"{line}: no vclock in {routed!r}")
+        expect(b"vclock=1:1" in router.request("SUMMARY g"),
+               "SUMMARY vclock should be 1:1 after one publish")
+
+        # Error surfaces pass through verbatim (no vclock on errors).
+        for line in ("MEMBER g 4000", "MEMBER nosuch 0", "TOPK g 0"):
+            expect(router.request(line) == oracle.request(line),
+                   f"{line}: error text diverged")
+
+        # Distributed clustering: the live superstep protocol.
+        dist = router.request("CLUSTER g mode=dist")
+        expect(dist.startswith(b"OK mode=dist state=done"),
+               f"CLUSTER mode=dist answered {dist!r}")
+        d = fields(dist)
+        seq = float(fields(oracle.request("SUMMARY g"))["codelength"])
+        live = float(d["codelength"])
+        expect(abs(live - seq) / seq < 0.005,
+               f"dist codelength {live} vs sync {seq} off by >0.5%")
+        expect(int(d["supersteps"]) > 0, f"no supersteps in {dist!r}")
+        member = router.request("MEMBER g 42")
+        expect(member.startswith(b"OK version=2"),
+               f"post-dist MEMBER answered {member!r}")
+
+        # The TRACECTX bridge: the router's root spans and the shard's
+        # "shard.request" spans share trace ids across process boundaries.
+        shard0 = Client(shard_ports[0])
+        router_dump = envelope_payload(router.request("TRACE DUMP"),
+                                       "chrome-trace", "router TRACE DUMP")
+        shard_dump = envelope_payload(shard0.request("TRACE DUMP"),
+                                      "chrome-trace", "shard TRACE DUMP")
+        joined = trace_ids(router_dump, "TOPK") & \
+            trace_ids(shard_dump, "shard.request")
+        expect(joined, "no shared trace id between router TOPK roots and "
+                       "shard.request spans")
+
+        # Chaos: SIGKILL shard 1.  Reads must degrade, not break — and the
+        # failover answers (shard 0's replica) must agree with what the
+        # full tier said moments before, because both replicas ran the
+        # identical dist protocol.
+        chaos_reads = ("MEMBER g 3999", "SAME g 100 3900", "TOPK g 5",
+                       "SUMMARY g")
+        before_kill = {line: router.request(line) for line in chaos_reads}
+        shard_procs[1].kill()
+        shard_procs[1].wait()
+        for line in chaos_reads:
+            routed = router.request(line)
+            expect(b"degraded=1" in routed,
+                   f"{line} after shard kill: {routed!r}")
+            expect_matches(routed, before_kill[line], f"{line} (degraded)")
+        shards = router.request("SHARDS")
+        expect(b"status=up,down" in shards,
+               f"SHARDS after kill answered {shards!r}")
+        scrape = envelope_payload(router.request("METRICS"), "prometheus",
+                                  "router METRICS")
+        m = re.search(rb"^asamap_router_retries_total (\d+)$", scrape, re.M)
+        expect(m and int(m.group(1)) > 0,
+               "asamap_router_retries_total not >0 after shard kill")
+        # Replicated ingest must refuse rather than fork the replicas.
+        gen = router.request("GEN h 100 400 1")
+        expect(gen.startswith(b"ERR unavailable"),
+               f"ingest with a shard down answered {gen!r}")
+
+        # Clean drain.
+        router_proc.send_signal(signal.SIGTERM)
+        out, _ = router_proc.communicate(timeout=30)
+        expect("SHUTDOWN clean=1" in out,
+               f"router drain said {out!r}, expected SHUTDOWN clean=1")
+        expect(router_proc.returncode == 0,
+               f"router exited {router_proc.returncode}")
+
+        print("dist_smoke: OK")
+    finally:
+        for p in procs:
+            if p.poll() is None:
+                p.kill()
+
+
+if __name__ == "__main__":
+    main()
