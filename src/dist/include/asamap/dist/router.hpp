@@ -68,6 +68,14 @@ struct RouterConfig {
   int dist_max_supersteps = 30;
   int dist_max_levels = 30;
   double dist_min_improvement_bits = 1e-10;
+  /// Largest DCLUSTER APPLY mover-list payload per message: an early
+  /// superstep on a big graph can move a large fraction of all vertices,
+  /// and one comma-joined decimal list would blow the 16 MiB frame cap.
+  /// The router splits the list at comma boundaries into `APPLY ... more`
+  /// chunks (shards defer recompute to the final chunk, so chunked ==
+  /// one-shot).  4 MiB leaves ample headroom for the verb + TRACECTX
+  /// prefix.
+  std::size_t apply_chunk_bytes = 4u << 20;
 };
 
 class Router : public serve::RequestHandler {

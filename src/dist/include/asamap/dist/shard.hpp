@@ -37,12 +37,20 @@
 ///                                    see router.hpp for the driver side).
 ///                                    Steps run as kInteractive jobs on the
 ///                                    inner session's JobScheduler.
+///                                    `APPLY <g> <list> more` applies one
+///                                    bounded chunk of the superstep's mover
+///                                    list and defers recompute/active-set
+///                                    swap to the final chunk (sent without
+///                                    `more`), so the router can keep every
+///                                    frame under the 16 MiB cap without
+///                                    changing apply semantics.
 ///
 /// Everything else (GEN/LOAD/CLUSTER/METRICS/...) passes through to the
 /// inner session unchanged.  asamap_shard_* metrics are registered on the
 /// inner session's registry so one METRICS scrape shows both.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -83,7 +91,9 @@ class ShardSession : public serve::RequestHandler {
   struct DclusterState;  ///< superstep engine state, one per graph (.cpp)
 
   /// Range-partial flow view of one published snapshot, memoised per graph
-  /// until the snapshot pointer changes.
+  /// until the snapshot pointer changes.  Immutable once cached: a snapshot
+  /// republish swaps in a freshly built view, so concurrent readers keep a
+  /// consistent shared_ptr while they render their response.
   struct RangeView {
     serve::PartitionStore::SnapshotPtr snap;
     std::vector<double> partial_flow;  ///< per community, own range only
@@ -104,9 +114,10 @@ class ShardSession : public serve::RequestHandler {
   std::string run_step(const char* label,
                        const std::function<std::string()>& fn);
 
-  /// The range view for `name`'s current snapshot (nullptr snap when the
-  /// graph has no published partition).
-  const RangeView* range_view(const std::string& name);
+  /// The range view for `name`'s current snapshot (nullptr when the graph
+  /// has no published partition).  Returned by value so the view stays
+  /// alive across a concurrent republish on another worker thread.
+  std::shared_ptr<const RangeView> range_view(const std::string& name);
 
   serve::ServeSession& inner_;
   ShardConfig config_;
@@ -117,8 +128,9 @@ class ShardSession : public serve::RequestHandler {
   obs::Counter* dcluster_steps_total_ = nullptr;
   obs::Histogram* dcluster_step_seconds_ = nullptr;
 
-  std::mutex range_mu_;  ///< guards range_views_ (recompute inside)
-  std::unordered_map<std::string, RangeView> range_views_;
+  std::mutex range_mu_;  ///< guards the range_views_ map (views immutable)
+  std::unordered_map<std::string, std::shared_ptr<const RangeView>>
+      range_views_;
 
   std::mutex dc_mu_;  ///< serialises the superstep engine
   std::unordered_map<std::string, std::unique_ptr<DclusterState>> dcluster_;

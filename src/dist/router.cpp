@@ -425,86 +425,111 @@ std::string Router::handle_same(const std::vector<std::string_view>& tokens,
   }
   const std::string name(tokens[1]);
   std::string error;
-  const VertexId n = graph_n(name, &error);
-  if (n == 0) return error;
-  if (u >= n || v >= n) {
-    return err("invalid_argument", "vertex out of range");
-  }
-  const auto ranges = make_ranges(n, shards_.size());
-  const std::size_t ou = owner_of(u, n, ranges);
-  const std::size_t ov = owner_of(v, n, ranges);
+  // Up to one relearn round, mirroring handle_member: a shard answering
+  // `wrong_shard` means the cached vertex count drifted (the graph was
+  // re-ingested behind the router's back, e.g. directly on the shards) —
+  // drop the cache, relearn n from a fresh SUMMARY, recompute owners,
+  // retry once.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const VertexId n = graph_n(name, &error);
+    if (n == 0) return error;
+    if (u >= n || v >= n) {
+      return err("invalid_argument", "vertex out of range");
+    }
+    const auto ranges = make_ranges(n, shards_.size());
+    const std::size_t ou = owner_of(u, n, ranges);
+    const std::size_t ov = owner_of(v, n, ranges);
+    bool relearn = false;
+    const auto note_wrong_shard = [&](const std::string& resp) -> bool {
+      if (!starts_with(resp, "ERR not_found wrong_shard")) return false;
+      std::lock_guard<std::mutex> lock(state_mu_);
+      graph_n_.erase(name);
+      relearn = true;
+      return true;
+    };
 
-  if (ou == ov) {
-    // Co-located: one shard answers exactly like a single process.
-    std::string resp;
-    if (shard_call(ou, line, resp)) {
-      observe_response(ou, name, resp);
-      if (starts_with(resp, "OK")) resp += " vclock=" + vclock_of(name);
-      return resp;
+    if (ou == ov) {
+      // Co-located: one shard answers exactly like a single process.
+      std::string resp;
+      if (shard_call(ou, line, resp)) {
+        if (note_wrong_shard(resp) && attempt == 0) continue;
+        observe_response(ou, name, resp);
+        if (starts_with(resp, "OK")) resp += " vclock=" + vclock_of(name);
+        return resp;
+      }
+      std::string fwd;
+      const std::size_t idx = forward_any(line, fwd);
+      if (idx == kNoShard) {
+        return err("unavailable", "no shard available for SAME");
+      }
+      degraded_total_->inc();
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      observe_response(idx, name, fwd);
+      if (starts_with(fwd, "OK")) {
+        fwd += " degraded=1 vclock=" + vclock_of(name);
+      }
+      return fwd;
     }
-    std::string fwd;
-    const std::size_t idx = forward_any(line, fwd);
-    if (idx == kNoShard) {
-      return err("unavailable", "no shard available for SAME");
-    }
-    degraded_total_->inc();
-    degraded_.fetch_add(1, std::memory_order_relaxed);
-    observe_response(idx, name, fwd);
-    if (starts_with(fwd, "OK")) {
-      fwd += " degraded=1 vclock=" + vclock_of(name);
-    }
-    return fwd;
-  }
 
-  // Cross-shard: one MEMBER leg per owner, composed here.
-  bool degraded = false;
-  const auto member_leg = [&](VertexId vertex, std::size_t owner,
-                              std::uint64_t& version, std::uint64_t& community,
-                              std::string& fail) -> bool {
-    const std::string leg = "MEMBER " + name + " " + std::to_string(vertex);
-    std::string resp;
-    std::size_t responder = owner;
-    if (!shard_call(owner, leg, resp)) {
-      responder = forward_any(leg, resp);
-      if (responder == kNoShard) {
-        fail = err("unavailable", "no shard available for SAME");
+    // Cross-shard: one MEMBER leg per owner, composed here.
+    bool degraded = false;
+    const auto member_leg =
+        [&](VertexId vertex, std::size_t owner, std::uint64_t& version,
+            std::uint64_t& community, std::string& fail) -> bool {
+      const std::string leg = "MEMBER " + name + " " + std::to_string(vertex);
+      std::string resp;
+      std::size_t responder = owner;
+      if (!shard_call(owner, leg, resp)) {
+        responder = forward_any(leg, resp);
+        if (responder == kNoShard) {
+          fail = err("unavailable", "no shard available for SAME");
+          return false;
+        }
+        degraded = true;
+      }
+      if (!starts_with(resp, "OK")) {
+        note_wrong_shard(resp);
+        fail = std::move(resp);
         return false;
       }
-      degraded = true;
-    }
-    if (!starts_with(resp, "OK")) {
-      fail = std::move(resp);
-      return false;
-    }
-    observe_response(responder, name, resp);
-    return parse_num(field(resp, "version="), version) &&
-           parse_num(field(resp, "community="), community);
-  };
+      observe_response(responder, name, resp);
+      if (!parse_num(field(resp, "version="), version) ||
+          !parse_num(field(resp, "community="), community)) {
+        fail = err("unavailable", "malformed MEMBER response from shard");
+        return false;
+      }
+      return true;
+    };
 
-  std::uint64_t vu = 0, cu = 0, vv = 0, cv = 0;
-  std::string fail;
-  if (!member_leg(u, ou, vu, cu, fail)) return fail;
-  if (!member_leg(v, ov, vv, cv, fail)) return fail;
-  if (degraded) {
-    degraded_total_->inc();
-    degraded_.fetch_add(1, std::memory_order_relaxed);
-  }
+    std::uint64_t vu = 0, cu = 0, vv = 0, cv = 0;
+    std::string fail;
+    if (!member_leg(u, ou, vu, cu, fail) ||
+        !member_leg(v, ov, vv, cv, fail)) {
+      if (relearn && attempt == 0) continue;
+      return fail;
+    }
+    if (degraded) {
+      degraded_total_->inc();
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
 
-  std::string out;
-  if (vu == vv) {
-    out = "OK version=" + std::to_string(vu);
-  } else {
-    stale_total_->inc();
-    stale_.fetch_add(1, std::memory_order_relaxed);
-    out = "OK STALE version=" + std::to_string(std::max(vu, vv));
+    std::string out;
+    if (vu == vv) {
+      out = "OK version=" + std::to_string(vu);
+    } else {
+      stale_total_->inc();
+      stale_.fetch_add(1, std::memory_order_relaxed);
+      out = "OK STALE version=" + std::to_string(std::max(vu, vv));
+    }
+    out += " u=" + std::to_string(u) + " v=" + std::to_string(v) +
+           " cu=" + std::to_string(cu) + " cv=" + std::to_string(cv) +
+           " same=" + (cu == cv ? "1" : "0");
+    if (vu != vv) out += " reason=version_skew";
+    if (degraded) out += " degraded=1";
+    out += " vclock=" + vclock_of(name);
+    return out;
   }
-  out += " u=" + std::to_string(u) + " v=" + std::to_string(v) +
-         " cu=" + std::to_string(cu) + " cv=" + std::to_string(cv) +
-         " same=" + (cu == cv ? "1" : "0");
-  if (vu != vv) out += " reason=version_skew";
-  if (degraded) out += " degraded=1";
-  out += " vclock=" + vclock_of(name);
-  return out;
+  return err("unavailable", "SAME owners unstable across retries");
 }
 
 std::string Router::stale_fallback(std::string_view line,
@@ -585,6 +610,15 @@ std::string Router::handle_topk(const std::vector<std::string_view>& tokens,
       return resp;
     }
     if (starts_with(g.responses[i], "ERR")) return g.responses[i];
+    if (field(g.responses[i], "range=").empty()) {
+      // A backend answering TOPK globally (a plain asamap_serve started
+      // without --shard-id) is not a range shard; merging its reply would
+      // silently drop its flows.  Refuse loudly — topology misconfiguration.
+      return err("misconfigured",
+                 "shard " + std::to_string(i) +
+                     " returned a non-partial TOPK reply; backend is not "
+                     "running with --shard-id/--shards");
+    }
     observe_response(i, name, g.responses[i]);
   }
   if (!g.all_ok()) return degraded_fallback(line, name, g);
@@ -609,8 +643,11 @@ std::string Router::handle_topk(const std::vector<std::string_view>& tokens,
     std::string_view partial = field(g.responses[i], "partial=");
     std::size_t communities = 0;
     parse_num(field(g.responses[i], "communities="), communities);
-    if (flow.empty()) flow.assign(communities, 0.0);
-    if (communities != flow.size()) {
+    // Compare shapes against shard 0 even when it reported 0 communities —
+    // `flow.empty()` would silently re-seed from a later shard.
+    if (i == 0) {
+      flow.assign(communities, 0.0);
+    } else if (communities != flow.size()) {
       return stale_fallback(line, name);  // replicas disagree on shape
     }
     while (!partial.empty()) {
@@ -658,6 +695,14 @@ std::string Router::handle_summary(
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     if (!g.ok[i]) continue;
     if (starts_with(g.responses[i], "ERR")) return g.responses[i];
+    if (field(g.responses[i], "range=").empty()) {
+      // Same guard as TOPK: a global SUMMARY from a non-shard backend
+      // would double-count vertices and corrupt the cached vertex count.
+      return err("misconfigured",
+                 "shard " + std::to_string(i) +
+                     " returned a non-partial SUMMARY reply; backend is "
+                     "not running with --shard-id/--shards");
+    }
     observe_response(i, name, g.responses[i]);
   }
   if (!g.all_ok()) return degraded_fallback(line, name, g);
@@ -827,8 +872,30 @@ std::string Router::run_dist_cluster(const std::string& name) {
       }
       if (movers.empty()) break;
       ++supersteps;
-      g = broadcast("DCLUSTER APPLY " + name + " " + movers);
-      if (!all_ok(g)) return fail("APPLY incomplete");
+      // Broadcast the mover list in bounded chunks: one concatenated list
+      // can exceed the 16 MiB frame cap on large graphs.  Non-final chunks
+      // carry `more`; shards apply them incrementally and defer recompute
+      // to the final chunk, so chunked == one-shot bit for bit.
+      std::string_view rest = movers;
+      for (;;) {
+        std::string_view chunk = rest;
+        bool last = true;
+        if (rest.size() > config_.apply_chunk_bytes) {
+          std::size_t cut = rest.rfind(',', config_.apply_chunk_bytes);
+          if (cut == std::string_view::npos) cut = rest.find(',');
+          if (cut != std::string_view::npos) {
+            chunk = rest.substr(0, cut);
+            rest = rest.substr(cut + 1);
+            last = false;
+          }
+        }
+        std::string wire = "DCLUSTER APPLY " + name + " ";
+        wire += chunk;
+        if (!last) wire += " more";
+        g = broadcast(wire);
+        if (!all_ok(g)) return fail("APPLY incomplete");
+        if (last) break;
+      }
       std::uint64_t applied = 0;
       double codelength = prev;
       parse_num(field(g.responses[0], "applied="), applied);

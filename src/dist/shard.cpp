@@ -105,6 +105,9 @@ struct ShardSession::DclusterState {
   core::KernelCosts costs;
   std::vector<std::uint8_t> active;
   std::vector<std::uint8_t> next_active;
+  /// Moves applied by earlier `APPLY ... more` chunks of the current
+  /// superstep; folded into the final chunk's `applied=` total.
+  std::size_t pending_applied = 0;
   int level = 0;
 
   void reset_level() {
@@ -116,6 +119,7 @@ struct ShardSession::DclusterState {
                                                                      *heap);
     active.assign(n, 1);
     next_active.assign(n, 0);
+    pending_applied = 0;
   }
 };
 
@@ -187,28 +191,33 @@ std::string ShardSession::handle_shard(
   return err("invalid_argument", "usage: SHARD INFO | SHARD FORWARD <line>");
 }
 
-const ShardSession::RangeView* ShardSession::range_view(
+std::shared_ptr<const ShardSession::RangeView> ShardSession::range_view(
     const std::string& name) {
   const serve::PartitionStore::SnapshotPtr snap = inner_.snapshot(name);
   if (!snap) return nullptr;
+  // The cached view is immutable: a republish builds a fresh RangeView and
+  // swaps the map slot, so a concurrent worker still rendering TOPK/SUMMARY
+  // from the old view keeps it alive through its shared_ptr.
   std::lock_guard<std::mutex> lock(range_mu_);
-  RangeView& rv = range_views_[name];
-  if (rv.snap == snap) return &rv;
+  std::shared_ptr<const RangeView>& slot = range_views_[name];
+  if (slot && slot->snap == snap) return slot;
+  auto rv = std::make_shared<RangeView>();
   const auto n = static_cast<VertexId>(snap->communities.size());
-  rv.range = range_of(n, config_.shard_id, config_.shards);
-  rv.partial_flow.assign(snap->num_communities, 0.0);
+  rv->range = range_of(n, config_.shard_id, config_.shards);
+  rv->partial_flow.assign(snap->num_communities, 0.0);
   // Same per-vertex terms as make_snapshot — only the grouping differs, so
   // a router summing shard partials in order reproduces the oracle values
   // to within final-rounding ulps.
   const double total = snap->graph->total_arc_weight();
   if (total > 0.0) {
-    for (VertexId v = rv.range.begin; v < rv.range.end; ++v) {
-      rv.partial_flow[snap->communities[v]] +=
+    for (VertexId v = rv->range.begin; v < rv->range.end; ++v) {
+      rv->partial_flow[snap->communities[v]] +=
           snap->graph->out_weight(v) / total;
     }
   }
-  rv.snap = snap;
-  return &rv;
+  rv->snap = snap;
+  slot = std::move(rv);
+  return slot;
 }
 
 std::string ShardSession::handle_ranged_read(
@@ -248,8 +257,8 @@ std::string ShardSession::handle_ranged_read(
     if (tokens.size() != 3 || !parse_num(tokens[2], k) || k == 0) {
       return inner_.handle_line(line);
     }
-    const RangeView* rv = range_view(name);
-    if (rv == nullptr) return inner_.handle_line(line);
+    const std::shared_ptr<const RangeView> rv = range_view(name);
+    if (!rv) return inner_.handle_line(line);
     if (rv->partial_flow.size() > kMaxPartialCommunities) {
       return err("too_large",
                  "partial merge over " +
@@ -273,8 +282,8 @@ std::string ShardSession::handle_ranged_read(
 
   // SUMMARY
   if (tokens.size() != 2) return inner_.handle_line(line);
-  const RangeView* rv = range_view(name);
-  if (rv == nullptr) return inner_.handle_line(line);
+  const std::shared_ptr<const RangeView> rv = range_view(name);
+  if (!rv) return inner_.handle_line(line);
   const auto& snap = *rv->snap;
   return "OK version=" + std::to_string(snap.version) +
          " shard=" + std::to_string(config_.shard_id) +
@@ -377,8 +386,14 @@ std::string ShardSession::handle_dcluster(
         return out;
       });
     } else if (op == "APPLY") {
-      if (tokens.size() != 4) {
-        return err("invalid_argument", "usage: DCLUSTER APPLY <graph> <list>");
+      // `more` marks a non-final chunk of the superstep's mover list: apply
+      // its moves now, but defer recompute and the active-set swap to the
+      // final chunk — chunked APPLY is bitwise identical to one big list
+      // while keeping every frame under the 16 MiB cap.
+      const bool more = tokens.size() == 5 && tokens[4] == "more";
+      if (tokens.size() != 4 && !more) {
+        return err("invalid_argument",
+                   "usage: DCLUSTER APPLY <graph> <list> [more]");
       }
       // The router concatenates every shard's movers in shard order; each
       // replica applies the full list identically, so all replicas hold
@@ -400,14 +415,18 @@ std::string ShardSession::handle_dcluster(
       }
       response = run_step("apply", [&]() -> std::string {
         core::KernelBreakdown bd;
-        std::size_t applied = 0;
         for (const VertexId v : movers) {
           if (core::find_best_community(*dc.state, dc.fn, v, *dc.acc,
                                         dc.sink, dc.addrs, dc.costs, bd)) {
-            ++applied;
+            ++dc.pending_applied;
             core::mark_neighborhood(dc.fn, v, dc.next_active.data());
           }
         }
+        if (more) {
+          return "OK more=1 applied=" + std::to_string(dc.pending_applied);
+        }
+        const std::size_t applied = dc.pending_applied;
+        dc.pending_applied = 0;
         dc.state->recompute();
         dc.active.swap(dc.next_active);
         std::fill(dc.next_active.begin(), dc.next_active.end(), 0);

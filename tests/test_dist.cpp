@@ -243,6 +243,12 @@ class ShardedTierTest : public ::testing::Test {
       ASSERT_TRUE(servers_[i]->start().ok());
       ASSERT_NE(servers_[i]->port(), 0);
     }
+    router_ = std::make_unique<dist::Router>(base_router_config());
+    EXPECT_EQ(router_->connect(), kShards);
+    oracle_ = std::make_unique<serve::ServeSession>(tier_config());
+  }
+
+  [[nodiscard]] dist::RouterConfig base_router_config() const {
     dist::RouterConfig rc;
     for (const auto& s : servers_) {
       net::ClientConfig ep;
@@ -252,9 +258,7 @@ class ShardedTierTest : public ::testing::Test {
     }
     rc.retry.initial_backoff = std::chrono::milliseconds(1);
     rc.retry.max_backoff = std::chrono::milliseconds(5);
-    router_ = std::make_unique<dist::Router>(rc);
-    EXPECT_EQ(router_->connect(), kShards);
-    oracle_ = std::make_unique<serve::ServeSession>(tier_config());
+    return rc;
   }
 
   /// Feeds the same line to router and oracle; both must report OK.
@@ -427,6 +431,84 @@ TEST_F(ShardedTierTest, RouterAndShardSpansFormOneTraceTree) {
   EXPECT_GE(shard_spans, 2) << "scatter must reach both shards in-trace";
 }
 
+// Regression for a data race: a worker rendering TOPK/SUMMARY from a
+// cached RangeView while another thread republishes the snapshot (which
+// rebuilds the view) must not observe a mutating vector.  The view is now
+// an immutable shared_ptr swapped under the lock; under TSAN the old
+// in-place rebuild is flagged here.
+TEST_F(ShardedTierTest, ConcurrentRangeReadsDuringRepublishStaySafe) {
+  ingest("GEN g 400 1600 9");
+  ingest("CLUSTER g sync");
+  std::atomic<bool> stop{false};
+  std::thread republisher([&] {
+    for (int i = 0; i < 20; ++i) {
+      sessions_[0]->handle_line("CLUSTER g sync");
+    }
+    stop.store(true);
+  });
+  std::thread summary_reader([&] {
+    while (!stop.load()) {
+      const std::string r = shards_[0]->handle_line("SUMMARY g");
+      EXPECT_EQ(r.substr(0, 2), "OK") << r;
+    }
+  });
+  while (!stop.load()) {
+    const std::string r = shards_[0]->handle_line("TOPK g 4");
+    ASSERT_EQ(r.substr(0, 2), "OK") << r;
+  }
+  republisher.join();
+  summary_reader.join();
+}
+
+// SAME must recover from a stale cached vertex count the same way MEMBER
+// does: when the graph is re-ingested with a different n behind the
+// router's back, a shard's `wrong_shard` refusal triggers a relearn +
+// retry instead of leaking the internal error to the client.
+TEST_F(ShardedTierTest, SameRelearnsStaleVertexCountAfterReingest) {
+  ingest("GEN g 600 2400 5");
+  ingest("CLUSTER g sync");
+  // Prime the router's cached vertex count (n=600, boundary 300).
+  ASSERT_EQ(router_->handle_line("SAME g 1 2").substr(0, 2), "OK");
+  // Re-ingest with n=900 (boundary 450) directly on the shards.
+  for (auto& s : sessions_) {
+    ASSERT_EQ(s->handle_line("GEN g 900 3600 11").substr(0, 2), "OK");
+    ASSERT_EQ(s->handle_line("CLUSTER g sync").substr(0, 2), "OK");
+  }
+  // Co-located under the stale mapping (both → shard 1) but really owned
+  // by shard 0: must answer OK after relearning, not ERR wrong_shard.
+  const std::string colo = router_->handle_line("SAME g 350 400");
+  EXPECT_EQ(colo.substr(0, 2), "OK") << colo;
+  EXPECT_TRUE(fields_of(colo).count("same")) << colo;
+  // Cross-shard under the stale mapping with one mis-owned MEMBER leg.
+  const std::string cross = router_->handle_line("SAME g 100 400");
+  EXPECT_EQ(cross.substr(0, 2), "OK") << cross;
+  EXPECT_TRUE(fields_of(cross).count("same")) << cross;
+}
+
+// Chunked DCLUSTER APPLY (the mover list split across bounded frames with
+// `more`) must be semantics-preserving: same codelength as the unchunked
+// protocol and the rank-partitioned simulation.
+TEST_F(ShardedTierTest, ChunkedDistClusterMatchesSimulation) {
+  dist::RouterConfig rc = base_router_config();
+  rc.apply_chunk_bytes = 256;  // a handful of mover ids per APPLY frame
+  router_ = std::make_unique<dist::Router>(rc);
+  EXPECT_EQ(router_->connect(), kShards);
+  ingest("GEN g 800 3200 17");
+  const std::string resp = router_->handle_line("CLUSTER g mode=dist");
+  ASSERT_EQ(resp.substr(0, 2), "OK") << resp;
+  const double live = std::stod(fields_of(resp).at("codelength"));
+
+  gen::ChungLuParams params;
+  params.n = 800;
+  params.target_edges = 3200;
+  const auto graph = gen::chung_lu(params, 17);
+  DistOptions opts;
+  opts.num_ranks = kShards;
+  const DistResult sim = dist::run_distributed_infomap(graph, opts);
+  EXPECT_NEAR(live, sim.codelength, 1e-4)
+      << "live=" << live << " sim=" << sim.codelength;
+}
+
 // A fake shard whose only answer is the ring-full rejection: backpressure
 // must propagate through the router verbatim, not fail the shard.
 TEST(RouterBackpressure, RingFullRejectionPropagatesVerbatim) {
@@ -482,6 +564,57 @@ TEST(RouterBackpressure, RingFullRejectionPropagatesVerbatim) {
       << shards;
 
   stop.store(true);
+  ::shutdown(listen_fd, SHUT_RDWR);
+  ::close(listen_fd);
+  responder.join();
+}
+
+// A backend that answers gathered reads *globally* (no range=/partial=
+// fields — the shape a backend not running with --shard-id produces) must
+// be refused loudly: merging its reply would yield a silently wrong
+// "OK k=0 top=" (TOPK) or double-counted vertices (SUMMARY).
+TEST(RouterMisconfiguration, NonShardGlobalRepliesAreRefusedNotMisMerged) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+
+  std::thread responder([&] {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;
+    for (;;) {
+      char buf[65536];
+      const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+      if (r <= 0) break;
+      std::string out;
+      net::append_frame("OK version=1 k=2 top=0:0.5,1:0.5", out);
+      if (::send(fd, out.data(), out.size(), MSG_NOSIGNAL) <= 0) break;
+    }
+    ::close(fd);
+  });
+
+  {
+    dist::RouterConfig rc;
+    net::ClientConfig ep;
+    ep.port = ntohs(addr.sin_port);
+    ep.timeout_ms = 5000;
+    rc.shards = {ep};
+    dist::Router router(rc);
+    const std::string topk = router.handle_line("TOPK g 3");
+    EXPECT_EQ(topk.rfind("ERR misconfigured", 0), 0u) << topk;
+    const std::string summary = router.handle_line("SUMMARY g");
+    EXPECT_EQ(summary.rfind("ERR misconfigured", 0), 0u) << summary;
+  }  // destroying the router closes the pooled connection → responder exits
+
   ::shutdown(listen_fd, SHUT_RDWR);
   ::close(listen_fd);
   responder.join();
