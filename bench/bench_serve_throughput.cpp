@@ -22,6 +22,12 @@
 // cost; the run fails if that overhead exceeds 5%.  A "trace" section
 // lands in the JSON artifact either way.
 //
+// With --window a windowed-metrics overhead phase reruns the workload on
+// two more fresh sessions, the second polled by a scraper thread rendering
+// METRICS WINDOW + HEALTH every 250ms; the throughput delta is what live
+// windowed observability costs, and the run fails if it exceeds 2%.  A
+// "window" section lands in the JSON.
+//
 // With --delta two dynamic-graph phases run (DESIGN.md §4f):
 //   1. APPLY speedup: a --delta-n vertex graph takes --delta-churn edge
 //      churn, then APPLY recluster=full and recluster=incr are timed on
@@ -300,13 +306,13 @@ double run_window(serve::ServeSession& session, int clients,
 
 int main(int argc, char** argv) try {
   const support::ArgParser args(argc, argv, 1, {"help", "trace", "delta",
-                                                "net", "dist"});
+                                                "net", "dist", "window"});
   if (args.flag("help")) {
     std::cout << "usage: bench_serve_throughput [--seconds S] [--clients N] "
                  "[--workers N] [--n N]\n"
                  "        [--edges M] [--seed S] [--batch-cap N] "
                  "[--cluster-threads N]\n"
-                 "        [--faults plan.txt] [--trace] [--delta] "
+                 "        [--faults plan.txt] [--trace] [--window] [--delta] "
                  "[--delta-n N] [--delta-edges M]\n"
                  "        [--delta-churn F] [--net] [--net-ring N] "
                  "[--net-batch N] [--dist]\n"
@@ -315,7 +321,7 @@ int main(int argc, char** argv) try {
   }
   if (const auto unknown = args.unknown_keys(
           {"seconds", "clients", "workers", "n", "edges", "seed", "batch-cap",
-           "cluster-threads", "faults", "trace", "delta", "delta-n",
+           "cluster-threads", "faults", "trace", "window", "delta", "delta-n",
            "delta-edges", "delta-churn", "net", "net-ring", "net-batch",
            "dist", "dist-shards", "out"});
       !unknown.empty()) {
@@ -459,6 +465,81 @@ int main(int argc, char** argv) try {
     tt.add_row({"rings", std::to_string(trace.stats.rings)});
     tt.add_row({"ring capacity", std::to_string(trace.stats.ring_capacity)});
     tt.print(std::cout);
+  }
+
+  // ---- phase 2b: windowed-metrics overhead (optional) ------------------
+  // The WindowStore is caller-clocked: recording threads never touch it,
+  // only scrapes pay for snapshots.  This phase proves that claim end to
+  // end — two fresh sessions run the identical closed-loop workload, the
+  // second with a scraper thread rendering METRICS WINDOW + HEALTH every
+  // 250ms (a denser-than-production cadence).  Budget: 2%.
+  struct WindowReport {
+    bool ran = false;
+    double baseline_rps = 0;
+    double scraped_rps = 0;
+    double overhead = 0;  ///< (baseline - scraped) / baseline, clamped >= 0
+    std::uint64_t scrapes = 0;
+  } windowrep;
+  constexpr double kWindowOverheadLimit = 0.02;
+
+  if (args.flag("window")) {
+    benchutil::banner(std::cout,
+                      "Windowed metrics: scraper-on vs. scraper-off");
+    {
+      serve::ServeSession quiet_session(config);
+      if (!warm_up(quiet_session, n, edges, seed)) return 1;
+      ClientTotals quiet_totals;
+      const double quiet_elapsed =
+          run_window(quiet_session, clients, n, seed ^ 0x51D0ULL, seconds,
+                     quiet_totals);
+      windowrep.baseline_rps =
+          static_cast<double>(quiet_session.metrics().counter_sum(
+              "asamap_serve_requests_total")) /
+          quiet_elapsed;
+    }
+    {
+      serve::ServeSession scraped_session(config);
+      if (!warm_up(scraped_session, n, edges, seed)) return 1;
+      std::atomic<bool> stop{false};
+      std::atomic<std::uint64_t> scrapes{0};
+      std::thread scraper([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          (void)scraped_session.handle_line("METRICS WINDOW prom");
+          (void)scraped_session.handle_line("HEALTH");
+          scrapes.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        }
+      });
+      ClientTotals scraped_totals;
+      const double scraped_elapsed =
+          run_window(scraped_session, clients, n, seed ^ 0x51D1ULL, seconds,
+                     scraped_totals);
+      stop.store(true, std::memory_order_relaxed);
+      scraper.join();
+      windowrep.scrapes = scrapes.load();
+      // The scraper's own verbs count as requests; measure the workload's.
+      const std::uint64_t scraped_requests =
+          scraped_session.metrics().counter_sum(
+              "asamap_serve_requests_total") -
+          2 * windowrep.scrapes;
+      windowrep.scraped_rps =
+          static_cast<double>(scraped_requests) / scraped_elapsed;
+    }
+    windowrep.ran = true;
+    windowrep.overhead =
+        windowrep.baseline_rps <= 0.0
+            ? 0.0
+            : std::max(0.0, (windowrep.baseline_rps - windowrep.scraped_rps) /
+                                windowrep.baseline_rps);
+
+    benchutil::Table wt({"Metric", "Value"});
+    wt.add_row({"scraper-off requests/sec", fmt(windowrep.baseline_rps, 0)});
+    wt.add_row({"scraper-on requests/sec", fmt(windowrep.scraped_rps, 0)});
+    wt.add_row({"scrapes", std::to_string(windowrep.scrapes)});
+    wt.add_row({"window overhead (%)", fmt(windowrep.overhead * 100.0, 2)});
+    wt.add_row(
+        {"overhead budget (%)", fmt(kWindowOverheadLimit * 100.0, 2)});
+    wt.print(std::cout);
   }
 
   // ---- phase 3: chaos (optional) ---------------------------------------
@@ -1233,6 +1314,15 @@ int main(int argc, char** argv) try {
        << ", \"ring_capacity\": " << trace.stats.ring_capacity << "}\n"
        << "  },\n";
   }
+  if (windowrep.ran) {
+    js << "  \"window\": {\n"
+       << "    \"baseline_rps\": " << windowrep.baseline_rps << ",\n"
+       << "    \"scraped_rps\": " << windowrep.scraped_rps << ",\n"
+       << "    \"overhead_fraction\": " << windowrep.overhead << ",\n"
+       << "    \"overhead_limit\": " << kWindowOverheadLimit << ",\n"
+       << "    \"scrapes\": " << windowrep.scrapes << "\n"
+       << "  },\n";
+  }
   if (chaos.ran) {
     js << "  \"chaos\": {\n"
        << "    \"plan\": \"" << faults_path << "\",\n"
@@ -1345,6 +1435,12 @@ int main(int argc, char** argv) try {
     std::cerr << "FAIL: tracer overhead " << fmt(trace.overhead * 100.0, 2)
               << "% exceeds the " << fmt(kTraceOverheadLimit * 100.0, 0)
               << "% budget\n";
+    return 1;
+  }
+  if (windowrep.ran && windowrep.overhead > kWindowOverheadLimit) {
+    std::cerr << "FAIL: windowed-metrics overhead "
+              << fmt(windowrep.overhead * 100.0, 2) << "% exceeds the "
+              << fmt(kWindowOverheadLimit * 100.0, 0) << "% budget\n";
     return 1;
   }
   return 0;

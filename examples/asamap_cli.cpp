@@ -3,7 +3,8 @@
 //
 //   asamap_cli cluster <graph.txt> [--out partition.tsv] [--engine=flat|...]
 //                      [--parallel N] [--deadline-ms N] [--directed]
-//                      [--metrics prom|json] [--trace-out FILE]
+//                      [--metrics prom|json] [--metrics-window prom|json]
+//                      [--trace-out FILE]
 //   asamap_cli stats   <graph.txt> [--directed]
 //   asamap_cli gen     <dataset-name> <out.txt>      (paper stand-ins)
 //   asamap_cli compare <graph.txt> <a.tsv> <b.tsv>   (NMI/ARI/modularity)
@@ -30,6 +31,7 @@
 #include "asamap/graph/stats.hpp"
 #include "asamap/metrics/partition_io.hpp"
 #include "asamap/obs/metrics.hpp"
+#include "asamap/obs/window.hpp"
 #include "asamap/support/argparse.hpp"
 #include "asamap/support/timer.hpp"
 
@@ -43,7 +45,8 @@ int usage() {
       "  asamap_cli cluster <graph.txt> [--out partition.tsv]\n"
       "                     [--accumulator hotset|flat|chained|open|asa|dense]\n"
       "                     [--parallel N] [--deadline-ms N] [--directed]\n"
-      "                     [--metrics prom|json] [--trace-out FILE]\n"
+      "                     [--metrics prom|json] [--metrics-window prom|json]\n"
+      "                     [--trace-out FILE]\n"
       "                     (--engine is an alias for --accumulator;\n"
       "                      --parallel accepts only hotset|flat)\n"
       "  asamap_cli stats   <graph.txt> [--directed]\n"
@@ -131,13 +134,36 @@ int cmd_cluster(const support::ArgParser& args) {
               << "'\n";
     return usage();
   }
+  const std::string window_format = args.get_or("metrics-window", "");
+  if (!window_format.empty() && window_format != "prom" &&
+      window_format != "prometheus" && window_format != "json") {
+    std::cerr << "--metrics-window: expected prom or json, got '"
+              << window_format << "'\n";
+    return usage();
+  }
 
   std::atomic<bool> cancel{false};
   obs::MetricRegistry registry;
   core::InfomapOptions opts;
   if (deadline_ms > 0) opts.cancel = &cancel;
-  if (!metrics_format.empty()) opts.metrics = &registry;
+  if (!metrics_format.empty() || !window_format.empty()) {
+    opts.metrics = &registry;
+  }
   DeadlineWatchdog watchdog(deadline_ms, cancel);
+
+  // One-shot windowed view: snapshot the (empty) registry before the run
+  // and query after it.  Nothing ticks mid-run, so a tier whose whole
+  // window is shorter than the run resets to empty at query time; the
+  // extra 1×1h "run" tier always covers the full run.
+  obs::WindowConfig window_config;
+  window_config.tiers.push_back({3'600'000'000'000ULL, 1, "run"});
+  const auto mono_ns = [] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  };
+  obs::WindowStore window(registry, window_config, mono_ns());
 
   support::WallTimer timer;
   core::InfomapResult result;
@@ -179,6 +205,18 @@ int cmd_cluster(const support::ArgParser& args) {
         std::cout, benchutil::make_envelope("cli_metrics"), "  ");
     std::cout << "  \"metrics\": ";
     registry.write_json(std::cout, "  ");
+    std::cout << "\n}\n";
+  }
+
+  // Windowed rates/quantiles of this run (the METRICS WINDOW view).
+  if (window_format == "prom" || window_format == "prometheus") {
+    window.write_prometheus(std::cout, mono_ns());
+  } else if (window_format == "json") {
+    std::cout << "{\n";
+    benchutil::write_envelope_fields(
+        std::cout, benchutil::make_envelope("cli_metrics_window"), "  ");
+    std::cout << "  \"window\": ";
+    window.write_json(std::cout, mono_ns(), "  ");
     std::cout << "\n}\n";
   }
 
@@ -251,7 +289,7 @@ int main(int argc, char** argv) {
   const support::ArgParser args(argc, argv, 2, {"directed"});
   if (const auto unknown = args.unknown_keys(
           {"out", "engine", "accumulator", "parallel", "deadline-ms",
-           "metrics", "trace-out"});
+           "metrics", "metrics-window", "trace-out"});
       !unknown.empty()) {
     std::cerr << "unknown option: --" << unknown.front() << '\n';
     return usage();

@@ -91,12 +91,17 @@ int main(int argc, char** argv) {
                  "                     [--listen PORT] [--net-workers N] "
                  "[--net-ring N] [--net-batch N]\n"
                  "                     [--timeout-ms N] [--retries N] "
-                 "[--print-metrics]\n";
+                 "[--print-metrics]\n"
+                 "                     [--slo-p99-ms N] "
+                 "[--slo-availability X]\n"
+                 "                     [--window-fast-ms N] "
+                 "[--window-slow-ms N]\n";
     return 0;
   }
   if (const auto unknown = args.unknown_keys(
           {"shards", "listen", "net-workers", "net-ring", "net-batch",
-           "timeout-ms", "retries"});
+           "timeout-ms", "retries", "slo-p99-ms", "slo-availability",
+           "window-fast-ms", "window-slow-ms"});
       !unknown.empty()) {
     std::cerr << "unknown option: --" << unknown.front() << '\n';
     return 2;
@@ -129,6 +134,18 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.int_or("net-ring", 1024));
     net_config.max_batch =
         static_cast<std::size_t>(args.int_or("net-batch", 64));
+    // SLO knobs for HEALTH / HEALTH FLEET (defaults in obs/health.hpp).
+    config.slo.latency_p99_bound_seconds =
+        args.double_or("slo-p99-ms", 50.0) / 1000.0;
+    config.slo.availability_target =
+        args.double_or("slo-availability", 0.999);
+    // Bucket widths of the fast/slow windowed-metrics tiers.
+    config.window.tiers[0].interval_ns =
+        static_cast<std::uint64_t>(args.int_or("window-fast-ms", 1000)) *
+        1'000'000ULL;
+    config.window.tiers[1].interval_ns =
+        static_cast<std::uint64_t>(args.int_or("window-slow-ms", 10000)) *
+        1'000'000ULL;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;

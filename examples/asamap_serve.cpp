@@ -98,13 +98,17 @@ int main(int argc, char** argv) {
                  "                    [--trace-out FILE] [--echo]\n"
                  "                    [--listen PORT] [--net-workers N] "
                  "[--net-ring N] [--net-batch N]\n"
-                 "                    [--shard-id K --shards N]\n";
+                 "                    [--shard-id K --shards N]\n"
+                 "                    [--slo-p99-ms N] [--slo-availability X]\n"
+                 "                    [--window-fast-ms N] "
+                 "[--window-slow-ms N]\n";
     return 0;
   }
   if (const auto unknown = args.unknown_keys(
           {"workers", "budget-mb", "cluster-threads", "interactive-cap",
            "batch-cap", "faults", "trace-out", "listen", "net-workers",
-           "net-ring", "net-batch", "shard-id", "shards"});
+           "net-ring", "net-batch", "shard-id", "shards", "slo-p99-ms",
+           "slo-availability", "window-fast-ms", "window-slow-ms"});
       !unknown.empty()) {
     std::cerr << "unknown option: --" << unknown.front() << '\n';
     return 2;
@@ -140,6 +144,20 @@ int main(int argc, char** argv) {
     shard_config.shard_id =
         static_cast<std::uint32_t>(args.int_or("shard-id", 0));
     shard_config.shards = static_cast<std::uint32_t>(args.int_or("shards", 1));
+    // SLO knobs for the HEALTH verb (see obs/health.hpp for the defaults).
+    config.slo.latency_p99_bound_seconds =
+        args.double_or("slo-p99-ms", 50.0) / 1000.0;
+    config.slo.availability_target =
+        args.double_or("slo-availability", 0.999);
+    // Bucket widths of the two windowed-metrics tiers (the windows span
+    // 10 and 6 buckets respectively); smokes shrink these so burn rates
+    // age out in seconds.
+    config.window.tiers[0].interval_ns =
+        static_cast<std::uint64_t>(args.int_or("window-fast-ms", 1000)) *
+        1'000'000ULL;
+    config.window.tiers[1].interval_ns =
+        static_cast<std::uint64_t>(args.int_or("window-slow-ms", 10000)) *
+        1'000'000ULL;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;

@@ -23,6 +23,23 @@
 ///                   run_distributed_infomap — same kernels, same order,
 ///                   same codelength)
 ///   SHARDS        → per-shard up/breaker status
+///   METRICS WINDOW [prom|json]
+///                 → windowed rates/quantiles over the router's own registry
+///   METRICS FLEET [prom|json]
+///                 → federation (ISSUE 10): scrape every shard's `METRICS
+///                   json`, re-label each series with shard="K", sum
+///                   counters and merge histograms (via the mergeable
+///                   `buckets` field) into shard="fleet" aggregates — one
+///                   scrape shows the whole tier.  A down shard is reported
+///                   (asamap_fleet_shards_down, shard_scraped=0), never an
+///                   error.
+///   HEALTH        → router-local SLO evaluation (availability/latency over
+///                   the router's windows + last-known shard liveness)
+///   HEALTH FLEET  → live-probes every shard's HEALTH, folds the per-shard
+///                   verdicts and liveness into one fleet verdict: any
+///                   shard down or degraded ⇒ at least degraded; more than
+///                   half down ⇒ unhealthy.  Header leads with `status=`,
+///                   payload has one line per SLO and per shard.
 ///
 /// Staleness is labeled, never hidden: every gathered read carries a
 /// `vclock=v0:v1:...` vector of the per-shard snapshot versions last seen
@@ -50,8 +67,11 @@
 #include "asamap/dist/partition_map.hpp"
 #include "asamap/fault/retry.hpp"
 #include "asamap/net/client.hpp"
+#include "asamap/obs/health.hpp"
 #include "asamap/obs/metrics.hpp"
+#include "asamap/obs/window.hpp"
 #include "asamap/serve/handler.hpp"
+#include "asamap/support/histogram.hpp"
 
 namespace asamap::dist {
 
@@ -76,6 +96,10 @@ struct RouterConfig {
   /// one-shot).  4 MiB leaves ample headroom for the verb + TRACECTX
   /// prefix.
   std::size_t apply_chunk_bytes = 4u << 20;
+  /// Windowed-metrics tiers (METRICS WINDOW) and the SLOs the router's own
+  /// HEALTH evaluates over them.
+  obs::WindowConfig window;
+  obs::SloConfig slo;
 };
 
 class Router : public serve::RequestHandler {
@@ -97,6 +121,11 @@ class Router : public serve::RequestHandler {
     return shards_.size();
   }
 
+  /// The windowed view and SLO evaluator over the router's own registry
+  /// (METRICS WINDOW / HEALTH); caller-clocked like the serve session's.
+  obs::WindowStore& window() noexcept { return window_; }
+  obs::HealthTracker& health() noexcept { return health_; }
+
  private:
   struct Shard {
     explicit Shard(const fault::BreakerConfig& breaker_config)
@@ -108,6 +137,9 @@ class Router : public serve::RequestHandler {
     std::atomic<bool> up{false};
     obs::Gauge* up_gauge = nullptr;
     obs::Gauge* breaker_gauge = nullptr;
+    /// 1 when the last METRICS FLEET / HEALTH FLEET probe reached this
+    /// shard, 0 otherwise — the federated view of per-shard liveness.
+    obs::Gauge* scraped_gauge = nullptr;
   };
 
   /// One scatter's outcome: per-shard response + transport success.
@@ -158,6 +190,34 @@ class Router : public serve::RequestHandler {
   std::string handle_stats();
   std::string handle_metrics(const std::vector<std::string_view>& tokens);
   std::string handle_trace(const std::vector<std::string_view>& tokens);
+  std::string handle_health(const std::vector<std::string_view>& tokens);
+
+  // --- observability plane (ISSUE 10) -------------------------------------
+
+  /// One shard series parsed out of a `METRICS json` scrape: the key split
+  /// into name + label body, and either a scalar or a decoded histogram.
+  struct FleetSeries {
+    std::string name;
+    std::string labels;  ///< original label body, no braces, may be empty
+    bool is_hist = false;
+    double value = 0.0;
+    support::LatencyHistogram hist;
+  };
+
+  /// Windowed rates over the router's own registry.
+  std::string render_window(std::string_view format);
+  /// Router-local HEALTH: own SLOs + last-known (not probed) shard
+  /// liveness.
+  std::string render_health();
+  /// METRICS FLEET: scrape every shard, relabel, aggregate.
+  std::string fleet_metrics(std::string_view format);
+  /// HEALTH FLEET: live-probe every shard's HEALTH, fold the verdicts.
+  std::string fleet_health();
+  /// Scrapes shard `i`'s `METRICS json` and parses its asamap_* series.
+  /// False ⇒ shard unreachable (out untouched).
+  bool scrape_shard_metrics(std::size_t i, std::vector<FleetSeries>& out);
+  /// Last-known liveness from the up flags (no network).
+  [[nodiscard]] obs::HealthInputs liveness_inputs() const;
 
   /// Stale/degraded fallback: answer `line` from the newest / any live
   /// replica and re-tag the response.
@@ -175,6 +235,8 @@ class Router : public serve::RequestHandler {
 
   RouterConfig config_;
   obs::MetricRegistry metrics_;
+  obs::WindowStore window_;
+  obs::HealthTracker health_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   std::unordered_map<std::string_view, VerbMetrics> verb_metrics_;
@@ -186,6 +248,9 @@ class Router : public serve::RequestHandler {
   obs::Counter* degraded_total_ = nullptr;
   obs::Counter* stale_total_ = nullptr;
   obs::Counter* errors_total_ = nullptr;
+  obs::Gauge* uptime_ = nullptr;
+  obs::Gauge* fleet_up_ = nullptr;
+  obs::Gauge* fleet_down_ = nullptr;
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> retries_{0};

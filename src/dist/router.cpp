@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <numeric>
 #include <sstream>
 #include <thread>
 
 #include "asamap/benchutil/json_env.hpp"
+#include "asamap/fault/fault.hpp"
+#include "asamap/obs/build_info.hpp"
 #include "asamap/obs/tracing.hpp"
 #include "asamap/support/timer.hpp"
 
@@ -114,17 +117,110 @@ const char* breaker_name(fault::CircuitBreaker::State s) {
 constexpr std::string_view kRouterVerbs[] = {
     "GEN",     "LOAD", "DROP",    "CLUSTER", "ADD_EDGE", "DEL_EDGE",
     "APPLY",   "MEMBER", "SAME",  "TOPK",    "SUMMARY",  "SHARDS",
-    "STATS",   "METRICS", "TRACE", "QUIT"};
+    "STATS",   "METRICS", "HEALTH", "TRACE", "QUIT"};
 
 std::string verb_label(std::string_view verb) {
   return "verb=\"" + std::string(verb) + "\"";
 }
 
+/// The monotonic clock the window/health layer is fed from.
+std::uint64_t mono_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string escape_json(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Inverse of escape_json for the self-produced metric keys a fleet scrape
+/// reads back (only \" \\ \n \t ever appear there).
+std::string json_unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      default: out += s[i]; break;  // \" and \\ (and anything exotic, as-is)
+    }
+  }
+  return out;
+}
+
+/// `"key": <number>` lookup inside a one-line JSON object.
+bool json_number_field(std::string_view obj, std::string_view key,
+                       double& out) {
+  const std::string needle = "\"" + std::string(key) + "\": ";
+  const std::size_t pos = obj.find(needle);
+  if (pos == std::string_view::npos) return false;
+  std::string_view rest = obj.substr(pos + needle.size());
+  const std::size_t end = rest.find_first_of(",}");
+  return parse_double(rest.substr(0, end), out);
+}
+
+/// `"key": "<value>"` lookup inside a one-line JSON object (the buckets
+/// field — digits, colons, commas only, so no unescaping needed).
+std::string_view json_string_field(std::string_view obj,
+                                   std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\": \"";
+  const std::size_t pos = obj.find(needle);
+  if (pos == std::string_view::npos) return {};
+  std::string_view rest = obj.substr(pos + needle.size());
+  return rest.substr(0, rest.find('"'));
+}
+
+/// `labels` with `shard="<id>"` appended.
+std::string with_shard_label(const std::string& labels,
+                             std::string_view shard) {
+  std::string out = labels;
+  if (!out.empty()) out += ',';
+  out += "shard=\"";
+  out += shard;
+  out += '"';
+  return out;
+}
+
 }  // namespace
 
-Router::Router(const RouterConfig& config) : config_(config) {
+Router::Router(const RouterConfig& config)
+    : config_(config),
+      window_(metrics_, config_.window, mono_now_ns()),
+      health_(metrics_, window_, config_.slo, "asamap_router_requests_total",
+              "asamap_router_errors_total", "asamap_router_request_seconds") {
   metrics_.gauge("asamap_router_shards")
       .set(static_cast<double>(config_.shards.size()));
+  // Build identity + fleet gauges, pre-registered so a fresh scrape (and
+  // --print-metrics) enumerates the full schema before any FLEET probe.
+  uptime_ = &metrics_.gauge("asamap_uptime_seconds");
+  uptime_->set(obs::process_uptime_seconds());
+  fleet_up_ = &metrics_.gauge("asamap_fleet_shards_up");
+  fleet_down_ = &metrics_.gauge("asamap_fleet_shards_down");
   for (const std::string_view verb : kRouterVerbs) {
     VerbMetrics vm;
     vm.requests =
@@ -148,6 +244,8 @@ Router::Router(const RouterConfig& config) : config_(config) {
     shard->up_gauge = &metrics_.gauge("asamap_router_shard_up", label);
     shard->breaker_gauge =
         &metrics_.gauge("asamap_router_breaker_state", label);
+    shard->scraped_gauge =
+        &metrics_.gauge("asamap_fleet_shard_scraped", label);
     shards_.push_back(std::move(shard));
   }
 }
@@ -349,6 +447,7 @@ std::string Router::dispatch(std::string_view line,
   if (verb == "SHARDS") return handle_shards();
   if (verb == "STATS") return handle_stats();
   if (verb == "METRICS") return handle_metrics(tokens);
+  if (verb == "HEALTH") return handle_health(tokens);
   if (verb == "TRACE") return handle_trace(tokens);
   if (verb == "QUIT") return "OK bye";
   if (verb == "WAIT" || verb == "CANCEL" || verb == "DELTA" ||
@@ -947,20 +1046,37 @@ std::string Router::handle_shards() {
 }
 
 std::string Router::handle_stats() {
+  uptime_->set(obs::process_uptime_seconds());
   return "OK shards=" + std::to_string(shards_.size()) +
          " requests=" + std::to_string(requests_.load()) +
          " retries=" + std::to_string(retries_.load()) +
          " degraded=" + std::to_string(degraded_.load()) +
-         " stale=" + std::to_string(stale_.load());
+         " stale=" + std::to_string(stale_.load()) +
+         // Build identity (ISSUE 10): same fields as the shard STATS line.
+         " uptime=" + fmt_double(obs::process_uptime_seconds()) +
+         " rev=" + obs::build_git_rev() + " build=" + obs::build_mode() +
+         " faults=" + (fault::kFaultInjectionEnabled ? "1" : "0") +
+         " accumulator=hotset";
 }
 
 std::string Router::handle_metrics(
     const std::vector<std::string_view>& tokens) {
+  if (tokens.size() >= 2 && (tokens[1] == "WINDOW" || tokens[1] == "FLEET")) {
+    const bool fleet = tokens[1] == "FLEET";
+    if (tokens.size() > 3) {
+      return err("invalid_argument",
+                 fleet ? "usage: METRICS FLEET [prom|json]"
+                       : "usage: METRICS WINDOW [prom|json]");
+    }
+    const std::string_view fmt = tokens.size() == 3 ? tokens[2] : "prom";
+    return fleet ? fleet_metrics(fmt) : render_window(fmt);
+  }
   if (tokens.size() > 2) {
-    return err("invalid_argument", "usage: METRICS [prom|json]");
+    return err("invalid_argument", "usage: METRICS [WINDOW|FLEET] [prom|json]");
   }
   const std::string_view fmt = tokens.size() == 2 ? tokens[1] : "prom";
   if (fmt == "prom") {
+    uptime_->set(obs::process_uptime_seconds());
     std::ostringstream out;
     metrics_.write_prometheus(out);
     std::string s = out.str();
@@ -968,6 +1084,7 @@ std::string Router::handle_metrics(
     return enveloped("prometheus", std::move(s));
   }
   if (fmt == "json") {
+    uptime_->set(obs::process_uptime_seconds());
     std::ostringstream out;
     out << "{\n";
     benchutil::write_envelope_fields(
@@ -978,6 +1095,345 @@ std::string Router::handle_metrics(
     return enveloped("json", out.str());
   }
   return err("invalid_argument", "unknown metrics format");
+}
+
+std::string Router::handle_health(
+    const std::vector<std::string_view>& tokens) {
+  if (tokens.size() == 1) return render_health();
+  if (tokens.size() == 2 && tokens[1] == "FLEET") return fleet_health();
+  return err("invalid_argument", "usage: HEALTH [FLEET]");
+}
+
+// --- observability plane (ISSUE 10) ----------------------------------------
+
+std::string Router::render_window(std::string_view format) {
+  const std::uint64_t now = mono_now_ns();
+  std::ostringstream out;
+  if (format == "prom" || format == "prometheus") {
+    window_.write_prometheus(out, now);
+    std::string s = out.str();
+    if (!s.empty() && s.back() == '\n') s.pop_back();
+    return enveloped("prometheus", std::move(s));
+  }
+  if (format == "json") {
+    out << "{\n";
+    benchutil::write_envelope_fields(
+        out, benchutil::make_envelope("router_metrics_window"), "  ");
+    out << "  \"window\": ";
+    window_.write_json(out, now, "  ");
+    out << "\n}";
+    return enveloped("json", out.str());
+  }
+  return err("invalid_argument",
+             "METRICS WINDOW: unknown format '" + std::string(format) +
+                 "' (want prom or json)");
+}
+
+obs::HealthInputs Router::liveness_inputs() const {
+  obs::HealthInputs in;
+  in.have_shards = true;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i]->up.load(std::memory_order_relaxed)) {
+      ++in.shards_up;
+    } else {
+      ++in.shards_down;
+      if (!in.down_list.empty()) in.down_list += ',';
+      in.down_list += std::to_string(i);
+    }
+  }
+  return in;
+}
+
+std::string Router::render_health() {
+  const obs::HealthReport report =
+      health_.evaluate(mono_now_ns(), liveness_inputs());
+  std::string payload = report.render();
+  if (!payload.empty() && payload.back() == '\n') payload.pop_back();
+  std::string out = "OK status=";
+  out += to_string(report.status);
+  out += " slos=" + std::to_string(report.slos.size());
+  out += " bytes=" + std::to_string(payload.size());
+  out += '\n';
+  out += payload;
+  return out;
+}
+
+std::string Router::fleet_health() {
+  // Live probe: one HEALTH per shard (shard_call updates the up/breaker
+  // gauges as a side effect, so the probe refreshes the liveness view).
+  std::vector<std::string> statuses(shards_.size());
+  obs::HealthInputs in;
+  in.have_shards = true;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::string resp;
+    if (shard_call(i, "HEALTH", resp) && starts_with(resp, "OK")) {
+      statuses[i] = std::string(field(resp, "status="));
+      if (statuses[i].empty()) statuses[i] = "unknown";
+      shards_[i]->scraped_gauge->set(1);
+      ++in.shards_up;
+    } else {
+      statuses[i] = "down";
+      shards_[i]->scraped_gauge->set(0);
+      ++in.shards_down;
+      if (!in.down_list.empty()) in.down_list += ',';
+      in.down_list += std::to_string(i);
+    }
+  }
+  fleet_up_->set(static_cast<double>(in.shards_up));
+  fleet_down_->set(static_cast<double>(in.shards_down));
+
+  const obs::HealthReport report = health_.evaluate(mono_now_ns(), in);
+  // Fold shard-reported verdicts: a shard that says degraded or unhealthy
+  // makes the fleet at least degraded (reads fail over to replicas, so one
+  // sick shard never makes the whole tier unhealthy by itself; losing a
+  // majority does, via the shards SLO).
+  obs::HealthStatus fleet = report.status;
+  for (const std::string& s : statuses) {
+    if ((s == "degraded" || s == "unhealthy" || s == "unknown") &&
+        fleet == obs::HealthStatus::kHealthy) {
+      fleet = obs::HealthStatus::kDegraded;
+    }
+  }
+  std::string payload = report.render();
+  for (std::size_t i = 0; i < statuses.size(); ++i) {
+    payload += "shard=" + std::to_string(i) + " status=" + statuses[i] + "\n";
+  }
+  if (!payload.empty() && payload.back() == '\n') payload.pop_back();
+  std::string out = "OK status=";
+  out += to_string(fleet);
+  out += " shards=" + std::to_string(shards_.size());
+  out += " up=" + std::to_string(in.shards_up);
+  out += " down=" + std::to_string(in.shards_down);
+  if (!in.down_list.empty()) out += " shards_down=" + in.down_list;
+  out += " bytes=" + std::to_string(payload.size());
+  out += '\n';
+  out += payload;
+  return out;
+}
+
+bool Router::scrape_shard_metrics(std::size_t i,
+                                  std::vector<FleetSeries>& out) {
+  std::string resp;
+  if (!shard_call(i, "METRICS json", resp) || !starts_with(resp, "OK")) {
+    return false;
+  }
+  const std::size_t nl = resp.find('\n');
+  if (nl == std::string::npos) return false;
+  std::string_view payload = std::string_view(resp).substr(nl + 1);
+  // Line-parse the self-produced registry JSON: each metric is one
+  // `"key": value` line (histograms are one-line objects carrying the
+  // mergeable `buckets` field); envelope fields are filtered out by the
+  // asamap_ name prefix.
+  while (!payload.empty()) {
+    const std::size_t eol = payload.find('\n');
+    std::string_view line = payload.substr(0, eol);
+    payload = eol == std::string_view::npos ? std::string_view{}
+                                            : payload.substr(eol + 1);
+    const std::size_t open = line.find('"');
+    if (open == std::string_view::npos) continue;
+    // Closing quote of the key: the first unescaped '"'.
+    std::size_t close = open + 1;
+    while (close < line.size() &&
+           !(line[close] == '"' && line[close - 1] != '\\')) {
+      ++close;
+    }
+    if (close >= line.size()) continue;
+    const std::string key =
+        json_unescape(line.substr(open + 1, close - open - 1));
+    if (!starts_with(key, "asamap_")) continue;
+    std::string_view value = line.substr(close + 1);
+    const std::size_t colon = value.find(':');
+    if (colon == std::string_view::npos) continue;
+    value = value.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+    while (!value.empty() && (value.back() == ',' || value.back() == ' ')) {
+      value.remove_suffix(1);
+    }
+    FleetSeries s;
+    const std::size_t brace = key.find('{');
+    if (brace == std::string::npos) {
+      s.name = key;
+    } else {
+      s.name = key.substr(0, brace);
+      s.labels = key.substr(brace + 1);
+      if (!s.labels.empty() && s.labels.back() == '}') s.labels.pop_back();
+    }
+    if (!value.empty() && value.front() == '{') {
+      double sum = 0.0, mn = 0.0, mx = 0.0;
+      json_number_field(value, "sum", sum);
+      json_number_field(value, "min", mn);
+      json_number_field(value, "max", mx);
+      s.is_hist = true;
+      s.hist = support::LatencyHistogram::decode(
+          sum, mn, mx, json_string_field(value, "buckets"));
+    } else if (!parse_double(value, s.value)) {
+      continue;
+    }
+    out.push_back(std::move(s));
+  }
+  return true;
+}
+
+std::string Router::fleet_metrics(std::string_view format) {
+  if (format != "prom" && format != "prometheus" && format != "json") {
+    return err("invalid_argument",
+               "METRICS FLEET: unknown format '" + std::string(format) +
+                   "' (want prom or json)");
+  }
+  std::vector<std::vector<FleetSeries>> per_shard(shards_.size());
+  std::size_t up = 0;
+  std::string down_list;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const bool ok = scrape_shard_metrics(i, per_shard[i]);
+    shards_[i]->scraped_gauge->set(ok ? 1 : 0);
+    if (ok) {
+      ++up;
+    } else {
+      if (!down_list.empty()) down_list += ',';
+      down_list += std::to_string(i);
+    }
+  }
+  fleet_up_->set(static_cast<double>(up));
+  fleet_down_->set(static_cast<double>(shards_.size() - up));
+
+  // Aggregate across shards per (name, labels): histograms merge through
+  // the decoded buckets, counters (the *_total naming convention) sum;
+  // gauges stay per-shard only — summing a gauge has no meaning.
+  struct Agg {
+    std::string name;
+    std::string labels;
+    bool is_hist = false;
+    double sum = 0.0;
+    support::LatencyHistogram hist;
+  };
+  std::vector<Agg> aggs;
+  std::unordered_map<std::string, std::size_t> agg_index;
+  const auto agg_slot = [&](const FleetSeries& s) -> Agg& {
+    std::string key = s.name + '\x01' + s.labels;
+    const auto it = agg_index.find(key);
+    if (it != agg_index.end()) return aggs[it->second];
+    agg_index.emplace(std::move(key), aggs.size());
+    aggs.push_back({s.name, s.labels, s.is_hist, 0.0, {}});
+    return aggs.back();
+  };
+  for (const auto& shard_series : per_shard) {
+    for (const FleetSeries& s : shard_series) {
+      if (s.is_hist) {
+        agg_slot(s).hist.merge(s.hist);
+      } else if (std::string_view(s.name).ends_with("_total")) {
+        agg_slot(s).sum += s.value;
+      }
+    }
+  }
+
+  const auto hist_json = [](const support::LatencyHistogram& h) {
+    std::string o = "{\"count\": " + std::to_string(h.count()) +
+                    ", \"sum\": " + fmt_double(h.total_seconds()) +
+                    ", \"mean\": " + fmt_double(h.mean_seconds()) +
+                    ", \"min\": " + fmt_double(h.min_seconds()) +
+                    ", \"max\": " + fmt_double(h.max_seconds()) +
+                    ", \"p50\": " + fmt_double(h.quantile_seconds(0.5)) +
+                    ", \"p90\": " + fmt_double(h.quantile_seconds(0.9)) +
+                    ", \"p99\": " + fmt_double(h.quantile_seconds(0.99)) +
+                    ", \"buckets\": \"" + h.encode_buckets() + "\"}";
+    return o;
+  };
+
+  if (format == "json") {
+    std::ostringstream out;
+    out << "{\n";
+    benchutil::write_envelope_fields(
+        out, benchutil::make_envelope("router_metrics_fleet"), "  ");
+    out << "  \"shards\": " << shards_.size() << ",\n";
+    out << "  \"up\": " << up << ",\n";
+    out << "  \"down\": " << (shards_.size() - up) << ",\n";
+    out << "  \"down_list\": \"" << down_list << "\",\n";
+    out << "  \"fleet\": {";
+    bool first = true;
+    const auto emit = [&](const std::string& name, const std::string& labels,
+                          const std::string& rendered) {
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << "    \"" << escape_json(name + '{' + labels + '}')
+          << "\": " << rendered;
+    };
+    for (std::size_t i = 0; i < per_shard.size(); ++i) {
+      const std::string shard_id = std::to_string(i);
+      for (const FleetSeries& s : per_shard[i]) {
+        emit(s.name, with_shard_label(s.labels, shard_id),
+             s.is_hist ? hist_json(s.hist) : fmt_double(s.value));
+      }
+    }
+    for (const Agg& a : aggs) {
+      emit(a.name, with_shard_label(a.labels, "fleet"),
+           a.is_hist ? hist_json(a.hist) : fmt_double(a.sum));
+    }
+    out << (first ? "}" : "\n  }") << "\n}";
+    return enveloped("json", out.str());
+  }
+
+  // Prometheus text: group per metric name under one # TYPE line, exactly
+  // like the registry's own renderer; the kind falls out of the sample
+  // shape (histogram ⇒ summary) and the *_total convention (⇒ counter).
+  struct Series {
+    std::string labels;
+    bool is_hist = false;
+    double value = 0.0;
+    const support::LatencyHistogram* hist = nullptr;
+  };
+  std::vector<std::string> name_order;
+  std::unordered_map<std::string, std::vector<Series>> by_name;
+  const auto add_series = [&](const std::string& name, Series s) {
+    auto& group = by_name[name];
+    if (group.empty()) name_order.push_back(name);
+    group.push_back(std::move(s));
+  };
+  for (std::size_t i = 0; i < per_shard.size(); ++i) {
+    const std::string shard_id = std::to_string(i);
+    for (const FleetSeries& s : per_shard[i]) {
+      add_series(s.name, {with_shard_label(s.labels, shard_id), s.is_hist,
+                          s.value, s.is_hist ? &s.hist : nullptr});
+    }
+  }
+  for (const Agg& a : aggs) {
+    add_series(a.name, {with_shard_label(a.labels, "fleet"), a.is_hist,
+                        a.sum, a.is_hist ? &a.hist : nullptr});
+  }
+  std::string text;
+  text += "# TYPE asamap_fleet_shards_up gauge\n";
+  text += "asamap_fleet_shards_up " + std::to_string(up) + "\n";
+  text += "# TYPE asamap_fleet_shards_down gauge\n";
+  text += "asamap_fleet_shards_down " +
+          std::to_string(shards_.size() - up) + "\n";
+  for (const std::string& name : name_order) {
+    const auto& group = by_name[name];
+    const bool is_hist = group.front().is_hist;
+    const bool is_counter =
+        !is_hist && std::string_view(name).ends_with("_total");
+    text += "# TYPE " + name +
+            (is_hist ? " summary" : is_counter ? " counter" : " gauge") +
+            "\n";
+    for (const Series& s : group) {
+      if (!s.is_hist) {
+        text += name + '{' + s.labels + "} " +
+                (is_counter
+                     ? std::to_string(static_cast<std::uint64_t>(s.value))
+                     : fmt_double(s.value)) +
+                "\n";
+        continue;
+      }
+      for (const double q : {0.5, 0.9, 0.99}) {
+        text += name + '{' + s.labels + ",quantile=\"" + fmt_double(q) +
+                "\"} " + fmt_double(s.hist->quantile_seconds(q)) + "\n";
+      }
+      text += name + "_sum{" + s.labels + "} " +
+              fmt_double(s.hist->total_seconds()) + "\n";
+      text += name + "_count{" + s.labels + "} " +
+              std::to_string(s.hist->count()) + "\n";
+    }
+  }
+  if (!text.empty() && text.back() == '\n') text.pop_back();
+  return enveloped("prometheus", std::move(text));
 }
 
 std::string Router::handle_trace(

@@ -1,0 +1,41 @@
+#include "asamap/obs/build_info.hpp"
+
+#include <chrono>
+
+namespace asamap::obs {
+namespace {
+
+std::chrono::steady_clock::time_point process_start() noexcept {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+// Pin the start time during static initialization so the first caller does
+// not define "process start" arbitrarily late.
+[[maybe_unused]] const auto kPinStart = process_start();
+
+}  // namespace
+
+const char* build_git_rev() noexcept {
+#ifdef ASAMAP_GIT_REV
+  return ASAMAP_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+const char* build_mode() noexcept {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+double process_uptime_seconds() noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       process_start())
+      .count();
+}
+
+}  // namespace asamap::obs

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file build_info.hpp
+/// Build identity for scrapes and STATS lines (ISSUE 10): which binary
+/// produced these numbers.  The git revision is baked in at configure time
+/// (ASAMAP_GIT_REV, see the top-level CMakeLists) so serving binaries never
+/// shell out; uptime is measured from the first call in the process, which
+/// the serving sessions make at construction.
+
+#include <cstdint>
+
+namespace asamap::obs {
+
+/// Short git revision the binary was configured from ("unknown" outside a
+/// git checkout).
+[[nodiscard]] const char* build_git_rev() noexcept;
+
+/// "release" (NDEBUG) or "debug".
+[[nodiscard]] const char* build_mode() noexcept;
+
+/// Seconds since the process's build-info clock was first read.  Drives
+/// the asamap_uptime_seconds gauge; monotonic.
+[[nodiscard]] double process_uptime_seconds() noexcept;
+
+}  // namespace asamap::obs

@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file health.hpp
+/// obs::HealthTracker — the machine-checkable health/SLO answer (ISSUE 10).
+///
+/// Declares a small set of SLOs over the WindowStore's fast/slow windows
+/// and evaluates them into one `healthy | degraded | unhealthy` verdict
+/// plus one line per SLO — the payload of the HEALTH verb:
+///
+///   availability  error budget = 1 - target; the burn rate is the
+///                 window's error fraction divided by the budget.  Both
+///                 the fast and the slow window burning past their
+///                 thresholds is a *violation* (the classic multiwindow
+///                 page: sustained AND current); only one window burning
+///                 is a *warning* (either a fresh spike the slow window
+///                 hasn't absorbed, or an old burn already subsiding).
+///   latency       windowed p99 against a declared bound.  Fast window
+///                 over the bound warns; fast AND slow over it violates.
+///   breaker       an open circuit breaker (gauge = 1) warns — the stack
+///                 is shedding by design, which is degraded, not down.
+///   shards        (router only, via Inputs) any shard down warns; more
+///                 than half down violates.
+///
+/// Overall: any violation ⇒ unhealthy, else any warning ⇒ degraded, else
+/// healthy.  Every evaluation also publishes asamap_health_* gauges on
+/// the registry, so plain METRICS scrapes and the fleet federation see
+/// the verdict without speaking the HEALTH verb.
+///
+/// Evaluation is caller-clocked like the WindowStore (pass a monotonic
+/// now_ns), so tests drive synthetic timelines.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asamap/obs/metrics.hpp"
+#include "asamap/obs/window.hpp"
+
+namespace asamap::obs {
+
+struct SloConfig {
+  double availability_target = 0.999;  ///< non-ERR fraction of requests
+  /// Burn-rate thresholds (err_fraction / error_budget).  Defaults follow
+  /// the SRE multiwindow shape: the fast window must burn hard (a real
+  /// spike, not noise) and the slow window must confirm it is sustained.
+  double fast_burn_threshold = 14.0;
+  double slow_burn_threshold = 6.0;
+  double latency_p99_bound_seconds = 0.050;  ///< windowed p99 bound
+  std::size_t fast_tier = 0;  ///< WindowStore tier index of the fast window
+  std::size_t slow_tier = 1;  ///< ... and the slow one
+};
+
+enum class HealthStatus { kHealthy, kDegraded, kUnhealthy };
+
+[[nodiscard]] constexpr const char* to_string(HealthStatus s) noexcept {
+  switch (s) {
+    case HealthStatus::kHealthy: return "healthy";
+    case HealthStatus::kDegraded: return "degraded";
+    case HealthStatus::kUnhealthy: return "unhealthy";
+  }
+  return "unknown";
+}
+
+enum class SloStatus { kOk, kWarn, kViolated };
+
+[[nodiscard]] constexpr const char* to_string(SloStatus s) noexcept {
+  switch (s) {
+    case SloStatus::kOk: return "ok";
+    case SloStatus::kWarn: return "warn";
+    case SloStatus::kViolated: return "violated";
+  }
+  return "unknown";
+}
+
+struct SloResult {
+  std::string name;
+  SloStatus status = SloStatus::kOk;
+  std::string detail;  ///< `key=value` pairs after the status token
+};
+
+struct HealthReport {
+  HealthStatus status = HealthStatus::kHealthy;
+  std::vector<SloResult> slos;
+  /// One `slo=<name> status=<s> <detail>` line per SLO, '\n'-terminated —
+  /// the HEALTH verb's payload.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Cross-process inputs the registry cannot see (the router's shard
+/// liveness view).
+struct HealthInputs {
+  bool have_shards = false;
+  std::size_t shards_up = 0;
+  std::size_t shards_down = 0;
+  std::string down_list;  ///< comma-separated shard ids, may be empty
+};
+
+class HealthTracker {
+ public:
+  using Inputs = HealthInputs;
+
+  /// `requests` / `errors` are counter names summed across label sets;
+  /// `latency` a histogram name; `breaker_gauge` optional (empty skips the
+  /// breaker SLO).  Registers the asamap_health_* gauges immediately so a
+  /// fresh scrape carries the schema.  Registry and window must outlive
+  /// the tracker.
+  HealthTracker(MetricRegistry& registry, WindowStore& window,
+                SloConfig config, std::string requests_counter,
+                std::string errors_counter, std::string latency_histogram,
+                std::string breaker_gauge = {});
+
+  HealthTracker(const HealthTracker&) = delete;
+  HealthTracker& operator=(const HealthTracker&) = delete;
+
+  [[nodiscard]] HealthReport evaluate(std::uint64_t now_ns,
+                                      const Inputs& inputs = HealthInputs());
+
+  [[nodiscard]] const SloConfig& config() const noexcept { return config_; }
+
+ private:
+  MetricRegistry& registry_;
+  WindowStore& window_;
+  SloConfig config_;
+  std::string requests_counter_;
+  std::string errors_counter_;
+  std::string latency_histogram_;
+  std::string breaker_gauge_;
+
+  Gauge* status_gauge_ = nullptr;  ///< 0 healthy, 1 degraded, 2 unhealthy
+  Gauge* burn_fast_ = nullptr;
+  Gauge* burn_slow_ = nullptr;
+  Gauge* p99_fast_ = nullptr;
+};
+
+}  // namespace asamap::obs

@@ -120,6 +120,14 @@ class Histogram {
   std::array<Shard, kShards> shards_;
 };
 
+/// Escapes a label *value* for use inside a label body (`\` → `\\`,
+/// `"` → `\"`, newline → `\n`); already-escaped sequences pass through, so
+/// double-escaping is impossible.  Writers building labels from external
+/// text (graph names, file paths) should run it through this; the
+/// Prometheus renderer additionally sanitizes every value defensively at
+/// scrape time so a raw value cannot corrupt the exposition.
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
 enum class MetricKind { kCounter, kGauge, kHistogram };
 
 [[nodiscard]] constexpr const char* to_string(MetricKind k) noexcept {
@@ -164,7 +172,9 @@ class MetricRegistry {
   void write_prometheus(std::ostream& os) const;
 
   /// The registry as one JSON object: scalar metrics map to numbers,
-  /// histograms to {count, sum, mean, min, max, p50, p90, p99} objects.
+  /// histograms to {count, sum, mean, min, max, p50, p90, p99, buckets}
+  /// objects — `buckets` is the sparse LatencyHistogram::encode_buckets()
+  /// form, the mergeable representation the router's fleet scrape decodes.
   /// Keys are `name` or `name{label="v"}`.  Lines after the first are
   /// prefixed with `indent` so the object nests into a caller's envelope;
   /// no trailing newline.

@@ -1,5 +1,6 @@
 #include "asamap/obs/metrics.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
@@ -48,13 +49,80 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+/// Escapes one stretch of label-value text for the exposition format,
+/// passing already-escaped sequences (`\\`, `\"`, `\n`) through unchanged
+/// so sanitizing is idempotent.
+std::string escape_label_chunk(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const char c = v[i];
+    if (c == '\\') {
+      if (i + 1 < v.size() &&
+          (v[i + 1] == '\\' || v[i + 1] == '"' || v[i + 1] == 'n')) {
+        out += c;
+        out += v[i + 1];
+        ++i;
+      } else {
+        out += "\\\\";
+      }
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders a stored label body (`key="value",...`) with every label value
+/// escaped per the Prometheus exposition rules.  Writers are expected to
+/// pass clean values (or run them through escape_label_value), but a raw
+/// `"`, `\`, or newline that slipped into a value must not corrupt the
+/// scrape: a value's closing quote is recognized only when followed by
+/// `,` or end-of-body, so embedded quotes are treated as content.
+std::string sanitize_labels(std::string_view labels) {
+  std::string out;
+  out.reserve(labels.size());
+  std::size_t i = 0;
+  while (i < labels.size()) {
+    const std::size_t eq = labels.find('=', i);
+    if (eq == std::string_view::npos || eq + 1 >= labels.size() ||
+        labels[eq + 1] != '"') {
+      // Not the key="value" shape: keep the text but neutralize newlines,
+      // which would otherwise break the line-oriented exposition.
+      out += escape_label_chunk(labels.substr(i));
+      break;
+    }
+    out.append(labels.substr(i, eq + 2 - i));  // key="
+    std::size_t close = eq + 2;
+    while (close < labels.size() &&
+           !(labels[close] == '"' && (close + 1 == labels.size() ||
+                                      labels[close + 1] == ','))) {
+      ++close;
+    }
+    out += escape_label_chunk(
+        labels.substr(eq + 2, std::min(close, labels.size()) - (eq + 2)));
+    out += '"';
+    if (close >= labels.size()) break;
+    i = close + 1;
+    if (i < labels.size() && labels[i] == ',') {
+      out += ',';
+      ++i;
+    }
+  }
+  return out;
+}
+
 /// `name{labels,extra}` with braces elided when there is nothing to wrap.
 std::string prom_series(const std::string& name, const std::string& labels,
                         std::string_view extra = {}) {
   if (labels.empty() && extra.empty()) return name;
   std::string out = name;
   out += '{';
-  out += labels;
+  out += sanitize_labels(labels);
   if (!labels.empty() && !extra.empty()) out += ',';
   out += extra;
   out += '}';
@@ -62,6 +130,10 @@ std::string prom_series(const std::string& name, const std::string& labels,
 }
 
 }  // namespace
+
+std::string escape_label_value(std::string_view value) {
+  return escape_label_chunk(value);
+}
 
 MetricRegistry::Entry& MetricRegistry::find_or_create(MetricKind kind,
                                                       std::string_view name,
@@ -203,7 +275,7 @@ void MetricRegistry::write_json(std::ostream& os, const char* indent) const {
            << ", \"p50\": " << fmt_double(s.hist.quantile_seconds(0.5))
            << ", \"p90\": " << fmt_double(s.hist.quantile_seconds(0.9))
            << ", \"p99\": " << fmt_double(s.hist.quantile_seconds(0.99))
-           << '}';
+           << ", \"buckets\": \"" << s.hist.encode_buckets() << "\"}";
         break;
     }
     os << (i + 1 < all.size() ? ",\n" : "\n");

@@ -1,0 +1,294 @@
+#include "asamap/obs/window.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace asamap::obs {
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string sample_key(const MetricSample& s) {
+  if (s.labels.empty()) return s.name;
+  return s.name + '{' + s.labels + '}';
+}
+
+/// `name{labels,window="fast"}` (or `name{window="fast"}`).
+std::string windowed_series(const std::string& name,
+                            const std::string& labels, const char* window,
+                            std::string_view extra = {}) {
+  std::string out = name;
+  out += '{';
+  if (!labels.empty()) {
+    out += labels;
+    out += ',';
+  }
+  out += "window=\"";
+  out += window;
+  out += '"';
+  if (!extra.empty()) {
+    out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+WindowStore::WindowStore(const MetricRegistry& registry, WindowConfig config,
+                         std::uint64_t now_ns)
+    : registry_(registry), config_(std::move(config)) {
+  if (config_.tiers.empty()) config_.tiers = WindowConfig{}.tiers;
+  tiers_.resize(config_.tiers.size());
+  const Snapshot initial = take_snapshot(now_ns);
+  for (auto& t : tiers_) {
+    t.ring.push_back(initial);
+    t.last_tick_ns = now_ns;
+  }
+}
+
+WindowStore::Snapshot WindowStore::take_snapshot(
+    std::uint64_t now_ns) const {
+  Snapshot snap;
+  snap.taken_ns = now_ns;
+  for (auto& s : registry_.samples()) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        snap.counters.emplace(sample_key(s), s.value);
+        break;
+      case MetricKind::kHistogram:
+        snap.hists.emplace(sample_key(s), std::move(s.hist));
+        break;
+      case MetricKind::kGauge:
+        break;  // gauges are instantaneous; windows add nothing
+    }
+  }
+  return snap;
+}
+
+void WindowStore::tick(std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tick_locked(now_ns);
+}
+
+void WindowStore::tick_locked(std::uint64_t now_ns) {
+  // One registry snapshot serves every tier that rotates this tick.
+  bool have_snap = false;
+  Snapshot snap;
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    Tier& tier = tiers_[t];
+    const std::uint64_t interval = config_.tiers[t].interval_ns;
+    if (now_ns < tier.last_tick_ns + interval) continue;
+    const std::uint64_t crossed = (now_ns - tier.last_tick_ns) / interval;
+    tier.last_tick_ns += crossed * interval;
+    if (!have_snap) {
+      snap = take_snapshot(now_ns);
+      have_snap = true;
+    }
+    // Snapshots carry the time they were actually taken, so a gap (missed
+    // ticks) shrinks the covered span instead of diluting rates: the
+    // window start is whatever the surviving front bucket really saw.
+    const std::size_t depth = config_.tiers[t].depth;
+    if (crossed >= depth) {
+      tier.ring.clear();
+      tier.ring.push_back(snap);
+      continue;
+    }
+    for (std::uint64_t k = 0; k < crossed; ++k) tier.ring.push_back(snap);
+    while (tier.ring.size() > depth) tier.ring.erase(tier.ring.begin());
+  }
+}
+
+std::uint64_t WindowStore::delta(std::string_view name,
+                                 std::uint64_t now_ns, std::size_t tier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tick_locked(now_ns);
+  if (tier >= tiers_.size()) return 0;
+  const double live = static_cast<double>(registry_.counter_sum(name));
+  double base = 0.0;
+  for (const auto& [key, v] : tiers_[tier].ring.front().counters) {
+    if (key == name ||
+        (key.size() > name.size() && key[name.size()] == '{' &&
+         key.compare(0, name.size(), name) == 0)) {
+      base += v;
+    }
+  }
+  return live <= base ? 0
+                      : static_cast<std::uint64_t>(live - base + 0.5);
+}
+
+double WindowStore::rate(std::string_view name, std::uint64_t now_ns,
+                         std::size_t tier) {
+  const std::uint64_t d = delta(name, now_ns, tier);
+  const double span = window_seconds(tier, now_ns);
+  return span <= 0.0 ? 0.0 : static_cast<double>(d) / span;
+}
+
+support::LatencyHistogram WindowStore::window_histogram(
+    std::string_view name, std::uint64_t now_ns, std::size_t tier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tick_locked(now_ns);
+  if (tier >= tiers_.size()) return {};
+  support::LatencyHistogram live = registry_.histogram_merged_all(name);
+  support::LatencyHistogram base;
+  for (const auto& [key, h] : tiers_[tier].ring.front().hists) {
+    if (key == name ||
+        (key.size() > name.size() && key[name.size()] == '{' &&
+         key.compare(0, name.size(), name) == 0)) {
+      base.merge(h);
+    }
+  }
+  live.subtract(base);
+  return live;
+}
+
+double WindowStore::window_seconds(std::size_t tier, std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tick_locked(now_ns);
+  if (tier >= tiers_.size()) return 0.0;
+  const std::uint64_t start = tiers_[tier].ring.front().taken_ns;
+  return now_ns <= start ? 0.0
+                         : static_cast<double>(now_ns - start) * 1e-9;
+}
+
+void WindowStore::write_prometheus(std::ostream& os, std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tick_locked(now_ns);
+  const auto live = registry_.samples();
+  // Group by name so each derived series sits under one # TYPE line, the
+  // same exposition discipline as the cumulative scrape.
+  std::vector<const MetricSample*> counters, hists;
+  for (const auto& s : live) {
+    if (s.kind == MetricKind::kCounter) counters.push_back(&s);
+    if (s.kind == MetricKind::kHistogram) hists.push_back(&s);
+  }
+  std::string last_name;
+  for (const MetricSample* s : counters) {
+    if (s->name != last_name) {
+      os << "# TYPE " << s->name << "_rate gauge\n";
+      last_name = s->name;
+    }
+    for (std::size_t t = 0; t < tiers_.size(); ++t) {
+      const Snapshot& front = tiers_[t].ring.front();
+      const std::uint64_t start = front.taken_ns;
+      const double span =
+          now_ns <= start ? 0.0
+                          : static_cast<double>(now_ns - start) * 1e-9;
+      const auto it = front.counters.find(sample_key(*s));
+      const double base = it == front.counters.end() ? 0.0 : it->second;
+      const double d = std::max(0.0, s->value - base);
+      os << windowed_series(s->name + "_rate", s->labels,
+                            config_.tiers[t].label)
+         << ' ' << fmt_double(span <= 0.0 ? 0.0 : d / span) << '\n';
+    }
+  }
+  last_name.clear();
+  for (const MetricSample* s : hists) {
+    if (s->name != last_name) {
+      os << "# TYPE " << s->name << "_window summary\n";
+      last_name = s->name;
+    }
+    for (std::size_t t = 0; t < tiers_.size(); ++t) {
+      const Snapshot& front = tiers_[t].ring.front();
+      support::LatencyHistogram h = s->hist;
+      if (const auto it = front.hists.find(sample_key(*s));
+          it != front.hists.end()) {
+        h.subtract(it->second);
+      }
+      const char* w = config_.tiers[t].label;
+      for (const double q : {0.5, 0.9, 0.99}) {
+        os << windowed_series(s->name + "_window", s->labels, w,
+                              "quantile=\"" + fmt_double(q) + "\"")
+           << ' ' << fmt_double(h.quantile_seconds(q)) << '\n';
+      }
+      os << windowed_series(s->name + "_window_count", s->labels, w) << ' '
+         << h.count() << '\n';
+    }
+  }
+}
+
+void WindowStore::write_json(std::ostream& os, std::uint64_t now_ns,
+                             const char* indent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tick_locked(now_ns);
+  const auto live = registry_.samples();
+  os << "{\n";
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    const Snapshot& front = tiers_[t].ring.front();
+    const std::uint64_t start = front.taken_ns;
+    const double span =
+        now_ns <= start ? 0.0 : static_cast<double>(now_ns - start) * 1e-9;
+    os << indent << "  \"" << config_.tiers[t].label << "\": {\n"
+       << indent << "    \"window_seconds\": " << fmt_double(span) << ",\n"
+       << indent << "    \"interval_seconds\": "
+       << fmt_double(static_cast<double>(config_.tiers[t].interval_ns) *
+                     1e-9)
+       << ",\n"
+       << indent << "    \"depth\": " << config_.tiers[t].depth << ",\n";
+    os << indent << "    \"rates\": {";
+    bool first = true;
+    for (const auto& s : live) {
+      if (s.kind != MetricKind::kCounter) continue;
+      const auto it = front.counters.find(sample_key(s));
+      const double base = it == front.counters.end() ? 0.0 : it->second;
+      const double d = std::max(0.0, s.value - base);
+      os << (first ? "\n" : ",\n") << indent << "      \""
+         << json_escape(sample_key(s))
+         << "\": " << fmt_double(span <= 0.0 ? 0.0 : d / span);
+      first = false;
+    }
+    os << '\n' << indent << "    },\n";
+    os << indent << "    \"histograms\": {";
+    first = true;
+    for (const auto& s : live) {
+      if (s.kind != MetricKind::kHistogram) continue;
+      support::LatencyHistogram h = s.hist;
+      if (const auto it = front.hists.find(sample_key(s));
+          it != front.hists.end()) {
+        h.subtract(it->second);
+      }
+      os << (first ? "\n" : ",\n") << indent << "      \""
+         << json_escape(sample_key(s)) << "\": {\"count\": " << h.count()
+         << ", \"rate\": "
+         << fmt_double(span <= 0.0
+                           ? 0.0
+                           : static_cast<double>(h.count()) / span)
+         << ", \"p50\": " << fmt_double(h.quantile_seconds(0.5))
+         << ", \"p90\": " << fmt_double(h.quantile_seconds(0.9))
+         << ", \"p99\": " << fmt_double(h.quantile_seconds(0.99)) << '}';
+      first = false;
+    }
+    os << '\n' << indent << "    }\n";
+    os << indent << "  }" << (t + 1 < tiers_.size() ? ",\n" : "\n");
+  }
+  os << indent << '}';
+}
+
+}  // namespace asamap::obs

@@ -24,18 +24,30 @@
 ///   TOPK <name> <k>                      top-k communities by flow
 ///   SUMMARY <name>                       codelength/modularity summary
 ///   STATS                                registry + scheduler counters
+///                                        (+ uptime= rev= build= accumulator=)
 ///   METRICS [prom|json]                  scrape the session metric registry
+///   METRICS WINDOW [prom|json]           windowed rates + rolling quantiles
+///   HEALTH                               SLO evaluation (see below)
 ///   TRACE DUMP | STATUS | MARK <label>   flight-recorder export / status
 ///   FAULTS LOAD <path> | CLEAR | STATUS  chaos-test fault plans (see below)
 ///   QUIT                                 acknowledged; driver exits
 ///
-/// METRICS and TRACE DUMP are the two multi-line responses.  They are
-/// self-describing: an `OK format=<fmt> bytes=N` header line followed by
-/// exactly N payload bytes (Prometheus text or bench-envelope JSON for
-/// METRICS; one line of Chrome trace-event JSON for TRACE DUMP).  A client
-/// reads the header, then N bytes, then the message terminator of its
-/// transport (the newline of the text protocol; nothing extra inside a
-/// binary frame) — no guessing where an embedded-newline payload ends.
+/// METRICS (plain and WINDOW forms), HEALTH, and TRACE DUMP are the
+/// multi-line responses.  They are self-describing: an
+/// `OK format=<fmt> bytes=N` header line followed by exactly N payload
+/// bytes (Prometheus text or bench-envelope JSON for METRICS; one line of
+/// Chrome trace-event JSON for TRACE DUMP).  A client reads the header,
+/// then N bytes, then the message terminator of its transport (the newline
+/// of the text protocol; nothing extra inside a binary frame) — no guessing
+/// where an embedded-newline payload ends.
+///
+/// HEALTH answers with the same envelope shape but leads with the verdict:
+/// `OK status=healthy|degraded|unhealthy slos=N bytes=M` then M bytes of
+/// one `slo=<name> status=ok|warn|violated <detail>` line per SLO — the
+/// obs::HealthTracker evaluation (availability burn rates over the fast and
+/// slow windows, windowed latency p99 against its bound, breaker state).
+/// Clients that only want the verdict parse `status=` from the header and
+/// skip the payload.
 ///
 /// Tracing: every request runs inside a TraceSpan named after its verb, so
 /// one CLUSTER line yields a connected span tree (verb -> queue.wait ->
@@ -81,7 +93,9 @@
 #include "asamap/dyn/delta_log.hpp"
 #include "asamap/fault/fault.hpp"
 #include "asamap/fault/retry.hpp"
+#include "asamap/obs/health.hpp"
 #include "asamap/obs/metrics.hpp"
+#include "asamap/obs/window.hpp"
 #include "asamap/serve/graph_registry.hpp"
 #include "asamap/serve/handler.hpp"
 #include "asamap/serve/job_scheduler.hpp"
@@ -115,6 +129,11 @@ struct SessionConfig {
   /// lone `ADD_EDGE g 0 268000000` must not demand a quarter-billion CSR
   /// slots at the next fold.
   graph::VertexId delta_new_vertex_headroom = 65536;
+  /// Windowed-metrics tiers (METRICS WINDOW) and the SLOs HEALTH evaluates
+  /// over them.  Defaults: 10s fast / 60s slow windows, 99.9% availability,
+  /// 50ms p99 bound.
+  obs::WindowConfig window;
+  obs::SloConfig slo;
 };
 
 class ServeSession : public RequestHandler {
@@ -208,6 +227,16 @@ class ServeSession : public RequestHandler {
   fault::FaultInjector& faults() noexcept { return faults_; }
   fault::CircuitBreaker& breaker() noexcept { return breaker_; }
 
+  /// The windowed view over metrics() (METRICS WINDOW) and the SLO
+  /// evaluator over it (HEALTH).  Both are caller-clocked; the protocol
+  /// handlers feed the process steady clock, tests feed synthetic time.
+  obs::WindowStore& window() noexcept { return window_; }
+  obs::HealthTracker& health() noexcept { return health_; }
+
+  /// The monotonic clock the protocol handlers feed into window()/health():
+  /// nanoseconds on the process steady clock.
+  [[nodiscard]] static std::uint64_t mono_now_ns() noexcept;
+
   // --- line protocol ------------------------------------------------------
 
   /// Executes one protocol line, returning the response (without trailing
@@ -280,6 +309,10 @@ class ServeSession : public RequestHandler {
 
   [[nodiscard]] std::string render_metrics_prometheus() const;
   [[nodiscard]] std::string render_metrics_json() const;
+  [[nodiscard]] std::string render_window(std::string_view format);
+  [[nodiscard]] std::string render_health();
+  /// Refreshes asamap_uptime_seconds just before a scrape reads it.
+  void touch_uptime() const;
   /// The degraded CLUSTER answer: the last published snapshot annotated
   /// `OK STALE version=N reason=<reason>`, or "" when the graph has never
   /// been clustered (the caller falls back to an error / best effort).
@@ -323,6 +356,11 @@ class ServeSession : public RequestHandler {
   GraphRegistry registry_;
   PartitionStore store_;
   fault::CircuitBreaker breaker_;
+  /// Windowed view + SLO evaluator over metrics_ (declared after it; both
+  /// only read the registry, so destruction order is free).
+  obs::WindowStore window_;
+  obs::HealthTracker health_;
+  obs::Gauge* uptime_ = nullptr;
   std::unordered_map<std::string_view, VerbMetrics> verb_metrics_;
   VerbMetrics other_verb_metrics_;
   obs::Counter* errors_total_ = nullptr;

@@ -13,6 +13,7 @@
 #include "asamap/benchutil/json_env.hpp"
 #include "asamap/dyn/incremental.hpp"
 #include "asamap/gen/generators.hpp"
+#include "asamap/obs/build_info.hpp"
 #include "asamap/obs/tracing.hpp"
 #include "asamap/support/hash.hpp"
 #include "asamap/support/timer.hpp"
@@ -27,7 +28,7 @@ constexpr std::string_view kVerbs[] = {
     "GEN",     "LOAD",    "DROP",     "CLUSTER", "ADD_EDGE",
     "DEL_EDGE", "APPLY",  "DELTA",    "WAIT",    "CANCEL",
     "MEMBER",  "SAME",    "TOPK",     "SUMMARY", "STATS",
-    "METRICS", "TRACE",   "FAULTS",   "QUIT"};
+    "METRICS", "HEALTH",  "TRACE",    "FAULTS",  "QUIT"};
 
 std::string verb_label(std::string_view verb) {
   return "verb=\"" + std::string(verb) + "\"";
@@ -130,6 +131,10 @@ ServeSession::ServeSession(const SessionConfig& config)
       registry_(config_.registry),
       store_(),
       breaker_(config_.breaker),
+      window_(metrics_, config_.window, mono_now_ns()),
+      health_(metrics_, window_, config_.slo, "asamap_serve_requests_total",
+              "asamap_serve_errors_total", "asamap_serve_request_seconds",
+              "asamap_breaker_state"),
       scheduler_(config_.scheduler) {
   for (const std::string_view verb : kVerbs) {
     const std::string label = verb_label(verb);
@@ -145,6 +150,10 @@ ServeSession::ServeSession(const SessionConfig& config)
       &metrics_.counter("asamap_serve_requests_total", other),
       &metrics_.histogram("asamap_serve_request_seconds", other)};
   errors_total_ = &metrics_.counter("asamap_serve_errors_total");
+  // Build identity: the uptime gauge is refreshed at every scrape/STATS so
+  // a dashboard's value is never older than the read that fetched it.
+  uptime_ = &metrics_.gauge("asamap_uptime_seconds");
+  uptime_->set(obs::process_uptime_seconds());
   // Robustness metrics, pre-registered so the scrape schema is stable
   // whether or not any fault/degradation ever happens.
   faults_.attach_metrics(&metrics_);
@@ -980,7 +989,13 @@ std::string ServeSession::handle_line_impl(
            " retries=" + std::to_string(reg.ingest_retries +
                                         sch.dispatch_retries) +
            " shed=" + std::to_string(sch.shed) + " breaker=" +
-           fault::to_string(breaker_.state());
+           fault::to_string(breaker_.state()) +
+           // Build identity (ISSUE 10): which binary, for how long, built
+           // how — so fleet STATS sweeps can spot a stale deploy at a glance.
+           " uptime=" + fmt_double(obs::process_uptime_seconds()) +
+           " rev=" + obs::build_git_rev() + " build=" + obs::build_mode() +
+           " faults=" + (fault::kFaultInjectionEnabled ? "1" : "0") +
+           " accumulator=hotset";
   }
 
   if (verb == "FAULTS") {
@@ -1087,8 +1102,16 @@ std::string ServeSession::handle_line_impl(
   }
 
   if (verb == "METRICS") {
+    if (tokens.size() >= 2 && tokens[1] == "WINDOW") {
+      if (tokens.size() > 3) {
+        return err(ServeCode::kInvalidArgument,
+                   "usage: METRICS WINDOW [prom|json]");
+      }
+      return render_window(tokens.size() == 3 ? tokens[2] : "prom");
+    }
     if (tokens.size() > 2) {
-      return err(ServeCode::kInvalidArgument, "usage: METRICS [prom|json]");
+      return err(ServeCode::kInvalidArgument,
+                 "usage: METRICS [WINDOW] [prom|json]");
     }
     const std::string_view format = tokens.size() == 2 ? tokens[1] : "prom";
     if (format == "prom" || format == "prometheus") {
@@ -1098,6 +1121,13 @@ std::string ServeSession::handle_line_impl(
     return err(ServeCode::kInvalidArgument,
                "METRICS: unknown format '" + std::string(format) +
                    "' (want prom or json)");
+  }
+
+  if (verb == "HEALTH") {
+    if (tokens.size() != 1) {
+      return err(ServeCode::kInvalidArgument, "usage: HEALTH");
+    }
+    return render_health();
   }
 
   if (verb == "QUIT") return "OK bye";
@@ -1219,7 +1249,19 @@ std::string ServeSession::handle_read(
          " job=" + std::to_string(snap->build_job);
 }
 
+std::uint64_t ServeSession::mono_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void ServeSession::touch_uptime() const {
+  uptime_->set(obs::process_uptime_seconds());
+}
+
 std::string ServeSession::render_metrics_prometheus() const {
+  touch_uptime();
   std::ostringstream out;
   metrics_.write_prometheus(out);
   std::string s = out.str();
@@ -1228,6 +1270,7 @@ std::string ServeSession::render_metrics_prometheus() const {
 }
 
 std::string ServeSession::render_metrics_json() const {
+  touch_uptime();
   std::ostringstream out;
   out << "{\n";
   benchutil::write_envelope_fields(
@@ -1236,6 +1279,42 @@ std::string ServeSession::render_metrics_json() const {
   metrics_.write_json(out, "  ");
   out << "\n}";
   return enveloped("json", out.str());
+}
+
+std::string ServeSession::render_window(std::string_view format) {
+  const std::uint64_t now = mono_now_ns();
+  std::ostringstream out;
+  if (format == "prom" || format == "prometheus") {
+    window_.write_prometheus(out, now);
+    std::string s = out.str();
+    if (!s.empty() && s.back() == '\n') s.pop_back();
+    return enveloped("prometheus", std::move(s));
+  }
+  if (format == "json") {
+    out << "{\n";
+    benchutil::write_envelope_fields(
+        out, benchutil::make_envelope("serve_metrics_window"), "  ");
+    out << "  \"window\": ";
+    window_.write_json(out, now, "  ");
+    out << "\n}";
+    return enveloped("json", out.str());
+  }
+  return err(ServeCode::kInvalidArgument,
+             "METRICS WINDOW: unknown format '" + std::string(format) +
+                 "' (want prom or json)");
+}
+
+std::string ServeSession::render_health() {
+  const obs::HealthReport report = health_.evaluate(mono_now_ns());
+  std::string payload = report.render();
+  if (!payload.empty() && payload.back() == '\n') payload.pop_back();
+  std::string out = "OK status=";
+  out += to_string(report.status);
+  out += " slos=" + std::to_string(report.slos.size());
+  out += " bytes=" + std::to_string(payload.size());
+  out += '\n';
+  out += payload;
+  return out;
 }
 
 }  // namespace asamap::serve

@@ -11,7 +11,10 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
+#include <string>
+#include <string_view>
 
 namespace asamap::support {
 
@@ -42,6 +45,81 @@ class LatencyHistogram {
     sum_ns_ += other.sum_ns_;
     if (other.min_ns_ < min_ns_) min_ns_ = other.min_ns_;
     if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+  }
+
+  /// Removes an earlier cumulative snapshot, leaving only the samples
+  /// recorded since it — the windowed-metrics delta.  `base` must be a
+  /// prefix of this histogram's history (per-bucket counts subtract
+  /// saturating, so a racy snapshot degrades to a clamped delta rather than
+  /// wrapping).  min/max cannot be subtracted, so they are re-derived from
+  /// the surviving buckets' edges: quantiles stay clamped to a range every
+  /// remaining sample could actually occupy, rather than to the stale
+  /// lifetime extremes.
+  void subtract(const LatencyHistogram& base) {
+    count_ = 0;
+    sum_ns_ = std::fmax(0.0, sum_ns_ - base.sum_ns_);
+    min_ns_ = std::numeric_limits<std::uint64_t>::max();
+    max_ns_ = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      counts_[b] -= counts_[b] > base.counts_[b] ? base.counts_[b]
+                                                 : counts_[b];
+      if (counts_[b] == 0) continue;
+      count_ += counts_[b];
+      const auto lo = static_cast<std::uint64_t>(bucket_lo_ns(b));
+      const auto hi = static_cast<std::uint64_t>(bucket_lo_ns(b) +
+                                                 bucket_width_ns(b) - 1.0);
+      if (lo < min_ns_) min_ns_ = lo;
+      if (hi > max_ns_) max_ns_ = hi;
+    }
+    if (count_ == 0) sum_ns_ = 0.0;
+  }
+
+  /// Sparse wire form of the bucket array: `b:c` pairs, comma-separated,
+  /// empty for an empty histogram.  Together with count/sum/min/max this is
+  /// the mergeable representation the router's fleet scrape ships across
+  /// processes; decode() below is the exact inverse.
+  [[nodiscard]] std::string encode_buckets() const {
+    std::string out;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (counts_[b] == 0) continue;
+      if (!out.empty()) out += ',';
+      out += std::to_string(b);
+      out += ':';
+      out += std::to_string(counts_[b]);
+    }
+    return out;
+  }
+
+  /// Rebuilds a histogram from its scraped fields + encode_buckets() text.
+  /// Bucket pairs that fail to parse are skipped; the scalar fields are
+  /// trusted (they came from the same scrape), so a decoded histogram
+  /// merges and quantiles exactly like the in-process original.
+  static LatencyHistogram decode(double sum_seconds, double min_seconds,
+                                 double max_seconds,
+                                 std::string_view buckets) {
+    LatencyHistogram h;
+    std::size_t at = 0;
+    while (at < buckets.size()) {
+      std::size_t end = buckets.find(',', at);
+      if (end == std::string_view::npos) end = buckets.size();
+      const std::string_view pair = buckets.substr(at, end - at);
+      at = end + 1;
+      const std::size_t colon = pair.find(':');
+      if (colon == std::string_view::npos) continue;
+      const std::string bs(pair.substr(0, colon));
+      const std::string cs(pair.substr(colon + 1));
+      const long b = std::strtol(bs.c_str(), nullptr, 10);
+      const unsigned long long c = std::strtoull(cs.c_str(), nullptr, 10);
+      if (b < 0 || b >= kBuckets || c == 0) continue;
+      h.counts_[static_cast<std::size_t>(b)] += c;
+      h.count_ += c;
+    }
+    h.sum_ns_ = sum_seconds * 1e9;
+    if (h.count_ > 0) {
+      h.min_ns_ = static_cast<std::uint64_t>(std::fmax(min_seconds, 0.0) * 1e9 + 0.5);
+      h.max_ns_ = static_cast<std::uint64_t>(std::fmax(max_seconds, 0.0) * 1e9 + 0.5);
+    }
+    return h;
   }
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }

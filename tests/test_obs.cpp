@@ -136,6 +136,73 @@ TEST(MetricRegistry, JsonRendersScalarsAndHistogramObjects) {
   EXPECT_EQ(text.back(), '}');
 }
 
+TEST(MetricRegistry, JsonHistogramCarriesMergeableBuckets) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("asamap_req_seconds");
+  for (int i = 1; i <= 100; ++i) h.record_seconds(i * 1e-4);
+
+  std::ostringstream os;
+  reg.write_json(os, "");
+  const std::string text = os.str();
+  // The `buckets` field is the sparse wire encoding the router's fleet
+  // federation decodes — it must match the in-process encoding verbatim.
+  const std::string want =
+      "\"buckets\": \"" +
+      reg.histogram_merged_all("asamap_req_seconds").encode_buckets() + "\"";
+  EXPECT_NE(text.find(want), std::string::npos) << text;
+}
+
+TEST(EscapeLabelValue, EscapesSpecialsAndIsIdempotent) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+  // Applying the escape twice must not double-escape: already-escaped
+  // sequences pass through untouched.
+  for (const std::string raw : {"a\"b", "a\\b", "a\nb", "g\"x\ny\\z"}) {
+    const std::string once = escape_label_value(raw);
+    EXPECT_EQ(escape_label_value(once), once) << raw;
+  }
+}
+
+TEST(MetricRegistry, PrometheusSanitizesHostileLabelValues) {
+  // Negative test: a writer that skips escape_label_value and embeds a raw
+  // quote + newline in a label value must NOT be able to corrupt the
+  // exposition — the renderer sanitizes values at scrape time, so every
+  // sample stays on one line with balanced quotes.
+  MetricRegistry reg;
+  reg.counter("asamap_evil_total",
+              "g=\"bad\"name\nwith=\"inject\"").inc(1);
+
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  bool found = false;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + start, end - start);
+    if (line.rfind("asamap_evil_total{", 0) == 0) {
+      found = true;
+      EXPECT_EQ(line.back(), '1') << line;  // value survives on the line
+      // Quotes inside the line's label body must be balanced: an odd count
+      // would mean the raw quote leaked through unescaped.
+      std::size_t quotes = 0, backslashed = 0;
+      for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '"') {
+          ++quotes;
+          if (i > 0 && line[i - 1] == '\\') ++backslashed;
+        }
+      }
+      EXPECT_EQ((quotes - backslashed) % 2, 0u) << line;
+    }
+    start = end + 1;
+  }
+  EXPECT_TRUE(found)
+      << "hostile sample vanished instead of being sanitized:\n" << text;
+}
+
 TEST(MetricRegistry, EmptyRendersCleanly) {
   const MetricRegistry reg;
   std::ostringstream prom, js;

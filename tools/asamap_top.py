@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""asamap_top — a live terminal dashboard for a serve/shard/router endpoint.
+
+Usage: asamap_top.py <host:port | port> [--interval S] [--once] [--fleet]
+
+Polls the observability verbs of one TCP endpoint (asamap_serve,
+asamap_serve --shard-id, or asamap_router — they all speak the same
+protocol) and renders a top(1)-style view:
+
+  - STATS           build identity: uptime, git rev, build mode
+  - HEALTH          the SLO verdict, one line per SLO
+  - METRICS WINDOW  windowed request/error rates and rolling latency
+                    quantiles, fast tier vs slow tier side by side
+  - HEALTH FLEET    (--fleet, routers only) the federated verdict with one
+                    line per shard
+
+--once prints a single snapshot without clearing the screen and exits —
+the CI smoke runs this against a live server to prove the dashboard's
+whole request path end to end.  Exit is 0 on a rendered snapshot, nonzero
+when the endpoint cannot be reached or answers garbage.
+
+No dependencies beyond the standard library; the transport is the same
+length-prefixed binary framing tools/dist_smoke.py uses (0xA5 magic,
+little-endian u32 length).
+"""
+
+import argparse
+import json
+import socket
+import struct
+import sys
+import time
+
+MAGIC = 0xA5
+
+
+class Client:
+    def __init__(self, host: str, port: int):
+        self.sock = socket.create_connection((host, port), timeout=10)
+        self.sock.settimeout(10)
+        self.buf = b""
+
+    def request(self, line: str) -> bytes:
+        p = line.encode()
+        self.sock.sendall(bytes([MAGIC]) + struct.pack("<I", len(p)) + p)
+        while True:
+            if self.buf and self.buf[0] == MAGIC and len(self.buf) >= 5:
+                (n,) = struct.unpack("<I", self.buf[1:5])
+                if len(self.buf) >= 5 + n:
+                    payload = self.buf[5:5 + n]
+                    self.buf = self.buf[5 + n:]
+                    return payload
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise EOFError("connection closed mid-message")
+            self.buf += chunk
+
+
+def first_line_fields(resp: bytes) -> dict:
+    out = {}
+    for tok in resp.split(b"\n", 1)[0].decode().split(" "):
+        if "=" in tok:
+            k, _, v = tok.partition("=")
+            out[k] = v
+    return out
+
+
+def envelope_json(resp: bytes, what: str) -> dict:
+    header, _, payload = resp.partition(b"\n")
+    if not header.startswith(b"OK"):
+        raise RuntimeError(f"{what}: {header.decode(errors='replace')}")
+    return json.loads(payload)
+
+
+def clip(name: str, width: int) -> str:
+    return name if len(name) <= width else name[:width - 1] + "…"
+
+
+STATUS_MARK = {"healthy": "+", "degraded": "~", "unhealthy": "!"}
+
+
+def render(client: Client, fleet: bool) -> str:
+    lines = []
+    stats = first_line_fields(client.request("STATS"))
+    lines.append(
+        f"asamap  uptime={float(stats.get('uptime', 0)):.0f}s"
+        f"  rev={stats.get('rev', '?')}  build={stats.get('build', '?')}"
+        f"  graphs={stats.get('graphs', stats.get('shards', '?'))}"
+        f"  {time.strftime('%H:%M:%S')}")
+
+    health = client.request("HEALTH")
+    status = first_line_fields(health).get("status", "?")
+    lines.append("")
+    lines.append(f"health: [{STATUS_MARK.get(status, '?')}] {status}")
+    for row in health.decode(errors="replace").split("\n")[1:]:
+        if row.strip():
+            lines.append(f"  {row}")
+
+    window = envelope_json(client.request("METRICS WINDOW json"),
+                           "METRICS WINDOW")["window"]
+    tiers = list(window.keys())
+    lines.append("")
+    header = f"{'rates (/s)':<44}" + "".join(f"{t:>12}" for t in tiers)
+    lines.append(header)
+    names = sorted({n for t in tiers for n in window[t]["rates"]})
+    for name in names:
+        rates = [window[t]["rates"].get(name, 0.0) for t in tiers]
+        if not any(rates):
+            continue
+        lines.append(f"  {clip(name, 42):<42}" +
+                     "".join(f"{r:>12.1f}" for r in rates))
+    lines.append("")
+    lines.append(f"{'latency (fast window)':<44}"
+                 f"{'p50':>10}{'p90':>10}{'p99':>10}{'count':>10}")
+    fast = tiers[0] if tiers else None
+    for name, h in sorted(window.get(fast, {}).get("histograms",
+                                                   {}).items()):
+        if not h.get("count"):
+            continue
+        lines.append(
+            f"  {clip(name, 42):<42}"
+            f"{h['p50'] * 1e3:>9.2f}m{h['p90'] * 1e3:>9.2f}m"
+            f"{h['p99'] * 1e3:>9.2f}m{h['count']:>10}")
+
+    if fleet:
+        fh = client.request("HEALTH FLEET")
+        f = first_line_fields(fh)
+        lines.append("")
+        lines.append(f"fleet: [{STATUS_MARK.get(f.get('status'), '?')}] "
+                     f"{f.get('status', '?')}  shards={f.get('shards', '?')}"
+                     f"  up={f.get('up', '?')}  down={f.get('down', '?')}")
+        for row in fh.decode(errors="replace").split("\n")[1:]:
+            if row.startswith("shard="):
+                lines.append(f"  {row}")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("endpoint", help="host:port or bare port (localhost)")
+    ap.add_argument("--interval", type=float, default=1.0)
+    ap.add_argument("--once", action="store_true",
+                    help="print one snapshot and exit")
+    ap.add_argument("--fleet", action="store_true",
+                    help="also poll HEALTH FLEET (router endpoints)")
+    args = ap.parse_args()
+
+    host, _, port = args.endpoint.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        client = Client(host, int(port))
+        while True:
+            frame = render(client, args.fleet)
+            if args.once:
+                print(frame)
+                return 0
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, EOFError, RuntimeError, ValueError,
+            json.JSONDecodeError) as e:
+        print(f"asamap_top: {e}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,13 @@ then checks the tier's load-bearing promises:
   - SIGKILLing one shard degrades but does not break reads: answers still
     match the oracle, are tagged `degraded=1`, the router's retry counter
     moves, and SHARDS reports the death;
+  - the observability plane federates: METRICS FLEET merges every shard's
+    registry into shard="fleet" aggregates whose histogram counts equal
+    the sum of the per-shard counts, and HEALTH FLEET turns the SIGKILL
+    into `status=degraded` naming the dead shard, then back to
+    `status=healthy` once the shard restarts on its old port;
+  - tools/asamap_top.py --once renders a dashboard snapshot off the live
+    router (the whole STATS/HEALTH/METRICS WINDOW request path);
   - the router's and a shard's TRACE DUMPs share trace ids: the
     TRACECTX-bridged spans form one cross-process tree;
   - SIGTERM drains the router cleanly (`SHUTDOWN clean=1`).
@@ -26,6 +33,7 @@ Exits 0 on success, 1 with a message on the first failed expectation.
 """
 
 import json
+import os
 import re
 import signal
 import socket
@@ -142,17 +150,22 @@ def main() -> None:
     serve_bin, router_bin = sys.argv[1], sys.argv[2]
     procs = []
     try:
+        # Seconds-scale metric windows so the deliberate error probes below
+        # age out of the burn-rate windows before the health phase asserts
+        # on the verdict (defaults would hold them for a minute).
+        windows = ["--window-fast-ms", "100", "--window-slow-ms", "500"]
         shard_procs, shard_ports = [], []
         for i in range(2):
             p, port = spawn([serve_bin, "--listen", "0", "--shard-id",
                              str(i), "--shards", "2", "--cluster-threads",
-                             "1", "--workers", "2"])
+                             "1", "--workers", "2"] + windows)
             procs.append(p)
             shard_procs.append(p)
             shard_ports.append(port)
         router_proc, router_port = spawn(
             [router_bin, "--listen", "0", "--shards",
-             f"127.0.0.1:{shard_ports[0]},127.0.0.1:{shard_ports[1]}"])
+             f"127.0.0.1:{shard_ports[0]},127.0.0.1:{shard_ports[1]}"]
+            + windows)
         procs.append(router_proc)
         oracle_proc, oracle_port = spawn(
             [serve_bin, "--listen", "0", "--cluster-threads", "1",
@@ -211,6 +224,39 @@ def main() -> None:
         expect(joined, "no shared trace id between router TOPK roots and "
                        "shard.request spans")
 
+        # Federation: METRICS FLEET re-labels every shard series and adds
+        # shard="fleet" aggregates; a merged histogram's count must equal
+        # the sum of the per-shard counts it merged.
+        fleet = envelope_payload(router.request("METRICS FLEET prom"),
+                                 "prometheus", "METRICS FLEET")
+        expect(b'shard="fleet"' in fleet and b'shard="0"' in fleet and
+               b'shard="1"' in fleet,
+               f"METRICS FLEET missing shard labels: {fleet[:400]!r}")
+        counts = {m.group(1).decode(): int(m.group(2)) for m in re.finditer(
+            rb'^asamap_serve_request_seconds_count\{verb="MEMBER",'
+            rb'shard="(\w+)"\} (\d+)$', fleet, re.M)}
+        expect("fleet" in counts and "0" in counts and "1" in counts,
+               f"MEMBER latency counts incomplete: {counts}")
+        expect(counts["fleet"] == counts["0"] + counts["1"],
+               f"fleet count {counts['fleet']} != "
+               f"{counts['0']} + {counts['1']}")
+
+        health = router.request("HEALTH FLEET")
+        expect(health.startswith(b"OK status=") and b" up=2 " in health,
+               f"HEALTH FLEET with both shards up answered {health!r}")
+
+        # The dashboard's whole request path, off the live router.
+        top = subprocess.run(
+            [sys.executable,
+             os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "asamap_top.py"),
+             f"127.0.0.1:{router_port}", "--once", "--fleet"],
+            capture_output=True, text=True, timeout=60)
+        expect(top.returncode == 0,
+               f"asamap_top --once exited {top.returncode}: {top.stderr}")
+        expect("health:" in top.stdout and "fleet:" in top.stdout,
+               f"asamap_top --once rendered {top.stdout!r}")
+
         # Chaos: SIGKILL shard 1.  Reads must degrade, not break — and the
         # failover answers (shard 0's replica) must agree with what the
         # full tier said moments before, because both replicas ran the
@@ -237,6 +283,42 @@ def main() -> None:
         gen = router.request("GEN h 100 400 1")
         expect(gen.startswith(b"ERR unavailable"),
                f"ingest with a shard down answered {gen!r}")
+
+        # Health phase: the fleet verdict must turn degraded and name the
+        # dead shard (the error burn from the probes above ages out of the
+        # shrunken windows within a few seconds, leaving exactly the
+        # shards-SLO warning).
+        deadline = time.time() + 30
+        while True:
+            fh = router.request("HEALTH FLEET")
+            if (fh.startswith(b"OK status=degraded") and
+                    b"shards_down=1" in fh and
+                    b"shard=1 status=down" in fh):
+                break
+            expect(time.time() < deadline,
+                   f"HEALTH FLEET never settled degraded: {fh!r}")
+            time.sleep(0.2)
+        # A down shard is reported in the federated scrape, never an error.
+        fleet = envelope_payload(router.request("METRICS FLEET prom"),
+                                 "prometheus", "METRICS FLEET (degraded)")
+        expect(b"asamap_fleet_shards_down 1" in fleet,
+               "METRICS FLEET did not report the dead shard")
+
+        # Recovery: restart the shard on its old port (SO_REUSEADDR) and
+        # watch the verdict come back to healthy once the router's breaker
+        # half-opens and the probe lands.
+        p, _ = spawn([serve_bin, "--listen", str(shard_ports[1]),
+                      "--shard-id", "1", "--shards", "2",
+                      "--cluster-threads", "1", "--workers", "2"] + windows)
+        procs.append(p)
+        deadline = time.time() + 30
+        while True:
+            fh = router.request("HEALTH FLEET")
+            if fh.startswith(b"OK status=healthy") and b" up=2 " in fh:
+                break
+            expect(time.time() < deadline,
+                   f"HEALTH FLEET never recovered: {fh!r}")
+            time.sleep(0.2)
 
         # Clean drain.
         router_proc.send_signal(signal.SIGTERM)
